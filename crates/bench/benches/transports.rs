@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the protocol stack: PDU codec throughput and
+//! real end-to-end NVMe-oAF I/O (both channels) through the threaded
+//! runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oaf_core::conn::FabricSettings;
+use oaf_core::locality::{HostRegistry, ProcessId};
+use oaf_core::runtime::{launch, AfPair};
+use oaf_nvmeof::nvme::command::NvmeCommand;
+use oaf_nvmeof::nvme::controller::Controller;
+use oaf_nvmeof::nvme::namespace::Namespace;
+use oaf_nvmeof::pdu::{CapsuleCmd, DataPdu, DataRef, Pdu};
+
+fn bench_pdu_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdu/codec");
+    let cmd = Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::write(7, 1, 1024, 32),
+        data: Some(DataRef::ShmSlot {
+            slot: 5,
+            len: 131072,
+        }),
+    });
+    g.bench_function("encode-capsule-shm", |b| b.iter(|| cmd.encode()));
+    let frame = cmd.encode();
+    g.bench_function("decode-capsule-shm", |b| {
+        b.iter(|| Pdu::decode(frame.clone()).expect("decode"))
+    });
+    let data = Pdu::C2HData(DataPdu {
+        cid: 1,
+        ttag: 0,
+        offset: 0,
+        last: true,
+        data: DataRef::Inline(Bytes::from(vec![0u8; 128 << 10])),
+    });
+    g.throughput(Throughput::Bytes(128 << 10));
+    g.bench_function("encode-inline-128K", |b| b.iter(|| data.encode()));
+    g.finish();
+}
+
+fn runtime_pair(local: bool, slot: usize) -> AfPair {
+    let mut controller = Controller::new();
+    controller.add_namespace(Namespace::new(1, 4096, 8192));
+    let registry = Arc::new(HostRegistry::new());
+    launch(
+        &registry,
+        (ProcessId(1), 1),
+        (ProcessId(2), if local { 1 } else { 2 }),
+        controller,
+        FabricSettings {
+            slot_size: slot,
+            ..FabricSettings::default()
+        },
+    )
+    .expect("fabric establishment")
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let timeout = Duration::from_secs(10);
+    let mut g = c.benchmark_group("runtime/end-to-end");
+    g.sample_size(20);
+    for (label, local) in [("oaf-shm", true), ("tcp-fallback", false)] {
+        for &size in &[4usize << 10, 128 << 10] {
+            let mut pair = runtime_pair(local, size.max(128 << 10));
+            let nlb = (size / 4096) as u32;
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}/write"), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let mut buf = pair.client.alloc(size).expect("alloc");
+                        buf[0] = 1;
+                        pair.client.write(1, 0, nlb, buf, timeout).expect("write");
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}/read"), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        pair.client.read(1, 0, nlb, size, timeout).expect("read");
+                    })
+                },
+            );
+            pair.client.disconnect().expect("disconnect");
+            pair.target.shutdown().expect("shutdown");
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pdu_codec, bench_end_to_end);
+criterion_main!(benches);

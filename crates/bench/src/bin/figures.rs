@@ -1,0 +1,75 @@
+//! CLI entry point for the figure-reproduction harness.
+//!
+//! ```text
+//! figures all                 # run everything, in paper order
+//! figures fig11 fig13         # run specific figures
+//! figures --json out.json all # also dump machine-readable records
+//! figures --list              # list available ids
+//! ```
+
+use std::io::Write as _;
+
+use oaf_bench::figures;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [--json FILE] [--list] <id...|all>");
+        eprintln!("ids: {}", figures::all_ids().join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        println!("{}", figures::all_ids().join("\n"));
+        return;
+    }
+    let mut json_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json requires a file path");
+            std::process::exit(2);
+        }
+    }
+
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        figures::all_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut reports = Vec::new();
+    let mut failed = 0usize;
+    for id in &ids {
+        match figures::run(id) {
+            Some(rep) => {
+                println!("{}", rep.render());
+                if !rep.all_pass() {
+                    failed += 1;
+                }
+                reports.push(rep);
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("serializable reports");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        println!("wrote {} reports to {path}", reports.len());
+    }
+
+    println!(
+        "\n{} figures run, {} with failing shape checks",
+        reports.len(),
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared harness configuration: durations, seeds, fabric line-ups.
+
+use oaf_core::sim::{FabricKind, ShmVariant, WorkloadSpec};
+use oaf_simnet::time::SimDuration;
+
+/// Virtual run time used by most figures. The paper runs 20 wall-clock
+/// seconds (§5.1); virtual statistics converge much sooner, and the
+/// tail-latency figure scales this up itself.
+pub const RUN: SimDuration = SimDuration::from_millis(800);
+
+/// Virtual run time for tail-latency studies (needs enough samples for
+/// p99.99).
+pub const RUN_TAIL: SimDuration = SimDuration::from_secs(4);
+
+/// Base RNG seed; figures offset it so no two share streams.
+pub const SEED: u64 = 0x0af_5eed;
+
+/// The transport line-up of Figs. 2–3 (existing NVMe-oF schemes).
+pub fn existing_fabrics() -> Vec<(&'static str, FabricKind)> {
+    vec![
+        ("TCP-10G", FabricKind::TcpStock { gbps: 10.0 }),
+        ("TCP-25G", FabricKind::TcpStock { gbps: 25.0 }),
+        ("TCP-100G", FabricKind::TcpStock { gbps: 100.0 }),
+        ("RDMA-56G", FabricKind::RdmaIb),
+    ]
+}
+
+/// The full line-up of Figs. 11–15 (existing + NVMe-oAF).
+pub fn full_fabrics() -> Vec<(&'static str, FabricKind)> {
+    let mut v = existing_fabrics();
+    v.push((
+        "NVMe-oAF",
+        FabricKind::Shm {
+            variant: ShmVariant::ZeroCopy,
+        },
+    ));
+    v
+}
+
+/// Standard workload builder with the harness run time and seed.
+pub fn workload(io_size: u64, read_fraction: f64) -> WorkloadSpec {
+    WorkloadSpec::new(io_size, read_fraction)
+        .with_duration(RUN)
+        .with_seed(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_are_distinct_and_complete() {
+        assert_eq!(existing_fabrics().len(), 4);
+        assert_eq!(full_fabrics().len(), 5);
+        let names: Vec<_> = full_fabrics().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"NVMe-oAF"));
+    }
+
+    #[test]
+    fn workload_uses_harness_defaults() {
+        let w = workload(4096, 0.5);
+        assert_eq!(w.duration, RUN);
+        assert_eq!(w.seed, SEED);
+        assert_eq!(w.queue_depth, 128);
+    }
+}

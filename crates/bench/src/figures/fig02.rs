@@ -1,0 +1,104 @@
+//! Fig. 2: performance of existing NVMe-oF transports.
+//!
+//! Four applications issue sequential reads/writes to four NVMe-SSDs
+//! (one-to-one) over a shared NIC, at 4 KiB and 128 KiB, for TCP-10G,
+//! TCP-25G, TCP-100G and RDMA-IB-56G. Panels: aggregate bandwidth and
+//! average latency. Shape anchors from §3.1: the 10 G network bottlenecks
+//! everything; 25/100 G never saturate; RDMA leads; at 128 KiB the
+//! TCP-100G→RDMA gaps are ≈1.85× (write) and ≈1.46× (read).
+
+use oaf_core::sim::{run_uniform, Metrics};
+use oaf_simnet::units::KIB;
+
+use crate::config::{existing_fabrics, workload};
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig2",
+        "Existing NVMe-oF transports: aggregate bandwidth and average latency",
+        "4 clients -> 4 SSDs, sequential, QD128, 4KiB & 128KiB, shared NIC",
+    );
+
+    let sizes = [("4K", 4 * KIB), ("128K", 128 * KIB)];
+    let mut bw_read = Table::new("Aggregate read bandwidth (MiB/s)", &["4K", "128K"]);
+    let mut bw_write = Table::new("Aggregate write bandwidth (MiB/s)", &["4K", "128K"]);
+    let mut lat_read = Table::new("Average read latency (µs)", &["4K", "128K"]);
+    let mut lat_write = Table::new("Average write latency (µs)", &["4K", "128K"]);
+
+    let mut results: Vec<(&str, Vec<Metrics>, Vec<Metrics>)> = Vec::new();
+    for (name, fabric) in existing_fabrics() {
+        let reads: Vec<Metrics> = sizes
+            .iter()
+            .map(|&(_, io)| run_uniform(fabric, 4, workload(io, 1.0)))
+            .collect();
+        let writes: Vec<Metrics> = sizes
+            .iter()
+            .map(|&(_, io)| run_uniform(fabric, 4, workload(io, 0.0)))
+            .collect();
+        bw_read.row(name, reads.iter().map(|m| m.bandwidth_mib()).collect());
+        bw_write.row(name, writes.iter().map(|m| m.bandwidth_mib()).collect());
+        lat_read.row(name, reads.iter().map(|m| m.reads.mean_lat_us()).collect());
+        lat_write.row(
+            name,
+            writes.iter().map(|m| m.writes.mean_lat_us()).collect(),
+        );
+        results.push((name, reads, writes));
+    }
+
+    // Shape checks against §3.1's anchors.
+    let g = |t: &Table, r: &str, c: usize| t.get(r, c).unwrap_or(f64::NAN);
+    let read_gap = g(&bw_read, "RDMA-56G", 1) / g(&bw_read, "TCP-100G", 1);
+    let write_gap = g(&bw_write, "RDMA-56G", 1) / g(&bw_write, "TCP-100G", 1);
+    rep.checks.push(ShapeCheck::ratio(
+        "peak read bandwidth gap RDMA vs TCP-100G ~= 1.46x (§3.1)",
+        1.46,
+        read_gap,
+        0.4,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "peak write bandwidth gap RDMA vs TCP-100G ~= 1.85x (§3.1)",
+        1.85,
+        write_gap,
+        0.4,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "10G Ethernet is network-bound: TCP-25G read > TCP-10G read at 128K",
+        format!(
+            "25G {:.0} vs 10G {:.0} MiB/s",
+            g(&bw_read, "TCP-25G", 1),
+            g(&bw_read, "TCP-10G", 1)
+        ),
+        g(&bw_read, "TCP-25G", 1) > g(&bw_read, "TCP-10G", 1) * 1.2,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "RDMA has the lowest 4K read latency",
+        format!(
+            "RDMA {:.0}µs vs best TCP {:.0}µs",
+            g(&lat_read, "RDMA-56G", 0),
+            g(&lat_read, "TCP-100G", 0)
+        ),
+        g(&lat_read, "RDMA-56G", 0) < g(&lat_read, "TCP-100G", 0),
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "latency increases with I/O size on every transport",
+        "read latency at 128K vs 4K per fabric",
+        results
+            .iter()
+            .all(|(_, reads, _)| reads[1].reads.mean_lat_us() > reads[0].reads.mean_lat_us()),
+    ));
+
+    rep.tables = vec![bw_read, bw_write, lat_read, lat_write];
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig2_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 3: latency breakdown of existing NVMe-oF transports.
+//!
+//! Splits the average latency into "I/O time" (device), "comm. time"
+//! (transit) and "other" (preparation/processing), per §3.2. Anchors:
+//! communication time dominates the TCP/RDMA difference; at 128 KiB,
+//! TCP writes spend markedly more in "other" than reads (buffer fill +
+//! copy-out); for 128 KiB RDMA reads, comm:IO ≈ 1:1.11.
+
+use oaf_core::sim::run_uniform;
+use oaf_simnet::units::KIB;
+
+use crate::config::{existing_fabrics, workload};
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig3",
+        "Latency breakdown (I/O / comm / other) for existing transports",
+        "4 clients -> 4 SSDs, sequential, QD128; components in µs",
+    );
+
+    for &(label, io) in &[("4K", 4 * KIB), ("128K", 128 * KIB)] {
+        let mut tr = Table::new(
+            format!("{label} read breakdown (µs)"),
+            &["io", "comm", "other"],
+        );
+        let mut tw = Table::new(
+            format!("{label} write breakdown (µs)"),
+            &["io", "comm", "other"],
+        );
+        for (name, fabric) in existing_fabrics() {
+            let r = run_uniform(fabric, 4, workload(io, 1.0));
+            let w = run_uniform(fabric, 4, workload(io, 0.0));
+            let br = r.reads.mean_breakdown();
+            let bw = w.writes.mean_breakdown();
+            tr.row(name, vec![br.io_us, br.comm_us, br.other_us]);
+            tw.row(name, vec![bw.io_us, bw.comm_us, bw.other_us]);
+        }
+        rep.tables.push(tr);
+        rep.tables.push(tw);
+    }
+
+    // Checks use the 128K panels (tables 2 and 3).
+    let tr = &rep.tables[2];
+    let tw = &rep.tables[3];
+    let comm = |t: &Table, r: &str| t.get(r, 1).unwrap_or(f64::NAN);
+    let other = |t: &Table, r: &str| t.get(r, 2).unwrap_or(f64::NAN);
+    let io = |t: &Table, r: &str| t.get(r, 0).unwrap_or(f64::NAN);
+
+    rep.checks.push(ShapeCheck::holds(
+        "high comm time explains the TCP vs RDMA gap (§3.2)",
+        format!(
+            "TCP-25G comm {:.0}µs vs RDMA comm {:.0}µs (128K read)",
+            comm(tr, "TCP-25G"),
+            comm(tr, "RDMA-56G")
+        ),
+        comm(tr, "TCP-25G") > 3.0 * comm(tr, "RDMA-56G"),
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "128K TCP writes spend much more in 'other' than reads (buffer fill + copy-out, §3.2)",
+        format!(
+            "TCP-25G other: write {:.1}µs vs read {:.1}µs",
+            other(tw, "TCP-25G"),
+            other(tr, "TCP-25G")
+        ),
+        other(tw, "TCP-25G") > 2.0 * other(tr, "TCP-25G"),
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "RDMA writes do not show the 'other' inflation (target reads the client buffer directly)",
+        format!(
+            "RDMA other: write {:.1}µs vs TCP-25G write {:.1}µs",
+            other(tw, "RDMA-56G"),
+            other(tw, "TCP-25G")
+        ),
+        other(tw, "RDMA-56G") < 0.5 * other(tw, "TCP-25G"),
+    ));
+    // §3.2 reads the comm:IO ratio (1:1.11) as evidence that the network
+    // share has grown enough to limit multi-stream RDMA reads. The
+    // instrumented ratio depends on where queueing is attributed; the
+    // claim itself — four 128K streams on one IB NIC scale sublinearly
+    // because the wire saturates — is checked directly.
+    let single = run_uniform(
+        crate::config::existing_fabrics()[3].1,
+        1,
+        workload(128 * KIB, 1.0),
+    );
+    let agg4 = run_uniform(
+        crate::config::existing_fabrics()[3].1,
+        4,
+        workload(128 * KIB, 1.0),
+    );
+    rep.checks.push(ShapeCheck::holds(
+        "network limits multi-stream 128K RDMA reads (aggregate << 4x single, §3.2)",
+        format!(
+            "4-stream {:.0} MiB/s vs 4x single {:.0} MiB/s",
+            agg4.bandwidth_mib(),
+            4.0 * single.bandwidth_mib()
+        ),
+        agg4.bandwidth_mib() < 0.75 * 4.0 * single.bandwidth_mib(),
+    ));
+    // 4K panel: I/O time dominates RDMA reads.
+    let tr4 = &rep.tables[0];
+    rep.checks.push(ShapeCheck::holds(
+        "at 4K, I/O time is the major component for RDMA reads (§3.2)",
+        format!(
+            "RDMA 4K read: io {:.0}µs vs comm {:.0}µs",
+            io(tr4, "RDMA-56G"),
+            comm(tr4, "RDMA-56G")
+        ),
+        io(tr4, "RDMA-56G") > comm(tr4, "RDMA-56G"),
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig3_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 10: busy-poll budget sweep (§4.5).
+//!
+//! 128 KiB sequential reads and writes over TCP-10G, budgets 0 (pure
+//! interrupts), 25, 50, 100 µs. Anchors: a short budget (25 µs) *hurts*
+//! writes — below even interrupt mode — because write waits are long, so
+//! the budget burns and the interrupt still fires; 100 µs is best for
+//! writes; reads peak at 25–50 µs and sag at 100 µs.
+
+use oaf_core::sim::{run_uniform, FabricKind};
+use oaf_simnet::time::SimDuration;
+use oaf_simnet::units::KIB;
+
+use crate::config::workload;
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig10",
+        "Throughput vs busy-poll budget, NVMe/TCP-10G, 128KiB",
+        "1 stream, QD128, sequential; budget 0 = interrupt-driven",
+    );
+
+    let budgets = [0u64, 25, 50, 100];
+    let mut t = Table::new("Throughput (MiB/s)", &["read", "write"]);
+    let mut read_bw = Vec::new();
+    let mut write_bw = Vec::new();
+    for &b in &budgets {
+        let fabric = FabricKind::TcpOpt {
+            gbps: 10.0,
+            chunk: 128 * KIB,
+            busy_poll: SimDuration::from_micros(b),
+        };
+        let r = run_uniform(fabric, 1, workload(128 * KIB, 1.0));
+        let w = run_uniform(fabric, 1, workload(128 * KIB, 0.0));
+        t.row(
+            if b == 0 {
+                "interrupt".to_string()
+            } else {
+                format!("{b}us")
+            },
+            vec![r.bandwidth_mib(), w.bandwidth_mib()],
+        );
+        read_bw.push(r.bandwidth_mib());
+        write_bw.push(w.bandwidth_mib());
+    }
+    rep.tables.push(t);
+
+    rep.checks.push(ShapeCheck::holds(
+        "25us polling decreases write throughput below interrupt mode (§4.5)",
+        format!(
+            "write: 25us {:.0} vs interrupt {:.0} MiB/s",
+            write_bw[1], write_bw[0]
+        ),
+        write_bw[1] < write_bw[0],
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "100us gives the highest write throughput (§4.5)",
+        format!(
+            "write MiB/s by budget: {:?}",
+            write_bw.iter().map(|x| x.round()).collect::<Vec<_>>()
+        ),
+        write_bw[3] >= write_bw[0]
+            && write_bw[3] >= write_bw[1]
+            && write_bw[3] >= write_bw[2] * 0.98,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "reads peak at 25-50us (§4.5)",
+        format!(
+            "read MiB/s by budget: {:?}",
+            read_bw.iter().map(|x| x.round()).collect::<Vec<_>>()
+        ),
+        read_bw[1].max(read_bw[2]) >= read_bw[0] && read_bw[1].max(read_bw[2]) >= read_bw[3],
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "high budgets degrade reads relative to their peak (§4.5)",
+        format!(
+            "read: 100us {:.0} vs peak {:.0}",
+            read_bw[3],
+            read_bw[1].max(read_bw[2])
+        ),
+        read_bw[3] <= read_bw[1].max(read_bw[2]),
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig10_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 11: overall benefits of NVMe-oAF.
+//!
+//! Same setup as Fig. 2 plus the adaptive fabric. Headline anchors
+//! (§5.2): oAF peak read bandwidth ≈ 7.1× TCP-10G; at 128 KiB oAF read
+//! latency ≈ TCP-10G/4.2 and write latency ≈ TCP-25G/2.97; oAF ≈ 1.78×
+//! RDMA for 128 KiB reads from four SSDs.
+
+use oaf_core::sim::run_uniform;
+use oaf_simnet::units::KIB;
+
+use crate::config::{full_fabrics, workload};
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig11",
+        "NVMe-oAF vs existing transports: bandwidth and latency, 4 clients -> 4 SSDs",
+        "sequential, QD128, 4KiB & 128KiB; oAF = shared-memory zero-copy channel",
+    );
+
+    let sizes = [4 * KIB, 128 * KIB];
+    let mut bw_read = Table::new("Aggregate read bandwidth (MiB/s)", &["4K", "128K"]);
+    let mut bw_write = Table::new("Aggregate write bandwidth (MiB/s)", &["4K", "128K"]);
+    let mut lat_read = Table::new("Average read latency (µs)", &["4K", "128K"]);
+    let mut lat_write = Table::new("Average write latency (µs)", &["4K", "128K"]);
+
+    for (name, fabric) in full_fabrics() {
+        let reads: Vec<_> = sizes
+            .iter()
+            .map(|&io| run_uniform(fabric, 4, workload(io, 1.0)))
+            .collect();
+        let writes: Vec<_> = sizes
+            .iter()
+            .map(|&io| run_uniform(fabric, 4, workload(io, 0.0)))
+            .collect();
+        bw_read.row(name, reads.iter().map(|m| m.bandwidth_mib()).collect());
+        bw_write.row(name, writes.iter().map(|m| m.bandwidth_mib()).collect());
+        lat_read.row(name, reads.iter().map(|m| m.reads.mean_lat_us()).collect());
+        lat_write.row(
+            name,
+            writes.iter().map(|m| m.writes.mean_lat_us()).collect(),
+        );
+    }
+
+    let g = |t: &Table, r: &str, c: usize| t.get(r, c).unwrap_or(f64::NAN);
+    rep.checks.push(ShapeCheck::ratio(
+        "oAF peak read bandwidth ~= 7.1x TCP-10G (§5.2)",
+        7.1,
+        g(&bw_read, "NVMe-oAF", 1) / g(&bw_read, "TCP-10G", 1),
+        0.45,
+    ));
+    // In a fixed-QD closed loop, Little's law pins the average-latency
+    // ratio to the bandwidth ratio, so the paper's 4.2x/2.97x latency
+    // reductions (measured on its testbed with independent runs) appear
+    // here as at-least thresholds; see EXPERIMENTS.md.
+    let lat_ratio_10g = g(&lat_read, "TCP-10G", 1) / g(&lat_read, "NVMe-oAF", 1);
+    rep.checks.push(ShapeCheck::holds(
+        "TCP-10G 128K read latency >= 4.2x oAF (§5.2 reports 4.2x)",
+        format!("measured {lat_ratio_10g:.2}x"),
+        lat_ratio_10g >= 4.2 * 0.8,
+    ));
+    let lat_ratio_25g = g(&lat_write, "TCP-25G", 1) / g(&lat_write, "NVMe-oAF", 1);
+    rep.checks.push(ShapeCheck::holds(
+        "TCP-25G 128K write latency >= 2.97x oAF (§5.2 reports 2.97x)",
+        format!("measured {lat_ratio_25g:.2}x"),
+        lat_ratio_25g >= 2.97 * 0.8,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "oAF ~= 1.78x RDMA for 128K reads x4 SSDs (§5.2)",
+        1.78,
+        g(&bw_read, "NVMe-oAF", 1) / g(&bw_read, "RDMA-56G", 1),
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "TCP-25G ~= TCP-10G for 4K workloads (§5.2)",
+        format!(
+            "read 4K: 25G {:.0} vs 10G {:.0} MiB/s",
+            g(&bw_read, "TCP-25G", 0),
+            g(&bw_read, "TCP-10G", 0)
+        ),
+        (g(&bw_read, "TCP-25G", 0) / g(&bw_read, "TCP-10G", 0)) < 1.5,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "TCP-100G read ~= 1.26x TCP-25G at 128K (§5.2)",
+        1.26,
+        g(&bw_read, "TCP-100G", 1) / g(&bw_read, "TCP-25G", 1),
+        0.4,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "TCP-100G write ~= 1.48x TCP-25G at 128K (§5.2)",
+        1.48,
+        g(&bw_write, "TCP-100G", 1) / g(&bw_write, "TCP-25G", 1),
+        0.4,
+    ));
+
+    rep.tables = vec![bw_read, bw_write, lat_read, lat_write];
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig11_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

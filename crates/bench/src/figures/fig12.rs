@@ -1,0 +1,116 @@
+//! Fig. 12: latency breakdown of NVMe-oAF vs the other fabrics (§5.3).
+//!
+//! Anchors: oAF cuts 128 KiB read latency by ≈50%/43%/33% vs
+//! TCP-10G/25G/100G; zero-copy + flow control shrink the communication
+//! component; the write "other" component shrinks because the buffer
+//! lives in shared memory; at 4K the oAF communication time is comparable
+//! to TCP (control messages dominate small I/O, §5.5).
+
+use oaf_core::sim::run_uniform;
+use oaf_simnet::units::KIB;
+
+use crate::config::{full_fabrics, workload};
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig12",
+        "NVMe-oAF latency breakdown vs existing transports",
+        "4 clients -> 4 SSDs, sequential, QD128, 4K & 128K; components in µs",
+    );
+
+    let mut total_read = std::collections::HashMap::new();
+    for &(label, io) in &[("4K", 4 * KIB), ("128K", 128 * KIB)] {
+        let mut tr = Table::new(
+            format!("{label} read breakdown (µs)"),
+            &["io", "comm", "other"],
+        );
+        let mut tw = Table::new(
+            format!("{label} write breakdown (µs)"),
+            &["io", "comm", "other"],
+        );
+        for (name, fabric) in full_fabrics() {
+            let r = run_uniform(fabric, 4, workload(io, 1.0));
+            let w = run_uniform(fabric, 4, workload(io, 0.0));
+            let br = r.reads.mean_breakdown();
+            let bw = w.writes.mean_breakdown();
+            tr.row(name, vec![br.io_us, br.comm_us, br.other_us]);
+            tw.row(name, vec![bw.io_us, bw.comm_us, bw.other_us]);
+            if label == "128K" {
+                total_read.insert(name, br.total_us());
+            }
+        }
+        rep.tables.push(tr);
+        rep.tables.push(tw);
+    }
+
+    // §5.3 reports 50/43/33% read-latency cuts vs TCP-10/25/100G. In the
+    // fixed-QD closed loop the cut tracks the bandwidth gain (Little's
+    // law), so the checks assert the paper's ordering and at-least-paper
+    // magnitude rather than the exact percentages (see EXPERIMENTS.md).
+    let red = |tcp: &str| 1.0 - total_read["NVMe-oAF"] / total_read[tcp];
+    rep.checks.push(ShapeCheck::holds(
+        "oAF cuts 128K read latency vs every TCP speed, most vs 10G (§5.3: 50/43/33%)",
+        format!(
+            "cuts: vs 10G {:.0}%, vs 25G {:.0}%, vs 100G {:.0}%",
+            red("TCP-10G") * 100.0,
+            red("TCP-25G") * 100.0,
+            red("TCP-100G") * 100.0
+        ),
+        red("TCP-10G") >= 0.45
+            && red("TCP-25G") >= 0.40
+            && red("TCP-100G") >= 0.30
+            && red("TCP-10G") >= red("TCP-25G")
+            && red("TCP-25G") >= red("TCP-100G") * 0.95,
+    ));
+    // Write "other" shrinks (buffer lives in shm): compare oAF vs TCP-25G
+    // on the 128K write panel (table 3).
+    let tw = &rep.tables[3];
+    let other = |r: &str| tw.get(r, 2).unwrap_or(f64::NAN);
+    rep.checks.push(ShapeCheck::holds(
+        "oAF shrinks the write 'other' component (buffer resides in shm, §5.3)",
+        format!(
+            "other: oAF {:.1}µs vs TCP-25G {:.1}µs",
+            other("NVMe-oAF"),
+            other("TCP-25G")
+        ),
+        other("NVMe-oAF") < 0.6 * other("TCP-25G"),
+    ));
+    // 4K: oAF comm comparable to TCP (control dominates, §5.5).
+    let tr4 = &rep.tables[0];
+    let comm4 = |r: &str| tr4.get(r, 1).unwrap_or(f64::NAN);
+    rep.checks.push(ShapeCheck::holds(
+        "at 4K the oAF communication time is comparable to TCP (control messages dominate, §5.5)",
+        format!(
+            "comm 4K: oAF {:.1}µs vs TCP-25G {:.1}µs",
+            comm4("NVMe-oAF"),
+            comm4("TCP-25G")
+        ),
+        comm4("NVMe-oAF") > 0.25 * comm4("TCP-25G"),
+    ));
+    // 128K multi-stream: oAF comm ~ RDMA comm (§5.5).
+    let tr128 = &rep.tables[2];
+    let comm128 = |r: &str| tr128.get(r, 1).unwrap_or(f64::NAN);
+    rep.checks.push(ShapeCheck::holds(
+        "at 128K with multiple streams, oAF and RDMA comm times are similar (§5.5)",
+        format!(
+            "comm 128K: oAF {:.1}µs vs RDMA {:.1}µs",
+            comm128("NVMe-oAF"),
+            comm128("RDMA-56G")
+        ),
+        comm128("NVMe-oAF") < 3.0 * comm128("RDMA-56G")
+            && comm128("RDMA-56G") < 3.0 * comm128("NVMe-oAF"),
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig12_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 14: concurrency — bandwidth vs queue depth (§5.5).
+//!
+//! Single queue pair, sequential 128 KiB reads, queue depth swept 1..128.
+//! Anchors: TCP and RoCE stop improving after QD≈8; oAF's lock-free
+//! double buffer keeps scaling to a far higher plateau; at QD1 oAF shows
+//! no big win (control-plane overhead dominates, §5.5).
+
+use oaf_core::sim::{run_uniform, FabricKind, ShmVariant};
+use oaf_simnet::units::KIB;
+
+use crate::config::workload;
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig14",
+        "Concurrency: bandwidth vs queue depth, 128KiB sequential read",
+        "1 stream (single QP), QD in {1,2,4,...,128}",
+    );
+
+    let qds = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let fabrics = [
+        ("TCP-25G", FabricKind::TcpStock { gbps: 25.0 }),
+        ("TCP-100G", FabricKind::TcpStock { gbps: 100.0 }),
+        ("RoCE-100G", FabricKind::Roce),
+        (
+            "NVMe-oAF",
+            FabricKind::Shm {
+                variant: ShmVariant::ZeroCopy,
+            },
+        ),
+    ];
+
+    let headers: Vec<String> = qds.iter().map(|q| format!("QD{q}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("Bandwidth (MiB/s)", &header_refs);
+    let mut curves = std::collections::HashMap::new();
+    for (name, fabric) in fabrics {
+        let curve: Vec<f64> = qds
+            .iter()
+            .map(|&qd| {
+                run_uniform(fabric, 1, workload(128 * KIB, 1.0).with_queue_depth(qd))
+                    .bandwidth_mib()
+            })
+            .collect();
+        t.row(name, curve.clone());
+        curves.insert(name, curve);
+    }
+    rep.tables.push(t);
+
+    let gain = |c: &[f64], from: usize, to: usize| c[to] / c[from];
+    let tcp = &curves["TCP-25G"];
+    let roce = &curves["RoCE-100G"];
+    let oaf = &curves["NVMe-oAF"];
+
+    rep.checks.push(ShapeCheck::holds(
+        "TCP bandwidth is nearly constant past QD8 (§5.5)",
+        format!("TCP-25G QD128/QD8 = {:.2}", gain(tcp, 3, 7)),
+        gain(tcp, 3, 7) < 1.25,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "RoCE bandwidth is nearly constant past QD8 (§5.5)",
+        format!("RoCE QD128/QD8 = {:.2}", gain(roce, 3, 7)),
+        gain(roce, 3, 7) < 1.25,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "oAF keeps scaling past QD8 (§5.5)",
+        format!("oAF QD128/QD8 = {:.2}", gain(oaf, 3, 7)),
+        gain(oaf, 3, 7) > 1.3,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "at QD1 oAF shows no significant performance (control plane dominates, §5.5)",
+        format!(
+            "QD1: oAF {:.0} MiB/s = {:.0}% of its own plateau ({:.0})",
+            oaf[0],
+            100.0 * oaf[0] / oaf[7],
+            oaf[7]
+        ),
+        oaf[0] < 0.25 * oaf[7] && oaf[0] < 3.0 * curves["TCP-100G"][0],
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "oAF's plateau is far above TCP's (§5.5)",
+        format!("QD128: oAF {:.0} vs TCP-25G {:.0} MiB/s", oaf[7], tcp[7]),
+        oaf[7] > 2.5 * tcp[7],
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig14_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 16: h5bench config-1 vs NFS (§5.7.1).
+//!
+//! One dataset of 16M particles written and read through the VOL.
+//! Anchors: NVMe-oAF ≈ 5.95× NFS write bandwidth and ≈ 5.68× NFS read
+//! bandwidth — the single large `H5Dwrite` streams through the
+//! shared-memory channel at full depth, while NFS is drain-/server-
+//! limited.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use oaf_core::sim::{FabricKind, ShmVariant};
+use oaf_h5::format::MemExtent;
+use oaf_h5::kernel::{run_read, run_write, KernelConfig};
+use oaf_h5::nfs::{replay_read, replay_write, NfsParams};
+use oaf_h5::replay::replay;
+use oaf_h5::vol::{H5Vol, TracingExtent};
+use oaf_h5::IoTrace;
+use oaf_simnet::units::KIB;
+
+use crate::{FigureReport, ShapeCheck, Table};
+
+const OAF: FabricKind = FabricKind::Shm {
+    variant: ShmVariant::ZeroCopy,
+};
+/// The adaptive fabric's slot size: I/Os split at this boundary.
+const SLOT: u64 = 128 * KIB;
+
+/// Captures `(write_trace, read_trace)` for a kernel configuration.
+pub fn capture_traces(cfg: &KernelConfig) -> (IoTrace, IoTrace) {
+    let hint = Rc::new(Cell::new(1usize));
+    let capacity = (cfg.total_bytes() + (1 << 20)) as usize;
+    let mut vol = H5Vol::create(TracingExtent::new(MemExtent::new(capacity), hint.clone()))
+        .expect("container");
+    run_write(&mut vol, cfg, &hint).expect("write kernel");
+    let after_write = vol.extent().trace().len();
+    run_read(&mut vol, cfg, &hint, false).expect("read kernel");
+    let all = vol.extent().trace().records();
+    let mut wt = IoTrace::new();
+    for &r in &all[..after_write] {
+        wt.push(r);
+    }
+    let mut rt = IoTrace::new();
+    for &r in &all[after_write..] {
+        rt.push(r);
+    }
+    (wt, rt)
+}
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig16",
+        "h5bench config-1 (16M particles, 1 dataset): NVMe-oAF vs NFS",
+        "write + full-read kernels via the VOL; oAF = zero-copy shm channel, NFS = async 25G mount",
+    );
+
+    let cfg = KernelConfig::config1();
+    let (wt, rt) = capture_traces(&cfg);
+    let nfs = NfsParams::paper_mount();
+
+    let oaf_w = replay(&wt, OAF, SLOT).bandwidth_mib();
+    let oaf_r = replay(&rt, OAF, SLOT).bandwidth_mib();
+    let nfs_w = replay_write(&wt, &nfs).bandwidth_mib();
+    let nfs_r = replay_read(&rt, &nfs).bandwidth_mib();
+
+    let mut t = Table::new("Bandwidth (MiB/s)", &["write", "read"]);
+    t.row("NVMe-oAF", vec![oaf_w, oaf_r]);
+    t.row("NFS", vec![nfs_w, nfs_r]);
+    rep.tables.push(t);
+
+    rep.checks.push(ShapeCheck::ratio(
+        "oAF ~= 5.95x NFS write bandwidth for one dataset (§5.7.1)",
+        5.95,
+        oaf_w / nfs_w,
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "oAF ~= 5.68x NFS read bandwidth for one dataset (§5.7.1)",
+        5.68,
+        oaf_r / nfs_r,
+        0.45,
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig16_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 17: h5bench config-2 and I/O coalescing (§5.7.1).
+//!
+//! Eight datasets of 8M particles each. Anchors: *without* coalescing,
+//! the interleaved pattern defeats the fabric's pipelining and plain
+//! NVMe-oAF falls to ≈0.53× (write) / ≈0.41× (read) of NFS, whose async
+//! mount buffers the same pattern happily; *with* the application-
+//! agnostic coalescing optimization, NVMe-oAF recovers to ≈6× (write)
+//! and ≈7× (read) of NFS.
+
+use oaf_core::sim::{FabricKind, ShmVariant};
+use oaf_h5::kernel::{KernelConfig, STREAM_DEPTH};
+use oaf_h5::nfs::{replay_read, replay_write, NfsParams};
+use oaf_h5::replay::replay;
+use oaf_simnet::units::{KIB, MIB};
+
+use crate::figures::fig16::capture_traces;
+use crate::{FigureReport, ShapeCheck, Table};
+
+const OAF: FabricKind = FabricKind::Shm {
+    variant: ShmVariant::ZeroCopy,
+};
+const SLOT: u64 = 128 * KIB;
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig17",
+        "h5bench config-2 (8 datasets x 8M particles): NFS vs plain oAF vs oAF+coalescing",
+        "interleaved multi-dataset kernels; coalescing batches up to 2MiB at full depth",
+    );
+
+    let cfg = KernelConfig::config2();
+    let (wt, rt) = capture_traces(&cfg);
+    let nfs = NfsParams::paper_mount();
+
+    let nfs_w = replay_write(&wt, &nfs).bandwidth_mib();
+    let nfs_r = replay_read(&rt, &nfs).bandwidth_mib();
+    let plain_w = replay(&wt, OAF, SLOT).bandwidth_mib();
+    let plain_r = replay(&rt, OAF, SLOT).bandwidth_mib();
+    let co_w = replay(&wt.coalesce(2 * MIB, STREAM_DEPTH), OAF, SLOT).bandwidth_mib();
+    let co_r = replay(&rt.coalesce(2 * MIB, STREAM_DEPTH), OAF, SLOT).bandwidth_mib();
+
+    let mut t = Table::new("Bandwidth (MiB/s)", &["write", "read"]);
+    t.row("NFS", vec![nfs_w, nfs_r]);
+    t.row("NVMe-oAF (plain)", vec![plain_w, plain_r]);
+    t.row("NVMe-oAF + coalescing", vec![co_w, co_r]);
+    rep.tables.push(t);
+
+    rep.checks.push(ShapeCheck::ratio(
+        "plain oAF write ~= 0.53x NFS for 8 datasets (§5.7.1)",
+        0.53,
+        plain_w / nfs_w,
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "plain oAF read ~= 0.41x NFS for 8 datasets (§5.7.1)",
+        0.41,
+        plain_r / nfs_r,
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "coalescing lifts oAF write to ~6x NFS (§5.7.1)",
+        6.0,
+        co_w / nfs_w,
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "coalescing lifts oAF read to ~7x NFS (§5.7.1)",
+        7.0,
+        co_r / nfs_r,
+        0.45,
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig17_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

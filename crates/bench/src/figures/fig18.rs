@@ -1,0 +1,107 @@
+//! Fig. 18: scale-out case-1 (§5.7.2).
+//!
+//! Four clients on one node; each talks to an SSD on a *different*
+//! physical node — except the fraction that has been migrated next to
+//! its target and uses the shared-memory channel. Legend `SHM (25%)`
+//! means one of four clients is local. h5bench config-1 kernels are the
+//! workload (16M particles, one contiguous 1-D dataset ⇒ large
+//! sequential I/O). Anchors: SHM(75%) ≈ 1.81× write and ≈ 2.98× read
+//! aggregate bandwidth vs SHM(0%).
+
+use oaf_core::sim::{run as sim_run, ExperimentSpec, FabricKind, SimParams, StreamConfig};
+use oaf_simnet::units::MIB;
+
+use crate::config::workload;
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Builds the case-1 topology: 4 clients in VM0 on node A; targets on
+/// nodes B..E, each behind its own wire; `local` of them co-located.
+fn spec(local: usize, read_fraction: f64) -> ExperimentSpec {
+    let streams = (0..4)
+        .map(|i| StreamConfig {
+            fabric: FabricKind::Adaptive {
+                local: i < local,
+                tcp_gbps: 25.0,
+            },
+            client_vm: 0,
+            // Each remote target lives in its own VM; local targets too
+            // (they still have their own storage-service VM on node A).
+            target_vm: 1 + i,
+            wire: i,
+        })
+        .collect();
+    ExperimentSpec {
+        streams,
+        workload: workload(MIB, read_fraction),
+        params: SimParams::paper_testbed(),
+    }
+}
+
+/// Runs the figure.
+pub fn run_figure() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig18",
+        "Scale-out case-1: 4 clients, remote SSDs on other nodes, SHM fraction swept",
+        "h5bench config-1 class workload (large sequential I/O), QD128, TCP-25G remote links",
+    );
+
+    let fractions = [
+        (0usize, "SHM (0%)"),
+        (1, "SHM (25%)"),
+        (2, "SHM (50%)"),
+        (3, "SHM (75%)"),
+    ];
+    let mut t = Table::new("Aggregate bandwidth (MiB/s)", &["write", "read"]);
+    let mut write_bw = Vec::new();
+    let mut read_bw = Vec::new();
+    for (local, label) in fractions {
+        let w = sim_run(&spec(local, 0.0)).bandwidth_mib();
+        let r = sim_run(&spec(local, 1.0)).bandwidth_mib();
+        t.row(label, vec![w, r]);
+        write_bw.push(w);
+        read_bw.push(r);
+    }
+    rep.tables.push(t);
+
+    // Write-side improvement ratios run hot because the model's
+    // single-stream TCP write level sits below the paper's (see
+    // EXPERIMENTS.md); the read-side ratios — the headline — are in band.
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(75%) improves aggregate write bandwidth ~1.81x vs SHM(0%) (§5.7.2)",
+        1.81,
+        write_bw[3] / write_bw[0],
+        0.60,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(75%) improves aggregate read bandwidth ~2.98x vs SHM(0%) (§5.7.2)",
+        2.98,
+        read_bw[3] / read_bw[0],
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "bandwidth grows monotonically with the SHM fraction",
+        format!(
+            "write {:?}, read {:?}",
+            write_bw.iter().map(|x| x.round()).collect::<Vec<_>>(),
+            read_bw.iter().map(|x| x.round()).collect::<Vec<_>>()
+        ),
+        write_bw.windows(2).all(|w| w[1] >= w[0] * 0.98)
+            && read_bw.windows(2).all(|w| w[1] >= w[0] * 0.98),
+    ));
+    rep
+}
+
+/// Alias used by the figure registry.
+pub fn run() -> FigureReport {
+    run_figure()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig18_shapes_hold() {
+        let r = super::run_figure();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 19: scale-out case-2 (§5.7.2).
+//!
+//! Four client/target pairs, each pair co-located on its own node (the
+//! §3.1 topology scaled to four nodes); the SHM fraction controls how
+//! many pairs use the shared-memory channel instead of TCP-25G. Anchors:
+//! SHM(25%) improves aggregate bandwidth by ≈37% (write) and ≈66%
+//! (read); SHM(100%) reaches ≈2.34× (write) and ≈4.55× (read) vs
+//! TCP-25G.
+
+use oaf_core::sim::{run as sim_run, ExperimentSpec, FabricKind, SimParams, StreamConfig};
+use oaf_simnet::units::MIB;
+
+use crate::config::workload;
+use crate::{FigureReport, ShapeCheck, Table};
+
+/// Case-2 topology: pair `i` has client VM `2i` and target VM `2i+1` on
+/// node `i` with its own NIC.
+fn spec(local: usize, read_fraction: f64) -> ExperimentSpec {
+    let streams = (0..4)
+        .map(|i| StreamConfig {
+            fabric: FabricKind::Adaptive {
+                local: i < local,
+                tcp_gbps: 25.0,
+            },
+            client_vm: 2 * i,
+            target_vm: 2 * i + 1,
+            wire: i,
+        })
+        .collect();
+    ExperimentSpec {
+        streams,
+        workload: workload(MIB, read_fraction),
+        params: SimParams::paper_testbed(),
+    }
+}
+
+/// Runs the figure.
+pub fn run() -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig19",
+        "Scale-out case-2: co-located pairs on 4 nodes, SHM fraction swept",
+        "h5bench config-1 class workload (large sequential I/O), QD128, TCP-25G fallback",
+    );
+
+    let fractions = [
+        (0usize, "SHM (0%)"),
+        (1, "SHM (25%)"),
+        (2, "SHM (50%)"),
+        (3, "SHM (75%)"),
+        (4, "SHM (100%)"),
+    ];
+    let mut t = Table::new("Aggregate bandwidth (MiB/s)", &["write", "read"]);
+    let mut write_bw = Vec::new();
+    let mut read_bw = Vec::new();
+    for (local, label) in fractions {
+        let w = sim_run(&spec(local, 0.0)).bandwidth_mib();
+        let r = sim_run(&spec(local, 1.0)).bandwidth_mib();
+        t.row(label, vec![w, r]);
+        write_bw.push(w);
+        read_bw.push(r);
+    }
+    rep.tables.push(t);
+
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(25%) improves aggregate write bandwidth by ~37% (§5.7.2)",
+        1.37,
+        write_bw[1] / write_bw[0],
+        0.35,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(25%) improves aggregate read bandwidth by ~66% (§5.7.2)",
+        1.66,
+        read_bw[1] / read_bw[0],
+        0.35,
+    ));
+    // Same write-side caveat as Fig. 18 (see EXPERIMENTS.md).
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(100%) ~= 2.34x write bandwidth vs TCP-25G (§5.7.2)",
+        2.34,
+        write_bw[4] / write_bw[0],
+        0.60,
+    ));
+    rep.checks.push(ShapeCheck::ratio(
+        "SHM(100%) ~= 4.55x read bandwidth vs TCP-25G (§5.7.2)",
+        4.55,
+        read_bw[4] / read_bw[0],
+        0.45,
+    ));
+    rep.checks.push(ShapeCheck::holds(
+        "bandwidth grows with the partially-remote fraction",
+        format!(
+            "write {:?}, read {:?}",
+            write_bw.iter().map(|x| x.round()).collect::<Vec<_>>(),
+            read_bw.iter().map(|x| x.round()).collect::<Vec<_>>()
+        ),
+        write_bw.windows(2).all(|w| w[1] >= w[0] * 0.98)
+            && read_bw.windows(2).all(|w| w[1] >= w[0] * 0.98),
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "heavy simulation; run with --release")]
+    fn fig19_shapes_hold() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,69 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod table1;
+
+use crate::FigureReport;
+
+/// All figure ids in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "table1",
+        "fig2",
+        "fig3",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "ablate-slots",
+        "ablate-control",
+        "ablate-coalesce",
+    ]
+}
+
+/// Runs one figure by id.
+pub fn run(id: &str) -> Option<FigureReport> {
+    Some(match id {
+        "table1" => table1::run(),
+        "fig2" => fig02::run(),
+        "fig3" => fig03::run(),
+        "fig8" => fig08::run(),
+        "fig9" => fig09::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "fig12" => fig12::run(),
+        "fig13" => fig13::run(),
+        "fig14" => fig14::run(),
+        "fig15" => fig15::run(),
+        "fig16" => fig16::run(),
+        "fig17" => fig17::run(),
+        "fig18" => fig18::run(),
+        "fig19" => fig19::run(),
+        "ablate-slots" => ablations::slots(),
+        "ablate-control" => ablations::control_path(),
+        "ablate-coalesce" => ablations::coalesce(),
+        _ => return None,
+    })
+}

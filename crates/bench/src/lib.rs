@@ -1,0 +1,23 @@
+//! The figure-reproduction harness.
+//!
+//! One module per table/figure of the paper's evaluation (§3 and §5).
+//! Each figure module builds the paper's exact workload, runs it through
+//! the simulation models, prints the same rows/series the paper reports,
+//! and evaluates *shape checks* — the qualitative claims the paper makes
+//! about that figure (who wins, by roughly what factor, where crossovers
+//! fall). Absolute numbers are not expected to match the authors'
+//! testbed; the shapes are.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p oaf-bench --release --bin figures -- all
+//! cargo run -p oaf-bench --release --bin figures -- fig11 fig13
+//! cargo run -p oaf-bench --release --bin figures -- --json out.json all
+//! ```
+
+pub mod config;
+pub mod figures;
+pub mod report;
+
+pub use report::{FigureReport, ShapeCheck, Table};

@@ -1,0 +1,220 @@
+//! Report types: printable tables and shape checks.
+
+use serde::Serialize;
+
+/// A labelled data table (one per figure panel).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Panel title (e.g. "Aggregate read bandwidth (MiB/s)").
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub headers: Vec<String>,
+    /// Rows: label + one value per header.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        let label = label.into();
+        assert_eq!(
+            values.len(),
+            self.headers.len(),
+            "row '{label}' arity mismatch"
+        );
+        self.rows.push((label, values));
+        self
+    }
+
+    /// Looks a value up by row label and column index.
+    pub fn get(&self, label: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .and_then(|(_, v)| v.get(col))
+            .copied()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8)
+            .max(4);
+        let col_w = 12usize;
+        out.push_str(&format!("  {:label_w$}", ""));
+        for h in &self.headers {
+            out.push_str(&format!(" {h:>col_w$}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("  {label:label_w$}"));
+            for v in values {
+                let cell = if v.abs() >= 1000.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v:.3}")
+                };
+                out.push_str(&format!(" {cell:>col_w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One qualitative claim from the paper, checked against the measured
+/// values.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShapeCheck {
+    /// What the paper claims (with its section/figure reference).
+    pub claim: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measurement matches the claim's shape.
+    pub pass: bool,
+}
+
+impl ShapeCheck {
+    /// A check comparing a measured ratio to the paper's ratio within a
+    /// tolerance band (shapes, not decimals: default ±40%).
+    pub fn ratio(
+        claim: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        rel_tolerance: f64,
+    ) -> ShapeCheck {
+        let pass =
+            measured.is_finite() && paper > 0.0 && (measured / paper - 1.0).abs() <= rel_tolerance;
+        ShapeCheck {
+            claim: claim.into(),
+            measured: format!(
+                "{measured:.2} (paper: {paper:.2}, tol ±{:.0}%)",
+                rel_tolerance * 100.0
+            ),
+            pass,
+        }
+    }
+
+    /// A check that an ordering/threshold holds.
+    pub fn holds(claim: impl Into<String>, measured: impl Into<String>, pass: bool) -> ShapeCheck {
+        ShapeCheck {
+            claim: claim.into(),
+            measured: measured.into(),
+            pass,
+        }
+    }
+}
+
+/// A fully rendered figure reproduction.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureReport {
+    /// Figure/table id, e.g. "fig11".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Workload/parameter description.
+    pub setup: String,
+    /// Data panels.
+    pub tables: Vec<Table>,
+    /// Shape checks.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, setup: &str) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            setup: setup.into(),
+            tables: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Whether all shape checks passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Renders the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("  setup: {}\n\n", self.setup));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{}] {}\n        measured: {}\n",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim,
+                c.measured
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("bw", &["4K", "128K"]);
+        t.row("TCP-10G", vec![400.0, 1100.0]);
+        t.row("oAF", vec![900.0, 7800.0]);
+        assert_eq!(t.get("oAF", 1), Some(7800.0));
+        assert_eq!(t.get("nope", 0), None);
+        let s = t.render();
+        assert!(s.contains("TCP-10G"));
+        assert!(s.contains("7800"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row("r", vec![1.0]);
+    }
+
+    #[test]
+    fn ratio_check_tolerance() {
+        assert!(ShapeCheck::ratio("x", 7.1, 6.0, 0.4).pass);
+        assert!(!ShapeCheck::ratio("x", 7.1, 2.0, 0.4).pass);
+        assert!(!ShapeCheck::ratio("x", 0.0, 1.0, 0.4).pass);
+    }
+
+    #[test]
+    fn report_renders_and_judges() {
+        let mut r = FigureReport::new("fig0", "test", "setup");
+        r.checks.push(ShapeCheck::holds("a > b", "a=2 b=1", true));
+        assert!(r.all_pass());
+        r.checks.push(ShapeCheck::holds("c > d", "c=0 d=1", false));
+        assert!(!r.all_pass());
+        let s = r.render();
+        assert!(s.contains("[PASS]"));
+        assert!(s.contains("[FAIL]"));
+    }
+}

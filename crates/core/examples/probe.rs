@@ -1,0 +1,61 @@
+//! Calibration probe: run one simulated workload and print where the
+//! time went — per-resource utilizations, service breakdown, percentiles.
+//!
+//! Useful when adjusting `SimParams`: the figure harness tells you *that*
+//! a shape broke; this tells you *which* resource moved.
+//!
+//! ```text
+//! cargo run -p oaf-core --release --example probe -- [fabric] [io_kib] [streams] [qd]
+//!   fabric ∈ tcp10 | tcp25 | tcp100 | rdma | roce | oaf
+//! cargo run -p oaf-core --release --example probe -- tcp25 128 4 128
+//! ```
+
+use oaf_core::sim::{run_probed, ExperimentSpec, FabricKind, ShmVariant, WorkloadSpec};
+use oaf_simnet::time::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fabric = match args.first().map(String::as_str).unwrap_or("oaf") {
+        "tcp10" => FabricKind::TcpStock { gbps: 10.0 },
+        "tcp25" => FabricKind::TcpStock { gbps: 25.0 },
+        "tcp100" => FabricKind::TcpStock { gbps: 100.0 },
+        "rdma" => FabricKind::RdmaIb,
+        "roce" => FabricKind::Roce,
+        "oaf" => FabricKind::Shm {
+            variant: ShmVariant::ZeroCopy,
+        },
+        other => {
+            eprintln!("unknown fabric '{other}' (tcp10|tcp25|tcp100|rdma|roce|oaf)");
+            std::process::exit(2);
+        }
+    };
+    let io_kib: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let streams: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let qd: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(128);
+
+    let wl = WorkloadSpec::new(io_kib * 1024, 1.0)
+        .with_queue_depth(qd)
+        .with_duration(SimDuration::from_millis(400));
+    let spec = ExperimentSpec::uniform(fabric, streams, wl);
+    let probe = run_probed(&spec);
+    let m = &probe.metrics;
+
+    println!("{fabric:?}: {streams} stream(s), {io_kib} KiB seq read, QD{qd}");
+    println!(
+        "  bandwidth {:.0} MiB/s over {} ops",
+        m.bandwidth_mib(),
+        m.total_ops()
+    );
+    if let Some(p) = m.percentiles() {
+        println!(
+            "  latency (µs): p50 {:.0} | p99 {:.0} | p99.99 {:.0}",
+            p.p50, p.p99, p.p9999
+        );
+    }
+    let b = m.reads.mean_breakdown();
+    println!(
+        "  service breakdown (µs): io {:.1} | comm {:.1} | other {:.1}",
+        b.io_us, b.comm_us, b.other_us
+    );
+    probe.print_utilization();
+}

@@ -1,0 +1,292 @@
+//! The Buffer Manager (§4.1, §4.4.3).
+//!
+//! Allocates I/O buffers from the right place for the selected channel:
+//!
+//! * **TCP path** — a DPDK-style pool: fixed-size, cache-line-aligned,
+//!   pre-allocated buffers with a free-list, mirroring SPDK's DMA-able
+//!   memory pools (buffers are recycled, never freed, §4.1 "re-uses it
+//!   when possible");
+//! * **shared-memory path** — zero-copy leases: the application buffer is
+//!   a slot of the double buffer itself, so publishing costs nothing
+//!   (§4.4.3).
+//!
+//! [`IoBuffer`] unifies the two so co-designed applications (SPDK `perf`,
+//! h5bench in the paper; the examples here) write one allocation call and
+//! get zero-copy automatically when the fabric is local.
+
+use std::sync::Arc;
+
+use oaf_shmem::lease::ZcBuf;
+use oaf_shmem::ShmError;
+use parking_lot::Mutex;
+
+use crate::payload_impl::ShmPayloadChannel;
+
+/// A fixed-size pooled buffer pool (the DPDK mempool analog).
+pub struct DpdkPool {
+    buf_size: usize,
+    free: Mutex<Vec<Box<[u8]>>>,
+    capacity: usize,
+}
+
+impl DpdkPool {
+    /// Pre-allocates `capacity` buffers of `buf_size` bytes.
+    pub fn new(buf_size: usize, capacity: usize) -> Arc<Self> {
+        assert!(buf_size > 0 && capacity > 0);
+        let free = (0..capacity)
+            .map(|_| vec![0u8; buf_size].into_boxed_slice())
+            .collect();
+        Arc::new(DpdkPool {
+            buf_size,
+            free: Mutex::new(free),
+            capacity,
+        })
+    }
+
+    /// Buffer size of the pool.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Total buffers in the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Takes a buffer; `None` when exhausted (caller backs off, exactly
+    /// like SPDK's mempool get).
+    pub fn get(self: &Arc<Self>, len: usize) -> Option<PooledBuf> {
+        if len > self.buf_size {
+            return None;
+        }
+        let raw = self.free.lock().pop()?;
+        Some(PooledBuf {
+            pool: self.clone(),
+            raw: Some(raw),
+            len,
+        })
+    }
+}
+
+/// A buffer checked out of a [`DpdkPool`]; returns on drop.
+pub struct PooledBuf {
+    pool: Arc<DpdkPool>,
+    raw: Option<Box<[u8]>>,
+    len: usize,
+}
+
+impl PooledBuf {
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.raw.as_ref().expect("present until drop")[..self.len]
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.raw.as_mut().expect("present until drop")[..self.len]
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(raw) = self.raw.take() {
+            self.pool.free.lock().push(raw);
+        }
+    }
+}
+
+/// An application I/O buffer from the Buffer Manager: pooled DRAM for the
+/// TCP channel, or a zero-copy shared-memory lease for the local channel.
+pub enum IoBuffer {
+    /// DPDK-pool buffer (TCP path).
+    Pooled(PooledBuf),
+    /// Zero-copy lease inside the shared region (local path).
+    Shm(ZcBuf),
+}
+
+impl IoBuffer {
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        match self {
+            IoBuffer::Pooled(b) => b.len(),
+            IoBuffer::Shm(b) => b.len(),
+        }
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this buffer lives in shared memory (zero-copy publish).
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self, IoBuffer::Shm(_))
+    }
+}
+
+impl std::ops::Deref for IoBuffer {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            IoBuffer::Pooled(b) => b,
+            IoBuffer::Shm(b) => b,
+        }
+    }
+}
+
+impl std::ops::DerefMut for IoBuffer {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        match self {
+            IoBuffer::Pooled(b) => b,
+            IoBuffer::Shm(b) => b,
+        }
+    }
+}
+
+/// The Buffer Manager: allocation, alignment, re-use and reclamation for
+/// one connection.
+pub struct BufferManager {
+    pool: Arc<DpdkPool>,
+    shm: Option<Arc<ShmPayloadChannel>>,
+}
+
+impl BufferManager {
+    /// Creates a manager backed by a DPDK-style pool, optionally with a
+    /// shared-memory channel for zero-copy leases.
+    pub fn new(pool: Arc<DpdkPool>, shm: Option<Arc<ShmPayloadChannel>>) -> Self {
+        BufferManager { pool, shm }
+    }
+
+    /// Allocates an I/O buffer of `len` bytes, preferring a zero-copy
+    /// shared-memory lease when the channel allows it (§4.4.3: "creates
+    /// application buffers directly on shared memory").
+    pub fn alloc(&self, len: usize) -> Result<IoBuffer, ShmError> {
+        if let Some(shm) = &self.shm {
+            use oaf_nvmeof::payload::PayloadChannel as _;
+            if len <= shm.max_payload() {
+                match shm.endpoint().lease(len) {
+                    Ok(lease) => return Ok(IoBuffer::Shm(lease)),
+                    Err(ShmError::NoFreeSlot) => {
+                        // All slots in flight: fall back to the pool so the
+                        // application never blocks on allocation.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.pool
+            .get(len)
+            .map(IoBuffer::Pooled)
+            .ok_or(ShmError::NoFreeSlot)
+    }
+
+    /// Whether zero-copy leases are available.
+    pub fn zero_copy_available(&self) -> bool {
+        self.shm.is_some()
+    }
+
+    /// Largest buffer [`BufferManager::alloc`] can satisfy.
+    pub fn max_alloc(&self) -> usize {
+        self.pool.buf_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_shmem::channel::Side;
+    use oaf_shmem::ShmChannel;
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let pool = DpdkPool::new(4096, 2);
+        assert_eq!(pool.available(), 2);
+        let a = pool.get(100).unwrap();
+        let b = pool.get(4096).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert!(pool.get(1).is_none());
+        drop(a);
+        assert_eq!(pool.available(), 1);
+        drop(b);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn pool_rejects_oversize() {
+        let pool = DpdkPool::new(1024, 1);
+        assert!(pool.get(1025).is_none());
+        assert_eq!(pool.available(), 1, "rejection must not leak");
+    }
+
+    #[test]
+    fn pooled_buf_views_logical_len() {
+        let pool = DpdkPool::new(4096, 1);
+        let mut b = pool.get(16).unwrap();
+        b.copy_from_slice(&[3u8; 16]);
+        assert_eq!(b.len(), 16);
+        assert_eq!(&b[..], &[3u8; 16]);
+    }
+
+    #[test]
+    fn manager_prefers_zero_copy_when_local() {
+        let ch = ShmChannel::allocate(4, 4096);
+        let shm = ShmPayloadChannel::new(&ch, Side::Client);
+        let mgr = BufferManager::new(DpdkPool::new(8192, 4), Some(shm));
+        assert!(mgr.zero_copy_available());
+        let buf = mgr.alloc(1024).unwrap();
+        assert!(buf.is_zero_copy());
+        // Oversized for a slot: falls back to the pool.
+        let buf = mgr.alloc(8192).unwrap();
+        assert!(!buf.is_zero_copy());
+    }
+
+    #[test]
+    fn manager_without_shm_uses_pool() {
+        let mgr = BufferManager::new(DpdkPool::new(4096, 2), None);
+        assert!(!mgr.zero_copy_available());
+        let buf = mgr.alloc(64).unwrap();
+        assert!(!buf.is_zero_copy());
+        assert_eq!(buf.len(), 64);
+    }
+
+    #[test]
+    fn manager_falls_back_when_slots_exhausted() {
+        let ch = ShmChannel::allocate(1, 4096);
+        let shm = ShmPayloadChannel::new(&ch, Side::Client);
+        let mgr = BufferManager::new(DpdkPool::new(4096, 2), Some(shm));
+        let a = mgr.alloc(64).unwrap();
+        assert!(a.is_zero_copy());
+        let b = mgr.alloc(64).unwrap();
+        assert!(!b.is_zero_copy(), "slot exhausted, must use pool");
+    }
+
+    #[test]
+    fn io_buffer_write_through_deref() {
+        let ch = ShmChannel::allocate(2, 128);
+        let shm = ShmPayloadChannel::new(&ch, Side::Client);
+        let mgr = BufferManager::new(DpdkPool::new(128, 1), Some(shm));
+        let mut buf = mgr.alloc(5).unwrap();
+        buf.copy_from_slice(b"12345");
+        assert_eq!(&buf[..], b"12345");
+        assert_eq!(buf.len(), 5);
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! The Connection Manager (§4.1, Fig. 5).
+//!
+//! Establishes an adaptive-fabric connection between an NVMe-oF client
+//! and target:
+//!
+//! 1. the client opens the TCP connection (here: a [`MemTransport`]
+//!    pair) and both sides create their AF endpoint objects;
+//! 2. the Connection Manager consults [`HostRegistry`] — the helper
+//!    process — for locality; for co-located pairs an isolated
+//!    shared-memory channel is hot-plugged and announced on the flag
+//!    pages (§4.2);
+//! 3. connection configuration parameters travel in ICReq/ICResp: the
+//!    client requests the AF capabilities it can use, the target grants
+//!    the intersection;
+//! 4. both AF endpoint objects connect; data can flow.
+//!
+//! Teardown reclaims the region through [`HostRegistry::unplug`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oaf_nvmeof::initiator::{Initiator, InitiatorOptions};
+use oaf_nvmeof::nvme::controller::Controller;
+use oaf_nvmeof::payload::PayloadChannel;
+use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
+use oaf_nvmeof::target::{spawn_target, TargetConfig, TargetHandle};
+use oaf_nvmeof::transport::MemTransport;
+use oaf_nvmeof::{FlowMode, NvmeofError};
+use oaf_shmem::channel::Side;
+
+use crate::endpoint::{AfEndpoint, ChannelKind};
+use crate::locality::{HostRegistry, ProcessId};
+use crate::payload_impl::ShmPayloadChannel;
+
+/// Fabric-level connection settings.
+#[derive(Clone, Debug)]
+pub struct FabricSettings {
+    /// Double-buffer slots per direction (sized to the queue depth,
+    /// §4.4.1).
+    pub depth: usize,
+    /// Slot size in bytes (sized to the I/O size, §4.4.1).
+    pub slot_size: usize,
+    /// Write flow-control regime once shared memory is active.
+    pub flow: FlowMode,
+    /// In-capsule limit for the TCP path.
+    pub in_capsule_max: usize,
+    /// Read chunk size for the TCP path (§4.5).
+    pub read_chunk: usize,
+}
+
+impl Default for FabricSettings {
+    fn default() -> Self {
+        FabricSettings {
+            depth: 128,
+            slot_size: 128 * 1024,
+            flow: FlowMode::InCapsule,
+            in_capsule_max: 8 * 1024,
+            read_chunk: 128 * 1024,
+        }
+    }
+}
+
+/// An established adaptive-fabric connection: the client handle plus the
+/// running target.
+pub struct EstablishedFabric {
+    /// The connected initiator.
+    pub initiator: Initiator<MemTransport>,
+    /// The client's AF endpoint object.
+    pub endpoint: Arc<AfEndpoint>,
+    /// The client-side shared-memory payload channel, when local.
+    pub shm: Option<Arc<ShmPayloadChannel>>,
+    /// Handle to the target reactor.
+    pub target: TargetHandle,
+}
+
+/// The Connection Manager.
+pub struct ConnectionManager {
+    registry: Arc<HostRegistry>,
+}
+
+impl ConnectionManager {
+    /// Creates a manager over a helper-process registry.
+    pub fn new(registry: Arc<HostRegistry>) -> Self {
+        ConnectionManager { registry }
+    }
+
+    /// The registry (for registering processes).
+    pub fn registry(&self) -> &Arc<HostRegistry> {
+        &self.registry
+    }
+
+    /// Establishes a connection between a registered client and target,
+    /// spawning the target reactor over `controller`. Locality decides
+    /// the data channel; everything else follows Fig. 5.
+    pub fn establish(
+        &self,
+        client: ProcessId,
+        target: ProcessId,
+        controller: Controller,
+        settings: &FabricSettings,
+    ) -> Result<EstablishedFabric, NvmeofError> {
+        // Step 1: "TCP" connection + AF endpoint objects.
+        let (client_tr, target_tr) = MemTransport::pair();
+        let endpoint = AfEndpoint::new(client.0);
+
+        // Step 2: locality detection via the helper process (§4.2).
+        let hotplug = self
+            .registry
+            .hotplug(client, target, settings.depth, settings.slot_size);
+        let (client_shm, target_shm) = match &hotplug {
+            Some(hp) => (
+                Some(ShmPayloadChannel::new(&hp.channel, Side::Client)),
+                Some(ShmPayloadChannel::new(&hp.channel, Side::Target)),
+            ),
+            None => (None, None),
+        };
+
+        // Step 3: target side comes up first (it answers the ICReq).
+        let target_cfg = TargetConfig {
+            in_capsule_max: settings.in_capsule_max,
+            read_chunk: settings.read_chunk,
+            af_caps: AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY,
+            target_id: target.0,
+        };
+        let target_handle = spawn_target(
+            target_tr,
+            controller,
+            target_cfg,
+            target_shm.map(|t| t as Arc<dyn PayloadChannel>),
+        );
+
+        // Step 4: client handshake with the capabilities locality allows.
+        let af_caps = if client_shm.is_some() {
+            AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY
+        } else {
+            0
+        };
+        let opts = InitiatorOptions {
+            host_id: client.0,
+            af_caps,
+            flow: settings.flow,
+            maxr2t: 16,
+        };
+        let initiator = Initiator::connect(
+            client_tr,
+            opts,
+            client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
+            Duration::from_secs(5),
+        )?;
+
+        // Step 5: connect the AF endpoint object.
+        let channel = if initiator.shm_active() {
+            ChannelKind::Shm
+        } else {
+            ChannelKind::Tcp
+        };
+        endpoint.connect(target.0, channel);
+
+        Ok(EstablishedFabric {
+            initiator,
+            endpoint,
+            shm: client_shm,
+            target: target_handle,
+        })
+    }
+
+    /// Tears a connection down, reclaiming the shared-memory region.
+    pub fn teardown(
+        &self,
+        client: ProcessId,
+        target: ProcessId,
+        mut fabric: EstablishedFabric,
+    ) -> Result<(), NvmeofError> {
+        fabric.initiator.disconnect()?;
+        fabric.endpoint.close();
+        let result = fabric.target.shutdown();
+        self.registry.unplug(client, target);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_nvmeof::nvme::namespace::Namespace;
+
+    const CLIENT: ProcessId = ProcessId(1);
+    const TARGET: ProcessId = ProcessId(2);
+
+    fn controller() -> Controller {
+        let mut c = Controller::new();
+        c.add_namespace(Namespace::new(1, 4096, 1024));
+        c
+    }
+
+    fn manager(client_host: u64, target_host: u64) -> ConnectionManager {
+        let reg = Arc::new(HostRegistry::new());
+        reg.register(CLIENT, client_host);
+        reg.register(TARGET, target_host);
+        ConnectionManager::new(reg)
+    }
+
+    #[test]
+    fn co_located_pair_selects_shm() {
+        let cm = manager(7, 7);
+        let fabric = cm
+            .establish(CLIENT, TARGET, controller(), &FabricSettings::default())
+            .unwrap();
+        assert!(fabric.initiator.shm_active());
+        assert_eq!(fabric.endpoint.channel(), ChannelKind::Shm);
+        assert!(fabric.shm.is_some());
+        cm.teardown(CLIENT, TARGET, fabric).unwrap();
+    }
+
+    #[test]
+    fn remote_pair_falls_back_to_tcp() {
+        let cm = manager(7, 8);
+        let fabric = cm
+            .establish(CLIENT, TARGET, controller(), &FabricSettings::default())
+            .unwrap();
+        assert!(!fabric.initiator.shm_active());
+        assert_eq!(fabric.endpoint.channel(), ChannelKind::Tcp);
+        assert!(fabric.shm.is_none());
+        cm.teardown(CLIENT, TARGET, fabric).unwrap();
+    }
+
+    #[test]
+    fn io_works_on_both_channels() {
+        for (ch, th) in [(7u64, 7u64), (7, 8)] {
+            let cm = manager(ch, th);
+            let mut fabric = cm
+                .establish(CLIENT, TARGET, controller(), &FabricSettings::default())
+                .unwrap();
+            let data = bytes::Bytes::from(vec![0x5cu8; 128 * 1024]);
+            fabric
+                .initiator
+                .write_blocking(1, 0, 32, data.clone(), Duration::from_secs(5))
+                .unwrap();
+            let back = fabric
+                .initiator
+                .read_blocking(1, 0, 32, 128 * 1024, Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(back, data);
+            cm.teardown(CLIENT, TARGET, fabric).unwrap();
+        }
+    }
+
+    #[test]
+    fn teardown_reclaims_region() {
+        let cm = manager(7, 7);
+        let fabric = cm
+            .establish(CLIENT, TARGET, controller(), &FabricSettings::default())
+            .unwrap();
+        assert!(cm.registry().channel_for(CLIENT, TARGET).is_some());
+        cm.teardown(CLIENT, TARGET, fabric).unwrap();
+        assert!(cm.registry().channel_for(CLIENT, TARGET).is_none());
+    }
+}

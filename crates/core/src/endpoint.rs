@@ -1,0 +1,149 @@
+//! Adaptive-fabric endpoint objects (§4.1).
+//!
+//! The Connection Manager creates one AF endpoint object per side of a
+//! connection. The endpoint records whether the adaptive-fabric channel
+//! finished initialization and which data channel the fabric selected, and
+//! is consulted "before writing to or reading from the AF" (§4.2) — i.e.
+//! it is the runtime's single source of truth for channel selection.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Which data channel the fabric selected for bulk payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Optimized TCP (peer is remote, or shared memory unavailable).
+    Tcp,
+    /// Lock-free shared-memory double buffer (peer is co-located).
+    Shm,
+}
+
+/// Lifecycle of an AF endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EndpointState {
+    /// Created, handshake not finished.
+    Initializing = 0,
+    /// Connected; channel selection final.
+    Connected = 1,
+    /// Torn down; resources reclaimed.
+    Closed = 2,
+}
+
+/// An AF endpoint object, shared between the protocol threads of one side.
+pub struct AfEndpoint {
+    state: AtomicU8,
+    channel: AtomicU8, // 0 = Tcp, 1 = Shm
+    host_id: u64,
+    peer_id: std::sync::atomic::AtomicU64,
+}
+
+impl AfEndpoint {
+    /// Creates an endpoint for a host identity, in `Initializing` state
+    /// with the TCP channel selected (the safe default: initialization
+    /// requests always travel over TCP, §4.2).
+    pub fn new(host_id: u64) -> Arc<Self> {
+        Arc::new(AfEndpoint {
+            state: AtomicU8::new(EndpointState::Initializing as u8),
+            channel: AtomicU8::new(0),
+            host_id,
+            peer_id: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// This side's host identity.
+    pub fn host_id(&self) -> u64 {
+        self.host_id
+    }
+
+    /// The peer identity learned during the handshake.
+    pub fn peer_id(&self) -> u64 {
+        self.peer_id.load(Ordering::Acquire)
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> EndpointState {
+        match self.state.load(Ordering::Acquire) {
+            0 => EndpointState::Initializing,
+            1 => EndpointState::Connected,
+            _ => EndpointState::Closed,
+        }
+    }
+
+    /// Selected data channel.
+    pub fn channel(&self) -> ChannelKind {
+        if self.channel.load(Ordering::Acquire) == 1 {
+            ChannelKind::Shm
+        } else {
+            ChannelKind::Tcp
+        }
+    }
+
+    /// Marks the endpoint connected with the given channel selection.
+    /// Called by the Connection Manager once ICReq/ICResp (and shared
+    /// memory mapping, if local) completed.
+    pub fn connect(&self, peer_id: u64, channel: ChannelKind) {
+        self.peer_id.store(peer_id, Ordering::Release);
+        self.channel.store(
+            match channel {
+                ChannelKind::Tcp => 0,
+                ChannelKind::Shm => 1,
+            },
+            Ordering::Release,
+        );
+        self.state
+            .store(EndpointState::Connected as u8, Ordering::Release);
+    }
+
+    /// Marks the endpoint closed (resource reclamation).
+    pub fn close(&self) {
+        self.state
+            .store(EndpointState::Closed as u8, Ordering::Release);
+    }
+
+    /// Whether bulk I/O may use shared memory right now.
+    pub fn shm_ready(&self) -> bool {
+        self.state() == EndpointState::Connected && self.channel() == ChannelKind::Shm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let ep = AfEndpoint::new(77);
+        assert_eq!(ep.state(), EndpointState::Initializing);
+        assert_eq!(ep.channel(), ChannelKind::Tcp);
+        assert!(!ep.shm_ready());
+
+        ep.connect(99, ChannelKind::Shm);
+        assert_eq!(ep.state(), EndpointState::Connected);
+        assert_eq!(ep.peer_id(), 99);
+        assert!(ep.shm_ready());
+
+        ep.close();
+        assert_eq!(ep.state(), EndpointState::Closed);
+        assert!(!ep.shm_ready());
+    }
+
+    #[test]
+    fn tcp_endpoint_never_reports_shm() {
+        let ep = AfEndpoint::new(1);
+        ep.connect(2, ChannelKind::Tcp);
+        assert!(!ep.shm_ready());
+        assert_eq!(ep.channel(), ChannelKind::Tcp);
+    }
+
+    #[test]
+    fn endpoint_visible_across_threads() {
+        let ep = AfEndpoint::new(5);
+        let ep2 = ep.clone();
+        let h = std::thread::spawn(move || {
+            ep2.connect(6, ChannelKind::Shm);
+        });
+        h.join().unwrap();
+        assert!(ep.shm_ready());
+    }
+}

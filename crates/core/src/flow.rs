@@ -1,0 +1,184 @@
+//! Flow-control accounting (§4.4.2).
+//!
+//! NVMe/TCP has two write flow-control regimes: in-capsule data for small
+//! I/O (one control message) and the conservative CMD → R2T → H2C exchange
+//! for large I/O (three control messages before the SSD sees the write,
+//! plus the completion). The shared-memory channel lets payload bytes park
+//! in the region until the target drains them, so the adaptive fabric
+//! switches *every* write to in-capsule semantics — "eliminating steps ②
+//! and ④" of Fig. 7.
+//!
+//! This module is the single source of truth for per-I/O control-message
+//! counts; both the real runtime (for assertions and stats) and the
+//! simulation (for latency accounting) use it.
+
+use oaf_nvmeof::FlowMode;
+
+/// I/O direction for accounting purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read command.
+    Read,
+    /// A write command.
+    Write,
+}
+
+/// Which data channel the I/O runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataChannel {
+    /// Payload inline in TCP PDUs.
+    TcpInline,
+    /// Payload through the shared-memory double buffer.
+    Shm,
+}
+
+/// Number of control messages exchanged for one I/O, *excluding* bulk
+/// data bytes (data PDU headers count as control when the payload is in
+/// shared memory, because only the notification crosses TCP).
+pub fn control_messages(
+    op: OpKind,
+    io_size: usize,
+    channel: DataChannel,
+    flow: FlowMode,
+    in_capsule_max: usize,
+) -> u32 {
+    match (op, channel) {
+        (OpKind::Write, DataChannel::TcpInline) => {
+            if io_size <= in_capsule_max {
+                // CMD(+data) ... RESP
+                2
+            } else {
+                // CMD, R2T, H2C header, RESP
+                4
+            }
+        }
+        (OpKind::Write, DataChannel::Shm) => match flow {
+            // Fig. 7: CMD ①, R2T ②, H2C notification ④, RESP ⑧.
+            FlowMode::Conservative => 4,
+            // §4.4.2: R2T and the separate H2C notification are gone.
+            FlowMode::InCapsule => 2,
+        },
+        (OpKind::Read, DataChannel::TcpInline) => {
+            // CMD, RESP (data PDUs carry payload, counted as data).
+            2
+        }
+        (OpKind::Read, DataChannel::Shm) => match flow {
+            // Naive shm read: CMD, slot-ready notify, slot-consumed ack,
+            // RESP — the conservative regime needs the ack because the
+            // target may not overwrite a slot the client still reads.
+            FlowMode::Conservative => 4,
+            // Optimized: data can sit in the region; the notify doubles
+            // as the completion and the double-buffer state machine
+            // replaces the explicit ack.
+            FlowMode::InCapsule => 2,
+        },
+    }
+}
+
+/// Messages eliminated by switching the shared-memory channel from
+/// conservative to in-capsule flow control.
+pub fn messages_saved(op: OpKind, io_size: usize, in_capsule_max: usize) -> u32 {
+    control_messages(
+        op,
+        io_size,
+        DataChannel::Shm,
+        FlowMode::Conservative,
+        in_capsule_max,
+    ) - control_messages(
+        op,
+        io_size,
+        DataChannel::Shm,
+        FlowMode::InCapsule,
+        in_capsule_max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IN_CAPSULE: usize = 8 * 1024;
+
+    #[test]
+    fn small_tcp_write_is_in_capsule() {
+        assert_eq!(
+            control_messages(
+                OpKind::Write,
+                4096,
+                DataChannel::TcpInline,
+                FlowMode::Conservative,
+                IN_CAPSULE
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn large_tcp_write_is_conservative() {
+        assert_eq!(
+            control_messages(
+                OpKind::Write,
+                128 * 1024,
+                DataChannel::TcpInline,
+                FlowMode::Conservative,
+                IN_CAPSULE
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn shm_flow_control_halves_write_messages() {
+        // Irrespective of I/O size (§4.4.2: "irrespective of the I/O size").
+        for size in [4096, 128 * 1024, 2 * 1024 * 1024] {
+            assert_eq!(
+                messages_saved(OpKind::Write, size, IN_CAPSULE),
+                2,
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn shm_flow_control_halves_read_messages() {
+        assert_eq!(messages_saved(OpKind::Read, 512 * 1024, IN_CAPSULE), 2);
+    }
+
+    #[test]
+    fn tcp_reads_always_two_messages() {
+        for size in [512, 4096, 1 << 20] {
+            assert_eq!(
+                control_messages(
+                    OpKind::Read,
+                    size,
+                    DataChannel::TcpInline,
+                    FlowMode::Conservative,
+                    IN_CAPSULE
+                ),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_shm_matches_small_io_tcp() {
+        // The optimized shared-memory flow gives every I/O the message
+        // count stock NVMe/TCP reserves for small writes.
+        assert_eq!(
+            control_messages(
+                OpKind::Write,
+                1 << 20,
+                DataChannel::Shm,
+                FlowMode::InCapsule,
+                IN_CAPSULE
+            ),
+            control_messages(
+                OpKind::Write,
+                4096,
+                DataChannel::TcpInline,
+                FlowMode::Conservative,
+                IN_CAPSULE
+            ),
+        );
+    }
+}

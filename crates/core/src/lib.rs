@@ -1,0 +1,56 @@
+//! NVMe-oAF: the Adaptive Fabric (the paper's primary contribution).
+//!
+//! NVMe-over-Adaptive-Fabric accelerates NVMe-oF by *adaptively and
+//! transparently* combining two channels: an optimized shared-memory data
+//! path for co-located client/target pairs, and an optimized TCP path for
+//! everything else. The control plane always runs over the existing
+//! NVMe/TCP connection; only bulk payloads switch fabrics.
+//!
+//! The three architectural components of Fig. 4:
+//!
+//! * [`conn`] — the **Connection Manager**: TCP handshake, adaptive-fabric
+//!   capability negotiation via ICReq/ICResp, AF endpoint objects, and
+//!   resource reclamation (§4.1);
+//! * [`buf`] — the **Buffer Manager**: DPDK-style pooled buffers for the
+//!   TCP path, shared-memory slots and zero-copy leases for the local
+//!   path (§4.1, §4.4.3);
+//! * [`locality`] — **Locality Awareness**: the helper-process hot-plug
+//!   protocol over a pre-reserved flag page, and the per-client isolated
+//!   region registry (§4.2).
+//!
+//! Channel optimizations:
+//!
+//! * [`flow`] — shared-memory flow control: in-capsule semantics for every
+//!   I/O size, eliminating two of four control messages per write (§4.4.2);
+//! * [`tcp_opt`] — TCP-channel optimizations: application-level chunk-size
+//!   selection (Fig. 9) and workload-adaptive busy polling (Fig. 10, §4.5);
+//! * [`payload_impl`] — the lock-free double-buffer payload channel
+//!   implementing [`oaf_nvmeof::PayloadChannel`] over real shared memory,
+//!   plus the locked baseline variant for the Fig. 8 ablation.
+//!
+//! Runtime and evaluation:
+//!
+//! * [`runtime`] — the real (threaded) NVMe-oAF runtime: a target and
+//!   client pair that negotiates the fabric and moves actual bytes;
+//! * [`sim`] — the discrete-event model of every fabric the paper
+//!   evaluates (NVMe/TCP at 10/25/100 Gbps, NVMe/RDMA, NVMe/RoCE, the
+//!   four NVMe-oSHM ablation variants, and NVMe-oAF itself), used by the
+//!   figure-reproduction harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod buf;
+pub mod conn;
+pub mod endpoint;
+pub mod flow;
+pub mod locality;
+pub mod payload_impl;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+pub mod tcp_opt;
+
+pub use conn::ConnectionManager;
+pub use endpoint::{AfEndpoint, ChannelKind};
+pub use locality::HostRegistry;

@@ -1,0 +1,506 @@
+//! The real (threaded) NVMe-oAF runtime: the co-designed client API.
+//!
+//! [`AfClient`] is what an application co-designed with the adaptive
+//! fabric sees (the paper co-designs SPDK `perf` and h5bench, §4.6): it
+//! allocates I/O buffers through the Buffer Manager — which transparently
+//! returns zero-copy shared-memory leases when the fabric is local — and
+//! submits I/O that rides whichever channel the Connection Manager
+//! selected. "The AF write distinguishes the control and data path during
+//! the runtime and sends the data over shared memory whereas the control
+//! messages over TCP, unbeknownst to the application."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use oaf_nvmeof::nvme::controller::{Controller, IdentifyInfo};
+use oaf_nvmeof::transport::MemTransport;
+use oaf_nvmeof::{Initiator, NvmeofError};
+
+use crate::buf::{BufferManager, DpdkPool, IoBuffer};
+use crate::conn::{ConnectionManager, EstablishedFabric, FabricSettings};
+use crate::endpoint::AfEndpoint;
+use crate::locality::{HostRegistry, ProcessId};
+use crate::stats::{ClientStats, StatsSnapshot};
+
+/// Default I/O timeout for the blocking convenience API.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A connected NVMe-oAF client.
+pub struct AfClient {
+    initiator: Initiator<MemTransport>,
+    bufmgr: BufferManager,
+    endpoint: Arc<AfEndpoint>,
+    stats: Arc<ClientStats>,
+    /// Per-command accounting metadata: `(bytes, zero_copy, is_read)`,
+    /// consumed when the completion arrives.
+    inflight_meta: std::collections::HashMap<u16, (u64, bool, bool)>,
+}
+
+/// Handle pair returned by [`launch`]: the client plus the target handle
+/// needed for shutdown.
+pub struct AfPair {
+    /// The connected client.
+    pub client: AfClient,
+    /// The running target.
+    pub target: oaf_nvmeof::target::TargetHandle,
+}
+
+/// One-call setup: registers both processes, establishes the fabric, and
+/// wraps the initiator in the co-designed client API.
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use oaf_core::conn::FabricSettings;
+/// use oaf_core::locality::{HostRegistry, ProcessId};
+/// use oaf_core::runtime::launch;
+/// use oaf_nvmeof::nvme::controller::Controller;
+/// use oaf_nvmeof::nvme::namespace::Namespace;
+///
+/// let mut controller = Controller::new();
+/// controller.add_namespace(Namespace::new(1, 4096, 256));
+/// let registry = Arc::new(HostRegistry::new());
+/// // Same host id on both sides: the helper hot-plugs shared memory.
+/// let mut pair = launch(&registry, (ProcessId(1), 7), (ProcessId(2), 7),
+///                       controller, FabricSettings::default()).unwrap();
+/// assert!(pair.client.shm_active());
+///
+/// let mut buf = pair.client.alloc(4096).unwrap(); // zero-copy lease
+/// buf[0] = 42;
+/// pair.client.write(1, 0, 1, buf, Duration::from_secs(5)).unwrap();
+/// let back = pair.client.read(1, 0, 1, 4096, Duration::from_secs(5)).unwrap();
+/// assert_eq!(back[0], 42);
+/// # pair.client.disconnect().unwrap();
+/// # pair.target.shutdown().unwrap();
+/// ```
+pub fn launch(
+    registry: &Arc<HostRegistry>,
+    client: (ProcessId, u64),
+    target: (ProcessId, u64),
+    controller: Controller,
+    settings: FabricSettings,
+) -> Result<AfPair, NvmeofError> {
+    registry.register(client.0, client.1);
+    registry.register(target.0, target.1);
+    let cm = ConnectionManager::new(registry.clone());
+    let EstablishedFabric {
+        initiator,
+        endpoint,
+        shm,
+        target,
+    } = cm.establish(client.0, target.0, controller, &settings)?;
+    // Pool buffers are sized generously past the slot/chunk size so
+    // block-level read-modify-write spans (payload + straddled blocks)
+    // still fit in one buffer.
+    let pool = DpdkPool::new(
+        settings.slot_size.max(settings.read_chunk) * 2,
+        settings.depth.max(8),
+    );
+    let bufmgr = BufferManager::new(pool, shm);
+    Ok(AfPair {
+        client: AfClient {
+            initiator,
+            bufmgr,
+            endpoint,
+            stats: ClientStats::new(),
+            inflight_meta: std::collections::HashMap::new(),
+        },
+        target,
+    })
+}
+
+/// Handles returned by [`launch_many`]: the clients plus the shared
+/// storage-service handle.
+pub struct AfGroup {
+    /// One connected client per requested `(ProcessId, host)`.
+    pub clients: Vec<AfClient>,
+    /// The single storage-service reactor serving all of them.
+    pub target: oaf_nvmeof::target::TargetHandle,
+}
+
+/// Multi-client setup matching the paper's architecture (Fig. 1): one
+/// storage service, several client applications, each over its own
+/// connection with its own isolated shared-memory channel when
+/// co-located (§4.2/§6).
+pub fn launch_many(
+    registry: &Arc<HostRegistry>,
+    clients: &[(ProcessId, u64)],
+    target: (ProcessId, u64),
+    controller: Controller,
+    settings: FabricSettings,
+) -> Result<AfGroup, NvmeofError> {
+    use oaf_nvmeof::initiator::InitiatorOptions;
+    use oaf_nvmeof::payload::PayloadChannel;
+    use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
+    use oaf_nvmeof::server::{spawn_multi, ConnectionSpec};
+    use oaf_nvmeof::target::TargetConfig;
+    use oaf_shmem::channel::Side;
+
+    registry.register(target.0, target.1);
+    let mut specs = Vec::new();
+    let mut client_sides = Vec::new();
+    for &(pid, host) in clients {
+        registry.register(pid, host);
+        let (ct, tt) = MemTransport::pair();
+        // The helper process hot-plugs an isolated region per co-located
+        // client (the §6 security model).
+        let hotplug = registry.hotplug(pid, target.0, settings.depth, settings.slot_size);
+        let (client_shm, target_shm) = match &hotplug {
+            Some(hp) => (
+                Some(crate::payload_impl::ShmPayloadChannel::new(
+                    &hp.channel,
+                    Side::Client,
+                )),
+                Some(crate::payload_impl::ShmPayloadChannel::new(
+                    &hp.channel,
+                    Side::Target,
+                )),
+            ),
+            None => (None, None),
+        };
+        specs.push(ConnectionSpec {
+            transport: Box::new(tt),
+            cfg: TargetConfig {
+                in_capsule_max: settings.in_capsule_max,
+                read_chunk: settings.read_chunk,
+                af_caps: AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY,
+                target_id: target.0 .0,
+            },
+            payload: target_shm.map(|t| t as Arc<dyn PayloadChannel>),
+        });
+        client_sides.push((pid, ct, client_shm));
+    }
+    let target_handle = spawn_multi(controller, specs);
+
+    let mut afs = Vec::new();
+    for (pid, ct, client_shm) in client_sides {
+        let af_caps = if client_shm.is_some() {
+            AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY
+        } else {
+            0
+        };
+        let initiator = Initiator::connect(
+            ct,
+            InitiatorOptions {
+                host_id: pid.0,
+                af_caps,
+                flow: settings.flow,
+                maxr2t: 16,
+            },
+            client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
+            Duration::from_secs(5),
+        )?;
+        let endpoint = AfEndpoint::new(pid.0);
+        endpoint.connect(
+            target.0 .0,
+            if initiator.shm_active() {
+                crate::endpoint::ChannelKind::Shm
+            } else {
+                crate::endpoint::ChannelKind::Tcp
+            },
+        );
+        let pool = DpdkPool::new(
+            settings.slot_size.max(settings.read_chunk) * 2,
+            settings.depth.max(8),
+        );
+        afs.push(AfClient {
+            initiator,
+            bufmgr: BufferManager::new(pool, client_shm),
+            endpoint,
+            stats: ClientStats::new(),
+            inflight_meta: std::collections::HashMap::new(),
+        });
+    }
+    Ok(AfGroup {
+        clients: afs,
+        target: target_handle,
+    })
+}
+
+impl AfClient {
+    /// The client's AF endpoint object.
+    pub fn endpoint(&self) -> &Arc<AfEndpoint> {
+        &self.endpoint
+    }
+
+    /// Whether the shared-memory data path is active.
+    pub fn shm_active(&self) -> bool {
+        self.initiator.shm_active()
+    }
+
+    /// Allocates an I/O buffer of `len` bytes through the Buffer Manager;
+    /// returns a zero-copy lease when the fabric is local.
+    pub fn alloc(&self, len: usize) -> Result<IoBuffer, NvmeofError> {
+        self.bufmgr
+            .alloc(len)
+            .map_err(|e| NvmeofError::Payload(e.to_string()))
+    }
+
+    /// Largest single buffer [`AfClient::alloc`] can provide; larger
+    /// transfers must be split by the caller.
+    pub fn max_buffer(&self) -> usize {
+        self.bufmgr.max_alloc()
+    }
+
+    /// Writes a buffer obtained from [`AfClient::alloc`]. Zero-copy
+    /// leases publish in place; pooled buffers take the TCP (or one-copy
+    /// shared-memory) path.
+    pub fn write(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        buf: IoBuffer,
+        timeout: Duration,
+    ) -> Result<(), NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let cid = self.submit_write(nsid, slba, nlb, buf)?;
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(r) if r.status.is_ok() => Ok(()),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Asynchronous variant of [`AfClient::write`]: returns the command
+    /// id; match completions via [`AfClient::poll`].
+    pub fn submit_write(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        buf: IoBuffer,
+    ) -> Result<u16, NvmeofError> {
+        let bytes = buf.len() as u64;
+        let zero_copy = buf.is_zero_copy();
+        let cid = match buf {
+            IoBuffer::Shm(lease) => {
+                let (slot, len) = lease.publish();
+                self.initiator
+                    .submit_write_published(nsid, slba, nlb, slot as u32, len as u32)?
+            }
+            IoBuffer::Pooled(b) => {
+                // The copy-out the zero-copy design eliminates (§4.4.3):
+                // the pooled buffer must be materialized for the wire.
+                self.initiator
+                    .submit_write(nsid, slba, nlb, Bytes::copy_from_slice(&b))?
+            }
+        };
+        self.inflight_meta.insert(cid, (bytes, zero_copy, false));
+        Ok(cid)
+    }
+
+    /// Blocking read.
+    pub fn read(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let cid = self.submit_read(nsid, slba, nlb, expected_len)?;
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(r) if r.status.is_ok() => Ok(r.data),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A snapshot of this client's I/O counters (lock-free; readable from
+    /// any thread via a cloned handle from [`AfClient::stats_handle`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shares the live counter set with an observer thread.
+    pub fn stats_handle(&self) -> Arc<ClientStats> {
+        self.stats.clone()
+    }
+
+    /// Asynchronous read submission.
+    pub fn submit_read(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.initiator.submit_read(nsid, slba, nlb, expected_len)?;
+        self.inflight_meta
+            .insert(cid, (expected_len as u64, false, true));
+        Ok(cid)
+    }
+
+    fn account(&mut self, r: &oaf_nvmeof::initiator::IoResult) {
+        let Some((bytes, zero_copy, is_read)) = self.inflight_meta.remove(&r.cid) else {
+            return;
+        };
+        if !r.status.is_ok() {
+            self.stats.record_error();
+        } else if is_read {
+            self.stats.record_read(bytes);
+        } else {
+            self.stats.record_write(bytes, zero_copy);
+        }
+    }
+
+    /// Polls for completions.
+    pub fn poll(&mut self) -> Result<Vec<oaf_nvmeof::initiator::IoResult>, NvmeofError> {
+        let results = self.initiator.poll()?;
+        for r in &results {
+            self.account(r);
+        }
+        Ok(results)
+    }
+
+    /// Waits for a specific command.
+    pub fn wait(
+        &mut self,
+        cid: u16,
+        timeout: Duration,
+    ) -> Result<oaf_nvmeof::initiator::IoResult, NvmeofError> {
+        match self.initiator.wait(cid, timeout) {
+            Ok(r) => {
+                self.account(&r);
+                Ok(r)
+            }
+            Err(e) => {
+                if matches!(e, NvmeofError::Timeout) {
+                    self.stats.record_error();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Namespace geometry.
+    pub fn identify(&mut self, nsid: u32) -> Result<IdentifyInfo, NvmeofError> {
+        self.initiator.identify(nsid, DEFAULT_TIMEOUT)
+    }
+
+    /// Graceful disconnect.
+    pub fn disconnect(&mut self) -> Result<(), NvmeofError> {
+        self.endpoint.close();
+        self.initiator.disconnect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_nvmeof::nvme::namespace::Namespace;
+
+    fn controller() -> Controller {
+        let mut c = Controller::new();
+        c.add_namespace(Namespace::new(1, 4096, 2048));
+        c
+    }
+
+    fn launch_pair(local: bool) -> AfPair {
+        let registry = Arc::new(HostRegistry::new());
+        launch(
+            &registry,
+            (ProcessId(1), 10),
+            (ProcessId(2), if local { 10 } else { 11 }),
+            controller(),
+            FabricSettings::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_client_gets_zero_copy_buffers() {
+        let mut pair = launch_pair(true);
+        assert!(pair.client.shm_active());
+        let buf = pair.client.alloc(64 * 1024).unwrap();
+        assert!(buf.is_zero_copy());
+        drop(buf);
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remote_client_gets_pooled_buffers() {
+        let mut pair = launch_pair(false);
+        assert!(!pair.client.shm_active());
+        let buf = pair.client.alloc(64 * 1024).unwrap();
+        assert!(!buf.is_zero_copy());
+        drop(buf);
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_copy_write_roundtrip() {
+        let mut pair = launch_pair(true);
+        let mut buf = pair.client.alloc(128 * 1024).unwrap();
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let expected: Vec<u8> = (0..128 * 1024).map(|i| (i % 251) as u8).collect();
+        pair.client.write(1, 0, 32, buf, DEFAULT_TIMEOUT).unwrap();
+        let back = pair
+            .client
+            .read(1, 0, 32, 128 * 1024, DEFAULT_TIMEOUT)
+            .unwrap();
+        assert_eq!(back, expected);
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_write_roundtrip_over_tcp() {
+        let mut pair = launch_pair(false);
+        let mut buf = pair.client.alloc(64 * 1024).unwrap();
+        buf.fill(0x77);
+        pair.client.write(1, 4, 16, buf, DEFAULT_TIMEOUT).unwrap();
+        let back = pair
+            .client
+            .read(1, 4, 16, 64 * 1024, DEFAULT_TIMEOUT)
+            .unwrap();
+        assert!(back.iter().all(|&b| b == 0x77));
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_zero_copy_writes() {
+        let mut pair = launch_pair(true);
+        let qd = 16;
+        let mut cids = Vec::new();
+        for i in 0..qd {
+            let mut buf = pair.client.alloc(4096).unwrap();
+            buf.fill(i as u8);
+            cids.push(pair.client.submit_write(1, i as u64, 1, buf).unwrap());
+        }
+        for cid in cids {
+            let r = pair.client.wait(cid, DEFAULT_TIMEOUT).unwrap();
+            assert!(r.status.is_ok());
+        }
+        for i in 0..qd {
+            let back = pair
+                .client
+                .read(1, i as u64, 1, 4096, DEFAULT_TIMEOUT)
+                .unwrap();
+            assert!(back.iter().all(|&b| b == i as u8), "lba {i}");
+        }
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn identify_through_af() {
+        let mut pair = launch_pair(true);
+        let info = pair.client.identify(1).unwrap();
+        assert_eq!(info.block_size, 4096);
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+}

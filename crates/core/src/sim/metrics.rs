@@ -1,0 +1,254 @@
+//! Experiment measurements: bandwidth, latency, breakdowns, tails.
+
+use oaf_simnet::stats::{LatencyHistogram, Percentiles, Summary};
+use oaf_simnet::time::{SimDuration, SimTime};
+use oaf_simnet::units::MIB;
+
+/// The three latency components of the paper's breakdown (§3.2, Figs. 3
+/// and 12): device time, transit time, and request preparation/processing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// "I/O time": the SSD executing the command.
+    pub io_us: f64,
+    /// "Communication time": in transit / in the network (or shared
+    /// memory channel).
+    pub comm_us: f64,
+    /// "Other": preparation and processing at client and target.
+    pub other_us: f64,
+}
+
+impl Breakdown {
+    /// Sum of all components.
+    pub fn total_us(&self) -> f64 {
+        self.io_us + self.comm_us + self.other_us
+    }
+}
+
+/// Per-op-kind accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct OpMetrics {
+    /// Latency summary in microseconds.
+    pub lat_us: Summary,
+    /// Latency histogram in nanoseconds.
+    pub hist: LatencyHistogram,
+    /// Accumulated breakdown sums (divide by count for means).
+    pub io_sum_us: f64,
+    /// See [`OpMetrics::io_sum_us`].
+    pub comm_sum_us: f64,
+    /// See [`OpMetrics::io_sum_us`].
+    pub other_sum_us: f64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+impl OpMetrics {
+    fn record(&mut self, lat: SimDuration, b: Breakdown, bytes: u64) {
+        self.lat_us.record(lat.as_micros_f64());
+        self.hist.record_duration(lat);
+        self.io_sum_us += b.io_us;
+        self.comm_sum_us += b.comm_us;
+        self.other_sum_us += b.other_us;
+        self.bytes += bytes;
+    }
+
+    /// Number of operations.
+    pub fn count(&self) -> u64 {
+        self.lat_us.count()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_lat_us(&self) -> f64 {
+        self.lat_us.mean().unwrap_or(0.0)
+    }
+
+    /// Mean breakdown.
+    pub fn mean_breakdown(&self) -> Breakdown {
+        let n = self.count().max(1) as f64;
+        Breakdown {
+            io_us: self.io_sum_us / n,
+            comm_us: self.comm_sum_us / n,
+            other_us: self.other_sum_us / n,
+        }
+    }
+
+    /// Tail percentiles (µs), `None` when empty.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Percentiles::from_histogram_us(&self.hist)
+    }
+}
+
+/// Full metrics of one experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Read-side metrics.
+    pub reads: OpMetrics,
+    /// Write-side metrics.
+    pub writes: OpMetrics,
+    /// Combined latency histogram (for mixed-workload tails, Fig. 13).
+    pub all_hist: LatencyHistogram,
+    /// Last completion time observed.
+    pub last_completion: SimTime,
+    /// Per-stream payload bytes.
+    pub stream_bytes: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates metrics for `streams` streams.
+    pub fn new(streams: usize) -> Self {
+        Metrics {
+            stream_bytes: vec![0; streams],
+            ..Metrics::default()
+        }
+    }
+
+    /// Records one completed I/O.
+    pub fn record(
+        &mut self,
+        stream: usize,
+        is_read: bool,
+        lat: SimDuration,
+        breakdown: Breakdown,
+        bytes: u64,
+        completed: SimTime,
+    ) {
+        let side = if is_read {
+            &mut self.reads
+        } else {
+            &mut self.writes
+        };
+        side.record(lat, breakdown, bytes);
+        self.all_hist.record_duration(lat);
+        self.last_completion = self.last_completion.max(completed);
+        self.stream_bytes[stream] += bytes;
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.reads.bytes + self.writes.bytes
+    }
+
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads.count() + self.writes.count()
+    }
+
+    /// Aggregate bandwidth in MiB/s over the run.
+    pub fn bandwidth_mib(&self) -> f64 {
+        let secs = self.last_completion.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / MIB as f64 / secs
+    }
+
+    /// One stream's bandwidth in MiB/s.
+    pub fn stream_bandwidth_mib(&self, stream: usize) -> f64 {
+        let secs = self.last_completion.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.stream_bytes[stream] as f64 / MIB as f64 / secs
+    }
+
+    /// Mean latency across reads and writes, µs.
+    pub fn mean_lat_us(&self) -> f64 {
+        let n = self.total_ops();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.reads.lat_us.sum() + self.writes.lat_us.sum()) / n as f64
+    }
+
+    /// Tail percentiles over all ops.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Percentiles::from_histogram_us(&self.all_hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut m = Metrics::new(2);
+        let b = Breakdown {
+            io_us: 50.0,
+            comm_us: 30.0,
+            other_us: 20.0,
+        };
+        m.record(
+            0,
+            true,
+            SimDuration::from_micros(100),
+            b,
+            4096,
+            SimTime::from_secs(1),
+        );
+        m.record(
+            1,
+            false,
+            SimDuration::from_micros(200),
+            b,
+            4096,
+            SimTime::from_secs(2),
+        );
+        assert_eq!(m.total_ops(), 2);
+        assert_eq!(m.total_bytes(), 8192);
+        assert_eq!(m.reads.count(), 1);
+        assert_eq!(m.writes.count(), 1);
+        assert!((m.mean_lat_us() - 150.0).abs() < 1e-9);
+        assert!((m.bandwidth_mib() - 8192.0 / 1048576.0 / 2.0).abs() < 1e-9);
+        assert!((m.stream_bandwidth_mib(0) - 4096.0 / 1048576.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_means() {
+        let mut m = Metrics::new(1);
+        for i in 1..=4u64 {
+            m.record(
+                0,
+                true,
+                SimDuration::from_micros(i * 10),
+                Breakdown {
+                    io_us: i as f64,
+                    comm_us: 2.0 * i as f64,
+                    other_us: 0.0,
+                },
+                1,
+                SimTime::from_micros(i * 10),
+            );
+        }
+        let b = m.reads.mean_breakdown();
+        assert!((b.io_us - 2.5).abs() < 1e-9);
+        assert!((b.comm_us - 5.0).abs() < 1e-9);
+        assert!((b.total_us() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(1);
+        assert_eq!(m.bandwidth_mib(), 0.0);
+        assert_eq!(m.mean_lat_us(), 0.0);
+        assert!(m.percentiles().is_none());
+    }
+
+    #[test]
+    fn percentiles_from_mixed_hist() {
+        let mut m = Metrics::new(1);
+        let b = Breakdown::default();
+        for i in 1..=1000u64 {
+            m.record(
+                0,
+                i % 2 == 0,
+                SimDuration::from_micros(i),
+                b,
+                1,
+                SimTime::from_micros(i),
+            );
+        }
+        let p = m.percentiles().unwrap();
+        assert!(p.p50 > 400.0 && p.p50 < 600.0);
+        assert!(p.p9999 >= p.p99);
+    }
+}

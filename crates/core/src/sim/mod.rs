@@ -1,0 +1,29 @@
+//! Discrete-event models of every fabric the paper evaluates.
+//!
+//! The real runtime in [`crate::runtime`] proves the algorithms work; this
+//! module predicts how they *perform* on the paper's testbed — VMs with
+//! SR-IOV NICs at 10/25/100 Gbps, InfiniBand FDR, RoCE, QEMU-emulated
+//! NVMe-SSDs — hardware this reproduction does not have. Each fabric is a
+//! per-I/O phase model over shared analytic queueing resources
+//! (per-stream pinned cores, a shared softirq core per VM, a shared
+//! memory bus per VM, the NIC wire, and the SSD's internal channels), so
+//! contention, pipelining and saturation emerge rather than being
+//! asserted.
+//!
+//! Calibration constants live in [`params::SimParams`]; the benchmark
+//! harness prints them next to every reproduced figure.
+
+pub mod experiment;
+pub mod fabric;
+pub mod metrics;
+pub mod params;
+pub mod workload;
+pub mod world;
+
+pub use experiment::{
+    build_world, run, run_probed, run_uniform, ExperimentSpec, ProbedRun, StreamConfig,
+};
+pub use fabric::{FabricKind, ShmVariant};
+pub use metrics::{Breakdown, Metrics};
+pub use params::SimParams;
+pub use workload::{Pattern, WorkloadSpec};

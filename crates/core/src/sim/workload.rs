@@ -1,0 +1,110 @@
+//! Workload specifications (the SPDK `perf` knobs, §5.1).
+
+use oaf_simnet::time::SimDuration;
+
+/// Access pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Sequential LBAs.
+    Sequential,
+    /// Uniform-random LBAs.
+    Random,
+}
+
+/// One stream's workload (the paper: one client ↔ one SSD per stream).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// I/O size in bytes.
+    pub io_size: u64,
+    /// Queue depth (outstanding I/Os per stream; paper default 128).
+    pub queue_depth: usize,
+    /// Fraction of reads in `[0, 1]` (1.0 = pure read, 0.0 = pure write).
+    pub read_fraction: f64,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Virtual run time.
+    pub duration: SimDuration,
+    /// RNG seed for op mixing and jitter.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default configuration: QD 128, 20-second runs (§5.1).
+    /// The harness usually shortens the virtual duration — statistics
+    /// converge long before 20 virtual seconds.
+    pub fn new(io_size: u64, read_fraction: f64) -> Self {
+        WorkloadSpec {
+            io_size,
+            queue_depth: 128,
+            read_fraction,
+            pattern: Pattern::Sequential,
+            duration: SimDuration::from_secs(2),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Builder: queue depth.
+    pub fn with_queue_depth(mut self, qd: usize) -> Self {
+        self.queue_depth = qd;
+        self
+    }
+
+    /// Builder: access pattern.
+    pub fn with_pattern(mut self, p: Pattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Builder: virtual duration.
+    pub fn with_duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder: RNG seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Validates the specification.
+    pub fn validate(&self) {
+        assert!(self.io_size > 0, "io_size must be positive");
+        assert!(self.queue_depth > 0, "queue depth must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read fraction must be in [0,1]"
+        );
+        assert!(self.duration > SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let w = WorkloadSpec::new(128 * 1024, 0.7)
+            .with_queue_depth(64)
+            .with_pattern(Pattern::Random)
+            .with_duration(SimDuration::from_secs(1))
+            .with_seed(9);
+        assert_eq!(w.queue_depth, 64);
+        assert_eq!(w.pattern, Pattern::Random);
+        assert_eq!(w.seed, 9);
+        w.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn bad_mix_rejected() {
+        WorkloadSpec::new(4096, 1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "io_size")]
+    fn zero_io_rejected() {
+        WorkloadSpec::new(0, 0.5).validate();
+    }
+}

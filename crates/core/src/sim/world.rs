@@ -1,0 +1,188 @@
+//! Shared simulation resources: VMs, wires, devices.
+
+use oaf_simnet::calendar::CalendarServer;
+use oaf_simnet::link::{Wire, WireParams};
+use oaf_simnet::rdma::MrCache;
+use oaf_simnet::rng::SimRng;
+use oaf_simnet::time::{SimDuration, SimTime};
+use oaf_simnet::units::Rate;
+use oaf_ssd::SsdDevice;
+
+use super::params::SimParams;
+
+/// One virtual machine's contended resources.
+pub struct VmHost {
+    /// Per-stream pinned application/reactor cores (§5.1: "each NVMe-oF
+    /// client and target are pinned to separate cores").
+    pub cores: Vec<CalendarServer>,
+    /// The shared softirq/interrupt core all TCP traffic of the VM is
+    /// steered to (single RX vector in the SR-IOV guests).
+    pub softirq: CalendarServer,
+    /// The VM's memory bus: every payload copy serializes here, giving
+    /// the aggregate-copy-bandwidth ceiling.
+    pub membus: CalendarServer,
+}
+
+impl VmHost {
+    /// A VM with `cores` pinned cores.
+    pub fn new(cores: usize) -> Self {
+        VmHost {
+            cores: vec![CalendarServer::new(); cores.max(1)],
+            softirq: CalendarServer::new(),
+            membus: CalendarServer::new(),
+        }
+    }
+}
+
+/// Builds a wire for an `n`-Gbps Ethernet link.
+pub fn ethernet_wire(gbps: f64) -> Wire {
+    Wire::new(WireParams {
+        rate: Rate::gbps(gbps),
+        efficiency: 0.94,
+        propagation: SimDuration::from_micros(2),
+    })
+}
+
+/// Builds a wire for an InfiniBand/RoCE link. `efficiency` covers
+/// encoding plus, for the VM experiments, SR-IOV virtualization overhead
+/// (the paper's IB numbers come from VMs; its RoCE numbers from physical
+/// nodes, §5.1).
+pub fn rdma_wire(gbps: f64, efficiency: f64) -> Wire {
+    Wire::new(WireParams {
+        rate: Rate::gbps(gbps),
+        efficiency,
+        propagation: SimDuration::from_micros(1),
+    })
+}
+
+/// All contended state of one experiment.
+pub struct World {
+    /// Model constants.
+    pub params: SimParams,
+    /// Virtual machines, indexed by [`super::experiment::StreamConfig`].
+    pub vms: Vec<VmHost>,
+    /// NIC wires, indexed likewise.
+    pub wires: Vec<Wire>,
+    /// One SSD per stream (the paper's one-to-one mapping, §3.1).
+    pub ssds: Vec<SsdDevice>,
+    /// Per-stream RDMA memory-registration caches.
+    pub mr: Vec<MrCache>,
+    /// Per-stream lock servers for the SHM-baseline variant (one lock per
+    /// isolated channel).
+    pub locks: Vec<CalendarServer>,
+    /// Per-stream rendezvous servers modelling the *un-partitioned*
+    /// payload buffer of the conservative shared-memory variants: before
+    /// the double-buffer slot scheme (§4.4.1) plus in-capsule flow
+    /// control (§4.4.2), only one payload can occupy the channel at a
+    /// time (copy-in → notify → copy-out → ack).
+    pub slots: Vec<CalendarServer>,
+    /// Per-stream RNGs (op mix, jitter, tail events).
+    pub rngs: Vec<SimRng>,
+}
+
+impl World {
+    /// Charges a payload copy under its two constraints: the copying
+    /// core's memcpy rate (`core_rate`, per-stream) and the VM's shared
+    /// memory bus (`bus_rate`, aggregate). The copy completes when both
+    /// are satisfied. Tail events (cache/TLB misses) come from `rng`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_payload(
+        vm: &mut VmHost,
+        core: usize,
+        now: SimTime,
+        bytes: u64,
+        core_rate: Rate,
+        bus_rate: Rate,
+        copy_cpu: SimDuration,
+        tail_prob: f64,
+        tail_cost: SimDuration,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let mut core_service =
+            copy_cpu + SimDuration::from_secs_f64(core_rate.transfer_secs(bytes));
+        if tail_prob > 0.0 && rng.chance(tail_prob) {
+            core_service += tail_cost;
+        }
+        let bus_service = SimDuration::from_secs_f64(bus_rate.transfer_secs(bytes));
+        let (_, core_done) = vm.cores[core].submit(now, core_service);
+        let (_, bus_done) = vm.membus.submit(now, bus_service);
+        core_done.max(bus_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_has_at_least_one_core() {
+        let vm = VmHost::new(0);
+        assert_eq!(vm.cores.len(), 1);
+    }
+
+    #[test]
+    fn copy_charges_membus() {
+        let mut vm = VmHost::new(1);
+        let mut rng = SimRng::seed_from_u64(1);
+        let done = World::copy_payload(
+            &mut vm,
+            0,
+            SimTime::ZERO,
+            1 << 30, // 1 GiB
+            Rate::gib_per_sec(8.0),
+            Rate::gib_per_sec(16.0),
+            SimDuration::from_micros(1),
+            0.0,
+            SimDuration::ZERO,
+            &mut rng,
+        );
+        // Core-bound: 1 GiB at 8 GiB/s = 125 ms.
+        assert!((done.as_secs_f64() - 0.125).abs() < 0.001, "{done:?}");
+        assert!(vm.membus.busy_time() > SimDuration::from_millis(62));
+    }
+
+    #[test]
+    fn concurrent_copies_serialize_on_membus() {
+        let mut vm = VmHost::new(2);
+        let mut rng = SimRng::seed_from_u64(1);
+        let core_r = Rate::gib_per_sec(16.0);
+        let bus_r = Rate::gib_per_sec(8.0);
+        let d1 = World::copy_payload(
+            &mut vm,
+            0,
+            SimTime::ZERO,
+            1 << 27,
+            core_r,
+            bus_r,
+            SimDuration::ZERO,
+            0.0,
+            SimDuration::ZERO,
+            &mut rng,
+        );
+        let d2 = World::copy_payload(
+            &mut vm,
+            1,
+            SimTime::ZERO,
+            1 << 27,
+            core_r,
+            bus_r,
+            SimDuration::ZERO,
+            0.0,
+            SimDuration::ZERO,
+            &mut rng,
+        );
+        // Bus-bound: the second copy queues behind the first on the
+        // shared bus even though it runs on its own core.
+        assert!(d2 > d1);
+        assert!((d2.as_secs_f64() / d1.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn wires_have_expected_goodput() {
+        let w = ethernet_wire(10.0);
+        let g = w.goodput().as_bytes_per_sec();
+        assert!((g - 1.175e9).abs() < 1e7, "{g}");
+        let r = rdma_wire(56.0, 0.75);
+        assert!(r.goodput().as_bytes_per_sec() > 5.0e9);
+    }
+}

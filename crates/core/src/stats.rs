@@ -1,0 +1,172 @@
+//! Runtime observability: per-client I/O statistics.
+//!
+//! A storage service operator needs to see what each fabric connection is
+//! doing — ops, bytes, channel mix, latency of the synchronous paths —
+//! without perturbing the data path. [`ClientStats`] is a set of relaxed
+//! atomic counters the runtime updates inline; reading them is free of
+//! locks and safe from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Snapshot of a client's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed writes.
+    pub writes: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Writes that used a zero-copy shared-memory lease.
+    pub zero_copy_writes: u64,
+    /// Failed operations (NVMe errors, timeouts, transport errors).
+    pub errors: u64,
+    /// Cumulative wall-clock microseconds spent in blocking I/O calls.
+    pub blocking_micros: u64,
+}
+
+impl StatsSnapshot {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.writes + self.reads
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_written + self.bytes_read
+    }
+
+    /// Mean blocking-call latency, if any blocking ops completed.
+    pub fn mean_blocking_latency(&self) -> Option<Duration> {
+        let ops = self.ops();
+        (ops > 0).then(|| Duration::from_micros(self.blocking_micros / ops))
+    }
+
+    /// Fraction of writes that were zero-copy.
+    pub fn zero_copy_fraction(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.zero_copy_writes as f64 / self.writes as f64
+        }
+    }
+}
+
+/// Lock-free counter set shared between the client and its observers.
+#[derive(Default)]
+pub struct ClientStats {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    zero_copy_writes: AtomicU64,
+    errors: AtomicU64,
+    blocking_micros: AtomicU64,
+}
+
+impl ClientStats {
+    /// Fresh zeroed counters behind an `Arc` for sharing with observers.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ClientStats::default())
+    }
+
+    /// Records a completed write of `bytes` (zero-copy or not).
+    pub fn record_write(&self, bytes: u64, zero_copy: bool) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        if zero_copy {
+            self.zero_copy_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a completed read of `bytes`.
+    pub fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a failed operation.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds blocking wall-clock time.
+    pub fn record_blocking(&self, d: Duration) {
+        self.blocking_micros
+            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// A coherent-enough snapshot (individual counters are exact; the set
+    /// is racy by design — observability, not accounting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            zero_copy_writes: self.zero_copy_writes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            blocking_micros: self.blocking_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ClientStats::new();
+        s.record_write(4096, true);
+        s.record_write(4096, false);
+        s.record_read(8192);
+        s.record_error();
+        s.record_blocking(Duration::from_micros(300));
+        let snap = s.snapshot();
+        assert_eq!(snap.ops(), 3);
+        assert_eq!(snap.bytes(), 16384);
+        assert_eq!(snap.zero_copy_writes, 1);
+        assert_eq!(snap.errors, 1);
+        assert!((snap.zero_copy_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(
+            snap.mean_blocking_latency(),
+            Some(Duration::from_micros(100))
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let s = ClientStats::new();
+        let snap = s.snapshot();
+        assert_eq!(snap.ops(), 0);
+        assert_eq!(snap.mean_blocking_latency(), None);
+        assert_eq!(snap.zero_copy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = ClientStats::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.record_write(1, false);
+                        s.record_read(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 40_000);
+        assert_eq!(snap.reads, 40_000);
+    }
+}

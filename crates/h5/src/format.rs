@@ -1,0 +1,370 @@
+//! The minimal HDF5-like container format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! superblock (64 B):  magic "OAF5" | version u32 | dataset_count u32 |
+//!                     table_offset u64 | data_end u64 | pad
+//! dataset table:      count × entry (96 B):
+//!                     name (64 B, NUL-padded) | offset u64 | nbytes u64 |
+//!                     dtype_size u32 | rank u32 | dim0 u64
+//! data:               contiguous extents
+//! ```
+//!
+//! The container is format logic only: it reads and writes through the
+//! [`Extent`] trait, so the same code runs over a RAM image (tests), the
+//! real NVMe-oAF block device (via `vol::OafVol`'s adapter), or nothing
+//! at all (trace capture).
+
+use crate::H5Error;
+
+/// Byte-extent storage the container lives on.
+pub trait Extent {
+    /// Total capacity in bytes.
+    fn capacity(&self) -> u64;
+    /// Reads `buf.len()` bytes at `offset`.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), H5Error>;
+    /// Writes `buf` at `offset`.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), H5Error>;
+}
+
+/// A RAM-backed extent for tests and examples.
+pub struct MemExtent {
+    data: Vec<u8>,
+}
+
+impl MemExtent {
+    /// A zeroed extent of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        MemExtent { data: vec![0; len] }
+    }
+}
+
+impl Extent for MemExtent {
+    fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), H5Error> {
+        let end = offset as usize + buf.len();
+        if end > self.data.len() {
+            return Err(H5Error::Storage(format!("read past extent end {end}")));
+        }
+        buf.copy_from_slice(&self.data[offset as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), H5Error> {
+        let end = offset as usize + buf.len();
+        if end > self.data.len() {
+            return Err(H5Error::Storage(format!("write past extent end {end}")));
+        }
+        self.data[offset as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+const MAGIC: &[u8; 4] = b"OAF5";
+const VERSION: u32 = 1;
+const SUPERBLOCK_LEN: u64 = 64;
+const ENTRY_LEN: u64 = 96;
+const NAME_LEN: usize = 64;
+/// Maximum datasets per container (sizes the table region).
+pub const MAX_DATASETS: u32 = 256;
+
+/// Metadata of one dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name (≤ 63 bytes).
+    pub name: String,
+    /// Byte offset of the contiguous extent.
+    pub offset: u64,
+    /// Extent length in bytes.
+    pub nbytes: u64,
+    /// Element size in bytes (e.g. 4 for `f32` particles).
+    pub dtype_size: u32,
+    /// Number of elements (1-D arrays in h5bench's contiguous pattern).
+    pub dim0: u64,
+}
+
+/// An open HDF5-like container.
+///
+/// ```
+/// use oaf_h5::format::{H5File, MemExtent};
+///
+/// let mut ext = MemExtent::new(1 << 20);
+/// let mut f = H5File::create(&mut ext).unwrap();
+/// f.create_dataset(&mut ext, "particles", 4, 1024).unwrap();
+/// f.write(&mut ext, "particles", 0, &[7u8; 4096]).unwrap();
+///
+/// // The container is self-describing: reopen from the same bytes.
+/// let mut f = H5File::open(&mut ext).unwrap();
+/// let mut out = vec![0u8; 4096];
+/// f.read(&mut ext, "particles", 0, &mut out).unwrap();
+/// assert!(out.iter().all(|&b| b == 7));
+/// ```
+pub struct H5File {
+    datasets: Vec<DatasetInfo>,
+    data_end: u64,
+}
+
+impl H5File {
+    fn table_offset() -> u64 {
+        SUPERBLOCK_LEN
+    }
+
+    fn data_start() -> u64 {
+        SUPERBLOCK_LEN + u64::from(MAX_DATASETS) * ENTRY_LEN
+    }
+
+    /// Creates an empty container on `ext` (writes the superblock).
+    pub fn create<E: Extent>(ext: &mut E) -> Result<H5File, H5Error> {
+        let file = H5File {
+            datasets: Vec::new(),
+            data_end: Self::data_start(),
+        };
+        file.write_superblock(ext)?;
+        Ok(file)
+    }
+
+    /// Opens an existing container from `ext`.
+    pub fn open<E: Extent>(ext: &mut E) -> Result<H5File, H5Error> {
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        ext.read_at(0, &mut sb)?;
+        if &sb[0..4] != MAGIC {
+            return Err(H5Error::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(sb[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(H5Error::Corrupt(format!("unsupported version {version}")));
+        }
+        let count = u32::from_le_bytes(sb[8..12].try_into().expect("4 bytes"));
+        if count > MAX_DATASETS {
+            return Err(H5Error::Corrupt(format!("dataset count {count} too large")));
+        }
+        let data_end = u64::from_le_bytes(sb[24..32].try_into().expect("8 bytes"));
+        let mut datasets = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let mut entry = [0u8; ENTRY_LEN as usize];
+            ext.read_at(Self::table_offset() + u64::from(i) * ENTRY_LEN, &mut entry)?;
+            let name_end = entry[..NAME_LEN]
+                .iter()
+                .position(|&b| b == 0)
+                .unwrap_or(NAME_LEN);
+            let name = String::from_utf8(entry[..name_end].to_vec())
+                .map_err(|_| H5Error::Corrupt(format!("dataset {i} name not UTF-8")))?;
+            datasets.push(DatasetInfo {
+                name,
+                offset: u64::from_le_bytes(entry[64..72].try_into().expect("8")),
+                nbytes: u64::from_le_bytes(entry[72..80].try_into().expect("8")),
+                dtype_size: u32::from_le_bytes(entry[80..84].try_into().expect("4")),
+                dim0: u64::from_le_bytes(entry[88..96].try_into().expect("8")),
+            });
+        }
+        Ok(H5File { datasets, data_end })
+    }
+
+    fn write_superblock<E: Extent>(&self, ext: &mut E) -> Result<(), H5Error> {
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        sb[0..4].copy_from_slice(MAGIC);
+        sb[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        sb[8..12].copy_from_slice(&(self.datasets.len() as u32).to_le_bytes());
+        sb[16..24].copy_from_slice(&Self::table_offset().to_le_bytes());
+        sb[24..32].copy_from_slice(&self.data_end.to_le_bytes());
+        ext.write_at(0, &sb)
+    }
+
+    fn write_entry<E: Extent>(&self, ext: &mut E, idx: usize) -> Result<(), H5Error> {
+        let ds = &self.datasets[idx];
+        let mut entry = [0u8; ENTRY_LEN as usize];
+        let name = ds.name.as_bytes();
+        entry[..name.len()].copy_from_slice(name);
+        entry[64..72].copy_from_slice(&ds.offset.to_le_bytes());
+        entry[72..80].copy_from_slice(&ds.nbytes.to_le_bytes());
+        entry[80..84].copy_from_slice(&ds.dtype_size.to_le_bytes());
+        entry[84..88].copy_from_slice(&1u32.to_le_bytes()); // rank
+        entry[88..96].copy_from_slice(&ds.dim0.to_le_bytes());
+        ext.write_at(Self::table_offset() + idx as u64 * ENTRY_LEN, &entry)
+    }
+
+    /// Creates a 1-D dataset of `dim0` elements of `dtype_size` bytes,
+    /// allocating a contiguous extent at end-of-data.
+    pub fn create_dataset<E: Extent>(
+        &mut self,
+        ext: &mut E,
+        name: &str,
+        dtype_size: u32,
+        dim0: u64,
+    ) -> Result<DatasetInfo, H5Error> {
+        if name.len() >= NAME_LEN {
+            return Err(H5Error::Corrupt(format!("name '{name}' too long")));
+        }
+        if self.datasets.iter().any(|d| d.name == name) {
+            return Err(H5Error::DuplicateDataset(name.into()));
+        }
+        if self.datasets.len() as u32 >= MAX_DATASETS {
+            return Err(H5Error::Corrupt("dataset table full".into()));
+        }
+        let nbytes = u64::from(dtype_size) * dim0;
+        if self.data_end + nbytes > ext.capacity() {
+            return Err(H5Error::Storage(format!(
+                "extent full: need {nbytes} past {}",
+                self.data_end
+            )));
+        }
+        let info = DatasetInfo {
+            name: name.into(),
+            offset: self.data_end,
+            nbytes,
+            dtype_size,
+            dim0,
+        };
+        self.data_end += nbytes;
+        self.datasets.push(info.clone());
+        self.write_entry(ext, self.datasets.len() - 1)?;
+        self.write_superblock(ext)?;
+        Ok(info)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn dataset(&self, name: &str) -> Result<&DatasetInfo, H5Error> {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NoSuchDataset(name.into()))
+    }
+
+    /// All datasets in creation order.
+    pub fn datasets(&self) -> &[DatasetInfo] {
+        &self.datasets
+    }
+
+    fn check_range(&self, name: &str, offset: u64, len: u64) -> Result<u64, H5Error> {
+        let ds = self.dataset(name)?;
+        if offset + len > ds.nbytes {
+            return Err(H5Error::OutOfBounds {
+                dataset: name.into(),
+                offset,
+                len,
+                size: ds.nbytes,
+            });
+        }
+        Ok(ds.offset + offset)
+    }
+
+    /// Writes `data` at byte `offset` within dataset `name`.
+    pub fn write<E: Extent>(
+        &mut self,
+        ext: &mut E,
+        name: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), H5Error> {
+        let abs = self.check_range(name, offset, data.len() as u64)?;
+        ext.write_at(abs, data)
+    }
+
+    /// Reads `buf.len()` bytes at byte `offset` within dataset `name`.
+    pub fn read<E: Extent>(
+        &mut self,
+        ext: &mut E,
+        name: &str,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), H5Error> {
+        let abs = self.check_range(name, offset, buf.len() as u64)?;
+        ext.read_at(abs, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut ext = MemExtent::new(1 << 20);
+        let mut f = H5File::create(&mut ext).unwrap();
+        f.create_dataset(&mut ext, "x", 4, 1000).unwrap();
+        let data: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+        f.write(&mut ext, "x", 0, &data).unwrap();
+        let mut out = vec![0u8; 4000];
+        f.read(&mut ext, "x", 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn reopen_preserves_datasets_and_contents() {
+        let mut ext = MemExtent::new(1 << 20);
+        {
+            let mut f = H5File::create(&mut ext).unwrap();
+            f.create_dataset(&mut ext, "a", 4, 100).unwrap();
+            f.create_dataset(&mut ext, "b", 8, 50).unwrap();
+            f.write(&mut ext, "b", 16, &[9u8; 64]).unwrap();
+        }
+        let mut f = H5File::open(&mut ext).unwrap();
+        assert_eq!(f.datasets().len(), 2);
+        let b = f.dataset("b").unwrap().clone();
+        assert_eq!(b.dtype_size, 8);
+        assert_eq!(b.dim0, 50);
+        let mut out = vec![0u8; 64];
+        f.read(&mut ext, "b", 16, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn datasets_do_not_overlap() {
+        let mut ext = MemExtent::new(1 << 20);
+        let mut f = H5File::create(&mut ext).unwrap();
+        let a = f.create_dataset(&mut ext, "a", 4, 1000).unwrap();
+        let b = f.create_dataset(&mut ext, "b", 4, 1000).unwrap();
+        assert!(a.offset + a.nbytes <= b.offset);
+        // Writing one must not disturb the other.
+        f.write(&mut ext, "a", 0, &vec![1u8; 4000]).unwrap();
+        f.write(&mut ext, "b", 0, &vec![2u8; 4000]).unwrap();
+        let mut out = vec![0u8; 4000];
+        f.read(&mut ext, "a", 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut ext = MemExtent::new(1 << 20);
+        let mut f = H5File::create(&mut ext).unwrap();
+        f.create_dataset(&mut ext, "x", 4, 10).unwrap();
+        assert!(matches!(
+            f.write(&mut ext, "x", 38, &[0u8; 4]),
+            Err(H5Error::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            f.read(&mut ext, "nope", 0, &mut [0u8; 1]),
+            Err(H5Error::NoSuchDataset(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ext = MemExtent::new(1 << 20);
+        let mut f = H5File::create(&mut ext).unwrap();
+        f.create_dataset(&mut ext, "x", 4, 10).unwrap();
+        assert!(matches!(
+            f.create_dataset(&mut ext, "x", 4, 10),
+            Err(H5Error::DuplicateDataset(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected_on_open() {
+        let mut ext = MemExtent::new(4096);
+        ext.write_at(0, b"JUNKJUNK").unwrap();
+        assert!(matches!(H5File::open(&mut ext), Err(H5Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn extent_capacity_enforced() {
+        let mut ext = MemExtent::new(SUPERBLOCK_LEN as usize + 96 * MAX_DATASETS as usize + 100);
+        let mut f = H5File::create(&mut ext).unwrap();
+        assert!(f.create_dataset(&mut ext, "big", 4, 1_000_000).is_err());
+        assert!(f.create_dataset(&mut ext, "small", 4, 25).is_ok());
+    }
+}

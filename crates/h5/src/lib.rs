@@ -1,0 +1,84 @@
+//! HDF5-like storage runtime, h5bench-style kernels, and the NFS baseline.
+//!
+//! The paper's application-level evaluation (§5.7) co-designs h5bench —
+//! a suite of representative HDF5 I/O kernels — with NVMe-oAF through the
+//! HDF5 Virtual Object Layer (VOL), and compares against NFS. This crate
+//! provides every piece of that substitution:
+//!
+//! * [`mod@format`] — a minimal HDF5-like container: superblock, dataset
+//!   table, contiguous 1-D datasets, readable and writable over any
+//!   byte-extent storage;
+//! * [`vol`] — the VOL-connector abstraction: the same kernel code runs
+//!   against the real NVMe-oAF runtime ([`vol::BlockExtent`] under [`vol::H5Vol`]), an in-memory
+//!   connector for tests, or a trace recorder for the simulation;
+//! * [`kernel`] — h5bench-style write/read kernels with the paper's two
+//!   configurations (config-1: 16M particles × 1 dataset; config-2:
+//!   8M particles × 8 datasets, §5.7.1);
+//! * [`trace`] — I/O traces and the application-agnostic I/O coalescing
+//!   optimization (§5.7.1);
+//! * [`nfs`] — an NFS client/server model (async mount: write-behind
+//!   caching, rsize/wsize-chunked RPCs, commit barriers) for the Figs.
+//!   16–17 baseline;
+//! * [`replay`] — replays kernel traces through the `oaf-core` simulation
+//!   to produce the Figs. 16–17 bandwidth numbers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod format;
+pub mod kernel;
+pub mod nfs;
+pub mod replay;
+pub mod trace;
+pub mod vol;
+
+pub use format::{DatasetInfo, H5File};
+pub use kernel::{KernelConfig, KernelReport};
+pub use trace::{IoKind, IoRecord, IoTrace};
+pub use vol::VolConnector;
+
+/// Errors surfaced by the HDF5-like runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H5Error {
+    /// The container bytes are not a valid file.
+    Corrupt(String),
+    /// A dataset name was not found.
+    NoSuchDataset(String),
+    /// A dataset name already exists.
+    DuplicateDataset(String),
+    /// An access fell outside a dataset's extent.
+    OutOfBounds {
+        /// Dataset name.
+        dataset: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Dataset size.
+        size: u64,
+    },
+    /// The backing storage failed.
+    Storage(String),
+}
+
+impl std::fmt::Display for H5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H5Error::Corrupt(m) => write!(f, "corrupt container: {m}"),
+            H5Error::NoSuchDataset(n) => write!(f, "no such dataset: {n}"),
+            H5Error::DuplicateDataset(n) => write!(f, "duplicate dataset: {n}"),
+            H5Error::OutOfBounds {
+                dataset,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds for dataset '{dataset}' of {size} bytes"
+            ),
+            H5Error::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}

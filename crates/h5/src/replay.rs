@@ -1,0 +1,174 @@
+//! Replays h5bench traces through the fabric simulation (Figs. 16–17).
+//!
+//! Each trace record becomes one (or, for records larger than the
+//! library buffer, several) simulated I/O on the chosen fabric. The
+//! record's `depth` bounds how many requests stay in flight — a streamed
+//! dataset keeps the fabric's queue full, while the interleaved
+//! config-2 pattern degenerates to synchronous I/O with a durability
+//! barrier per piece (the "queuing delay incurred by large-sized I/Os"
+//! plus metadata flushes the paper blames for Fig. 17's pre-coalescing
+//! result).
+
+use oaf_core::sim::fabric::{simulate_io, StreamRes};
+use oaf_core::sim::{
+    build_world, ExperimentSpec, FabricKind, SimParams, StreamConfig, WorkloadSpec,
+};
+use oaf_simnet::time::{SimDuration, SimTime};
+use oaf_ssd::IoOp;
+
+use crate::trace::{IoKind, IoTrace};
+
+/// Barrier cost charged after each *synchronous* (depth-1) access: the
+/// dataset-switch overhead of the interleaved multi-dataset pattern —
+/// the VOL drains and re-arms its lease pipeline and flushes metadata
+/// when the kernel hops to another dataset's extent.
+pub const SYNC_BARRIER: SimDuration = SimDuration::from_micros(300);
+
+/// Outcome of a trace replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOutcome {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Virtual elapsed time.
+    pub elapsed: SimDuration,
+    /// Number of simulated I/Os.
+    pub ios: u64,
+}
+
+impl ReplayOutcome {
+    /// Bandwidth in MiB/s.
+    pub fn bandwidth_mib(&self) -> f64 {
+        self.bytes as f64 / (1u64 << 20) as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Replays `trace` on `fabric`, splitting records at `max_io` bytes (the
+/// fabric's slot/buffer size).
+pub fn replay(trace: &IoTrace, fabric: FabricKind, max_io: u64) -> ReplayOutcome {
+    assert!(max_io > 0);
+    // A single-stream world; the workload object only seeds RNGs here.
+    let spec = ExperimentSpec {
+        streams: vec![StreamConfig {
+            fabric,
+            client_vm: 0,
+            target_vm: 1,
+            wire: 0,
+        }],
+        workload: WorkloadSpec::new(max_io, 1.0),
+        params: SimParams::paper_testbed(),
+    };
+    let mut world = build_world(&spec);
+    let res = StreamRes {
+        client_vm: 0,
+        target_vm: 1,
+        core: 0,
+        wire: 0,
+        stream: 0,
+    };
+
+    let mut inflight: std::collections::VecDeque<SimTime> = std::collections::VecDeque::new();
+    let mut cursor = SimTime::ZERO;
+    let mut last = SimTime::ZERO;
+    let mut bytes = 0u64;
+    let mut ios = 0u64;
+
+    for rec in trace.records() {
+        let op = match rec.kind {
+            IoKind::Write => IoOp::Write,
+            IoKind::Read => IoOp::Read,
+        };
+        let mut remaining = rec.len;
+        while remaining > 0 {
+            let piece = remaining.min(max_io);
+            remaining -= piece;
+            // Respect the record's pipeline depth.
+            while inflight.len() >= rec.depth {
+                let done = inflight.pop_front().expect("non-empty");
+                cursor = cursor.max(done);
+            }
+            let outcome = simulate_io(
+                &mut world,
+                fabric,
+                res,
+                op,
+                piece,
+                oaf_core::sim::Pattern::Sequential,
+                cursor,
+            );
+            let mut done = outcome.done;
+            if rec.depth == 1 {
+                done += SYNC_BARRIER;
+            }
+            inflight.push_back(done);
+            last = last.max(done);
+            bytes += piece;
+            ios += 1;
+        }
+    }
+    ReplayOutcome {
+        bytes,
+        elapsed: last.saturating_since(SimTime::ZERO),
+        ios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{IoRecord, IoTrace};
+    use oaf_core::sim::ShmVariant;
+
+    fn trace(pieces: u64, len: u64, depth: usize, kind: IoKind) -> IoTrace {
+        let mut t = IoTrace::new();
+        for i in 0..pieces {
+            t.push(IoRecord {
+                kind,
+                offset: i * len,
+                len,
+                depth,
+            });
+        }
+        t
+    }
+
+    const OAF: FabricKind = FabricKind::Shm {
+        variant: ShmVariant::ZeroCopy,
+    };
+
+    #[test]
+    fn replay_moves_all_bytes() {
+        let t = trace(16, 2 << 20, 128, IoKind::Write);
+        let out = replay(&t, OAF, 128 * 1024);
+        assert_eq!(out.bytes, 32 << 20);
+        assert_eq!(out.ios, 16 * 16); // 2 MiB split into 128K pieces
+        assert!(out.bandwidth_mib() > 0.0);
+    }
+
+    #[test]
+    fn pipelined_beats_synchronous() {
+        let streamed = replay(&trace(32, 2 << 20, 128, IoKind::Write), OAF, 128 * 1024);
+        let sync = replay(&trace(32, 2 << 20, 1, IoKind::Write), OAF, 128 * 1024);
+        assert!(
+            streamed.bandwidth_mib() > 3.0 * sync.bandwidth_mib(),
+            "streamed {:.0} vs sync {:.0}",
+            streamed.bandwidth_mib(),
+            sync.bandwidth_mib()
+        );
+    }
+
+    #[test]
+    fn oaf_beats_tcp_for_streamed_writes() {
+        let t = trace(32, 2 << 20, 128, IoKind::Write);
+        let shm = replay(&t, OAF, 128 * 1024);
+        let tcp = replay(&t, FabricKind::TcpStock { gbps: 25.0 }, 128 * 1024);
+        assert!(shm.bandwidth_mib() > 1.5 * tcp.bandwidth_mib());
+    }
+
+    #[test]
+    fn reads_replay_too() {
+        let t = trace(16, 2 << 20, 128, IoKind::Read);
+        let out = replay(&t, OAF, 128 * 1024);
+        assert_eq!(out.bytes, 32 << 20);
+        assert!(out.bandwidth_mib() > 1000.0);
+    }
+}

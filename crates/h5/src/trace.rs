@@ -1,0 +1,199 @@
+//! I/O traces and the coalescing optimization (§5.7.1).
+//!
+//! A trace is the sequence of storage I/Os an HDF5 kernel emits through
+//! the VOL. Each record carries a *pipeline depth* hint: how many
+//! requests the runtime may keep in flight while executing it. One large
+//! contiguous `H5Dwrite` streams at the full queue depth; the
+//! interleaved multi-dataset pattern of config-2 degenerates into
+//! synchronous bursts — exactly the behaviour the paper's coalescing
+//! optimization repairs "in an application agnostic manner".
+
+use crate::H5Error;
+
+/// Direction of one record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoKind {
+    /// Write to storage.
+    Write,
+    /// Read from storage.
+    Read,
+}
+
+/// One storage I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoRecord {
+    /// Direction.
+    pub kind: IoKind,
+    /// Absolute byte offset in the container.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// How many requests may be in flight while this record executes
+    /// (1 = synchronous metadata/interleaved access).
+    pub depth: usize,
+}
+
+/// An ordered I/O trace.
+#[derive(Clone, Debug, Default)]
+pub struct IoTrace {
+    records: Vec<IoRecord>,
+}
+
+impl IoTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        IoTrace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: IoRecord) {
+        assert!(rec.len > 0, "zero-length record");
+        assert!(rec.depth > 0, "zero depth");
+        self.records.push(rec);
+    }
+
+    /// The records in order.
+    pub fn records(&self) -> &[IoRecord] {
+        &self.records
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len).sum()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The paper's application-agnostic I/O coalescing (§5.7.1): merges
+    /// *adjacent-in-file, same-direction* consecutive records into
+    /// batches of up to `max_batch` bytes, and lifts the batch to the
+    /// full pipeline depth `depth` — buffered data no longer has to be
+    /// issued synchronously.
+    pub fn coalesce(&self, max_batch: u64, depth: usize) -> IoTrace {
+        assert!(max_batch > 0 && depth > 0);
+        let mut out = IoTrace::new();
+        let mut pending: Option<IoRecord> = None;
+        for &rec in &self.records {
+            match pending {
+                Some(ref mut p)
+                    if p.kind == rec.kind
+                        && p.offset + p.len == rec.offset
+                        && p.len + rec.len <= max_batch =>
+                {
+                    p.len += rec.len;
+                }
+                Some(p) => {
+                    out.push(IoRecord { depth, ..p });
+                    pending = Some(rec);
+                }
+                None => pending = Some(rec),
+            }
+        }
+        if let Some(p) = pending {
+            out.push(IoRecord { depth, ..p });
+        }
+        out
+    }
+
+    /// Validates the trace against a container size.
+    pub fn validate(&self, capacity: u64) -> Result<(), H5Error> {
+        for r in &self.records {
+            if r.offset + r.len > capacity {
+                return Err(H5Error::Storage(format!(
+                    "record [{}, {}) beyond capacity {capacity}",
+                    r.offset,
+                    r.offset + r.len
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(offset: u64, len: u64, depth: usize) -> IoRecord {
+        IoRecord {
+            kind: IoKind::Write,
+            offset,
+            len,
+            depth,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = IoTrace::new();
+        t.push(w(0, 100, 1));
+        t.push(w(100, 50, 1));
+        assert_eq!(t.total_bytes(), 150);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_writes() {
+        let mut t = IoTrace::new();
+        for i in 0..8u64 {
+            t.push(w(i * 1024, 1024, 1));
+        }
+        let c = t.coalesce(4096, 32);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.records()[0], w(0, 4096, 32));
+        assert_eq!(c.records()[1], w(4096, 4096, 32));
+        assert_eq!(c.total_bytes(), t.total_bytes());
+    }
+
+    #[test]
+    fn coalesce_respects_gaps_and_direction() {
+        let mut t = IoTrace::new();
+        t.push(w(0, 100, 1));
+        t.push(w(200, 100, 1)); // gap
+        t.push(IoRecord {
+            kind: IoKind::Read,
+            offset: 300,
+            len: 100,
+            depth: 1,
+        }); // direction change
+        let c = t.coalesce(1 << 20, 16);
+        assert_eq!(c.len(), 3);
+        assert!(c.records().iter().all(|r| r.depth == 16));
+    }
+
+    #[test]
+    fn coalesce_respects_batch_cap() {
+        let mut t = IoTrace::new();
+        for i in 0..4u64 {
+            t.push(w(i * 1000, 1000, 1));
+        }
+        let c = t.coalesce(2500, 8);
+        // 1000+1000 fits, +1000 exceeds 2500 → batches of 2.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.records()[0].len, 2000);
+    }
+
+    #[test]
+    fn validate_catches_overflow() {
+        let mut t = IoTrace::new();
+        t.push(w(0, 100, 1));
+        assert!(t.validate(100).is_ok());
+        t.push(w(90, 20, 1));
+        assert!(t.validate(100).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_len_rejected() {
+        IoTrace::new().push(w(0, 0, 1));
+    }
+}

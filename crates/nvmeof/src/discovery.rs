@@ -1,0 +1,331 @@
+//! NVMe-oF discovery service.
+//!
+//! NVMe-oF initiators find subsystems by querying a *discovery
+//! controller* for its log page of subsystem records (transport type,
+//! address, subsystem NQN — §2.1's "collection of controllers used to
+//! access namespaces"). The paper's deployments assume this machinery
+//! exists under the resource manager; the adaptive fabric adds one twist,
+//! reproduced here: a discovery record can advertise *shared-memory
+//! reachability* so a client knows before connecting that the adaptive
+//! channel is available on this host.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::NvmeofError;
+
+/// Transport kinds a discovery record can advertise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TransportKind {
+    /// NVMe/TCP.
+    Tcp = 1,
+    /// NVMe/RDMA.
+    Rdma = 2,
+    /// The adaptive fabric's shared-memory channel (co-located hosts
+    /// only).
+    Shm = 3,
+}
+
+impl TransportKind {
+    fn from_u8(v: u8) -> Result<Self, NvmeofError> {
+        Ok(match v {
+            1 => TransportKind::Tcp,
+            2 => TransportKind::Rdma,
+            3 => TransportKind::Shm,
+            other => {
+                return Err(NvmeofError::Codec(format!(
+                    "unknown transport kind {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// One subsystem entry in the discovery log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscoveryRecord {
+    /// Subsystem NVMe Qualified Name.
+    pub subnqn: String,
+    /// Transport the subsystem is reachable over.
+    pub transport: TransportKind,
+    /// Transport address (host id for shm, "ip:port" for tcp/rdma).
+    pub address: String,
+    /// Host identity of the machine the target runs on (locality
+    /// matching, §4.2).
+    pub host_id: u64,
+}
+
+const MAX_STR: usize = 223; // NQN maximum length per spec
+
+fn put_str(dst: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= MAX_STR);
+    dst.put_u8(s.len() as u8);
+    dst.put_slice(s.as_bytes());
+}
+
+fn get_str(src: &mut Bytes) -> Result<String, NvmeofError> {
+    if src.remaining() < 1 {
+        return Err(NvmeofError::Codec("string length missing".into()));
+    }
+    let len = src.get_u8() as usize;
+    if src.remaining() < len {
+        return Err(NvmeofError::Codec("string truncated".into()));
+    }
+    let raw = src.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| NvmeofError::Codec("string not UTF-8".into()))
+}
+
+impl DiscoveryRecord {
+    /// Creates a record, validating field lengths.
+    pub fn new(
+        subnqn: impl Into<String>,
+        transport: TransportKind,
+        address: impl Into<String>,
+        host_id: u64,
+    ) -> Result<Self, NvmeofError> {
+        let subnqn = subnqn.into();
+        let address = address.into();
+        if subnqn.is_empty() || subnqn.len() > MAX_STR {
+            return Err(NvmeofError::Protocol(format!(
+                "invalid NQN length {}",
+                subnqn.len()
+            )));
+        }
+        if address.len() > MAX_STR {
+            return Err(NvmeofError::Protocol("address too long".into()));
+        }
+        Ok(DiscoveryRecord {
+            subnqn,
+            transport,
+            address,
+            host_id,
+        })
+    }
+
+    fn encode(&self, dst: &mut BytesMut) {
+        put_str(dst, &self.subnqn);
+        dst.put_u8(self.transport as u8);
+        put_str(dst, &self.address);
+        dst.put_u64_le(self.host_id);
+    }
+
+    fn decode(src: &mut Bytes) -> Result<Self, NvmeofError> {
+        let subnqn = get_str(src)?;
+        if src.remaining() < 1 {
+            return Err(NvmeofError::Codec("transport kind missing".into()));
+        }
+        let transport = TransportKind::from_u8(src.get_u8())?;
+        let address = get_str(src)?;
+        if src.remaining() < 8 {
+            return Err(NvmeofError::Codec("host id missing".into()));
+        }
+        let host_id = src.get_u64_le();
+        Ok(DiscoveryRecord {
+            subnqn,
+            transport,
+            address,
+            host_id,
+        })
+    }
+}
+
+/// The discovery log page: a generation counter plus the records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiscoveryLog {
+    /// Bumped on every registry change, so initiators can detect staleness.
+    pub generation: u64,
+    /// The advertised subsystems.
+    pub records: Vec<DiscoveryRecord>,
+}
+
+impl DiscoveryLog {
+    /// Serializes the log page.
+    pub fn encode(&self) -> Bytes {
+        let mut dst = BytesMut::new();
+        dst.put_u64_le(self.generation);
+        dst.put_u32_le(self.records.len() as u32);
+        for r in &self.records {
+            r.encode(&mut dst);
+        }
+        dst.freeze()
+    }
+
+    /// Deserializes a log page.
+    pub fn decode(mut src: Bytes) -> Result<Self, NvmeofError> {
+        if src.remaining() < 12 {
+            return Err(NvmeofError::Codec("log header truncated".into()));
+        }
+        let generation = src.get_u64_le();
+        let count = src.get_u32_le();
+        if count as usize > 4096 {
+            return Err(NvmeofError::Codec(format!("absurd record count {count}")));
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            records.push(DiscoveryRecord::decode(&mut src)?);
+        }
+        if src.has_remaining() {
+            return Err(NvmeofError::Codec("trailing bytes after log".into()));
+        }
+        Ok(DiscoveryLog {
+            generation,
+            records,
+        })
+    }
+}
+
+/// The discovery controller: subsystems register; initiators query.
+#[derive(Default)]
+pub struct DiscoveryController {
+    log: parking_lot::RwLock<DiscoveryLog>,
+}
+
+impl DiscoveryController {
+    /// An empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) a subsystem record. Replaces any
+    /// existing record with the same `(subnqn, transport)` pair.
+    pub fn register(&self, record: DiscoveryRecord) {
+        let mut log = self.log.write();
+        log.records
+            .retain(|r| !(r.subnqn == record.subnqn && r.transport == record.transport));
+        log.records.push(record);
+        log.generation += 1;
+    }
+
+    /// Removes every record of a subsystem.
+    pub fn unregister(&self, subnqn: &str) {
+        let mut log = self.log.write();
+        let before = log.records.len();
+        log.records.retain(|r| r.subnqn != subnqn);
+        if log.records.len() != before {
+            log.generation += 1;
+        }
+    }
+
+    /// The current log page (what a Get Log Page command returns).
+    pub fn log_page(&self) -> DiscoveryLog {
+        self.log.read().clone()
+    }
+
+    /// Initiator-side helper: the best record for reaching `subnqn` from
+    /// a client on `client_host` — the adaptive choice prefers the
+    /// shared-memory transport when co-located, mirroring the fabric's
+    /// channel selection (§4.2).
+    pub fn select(&self, subnqn: &str, client_host: u64) -> Option<DiscoveryRecord> {
+        let log = self.log.read();
+        let candidates: Vec<&DiscoveryRecord> =
+            log.records.iter().filter(|r| r.subnqn == subnqn).collect();
+        candidates
+            .iter()
+            .find(|r| r.transport == TransportKind::Shm && r.host_id == client_host)
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .find(|r| r.transport == TransportKind::Rdma)
+            })
+            .or_else(|| candidates.first())
+            .map(|r| (*r).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(nqn: &str, t: TransportKind, host: u64) -> DiscoveryRecord {
+        DiscoveryRecord::new(nqn, t, format!("addr-of-{nqn}"), host).unwrap()
+    }
+
+    #[test]
+    fn log_page_roundtrips() {
+        let log = DiscoveryLog {
+            generation: 7,
+            records: vec![
+                rec("nqn.2026-07.io.oaf:ssd1", TransportKind::Tcp, 1),
+                rec("nqn.2026-07.io.oaf:ssd1", TransportKind::Shm, 1),
+                rec("nqn.2026-07.io.oaf:ssd2", TransportKind::Rdma, 2),
+            ],
+        };
+        let back = DiscoveryLog::decode(log.encode()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn truncated_log_rejected() {
+        let log = DiscoveryLog {
+            generation: 1,
+            records: vec![rec("nqn.x", TransportKind::Tcp, 1)],
+        };
+        let full = log.encode();
+        for cut in [0, 4, 11, full.len() - 1] {
+            assert!(
+                DiscoveryLog::decode(full.slice(0..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn registration_bumps_generation_and_replaces() {
+        let dc = DiscoveryController::new();
+        dc.register(rec("nqn.a", TransportKind::Tcp, 1));
+        let g1 = dc.log_page().generation;
+        // Same (nqn, transport): replace, not duplicate.
+        dc.register(rec("nqn.a", TransportKind::Tcp, 9));
+        let log = dc.log_page();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.records[0].host_id, 9);
+        assert!(log.generation > g1);
+    }
+
+    #[test]
+    fn unregister_removes_all_transports() {
+        let dc = DiscoveryController::new();
+        dc.register(rec("nqn.a", TransportKind::Tcp, 1));
+        dc.register(rec("nqn.a", TransportKind::Shm, 1));
+        dc.register(rec("nqn.b", TransportKind::Tcp, 2));
+        dc.unregister("nqn.a");
+        let log = dc.log_page();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.records[0].subnqn, "nqn.b");
+        // Unregistering a missing NQN does not bump the generation.
+        let g = dc.log_page().generation;
+        dc.unregister("nqn.zzz");
+        assert_eq!(dc.log_page().generation, g);
+    }
+
+    #[test]
+    fn selection_prefers_local_shm_then_rdma_then_anything() {
+        let dc = DiscoveryController::new();
+        dc.register(rec("nqn.a", TransportKind::Tcp, 1));
+        dc.register(rec("nqn.a", TransportKind::Rdma, 1));
+        dc.register(rec("nqn.a", TransportKind::Shm, 1));
+
+        // Co-located client: the adaptive fabric's shm channel.
+        let local = dc.select("nqn.a", 1).unwrap();
+        assert_eq!(local.transport, TransportKind::Shm);
+        // Remote client: shm unreachable, prefer RDMA.
+        let remote = dc.select("nqn.a", 2).unwrap();
+        assert_eq!(remote.transport, TransportKind::Rdma);
+
+        // TCP-only subsystem: take what exists.
+        dc.register(rec("nqn.tcp-only", TransportKind::Tcp, 3));
+        assert_eq!(
+            dc.select("nqn.tcp-only", 4).unwrap().transport,
+            TransportKind::Tcp
+        );
+        assert!(dc.select("nqn.missing", 1).is_none());
+    }
+
+    #[test]
+    fn invalid_records_rejected() {
+        assert!(DiscoveryRecord::new("", TransportKind::Tcp, "a", 1).is_err());
+        let long = "x".repeat(MAX_STR + 1);
+        assert!(DiscoveryRecord::new(long.clone(), TransportKind::Tcp, "a", 1).is_err());
+        assert!(DiscoveryRecord::new("nqn.ok", TransportKind::Tcp, long, 1).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for the NVMe-oF stack.
+
+use crate::nvme::completion::Status;
+
+/// Errors surfaced by the NVMe-oF target, initiator and codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeofError {
+    /// Malformed or truncated PDU bytes.
+    Codec(String),
+    /// The peer hung up or the transport failed.
+    TransportClosed,
+    /// The peer violated the protocol state machine.
+    Protocol(String),
+    /// The device returned a non-success NVMe status.
+    Nvme(Status),
+    /// Shared-memory payload channel failure.
+    Payload(String),
+    /// A blocking operation timed out.
+    Timeout,
+}
+
+impl std::fmt::Display for NvmeofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmeofError::Codec(m) => write!(f, "codec error: {m}"),
+            NvmeofError::TransportClosed => write!(f, "transport closed"),
+            NvmeofError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NvmeofError::Nvme(s) => write!(f, "nvme status: {s:?}"),
+            NvmeofError::Payload(m) => write!(f, "payload channel: {m}"),
+            NvmeofError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NvmeofError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NvmeofError::Codec("short header".into());
+        assert!(e.to_string().contains("short header"));
+        assert!(NvmeofError::Timeout.to_string().contains("timed out"));
+        assert!(NvmeofError::Nvme(Status::LbaOutOfRange)
+            .to_string()
+            .contains("LbaOutOfRange"));
+    }
+}

@@ -1,0 +1,737 @@
+//! The NVMe-oF initiator (client).
+//!
+//! Implements the client half of the flows in Figs. 5–7: ICReq/ICResp
+//! handshake with adaptive-fabric capability negotiation, asynchronous
+//! command submission with completion polling (the SPDK-perf usage
+//! pattern: a queue depth of in-flight commands serviced by one polling
+//! thread), and all three write flow-control paths — inline in-capsule,
+//! conservative R2T, and shared-memory in-capsule (§4.4.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::error::NvmeofError;
+use crate::nvme::command::{NvmeCommand, Opcode};
+use crate::nvme::completion::Status;
+use crate::nvme::controller::IdentifyInfo;
+use crate::payload::PayloadChannel;
+use crate::pdu::{CapsuleCmd, DataPdu, DataRef, ICReq, Pdu, AF_CAP_SHM};
+use crate::transport::Transport;
+use crate::FlowMode;
+
+/// Client-side connection options.
+#[derive(Clone)]
+pub struct InitiatorOptions {
+    /// Host identity sent in the ICReq (locality matching, §4.2).
+    pub host_id: u64,
+    /// Adaptive-fabric capabilities requested.
+    pub af_caps: u32,
+    /// Write flow-control regime to use once shared memory is active.
+    pub flow: FlowMode,
+    /// Maximum R2Ts (informational).
+    pub maxr2t: u32,
+}
+
+impl Default for InitiatorOptions {
+    fn default() -> Self {
+        InitiatorOptions {
+            host_id: 0x4846_u64, // "HF": host-fabric default identity
+            af_caps: 0,
+            flow: FlowMode::Conservative,
+            maxr2t: 16,
+        }
+    }
+}
+
+struct PendingIo {
+    opcode: Opcode,
+    read_buf: Vec<u8>,
+    stashed_write: Option<Bytes>,
+    completion: Option<Status>,
+}
+
+/// Outcome of a completed I/O.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IoResult {
+    /// Command identifier.
+    pub cid: u16,
+    /// NVMe status.
+    pub status: Status,
+    /// Read data (empty for writes/flushes).
+    pub data: Vec<u8>,
+}
+
+/// An NVMe-oF initiator over a transport.
+pub struct Initiator<T: Transport> {
+    transport: T,
+    payload: Option<Arc<dyn PayloadChannel>>,
+    opts: InitiatorOptions,
+    shm_active: bool,
+    in_capsule_max: usize,
+    next_cid: u16,
+    pending: HashMap<u16, PendingIo>,
+    completed: Vec<IoResult>,
+}
+
+impl<T: Transport> Initiator<T> {
+    /// Connects: performs the ICReq/ICResp handshake of Fig. 5. `payload`
+    /// is the hot-plugged shared-memory channel, if locality detection
+    /// found one.
+    pub fn connect(
+        transport: T,
+        opts: InitiatorOptions,
+        payload: Option<Arc<dyn PayloadChannel>>,
+        timeout: Duration,
+    ) -> Result<Self, NvmeofError> {
+        transport.send(
+            Pdu::ICReq(ICReq {
+                pfv: 1,
+                maxr2t: opts.maxr2t,
+                af_caps: opts.af_caps,
+                host_id: opts.host_id,
+            })
+            .encode(),
+        )?;
+        let deadline = Instant::now() + timeout;
+        let resp = loop {
+            match transport.recv_timeout(Duration::from_millis(1))? {
+                Some(frame) => match Pdu::decode(frame)? {
+                    Pdu::ICResp(r) => break r,
+                    other => {
+                        return Err(NvmeofError::Protocol(format!(
+                            "expected ICResp, got {other:?}"
+                        )))
+                    }
+                },
+                None if Instant::now() >= deadline => return Err(NvmeofError::Timeout),
+                None => {}
+            }
+        };
+        let shm_active = resp.af_caps & AF_CAP_SHM != 0 && payload.is_some();
+        Ok(Initiator {
+            transport,
+            payload,
+            opts,
+            shm_active,
+            in_capsule_max: resp.ioccsz as usize,
+            next_cid: 1,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+        })
+    }
+
+    /// Whether the shared-memory data path was negotiated (§4.2).
+    pub fn shm_active(&self) -> bool {
+        self.shm_active
+    }
+
+    /// Negotiated in-capsule data limit.
+    pub fn in_capsule_max(&self) -> usize {
+        self.in_capsule_max
+    }
+
+    /// Number of commands in flight.
+    pub fn inflight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn alloc_cid(&mut self) -> u16 {
+        // Linear probe around the u16 space; QD is far below 65k.
+        loop {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1).max(1);
+            if !self.pending.contains_key(&cid) {
+                return cid;
+            }
+        }
+    }
+
+    /// Submits a write of `data` (must be `nlb * block_size` bytes).
+    /// Returns the command id to match against completions.
+    pub fn submit_write(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        data: Bytes,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.alloc_cid();
+        let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
+        let use_shm = self.shm_active
+            && self
+                .payload
+                .as_ref()
+                .is_some_and(|ch| data.len() <= ch.max_payload());
+        let mut stashed = None;
+        let capsule_data = if use_shm && self.opts.flow == FlowMode::InCapsule {
+            // Shared-memory flow control: payload parks in the region and
+            // the command alone reaches the target (§4.4.2 swaps steps ①
+            // and ③ of Fig. 7 and drops R2T + H2C).
+            let ch = self.payload.as_ref().expect("use_shm implies channel");
+            let (slot, len) = ch.publish(&data)?;
+            Some(DataRef::ShmSlot { slot, len })
+        } else if !use_shm && data.len() <= self.in_capsule_max {
+            Some(DataRef::Inline(data.clone()))
+        } else {
+            // Conservative flow: wait for R2T, then ship the payload
+            // (over shm if negotiated — Fig. 7's NVMe-oSHM flow — or
+            // inline otherwise).
+            stashed = Some(data.clone());
+            None
+        };
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Write,
+                read_buf: Vec::new(),
+                stashed_write: stashed,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd,
+                data: capsule_data,
+            })
+            .encode(),
+        )?;
+        Ok(cid)
+    }
+
+    /// Submits a write whose payload is *already published* in the
+    /// shared-memory channel at `(slot, len)` — the zero-copy path
+    /// (§4.4.3): the application built its data directly in the region,
+    /// so no bytes move here at all.
+    pub fn submit_write_published(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        slot: u32,
+        len: u32,
+    ) -> Result<u16, NvmeofError> {
+        if !self.shm_active {
+            return Err(NvmeofError::Protocol(
+                "zero-copy write requires a negotiated shared-memory channel".into(),
+            ));
+        }
+        let cid = self.alloc_cid();
+        let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Write,
+                read_buf: Vec::new(),
+                stashed_write: None,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd,
+                data: Some(DataRef::ShmSlot { slot, len }),
+            })
+            .encode(),
+        )?;
+        Ok(cid)
+    }
+
+    /// Submits a read of `nlb` blocks; the buffer is sized from
+    /// `expected_len` (namespace block size × nlb).
+    pub fn submit_read(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.alloc_cid();
+        let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Read,
+                read_buf: vec![0u8; expected_len],
+                stashed_write: None,
+                completion: None,
+            },
+        );
+        self.transport
+            .send(Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }).encode())?;
+        Ok(cid)
+    }
+
+    /// Submits a compare: the target checks `data` against the stored
+    /// blocks and completes with `CompareFailure` on mismatch. The
+    /// payload rides whatever channel writes would (in-capsule, R2T, or
+    /// shared-memory slot).
+    pub fn submit_compare(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        data: Bytes,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.alloc_cid();
+        let cmd = NvmeCommand::compare(cid, nsid, slba, nlb);
+        let use_shm = self.shm_active
+            && self
+                .payload
+                .as_ref()
+                .is_some_and(|ch| data.len() <= ch.max_payload());
+        let mut stashed = None;
+        let capsule_data = if use_shm {
+            let ch = self.payload.as_ref().expect("use_shm implies channel");
+            let (slot, len) = ch.publish(&data)?;
+            Some(DataRef::ShmSlot { slot, len })
+        } else if data.len() <= self.in_capsule_max {
+            Some(DataRef::Inline(data.clone()))
+        } else {
+            stashed = Some(data.clone());
+            None
+        };
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Compare,
+                read_buf: Vec::new(),
+                stashed_write: stashed,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd,
+                data: capsule_data,
+            })
+            .encode(),
+        )?;
+        Ok(cid)
+    }
+
+    /// Submits a write-zeroes over `nlb` blocks (no payload transfer).
+    pub fn submit_write_zeroes(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.alloc_cid();
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::WriteZeroes,
+                read_buf: Vec::new(),
+                stashed_write: None,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd: NvmeCommand::write_zeroes(cid, nsid, slba, nlb),
+                data: None,
+            })
+            .encode(),
+        )?;
+        Ok(cid)
+    }
+
+    /// Submits a flush.
+    pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
+        let cid = self.alloc_cid();
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Flush,
+                read_buf: Vec::new(),
+                stashed_write: None,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd: NvmeCommand::flush(cid, nsid),
+                data: None,
+            })
+            .encode(),
+        )?;
+        Ok(cid)
+    }
+
+    /// Polls the transport once, processing any frames; completed I/Os are
+    /// moved to the internal completion list and returned.
+    pub fn poll(&mut self) -> Result<Vec<IoResult>, NvmeofError> {
+        while let Some(frame) = self.transport.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Polls until `cid` completes or `timeout` elapses.
+    pub fn wait(&mut self, cid: u16, timeout: Duration) -> Result<IoResult, NvmeofError> {
+        let deadline = Instant::now() + timeout;
+        let mut done = Vec::new();
+        loop {
+            done.extend(self.poll()?);
+            if let Some(pos) = done.iter().position(|r| r.cid == cid) {
+                let result = done.swap_remove(pos);
+                self.completed.extend(done);
+                return Ok(result);
+            }
+            if Instant::now() >= deadline {
+                self.completed.extend(done);
+                return Err(NvmeofError::Timeout);
+            }
+            if let Some(frame) = self.transport.recv_timeout(Duration::from_millis(1))? {
+                self.on_frame(frame)?;
+            }
+        }
+    }
+
+    fn on_frame(&mut self, frame: Bytes) -> Result<(), NvmeofError> {
+        match Pdu::decode(frame)? {
+            Pdu::R2T(r2t) => {
+                let Some(pending) = self.pending.get_mut(&r2t.cid) else {
+                    return Err(NvmeofError::Protocol(format!(
+                        "R2T for unknown cid {}",
+                        r2t.cid
+                    )));
+                };
+                let Some(data) = pending.stashed_write.take() else {
+                    return Err(NvmeofError::Protocol("R2T without stashed data".into()));
+                };
+                if (r2t.len as usize) < data.len() {
+                    return Err(NvmeofError::Protocol(
+                        "R2T grant smaller than payload".into(),
+                    ));
+                }
+                let use_shm = self.shm_active
+                    && self
+                        .payload
+                        .as_ref()
+                        .is_some_and(|ch| data.len() <= ch.max_payload());
+                let dref = if use_shm {
+                    // Fig. 7 step ③/④: copy payload to shared memory, send
+                    // the location as the H2C notification.
+                    let ch = self.payload.as_ref().expect("channel");
+                    let (slot, len) = ch.publish(&data)?;
+                    DataRef::ShmSlot { slot, len }
+                } else {
+                    DataRef::Inline(data)
+                };
+                self.transport.send(
+                    Pdu::H2CData(DataPdu {
+                        cid: r2t.cid,
+                        ttag: r2t.ttag,
+                        offset: 0,
+                        last: true,
+                        data: dref,
+                    })
+                    .encode(),
+                )?;
+            }
+            Pdu::C2HData(d) => {
+                let Some(pending) = self.pending.get_mut(&d.cid) else {
+                    return Err(NvmeofError::Protocol(format!(
+                        "C2H data for unknown cid {}",
+                        d.cid
+                    )));
+                };
+                let off = d.offset as usize;
+                match d.data {
+                    DataRef::Inline(b) => {
+                        if pending.opcode == Opcode::Identify || pending.opcode == Opcode::Flush {
+                            pending.read_buf = b.to_vec();
+                        } else {
+                            if off + b.len() > pending.read_buf.len() {
+                                return Err(NvmeofError::Protocol(
+                                    "C2H data beyond read buffer".into(),
+                                ));
+                            }
+                            pending.read_buf[off..off + b.len()].copy_from_slice(&b);
+                        }
+                    }
+                    DataRef::ShmSlot { slot, len } => {
+                        let ch = self.payload.as_ref().ok_or_else(|| {
+                            NvmeofError::Protocol("shm ref without channel".into())
+                        })?;
+                        if off + len as usize > pending.read_buf.len() {
+                            return Err(NvmeofError::Protocol(
+                                "C2H shm data beyond read buffer".into(),
+                            ));
+                        }
+                        ch.consume(slot, len, &mut pending.read_buf[off..off + len as usize])?;
+                    }
+                }
+            }
+            Pdu::CapsuleResp(r) => {
+                let cid = r.completion.cid;
+                let Some(mut pending) = self.pending.remove(&cid) else {
+                    return Err(NvmeofError::Protocol(format!(
+                        "completion for unknown cid {cid}"
+                    )));
+                };
+                pending.completion = Some(r.completion.status);
+                self.completed.push(IoResult {
+                    cid,
+                    status: r.completion.status,
+                    data: std::mem::take(&mut pending.read_buf),
+                });
+            }
+            other => {
+                return Err(NvmeofError::Protocol(format!(
+                    "unexpected PDU at initiator: {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking write convenience wrapper.
+    pub fn write_blocking(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        data: Bytes,
+        timeout: Duration,
+    ) -> Result<(), NvmeofError> {
+        let cid = self.submit_write(nsid, slba, nlb, data)?;
+        let result = self.wait(cid, timeout)?;
+        if result.status.is_ok() {
+            Ok(())
+        } else {
+            Err(NvmeofError::Nvme(result.status))
+        }
+    }
+
+    /// Blocking read convenience wrapper.
+    pub fn read_blocking(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, NvmeofError> {
+        let cid = self.submit_read(nsid, slba, nlb, expected_len)?;
+        let result = self.wait(cid, timeout)?;
+        if result.status.is_ok() {
+            Ok(result.data)
+        } else {
+            Err(NvmeofError::Nvme(result.status))
+        }
+    }
+
+    /// Queries namespace geometry.
+    pub fn identify(&mut self, nsid: u32, timeout: Duration) -> Result<IdentifyInfo, NvmeofError> {
+        let cid = self.alloc_cid();
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode: Opcode::Identify,
+                read_buf: Vec::new(),
+                stashed_write: None,
+                completion: None,
+            },
+        );
+        self.transport.send(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd: NvmeCommand {
+                    cid,
+                    opcode: Opcode::Identify,
+                    nsid,
+                    slba: 0,
+                    nlb: 0,
+                },
+                data: None,
+            })
+            .encode(),
+        )?;
+        let result = self.wait(cid, timeout)?;
+        if !result.status.is_ok() {
+            return Err(NvmeofError::Nvme(result.status));
+        }
+        IdentifyInfo::from_bytes(&result.data)
+            .ok_or_else(|| NvmeofError::Codec("identify payload malformed".into()))
+    }
+
+    /// Sends a termination request.
+    pub fn disconnect(&mut self) -> Result<(), NvmeofError> {
+        self.transport
+            .send(Pdu::TermReq(crate::pdu::TermReq { reason: 0 }).encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvme::controller::Controller;
+    use crate::nvme::namespace::Namespace;
+    use crate::target::{spawn_target, TargetConfig};
+    use crate::transport::MemTransport;
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn setup(
+        opts: InitiatorOptions,
+        cfg: TargetConfig,
+        channels: Option<(Arc<dyn PayloadChannel>, Arc<dyn PayloadChannel>)>,
+    ) -> (Initiator<MemTransport>, crate::target::TargetHandle) {
+        let (ct, tt) = MemTransport::pair();
+        let mut ctrl = Controller::new();
+        ctrl.add_namespace(Namespace::new(1, 4096, 4096));
+        let (client_ch, target_ch) = match channels {
+            Some((c, t)) => (Some(c), Some(t)),
+            None => (None, None),
+        };
+        let handle = spawn_target(tt, ctrl, cfg, target_ch);
+        let ini = Initiator::connect(ct, opts, client_ch, TIMEOUT).unwrap();
+        (ini, handle)
+    }
+
+    #[test]
+    fn end_to_end_write_read_inline() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        assert!(!ini.shm_active());
+        let data = Bytes::from(vec![0x42u8; 128 * 1024]);
+        ini.write_blocking(1, 0, 32, data.clone(), TIMEOUT).unwrap();
+        let back = ini.read_blocking(1, 0, 32, 128 * 1024, TIMEOUT).unwrap();
+        assert_eq!(back, data);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn small_write_goes_in_capsule() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let data = Bytes::from(vec![7u8; 4096]);
+        ini.write_blocking(1, 5, 1, data.clone(), TIMEOUT).unwrap();
+        let back = ini.read_blocking(1, 5, 1, 4096, TIMEOUT).unwrap();
+        assert_eq!(back, data);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shm_negotiation_and_io() {
+        use crate::payload::MailboxChannel;
+        let (c, t) = MailboxChannel::pair(16);
+        let opts = InitiatorOptions {
+            af_caps: AF_CAP_SHM,
+            flow: FlowMode::InCapsule,
+            ..InitiatorOptions::default()
+        };
+        let (mut ini, handle) = setup(
+            opts,
+            TargetConfig::default(),
+            Some((c as Arc<dyn PayloadChannel>, t as Arc<dyn PayloadChannel>)),
+        );
+        assert!(ini.shm_active());
+        let data = Bytes::from(vec![0x99u8; 256 * 1024]);
+        ini.write_blocking(1, 0, 64, data.clone(), TIMEOUT).unwrap();
+        let back = ini.read_blocking(1, 0, 64, 256 * 1024, TIMEOUT).unwrap();
+        assert_eq!(back, data);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn queue_depth_pipelining() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let qd = 32;
+        let mut cids = Vec::new();
+        for i in 0..qd {
+            let data = Bytes::from(vec![i as u8; 4096]);
+            cids.push(ini.submit_write(1, i as u64, 1, data).unwrap());
+        }
+        assert_eq!(ini.inflight(), qd);
+        let mut done = 0;
+        let deadline = Instant::now() + TIMEOUT;
+        while done < qd && Instant::now() < deadline {
+            done += ini.poll().unwrap().len();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(done, qd);
+        // Verify contents round-trip.
+        for i in 0..qd {
+            let back = ini.read_blocking(1, i as u64, 1, 4096, TIMEOUT).unwrap();
+            assert!(back.iter().all(|&b| b == i as u8), "lba {i} corrupt");
+        }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn compare_and_write_zeroes_end_to_end() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let data = Bytes::from(vec![0x7du8; 4096]);
+        ini.write_blocking(1, 9, 1, data.clone(), TIMEOUT).unwrap();
+
+        // Matching compare succeeds.
+        let cid = ini.submit_compare(1, 9, 1, data).unwrap();
+        assert!(ini.wait(cid, TIMEOUT).unwrap().status.is_ok());
+        // Mismatch fails with CompareFailure.
+        let cid = ini
+            .submit_compare(1, 9, 1, Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+        assert_eq!(
+            ini.wait(cid, TIMEOUT).unwrap().status,
+            Status::CompareFailure
+        );
+
+        // Write-zeroes clears the range; the compare against zeros now
+        // passes.
+        let cid = ini.submit_write_zeroes(1, 9, 1).unwrap();
+        assert!(ini.wait(cid, TIMEOUT).unwrap().status.is_ok());
+        let cid = ini
+            .submit_compare(1, 9, 1, Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+        assert!(ini.wait(cid, TIMEOUT).unwrap().status.is_ok());
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn large_compare_uses_conservative_flow() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let data = Bytes::from(vec![0x3eu8; 64 * 1024]);
+        ini.write_blocking(1, 32, 16, data.clone(), TIMEOUT)
+            .unwrap();
+        // 64 KiB > ioccsz: the compare payload goes via R2T + H2C.
+        let cid = ini.submit_compare(1, 32, 16, data).unwrap();
+        assert!(ini.wait(cid, TIMEOUT).unwrap().status.is_ok());
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn identify_returns_geometry() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let info = ini.identify(1, TIMEOUT).unwrap();
+        assert_eq!(info.block_size, 4096);
+        assert_eq!(info.capacity_blocks, 4096);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn nvme_error_surfaces() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let err = ini.read_blocking(1, 10_000, 1, 4096, TIMEOUT).unwrap_err();
+        assert!(matches!(err, NvmeofError::Nvme(Status::LbaOutOfRange)));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn flush_completes() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        let cid = ini.submit_flush(1).unwrap();
+        let r = ini.wait(cid, TIMEOUT).unwrap();
+        assert!(r.status.is_ok());
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn disconnect_stops_target() {
+        let (mut ini, handle) = setup(InitiatorOptions::default(), TargetConfig::default(), None);
+        ini.disconnect().unwrap();
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,62 @@
+//! NVMe and NVMe-over-Fabrics protocol implementation.
+//!
+//! This crate is the reproduction's SPDK analog: a userspace, polled
+//! NVMe-oF target and initiator with pluggable transports. It implements
+//!
+//! * the NVMe command set the paper's workloads exercise
+//!   ([`nvme::command`], [`nvme::controller`], [`nvme::namespace`]),
+//! * the NVMe/TCP PDU vocabulary — ICReq/ICResp handshake, command and
+//!   response capsules, R2T, H2C/C2H data — with binary encode/decode
+//!   ([`pdu`]), extended with the adaptive-fabric flag that lets a data
+//!   PDU *reference a shared-memory slot* instead of carrying bytes
+//!   (§4.3 of the paper),
+//! * the two write flow-control regimes of §4.4.2: in-capsule data for
+//!   small I/O and the conservative CMD → R2T → H2C exchange for large
+//!   I/O,
+//! * an in-process duplex [`transport::MemTransport`] (with an optional
+//!   rate-limited wrapper emulating NIC speeds in wall-clock time), and
+//! * a polled [`target::TargetConnection`] / [`initiator::Initiator`]
+//!   pair that actually moves bytes into a [`oaf_ssd::RamDisk`]-backed
+//!   namespace, plus a multi-connection storage service
+//!   ([`server::spawn_multi`]) matching the paper's one-service,
+//!   many-clients architecture (Fig. 1),
+//! * an in-region duplex control transport
+//!   ([`transport::ShmTransport`]) over lock-free byte rings — the §5.5
+//!   future-work configuration where control PDUs leave kernel TCP too.
+//!
+//! The adaptive-fabric co-design hooks are deliberately *interfaces* here
+//! ([`payload::PayloadChannel`], [`FlowMode`]): the `oaf-core` crate wires
+//! them to the lock-free shared-memory channel, keeping this crate a
+//! faithful, transport-agnostic NVMe-oF stack.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod discovery;
+pub mod error;
+pub mod initiator;
+pub mod nvme;
+pub mod payload;
+pub mod pdu;
+pub mod server;
+pub mod target;
+pub mod transport;
+
+pub use error::NvmeofError;
+pub use initiator::Initiator;
+pub use payload::PayloadChannel;
+pub use target::{TargetConfig, TargetConnection};
+
+/// Write flow-control regime for a connection (§4.4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowMode {
+    /// Standard NVMe/TCP: in-capsule data only below the negotiated
+    /// threshold; larger writes take the conservative CMD → R2T → H2C
+    /// path (three control messages before the I/O reaches the SSD).
+    Conservative,
+    /// Shared-memory flow control: payload bytes can sit in the region
+    /// until the target drains them, so *every* write goes in-capsule
+    /// (one control message), eliminating R2T and the separate H2C
+    /// notification.
+    InCapsule,
+}

@@ -1,0 +1,136 @@
+//! NVMe completion-queue entries.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::NvmeofError;
+
+/// NVMe status codes used by the reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Status {
+    /// Command completed successfully.
+    Success = 0x0000,
+    /// Opcode not supported.
+    InvalidOpcode = 0x0001,
+    /// Namespace does not exist.
+    InvalidNamespace = 0x000B,
+    /// LBA range exceeds namespace capacity.
+    LbaOutOfRange = 0x0080,
+    /// Device-internal error.
+    InternalError = 0x0006,
+    /// Transfer length does not match the command.
+    InvalidFieldLength = 0x0002,
+    /// Compare command found a mismatch.
+    CompareFailure = 0x0085,
+}
+
+impl Status {
+    fn from_u16(v: u16) -> Result<Status, NvmeofError> {
+        Ok(match v {
+            0x0000 => Status::Success,
+            0x0001 => Status::InvalidOpcode,
+            0x000B => Status::InvalidNamespace,
+            0x0080 => Status::LbaOutOfRange,
+            0x0006 => Status::InternalError,
+            0x0002 => Status::InvalidFieldLength,
+            0x0085 => Status::CompareFailure,
+            other => return Err(NvmeofError::Codec(format!("unknown status {other:#x}"))),
+        })
+    }
+
+    /// Whether the status indicates success.
+    pub fn is_ok(self) -> bool {
+        self == Status::Success
+    }
+}
+
+/// An NVMe completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NvmeCompletion {
+    /// Command identifier being completed.
+    pub cid: u16,
+    /// Completion status.
+    pub status: Status,
+}
+
+/// Encoded size of a completion on the wire.
+pub const COMPLETION_WIRE_LEN: usize = 16;
+
+impl NvmeCompletion {
+    /// A success completion for `cid`.
+    pub fn ok(cid: u16) -> Self {
+        NvmeCompletion {
+            cid,
+            status: Status::Success,
+        }
+    }
+
+    /// An error completion for `cid`.
+    pub fn error(cid: u16, status: Status) -> Self {
+        NvmeCompletion { cid, status }
+    }
+
+    /// Serializes into `dst`.
+    pub fn encode<B: BufMut>(&self, dst: &mut B) {
+        dst.put_u16_le(self.cid);
+        dst.put_u16_le(self.status as u16);
+        dst.put_bytes(0, COMPLETION_WIRE_LEN - 4);
+    }
+
+    /// Deserializes from `src`.
+    pub fn decode<B: Buf>(src: &mut B) -> Result<Self, NvmeofError> {
+        if src.remaining() < COMPLETION_WIRE_LEN {
+            return Err(NvmeofError::Codec(format!(
+                "completion truncated: {} < {COMPLETION_WIRE_LEN}",
+                src.remaining()
+            )));
+        }
+        let cid = src.get_u16_le();
+        let status = Status::from_u16(src.get_u16_le())?;
+        src.advance(COMPLETION_WIRE_LEN - 4);
+        Ok(NvmeCompletion { cid, status })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn roundtrip_all_statuses() {
+        for status in [
+            Status::Success,
+            Status::InvalidOpcode,
+            Status::InvalidNamespace,
+            Status::LbaOutOfRange,
+            Status::InternalError,
+            Status::InvalidFieldLength,
+            Status::CompareFailure,
+        ] {
+            let c = NvmeCompletion { cid: 7, status };
+            let mut buf = BytesMut::new();
+            c.encode(&mut buf);
+            assert_eq!(buf.len(), COMPLETION_WIRE_LEN);
+            let mut b = buf.freeze();
+            assert_eq!(NvmeCompletion::decode(&mut b).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn is_ok_only_for_success() {
+        assert!(Status::Success.is_ok());
+        assert!(!Status::LbaOutOfRange.is_ok());
+        assert_eq!(NvmeCompletion::ok(1).status, Status::Success);
+        assert_eq!(
+            NvmeCompletion::error(1, Status::InternalError).status,
+            Status::InternalError
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut short = bytes::Bytes::from_static(&[0u8; 4]);
+        assert!(NvmeCompletion::decode(&mut short).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! The NVM subsystem controller: namespaces + command execution.
+
+use std::collections::BTreeMap;
+
+use crate::nvme::command::{NvmeCommand, Opcode};
+use crate::nvme::completion::{NvmeCompletion, Status};
+use crate::nvme::namespace::Namespace;
+
+/// Identify payload for a namespace (simplified identify structure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdentifyInfo {
+    /// Namespace id.
+    pub nsid: u32,
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Capacity in blocks.
+    pub capacity_blocks: u64,
+}
+
+impl IdentifyInfo {
+    /// Serialized length.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Serializes to a fixed little-endian layout.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..4].copy_from_slice(&self.nsid.to_le_bytes());
+        out[4..8].copy_from_slice(&self.block_size.to_le_bytes());
+        out[8..16].copy_from_slice(&self.capacity_blocks.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from [`IdentifyInfo::to_bytes`] output.
+    pub fn from_bytes(raw: &[u8]) -> Option<IdentifyInfo> {
+        if raw.len() < Self::WIRE_LEN {
+            return None;
+        }
+        Some(IdentifyInfo {
+            nsid: u32::from_le_bytes(raw[0..4].try_into().ok()?),
+            block_size: u32::from_le_bytes(raw[4..8].try_into().ok()?),
+            capacity_blocks: u64::from_le_bytes(raw[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// A controller owning a set of namespaces.
+#[derive(Default)]
+pub struct Controller {
+    namespaces: BTreeMap<u32, Namespace>,
+}
+
+impl Controller {
+    /// An empty controller.
+    pub fn new() -> Self {
+        Controller::default()
+    }
+
+    /// Adds a namespace; panics on duplicate ids.
+    pub fn add_namespace(&mut self, ns: Namespace) {
+        let id = ns.id();
+        let prev = self.namespaces.insert(id, ns);
+        assert!(prev.is_none(), "duplicate namespace id {id}");
+    }
+
+    /// Looks up a namespace.
+    pub fn namespace(&self, nsid: u32) -> Option<&Namespace> {
+        self.namespaces.get(&nsid)
+    }
+
+    /// Namespace ids in ascending order.
+    pub fn namespace_ids(&self) -> Vec<u32> {
+        self.namespaces.keys().copied().collect()
+    }
+
+    /// Executes a command. `write_payload` must be `Some` for writes and
+    /// carry exactly the command's transfer length. Returns the completion
+    /// and, for reads/identify, the response payload.
+    pub fn execute(
+        &mut self,
+        cmd: &NvmeCommand,
+        write_payload: Option<&[u8]>,
+    ) -> (NvmeCompletion, Option<Vec<u8>>) {
+        match cmd.opcode {
+            Opcode::Identify => {
+                let Some(ns) = self.namespaces.get(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    );
+                };
+                let info = IdentifyInfo {
+                    nsid: ns.id(),
+                    block_size: ns.block_size(),
+                    capacity_blocks: ns.capacity_blocks(),
+                };
+                (NvmeCompletion::ok(cmd.cid), Some(info.to_bytes().to_vec()))
+            }
+            Opcode::Flush => {
+                if self.namespaces.contains_key(&cmd.nsid) {
+                    // RAM-backed store: flush is a no-op but must be acked.
+                    (NvmeCompletion::ok(cmd.cid), None)
+                } else {
+                    (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    )
+                }
+            }
+            Opcode::Read => {
+                let Some(ns) = self.namespaces.get(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    );
+                };
+                let len = cmd.transfer_len(ns.block_size()) as usize;
+                let mut out = vec![0u8; len];
+                let status = ns.read(cmd.slba, cmd.nlb, &mut out);
+                if status.is_ok() {
+                    (NvmeCompletion::ok(cmd.cid), Some(out))
+                } else {
+                    (NvmeCompletion::error(cmd.cid, status), None)
+                }
+            }
+            Opcode::Write => {
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    );
+                };
+                let Some(payload) = write_payload else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidFieldLength),
+                        None,
+                    );
+                };
+                let status = ns.write(cmd.slba, cmd.nlb, payload);
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                )
+            }
+            Opcode::Compare => {
+                let Some(ns) = self.namespaces.get(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    );
+                };
+                let Some(payload) = write_payload else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidFieldLength),
+                        None,
+                    );
+                };
+                let len = cmd.transfer_len(ns.block_size()) as usize;
+                let mut stored = vec![0u8; len];
+                let status = ns.read(cmd.slba, cmd.nlb, &mut stored);
+                if !status.is_ok() {
+                    return (NvmeCompletion::error(cmd.cid, status), None);
+                }
+                if stored == payload {
+                    (NvmeCompletion::ok(cmd.cid), None)
+                } else {
+                    (NvmeCompletion::error(cmd.cid, Status::CompareFailure), None)
+                }
+            }
+            Opcode::WriteZeroes => {
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                    );
+                };
+                let len = u64::from(cmd.nlb) * u64::from(ns.block_size());
+                let zeros = vec![0u8; len as usize];
+                let status = ns.write(cmd.slba, cmd.nlb, &zeros);
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> Controller {
+        let mut c = Controller::new();
+        c.add_namespace(Namespace::new(1, 512, 128));
+        c.add_namespace(Namespace::new(2, 4096, 64));
+        c
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut c = controller();
+        let data = vec![0xabu8; 1024];
+        let (comp, _) = c.execute(&NvmeCommand::write(1, 1, 10, 2), Some(&data));
+        assert!(comp.status.is_ok());
+        let (comp, payload) = c.execute(&NvmeCommand::read(2, 1, 10, 2), None);
+        assert!(comp.status.is_ok());
+        assert_eq!(payload.unwrap(), data);
+    }
+
+    #[test]
+    fn identify_roundtrips_geometry() {
+        let mut c = controller();
+        let cmd = NvmeCommand {
+            cid: 9,
+            opcode: Opcode::Identify,
+            nsid: 2,
+            slba: 0,
+            nlb: 0,
+        };
+        let (comp, payload) = c.execute(&cmd, None);
+        assert!(comp.status.is_ok());
+        let info = IdentifyInfo::from_bytes(&payload.unwrap()).unwrap();
+        assert_eq!(info.nsid, 2);
+        assert_eq!(info.block_size, 4096);
+        assert_eq!(info.capacity_blocks, 64);
+    }
+
+    #[test]
+    fn bad_namespace_rejected() {
+        let mut c = controller();
+        let (comp, _) = c.execute(&NvmeCommand::read(1, 99, 0, 1), None);
+        assert_eq!(comp.status, Status::InvalidNamespace);
+    }
+
+    #[test]
+    fn write_without_payload_rejected() {
+        let mut c = controller();
+        let (comp, _) = c.execute(&NvmeCommand::write(1, 1, 0, 1), None);
+        assert_eq!(comp.status, Status::InvalidFieldLength);
+    }
+
+    #[test]
+    fn flush_acks() {
+        let mut c = controller();
+        let (comp, payload) = c.execute(&NvmeCommand::flush(3, 1), None);
+        assert!(comp.status.is_ok());
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn out_of_range_read_is_error() {
+        let mut c = controller();
+        let (comp, payload) = c.execute(&NvmeCommand::read(1, 1, 127, 2), None);
+        assert_eq!(comp.status, Status::LbaOutOfRange);
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate namespace")]
+    fn duplicate_nsid_panics() {
+        let mut c = controller();
+        c.add_namespace(Namespace::new(1, 512, 1));
+    }
+
+    #[test]
+    fn compare_matches_and_mismatches() {
+        let mut c = controller();
+        let data = vec![0x11u8; 512];
+        c.execute(&NvmeCommand::write(1, 1, 4, 1), Some(&data));
+        let (ok, _) = c.execute(&NvmeCommand::compare(2, 1, 4, 1), Some(&data));
+        assert!(ok.status.is_ok());
+        let other = vec![0x22u8; 512];
+        let (bad, _) = c.execute(&NvmeCommand::compare(3, 1, 4, 1), Some(&other));
+        assert_eq!(bad.status, Status::CompareFailure);
+        // Compare without payload is a field error.
+        let (nf, _) = c.execute(&NvmeCommand::compare(4, 1, 4, 1), None);
+        assert_eq!(nf.status, Status::InvalidFieldLength);
+    }
+
+    #[test]
+    fn write_zeroes_clears_blocks_without_payload() {
+        let mut c = controller();
+        c.execute(&NvmeCommand::write(1, 1, 8, 2), Some(&vec![0xffu8; 1024]));
+        let (comp, _) = c.execute(&NvmeCommand::write_zeroes(2, 1, 8, 2), None);
+        assert!(comp.status.is_ok());
+        let (rc, data) = c.execute(&NvmeCommand::read(3, 1, 8, 2), None);
+        assert!(rc.status.is_ok());
+        assert!(data.unwrap().iter().all(|&b| b == 0));
+        // Out of range is still caught.
+        let (oor, _) = c.execute(&NvmeCommand::write_zeroes(4, 1, 1 << 40, 1), None);
+        assert_eq!(oor.status, Status::LbaOutOfRange);
+    }
+
+    #[test]
+    fn identify_info_bytes_roundtrip() {
+        let info = IdentifyInfo {
+            nsid: 7,
+            block_size: 4096,
+            capacity_blocks: 1 << 30,
+        };
+        assert_eq!(IdentifyInfo::from_bytes(&info.to_bytes()), Some(info));
+        assert_eq!(IdentifyInfo::from_bytes(&[0u8; 3]), None);
+    }
+}

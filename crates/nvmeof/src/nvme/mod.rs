@@ -1,0 +1,11 @@
+//! The NVMe layer: commands, completions, namespaces, controller.
+
+pub mod command;
+pub mod completion;
+pub mod controller;
+pub mod namespace;
+
+pub use command::{NvmeCommand, Opcode};
+pub use completion::{NvmeCompletion, Status};
+pub use controller::Controller;
+pub use namespace::Namespace;

@@ -1,0 +1,98 @@
+//! NVMe namespaces over a RAM-backed block store.
+
+use oaf_ssd::ram::{BlockError, RamDisk};
+
+use crate::nvme::completion::Status;
+
+/// A namespace: an LBA range with a block size, backed by a [`RamDisk`].
+pub struct Namespace {
+    id: u32,
+    store: RamDisk,
+}
+
+impl Namespace {
+    /// Creates namespace `id` with `blocks` blocks of `block_size` bytes.
+    pub fn new(id: u32, block_size: u32, blocks: u64) -> Self {
+        assert!(id != 0, "nsid 0 is reserved");
+        Namespace {
+            id,
+            store: RamDisk::new(block_size, blocks),
+        }
+    }
+
+    /// Namespace identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.store.block_size()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.store.capacity_blocks()
+    }
+
+    fn map_err(e: BlockError) -> Status {
+        match e {
+            BlockError::OutOfRange { .. } => Status::LbaOutOfRange,
+            BlockError::BadBuffer { .. } => Status::InvalidFieldLength,
+        }
+    }
+
+    /// Reads `nlb` blocks at `slba` into `dst`.
+    pub fn read(&self, slba: u64, nlb: u32, dst: &mut [u8]) -> Status {
+        match self.store.read(slba, nlb, dst) {
+            Ok(()) => Status::Success,
+            Err(e) => Self::map_err(e),
+        }
+    }
+
+    /// Writes `nlb` blocks at `slba` from `src`.
+    pub fn write(&mut self, slba: u64, nlb: u32, src: &[u8]) -> Status {
+        match self.store.write(slba, nlb, src) {
+            Ok(()) => Status::Success,
+            Err(e) => Self::map_err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_roundtrip() {
+        let mut ns = Namespace::new(1, 512, 64);
+        let data = vec![7u8; 1024];
+        assert_eq!(ns.write(0, 2, &data), Status::Success);
+        let mut out = vec![0u8; 1024];
+        assert_eq!(ns.read(0, 2, &mut out), Status::Success);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn errors_map_to_nvme_statuses() {
+        let mut ns = Namespace::new(1, 512, 4);
+        assert_eq!(ns.write(4, 1, &[0u8; 512]), Status::LbaOutOfRange);
+        assert_eq!(ns.write(0, 1, &[0u8; 100]), Status::InvalidFieldLength);
+        let mut buf = [0u8; 512];
+        assert_eq!(ns.read(100, 1, &mut buf), Status::LbaOutOfRange);
+    }
+
+    #[test]
+    #[should_panic(expected = "nsid 0 is reserved")]
+    fn nsid_zero_rejected() {
+        let _ = Namespace::new(0, 512, 4);
+    }
+
+    #[test]
+    fn geometry_reported() {
+        let ns = Namespace::new(9, 4096, 1000);
+        assert_eq!(ns.id(), 9);
+        assert_eq!(ns.block_size(), 4096);
+        assert_eq!(ns.capacity_blocks(), 1000);
+    }
+}

@@ -1,0 +1,158 @@
+//! The out-of-band payload channel interface (co-design hook).
+//!
+//! When a connection negotiates the shared-memory channel, data PDUs stop
+//! carrying bytes and instead reference a slot published through this
+//! interface (§4.3). The NVMe-oF stack stays transport-agnostic: it calls
+//! `publish` where it would have inlined bytes, and `consume` where it
+//! would have read them. `oaf-core` implements this trait over the real
+//! lock-free [`oaf_shmem::ShmChannel`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::NvmeofError;
+
+/// A bidirectional out-of-band payload channel between one client and one
+/// target. Implementations must be cheap to share across the polling
+/// threads of a connection.
+pub trait PayloadChannel: Send + Sync {
+    /// Publishes `data` in this side's transmit direction; returns the
+    /// `(slot, len)` reference to send in the control PDU.
+    fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError>;
+
+    /// Consumes the payload published by the peer at `slot`, copying it
+    /// into `dst` (which must be exactly `len` bytes) and freeing the slot.
+    fn consume(&self, slot: u32, len: u32, dst: &mut [u8]) -> Result<(), NvmeofError>;
+
+    /// Largest payload a single slot can carry.
+    fn max_payload(&self) -> usize;
+}
+
+#[derive(Default)]
+struct MailboxSide {
+    slots: Vec<Option<Vec<u8>>>,
+    next: usize,
+}
+
+impl MailboxSide {
+    fn with_depth(depth: usize) -> Self {
+        MailboxSide {
+            slots: vec![None; depth],
+            next: 0,
+        }
+    }
+}
+
+/// A loopback payload channel for tests: an indexed in-memory mailbox per
+/// direction, mimicking slot semantics without shared memory. Each handle
+/// publishes into its own transmit direction and consumes from the peer's.
+pub struct MailboxChannel {
+    dirs: Arc<[Mutex<MailboxSide>; 2]>,
+    tx_dir: usize,
+}
+
+impl MailboxChannel {
+    /// Creates a connected `(client, target)` pair with `depth` slots per
+    /// direction.
+    pub fn pair(depth: usize) -> (Arc<Self>, Arc<Self>) {
+        let dirs = Arc::new([
+            Mutex::new(MailboxSide::with_depth(depth)),
+            Mutex::new(MailboxSide::with_depth(depth)),
+        ]);
+        (
+            Arc::new(MailboxChannel {
+                dirs: dirs.clone(),
+                tx_dir: 0,
+            }),
+            Arc::new(MailboxChannel { dirs, tx_dir: 1 }),
+        )
+    }
+}
+
+impl PayloadChannel for MailboxChannel {
+    fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
+        let mut side = self.dirs[self.tx_dir].lock();
+        let depth = side.slots.len();
+        let slot = side.next % depth;
+        if side.slots[slot].is_some() {
+            return Err(NvmeofError::Payload("no free slot".into()));
+        }
+        side.next += 1;
+        side.slots[slot] = Some(data.to_vec());
+        Ok((slot as u32, data.len() as u32))
+    }
+
+    fn consume(&self, slot: u32, len: u32, dst: &mut [u8]) -> Result<(), NvmeofError> {
+        let mut side = self.dirs[1 - self.tx_dir].lock();
+        let stored = side
+            .slots
+            .get_mut(slot as usize)
+            .ok_or_else(|| NvmeofError::Payload(format!("bad slot {slot}")))?
+            .take()
+            .ok_or_else(|| NvmeofError::Payload(format!("slot {slot} empty")))?;
+        if stored.len() != len as usize || dst.len() != len as usize {
+            return Err(NvmeofError::Payload("length mismatch".into()));
+        }
+        dst.copy_from_slice(&stored);
+        Ok(())
+    }
+
+    fn max_payload(&self) -> usize {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_on_one_side_consume_on_other() {
+        let (client, target) = MailboxChannel::pair(4);
+        let (slot, len) = client.publish(b"write payload").unwrap();
+        let mut out = vec![0u8; len as usize];
+        target.consume(slot, len, &mut out).unwrap();
+        assert_eq!(out, b"write payload");
+        // Slot is freed after consumption.
+        assert!(target.consume(slot, len, &mut out).is_err());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (client, target) = MailboxChannel::pair(2);
+        let (cs, cl) = client.publish(b"c2t").unwrap();
+        let (ts, tl) = target.publish(b"t2c").unwrap();
+        assert_eq!((cs, ts), (0, 0)); // same index, different direction
+        let mut buf = vec![0u8; 3];
+        target.consume(cs, cl, &mut buf).unwrap();
+        assert_eq!(buf, b"c2t");
+        client.consume(ts, tl, &mut buf).unwrap();
+        assert_eq!(buf, b"t2c");
+    }
+
+    #[test]
+    fn depth_exhaustion() {
+        let (client, _target) = MailboxChannel::pair(2);
+        client.publish(b"1").unwrap();
+        client.publish(b"2").unwrap();
+        assert!(client.publish(b"3").is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (client, target) = MailboxChannel::pair(2);
+        let (slot, len) = client.publish(b"abc").unwrap();
+        let mut small = vec![0u8; 1];
+        assert!(target.consume(slot, len, &mut small).is_err());
+    }
+
+    #[test]
+    fn consuming_own_direction_fails() {
+        let (client, _target) = MailboxChannel::pair(2);
+        let (slot, len) = client.publish(b"abc").unwrap();
+        let mut buf = vec![0u8; 3];
+        // Client consumes from the *target's* direction, which is empty.
+        assert!(client.consume(slot, len, &mut buf).is_err());
+    }
+}

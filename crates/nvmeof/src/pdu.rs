@@ -1,0 +1,587 @@
+//! NVMe/TCP PDU vocabulary and binary codec.
+//!
+//! The connection establishment and I/O flows of the paper (Figs. 5–7) are
+//! expressed in these PDUs: `ICReq`/`ICResp` for the handshake (extended
+//! with adaptive-fabric capability bits, §4.1), command/response capsules,
+//! `R2T` ready-to-transfer grants, and `H2CData`/`C2HData` data PDUs.
+//!
+//! The adaptive-fabric extension is the [`DataRef`] in every data-bearing
+//! PDU: payload bytes either travel *inline* (stock NVMe/TCP) or as a
+//! *shared-memory slot reference* `(slot, len)` — the out-of-band
+//! notification of §4.3, where "the large sized I/O payloads are
+//! transported over the shared memory" while only the control message
+//! crosses TCP.
+//!
+//! Frames are length-prefixed and self-contained: the in-process transports
+//! are frame-oriented, so no cross-frame reassembly state is needed. The
+//! header mirrors the spec's common header: `type, flags, hlen, rsvd,
+//! plen` where `plen` covers the whole PDU.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::NvmeofError;
+use crate::nvme::command::{NvmeCommand, COMMAND_WIRE_LEN};
+use crate::nvme::completion::{NvmeCompletion, COMPLETION_WIRE_LEN};
+
+/// Common header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Flag: payload is a shared-memory slot reference, not inline bytes.
+pub const FLAG_SHM: u8 = 0x01;
+/// Flag: last data PDU of a multi-chunk transfer.
+pub const FLAG_LAST: u8 = 0x02;
+
+/// Adaptive-fabric capability bit: endpoint can map a shared-memory
+/// channel (advertised in ICReq/ICResp, §4.1).
+pub const AF_CAP_SHM: u32 = 0x1;
+/// Adaptive-fabric capability bit: endpoint supports in-capsule flow
+/// control over shared memory for all I/O sizes (§4.4.2).
+pub const AF_CAP_SHM_INCAPSULE: u32 = 0x2;
+/// Adaptive-fabric capability bit: endpoint supports zero-copy leases
+/// (§4.4.3).
+pub const AF_CAP_ZERO_COPY: u32 = 0x4;
+
+mod ptype {
+    pub const ICREQ: u8 = 0x00;
+    pub const ICRESP: u8 = 0x01;
+    pub const TERM_REQ: u8 = 0x02;
+    pub const CAPSULE_CMD: u8 = 0x04;
+    pub const CAPSULE_RESP: u8 = 0x05;
+    pub const H2C_DATA: u8 = 0x06;
+    pub const C2H_DATA: u8 = 0x07;
+    pub const R2T: u8 = 0x09;
+}
+
+/// Where a data PDU's payload lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataRef {
+    /// Payload bytes carried inline in the PDU (stock NVMe/TCP).
+    Inline(Bytes),
+    /// Payload published in a shared-memory slot; only the reference
+    /// crosses the control path (NVMe-oSHM, §4.3).
+    ShmSlot {
+        /// Slot index within the double buffer.
+        slot: u32,
+        /// Payload length in bytes.
+        len: u32,
+    },
+}
+
+impl DataRef {
+    /// Logical payload length.
+    pub fn len(&self) -> usize {
+        match self {
+            DataRef::Inline(b) => b.len(),
+            DataRef::ShmSlot { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a shared-memory reference.
+    pub fn is_shm(&self) -> bool {
+        matches!(self, DataRef::ShmSlot { .. })
+    }
+}
+
+/// Connection initialization request (client → target).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ICReq {
+    /// PDU format version.
+    pub pfv: u16,
+    /// Maximum outstanding R2Ts the client supports.
+    pub maxr2t: u32,
+    /// Adaptive-fabric capability bits (`AF_CAP_*`).
+    pub af_caps: u32,
+    /// Client host identity (used for locality matching, §4.2).
+    pub host_id: u64,
+}
+
+/// Connection initialization response (target → client).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ICResp {
+    /// PDU format version.
+    pub pfv: u16,
+    /// In-capsule data size limit in bytes (§4.4.2: 8 KiB for stock
+    /// NVMe/TCP).
+    pub ioccsz: u32,
+    /// Adaptive-fabric capability bits granted.
+    pub af_caps: u32,
+    /// Target host identity.
+    pub target_id: u64,
+}
+
+/// Ready-to-transfer grant (target → client, conservative write flow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct R2T {
+    /// Command this grant belongs to.
+    pub cid: u16,
+    /// Transfer tag echoed in the H2CData PDU.
+    pub ttag: u16,
+    /// Byte offset within the command's data.
+    pub offset: u32,
+    /// Bytes granted.
+    pub len: u32,
+}
+
+/// Command capsule (client → target), optionally with in-capsule data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapsuleCmd {
+    /// The NVMe command.
+    pub cmd: NvmeCommand,
+    /// In-capsule data, if the flow control mode allows it.
+    pub data: Option<DataRef>,
+}
+
+/// Response capsule (target → client).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapsuleResp {
+    /// The NVMe completion.
+    pub completion: NvmeCompletion,
+}
+
+/// A data PDU (either direction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataPdu {
+    /// Command the data belongs to.
+    pub cid: u16,
+    /// Transfer tag (echoes the R2T for H2C data; 0 otherwise).
+    pub ttag: u16,
+    /// Byte offset within the command's data.
+    pub offset: u32,
+    /// Whether this is the final data PDU of the transfer.
+    pub last: bool,
+    /// The payload.
+    pub data: DataRef,
+}
+
+/// Connection termination request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TermReq {
+    /// Reason code.
+    pub reason: u16,
+}
+
+/// Any NVMe/TCP (or adaptive-fabric) PDU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pdu {
+    /// Connection initialization request.
+    ICReq(ICReq),
+    /// Connection initialization response.
+    ICResp(ICResp),
+    /// Command capsule.
+    CapsuleCmd(CapsuleCmd),
+    /// Response capsule.
+    CapsuleResp(CapsuleResp),
+    /// Ready-to-transfer grant.
+    R2T(R2T),
+    /// Host-to-controller data.
+    H2CData(DataPdu),
+    /// Controller-to-host data.
+    C2HData(DataPdu),
+    /// Termination request.
+    TermReq(TermReq),
+}
+
+fn put_header(dst: &mut BytesMut, ptype: u8, flags: u8, body_len: usize) {
+    dst.put_u8(ptype);
+    dst.put_u8(flags);
+    dst.put_u8(HEADER_LEN as u8);
+    dst.put_u8(0);
+    dst.put_u32_le((HEADER_LEN + body_len) as u32);
+}
+
+fn encode_dataref(dst: &mut BytesMut, data: &DataRef) {
+    match data {
+        DataRef::Inline(b) => {
+            dst.put_u32_le(b.len() as u32);
+            dst.put_slice(b);
+        }
+        DataRef::ShmSlot { slot, len } => {
+            dst.put_u32_le(*len);
+            dst.put_u32_le(*slot);
+        }
+    }
+}
+
+fn decode_dataref(src: &mut Bytes, flags: u8) -> Result<DataRef, NvmeofError> {
+    if src.remaining() < 4 {
+        return Err(NvmeofError::Codec("dataref truncated".into()));
+    }
+    let len = src.get_u32_le();
+    if flags & FLAG_SHM != 0 {
+        if src.remaining() < 4 {
+            return Err(NvmeofError::Codec("shm slot truncated".into()));
+        }
+        let slot = src.get_u32_le();
+        Ok(DataRef::ShmSlot { slot, len })
+    } else {
+        if src.remaining() < len as usize {
+            return Err(NvmeofError::Codec(format!(
+                "inline payload truncated: {} < {len}",
+                src.remaining()
+            )));
+        }
+        Ok(DataRef::Inline(src.split_to(len as usize)))
+    }
+}
+
+impl Pdu {
+    /// Encodes the PDU into a self-contained frame.
+    pub fn encode(&self) -> Bytes {
+        let mut dst = BytesMut::with_capacity(HEADER_LEN + 64 + self.payload_hint());
+        match self {
+            Pdu::ICReq(p) => {
+                put_header(&mut dst, ptype::ICREQ, 0, 18);
+                dst.put_u16_le(p.pfv);
+                dst.put_u32_le(p.maxr2t);
+                dst.put_u32_le(p.af_caps);
+                dst.put_u64_le(p.host_id);
+            }
+            Pdu::ICResp(p) => {
+                put_header(&mut dst, ptype::ICRESP, 0, 18);
+                dst.put_u16_le(p.pfv);
+                dst.put_u32_le(p.ioccsz);
+                dst.put_u32_le(p.af_caps);
+                dst.put_u64_le(p.target_id);
+            }
+            Pdu::CapsuleCmd(p) => {
+                let (flags, body_len) = match &p.data {
+                    None => (0u8, COMMAND_WIRE_LEN + 1),
+                    Some(DataRef::Inline(b)) => (0u8, COMMAND_WIRE_LEN + 1 + 4 + b.len()),
+                    Some(DataRef::ShmSlot { .. }) => (FLAG_SHM, COMMAND_WIRE_LEN + 1 + 8),
+                };
+                put_header(&mut dst, ptype::CAPSULE_CMD, flags, body_len);
+                p.cmd.encode(&mut dst);
+                match &p.data {
+                    None => dst.put_u8(0),
+                    Some(d) => {
+                        dst.put_u8(1);
+                        encode_dataref(&mut dst, d);
+                    }
+                }
+            }
+            Pdu::CapsuleResp(p) => {
+                put_header(&mut dst, ptype::CAPSULE_RESP, 0, COMPLETION_WIRE_LEN);
+                p.completion.encode(&mut dst);
+            }
+            Pdu::R2T(p) => {
+                put_header(&mut dst, ptype::R2T, 0, 12);
+                dst.put_u16_le(p.cid);
+                dst.put_u16_le(p.ttag);
+                dst.put_u32_le(p.offset);
+                dst.put_u32_le(p.len);
+            }
+            Pdu::H2CData(p) | Pdu::C2HData(p) => {
+                let t = if matches!(self, Pdu::H2CData(_)) {
+                    ptype::H2C_DATA
+                } else {
+                    ptype::C2H_DATA
+                };
+                let mut flags = 0u8;
+                if p.data.is_shm() {
+                    flags |= FLAG_SHM;
+                }
+                if p.last {
+                    flags |= FLAG_LAST;
+                }
+                let data_len = match &p.data {
+                    DataRef::Inline(b) => 4 + b.len(),
+                    DataRef::ShmSlot { .. } => 8,
+                };
+                put_header(&mut dst, t, flags, 8 + data_len);
+                dst.put_u16_le(p.cid);
+                dst.put_u16_le(p.ttag);
+                dst.put_u32_le(p.offset);
+                encode_dataref(&mut dst, &p.data);
+            }
+            Pdu::TermReq(p) => {
+                put_header(&mut dst, ptype::TERM_REQ, 0, 2);
+                dst.put_u16_le(p.reason);
+            }
+        }
+        dst.freeze()
+    }
+
+    fn payload_hint(&self) -> usize {
+        match self {
+            Pdu::CapsuleCmd(CapsuleCmd {
+                data: Some(DataRef::Inline(b)),
+                ..
+            }) => b.len(),
+            Pdu::H2CData(DataPdu {
+                data: DataRef::Inline(b),
+                ..
+            })
+            | Pdu::C2HData(DataPdu {
+                data: DataRef::Inline(b),
+                ..
+            }) => b.len(),
+            _ => 0,
+        }
+    }
+
+    /// Decodes one frame produced by [`Pdu::encode`].
+    pub fn decode(frame: Bytes) -> Result<Pdu, NvmeofError> {
+        let mut src = frame;
+        if src.remaining() < HEADER_LEN {
+            return Err(NvmeofError::Codec("header truncated".into()));
+        }
+        let ptype = src.get_u8();
+        let flags = src.get_u8();
+        let hlen = src.get_u8();
+        let _rsvd = src.get_u8();
+        let plen = src.get_u32_le() as usize;
+        if hlen as usize != HEADER_LEN {
+            return Err(NvmeofError::Codec(format!("bad hlen {hlen}")));
+        }
+        if plen != HEADER_LEN + src.remaining() {
+            return Err(NvmeofError::Codec(format!(
+                "plen {plen} does not match frame length {}",
+                HEADER_LEN + src.remaining()
+            )));
+        }
+        match ptype {
+            ptype::ICREQ => {
+                if src.remaining() < 18 {
+                    return Err(NvmeofError::Codec("icreq truncated".into()));
+                }
+                Ok(Pdu::ICReq(ICReq {
+                    pfv: src.get_u16_le(),
+                    maxr2t: src.get_u32_le(),
+                    af_caps: src.get_u32_le(),
+                    host_id: src.get_u64_le(),
+                }))
+            }
+            ptype::ICRESP => {
+                if src.remaining() < 18 {
+                    return Err(NvmeofError::Codec("icresp truncated".into()));
+                }
+                Ok(Pdu::ICResp(ICResp {
+                    pfv: src.get_u16_le(),
+                    ioccsz: src.get_u32_le(),
+                    af_caps: src.get_u32_le(),
+                    target_id: src.get_u64_le(),
+                }))
+            }
+            ptype::CAPSULE_CMD => {
+                let cmd = NvmeCommand::decode(&mut src)?;
+                if src.remaining() < 1 {
+                    return Err(NvmeofError::Codec("capsule data marker missing".into()));
+                }
+                let has_data = src.get_u8() != 0;
+                let data = if has_data {
+                    Some(decode_dataref(&mut src, flags)?)
+                } else {
+                    None
+                };
+                Ok(Pdu::CapsuleCmd(CapsuleCmd { cmd, data }))
+            }
+            ptype::CAPSULE_RESP => Ok(Pdu::CapsuleResp(CapsuleResp {
+                completion: NvmeCompletion::decode(&mut src)?,
+            })),
+            ptype::R2T => {
+                if src.remaining() < 12 {
+                    return Err(NvmeofError::Codec("r2t truncated".into()));
+                }
+                Ok(Pdu::R2T(R2T {
+                    cid: src.get_u16_le(),
+                    ttag: src.get_u16_le(),
+                    offset: src.get_u32_le(),
+                    len: src.get_u32_le(),
+                }))
+            }
+            ptype::H2C_DATA | ptype::C2H_DATA => {
+                if src.remaining() < 8 {
+                    return Err(NvmeofError::Codec("data pdu truncated".into()));
+                }
+                let cid = src.get_u16_le();
+                let ttag = src.get_u16_le();
+                let offset = src.get_u32_le();
+                let data = decode_dataref(&mut src, flags)?;
+                let pdu = DataPdu {
+                    cid,
+                    ttag,
+                    offset,
+                    last: flags & FLAG_LAST != 0,
+                    data,
+                };
+                if ptype == ptype::H2C_DATA {
+                    Ok(Pdu::H2CData(pdu))
+                } else {
+                    Ok(Pdu::C2HData(pdu))
+                }
+            }
+            ptype::TERM_REQ => {
+                if src.remaining() < 2 {
+                    return Err(NvmeofError::Codec("termreq truncated".into()));
+                }
+                Ok(Pdu::TermReq(TermReq {
+                    reason: src.get_u16_le(),
+                }))
+            }
+            other => Err(NvmeofError::Codec(format!("unknown pdu type {other:#x}"))),
+        }
+    }
+
+    /// Control-message size of this PDU on the wire, *excluding* inline
+    /// payload bytes — the quantity the latency models charge to the
+    /// control path.
+    pub fn control_len(&self) -> usize {
+        self.encode().len() - self.payload_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Pdu) {
+        let frame = p.encode();
+        let back = Pdu::decode(frame).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn icreq_icresp_roundtrip() {
+        roundtrip(Pdu::ICReq(ICReq {
+            pfv: 1,
+            maxr2t: 16,
+            af_caps: AF_CAP_SHM | AF_CAP_ZERO_COPY,
+            host_id: 0x1122_3344_5566_7788,
+        }));
+        roundtrip(Pdu::ICResp(ICResp {
+            pfv: 1,
+            ioccsz: 8192,
+            af_caps: AF_CAP_SHM,
+            target_id: 42,
+        }));
+    }
+
+    #[test]
+    fn capsule_cmd_variants_roundtrip() {
+        roundtrip(Pdu::CapsuleCmd(CapsuleCmd {
+            cmd: NvmeCommand::read(5, 1, 100, 8),
+            data: None,
+        }));
+        roundtrip(Pdu::CapsuleCmd(CapsuleCmd {
+            cmd: NvmeCommand::write(6, 1, 0, 1),
+            data: Some(DataRef::Inline(Bytes::from_static(b"in-capsule bytes"))),
+        }));
+        roundtrip(Pdu::CapsuleCmd(CapsuleCmd {
+            cmd: NvmeCommand::write(7, 1, 0, 32),
+            data: Some(DataRef::ShmSlot {
+                slot: 17,
+                len: 131072,
+            }),
+        }));
+    }
+
+    #[test]
+    fn data_pdus_roundtrip() {
+        roundtrip(Pdu::H2CData(DataPdu {
+            cid: 1,
+            ttag: 9,
+            offset: 4096,
+            last: true,
+            data: DataRef::Inline(Bytes::from(vec![0xee; 512])),
+        }));
+        roundtrip(Pdu::C2HData(DataPdu {
+            cid: 2,
+            ttag: 0,
+            offset: 0,
+            last: false,
+            data: DataRef::ShmSlot {
+                slot: 3,
+                len: 65536,
+            },
+        }));
+    }
+
+    #[test]
+    fn r2t_and_term_roundtrip() {
+        roundtrip(Pdu::R2T(R2T {
+            cid: 11,
+            ttag: 12,
+            offset: 0,
+            len: 128 * 1024,
+        }));
+        roundtrip(Pdu::TermReq(TermReq { reason: 2 }));
+    }
+
+    #[test]
+    fn plen_mismatch_rejected() {
+        let mut frame = BytesMut::from(&Pdu::TermReq(TermReq { reason: 0 }).encode()[..]);
+        frame.extend_from_slice(&[0u8; 3]); // trailing garbage
+        assert!(matches!(
+            Pdu::decode(frame.freeze()),
+            Err(NvmeofError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let full = Pdu::R2T(R2T {
+            cid: 1,
+            ttag: 2,
+            offset: 3,
+            len: 4,
+        })
+        .encode();
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN + 3] {
+            let partial = full.slice(0..cut);
+            assert!(Pdu::decode(partial).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x7f);
+        raw.put_u8(0);
+        raw.put_u8(HEADER_LEN as u8);
+        raw.put_u8(0);
+        raw.put_u32_le(HEADER_LEN as u32);
+        assert!(matches!(
+            Pdu::decode(raw.freeze()),
+            Err(NvmeofError::Codec(m)) if m.contains("unknown pdu type")
+        ));
+    }
+
+    #[test]
+    fn control_len_excludes_inline_payload() {
+        let big = Pdu::C2HData(DataPdu {
+            cid: 1,
+            ttag: 0,
+            offset: 0,
+            last: true,
+            data: DataRef::Inline(Bytes::from(vec![0u8; 100_000])),
+        });
+        assert!(big.control_len() < 64);
+        let shm = Pdu::C2HData(DataPdu {
+            cid: 1,
+            ttag: 0,
+            offset: 0,
+            last: true,
+            data: DataRef::ShmSlot {
+                slot: 0,
+                len: 100_000,
+            },
+        });
+        assert!(shm.control_len() < 64);
+        assert_eq!(shm.encode().len(), shm.control_len());
+    }
+
+    #[test]
+    fn dataref_len_and_kind() {
+        let inline = DataRef::Inline(Bytes::from_static(b"xyz"));
+        assert_eq!(inline.len(), 3);
+        assert!(!inline.is_shm());
+        let slot = DataRef::ShmSlot { slot: 1, len: 0 };
+        assert!(slot.is_empty());
+        assert!(slot.is_shm());
+    }
+}

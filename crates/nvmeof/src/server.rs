@@ -1,0 +1,186 @@
+//! The multi-connection storage service.
+//!
+//! The paper's architecture (Fig. 1) has one storage service per target
+//! VM serving several client applications, each over its own connection
+//! and — when co-located — its own isolated shared-memory channel (§4.2,
+//! §6). [`spawn_multi`] runs a single poll-mode reactor (an SPDK poll
+//! group) that services every connection against one shared controller
+//! set.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::NvmeofError;
+use crate::nvme::controller::Controller;
+use crate::payload::PayloadChannel;
+use crate::target::{TargetConfig, TargetConnection, TargetHandle};
+use crate::transport::Transport;
+
+/// One client connection a [`spawn_multi`] reactor services.
+pub struct ConnectionSpec {
+    /// The connection's control transport.
+    pub transport: Box<dyn Transport>,
+    /// Per-connection configuration (capability grants, identities).
+    pub cfg: TargetConfig,
+    /// The connection's isolated payload channel, if the client is
+    /// co-located.
+    pub payload: Option<Arc<dyn PayloadChannel>>,
+}
+
+struct LiveConnection {
+    transport: Box<dyn Transport>,
+    conn: TargetConnection,
+    alive: bool,
+}
+
+/// Spawns one reactor servicing `conns` connections over a shared
+/// controller. The reactor exits once every connection has terminated or
+/// the handle requests shutdown.
+pub fn spawn_multi(mut controller: Controller, conns: Vec<ConnectionSpec>) -> TargetHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let join = std::thread::Builder::new()
+        .name("nvmeof-target-multi".into())
+        .spawn(move || {
+            let mut live: Vec<LiveConnection> = conns
+                .into_iter()
+                .map(|c| LiveConnection {
+                    conn: TargetConnection::new(c.cfg, c.payload),
+                    transport: c.transport,
+                    alive: true,
+                })
+                .collect();
+            while !stop2.load(Ordering::Acquire) && live.iter().any(|l| l.alive) {
+                let mut idle = true;
+                for l in live.iter_mut() {
+                    if !l.alive {
+                        continue;
+                    }
+                    // Poll each connection once per loop (fair round-robin,
+                    // like an SPDK poll group).
+                    match l.transport.try_recv() {
+                        Ok(Some(frame)) => {
+                            idle = false;
+                            let responses = l.conn.on_frame(frame, &mut controller)?;
+                            for r in responses {
+                                if l.transport.send(r).is_err() {
+                                    l.alive = false;
+                                    break;
+                                }
+                            }
+                            if l.conn.terminated() {
+                                l.alive = false;
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(NvmeofError::TransportClosed) => l.alive = false,
+                        Err(e) => return Err(e),
+                    }
+                }
+                if idle {
+                    // Poll-mode with a polite backoff so tests don't burn
+                    // a core per idle reactor.
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            Ok(())
+        })
+        .expect("spawn multi-target thread");
+    TargetHandle::from_parts(stop, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initiator::{Initiator, InitiatorOptions};
+    use crate::nvme::namespace::Namespace;
+    use crate::transport::MemTransport;
+    use bytes::Bytes;
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn controller() -> Controller {
+        let mut c = Controller::new();
+        c.add_namespace(Namespace::new(1, 4096, 2048));
+        c
+    }
+
+    #[test]
+    fn two_clients_share_one_service() {
+        let (c1, t1) = MemTransport::pair();
+        let (c2, t2) = MemTransport::pair();
+        let handle = spawn_multi(
+            controller(),
+            vec![
+                ConnectionSpec {
+                    transport: Box::new(t1),
+                    cfg: TargetConfig::default(),
+                    payload: None,
+                },
+                ConnectionSpec {
+                    transport: Box::new(t2),
+                    cfg: TargetConfig::default(),
+                    payload: None,
+                },
+            ],
+        );
+        let mut a = Initiator::connect(c1, InitiatorOptions::default(), None, TIMEOUT).unwrap();
+        let mut b = Initiator::connect(c2, InitiatorOptions::default(), None, TIMEOUT).unwrap();
+
+        // Writes through one connection are visible through the other:
+        // it is one storage service.
+        a.write_blocking(1, 0, 1, Bytes::from(vec![0xaa; 4096]), TIMEOUT)
+            .unwrap();
+        let via_b = b.read_blocking(1, 0, 1, 4096, TIMEOUT).unwrap();
+        assert!(via_b.iter().all(|&x| x == 0xaa));
+
+        // And concurrent disjoint traffic does not interfere.
+        b.write_blocking(1, 10, 1, Bytes::from(vec![0xbb; 4096]), TIMEOUT)
+            .unwrap();
+        assert!(a
+            .read_blocking(1, 10, 1, 4096, TIMEOUT)
+            .unwrap()
+            .iter()
+            .all(|&x| x == 0xbb));
+        assert!(a
+            .read_blocking(1, 0, 1, 4096, TIMEOUT)
+            .unwrap()
+            .iter()
+            .all(|&x| x == 0xaa));
+
+        a.disconnect().unwrap();
+        b.disconnect().unwrap();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reactor_survives_one_client_hanging_up() {
+        let (c1, t1) = MemTransport::pair();
+        let (c2, t2) = MemTransport::pair();
+        let handle = spawn_multi(
+            controller(),
+            vec![
+                ConnectionSpec {
+                    transport: Box::new(t1),
+                    cfg: TargetConfig::default(),
+                    payload: None,
+                },
+                ConnectionSpec {
+                    transport: Box::new(t2),
+                    cfg: TargetConfig::default(),
+                    payload: None,
+                },
+            ],
+        );
+        let a = Initiator::connect(c1, InitiatorOptions::default(), None, TIMEOUT).unwrap();
+        let mut b = Initiator::connect(c2, InitiatorOptions::default(), None, TIMEOUT).unwrap();
+        drop(a); // client 1 vanishes without a TermReq
+        for i in 0..8 {
+            b.write_blocking(1, i, 1, Bytes::from(vec![i as u8; 4096]), TIMEOUT)
+                .unwrap();
+        }
+        b.disconnect().unwrap();
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! Variable-size SPSC frame ring in shared memory.
+//!
+//! [`crate::ring::NotifyRing`] carries fixed 64-byte records — enough for
+//! slot notifications. This ring carries *whole control PDUs* of
+//! arbitrary size, enabling the §5.5 future-work configuration where even
+//! the control path leaves kernel TCP: two byte rings (one per
+//! direction) make a full duplex in-region transport.
+//!
+//! Layout: `[head u64 | pad][tail u64 | pad][data: capacity bytes]`.
+//! Frames are `[len: u32][payload]`, written contiguously; a frame that
+//! would straddle the wrap point writes a `len == u32::MAX` skip marker
+//! and starts at offset 0. Producer owns `tail`, consumer owns `head`;
+//! publication is the release-store of `tail`, consumption the
+//! release-store of `head` — the same discipline as the slot ring.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::region::{ShmRegion, CACHE_LINE};
+use crate::ShmError;
+
+const SKIP: u32 = u32::MAX;
+const HDR: u64 = 4;
+
+/// Frames advance in 4-byte units so the length word (and the wrap
+/// marker) never straddles the wrap point.
+fn align4(n: u64) -> u64 {
+    (n + 3) & !3
+}
+
+/// One end of a variable-size SPSC frame ring. Clone freely; exactly one
+/// thread may push and one may pop.
+#[derive(Clone)]
+pub struct ByteRing {
+    region: Arc<ShmRegion>,
+    base: usize,
+    capacity: u64,
+}
+
+impl ByteRing {
+    /// Region bytes needed for a ring with `capacity` data bytes.
+    pub fn required_len(capacity: u64) -> usize {
+        2 * CACHE_LINE + capacity as usize
+    }
+
+    /// Creates a ring with `capacity` data bytes (a power of two) at
+    /// `base` within `region` (cache-line aligned). Both endpoints
+    /// construct a `ByteRing` over the same `(region, base)`.
+    pub fn new(region: Arc<ShmRegion>, base: usize, capacity: u64) -> Result<Self, ShmError> {
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert_eq!(base % CACHE_LINE, 0, "base must be cache-line aligned");
+        let needed = base + Self::required_len(capacity);
+        if needed > region.len() {
+            return Err(ShmError::RegionTooSmall {
+                needed,
+                have: region.len(),
+            });
+        }
+        Ok(ByteRing {
+            region,
+            base,
+            capacity,
+        })
+    }
+
+    /// Largest frame this ring can ever carry.
+    pub fn max_frame(&self) -> usize {
+        // A frame must fit contiguously: capacity minus header, and the
+        // ring must never fill completely.
+        (self.capacity - HDR - 1) as usize / 2
+    }
+
+    fn head(&self) -> &std::sync::atomic::AtomicU64 {
+        self.region.atomic_u64(self.base)
+    }
+
+    fn tail(&self) -> &std::sync::atomic::AtomicU64 {
+        self.region.atomic_u64(self.base + CACHE_LINE)
+    }
+
+    fn data_off(&self, pos: u64) -> usize {
+        self.base + 2 * CACHE_LINE + (pos & (self.capacity - 1)) as usize
+    }
+
+    /// Contiguous bytes available at `pos` before the wrap point.
+    fn contiguous(&self, pos: u64) -> u64 {
+        self.capacity - (pos & (self.capacity - 1))
+    }
+
+    /// Producer: appends one frame. Fails with [`ShmError::RingFull`]
+    /// when there is not enough free space (including wrap padding).
+    pub fn push(&self, frame: &[u8]) -> Result<(), ShmError> {
+        if frame.len() > self.max_frame() {
+            return Err(ShmError::PayloadTooLarge {
+                len: frame.len(),
+                slot_size: self.max_frame(),
+            });
+        }
+        let tail = self.tail().load(Ordering::Relaxed); // producer-owned
+        let head = self.head().load(Ordering::Acquire);
+        let used = tail.wrapping_sub(head);
+        let need = align4(HDR + frame.len() as u64);
+        let contig = self.contiguous(tail);
+        // If the frame would straddle the wrap point, burn the remainder
+        // with a skip marker (needs 4 bytes for the marker itself).
+        let (write_at, total) = if contig < need {
+            (tail + contig, need + contig)
+        } else {
+            (tail, need)
+        };
+        if used + total > self.capacity - 1 {
+            return Err(ShmError::RingFull);
+        }
+        if write_at != tail {
+            // SAFETY: producer owns [tail, head+capacity); in-bounds.
+            unsafe {
+                self.region
+                    .write_at(self.data_off(tail), &SKIP.to_le_bytes());
+            }
+        }
+        // SAFETY: producer-owned range, contiguous by construction.
+        unsafe {
+            self.region
+                .write_at(self.data_off(write_at), &(frame.len() as u32).to_le_bytes());
+            self.region
+                .write_at(self.data_off(write_at) + HDR as usize, frame);
+        }
+        self.tail()
+            .store(tail.wrapping_add(total), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer: pops the oldest frame, if any.
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        let mut head = self.head().load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail().load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let mut len_bytes = [0u8; 4];
+        // SAFETY: published by the Release store of `tail` we Acquired.
+        unsafe { self.region.read_into(self.data_off(head), &mut len_bytes) };
+        let mut len = u32::from_le_bytes(len_bytes);
+        if len == SKIP {
+            // Wrap marker: skip to the start of the ring.
+            head = head.wrapping_add(self.contiguous(head));
+            debug_assert_ne!(head, tail, "skip marker with no frame behind it");
+            unsafe { self.region.read_into(self.data_off(head), &mut len_bytes) };
+            len = u32::from_le_bytes(len_bytes);
+        }
+        debug_assert!(len as usize <= self.max_frame(), "corrupt frame length");
+        let mut out = vec![0u8; len as usize];
+        // SAFETY: same publication argument.
+        unsafe {
+            self.region
+                .read_into(self.data_off(head) + HDR as usize, &mut out);
+        }
+        self.head().store(
+            head.wrapping_add(align4(HDR + u64::from(len))),
+            Ordering::Release,
+        );
+        Some(out)
+    }
+
+    /// Whether the ring currently holds no frames (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.head().load(Ordering::Acquire) == self.tail().load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(cap: u64) -> ByteRing {
+        let region = Arc::new(ShmRegion::new(ByteRing::required_len(cap)));
+        ByteRing::new(region, 0, cap).unwrap()
+    }
+
+    #[test]
+    fn push_pop_fifo_variable_sizes() {
+        let r = ring(1024);
+        r.push(b"a").unwrap();
+        r.push(b"longer frame here").unwrap();
+        r.push(&[7u8; 200]).unwrap();
+        assert_eq!(r.pop().unwrap(), b"a");
+        assert_eq!(r.pop().unwrap(), b"longer frame here");
+        assert_eq!(r.pop().unwrap(), vec![7u8; 200]);
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn wraps_cleanly_across_the_boundary() {
+        let r = ring(256);
+        // Fill and drain with frames that do not divide the capacity, so
+        // every wrap alignment gets exercised.
+        for i in 0..500u32 {
+            let len = 1 + (i % 90) as usize;
+            let frame = vec![(i % 251) as u8; len];
+            r.push(&frame).unwrap();
+            assert_eq!(r.pop().unwrap(), frame, "iteration {i}");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fills_up_and_recovers() {
+        let r = ring(256);
+        let mut pushed = 0;
+        while r.push(&[9u8; 40]).is_ok() {
+            pushed += 1;
+        }
+        assert!(pushed >= 4, "capacity too small: {pushed}");
+        assert!(matches!(r.push(&[9u8; 40]), Err(ShmError::RingFull)));
+        r.pop().unwrap();
+        r.pop().unwrap();
+        assert!(r.push(&[9u8; 40]).is_ok());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let r = ring(256);
+        assert!(matches!(
+            r.push(&vec![0u8; r.max_frame() + 1]),
+            Err(ShmError::PayloadTooLarge { .. })
+        ));
+        assert!(r.push(&vec![0u8; r.max_frame()]).is_ok());
+    }
+
+    #[test]
+    fn spsc_threads_preserve_order() {
+        let r = ring(4096);
+        let producer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..30_000u32 {
+                    let len = 4 + (i % 64) as usize;
+                    let mut frame = vec![0u8; len];
+                    frame[..4].copy_from_slice(&i.to_le_bytes());
+                    loop {
+                        match r.push(&frame) {
+                            Ok(()) => break,
+                            Err(ShmError::RingFull) => std::hint::spin_loop(),
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            })
+        };
+        let mut expected = 0u32;
+        while expected < 30_000 {
+            if let Some(frame) = r.pop() {
+                let got = u32::from_le_bytes(frame[..4].try_into().unwrap());
+                assert_eq!(got, expected, "out of order");
+                assert_eq!(frame.len(), 4 + (expected % 64) as usize);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

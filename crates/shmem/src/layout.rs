@@ -1,0 +1,192 @@
+//! The lock-free double-buffer layout (§4.4.1).
+//!
+//! The paper logically partitions the shared region into two buffers — one
+//! written by the client, one by the target — so pure and mixed workloads
+//! never contend on bytes. Each half is divided into `depth` slots of the
+//! I/O size; slot choice is round-robin with respect to the application's
+//! queue depth, so with `queue_depth <= depth` a slot has always been
+//! drained by the time it is reused.
+//!
+//! Layout (offsets grow downward):
+//!
+//! ```text
+//! +----------------------------+  0
+//! | slot states, ToTarget dir  |  depth bytes, padded to a cache line
+//! +----------------------------+
+//! | slot states, ToClient dir  |  depth bytes, padded to a cache line
+//! +----------------------------+
+//! | data slots, ToTarget dir   |  depth * slot_size
+//! +----------------------------+
+//! | data slots, ToClient dir   |  depth * slot_size
+//! +----------------------------+  total()
+//! ```
+
+use crate::region::CACHE_LINE;
+use crate::ShmError;
+
+/// Direction of a transfer through the double buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Client writes, target reads (write-I/O payloads, H2C).
+    ToTarget,
+    /// Target writes, client reads (read-I/O payloads, C2H).
+    ToClient,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::ToTarget => Dir::ToClient,
+            Dir::ToClient => Dir::ToTarget,
+        }
+    }
+}
+
+/// Computed offsets of the double-buffer layout within a region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoubleBufferLayout {
+    /// Slots per direction; sized to the application queue depth.
+    pub depth: usize,
+    /// Bytes per slot; sized to the workload I/O size.
+    pub slot_size: usize,
+    states_to_target: usize,
+    states_to_client: usize,
+    data_to_target: usize,
+    data_to_client: usize,
+    total: usize,
+}
+
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+impl DoubleBufferLayout {
+    /// Computes a layout for `depth` slots of `slot_size` bytes per
+    /// direction.
+    pub fn new(depth: usize, slot_size: usize) -> Self {
+        assert!(depth > 0, "depth must be nonzero");
+        assert!(slot_size > 0, "slot size must be nonzero");
+        let states_to_target = 0;
+        let states_to_client = round_up(depth, CACHE_LINE);
+        let header_end = states_to_client + round_up(depth, CACHE_LINE);
+        let data_to_target = round_up(header_end, CACHE_LINE);
+        let data_to_client = data_to_target + depth * slot_size;
+        let total = data_to_client + depth * slot_size;
+        DoubleBufferLayout {
+            depth,
+            slot_size,
+            states_to_target,
+            states_to_client,
+            data_to_target,
+            data_to_client,
+            total,
+        }
+    }
+
+    /// Total region bytes the layout needs.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Verifies the layout fits a region of `region_len` bytes.
+    pub fn check_fits(&self, region_len: usize) -> Result<(), ShmError> {
+        if self.total <= region_len {
+            Ok(())
+        } else {
+            Err(ShmError::RegionTooSmall {
+                needed: self.total,
+                have: region_len,
+            })
+        }
+    }
+
+    /// Offset of the state byte for `slot` in direction `dir`.
+    pub fn state_offset(&self, dir: Dir, slot: usize) -> usize {
+        debug_assert!(slot < self.depth);
+        match dir {
+            Dir::ToTarget => self.states_to_target + slot,
+            Dir::ToClient => self.states_to_client + slot,
+        }
+    }
+
+    /// Offset of the data bytes for `slot` in direction `dir`.
+    pub fn slot_offset(&self, dir: Dir, slot: usize) -> usize {
+        debug_assert!(slot < self.depth);
+        let base = match dir {
+            Dir::ToTarget => self.data_to_target,
+            Dir::ToClient => self.data_to_client,
+        };
+        base + slot * self.slot_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_do_not_overlap_across_directions() {
+        let l = DoubleBufferLayout::new(8, 4096);
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for dir in [Dir::ToTarget, Dir::ToClient] {
+            for s in 0..8 {
+                ranges.push((l.slot_offset(dir, s), l.slot_offset(dir, s) + 4096));
+            }
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "slots overlap: {w:?}");
+        }
+        assert!(ranges.last().unwrap().1 <= l.total());
+    }
+
+    #[test]
+    fn state_bytes_distinct_and_inside_header() {
+        let l = DoubleBufferLayout::new(130, 512);
+        let mut seen = std::collections::HashSet::new();
+        for dir in [Dir::ToTarget, Dir::ToClient] {
+            for s in 0..130 {
+                assert!(seen.insert(l.state_offset(dir, s)));
+                assert!(l.state_offset(dir, s) < l.slot_offset(Dir::ToTarget, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn data_is_cache_line_aligned() {
+        for depth in [1usize, 3, 64, 128, 129] {
+            let l = DoubleBufferLayout::new(depth, 4096);
+            assert_eq!(
+                l.slot_offset(Dir::ToTarget, 0) % CACHE_LINE,
+                0,
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn fits_check() {
+        let l = DoubleBufferLayout::new(4, 1024);
+        assert!(l.check_fits(l.total()).is_ok());
+        assert!(matches!(
+            l.check_fits(l.total() - 1),
+            Err(ShmError::RegionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn total_accounts_everything() {
+        let l = DoubleBufferLayout::new(128, 128 * 1024);
+        // Two halves of 128 slots * 128K = 32 MiB + small header.
+        let data = 2 * 128 * 128 * 1024;
+        assert!(l.total() >= data);
+        assert!(l.total() < data + 4096);
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::ToTarget.flip(), Dir::ToClient);
+        assert_eq!(Dir::ToClient.flip(), Dir::ToTarget);
+    }
+}

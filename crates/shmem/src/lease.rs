@@ -1,0 +1,142 @@
+//! Zero-copy buffer leases (§4.4.3).
+//!
+//! The paper's zero-copy transport works by *co-designing the application*
+//! with the fabric: the Buffer Manager hands the application a buffer that
+//! already lives inside the shared region, so publishing it requires no
+//! copy at all. [`ZcBuf`] is that application-facing buffer: it dereferences
+//! to a byte slice the app fills in place, tracks the logical length, and
+//! converts into a published `(slot, len)` pair.
+
+use std::ops::{Deref, DerefMut};
+
+use crate::slot::{SlotRing, WriteGuard};
+use crate::ShmError;
+
+/// An application buffer living directly in shared memory.
+pub struct ZcBuf {
+    guard: WriteGuard,
+    len: usize,
+}
+
+impl ZcBuf {
+    /// Leases the next round-robin slot of `ring` as an application buffer
+    /// of `len` logical bytes (≤ slot size).
+    pub fn lease(ring: &SlotRing, len: usize) -> Result<ZcBuf, ShmError> {
+        if len > ring.slot_size() {
+            return Err(ShmError::PayloadTooLarge {
+                len,
+                slot_size: ring.slot_size(),
+            });
+        }
+        let guard = ring.begin_write()?;
+        Ok(ZcBuf { guard, len })
+    }
+
+    /// Logical length of the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot this buffer occupies.
+    pub fn slot(&self) -> usize {
+        self.guard.slot()
+    }
+
+    /// Publishes the buffer without copying; returns `(slot, len)` for the
+    /// out-of-band notification.
+    pub fn publish(mut self) -> (usize, usize) {
+        self.guard
+            .set_len(self.len)
+            .expect("len validated at lease time");
+        self.guard.publish()
+    }
+}
+
+impl Deref for ZcBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard.as_slice()[..self.len]
+    }
+}
+
+impl DerefMut for ZcBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let len = self.len;
+        &mut self.guard.as_mut_slice()[..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Dir, DoubleBufferLayout};
+    use crate::region::ShmRegion;
+    use std::sync::Arc;
+
+    fn ring() -> SlotRing {
+        let layout = DoubleBufferLayout::new(4, 4096);
+        let region = Arc::new(ShmRegion::new(layout.total()));
+        SlotRing::new(region, layout, Dir::ToTarget).unwrap()
+    }
+
+    #[test]
+    fn lease_fill_publish_read() {
+        let r = ring();
+        let mut buf = ZcBuf::lease(&r, 8).unwrap();
+        buf.copy_from_slice(b"abcd1234");
+        let slot = buf.slot();
+        let (s, len) = buf.publish();
+        assert_eq!((s, len), (slot, 8));
+        let rd = r.begin_read(s, len).unwrap();
+        assert_eq!(rd.as_slice(), b"abcd1234");
+    }
+
+    #[test]
+    fn lease_too_large_rejected() {
+        let r = ring();
+        assert!(matches!(
+            ZcBuf::lease(&r, 4097),
+            Err(ShmError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn dropping_lease_frees_slot() {
+        let r = ring();
+        let first_slot;
+        {
+            let buf = ZcBuf::lease(&r, 16).unwrap();
+            first_slot = buf.slot();
+        }
+        assert_eq!(r.state(first_slot).unwrap(), crate::slot::SlotState::Free);
+    }
+
+    #[test]
+    fn deref_views_match() {
+        let r = ring();
+        let mut buf = ZcBuf::lease(&r, 4).unwrap();
+        buf[0] = 9;
+        buf[3] = 7;
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf[0], 9);
+        assert_eq!(&buf[..], &[9, 0, 0, 7]);
+    }
+
+    #[test]
+    fn leases_cycle_through_slots() {
+        let r = ring();
+        let mut slots = Vec::new();
+        for _ in 0..4 {
+            let buf = ZcBuf::lease(&r, 1).unwrap();
+            slots.push(buf.slot());
+            let (s, l) = buf.publish();
+            drop(r.begin_read(s, l).unwrap());
+        }
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared-memory channel substrate for NVMe-oAF.
+//!
+//! In the paper, co-located client and target VMs/containers communicate
+//! through an IVSHMEM/ICSHMEM region hot-plugged by a helper process
+//! (§4.2). This crate implements that region and every algorithm the paper
+//! layers on it, for real — threads, atomics and `memcpy`, not a model:
+//!
+//! * [`region::ShmRegion`] — a 64-byte-aligned shared segment with raw
+//!   read/write primitives (the IVSHMEM BAR analog),
+//! * [`layout::DoubleBufferLayout`] — the lock-free *double buffer* split:
+//!   one half per direction, each divided into `queue_depth` slots of the
+//!   I/O size (§4.4.1),
+//! * [`slot::SlotRing`] — round-robin slot selection with a per-slot
+//!   atomic state machine providing release/acquire publication,
+//! * [`ring::NotifyRing`] — a lock-free SPSC notification ring living
+//!   inside the region, and [`byte_ring::ByteRing`] — its variable-size
+//!   sibling, carrying whole control PDUs for the fully in-region
+//!   control path (the paper's §5.5 future-work direction),
+//! * [`flag::FlagPage`] — the pre-reserved page the helper process uses to
+//!   announce locality (§4.2),
+//! * [`lease::ZcBuf`] — zero-copy buffer leases: the application's buffer
+//!   *is* a slot in the region (§4.4.3),
+//! * [`locked::LockedShm`] — the mutex-guarded "SHM-baseline" variant kept
+//!   for the Fig. 8 ablation.
+//!
+//! # Safety architecture
+//!
+//! All `unsafe` lives in [`region`]. Exclusive access to slot byte ranges
+//! is guaranteed by the [`slot::SlotRing`] state machine (`Free →
+//! Writing → Ready → Reading → Free`, release/acquire ordered), never by
+//! locks; the module-level tests include multi-threaded stress tests that
+//! check for torn reads.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod byte_ring;
+pub mod channel;
+pub mod flag;
+pub mod layout;
+pub mod lease;
+pub mod locked;
+pub mod region;
+pub mod ring;
+pub mod slot;
+
+pub use channel::ShmChannel;
+pub use layout::DoubleBufferLayout;
+pub use region::ShmRegion;
+pub use slot::{SlotRing, SlotState};
+
+/// Errors surfaced by the shared-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmError {
+    /// All slots in the ring are occupied (producer outran the consumer
+    /// beyond the queue depth).
+    NoFreeSlot,
+    /// A slot index outside the ring was referenced.
+    BadSlot(usize),
+    /// The slot was not in the state the operation requires.
+    WrongState {
+        /// Slot index.
+        slot: usize,
+        /// State found.
+        found: slot::SlotState,
+        /// State required.
+        expected: slot::SlotState,
+    },
+    /// Payload larger than the slot size.
+    PayloadTooLarge {
+        /// Payload length.
+        len: usize,
+        /// Slot capacity.
+        slot_size: usize,
+    },
+    /// The notification ring is full.
+    RingFull,
+    /// The region is too small for the requested layout.
+    RegionTooSmall {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::NoFreeSlot => write!(f, "no free slot in shared-memory ring"),
+            ShmError::BadSlot(i) => write!(f, "slot index {i} out of range"),
+            ShmError::WrongState {
+                slot,
+                found,
+                expected,
+            } => {
+                write!(f, "slot {slot} in state {found:?}, expected {expected:?}")
+            }
+            ShmError::PayloadTooLarge { len, slot_size } => {
+                write!(f, "payload of {len} bytes exceeds slot size {slot_size}")
+            }
+            ShmError::RingFull => write!(f, "notification ring full"),
+            ShmError::RegionTooSmall { needed, have } => {
+                write!(f, "region too small: need {needed} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}

@@ -1,0 +1,203 @@
+//! The mutex-guarded "SHM-baseline" variant (§4.4.4, Fig. 8).
+//!
+//! The paper's ablation starts from a naive shared-memory design that
+//! "uses locks as a way to access the shared memory region". This module
+//! keeps that design alive so the ablation benchmark can measure exactly
+//! what the lock-free double buffer buys: a single mutex serializes every
+//! producer *and* consumer access to the region, collapsing the
+//! bidirectional concurrency the slot ring provides.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::layout::{Dir, DoubleBufferLayout};
+use crate::region::ShmRegion;
+use crate::ShmError;
+
+struct Inner {
+    region: Arc<ShmRegion>,
+    layout: DoubleBufferLayout,
+    next: [usize; 2],
+    occupied: Vec<bool>, // [dir][slot] flattened
+    lens: Vec<usize>,
+}
+
+/// Lock-guarded shared-memory channel (baseline ablation variant).
+#[derive(Clone)]
+pub struct LockedShm {
+    inner: Arc<Mutex<Inner>>,
+}
+
+fn dir_idx(dir: Dir) -> usize {
+    match dir {
+        Dir::ToTarget => 0,
+        Dir::ToClient => 1,
+    }
+}
+
+impl LockedShm {
+    /// Creates a locked channel over its own region.
+    pub fn allocate(depth: usize, slot_size: usize) -> Self {
+        let layout = DoubleBufferLayout::new(depth, slot_size);
+        let region = Arc::new(ShmRegion::new(layout.total()));
+        LockedShm {
+            inner: Arc::new(Mutex::new(Inner {
+                region,
+                layout,
+                next: [0, 0],
+                occupied: vec![false; 2 * depth],
+                lens: vec![0; 2 * depth],
+            })),
+        }
+    }
+
+    /// Copies `payload` into the next round-robin slot of `dir`, holding
+    /// the channel lock for the full duration of the copy (that is the
+    /// point of the baseline). Returns the slot index.
+    pub fn send(&self, dir: Dir, payload: &[u8]) -> Result<usize, ShmError> {
+        let mut g = self.inner.lock();
+        if payload.len() > g.layout.slot_size {
+            return Err(ShmError::PayloadTooLarge {
+                len: payload.len(),
+                slot_size: g.layout.slot_size,
+            });
+        }
+        let d = dir_idx(dir);
+        let depth = g.layout.depth;
+        let slot = g.next[d] % depth;
+        if g.occupied[d * depth + slot] {
+            return Err(ShmError::NoFreeSlot);
+        }
+        g.next[d] += 1;
+        let off = g.layout.slot_offset(dir, slot);
+        // SAFETY: the channel mutex serializes all region access.
+        unsafe { g.region.write_at(off, payload) };
+        g.occupied[d * depth + slot] = true;
+        g.lens[d * depth + slot] = payload.len();
+        Ok(slot)
+    }
+
+    /// Copies the payload of `slot` in `dir` into `buf`, freeing the slot.
+    /// Returns the payload length.
+    pub fn recv(&self, dir: Dir, slot: usize, buf: &mut [u8]) -> Result<usize, ShmError> {
+        let mut g = self.inner.lock();
+        let depth = g.layout.depth;
+        if slot >= depth {
+            return Err(ShmError::BadSlot(slot));
+        }
+        let d = dir_idx(dir);
+        if !g.occupied[d * depth + slot] {
+            return Err(ShmError::WrongState {
+                slot,
+                found: crate::slot::SlotState::Free,
+                expected: crate::slot::SlotState::Ready,
+            });
+        }
+        let len = g.lens[d * depth + slot];
+        assert!(buf.len() >= len, "destination too small");
+        let off = g.layout.slot_offset(dir, slot);
+        // SAFETY: the channel mutex serializes all region access.
+        unsafe { g.region.read_into(off, &mut buf[..len]) };
+        g.occupied[d * depth + slot] = false;
+        Ok(len)
+    }
+
+    /// Slot capacity in bytes.
+    pub fn slot_size(&self) -> usize {
+        self.inner.lock().layout.slot_size
+    }
+
+    /// Slots per direction.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().layout.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let ch = LockedShm::allocate(4, 1024);
+        let slot = ch.send(Dir::ToTarget, b"payload").unwrap();
+        let mut buf = vec![0u8; 1024];
+        let n = ch.recv(Dir::ToTarget, slot, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"payload");
+    }
+
+    #[test]
+    fn occupied_slot_blocks_reuse() {
+        let ch = LockedShm::allocate(1, 64);
+        ch.send(Dir::ToTarget, b"a").unwrap();
+        assert_eq!(ch.send(Dir::ToTarget, b"b"), Err(ShmError::NoFreeSlot));
+        let mut buf = [0u8; 64];
+        ch.recv(Dir::ToTarget, 0, &mut buf).unwrap();
+        assert!(ch.send(Dir::ToTarget, b"b").is_ok());
+    }
+
+    #[test]
+    fn directions_have_separate_slots() {
+        let ch = LockedShm::allocate(2, 64);
+        let s1 = ch.send(Dir::ToTarget, b"t").unwrap();
+        let s2 = ch.send(Dir::ToClient, b"c").unwrap();
+        assert_eq!((s1, s2), (0, 0));
+        let mut buf = [0u8; 64];
+        assert_eq!(ch.recv(Dir::ToClient, 0, &mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'c');
+    }
+
+    #[test]
+    fn recv_of_free_slot_fails() {
+        let ch = LockedShm::allocate(2, 64);
+        let mut buf = [0u8; 64];
+        assert!(matches!(
+            ch.recv(Dir::ToTarget, 0, &mut buf),
+            Err(ShmError::WrongState { .. })
+        ));
+        assert!(matches!(
+            ch.recv(Dir::ToTarget, 5, &mut buf),
+            Err(ShmError::BadSlot(5))
+        ));
+    }
+
+    #[test]
+    fn concurrent_senders_on_opposite_directions_work() {
+        let ch = LockedShm::allocate(8, 4096);
+        let a = {
+            let ch = ch.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    loop {
+                        match ch.send(Dir::ToTarget, &[1u8; 4096]) {
+                            Ok(slot) => {
+                                let mut b = vec![0u8; 4096];
+                                ch.recv(Dir::ToTarget, slot, &mut b).unwrap();
+                                assert!(b.iter().all(|&x| x == 1));
+                                break;
+                            }
+                            Err(ShmError::NoFreeSlot) => std::thread::yield_now(),
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            })
+        };
+        for _ in 0..200 {
+            loop {
+                match ch.send(Dir::ToClient, &[2u8; 4096]) {
+                    Ok(slot) => {
+                        let mut b = vec![0u8; 4096];
+                        ch.recv(Dir::ToClient, slot, &mut b).unwrap();
+                        assert!(b.iter().all(|&x| x == 2));
+                        break;
+                    }
+                    Err(ShmError::NoFreeSlot) => std::thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        a.join().unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! The shared-memory region itself.
+//!
+//! [`ShmRegion`] stands in for the IVSHMEM PCI BAR / ICSHMEM mapping the
+//! paper's helper process hot-plugs into both endpoints (§2.3, §4.2): a
+//! fixed-size, cache-line-aligned byte segment visible to both sides. In
+//! this reproduction both "sides" are threads of one process sharing an
+//! `Arc<ShmRegion>`; the access discipline is identical to the
+//! cross-process case because nothing in the region relies on process-local
+//! pointers.
+//!
+//! # Safety model
+//!
+//! The region itself imposes no synchronization — just like real shared
+//! memory. Concurrent writers to *overlapping* ranges are a data race, so
+//! the raw accessors are `unsafe` with an exclusivity contract. The safe
+//! layers above ([`crate::slot::SlotRing`]) provide that exclusivity via a
+//! per-slot atomic state machine, and atomics *inside* the region (slot
+//! states, ring indices) are accessed through [`ShmRegion::atomic_u8`] /
+//! [`ShmRegion::atomic_u64`], which is sound because the backing memory is
+//! never accessed non-atomically at those offsets.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU64, AtomicU8};
+
+/// Cache-line size assumed for alignment and false-sharing padding.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-size, 64-byte-aligned shared memory segment.
+pub struct ShmRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the region is a raw byte segment; all concurrent-access
+// discipline is delegated to callers per the `unsafe` contracts below,
+// exactly as with a real memory mapping shared between processes.
+unsafe impl Send for ShmRegion {}
+unsafe impl Sync for ShmRegion {}
+
+impl ShmRegion {
+    /// Allocates a zeroed region of `len` bytes (rounded up to a whole
+    /// number of cache lines).
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "region must be non-empty");
+        let len = len.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let layout = Layout::from_size_align(len, CACHE_LINE).expect("valid layout");
+        // SAFETY: layout has nonzero size (len > 0 asserted above).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "shared region allocation failed");
+        ShmRegion { ptr, len }
+    }
+
+    /// Region length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty (never true; kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, offset: usize, len: usize) {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "region access [{offset}, {offset}+{len}) out of bounds (len {})",
+            self.len
+        );
+    }
+
+    /// Copies `src` into the region at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread concurrently reads or
+    /// writes any byte in `[offset, offset + src.len())` (slot-state
+    /// exclusivity in the layers above).
+    pub unsafe fn write_at(&self, offset: usize, src: &[u8]) {
+        self.check(offset, src.len());
+        // SAFETY: bounds checked; exclusivity guaranteed by caller.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+    }
+
+    /// Copies `dst.len()` bytes from the region at `offset` into `dst`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread concurrently writes
+    /// any byte in `[offset, offset + dst.len())`.
+    pub unsafe fn read_into(&self, offset: usize, dst: &mut [u8]) {
+        self.check(offset, dst.len());
+        // SAFETY: bounds checked; exclusivity guaranteed by caller.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Returns a mutable slice over `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusive access to the range for the
+    /// lifetime of the returned slice (no aliasing reads or writes).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [u8] {
+        self.check(offset, len);
+        // SAFETY: bounds checked; exclusivity guaranteed by caller.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
+    }
+
+    /// Returns a shared slice over `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no concurrent writes to the range for the
+    /// lifetime of the returned slice.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        self.check(offset, len);
+        // SAFETY: bounds checked; absence of writers guaranteed by caller.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
+    }
+
+    /// Views the byte at `offset` as an `AtomicU8`.
+    ///
+    /// Sound as long as the byte is *only ever* accessed atomically, which
+    /// the layout modules guarantee by reserving header areas for atomics.
+    pub fn atomic_u8(&self, offset: usize) -> &AtomicU8 {
+        self.check(offset, 1);
+        // SAFETY: in-bounds; AtomicU8 has size/align 1; the region outlives
+        // the reference (tied to &self).
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU8) }
+    }
+
+    /// Views the 8 bytes at `offset` (must be 8-aligned) as an `AtomicU64`.
+    pub fn atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        self.check(offset, 8);
+        assert_eq!(offset % 8, 0, "atomic u64 offset must be 8-aligned");
+        // SAFETY: in-bounds and aligned; region memory is never accessed
+        // non-atomically at header offsets per the layout contract.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
+    }
+}
+
+impl Drop for ShmRegion {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, CACHE_LINE).expect("valid layout");
+        // SAFETY: ptr was allocated with exactly this layout in `new`.
+        unsafe { dealloc(self.ptr, layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn region_is_zeroed_and_rounded() {
+        let r = ShmRegion::new(100);
+        assert_eq!(r.len(), 128); // rounded to cache lines
+        let mut buf = vec![0xaa; 128];
+        unsafe { r.read_into(0, &mut buf) };
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let r = ShmRegion::new(4096);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        unsafe { r.write_at(1024, &data) };
+        let mut out = vec![0u8; 256];
+        unsafe { r.read_into(1024, &mut out) };
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let r = ShmRegion::new(64);
+        unsafe { r.write_at(60, &[0u8; 8]) };
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overflowing_offset_panics() {
+        let r = ShmRegion::new(64);
+        let mut b = [0u8; 1];
+        unsafe { r.read_into(usize::MAX, &mut b) };
+    }
+
+    #[test]
+    fn atomics_are_shared_across_threads() {
+        let r = Arc::new(ShmRegion::new(4096));
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || {
+            r2.atomic_u64(8).store(0xdead_beef, Ordering::Release);
+        });
+        h.join().unwrap();
+        assert_eq!(r.atomic_u64(8).load(Ordering::Acquire), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-aligned")]
+    fn misaligned_atomic_u64_panics() {
+        let r = ShmRegion::new(64);
+        let _ = r.atomic_u64(4);
+    }
+
+    #[test]
+    fn slices_view_written_bytes() {
+        let r = ShmRegion::new(256);
+        unsafe {
+            r.slice_mut(64, 4).copy_from_slice(&[1, 2, 3, 4]);
+            assert_eq!(r.slice(64, 4), &[1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_can_be_written_concurrently() {
+        let r = Arc::new(ShmRegion::new(1 << 20));
+        let threads: Vec<_> = (0..8usize)
+            .map(|t| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let off = t * (128 << 10);
+                    let pattern = vec![t as u8 + 1; 128 << 10];
+                    for _ in 0..16 {
+                        unsafe { r.write_at(off, &pattern) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for t in 0..8usize {
+            let mut buf = vec![0u8; 128 << 10];
+            unsafe { r.read_into(t * (128 << 10), &mut buf) };
+            assert!(buf.iter().all(|&b| b == t as u8 + 1), "lane {t} torn");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Lock-free SPSC notification ring living inside the shared region.
+//!
+//! The paper sends out-of-band notifications (slot index, payload length)
+//! over the existing TCP connection. For deployments where even that hop is
+//! undesirable — and for exercising the region with a second, independent
+//! lock-free structure — this module provides a single-producer,
+//! single-consumer ring of fixed 64-byte records carved out of the region,
+//! following the classic head/tail design (producer owns `tail`, consumer
+//! owns `head`; release/acquire pairs publish records).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::region::{ShmRegion, CACHE_LINE};
+use crate::ShmError;
+
+/// Bytes per record, including the 2-byte length prefix.
+pub const RECORD_SIZE: usize = 64;
+/// Maximum payload bytes per record.
+pub const MAX_PAYLOAD: usize = RECORD_SIZE - 2;
+
+/// One end of a SPSC notification ring. Clone freely; exactly one thread
+/// may push and one may pop.
+#[derive(Clone)]
+pub struct NotifyRing {
+    region: Arc<ShmRegion>,
+    base: usize,
+    capacity: usize,
+}
+
+impl NotifyRing {
+    /// Region bytes needed for a ring of `capacity` records.
+    pub fn required_len(capacity: usize) -> usize {
+        2 * CACHE_LINE + capacity * RECORD_SIZE
+    }
+
+    /// Creates a ring of `capacity` records (a power of two) at `base`
+    /// within `region`. `base` must be cache-line aligned. Both endpoints
+    /// construct a `NotifyRing` over the same `(region, base)`.
+    pub fn new(region: Arc<ShmRegion>, base: usize, capacity: usize) -> Result<Self, ShmError> {
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert_eq!(base % CACHE_LINE, 0, "base must be cache-line aligned");
+        let needed = base + Self::required_len(capacity);
+        if needed > region.len() {
+            return Err(ShmError::RegionTooSmall {
+                needed,
+                have: region.len(),
+            });
+        }
+        Ok(NotifyRing {
+            region,
+            base,
+            capacity,
+        })
+    }
+
+    /// Record capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn head(&self) -> &std::sync::atomic::AtomicU64 {
+        self.region.atomic_u64(self.base)
+    }
+
+    fn tail(&self) -> &std::sync::atomic::AtomicU64 {
+        self.region.atomic_u64(self.base + CACHE_LINE)
+    }
+
+    fn record_offset(&self, idx: u64) -> usize {
+        self.base + 2 * CACHE_LINE + (idx as usize % self.capacity) * RECORD_SIZE
+    }
+
+    /// Producer: appends a record. Fails with [`ShmError::RingFull`] when
+    /// the consumer is `capacity` records behind.
+    pub fn push(&self, payload: &[u8]) -> Result<(), ShmError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(ShmError::PayloadTooLarge {
+                len: payload.len(),
+                slot_size: MAX_PAYLOAD,
+            });
+        }
+        let tail = self.tail().load(Ordering::Relaxed); // producer-owned
+        let head = self.head().load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.capacity as u64 {
+            return Err(ShmError::RingFull);
+        }
+        let off = self.record_offset(tail);
+        let len_prefix = (payload.len() as u16).to_le_bytes();
+        // SAFETY: records in [head, head+capacity) are producer-owned until
+        // published via the tail store below.
+        unsafe {
+            self.region.write_at(off, &len_prefix);
+            self.region.write_at(off + 2, payload);
+        }
+        self.tail().store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer: pops the oldest record into `buf`, returning the payload
+    /// length, or `None` if the ring is empty.
+    pub fn pop(&self, buf: &mut [u8; MAX_PAYLOAD]) -> Option<usize> {
+        let head = self.head().load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail().load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let off = self.record_offset(head);
+        let mut len_prefix = [0u8; 2];
+        // SAFETY: the record was published by the Release store of `tail`
+        // we just Acquired; producer won't reuse it until `head` advances.
+        unsafe {
+            self.region.read_into(off, &mut len_prefix);
+            let len = u16::from_le_bytes(len_prefix) as usize;
+            debug_assert!(len <= MAX_PAYLOAD);
+            self.region.read_into(off + 2, &mut buf[..len]);
+            self.head().store(head.wrapping_add(1), Ordering::Release);
+            Some(len)
+        }
+    }
+
+    /// Records currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.tail().load(Ordering::Acquire);
+        let head = self.head().load(Ordering::Acquire);
+        tail.wrapping_sub(head) as usize
+    }
+
+    /// Whether the ring is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(cap: usize) -> NotifyRing {
+        let region = Arc::new(ShmRegion::new(NotifyRing::required_len(cap)));
+        NotifyRing::new(region, 0, cap).unwrap()
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let r = ring(8);
+        r.push(b"one").unwrap();
+        r.push(b"two").unwrap();
+        let mut buf = [0u8; MAX_PAYLOAD];
+        assert_eq!(r.pop(&mut buf), Some(3));
+        assert_eq!(&buf[..3], b"one");
+        assert_eq!(r.pop(&mut buf), Some(3));
+        assert_eq!(&buf[..3], b"two");
+        assert_eq!(r.pop(&mut buf), None);
+    }
+
+    #[test]
+    fn fills_up_at_capacity() {
+        let r = ring(4);
+        for i in 0..4u8 {
+            r.push(&[i]).unwrap();
+        }
+        assert_eq!(r.push(&[9]), Err(ShmError::RingFull));
+        let mut buf = [0u8; MAX_PAYLOAD];
+        r.pop(&mut buf);
+        assert!(r.push(&[9]).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_payload() {
+        let r = ring(4);
+        assert!(matches!(
+            r.push(&[0u8; MAX_PAYLOAD + 1]),
+            Err(ShmError::PayloadTooLarge { .. })
+        ));
+        assert!(r.push(&[0u8; MAX_PAYLOAD]).is_ok());
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let r = ring(4);
+        let mut buf = [0u8; MAX_PAYLOAD];
+        for round in 0..100u32 {
+            let msg = round.to_le_bytes();
+            r.push(&msg).unwrap();
+            let n = r.pop(&mut buf).unwrap();
+            assert_eq!(&buf[..n], &msg);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        let region = Arc::new(ShmRegion::new(64));
+        assert!(matches!(
+            NotifyRing::new(region, 0, 8),
+            Err(ShmError::RegionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn spsc_threads_preserve_order_and_content() {
+        let r = ring(64);
+        let producer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    loop {
+                        match r.push(&i.to_le_bytes()) {
+                            Ok(()) => break,
+                            Err(ShmError::RingFull) => std::hint::spin_loop(),
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            })
+        };
+        let consumer = std::thread::spawn(move || {
+            let mut buf = [0u8; MAX_PAYLOAD];
+            let mut expected = 0u64;
+            while expected < 50_000 {
+                if let Some(n) = r.pop(&mut buf) {
+                    assert_eq!(n, 8);
+                    let got = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                    assert_eq!(got, expected, "out of order or torn");
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+}

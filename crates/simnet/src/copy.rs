@@ -1,0 +1,73 @@
+//! CPU memory-copy engine model.
+//!
+//! Payload copies dominate the CPU cost of kernel TCP at large I/O sizes
+//! (§3.2 of the paper: write "other" time is buffer fill + copy-out), and
+//! eliminating one copy is the whole point of the zero-copy design
+//! (§4.4.3). The model is a rate plus a fixed per-call setup cost, which
+//! captures both the bandwidth-bound large-copy regime and the
+//! latency-bound small-copy regime.
+
+use crate::time::SimDuration;
+use crate::units::Rate;
+
+/// A memcpy-like engine with fixed setup cost and finite bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct CopyEngine {
+    /// Sustained copy bandwidth (cache-cold, single core).
+    pub rate: Rate,
+    /// Fixed per-call overhead (function call, cache warmup, loop setup).
+    pub setup: SimDuration,
+}
+
+impl CopyEngine {
+    /// A copy engine with the given sustained rate and setup cost.
+    pub fn new(rate: Rate, setup: SimDuration) -> Self {
+        CopyEngine { rate, setup }
+    }
+
+    /// Time to copy `bytes` once.
+    pub fn copy_time(&self, bytes: u64) -> SimDuration {
+        self.setup + SimDuration::from_secs_f64(self.rate.transfer_secs(bytes))
+    }
+
+    /// Time to copy `bytes` `n` times (e.g. once per side of a TCP
+    /// transfer). `n` may be zero for zero-copy paths.
+    pub fn copies_time(&self, bytes: u64, n: u32) -> SimDuration {
+        self.copy_time(bytes).mul_u64(u64::from(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::KIB;
+
+    #[test]
+    fn copy_time_scales_linearly_past_setup() {
+        let eng = CopyEngine::new(Rate::gib_per_sec(10.0), SimDuration::from_nanos(200));
+        let t1 = eng.copy_time(128 * KIB);
+        let t2 = eng.copy_time(256 * KIB);
+        // Doubling the size should roughly double the bandwidth-bound part.
+        let bw1 = t1.saturating_sub(eng.setup).as_nanos();
+        let bw2 = t2.saturating_sub(eng.setup).as_nanos();
+        assert!((bw2 as f64 / bw1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ten_gib_per_sec_moves_128k_in_about_12us() {
+        let eng = CopyEngine::new(Rate::gib_per_sec(10.0), SimDuration::ZERO);
+        let t = eng.copy_time(128 * KIB);
+        let us = t.as_micros_f64();
+        assert!((us - 12.2).abs() < 0.3, "got {us}us");
+    }
+
+    #[test]
+    fn zero_copies_cost_nothing() {
+        let eng = CopyEngine::new(Rate::gib_per_sec(5.0), SimDuration::from_nanos(500));
+        assert_eq!(eng.copies_time(1 << 20, 0), SimDuration::ZERO);
+        assert_eq!(
+            eng.copies_time(1 << 20, 2).as_nanos(),
+            eng.copy_time(1 << 20).as_nanos() * 2
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event simulation engine and network models for the NVMe-oAF
+//! reproduction.
+//!
+//! This crate provides the substrate every simulated experiment in the
+//! workspace runs on:
+//!
+//! * a deterministic [`sim::Simulator`] with a virtual [`time::SimTime`]
+//!   clock and a stable-order event queue,
+//! * analytic queueing primitives ([`server::FifoServer`],
+//!   [`server::MultiServer`], [`server::Pipeline`]) used to model NICs, CPU
+//!   copy engines and SSD channels without per-byte events,
+//! * calibrated link models for kernel TCP ([`tcp::TcpModel`]) and RDMA
+//!   ([`rdma::RdmaModel`]) transports, including busy-poll behaviour and
+//!   memory-registration tail effects, and
+//! * measurement utilities: streaming statistics and a log-bucketed
+//!   latency histogram ([`stats`]).
+//!
+//! The models are deliberately parametric: all constants live in the
+//! per-model `*Params` structs so that the benchmark harness can publish the
+//! calibration next to the reproduced figures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod calendar;
+pub mod copy;
+pub mod link;
+pub mod rdma;
+pub mod rng;
+pub mod server;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod units;
+
+pub use sim::Simulator;
+pub use time::SimTime;

@@ -1,0 +1,156 @@
+//! Generic point-to-point wire model shared by the TCP and RDMA links.
+//!
+//! A [`Wire`] is a full-duplex Ethernet/InfiniBand cable: one FIFO
+//! serialization server per direction plus a fixed propagation delay. All
+//! flows sharing a NIC share the same `Wire`, which is how the models
+//! capture aggregate-bandwidth ceilings (four streams on one 10 Gbps NIC
+//! cannot exceed 1.25 GB/s combined, Fig. 2).
+
+use crate::calendar::CalendarServer;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// Direction of travel on a full-duplex wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client/initiator to target (host-to-controller).
+    H2C,
+    /// Target to client/initiator (controller-to-host).
+    C2H,
+}
+
+/// Static parameters of a wire.
+#[derive(Clone, Copy, Debug)]
+pub struct WireParams {
+    /// Raw signalling rate (e.g. `Rate::gbps(25.0)`).
+    pub rate: Rate,
+    /// Fraction of the raw rate usable by payload after frame/IP/transport
+    /// headers (≈0.94 for Ethernet at MTU 1500, ≈0.97 with jumbo frames).
+    pub efficiency: f64,
+    /// One-way propagation + switching delay.
+    pub propagation: SimDuration,
+}
+
+impl WireParams {
+    /// Effective payload rate.
+    pub fn goodput(&self) -> Rate {
+        self.rate.scaled(self.efficiency)
+    }
+
+    /// Serialization time for `bytes` of payload.
+    pub fn serialize_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.goodput().transfer_secs(bytes))
+    }
+}
+
+/// A full-duplex wire with per-direction FIFO serialization.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// Static parameters.
+    pub params: WireParams,
+    h2c: CalendarServer,
+    c2h: CalendarServer,
+}
+
+impl Wire {
+    /// Creates an idle wire.
+    pub fn new(params: WireParams) -> Self {
+        Wire {
+            params,
+            h2c: CalendarServer::new(),
+            c2h: CalendarServer::new(),
+        }
+    }
+
+    /// Transmits `bytes` in `dir` starting no earlier than `now`; returns
+    /// the time the last bit arrives at the far end.
+    pub fn transmit(&mut self, now: SimTime, dir: Direction, bytes: u64) -> SimTime {
+        let service = self.params.serialize_time(bytes);
+        let server = match dir {
+            Direction::H2C => &mut self.h2c,
+            Direction::C2H => &mut self.c2h,
+        };
+        let (_, done) = server.submit(now, service);
+        done + self.params.propagation
+    }
+
+    /// Transmits `bytes` as a latency-only message: the sender sees the
+    /// serialization + propagation delay, but no wire capacity is
+    /// reserved. Use for small control PDUs whose occupancy (hundreds of
+    /// bytes) is negligible next to bulk data; reserving slots for them
+    /// would fragment the schedule the bulk jobs need.
+    pub fn transmit_latency_only(&self, now: SimTime, bytes: u64) -> SimTime {
+        now + self.params.serialize_time(bytes) + self.params.propagation
+    }
+
+    /// Bytes-per-second actually achievable in one direction.
+    pub fn goodput(&self) -> Rate {
+        self.params.goodput()
+    }
+
+    /// Utilization of one direction over `[0, horizon]`.
+    pub fn utilization(&self, dir: Direction, horizon: SimTime) -> f64 {
+        match dir {
+            Direction::H2C => self.h2c.utilization(horizon),
+            Direction::C2H => self.c2h.utilization(horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{KIB, MIB};
+
+    fn wire(gbps: f64) -> Wire {
+        Wire::new(WireParams {
+            rate: Rate::gbps(gbps),
+            efficiency: 0.94,
+            propagation: SimDuration::from_micros(2),
+        })
+    }
+
+    #[test]
+    fn serialization_time_matches_rate() {
+        let w = wire(10.0);
+        // 1 MiB at 10Gbps*0.94 ≈ 0.89ms.
+        let t = w.params.serialize_time(MIB);
+        assert!((t.as_micros_f64() - 892.0).abs() < 5.0, "{t:?}");
+    }
+
+    #[test]
+    fn directions_do_not_contend() {
+        let mut w = wire(10.0);
+        let a = w.transmit(SimTime::ZERO, Direction::H2C, 128 * KIB);
+        let b = w.transmit(SimTime::ZERO, Direction::C2H, 128 * KIB);
+        // Full duplex: both finish at serialization + propagation.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_direction_serializes() {
+        let mut w = wire(10.0);
+        let a = w.transmit(SimTime::ZERO, Direction::H2C, 128 * KIB);
+        let b = w.transmit(SimTime::ZERO, Direction::H2C, 128 * KIB);
+        let ser = w.params.serialize_time(128 * KIB);
+        assert_eq!(b.saturating_since(a), ser);
+    }
+
+    #[test]
+    fn faster_wire_is_faster() {
+        let mut w10 = wire(10.0);
+        let mut w100 = wire(100.0);
+        let a = w10.transmit(SimTime::ZERO, Direction::H2C, MIB);
+        let b = w100.transmit(SimTime::ZERO, Direction::H2C, MIB);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn utilization_accounts_per_direction() {
+        let mut w = wire(10.0);
+        let done = w.transmit(SimTime::ZERO, Direction::H2C, MIB);
+        let horizon = done;
+        assert!(w.utilization(Direction::H2C, horizon) > 0.9);
+        assert_eq!(w.utilization(Direction::C2H, horizon), 0.0);
+    }
+}

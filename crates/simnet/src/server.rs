@@ -1,0 +1,324 @@
+//! Analytic queueing primitives.
+//!
+//! The transport and device models represent contended resources — a NIC's
+//! wire, a CPU core running a protocol stack, an SSD channel — as FIFO
+//! servers. Instead of simulating every byte, an arrival at time `t`
+//! demanding `s` seconds of service is assigned the interval
+//! `[max(t, next_free), max(t, next_free) + s)`; the server remembers only
+//! `next_free`. This is exact for work-conserving FIFO resources and keeps
+//! experiment runtime proportional to the number of I/Os, not bytes.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single work-conserving FIFO server.
+#[derive(Clone, Debug)]
+pub struct FifoServer {
+    next_free: SimTime,
+    busy: SimDuration,
+    jobs: u64,
+}
+
+impl FifoServer {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        FifoServer {
+            next_free: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Enqueues a job arriving at `now` that needs `service` time.
+    /// Returns `(start, completion)` times.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let start = self.next_free.max(now);
+        let done = start + service;
+        self.next_free = done;
+        self.busy += service;
+        self.jobs += 1;
+        (start, done)
+    }
+
+    /// The earliest time a new arrival could start service.
+    #[inline]
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Queueing delay a job arriving `now` would experience before service.
+    #[inline]
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.saturating_since(now)
+    }
+
+    /// Total service time dispensed (for utilization accounting).
+    #[inline]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    #[inline]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+impl Default for FifoServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `k` identical FIFO servers fed by a single queue (an M/G/k-style
+/// resource): each job goes to the server that frees up first. Models SSD
+/// internal channels and multi-core protocol processing.
+#[derive(Clone, Debug)]
+pub struct MultiServer {
+    lanes: Vec<FifoServer>,
+}
+
+impl MultiServer {
+    /// Creates `k` idle lanes. `k` must be nonzero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MultiServer needs at least one lane");
+        MultiServer {
+            lanes: vec![FifoServer::new(); k],
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Submits a job at `now` needing `service`; it is placed on the lane
+    /// that can start it earliest. Returns `(start, completion)`.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let lane = self.earliest_lane();
+        self.lanes[lane].submit(now, service)
+    }
+
+    /// Submits a job striped across lanes as `pieces` equal units each
+    /// needing `unit_service`. The job completes when its last piece does.
+    /// This models an SSD splitting a large I/O into pages spread over
+    /// channels: small I/Os use one lane, large I/Os recruit them all.
+    pub fn submit_striped(
+        &mut self,
+        now: SimTime,
+        pieces: u64,
+        unit_service: SimDuration,
+    ) -> (SimTime, SimTime) {
+        assert!(pieces > 0);
+        let mut first_start = SimTime::MAX;
+        let mut last_done = SimTime::ZERO;
+        for _ in 0..pieces {
+            let lane = self.earliest_lane();
+            let (s, d) = self.lanes[lane].submit(now, unit_service);
+            first_start = first_start.min(s);
+            last_done = last_done.max(d);
+        }
+        (first_start, last_done)
+    }
+
+    /// Earliest time any lane frees up.
+    pub fn next_free(&self) -> SimTime {
+        self.lanes
+            .iter()
+            .map(FifoServer::next_free)
+            .min()
+            .expect("at least one lane")
+    }
+
+    /// Total jobs served across lanes.
+    pub fn jobs(&self) -> u64 {
+        self.lanes.iter().map(FifoServer::jobs).sum()
+    }
+
+    /// Aggregate utilization over `[0, horizon]` (1.0 = all lanes busy).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy: SimDuration = self.lanes.iter().map(FifoServer::busy_time).sum();
+        busy.as_secs_f64() / (horizon.as_secs_f64() * self.lanes.len() as f64)
+    }
+
+    fn earliest_lane(&self) -> usize {
+        let mut best = 0;
+        let mut best_t = self.lanes[0].next_free();
+        for (i, lane) in self.lanes.iter().enumerate().skip(1) {
+            let t = lane.next_free();
+            if t < best_t {
+                best = i;
+                best_t = t;
+            }
+        }
+        best
+    }
+}
+
+/// A linear pipeline of FIFO stages. A job entering at `now` passes through
+/// each stage in order, queueing at every stage. Models the
+/// client-CPU → wire → target-CPU journey of a TCP chunk: the result is the
+/// classic store-and-forward pipeline where sustained throughput equals the
+/// slowest stage's rate while latency is the sum of stage times.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    stages: Vec<FifoServer>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with `n` idle stages.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "pipeline needs at least one stage");
+        Pipeline {
+            stages: vec![FifoServer::new(); n],
+        }
+    }
+
+    /// Number of stages.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Pushes a job through all stages; `services[i]` is the demand at stage
+    /// `i`. Returns the final completion time.
+    pub fn submit(&mut self, now: SimTime, services: &[SimDuration]) -> SimTime {
+        assert_eq!(
+            services.len(),
+            self.stages.len(),
+            "one service time per stage"
+        );
+        let mut t = now;
+        for (stage, &s) in self.stages.iter_mut().zip(services) {
+            let (_, done) = stage.submit(t, s);
+            t = done;
+        }
+        t
+    }
+
+    /// Direct access to a stage server (e.g. to share the wire stage between
+    /// several flows).
+    pub fn stage_mut(&mut self, i: usize) -> &mut FifoServer {
+        &mut self.stages[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_micros(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn fifo_serializes_back_to_back_jobs() {
+        let mut s = FifoServer::new();
+        let (s1, d1) = s.submit(at(0), us(10));
+        let (s2, d2) = s.submit(at(0), us(10));
+        assert_eq!((s1, d1), (at(0), at(10)));
+        assert_eq!((s2, d2), (at(10), at(20)));
+        assert_eq!(s.jobs(), 2);
+        assert_eq!(s.busy_time(), us(20));
+    }
+
+    #[test]
+    fn fifo_idles_between_sparse_arrivals() {
+        let mut s = FifoServer::new();
+        s.submit(at(0), us(5));
+        let (start, done) = s.submit(at(100), us(5));
+        assert_eq!(start, at(100));
+        assert_eq!(done, at(105));
+        assert!((s.utilization(at(105)) - 10.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_backlog_reports_queueing_delay() {
+        let mut s = FifoServer::new();
+        s.submit(at(0), us(50));
+        assert_eq!(s.backlog(at(10)), us(40));
+        assert_eq!(s.backlog(at(60)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multiserver_runs_k_jobs_in_parallel() {
+        let mut m = MultiServer::new(4);
+        let mut dones = Vec::new();
+        for _ in 0..4 {
+            let (_, d) = m.submit(at(0), us(10));
+            dones.push(d);
+        }
+        assert!(dones.iter().all(|&d| d == at(10)));
+        // A fifth job queues behind one of them.
+        let (_, d5) = m.submit(at(0), us(10));
+        assert_eq!(d5, at(20));
+        assert_eq!(m.jobs(), 5);
+    }
+
+    #[test]
+    fn striped_job_finishes_with_last_piece() {
+        let mut m = MultiServer::new(4);
+        // 8 pieces over 4 lanes at 10us each -> 2 rounds -> done at 20us.
+        let (start, done) = m.submit_striped(at(0), 8, us(10));
+        assert_eq!(start, at(0));
+        assert_eq!(done, at(20));
+        // 1 piece only occupies one lane.
+        let (_, done2) = m.submit_striped(at(100), 1, us(10));
+        assert_eq!(done2, at(110));
+    }
+
+    #[test]
+    fn striped_small_jobs_interleave_across_lanes() {
+        let mut m = MultiServer::new(2);
+        let (_, d1) = m.submit_striped(at(0), 1, us(10));
+        let (_, d2) = m.submit_striped(at(0), 1, us(10));
+        let (_, d3) = m.submit_striped(at(0), 1, us(10));
+        assert_eq!(d1, at(10));
+        assert_eq!(d2, at(10)); // second lane
+        assert_eq!(d3, at(20)); // queues
+    }
+
+    #[test]
+    fn pipeline_latency_is_sum_throughput_is_bottleneck() {
+        let mut p = Pipeline::new(3);
+        let svc = [us(5), us(20), us(5)];
+        let d1 = p.submit(at(0), &svc);
+        assert_eq!(d1, at(30)); // 5 + 20 + 5
+        let d2 = p.submit(at(0), &svc);
+        // Second job: stage0 at 5..10, stage1 waits until 25..45, stage2 45..50.
+        assert_eq!(d2, at(50));
+        // Sustained spacing equals the bottleneck stage (20us).
+        let d3 = p.submit(at(0), &svc);
+        assert_eq!(d3 - d2, us(20));
+    }
+
+    #[test]
+    fn multiserver_utilization() {
+        let mut m = MultiServer::new(2);
+        m.submit(at(0), us(10));
+        m.submit(at(0), us(10));
+        assert!((m.utilization(at(10)) - 1.0).abs() < 1e-12);
+        assert!((m.utilization(at(20)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = MultiServer::new(0);
+    }
+}

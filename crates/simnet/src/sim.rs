@@ -1,0 +1,260 @@
+//! The discrete-event simulator core.
+//!
+//! [`Simulator`] owns a virtual clock and a priority queue of events. An
+//! event is an arbitrary closure receiving `&mut Simulator<W>`, so handlers
+//! can inspect/mutate the shared world state `W` and schedule follow-up
+//! events. Ties in time are broken by insertion sequence number, which makes
+//! runs deterministic regardless of the heap's internal ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Event payload: a one-shot closure run when its time arrives.
+type Action<W> = Box<dyn FnOnce(&mut Simulator<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // and break ties by insertion order for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulator over a world state `W`.
+///
+/// ```
+/// use oaf_simnet::sim::Simulator;
+/// use oaf_simnet::time::{SimDuration, SimTime};
+///
+/// let mut sim = Simulator::new(0u64); // the world: a counter
+/// sim.schedule_at(SimTime::from_micros(10), |s| {
+///     s.world += 1;
+///     // Handlers schedule follow-ups relative to virtual "now".
+///     s.schedule_in(SimDuration::from_micros(5), |s| s.world += 10);
+/// });
+/// sim.run();
+/// assert_eq!(sim.world, 11);
+/// assert_eq!(sim.now(), SimTime::from_micros(15));
+/// ```
+pub struct Simulator<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Entry<W>>,
+    /// The simulated world, freely accessible to event handlers.
+    pub world: W,
+}
+
+impl<W> Simulator<W> {
+    /// Creates a simulator at `t = 0` around the given world state.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            world,
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to
+    /// "now" in release builds and panics in debug builds.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Simulator<W>) + 'static,
+    {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut Simulator<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Runs a single event, advancing the clock to its timestamp.
+    ///
+    /// Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "clock went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        (entry.action)(self);
+        true
+    }
+
+    /// Runs events until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= horizon`, then sets the clock to
+    /// `horizon` (if it has not already passed it).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(e) if e.at <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(horizon);
+    }
+
+    /// Runs until either the queue drains or `max_events` more events have
+    /// executed. Returns the number of events executed by this call.
+    pub fn run_bounded(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut sim = Simulator::new(());
+        for (t, id) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |_| log.borrow_mut().push(id));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_micros(30));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut sim = Simulator::new(());
+        for id in 0..16u32 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_micros(5), move |_| log.borrow_mut().push(id));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim = Simulator::new(0u64);
+        fn tick(sim: &mut Simulator<u64>) {
+            sim.world += 1;
+            if sim.world < 5 {
+                sim.schedule_in(SimDuration::from_micros(2), tick);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        sim.run();
+        assert_eq!(sim.world, 5);
+        assert_eq!(sim.now(), SimTime::from_micros(8));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new(Vec::<u64>::new());
+        for t in [1u64, 2, 3, 4, 5] {
+            sim.schedule_at(SimTime::from_secs(t), move |s| s.world.push(t));
+        }
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.world, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new(());
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn run_bounded_counts_events() {
+        let mut sim = Simulator::new(());
+        for t in 0..10u64 {
+            sim.schedule_at(SimTime::from_micros(t), |_| {});
+        }
+        assert_eq!(sim.run_bounded(4), 4);
+        assert_eq!(sim.events_pending(), 6);
+        assert_eq!(sim.run_bounded(100), 6);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut sim = Simulator::new(());
+        assert!(!sim.step());
+    }
+}

@@ -1,0 +1,376 @@
+//! Kernel TCP/IP transport model.
+//!
+//! Models the path a NVMe/TCP PDU takes between two VMs: sender CPU
+//! (protocol stack + payload copy-out), wire serialization on the shared
+//! NIC, propagation, receiver CPU (protocol stack + payload copy-in), and
+//! finally the receiver *wake-up* — either an interrupt (stock NVMe/TCP,
+//! which the paper notes conflicts with SPDK's polled design, §2.2) or a
+//! busy-polled socket with a configurable budget (§4.5).
+//!
+//! Large transfers are split into application-level chunks
+//! (`ceil(len / chunk_size)` messages, §4.5); each chunk pays the per-chunk
+//! CPU cost, which is exactly why the chunk-size sweep of Fig. 9 has an
+//! interior optimum: small chunks multiply per-chunk overhead, huge chunks
+//! bloat target-side buffer pools (modelled as a memory-pressure penalty).
+
+use crate::copy::CopyEngine;
+use crate::link::{Direction, Wire};
+use crate::server::FifoServer;
+use crate::time::{SimDuration, SimTime};
+
+/// How a receiver learns that data arrived on a socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WakePolicy {
+    /// Interrupt-driven (stock kernel TCP): pay the interrupt+softirq+
+    /// context-switch latency on every message, no CPU spin cost.
+    Interrupt,
+    /// Busy-poll with a spin budget: if the message arrives within the
+    /// budget the wake is nearly free, otherwise fall back to an interrupt
+    /// after burning the whole budget.
+    BusyPoll {
+        /// Maximum spin time per wait.
+        budget: SimDuration,
+    },
+}
+
+/// Cost breakdown of one receiver wake-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WakeCost {
+    /// Latency added between data arrival and the application seeing it.
+    pub extra_latency: SimDuration,
+    /// CPU time the receiving core burned spinning (charged to that core,
+    /// displacing useful protocol work at high queue depth).
+    pub cpu_spin: SimDuration,
+}
+
+/// Static parameters of the TCP model.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpParams {
+    /// Fixed protocol-stack CPU cost per chunk per side (segmentation,
+    /// checksum setup, socket bookkeeping, syscall amortization).
+    pub per_chunk_cpu: SimDuration,
+    /// Copy engine for payload copies (user↔kernel) on each side.
+    pub copy: CopyEngine,
+    /// Payload copies performed by the sender (1 for stock TCP copy-out).
+    pub tx_copies: u32,
+    /// Payload copies performed by the receiver (1 for stock TCP copy-in).
+    pub rx_copies: u32,
+    /// Interrupt + softirq + context switch latency for interrupt wakes.
+    pub interrupt_delay: SimDuration,
+    /// Wake latency when busy-polling catches the arrival.
+    pub fast_wake: SimDuration,
+    /// Fraction of the spin budget wasted on sockets with nothing pending
+    /// when the poll loop multiplexes many queues (makes oversized budgets
+    /// costly — the Fig. 10 read-throughput dip at 100 µs).
+    pub spin_waste_frac: f64,
+    /// Protocol header bytes added to every chunk on the wire.
+    pub header_bytes: u64,
+    /// Application-level chunk size (stock NVMe/TCP: 128 KiB, §4.5).
+    pub chunk_size: u64,
+    /// Receiver wake policy.
+    pub wake: WakePolicy,
+}
+
+impl TcpParams {
+    /// CPU demand to emit or absorb one chunk of `bytes` payload.
+    fn chunk_cpu(&self, bytes: u64, copies: u32) -> SimDuration {
+        self.per_chunk_cpu + self.copy.copies_time(bytes, copies)
+    }
+
+    /// Computes the wake cost for a wait of length `wait` under the
+    /// configured policy.
+    pub fn wake_cost(&self, wait: SimDuration) -> WakeCost {
+        match self.wake {
+            WakePolicy::Interrupt => WakeCost {
+                extra_latency: self.interrupt_delay,
+                cpu_spin: SimDuration::ZERO,
+            },
+            WakePolicy::BusyPoll { budget } => {
+                let waste = SimDuration::from_secs_f64(budget.as_secs_f64() * self.spin_waste_frac);
+                if wait <= budget {
+                    WakeCost {
+                        extra_latency: self.fast_wake,
+                        cpu_spin: wait + waste,
+                    }
+                } else {
+                    WakeCost {
+                        extra_latency: self.interrupt_delay,
+                        cpu_spin: budget + waste,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of pushing a message through the TCP path.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpDelivery {
+    /// Time the last chunk has been absorbed by the receiver's stack
+    /// (before any wake-up latency).
+    pub arrived: SimTime,
+    /// Number of wire chunks the message was split into.
+    pub chunks: u64,
+}
+
+/// The TCP transport model. Stateless itself; all contended state lives in
+/// the [`Wire`] and per-core [`FifoServer`]s owned by the experiment world,
+/// so several connections can share a NIC while keeping their own cores
+/// (the paper pins each client and target to separate cores, §5.1).
+#[derive(Clone, Copy, Debug)]
+pub struct TcpModel {
+    /// Model parameters.
+    pub params: TcpParams,
+}
+
+impl TcpModel {
+    /// Creates a model from parameters.
+    pub fn new(params: TcpParams) -> Self {
+        TcpModel { params }
+    }
+
+    /// Sends `bytes` of payload from the `src_cpu` side to the `dst_cpu`
+    /// side over `wire` in direction `dir`, splitting at the configured
+    /// chunk size. Returns the delivery record.
+    pub fn send(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        wire: &mut Wire,
+        dir: Direction,
+        src_cpu: &mut FifoServer,
+        dst_cpu: &mut FifoServer,
+    ) -> TcpDelivery {
+        self.send_chunked(
+            now,
+            bytes,
+            self.params.chunk_size,
+            wire,
+            dir,
+            src_cpu,
+            dst_cpu,
+        )
+    }
+
+    /// Like [`TcpModel::send`] but with an explicit chunk size (used by the
+    /// chunk-size sweep of Fig. 9 and by the adaptive chunk selector).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_chunked(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        chunk_size: u64,
+        wire: &mut Wire,
+        dir: Direction,
+        src_cpu: &mut FifoServer,
+        dst_cpu: &mut FifoServer,
+    ) -> TcpDelivery {
+        let p = &self.params;
+        let chunks = crate::units::chunks_for(bytes, chunk_size);
+        let mut remaining = bytes;
+        let mut arrived = now;
+        for _ in 0..chunks {
+            let piece = remaining.min(chunk_size).max(1);
+            remaining = remaining.saturating_sub(piece);
+            // Sender stack + copy-out.
+            let (_, sent) = src_cpu.submit(now, p.chunk_cpu(piece, p.tx_copies));
+            // Wire serialization (+ headers) and propagation.
+            let landed = wire.transmit(sent, dir, piece + p.header_bytes);
+            // Receiver stack + copy-in.
+            let (_, absorbed) = dst_cpu.submit(landed, p.chunk_cpu(piece, p.rx_copies));
+            arrived = arrived.max(absorbed);
+        }
+        TcpDelivery { arrived, chunks }
+    }
+
+    /// Sends a small control PDU (no payload copies, single chunk).
+    pub fn send_control(
+        &self,
+        now: SimTime,
+        pdu_bytes: u64,
+        wire: &mut Wire,
+        dir: Direction,
+        src_cpu: &mut FifoServer,
+        dst_cpu: &mut FifoServer,
+    ) -> SimTime {
+        let p = &self.params;
+        let (_, sent) = src_cpu.submit(now, p.per_chunk_cpu);
+        let landed = wire.transmit(sent, dir, pdu_bytes + p.header_bytes);
+        let (_, absorbed) = dst_cpu.submit(landed, p.per_chunk_cpu);
+        absorbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::WireParams;
+    use crate::units::{Rate, KIB, MIB};
+
+    fn params(wake: WakePolicy) -> TcpParams {
+        TcpParams {
+            per_chunk_cpu: SimDuration::from_micros(4),
+            copy: CopyEngine::new(Rate::gib_per_sec(6.0), SimDuration::from_nanos(300)),
+            tx_copies: 1,
+            rx_copies: 1,
+            interrupt_delay: SimDuration::from_micros(15),
+            fast_wake: SimDuration::from_micros(1),
+            spin_waste_frac: 0.15,
+            header_bytes: 128,
+            chunk_size: 128 * KIB,
+            wake,
+        }
+    }
+
+    fn wire(gbps: f64) -> Wire {
+        Wire::new(WireParams {
+            rate: Rate::gbps(gbps),
+            efficiency: 0.94,
+            propagation: SimDuration::from_micros(2),
+        })
+    }
+
+    #[test]
+    fn message_is_chunked() {
+        let m = TcpModel::new(params(WakePolicy::Interrupt));
+        let mut w = wire(25.0);
+        let (mut c, mut t) = (FifoServer::new(), FifoServer::new());
+        let d = m.send(SimTime::ZERO, MIB, &mut w, Direction::H2C, &mut c, &mut t);
+        assert_eq!(d.chunks, 8); // 1 MiB / 128 KiB
+        let d2 = m.send_chunked(
+            SimTime::ZERO,
+            MIB,
+            512 * KIB,
+            &mut w,
+            Direction::H2C,
+            &mut c,
+            &mut t,
+        );
+        assert_eq!(d2.chunks, 2);
+    }
+
+    #[test]
+    fn faster_wire_delivers_sooner() {
+        let m = TcpModel::new(params(WakePolicy::Interrupt));
+        let mut w10 = wire(10.0);
+        let mut w100 = wire(100.0);
+        let (mut c1, mut t1) = (FifoServer::new(), FifoServer::new());
+        let (mut c2, mut t2) = (FifoServer::new(), FifoServer::new());
+        let d10 = m.send(
+            SimTime::ZERO,
+            MIB,
+            &mut w10,
+            Direction::H2C,
+            &mut c1,
+            &mut t1,
+        );
+        let d100 = m.send(
+            SimTime::ZERO,
+            MIB,
+            &mut w100,
+            Direction::H2C,
+            &mut c2,
+            &mut t2,
+        );
+        assert!(d100.arrived < d10.arrived);
+    }
+
+    #[test]
+    fn wire_is_the_bottleneck_at_10g() {
+        // Sustained throughput through the pipeline should approach wire
+        // goodput for a slow wire: send many chunks, check spacing.
+        let m = TcpModel::new(params(WakePolicy::Interrupt));
+        let mut w = wire(10.0);
+        let (mut c, mut t) = (FifoServer::new(), FifoServer::new());
+        let n = 64u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = m
+                .send(
+                    SimTime::ZERO,
+                    128 * KIB,
+                    &mut w,
+                    Direction::H2C,
+                    &mut c,
+                    &mut t,
+                )
+                .arrived;
+        }
+        let total_bytes = n * 128 * KIB;
+        let rate = total_bytes as f64 / last.as_secs_f64();
+        let goodput = w.goodput().as_bytes_per_sec();
+        assert!(rate <= goodput * 1.001, "rate {rate} > goodput {goodput}");
+        assert!(
+            rate >= goodput * 0.90,
+            "rate {rate} far below goodput {goodput}"
+        );
+    }
+
+    #[test]
+    fn interrupt_wake_costs_latency_not_cpu() {
+        let p = params(WakePolicy::Interrupt);
+        let c = p.wake_cost(SimDuration::from_micros(40));
+        assert_eq!(c.extra_latency, SimDuration::from_micros(15));
+        assert_eq!(c.cpu_spin, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_poll_catches_short_waits() {
+        let p = params(WakePolicy::BusyPoll {
+            budget: SimDuration::from_micros(50),
+        });
+        let c = p.wake_cost(SimDuration::from_micros(30));
+        assert_eq!(c.extra_latency, SimDuration::from_micros(1));
+        // Spin = wait (30us) + 15% of the 50us budget wasted (7.5us).
+        assert_eq!(c.cpu_spin, SimDuration::from_nanos(37_500));
+    }
+
+    #[test]
+    fn busy_poll_misses_long_waits_and_pays_double() {
+        let p = params(WakePolicy::BusyPoll {
+            budget: SimDuration::from_micros(25),
+        });
+        let c = p.wake_cost(SimDuration::from_micros(80));
+        // Burned the budget AND still paid the interrupt.
+        assert_eq!(c.extra_latency, SimDuration::from_micros(15));
+        assert!(c.cpu_spin >= SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn control_pdu_is_cheap_and_uncopied() {
+        let m = TcpModel::new(params(WakePolicy::Interrupt));
+        let mut w = wire(25.0);
+        let (mut c, mut t) = (FifoServer::new(), FifoServer::new());
+        let done = m.send_control(SimTime::ZERO, 72, &mut w, Direction::H2C, &mut c, &mut t);
+        // 4us + wire(200B) + 2us prop + 4us ≈ 10us.
+        assert!(done.as_micros_f64() < 12.0, "{done:?}");
+    }
+
+    #[test]
+    fn smaller_chunks_cost_more_cpu() {
+        let m = TcpModel::new(params(WakePolicy::Interrupt));
+        let mut w = wire(100.0);
+        let (mut c1, mut t1) = (FifoServer::new(), FifoServer::new());
+        let (mut c2, mut t2) = (FifoServer::new(), FifoServer::new());
+        m.send_chunked(
+            SimTime::ZERO,
+            2 * MIB,
+            16 * KIB,
+            &mut w,
+            Direction::H2C,
+            &mut c1,
+            &mut t1,
+        );
+        let mut w2 = wire(100.0);
+        m.send_chunked(
+            SimTime::ZERO,
+            2 * MIB,
+            512 * KIB,
+            &mut w2,
+            Direction::H2C,
+            &mut c2,
+            &mut t2,
+        );
+        assert!(c1.busy_time() > c2.busy_time());
+    }
+}

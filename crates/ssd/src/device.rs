@@ -1,0 +1,197 @@
+//! The SSD device performance model.
+
+use oaf_simnet::calendar::CalendarMulti;
+use oaf_simnet::rng::SimRng;
+use oaf_simnet::time::{SimDuration, SimTime};
+
+use crate::config::SsdParams;
+
+/// I/O direction at the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Media/DRAM read.
+    Read,
+    /// Media/DRAM program (buffered).
+    Write,
+}
+
+/// A simulated NVMe-SSD.
+///
+/// Each device owns its internal channel array and its own RNG stream, so a
+/// multi-device experiment is reproducible regardless of the order devices
+/// are polled in.
+pub struct SsdDevice {
+    params: SsdParams,
+    channels: CalendarMulti,
+    rng: SimRng,
+    ios: u64,
+    bytes: u64,
+}
+
+impl SsdDevice {
+    /// Creates a device with the given parameters and RNG seed.
+    pub fn new(params: SsdParams, seed: u64) -> Self {
+        params.validate();
+        SsdDevice {
+            channels: CalendarMulti::new(params.channels),
+            params,
+            rng: SimRng::seed_from_u64(seed),
+            ios: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+
+    /// Executes one command submitted to the device at `now`; returns the
+    /// time the device posts its completion.
+    ///
+    /// The base latency is charged up front (firmware picks up the command,
+    /// locates pages), then the payload is striped over internal channels.
+    pub fn submit(&mut self, now: SimTime, op: IoOp, len: u64) -> SimTime {
+        let base = match op {
+            IoOp::Read => self.params.read_base,
+            IoOp::Write => self.params.write_base,
+        };
+        let jittered = if self.params.jitter_sigma > 0.0 {
+            SimDuration::from_secs_f64(
+                self.rng
+                    .lognormal_median(base.as_secs_f64(), self.params.jitter_sigma),
+            )
+        } else {
+            base
+        };
+        let ready = now + self.params.cmd_overhead + jittered;
+        let pages = self.params.pages_for(len);
+        let (_, done) = self
+            .channels
+            .submit_striped(ready, pages, self.params.page_service);
+        self.ios += 1;
+        self.bytes += len;
+        done
+    }
+
+    /// Commands executed so far.
+    pub fn ios(&self) -> u64 {
+        self.ios
+    }
+
+    /// Payload bytes moved so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Channel-array utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.channels.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_simnet::units::KIB;
+
+    fn dev() -> SsdDevice {
+        SsdDevice::new(SsdParams::qemu_emulated(), 42)
+    }
+
+    #[test]
+    fn single_4k_read_costs_about_base_latency() {
+        let mut d = dev();
+        let done = d.submit(SimTime::ZERO, IoOp::Read, 4 * KIB);
+        let us = done.as_micros_f64();
+        // base 110us ± jitter + 1 page (8.2us) + overhead.
+        assert!(us > 90.0 && us < 160.0, "got {us}us");
+    }
+
+    #[test]
+    fn writes_complete_faster_than_reads() {
+        let mut d = dev();
+        let r = d.submit(SimTime::ZERO, IoOp::Read, 4 * KIB);
+        let mut d2 = SsdDevice::new(SsdParams::qemu_emulated(), 42);
+        let w = d2.submit(SimTime::ZERO, IoOp::Write, 4 * KIB);
+        assert!(w < r);
+    }
+
+    #[test]
+    fn large_io_recruits_channels() {
+        let mut d = dev();
+        let t_small = d.submit(SimTime::ZERO, IoOp::Read, 4 * KIB);
+        let mut d2 = SsdDevice::new(SsdParams::qemu_emulated(), 42);
+        let t_big = d2.submit(SimTime::ZERO, IoOp::Read, 512 * KIB);
+        // 512K = 128 pages over the channels: one extra service round per
+        // full sweep vs. the single page. Same seed, so jitter cancels.
+        let p = SsdParams::qemu_emulated();
+        let small_rounds = 1u64;
+        let big_rounds = (512 * KIB / p.page_size).div_ceil(p.channels as u64);
+        let expected = p.page_service.as_micros_f64() * (big_rounds - small_rounds) as f64;
+        let delta = t_big.saturating_since(t_small).as_micros_f64();
+        assert!(
+            (delta - expected).abs() < 2.0,
+            "delta {delta}us vs expected {expected}us"
+        );
+    }
+
+    #[test]
+    fn deep_queues_approach_bandwidth_ceiling() {
+        let mut d = dev();
+        let io = 128 * KIB;
+        let n = 2048u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = last.max(d.submit(SimTime::ZERO, IoOp::Read, io));
+        }
+        let rate = (n * io) as f64 / last.as_secs_f64();
+        let ceiling = d.params().bandwidth_ceiling();
+        assert!(
+            rate < ceiling * 1.001,
+            "rate {rate} above ceiling {ceiling}"
+        );
+        assert!(
+            rate > ceiling * 0.90,
+            "rate {rate} far below ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let run = || {
+            let mut d = SsdDevice::new(SsdParams::qemu_emulated(), 7);
+            (0..100)
+                .map(|_| d.submit(SimTime::ZERO, IoOp::Read, 64 * KIB).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dev();
+        d.submit(SimTime::ZERO, IoOp::Write, 4 * KIB);
+        d.submit(SimTime::ZERO, IoOp::Read, 8 * KIB);
+        assert_eq!(d.ios(), 2);
+        assert_eq!(d.bytes(), 12 * KIB);
+        assert!(d.utilization(SimTime::from_millis(1)) > 0.0);
+    }
+
+    #[test]
+    fn jitter_produces_a_tail() {
+        let mut d = dev();
+        let lats: Vec<f64> = (0..5000)
+            .map(|_| {
+                d.submit(SimTime::ZERO, IoOp::Read, 4 * KIB); // advance channels
+                let t0 = SimTime::from_secs(1000); // far future: no queueing
+                d.submit(t0, IoOp::Read, 4 * KIB)
+                    .saturating_since(t0)
+                    .as_micros_f64()
+            })
+            .collect();
+        let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+        let max = lats.iter().cloned().fold(0.0, f64::max);
+        assert!(max > mean * 1.15, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,145 @@
+//! NVMe queue-pair semantics for the simulation.
+//!
+//! NVMe-oF keeps a one-to-one mapping between submission and completion
+//! queues (§2.1). For the model the property that matters is the *depth
+//! cap*: a queue pair with depth `d` admits at most `d` in-flight commands,
+//! so a command submitted to a full queue waits for the earliest
+//! completion. Fig. 14 uses a single queue pair with queue depth swept from
+//! 1 to 128 — this type is what enforces that sweep's semantics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use oaf_simnet::time::SimTime;
+
+/// A bounded-depth NVMe submission/completion queue pair.
+#[derive(Debug)]
+pub struct QueuePair {
+    depth: usize,
+    inflight: BinaryHeap<Reverse<SimTime>>,
+    admitted: u64,
+    stalled: u64,
+}
+
+impl QueuePair {
+    /// Creates a queue pair admitting at most `depth` in-flight commands.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be nonzero");
+        QueuePair {
+            depth,
+            inflight: BinaryHeap::new(),
+            admitted: 0,
+            stalled: 0,
+        }
+    }
+
+    /// Maximum in-flight commands.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Admits a command arriving at `now`; returns the time it can actually
+    /// enter the device (may be later than `now` if the queue is full).
+    /// The caller must then [`QueuePair::complete`] it with the completion
+    /// time produced by the device model.
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        // Retire everything that has completed by `now`.
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t <= now && !self.inflight.is_empty() {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        self.admitted += 1;
+        if self.inflight.len() < self.depth {
+            now
+        } else {
+            let Reverse(earliest) = self.inflight.pop().expect("non-empty when full");
+            self.stalled += 1;
+            earliest.max(now)
+        }
+    }
+
+    /// Registers the completion time of an admitted command.
+    pub fn complete(&mut self, at: SimTime) {
+        self.inflight.push(Reverse(at));
+        debug_assert!(self.inflight.len() <= self.depth, "queue overflow");
+    }
+
+    /// Commands admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Commands that had to wait for a slot.
+    pub fn stalled(&self) -> u64 {
+        self.stalled
+    }
+
+    /// Current in-flight count as of the last `admit`/`complete` calls.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn admits_up_to_depth_without_stall() {
+        let mut qp = QueuePair::new(4);
+        for _ in 0..4 {
+            assert_eq!(qp.admit(at(0)), at(0));
+            qp.complete(at(100));
+        }
+        assert_eq!(qp.stalled(), 0);
+        assert_eq!(qp.inflight(), 4);
+    }
+
+    #[test]
+    fn fifth_command_waits_for_earliest_completion() {
+        let mut qp = QueuePair::new(4);
+        for i in 0..4u64 {
+            qp.admit(at(0));
+            qp.complete(at(100 + i));
+        }
+        let start = qp.admit(at(0));
+        assert_eq!(start, at(100));
+        assert_eq!(qp.stalled(), 1);
+    }
+
+    #[test]
+    fn completions_in_the_past_free_slots() {
+        let mut qp = QueuePair::new(2);
+        qp.admit(at(0));
+        qp.complete(at(10));
+        qp.admit(at(0));
+        qp.complete(at(20));
+        // At t=30 both are done; no stall.
+        assert_eq!(qp.admit(at(30)), at(30));
+        assert_eq!(qp.stalled(), 0);
+    }
+
+    #[test]
+    fn depth_one_serializes() {
+        let mut qp = QueuePair::new(1);
+        qp.admit(at(0));
+        qp.complete(at(50));
+        assert_eq!(qp.admit(at(0)), at(50));
+        qp.complete(at(120));
+        assert_eq!(qp.admit(at(0)), at(120));
+        assert_eq!(qp.admitted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be nonzero")]
+    fn zero_depth_rejected() {
+        let _ = QueuePair::new(0);
+    }
+}

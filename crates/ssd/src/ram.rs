@@ -1,0 +1,200 @@
+//! RAM-backed block store for the real (threaded) runtime.
+//!
+//! Plays the role QEMU's RAM-backed NVMe emulation plays in the paper: a
+//! functional device that actually stores and returns bytes, so the real
+//! NVMe-oF target in `oaf-nvmeof` can serve genuine reads and writes in
+//! examples and integration tests.
+
+use std::fmt;
+
+/// Errors from block-level access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// LBA range exceeds the device capacity.
+    OutOfRange {
+        /// First LBA of the offending access.
+        lba: u64,
+        /// Block count of the offending access.
+        count: u32,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// Buffer length does not match `count * block_size`.
+    BadBuffer {
+        /// Expected byte length.
+        expected: usize,
+        /// Provided byte length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange {
+                lba,
+                count,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "access [{lba}, {lba}+{count}) beyond capacity {capacity}"
+                )
+            }
+            BlockError::BadBuffer { expected, got } => {
+                write!(f, "buffer length {got} != expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// A RAM-backed block device.
+pub struct RamDisk {
+    block_size: u32,
+    data: Vec<u8>,
+}
+
+impl RamDisk {
+    /// Creates a zero-filled disk of `blocks` blocks of `block_size` bytes.
+    pub fn new(block_size: u32, blocks: u64) -> Self {
+        assert!(
+            block_size > 0 && block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let len = (blocks * u64::from(block_size)) as usize;
+        RamDisk {
+            block_size,
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.data.len() as u64 / u64::from(self.block_size)
+    }
+
+    fn check(&self, lba: u64, count: u32, buf_len: usize) -> Result<(usize, usize), BlockError> {
+        let cap = self.capacity_blocks();
+        let end = lba.checked_add(u64::from(count)).filter(|&e| e <= cap);
+        if count == 0 || end.is_none() {
+            return Err(BlockError::OutOfRange {
+                lba,
+                count,
+                capacity: cap,
+            });
+        }
+        let expected = count as usize * self.block_size as usize;
+        if buf_len != expected {
+            return Err(BlockError::BadBuffer {
+                expected,
+                got: buf_len,
+            });
+        }
+        let off = (lba * u64::from(self.block_size)) as usize;
+        Ok((off, expected))
+    }
+
+    /// Reads `count` blocks starting at `lba` into `buf`.
+    pub fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        let (off, len) = self.check(lba, count, buf.len())?;
+        buf.copy_from_slice(&self.data[off..off + len]);
+        Ok(())
+    }
+
+    /// Writes `count` blocks starting at `lba` from `buf`.
+    pub fn write(&mut self, lba: u64, count: u32, buf: &[u8]) -> Result<(), BlockError> {
+        let (off, len) = self.check(lba, count, buf.len())?;
+        self.data[off..off + len].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut d = RamDisk::new(512, 128);
+        let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        d.write(4, 2, &payload).unwrap();
+        let mut out = vec![0u8; 1024];
+        d.read(4, 2, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = RamDisk::new(512, 8);
+        let mut out = vec![0xffu8; 512];
+        d.read(7, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = RamDisk::new(512, 8);
+        let buf = vec![0u8; 512];
+        assert!(matches!(
+            d.write(8, 1, &buf),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write(7, 2, &vec![0u8; 1024]),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        // Overflow-safe.
+        assert!(matches!(
+            d.write(u64::MAX, 1, &buf),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let d = RamDisk::new(512, 8);
+        let mut buf = vec![];
+        assert!(matches!(
+            d.read(0, 0, &mut buf),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_length_must_match() {
+        let d = RamDisk::new(512, 8);
+        let mut small = vec![0u8; 100];
+        let err = d.read(0, 1, &mut small).unwrap_err();
+        assert_eq!(
+            err,
+            BlockError::BadBuffer {
+                expected: 512,
+                got: 100
+            }
+        );
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_block_size_rejected() {
+        let _ = RamDisk::new(500, 8);
+    }
+
+    #[test]
+    fn overlapping_writes_last_wins() {
+        let mut d = RamDisk::new(512, 8);
+        d.write(0, 1, &[1u8; 512]).unwrap();
+        d.write(0, 1, &[2u8; 512]).unwrap();
+        let mut out = [0u8; 512];
+        d.read(0, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 2));
+    }
+}

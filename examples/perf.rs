@@ -1,0 +1,151 @@
+//! `perf` — an SPDK-perf-style load generator for the real NVMe-oAF
+//! runtime (the paper uses SPDK's `perf` as its microbenchmark client,
+//! §5.1).
+//!
+//! ```text
+//! cargo run --release --example perf -- [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
+//! cargo run --release --example perf -- 128 32 100 2 local
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nvme_oaf::nvmeof::nvme::controller::Controller;
+use nvme_oaf::nvmeof::nvme::namespace::Namespace;
+use nvme_oaf::oaf::conn::FabricSettings;
+use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
+use nvme_oaf::oaf::runtime::launch;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let io_kib: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let qd: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let read_pct: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seconds: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let local = args.get(4).map(|s| s != "remote").unwrap_or(true);
+
+    let block_size = 4096u64;
+    let io_bytes = io_kib * 1024;
+    let nlb = (io_bytes / block_size) as u32;
+    assert!(nlb >= 1, "io size must be >= 4 KiB");
+    let capacity_blocks = 64 * 1024; // 256 MiB namespace
+
+    let mut controller = Controller::new();
+    controller.add_namespace(Namespace::new(1, block_size as u32, capacity_blocks));
+
+    let registry = Arc::new(HostRegistry::new());
+    let target_host = if local { 1 } else { 2 };
+    let settings = FabricSettings {
+        depth: qd.max(8),
+        slot_size: io_bytes as usize,
+        ..FabricSettings::default()
+    };
+    let mut pair = launch(
+        &registry,
+        (ProcessId(1), 1),
+        (ProcessId(2), target_host),
+        controller,
+        settings,
+    )
+    .expect("fabric establishment");
+
+    println!(
+        "perf: {io_kib}KiB, QD{qd}, {read_pct}% reads, {seconds}s, fabric = {}",
+        if pair.client.shm_active() {
+            "shared-memory (oAF)"
+        } else {
+            "TCP"
+        }
+    );
+
+    // Pre-write the LBA range so reads return real data.
+    let span_ios = 64u64.min(capacity_blocks / u64::from(nlb));
+    for i in 0..span_ios {
+        let mut buf = pair.client.alloc(io_bytes as usize).expect("buffer");
+        buf.fill((i % 251) as u8);
+        pair.client
+            .write(1, i * u64::from(nlb), nlb, buf, Duration::from_secs(10))
+            .expect("prefill write");
+    }
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let t0 = Instant::now();
+    let mut completed: u64 = 0;
+    let mut lat_sum = Duration::ZERO;
+    let mut lats_us: Vec<f64> = Vec::with_capacity(1 << 20);
+    let mut submit_times: std::collections::HashMap<u16, Instant> =
+        std::collections::HashMap::new();
+
+    let submit = |client: &mut nvme_oaf::oaf::runtime::AfClient,
+                  rng: &mut rand::rngs::SmallRng,
+                  submit_times: &mut std::collections::HashMap<u16, Instant>| {
+        let slot = rng.gen_range(0..span_ios);
+        let lba = slot * u64::from(nlb);
+        let cid = if rng.gen_range(0..100) < read_pct {
+            client
+                .submit_read(1, lba, nlb, io_bytes as usize)
+                .expect("submit read")
+        } else {
+            let mut buf = client.alloc(io_bytes as usize).expect("buffer");
+            buf.fill((slot % 251) as u8);
+            client.submit_write(1, lba, nlb, buf).expect("submit write")
+        };
+        submit_times.insert(cid, Instant::now());
+    };
+
+    for _ in 0..qd {
+        submit(&mut pair.client, &mut rng, &mut submit_times);
+    }
+    while Instant::now() < deadline {
+        for done in pair.client.poll().expect("poll") {
+            assert!(done.status.is_ok(), "I/O failed: {:?}", done.status);
+            if let Some(t) = submit_times.remove(&done.cid) {
+                let d = t.elapsed();
+                lat_sum += d;
+                lats_us.push(d.as_secs_f64() * 1e6);
+            }
+            completed += 1;
+            submit(&mut pair.client, &mut rng, &mut submit_times);
+        }
+        std::hint::spin_loop();
+    }
+    // Drain.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while !submit_times.is_empty() && Instant::now() < drain_deadline {
+        for done in pair.client.poll().expect("poll") {
+            submit_times.remove(&done.cid);
+            completed += 1;
+        }
+    }
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mib = completed as f64 * io_bytes as f64 / (1u64 << 20) as f64 / elapsed;
+    let iops = completed as f64 / elapsed;
+    let avg_lat_us = if completed > 0 {
+        lat_sum.as_secs_f64() * 1e6 / completed as f64
+    } else {
+        0.0
+    };
+    println!("{completed} IOs in {elapsed:.2}s: {mib:.0} MiB/s, {iops:.0} IOPS, avg latency {avg_lat_us:.1}us");
+    if !lats_us.is_empty() {
+        lats_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| lats_us[((lats_us.len() - 1) as f64 * p) as usize];
+        println!(
+            "latency percentiles: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  p99.9 {:.1}us  max {:.1}us",
+            q(0.50), q(0.90), q(0.99), q(0.999), lats_us[lats_us.len() - 1]
+        );
+    }
+    let stats = pair.client.stats();
+    println!(
+        "client stats: {} writes ({}% zero-copy), {} reads, {} errors",
+        stats.writes,
+        (stats.zero_copy_fraction() * 100.0) as u32,
+        stats.reads,
+        stats.errors
+    );
+
+    pair.client.disconnect().expect("disconnect");
+    pair.target.shutdown().expect("shutdown");
+}

@@ -1,0 +1,21 @@
+//! NVMe-oAF — NVMe over Adaptive Fabric.
+//!
+//! Umbrella crate re-exporting the workspace: a Rust reproduction of
+//! *NVMe-oAF: Towards Adaptive NVMe-oF for IO-Intensive Workloads on HPC
+//! Cloud* (Kashyap & Lu, HPDC '22).
+//!
+//! * [`simnet`] — discrete-event engine and TCP/RDMA link models
+//! * [`ssd`] — NVMe-SSD device model
+//! * [`shmem`] — real lock-free shared-memory channel substrate
+//! * [`nvmeof`] — NVMe + NVMe-oF protocol, target and initiator
+//! * [`oaf`] — the adaptive fabric itself (the paper's contribution)
+//! * [`h5`] — HDF5-like container, h5bench kernels, NFS baseline
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use oaf_core as oaf;
+pub use oaf_h5 as h5;
+pub use oaf_nvmeof as nvmeof;
+pub use oaf_shmem as shmem;
+pub use oaf_simnet as simnet;
+pub use oaf_ssd as ssd;

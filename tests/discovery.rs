@@ -1,0 +1,104 @@
+//! Integration: NVMe-oF discovery drives the adaptive channel choice —
+//! an initiator consults the discovery log, picks the best transport for
+//! its locality, and the fabric it then establishes matches the record.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvme_oaf::nvmeof::discovery::{DiscoveryController, DiscoveryRecord, TransportKind};
+use nvme_oaf::nvmeof::nvme::controller::Controller;
+use nvme_oaf::nvmeof::nvme::namespace::Namespace;
+use nvme_oaf::oaf::conn::FabricSettings;
+use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
+use nvme_oaf::oaf::runtime::launch;
+
+const SUBNQN: &str = "nqn.2026-07.io.oaf:testing:ssd1";
+
+fn controller() -> Controller {
+    let mut c = Controller::new();
+    c.add_namespace(Namespace::new(1, 4096, 512));
+    c
+}
+
+fn advertise(dc: &DiscoveryController, target_host: u64) {
+    // A target advertises TCP reachability always, plus shared-memory
+    // reachability on its own host.
+    dc.register(
+        DiscoveryRecord::new(SUBNQN, TransportKind::Tcp, "10.0.0.2:4420", target_host).unwrap(),
+    );
+    dc.register(
+        DiscoveryRecord::new(
+            SUBNQN,
+            TransportKind::Shm,
+            format!("host-{target_host}"),
+            target_host,
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn discovery_selection_matches_established_channel() {
+    let target_host = 7u64;
+    let dc = DiscoveryController::new();
+    advertise(&dc, target_host);
+
+    for (client_host, expect_shm) in [(7u64, true), (8, false)] {
+        // 1. The initiator consults discovery for its locality.
+        let record = dc.select(SUBNQN, client_host).expect("subsystem found");
+        let discovery_says_shm = record.transport == TransportKind::Shm;
+        assert_eq!(discovery_says_shm, expect_shm, "discovery choice");
+
+        // 2. Establishing the fabric agrees with the discovery verdict.
+        let registry = Arc::new(HostRegistry::new());
+        let mut pair = launch(
+            &registry,
+            (ProcessId(1), client_host),
+            (ProcessId(2), target_host),
+            controller(),
+            FabricSettings::default(),
+        )
+        .expect("launch");
+        assert_eq!(pair.client.shm_active(), discovery_says_shm);
+
+        // 3. The connection works either way.
+        let mut buf = pair.client.alloc(4096).expect("alloc");
+        buf.fill(0x3c);
+        pair.client
+            .write(1, 0, 1, buf, Duration::from_secs(5))
+            .expect("write");
+        let back = pair
+            .client
+            .read(1, 0, 1, 4096, Duration::from_secs(5))
+            .expect("read");
+        assert!(back.iter().all(|&b| b == 0x3c));
+
+        pair.client.disconnect().expect("disconnect");
+        pair.target.shutdown().expect("shutdown");
+    }
+}
+
+#[test]
+fn log_page_travels_as_bytes_between_processes() {
+    // The log page is a wire format: what the target-side controller
+    // serves must parse identically on the initiator side.
+    let dc = DiscoveryController::new();
+    advertise(&dc, 3);
+    let wire_bytes = dc.log_page().encode();
+
+    let parsed = nvme_oaf::nvmeof::discovery::DiscoveryLog::decode(wire_bytes).expect("parse");
+    assert_eq!(parsed.records.len(), 2);
+    assert!(parsed
+        .records
+        .iter()
+        .any(|r| r.transport == TransportKind::Shm && r.host_id == 3));
+}
+
+#[test]
+fn unregistered_subsystem_disappears_from_selection() {
+    let dc = DiscoveryController::new();
+    advertise(&dc, 1);
+    assert!(dc.select(SUBNQN, 1).is_some());
+    dc.unregister(SUBNQN);
+    assert!(dc.select(SUBNQN, 1).is_none());
+}

@@ -1,0 +1,126 @@
+//! Integration: the h5bench kernels over the *real* NVMe-oAF runtime —
+//! the full co-design stack (VOL → container format → block extent →
+//! adaptive fabric → NVMe-oF target → RAM-backed namespace).
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use nvme_oaf::h5::kernel::{run_read, run_write, KernelConfig};
+use nvme_oaf::h5::vol::{BlockExtent, H5Vol, VolConnector};
+use nvme_oaf::nvmeof::nvme::controller::Controller;
+use nvme_oaf::nvmeof::nvme::namespace::Namespace;
+use nvme_oaf::oaf::conn::FabricSettings;
+use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
+use nvme_oaf::oaf::runtime::launch;
+
+fn vol_over_fabric(
+    local: bool,
+    blocks: u64,
+) -> (H5Vol<BlockExtent>, nvme_oaf::nvmeof::target::TargetHandle) {
+    let mut controller = Controller::new();
+    controller.add_namespace(Namespace::new(1, 4096, blocks));
+    let registry = Arc::new(HostRegistry::new());
+    let pair = launch(
+        &registry,
+        (ProcessId(1), 1),
+        (ProcessId(2), if local { 1 } else { 2 }),
+        controller,
+        FabricSettings::default(),
+    )
+    .expect("fabric establishment");
+    let extent = BlockExtent::new(pair.client, 1).expect("block extent");
+    (H5Vol::create(extent).expect("container"), pair.target)
+}
+
+#[test]
+fn kernels_roundtrip_over_local_fabric() {
+    let cfg = KernelConfig {
+        datasets: 2,
+        particles: 128 * 1024,
+        dtype_size: 4,
+        h5d_buffer: 128 * 1024,
+        timesteps: 1,
+    };
+    let (mut vol, target) = vol_over_fabric(true, 2048);
+    let hint = Rc::new(Cell::new(1usize));
+    let w = run_write(&mut vol, &cfg, &hint).expect("write kernel");
+    assert_eq!(w.bytes, cfg.total_bytes());
+    // Full verified read: every byte must match what the write kernel
+    // produced, across the whole stack.
+    run_read(&mut vol, &cfg, &hint, true).expect("verified read kernel");
+    target.shutdown().expect("shutdown");
+}
+
+#[test]
+fn kernels_roundtrip_over_tcp_fallback() {
+    let cfg = KernelConfig {
+        datasets: 1,
+        particles: 64 * 1024,
+        dtype_size: 4,
+        h5d_buffer: 64 * 1024,
+        timesteps: 1,
+    };
+    let (mut vol, target) = vol_over_fabric(false, 1024);
+    let hint = Rc::new(Cell::new(1usize));
+    run_write(&mut vol, &cfg, &hint).expect("write kernel");
+    run_read(&mut vol, &cfg, &hint, true).expect("verified read kernel");
+    target.shutdown().expect("shutdown");
+}
+
+#[test]
+fn container_survives_reopen_over_fabric() {
+    let mut controller = Controller::new();
+    controller.add_namespace(Namespace::new(1, 4096, 1024));
+    let registry = Arc::new(HostRegistry::new());
+    let pair = launch(
+        &registry,
+        (ProcessId(1), 1),
+        (ProcessId(2), 1),
+        controller,
+        FabricSettings::default(),
+    )
+    .expect("fabric establishment");
+
+    let extent = BlockExtent::new(pair.client, 1).expect("block extent");
+    let mut vol = H5Vol::create(extent).expect("container");
+    vol.create_dataset("survivor", 8, 512).expect("dataset");
+    vol.dataset_write("survivor", 64, &[0xabu8; 256])
+        .expect("write");
+
+    // "Reopen" by parsing the superblock again from the same device.
+    let mut vol = H5Vol::open(extract_extent(vol)).expect("reopen");
+    let ds = vol.datasets();
+    assert_eq!(ds.len(), 1);
+    assert_eq!(ds[0].name, "survivor");
+    assert_eq!(ds[0].dtype_size, 8);
+    let mut out = vec![0u8; 256];
+    vol.dataset_read("survivor", 64, &mut out).expect("read");
+    assert!(out.iter().all(|&b| b == 0xab));
+    pair.target.shutdown().expect("shutdown");
+}
+
+fn extract_extent(vol: H5Vol<BlockExtent>) -> BlockExtent {
+    // H5Vol does not expose its extent by value; recreate the view by
+    // consuming the vol. (Test-only helper using the public `into_extent`.)
+    vol.into_extent()
+}
+
+#[test]
+fn unaligned_dataset_io_uses_read_modify_write() {
+    let (mut vol, target) = vol_over_fabric(true, 1024);
+    vol.create_dataset("x", 1, 10_000).expect("dataset");
+    // Offsets and lengths that straddle 4 KiB block boundaries.
+    vol.dataset_write("x", 4090, &[7u8; 100])
+        .expect("unaligned write");
+    vol.dataset_write("x", 4095, &[9u8; 2])
+        .expect("tiny straddle");
+    let mut out = vec![0u8; 100];
+    vol.dataset_read("x", 4090, &mut out)
+        .expect("unaligned read");
+    assert_eq!(out[0..5], [7, 7, 7, 7, 7]);
+    assert_eq!(out[5], 9);
+    assert_eq!(out[6], 9);
+    assert!(out[7..].iter().all(|&b| b == 7));
+    target.shutdown().expect("shutdown");
+}

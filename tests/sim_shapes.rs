@@ -1,0 +1,112 @@
+//! Integration: cross-fabric shape invariants of the simulation models —
+//! the orderings every figure depends on, checked at low cost.
+
+use nvme_oaf::oaf::sim::{run_uniform, FabricKind, Pattern, ShmVariant, WorkloadSpec};
+use nvme_oaf::simnet::time::SimDuration;
+use nvme_oaf::simnet::units::KIB;
+
+fn wl(io: u64, reads: f64) -> WorkloadSpec {
+    // Debug builds simulate much slower; shorten the virtual run to keep
+    // plain `cargo test` usable (assertions carry wide margins).
+    let ms = if cfg!(debug_assertions) { 40 } else { 150 };
+    WorkloadSpec::new(io, reads).with_duration(SimDuration::from_millis(ms))
+}
+
+const OAF: FabricKind = FabricKind::Shm {
+    variant: ShmVariant::ZeroCopy,
+};
+
+#[test]
+fn read_bandwidth_ordering_matches_the_paper() {
+    // oAF > RDMA > TCP-100G > TCP-25G > TCP-10G for 128K x 4 streams.
+    let f = |fabric| run_uniform(fabric, 4, wl(128 * KIB, 1.0)).bandwidth_mib();
+    let oaf = f(OAF);
+    let rdma = f(FabricKind::RdmaIb);
+    let t100 = f(FabricKind::TcpStock { gbps: 100.0 });
+    let t25 = f(FabricKind::TcpStock { gbps: 25.0 });
+    let t10 = f(FabricKind::TcpStock { gbps: 10.0 });
+    assert!(
+        oaf > rdma && rdma > t100 && t100 > t25 && t25 > t10,
+        "ordering violated: oaf {oaf:.0} rdma {rdma:.0} t100 {t100:.0} t25 {t25:.0} t10 {t10:.0}"
+    );
+}
+
+#[test]
+fn shm_ablation_ladder_is_monotonic_in_bandwidth() {
+    let f = |v| run_uniform(FabricKind::Shm { variant: v }, 1, wl(512 * KIB, 1.0)).bandwidth_mib();
+    let baseline = f(ShmVariant::Baseline);
+    let lock_free = f(ShmVariant::LockFree);
+    let flow = f(ShmVariant::FlowCtl);
+    let zero = f(ShmVariant::ZeroCopy);
+    assert!(lock_free >= baseline * 0.9, "{lock_free} vs {baseline}");
+    assert!(flow > lock_free * 1.3, "{flow} vs {lock_free}");
+    assert!(zero >= flow * 0.95, "{zero} vs {flow}");
+}
+
+#[test]
+fn adaptive_fabric_matches_its_resolved_channel() {
+    let local = run_uniform(
+        FabricKind::Adaptive {
+            local: true,
+            tcp_gbps: 25.0,
+        },
+        1,
+        wl(128 * KIB, 1.0),
+    )
+    .bandwidth_mib();
+    let shm = run_uniform(OAF, 1, wl(128 * KIB, 1.0)).bandwidth_mib();
+    assert!((local / shm - 1.0).abs() < 1e-9, "local {local} shm {shm}");
+
+    let remote = run_uniform(
+        FabricKind::Adaptive {
+            local: false,
+            tcp_gbps: 25.0,
+        },
+        1,
+        wl(128 * KIB, 1.0),
+    )
+    .bandwidth_mib();
+    assert!(remote < local, "remote {remote} local {local}");
+}
+
+#[test]
+fn random_pattern_only_penalizes_real_media() {
+    // Emulated (RAM-backed) SSDs: random ~ sequential. Real media: slower.
+    let seq = run_uniform(OAF, 1, wl(128 * KIB, 1.0)).bandwidth_mib();
+    let rnd = run_uniform(OAF, 1, wl(128 * KIB, 1.0).with_pattern(Pattern::Random)).bandwidth_mib();
+    assert!((rnd / seq - 1.0).abs() < 0.05, "seq {seq} rnd {rnd}");
+
+    let seq = run_uniform(FabricKind::Roce, 1, wl(128 * KIB, 1.0)).bandwidth_mib();
+    let rnd = run_uniform(
+        FabricKind::Roce,
+        1,
+        wl(128 * KIB, 1.0).with_pattern(Pattern::Random),
+    )
+    .bandwidth_mib();
+    assert!(
+        rnd < seq,
+        "random must be slower on real media: {rnd} vs {seq}"
+    );
+}
+
+#[test]
+fn tails_exceed_medians_everywhere() {
+    for fabric in [FabricKind::TcpStock { gbps: 25.0 }, FabricKind::RdmaIb, OAF] {
+        let m = run_uniform(fabric, 1, wl(128 * KIB, 0.7));
+        let p = m.percentiles().expect("samples");
+        assert!(p.p9999 >= p.p99 && p.p99 >= p.p50, "{fabric:?}");
+        assert!(p.p9999 > p.p50, "{fabric:?} has no tail at all");
+    }
+}
+
+#[test]
+fn more_streams_never_reduce_aggregate_bandwidth() {
+    for fabric in [FabricKind::TcpStock { gbps: 25.0 }, OAF] {
+        let one = run_uniform(fabric, 1, wl(128 * KIB, 1.0)).bandwidth_mib();
+        let four = run_uniform(fabric, 4, wl(128 * KIB, 1.0)).bandwidth_mib();
+        assert!(
+            four >= one * 0.95,
+            "{fabric:?}: 1-stream {one} 4-stream {four}"
+        );
+    }
+}
