@@ -1,0 +1,213 @@
+//! Control-path microbenchmarks (the PR's tentpole numbers): command →
+//! completion PDU round-trips over the real-runtime transports,
+//! comparing the seed-style per-frame path (owned `Bytes` per hop)
+//! against the batched hot path (scratch `encode_into` + `send_frame` +
+//! borrowed `recv_batch` drain), plus an allocations-per-op probe via a
+//! counting global allocator.
+//!
+//! Both roles run on the bench thread: the numbers isolate codec + ring
+//! cost per round trip, not thread wake-up latency.
+//!
+//! Run:    cargo bench -p oaf-bench --bench control_path
+//! Smoke:  cargo bench -p oaf-bench --bench control_path -- --test
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oaf_nvmeof::nvme::command::NvmeCommand;
+use oaf_nvmeof::nvme::completion::NvmeCompletion;
+use oaf_nvmeof::pdu::{CapsuleCmd, CapsuleResp, DataRef, Pdu};
+use oaf_nvmeof::transport::{MemTransport, ShmTransport, Transport};
+
+/// Counts allocations on the bench thread when tracking is on;
+/// delegates to [`System`]. Thread-local so criterion's own helper
+/// threads don't pollute the per-op numbers.
+struct CountingAlloc;
+
+thread_local! {
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_alloc() {
+    if TRACK.try_with(Cell::get).unwrap_or(false) {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn cmd_pdu(cid: u16) -> Pdu {
+    Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::write(cid, 1, 1024, 32),
+        data: Some(DataRef::ShmSlot {
+            slot: 5,
+            len: 131072,
+        }),
+    })
+}
+
+fn resp_pdu(cid: u16) -> Pdu {
+    Pdu::CapsuleResp(CapsuleResp {
+        completion: NvmeCompletion::ok(cid),
+    })
+}
+
+/// Seed-style round trip: every hop materializes an owned frame.
+fn roundtrip_owned<T: Transport>(client: &T, target: &T) {
+    client.send(cmd_pdu(7).encode()).expect("send cmd");
+    let frame = target.try_recv().expect("recv cmd").expect("cmd ready");
+    let cid = match Pdu::decode(frame).expect("decode cmd") {
+        Pdu::CapsuleCmd(c) => c.cmd.cid,
+        other => panic!("unexpected pdu: {other:?}"),
+    };
+    target.send(resp_pdu(cid).encode()).expect("send resp");
+    let frame = client.try_recv().expect("recv resp").expect("resp ready");
+    match Pdu::decode(frame).expect("decode resp") {
+        Pdu::CapsuleResp(_) => {}
+        other => panic!("unexpected pdu: {other:?}"),
+    }
+}
+
+/// Hot-path round trip at queue depth `qd`: scratch encode, borrowed
+/// batched drain on both sides, zero steady-state allocations on ring
+/// transports.
+fn roundtrip_batched<T: Transport>(
+    client: &T,
+    target: &T,
+    c_scratch: &mut BytesMut,
+    t_scratch: &mut BytesMut,
+    qd: u16,
+) {
+    for cid in 0..qd {
+        c_scratch.clear();
+        cmd_pdu(cid).encode_into(c_scratch);
+        client.send_frame(c_scratch).expect("send cmd");
+    }
+    let served = target
+        .recv_batch(&mut |frame| {
+            let cid = match Pdu::decode_slice(frame.as_slice()).expect("decode cmd") {
+                Pdu::CapsuleCmd(c) => c.cmd.cid,
+                other => panic!("unexpected pdu: {other:?}"),
+            };
+            t_scratch.clear();
+            resp_pdu(cid).encode_into(t_scratch);
+            target.send_frame(t_scratch).expect("send resp");
+        })
+        .expect("target drain");
+    assert_eq!(served, qd as usize);
+    let completed = client
+        .recv_batch(&mut |frame| {
+            match Pdu::decode_slice(frame.as_slice()).expect("decode resp") {
+                Pdu::CapsuleResp(_) => {}
+                other => panic!("unexpected pdu: {other:?}"),
+            }
+        })
+        .expect("client drain");
+    assert_eq!(completed, qd as usize);
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/roundtrip");
+
+    for (label, mk) in transports() {
+        let (client, target) = mk();
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("per-frame", label), |b| {
+            b.iter(|| roundtrip_owned(&client, &target))
+        });
+
+        let mut c_scratch = BytesMut::with_capacity(512);
+        let mut t_scratch = BytesMut::with_capacity(512);
+        g.bench_function(BenchmarkId::new("batched-qd1", label), |b| {
+            b.iter(|| roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, 1))
+        });
+
+        for qd in [16u16, 64] {
+            g.throughput(Throughput::Elements(qd as u64));
+            g.bench_function(BenchmarkId::new(format!("batched-qd{qd}"), label), |b| {
+                b.iter(|| roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, qd))
+            });
+        }
+    }
+    g.finish();
+}
+
+type TransportPair = (Box<dyn Transport>, Box<dyn Transport>);
+
+fn transports() -> Vec<(&'static str, fn() -> TransportPair)> {
+    fn shm() -> TransportPair {
+        let (a, b) = ShmTransport::pair(256 * 1024);
+        (Box::new(a), Box::new(b))
+    }
+    fn mem() -> TransportPair {
+        let (a, b) = MemTransport::pair();
+        (Box::new(a), Box::new(b))
+    }
+    vec![("shm", shm), ("mem", mem)]
+}
+
+/// Measures allocations per round trip for each path and prints them —
+/// the bench-visible counterpart of the `zero_alloc` regression test.
+fn report_allocations(_c: &mut Criterion) {
+    const OPS: u64 = 1000;
+    let mut lines = Vec::new();
+    for (label, mk) in transports() {
+        let (client, target) = mk();
+        let mut c_scratch = BytesMut::with_capacity(512);
+        let mut t_scratch = BytesMut::with_capacity(512);
+        // Warm up ring caches and scratch capacities off the books.
+        for _ in 0..64 {
+            roundtrip_owned(&client, &target);
+            roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, 1);
+        }
+
+        let measure = |f: &mut dyn FnMut()| -> f64 {
+            TRACK.with(|t| t.set(true));
+            ALLOCS.with(|c| c.set(0));
+            for _ in 0..OPS {
+                f();
+            }
+            TRACK.with(|t| t.set(false));
+            ALLOCS.with(Cell::get) as f64 / OPS as f64
+        };
+        let owned = measure(&mut || roundtrip_owned(&client, &target));
+        let batched = measure(&mut || {
+            roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, 1)
+        });
+        lines.push(format!(
+            "{label}: per-frame {owned:.2} allocs/op, batched {batched:.2} allocs/op"
+        ));
+    }
+    eprintln!("control_path allocations per round trip:");
+    for line in lines {
+        eprintln!("  {line}");
+    }
+}
+
+criterion_group!(benches, bench_roundtrips, report_allocations);
+criterion_main!(benches);

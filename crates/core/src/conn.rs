@@ -24,13 +24,24 @@ use oaf_nvmeof::nvme::controller::Controller;
 use oaf_nvmeof::payload::PayloadChannel;
 use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
 use oaf_nvmeof::target::{spawn_target, TargetConfig, TargetHandle};
-use oaf_nvmeof::transport::MemTransport;
+use oaf_nvmeof::transport::{ControlTransport, MemTransport, ShmTransport};
 use oaf_nvmeof::{FlowMode, NvmeofError};
 use oaf_shmem::channel::Side;
 
 use crate::endpoint::{AfEndpoint, ChannelKind};
 use crate::locality::{HostRegistry, ProcessId};
 use crate::payload_impl::ShmPayloadChannel;
+
+/// Which channel carries control PDUs for an established connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlPath {
+    /// The TCP stand-in ([`MemTransport`]) — always available.
+    Tcp,
+    /// In-region control over shared-memory byte rings (§5.5). Requires
+    /// co-location; falls back to [`ControlPath::Tcp`] when the helper
+    /// process finds none.
+    InRegion,
+}
 
 /// Fabric-level connection settings.
 #[derive(Clone, Debug)]
@@ -46,6 +57,11 @@ pub struct FabricSettings {
     pub in_capsule_max: usize,
     /// Read chunk size for the TCP path (§4.5).
     pub read_chunk: usize,
+    /// Control-PDU channel preference.
+    pub control: ControlPath,
+    /// Per-direction byte-ring capacity for the in-region control path
+    /// (a power of two).
+    pub control_ring_bytes: u64,
 }
 
 impl Default for FabricSettings {
@@ -56,6 +72,8 @@ impl Default for FabricSettings {
             flow: FlowMode::InCapsule,
             in_capsule_max: 8 * 1024,
             read_chunk: 128 * 1024,
+            control: ControlPath::Tcp,
+            control_ring_bytes: 256 * 1024,
         }
     }
 }
@@ -64,7 +82,7 @@ impl Default for FabricSettings {
 /// running target.
 pub struct EstablishedFabric {
     /// The connected initiator.
-    pub initiator: Initiator<MemTransport>,
+    pub initiator: Initiator<ControlTransport>,
     /// The client's AF endpoint object.
     pub endpoint: Arc<AfEndpoint>,
     /// The client-side shared-memory payload channel, when local.
@@ -99,8 +117,6 @@ impl ConnectionManager {
         controller: Controller,
         settings: &FabricSettings,
     ) -> Result<EstablishedFabric, NvmeofError> {
-        // Step 1: "TCP" connection + AF endpoint objects.
-        let (client_tr, target_tr) = MemTransport::pair();
         let endpoint = AfEndpoint::new(client.0);
 
         // Step 2: locality detection via the helper process (§4.2).
@@ -114,6 +130,19 @@ impl ConnectionManager {
             ),
             None => (None, None),
         };
+
+        // Step 1 (ordered after locality so the control path can use
+        // it): the control connection. In-region control (§5.5) needs
+        // co-location, so it rides the same locality verdict as the data
+        // channel and falls back to the TCP stand-in otherwise.
+        let (client_tr, target_tr) =
+            if settings.control == ControlPath::InRegion && hotplug.is_some() {
+                let (c, t) = ShmTransport::pair(settings.control_ring_bytes);
+                (ControlTransport::Shm(c), ControlTransport::Shm(t))
+            } else {
+                let (c, t) = MemTransport::pair();
+                (ControlTransport::Mem(c), ControlTransport::Mem(t))
+            };
 
         // Step 3: target side comes up first (it answers the ICReq).
         let target_cfg = TargetConfig {
@@ -243,6 +272,56 @@ mod tests {
             assert_eq!(back, data);
             cm.teardown(CLIENT, TARGET, fabric).unwrap();
         }
+    }
+
+    #[test]
+    fn in_region_control_path_works_when_co_located() {
+        let cm = manager(7, 7);
+        let settings = FabricSettings {
+            control: ControlPath::InRegion,
+            ..FabricSettings::default()
+        };
+        let mut fabric = cm
+            .establish(CLIENT, TARGET, controller(), &settings)
+            .unwrap();
+        assert!(fabric.initiator.shm_active());
+        let data = bytes::Bytes::from(vec![0xa7u8; 64 * 1024]);
+        fabric
+            .initiator
+            .write_blocking(1, 4, 16, data.clone(), Duration::from_secs(5))
+            .unwrap();
+        let back = fabric
+            .initiator
+            .read_blocking(1, 4, 16, 64 * 1024, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(back, data);
+        cm.teardown(CLIENT, TARGET, fabric).unwrap();
+    }
+
+    #[test]
+    fn in_region_control_falls_back_to_tcp_when_remote() {
+        let cm = manager(7, 8);
+        let settings = FabricSettings {
+            control: ControlPath::InRegion,
+            ..FabricSettings::default()
+        };
+        let mut fabric = cm
+            .establish(CLIENT, TARGET, controller(), &settings)
+            .unwrap();
+        assert!(!fabric.initiator.shm_active());
+        let data = bytes::Bytes::from(vec![0x11u8; 4096]);
+        fabric
+            .initiator
+            .write_blocking(1, 0, 1, data.clone(), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(
+            fabric
+                .initiator
+                .read_blocking(1, 0, 1, 4096, Duration::from_secs(5))
+                .unwrap(),
+            data
+        );
+        cm.teardown(CLIENT, TARGET, fabric).unwrap();
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use oaf_nvmeof::nvme::controller::{Controller, IdentifyInfo};
-use oaf_nvmeof::transport::MemTransport;
+use oaf_nvmeof::transport::{ControlTransport, MemTransport};
 use oaf_nvmeof::{Initiator, NvmeofError};
 
 use crate::buf::{BufferManager, DpdkPool, IoBuffer};
@@ -28,7 +28,7 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A connected NVMe-oAF client.
 pub struct AfClient {
-    initiator: Initiator<MemTransport>,
+    initiator: Initiator<ControlTransport>,
     bufmgr: BufferManager,
     endpoint: Arc<AfEndpoint>,
     stats: Arc<ClientStats>,
@@ -143,6 +143,7 @@ pub fn launch_many(
     for &(pid, host) in clients {
         registry.register(pid, host);
         let (ct, tt) = MemTransport::pair();
+        let ct = ControlTransport::Mem(ct);
         // The helper process hot-plugs an isolated region per co-located
         // client (the §6 security model).
         let hotplug = registry.hotplug(pid, target.0, settings.depth, settings.slot_size);
@@ -491,6 +492,34 @@ mod tests {
                 .unwrap();
             assert!(back.iter().all(|&b| b == i as u8), "lba {i}");
         }
+        pair.client.disconnect().unwrap();
+        pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn in_region_control_runtime_roundtrip() {
+        use crate::conn::ControlPath;
+        let registry = Arc::new(HostRegistry::new());
+        let mut pair = launch(
+            &registry,
+            (ProcessId(1), 10),
+            (ProcessId(2), 10),
+            controller(),
+            FabricSettings {
+                control: ControlPath::InRegion,
+                ..FabricSettings::default()
+            },
+        )
+        .unwrap();
+        assert!(pair.client.shm_active());
+        let mut buf = pair.client.alloc(64 * 1024).unwrap();
+        buf.fill(0x3c);
+        pair.client.write(1, 8, 16, buf, DEFAULT_TIMEOUT).unwrap();
+        let back = pair
+            .client
+            .read(1, 8, 16, 64 * 1024, DEFAULT_TIMEOUT)
+            .unwrap();
+        assert!(back.iter().all(|&b| b == 0x3c));
         pair.client.disconnect().unwrap();
         pair.target.shutdown().unwrap();
     }

@@ -15,6 +15,9 @@ pub enum NvmeofError {
     Nvme(Status),
     /// Shared-memory payload channel failure.
     Payload(String),
+    /// A ring-based transport stayed full past its backoff budget —
+    /// congestion (or a stalled peer), not corruption. Retryable.
+    RingFull,
     /// A blocking operation timed out.
     Timeout,
 }
@@ -27,6 +30,7 @@ impl std::fmt::Display for NvmeofError {
             NvmeofError::Protocol(m) => write!(f, "protocol violation: {m}"),
             NvmeofError::Nvme(s) => write!(f, "nvme status: {s:?}"),
             NvmeofError::Payload(m) => write!(f, "payload channel: {m}"),
+            NvmeofError::RingFull => write!(f, "transport ring full (congestion)"),
             NvmeofError::Timeout => write!(f, "operation timed out"),
         }
     }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use crate::error::NvmeofError;
 use crate::nvme::command::{NvmeCommand, Opcode};
@@ -19,7 +19,7 @@ use crate::nvme::completion::Status;
 use crate::nvme::controller::IdentifyInfo;
 use crate::payload::PayloadChannel;
 use crate::pdu::{CapsuleCmd, DataPdu, DataRef, ICReq, Pdu, AF_CAP_SHM};
-use crate::transport::Transport;
+use crate::transport::{Frame, Transport};
 use crate::FlowMode;
 
 /// Client-side connection options.
@@ -64,9 +64,10 @@ pub struct IoResult {
     pub data: Vec<u8>,
 }
 
-/// An NVMe-oF initiator over a transport.
-pub struct Initiator<T: Transport> {
-    transport: T,
+/// Per-connection client state, split from the transport so the batched
+/// receive path can borrow the two disjointly: `recv_batch` holds the
+/// transport shared while the frame callback mutates the state.
+struct ClientState {
     payload: Option<Arc<dyn PayloadChannel>>,
     opts: InitiatorOptions,
     shm_active: bool,
@@ -74,6 +75,41 @@ pub struct Initiator<T: Transport> {
     next_cid: u16,
     pending: HashMap<u16, PendingIo>,
     completed: Vec<IoResult>,
+    /// Reusable encode scratch: every control PDU is encoded here and
+    /// handed to [`Transport::send_frame`], so the steady state
+    /// allocates nothing on the send side.
+    scratch: BytesMut,
+}
+
+/// An NVMe-oF initiator over a transport.
+pub struct Initiator<T: Transport> {
+    transport: T,
+    state: ClientState,
+}
+
+impl ClientState {
+    fn alloc_cid(&mut self) -> u16 {
+        // Linear probe around the u16 space; QD is far below 65k.
+        loop {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1).max(1);
+            if !self.pending.contains_key(&cid) {
+                return cid;
+            }
+        }
+    }
+
+    /// Encodes `pdu` into the connection scratch and sends the borrowed
+    /// slice — the zero-allocation send path.
+    fn send_pdu<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        pdu: &Pdu,
+    ) -> Result<(), NvmeofError> {
+        self.scratch.clear();
+        pdu.encode_into(&mut self.scratch);
+        transport.send_frame(&self.scratch)
+    }
 }
 
 impl<T: Transport> Initiator<T> {
@@ -113,40 +149,34 @@ impl<T: Transport> Initiator<T> {
         let shm_active = resp.af_caps & AF_CAP_SHM != 0 && payload.is_some();
         Ok(Initiator {
             transport,
-            payload,
-            opts,
-            shm_active,
-            in_capsule_max: resp.ioccsz as usize,
-            next_cid: 1,
-            pending: HashMap::new(),
-            completed: Vec::new(),
+            state: ClientState {
+                payload,
+                opts,
+                shm_active,
+                in_capsule_max: resp.ioccsz as usize,
+                next_cid: 1,
+                pending: HashMap::new(),
+                completed: Vec::new(),
+                // Control PDUs top out well under this; sized so the
+                // steady state never regrows it.
+                scratch: BytesMut::with_capacity(256),
+            },
         })
     }
 
     /// Whether the shared-memory data path was negotiated (§4.2).
     pub fn shm_active(&self) -> bool {
-        self.shm_active
+        self.state.shm_active
     }
 
     /// Negotiated in-capsule data limit.
     pub fn in_capsule_max(&self) -> usize {
-        self.in_capsule_max
+        self.state.in_capsule_max
     }
 
     /// Number of commands in flight.
     pub fn inflight(&self) -> usize {
-        self.pending.len()
-    }
-
-    fn alloc_cid(&mut self) -> u16 {
-        // Linear probe around the u16 space; QD is far below 65k.
-        loop {
-            let cid = self.next_cid;
-            self.next_cid = self.next_cid.wrapping_add(1).max(1);
-            if !self.pending.contains_key(&cid) {
-                return cid;
-            }
-        }
+        self.state.pending.len()
     }
 
     /// Submits a write of `data` (must be `nlb * block_size` bytes).
@@ -158,22 +188,23 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         data: Bytes,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.alloc_cid();
+        let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
-        let use_shm = self.shm_active
+        let use_shm = self.state.shm_active
             && self
+                .state
                 .payload
                 .as_ref()
                 .is_some_and(|ch| data.len() <= ch.max_payload());
         let mut stashed = None;
-        let capsule_data = if use_shm && self.opts.flow == FlowMode::InCapsule {
+        let capsule_data = if use_shm && self.state.opts.flow == FlowMode::InCapsule {
             // Shared-memory flow control: payload parks in the region and
             // the command alone reaches the target (§4.4.2 swaps steps ①
             // and ③ of Fig. 7 and drops R2T + H2C).
-            let ch = self.payload.as_ref().expect("use_shm implies channel");
+            let ch = self.state.payload.as_ref().expect("use_shm implies channel");
             let (slot, len) = ch.publish(&data)?;
             Some(DataRef::ShmSlot { slot, len })
-        } else if !use_shm && data.len() <= self.in_capsule_max {
+        } else if !use_shm && data.len() <= self.state.in_capsule_max {
             Some(DataRef::Inline(data.clone()))
         } else {
             // Conservative flow: wait for R2T, then ship the payload
@@ -182,7 +213,7 @@ impl<T: Transport> Initiator<T> {
             stashed = Some(data.clone());
             None
         };
-        self.pending.insert(
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Write,
@@ -191,12 +222,12 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd,
                 data: capsule_data,
-            })
-            .encode(),
+            }),
         )?;
         Ok(cid)
     }
@@ -213,14 +244,14 @@ impl<T: Transport> Initiator<T> {
         slot: u32,
         len: u32,
     ) -> Result<u16, NvmeofError> {
-        if !self.shm_active {
+        if !self.state.shm_active {
             return Err(NvmeofError::Protocol(
                 "zero-copy write requires a negotiated shared-memory channel".into(),
             ));
         }
-        let cid = self.alloc_cid();
+        let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
-        self.pending.insert(
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Write,
@@ -229,12 +260,12 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd,
                 data: Some(DataRef::ShmSlot { slot, len }),
-            })
-            .encode(),
+            }),
         )?;
         Ok(cid)
     }
@@ -248,9 +279,9 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         expected_len: usize,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.alloc_cid();
+        let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.pending.insert(
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Read,
@@ -259,8 +290,8 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport
-            .send(Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }).encode())?;
+        self.state
+            .send_pdu(&self.transport, &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }))?;
         Ok(cid)
     }
 
@@ -275,25 +306,26 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         data: Bytes,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.alloc_cid();
+        let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::compare(cid, nsid, slba, nlb);
-        let use_shm = self.shm_active
+        let use_shm = self.state.shm_active
             && self
+                .state
                 .payload
                 .as_ref()
                 .is_some_and(|ch| data.len() <= ch.max_payload());
         let mut stashed = None;
         let capsule_data = if use_shm {
-            let ch = self.payload.as_ref().expect("use_shm implies channel");
+            let ch = self.state.payload.as_ref().expect("use_shm implies channel");
             let (slot, len) = ch.publish(&data)?;
             Some(DataRef::ShmSlot { slot, len })
-        } else if data.len() <= self.in_capsule_max {
+        } else if data.len() <= self.state.in_capsule_max {
             Some(DataRef::Inline(data.clone()))
         } else {
             stashed = Some(data.clone());
             None
         };
-        self.pending.insert(
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Compare,
@@ -302,12 +334,12 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd,
                 data: capsule_data,
-            })
-            .encode(),
+            }),
         )?;
         Ok(cid)
     }
@@ -319,8 +351,8 @@ impl<T: Transport> Initiator<T> {
         slba: u64,
         nlb: u32,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.alloc_cid();
-        self.pending.insert(
+        let cid = self.state.alloc_cid();
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::WriteZeroes,
@@ -329,20 +361,20 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd: NvmeCommand::write_zeroes(cid, nsid, slba, nlb),
                 data: None,
-            })
-            .encode(),
+            }),
         )?;
         Ok(cid)
     }
 
     /// Submits a flush.
     pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
-        let cid = self.alloc_cid();
-        self.pending.insert(
+        let cid = self.state.alloc_cid();
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Flush,
@@ -351,23 +383,35 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd: NvmeCommand::flush(cid, nsid),
                 data: None,
-            })
-            .encode(),
+            }),
         )?;
         Ok(cid)
     }
 
-    /// Polls the transport once, processing any frames; completed I/Os are
-    /// moved to the internal completion list and returned.
+    /// Polls the transport once, draining every frame that is already
+    /// ready in one batched pass (one Acquire/Release pair on ring
+    /// transports); completed I/Os are moved to the internal completion
+    /// list and returned.
     pub fn poll(&mut self) -> Result<Vec<IoResult>, NvmeofError> {
-        while let Some(frame) = self.transport.try_recv()? {
-            self.on_frame(frame)?;
+        let transport = &self.transport;
+        let state = &mut self.state;
+        let mut err = None;
+        transport.recv_batch(&mut |frame| {
+            if err.is_none() {
+                if let Err(e) = state.on_frame(transport, frame) {
+                    err = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
         }
-        Ok(std::mem::take(&mut self.completed))
+        Ok(std::mem::take(&mut state.completed))
     }
 
     /// Polls until `cid` completes or `timeout` elapses.
@@ -378,21 +422,27 @@ impl<T: Transport> Initiator<T> {
             done.extend(self.poll()?);
             if let Some(pos) = done.iter().position(|r| r.cid == cid) {
                 let result = done.swap_remove(pos);
-                self.completed.extend(done);
+                self.state.completed.extend(done);
                 return Ok(result);
             }
             if Instant::now() >= deadline {
-                self.completed.extend(done);
+                self.state.completed.extend(done);
                 return Err(NvmeofError::Timeout);
             }
             if let Some(frame) = self.transport.recv_timeout(Duration::from_millis(1))? {
-                self.on_frame(frame)?;
+                self.state.on_frame(&self.transport, Frame::Owned(frame))?;
             }
         }
     }
+}
 
-    fn on_frame(&mut self, frame: Bytes) -> Result<(), NvmeofError> {
-        match Pdu::decode(frame)? {
+impl ClientState {
+    fn on_frame<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        frame: Frame<'_>,
+    ) -> Result<(), NvmeofError> {
+        match Pdu::decode_frame(frame)? {
             Pdu::R2T(r2t) => {
                 let Some(pending) = self.pending.get_mut(&r2t.cid) else {
                     return Err(NvmeofError::Protocol(format!(
@@ -422,15 +472,15 @@ impl<T: Transport> Initiator<T> {
                 } else {
                     DataRef::Inline(data)
                 };
-                self.transport.send(
-                    Pdu::H2CData(DataPdu {
+                self.send_pdu(
+                    transport,
+                    &Pdu::H2CData(DataPdu {
                         cid: r2t.cid,
                         ttag: r2t.ttag,
                         offset: 0,
                         last: true,
                         data: dref,
-                    })
-                    .encode(),
+                    }),
                 )?;
             }
             Pdu::C2HData(d) => {
@@ -489,7 +539,9 @@ impl<T: Transport> Initiator<T> {
         }
         Ok(())
     }
+}
 
+impl<T: Transport> Initiator<T> {
     /// Blocking write convenience wrapper.
     pub fn write_blocking(
         &mut self,
@@ -528,8 +580,8 @@ impl<T: Transport> Initiator<T> {
 
     /// Queries namespace geometry.
     pub fn identify(&mut self, nsid: u32, timeout: Duration) -> Result<IdentifyInfo, NvmeofError> {
-        let cid = self.alloc_cid();
-        self.pending.insert(
+        let cid = self.state.alloc_cid();
+        self.state.pending.insert(
             cid,
             PendingIo {
                 opcode: Opcode::Identify,
@@ -538,8 +590,9 @@ impl<T: Transport> Initiator<T> {
                 completion: None,
             },
         );
-        self.transport.send(
-            Pdu::CapsuleCmd(CapsuleCmd {
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd {
                 cmd: NvmeCommand {
                     cid,
                     opcode: Opcode::Identify,
@@ -548,8 +601,7 @@ impl<T: Transport> Initiator<T> {
                     nlb: 0,
                 },
                 data: None,
-            })
-            .encode(),
+            }),
         )?;
         let result = self.wait(cid, timeout)?;
         if !result.status.is_ok() {
@@ -561,8 +613,8 @@ impl<T: Transport> Initiator<T> {
 
     /// Sends a termination request.
     pub fn disconnect(&mut self) -> Result<(), NvmeofError> {
-        self.transport
-            .send(Pdu::TermReq(crate::pdu::TermReq { reason: 0 }).encode())
+        self.state
+            .send_pdu(&self.transport, &Pdu::TermReq(crate::pdu::TermReq { reason: 0 }))
     }
 }
 

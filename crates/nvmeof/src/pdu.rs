@@ -22,6 +22,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::error::NvmeofError;
 use crate::nvme::command::{NvmeCommand, COMMAND_WIRE_LEN};
 use crate::nvme::completion::{NvmeCompletion, COMPLETION_WIRE_LEN};
+use crate::transport::Frame;
 
 /// Common header length.
 pub const HEADER_LEN: usize = 8;
@@ -207,7 +208,29 @@ fn encode_dataref(dst: &mut BytesMut, data: &DataRef) {
     }
 }
 
-fn decode_dataref(src: &mut Bytes, flags: u8) -> Result<DataRef, NvmeofError> {
+/// Decode source: either an owned `Bytes` frame (inline payloads are
+/// carved out zero-copy via `split_to`) or a borrowed slice straight
+/// out of a ring (inline payloads are copied; slot references — the
+/// steady-state shm control traffic — need nothing).
+trait FrameBuf: Buf + Sized {
+    fn take_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl FrameBuf for Bytes {
+    fn take_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len)
+    }
+}
+
+impl FrameBuf for &[u8] {
+    fn take_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+fn decode_dataref<B: FrameBuf>(src: &mut B, flags: u8) -> Result<DataRef, NvmeofError> {
     if src.remaining() < 4 {
         return Err(NvmeofError::Codec("dataref truncated".into()));
     }
@@ -225,24 +248,36 @@ fn decode_dataref(src: &mut Bytes, flags: u8) -> Result<DataRef, NvmeofError> {
                 src.remaining()
             )));
         }
-        Ok(DataRef::Inline(src.split_to(len as usize)))
+        Ok(DataRef::Inline(src.take_bytes(len as usize)))
     }
 }
 
 impl Pdu {
     /// Encodes the PDU into a self-contained frame.
+    ///
+    /// Allocates a fresh buffer per call; hot paths should encode into
+    /// a per-connection scratch with [`Pdu::encode_into`] instead.
     pub fn encode(&self) -> Bytes {
         let mut dst = BytesMut::with_capacity(HEADER_LEN + 64 + self.payload_hint());
+        self.encode_into(&mut dst);
+        dst.freeze()
+    }
+
+    /// Appends the encoded PDU to `dst`, reusing its capacity — the
+    /// zero-allocation encode path. Callers keep a reusable scratch
+    /// `BytesMut`, `clear()` it, encode, and hand the filled slice to
+    /// `Transport::send_frame`.
+    pub fn encode_into(&self, dst: &mut BytesMut) {
         match self {
             Pdu::ICReq(p) => {
-                put_header(&mut dst, ptype::ICREQ, 0, 18);
+                put_header(dst, ptype::ICREQ, 0, 18);
                 dst.put_u16_le(p.pfv);
                 dst.put_u32_le(p.maxr2t);
                 dst.put_u32_le(p.af_caps);
                 dst.put_u64_le(p.host_id);
             }
             Pdu::ICResp(p) => {
-                put_header(&mut dst, ptype::ICRESP, 0, 18);
+                put_header(dst, ptype::ICRESP, 0, 18);
                 dst.put_u16_le(p.pfv);
                 dst.put_u32_le(p.ioccsz);
                 dst.put_u32_le(p.af_caps);
@@ -254,22 +289,22 @@ impl Pdu {
                     Some(DataRef::Inline(b)) => (0u8, COMMAND_WIRE_LEN + 1 + 4 + b.len()),
                     Some(DataRef::ShmSlot { .. }) => (FLAG_SHM, COMMAND_WIRE_LEN + 1 + 8),
                 };
-                put_header(&mut dst, ptype::CAPSULE_CMD, flags, body_len);
-                p.cmd.encode(&mut dst);
+                put_header(dst, ptype::CAPSULE_CMD, flags, body_len);
+                p.cmd.encode(dst);
                 match &p.data {
                     None => dst.put_u8(0),
                     Some(d) => {
                         dst.put_u8(1);
-                        encode_dataref(&mut dst, d);
+                        encode_dataref(dst, d);
                     }
                 }
             }
             Pdu::CapsuleResp(p) => {
-                put_header(&mut dst, ptype::CAPSULE_RESP, 0, COMPLETION_WIRE_LEN);
-                p.completion.encode(&mut dst);
+                put_header(dst, ptype::CAPSULE_RESP, 0, COMPLETION_WIRE_LEN);
+                p.completion.encode(dst);
             }
             Pdu::R2T(p) => {
-                put_header(&mut dst, ptype::R2T, 0, 12);
+                put_header(dst, ptype::R2T, 0, 12);
                 dst.put_u16_le(p.cid);
                 dst.put_u16_le(p.ttag);
                 dst.put_u32_le(p.offset);
@@ -292,18 +327,17 @@ impl Pdu {
                     DataRef::Inline(b) => 4 + b.len(),
                     DataRef::ShmSlot { .. } => 8,
                 };
-                put_header(&mut dst, t, flags, 8 + data_len);
+                put_header(dst, t, flags, 8 + data_len);
                 dst.put_u16_le(p.cid);
                 dst.put_u16_le(p.ttag);
                 dst.put_u32_le(p.offset);
-                encode_dataref(&mut dst, &p.data);
+                encode_dataref(dst, &p.data);
             }
             Pdu::TermReq(p) => {
-                put_header(&mut dst, ptype::TERM_REQ, 0, 2);
+                put_header(dst, ptype::TERM_REQ, 0, 2);
                 dst.put_u16_le(p.reason);
             }
         }
-        dst.freeze()
     }
 
     fn payload_hint(&self) -> usize {
@@ -326,7 +360,30 @@ impl Pdu {
 
     /// Decodes one frame produced by [`Pdu::encode`].
     pub fn decode(frame: Bytes) -> Result<Pdu, NvmeofError> {
-        let mut src = frame;
+        Self::decode_impl(frame)
+    }
+
+    /// Decodes a borrowed frame in place — the batched receive path.
+    ///
+    /// Slot-reference PDUs (the steady-state shm control traffic) decode
+    /// without touching the heap; inline payloads are copied out, since
+    /// the ring slot is recycled as soon as the drain callback returns.
+    pub fn decode_slice(frame: &[u8]) -> Result<Pdu, NvmeofError> {
+        Self::decode_impl(frame)
+    }
+
+    /// Decodes a [`Frame`] from [`Transport::recv_batch`], picking the
+    /// zero-copy owned path or the borrowed slice path automatically.
+    ///
+    /// [`Transport::recv_batch`]: crate::transport::Transport::recv_batch
+    pub fn decode_frame(frame: Frame<'_>) -> Result<Pdu, NvmeofError> {
+        match frame {
+            Frame::Owned(b) => Self::decode(b),
+            Frame::Borrowed(s) => Self::decode_slice(s),
+        }
+    }
+
+    fn decode_impl<B: FrameBuf>(mut src: B) -> Result<Pdu, NvmeofError> {
         if src.remaining() < HEADER_LEN {
             return Err(NvmeofError::Codec("header truncated".into()));
         }
@@ -427,11 +484,34 @@ impl Pdu {
         }
     }
 
+    /// Exact encoded size in bytes, computed without encoding.
+    ///
+    /// Mirrors the `body_len` arithmetic in [`Pdu::encode_into`]; the
+    /// codec tests assert the two stay in lock-step.
+    pub fn encoded_len(&self) -> usize {
+        let body = match self {
+            Pdu::ICReq(_) | Pdu::ICResp(_) => 18,
+            Pdu::CapsuleCmd(p) => match &p.data {
+                None => COMMAND_WIRE_LEN + 1,
+                Some(DataRef::Inline(b)) => COMMAND_WIRE_LEN + 1 + 4 + b.len(),
+                Some(DataRef::ShmSlot { .. }) => COMMAND_WIRE_LEN + 1 + 8,
+            },
+            Pdu::CapsuleResp(_) => COMPLETION_WIRE_LEN,
+            Pdu::R2T(_) => 12,
+            Pdu::H2CData(p) | Pdu::C2HData(p) => match &p.data {
+                DataRef::Inline(b) => 8 + 4 + b.len(),
+                DataRef::ShmSlot { .. } => 8 + 8,
+            },
+            Pdu::TermReq(_) => 2,
+        };
+        HEADER_LEN + body
+    }
+
     /// Control-message size of this PDU on the wire, *excluding* inline
     /// payload bytes — the quantity the latency models charge to the
     /// control path.
     pub fn control_len(&self) -> usize {
-        self.encode().len() - self.payload_hint()
+        self.encoded_len() - self.payload_hint()
     }
 }
 
@@ -441,6 +521,9 @@ mod tests {
 
     fn roundtrip(p: Pdu) {
         let frame = p.encode();
+        assert_eq!(frame.len(), p.encoded_len());
+        let from_slice = Pdu::decode_slice(&frame).unwrap();
+        assert_eq!(from_slice, p);
         let back = Pdu::decode(frame).unwrap();
         assert_eq!(back, p);
     }
@@ -573,6 +656,45 @@ mod tests {
         });
         assert!(shm.control_len() < 64);
         assert_eq!(shm.encode().len(), shm.control_len());
+    }
+
+    #[test]
+    fn encode_into_reuses_scratch_capacity() {
+        let mut scratch = BytesMut::with_capacity(256);
+        let cap_before = scratch.capacity();
+        let pdus = [
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd: NvmeCommand::write(1, 1, 0, 8),
+                data: Some(DataRef::ShmSlot { slot: 2, len: 4096 }),
+            }),
+            Pdu::CapsuleResp(CapsuleResp {
+                completion: NvmeCompletion::ok(1),
+            }),
+            Pdu::R2T(R2T {
+                cid: 1,
+                ttag: 3,
+                offset: 0,
+                len: 4096,
+            }),
+        ];
+        for p in &pdus {
+            scratch.clear();
+            p.encode_into(&mut scratch);
+            assert_eq!(scratch.len(), p.encoded_len());
+            assert_eq!(Pdu::decode_slice(&scratch).unwrap(), *p);
+        }
+        assert_eq!(scratch.capacity(), cap_before, "scratch reallocated");
+    }
+
+    #[test]
+    fn decode_frame_handles_both_variants() {
+        use crate::transport::Frame;
+        let p = Pdu::CapsuleResp(CapsuleResp {
+            completion: NvmeCompletion::ok(9),
+        });
+        let frame = p.encode();
+        assert_eq!(Pdu::decode_frame(Frame::Borrowed(&frame)).unwrap(), p);
+        assert_eq!(Pdu::decode_frame(Frame::Owned(frame)).unwrap(), p);
     }
 
     #[test]

@@ -11,9 +11,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::BytesMut;
+
 use crate::error::NvmeofError;
 use crate::nvme::controller::Controller;
 use crate::payload::PayloadChannel;
+use crate::pdu::Pdu;
 use crate::target::{TargetConfig, TargetConnection, TargetHandle};
 use crate::transport::Transport;
 
@@ -32,6 +35,10 @@ struct LiveConnection {
     transport: Box<dyn Transport>,
     conn: TargetConnection,
     alive: bool,
+    /// Reusable response staging and encode scratch: the steady-state
+    /// poll pass allocates nothing per frame.
+    out: Vec<Pdu>,
+    scratch: BytesMut,
 }
 
 /// Spawns one reactor servicing `conns` connections over a shared
@@ -49,6 +56,8 @@ pub fn spawn_multi(mut controller: Controller, conns: Vec<ConnectionSpec>) -> Ta
                     conn: TargetConnection::new(c.cfg, c.payload),
                     transport: c.transport,
                     alive: true,
+                    out: Vec::new(),
+                    scratch: BytesMut::with_capacity(4096),
                 })
                 .collect();
             while !stop2.load(Ordering::Acquire) && live.iter().any(|l| l.alive) {
@@ -57,25 +66,51 @@ pub fn spawn_multi(mut controller: Controller, conns: Vec<ConnectionSpec>) -> Ta
                     if !l.alive {
                         continue;
                     }
-                    // Poll each connection once per loop (fair round-robin,
-                    // like an SPDK poll group).
-                    match l.transport.try_recv() {
-                        Ok(Some(frame)) => {
-                            idle = false;
-                            let responses = l.conn.on_frame(frame, &mut controller)?;
-                            for r in responses {
-                                if l.transport.send(r).is_err() {
-                                    l.alive = false;
-                                    break;
+                    // Drain each connection's ready frames in one batched
+                    // pass per loop (fair round-robin, like an SPDK poll
+                    // group).
+                    let mut err = None;
+                    let drained = {
+                        let conn = &mut l.conn;
+                        let controller = &mut controller;
+                        let out = &mut l.out;
+                        l.transport.recv_batch(&mut |frame| {
+                            if err.is_none() {
+                                if let Err(e) = conn.handle(frame, controller, out) {
+                                    err = Some(e);
                                 }
                             }
-                            if l.conn.terminated() {
-                                l.alive = false;
+                        })
+                    };
+                    match (drained, err) {
+                        (Err(NvmeofError::TransportClosed), _) => {
+                            l.alive = false;
+                            continue;
+                        }
+                        (Err(e), _) | (_, Some(e)) => return Err(e),
+                        (Ok(n), None) => {
+                            if n > 0 {
+                                idle = false;
                             }
                         }
-                        Ok(None) => {}
-                        Err(NvmeofError::TransportClosed) => l.alive = false,
-                        Err(e) => return Err(e),
+                    }
+                    for pdu in l.out.drain(..) {
+                        l.scratch.clear();
+                        pdu.encode_into(&mut l.scratch);
+                        // A peer that hung up or a ring stuck full past the
+                        // backoff budget kills the connection, not the
+                        // reactor.
+                        match l.transport.send_frame(&l.scratch) {
+                            Ok(()) => {}
+                            Err(NvmeofError::TransportClosed) | Err(NvmeofError::RingFull) => {
+                                l.alive = false;
+                                break;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    if l.conn.terminated() {
+                        l.alive = false;
                     }
                 }
                 if idle {

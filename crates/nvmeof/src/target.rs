@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use crate::error::NvmeofError;
 use crate::nvme::command::{NvmeCommand, Opcode};
@@ -21,7 +21,7 @@ use crate::pdu::{
     CapsuleCmd, CapsuleResp, DataPdu, DataRef, ICResp, Pdu, AF_CAP_SHM, AF_CAP_SHM_INCAPSULE,
     AF_CAP_ZERO_COPY, R2T,
 };
-use crate::transport::Transport;
+use crate::transport::{Frame, Transport};
 
 /// Target-side configuration.
 #[derive(Clone, Debug)]
@@ -92,13 +92,29 @@ impl TargetConnection {
     }
 
     /// Processes one incoming frame against `ctrl`, returning response
-    /// frames to send.
+    /// frames to send. Convenience wrapper over [`TargetConnection::handle`]
+    /// that encodes each response into a fresh buffer.
     pub fn on_frame(
         &mut self,
         frame: Bytes,
         ctrl: &mut Controller,
     ) -> Result<Vec<Bytes>, NvmeofError> {
-        let pdu = Pdu::decode(frame)?;
+        let mut out = Vec::new();
+        self.handle(Frame::Owned(frame), ctrl, &mut out)?;
+        Ok(out.iter().map(Pdu::encode).collect())
+    }
+
+    /// Processes one incoming frame against `ctrl`, appending response
+    /// PDUs to `out` — the allocation-free reactor path: the caller owns
+    /// a reusable `out` vector and encodes each response into its own
+    /// scratch buffer.
+    pub fn handle(
+        &mut self,
+        frame: Frame<'_>,
+        ctrl: &mut Controller,
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
+        let pdu = Pdu::decode_frame(frame)?;
         match pdu {
             Pdu::ICReq(req) => {
                 if self.handshaken {
@@ -112,19 +128,19 @@ impl TargetConnection {
                     granted = 0;
                 }
                 self.shm_active = granted & AF_CAP_SHM != 0;
-                Ok(vec![Pdu::ICResp(ICResp {
+                out.push(Pdu::ICResp(ICResp {
                     pfv: req.pfv,
                     ioccsz: self.cfg.in_capsule_max as u32,
                     af_caps: granted,
                     target_id: self.cfg.target_id,
-                })
-                .encode()])
+                }));
+                Ok(())
             }
-            Pdu::CapsuleCmd(c) => self.on_command(c, ctrl),
-            Pdu::H2CData(d) => self.on_h2c_data(d, ctrl),
+            Pdu::CapsuleCmd(c) => self.on_command(c, ctrl, out),
+            Pdu::H2CData(d) => self.on_h2c_data(d, ctrl, out),
             Pdu::TermReq(_) => {
                 self.terminated = true;
-                Ok(vec![])
+                Ok(())
             }
             other => Err(NvmeofError::Protocol(format!(
                 "unexpected PDU at target: {other:?}"
@@ -144,30 +160,27 @@ impl TargetConnection {
         &mut self,
         c: CapsuleCmd,
         ctrl: &mut Controller,
-    ) -> Result<Vec<Bytes>, NvmeofError> {
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
         self.require_handshake()?;
         match c.cmd.opcode {
             // Compare carries host data exactly like a write: in-capsule,
             // via R2T, or as a shared-memory slot reference.
-            Opcode::Write | Opcode::Compare => self.on_write(c, ctrl),
-            Opcode::Read => self.on_read(c.cmd, ctrl),
+            Opcode::Write | Opcode::Compare => self.on_write(c, ctrl, out),
+            Opcode::Read => self.on_read(c.cmd, ctrl, out),
             Opcode::Flush | Opcode::Identify | Opcode::WriteZeroes => {
                 let (comp, payload) = ctrl.execute(&c.cmd, None);
-                let mut out = Vec::new();
                 if let Some(data) = payload {
-                    out.push(
-                        Pdu::C2HData(DataPdu {
-                            cid: c.cmd.cid,
-                            ttag: 0,
-                            offset: 0,
-                            last: true,
-                            data: DataRef::Inline(Bytes::from(data)),
-                        })
-                        .encode(),
-                    );
+                    out.push(Pdu::C2HData(DataPdu {
+                        cid: c.cmd.cid,
+                        ttag: 0,
+                        offset: 0,
+                        last: true,
+                        data: DataRef::Inline(Bytes::from(data)),
+                    }));
                 }
-                out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }).encode());
-                Ok(out)
+                out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+                Ok(())
             }
         }
     }
@@ -194,7 +207,8 @@ impl TargetConnection {
         &mut self,
         c: CapsuleCmd,
         ctrl: &mut Controller,
-    ) -> Result<Vec<Bytes>, NvmeofError> {
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
         let cmd = c.cmd;
         let expected = self.transfer_len(&cmd, ctrl);
         match c.data {
@@ -210,9 +224,8 @@ impl TargetConnection {
                 }
                 let buf = self.materialize(data)?;
                 let (comp, _) = ctrl.execute(&cmd, Some(&buf));
-                Ok(vec![
-                    Pdu::CapsuleResp(CapsuleResp { completion: comp }).encode()
-                ])
+                out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+                Ok(())
             }
             None => {
                 // Conservative flow: allocate a buffer, grant an R2T
@@ -227,13 +240,13 @@ impl TargetConnection {
                         received: 0,
                     },
                 );
-                Ok(vec![Pdu::R2T(R2T {
+                out.push(Pdu::R2T(R2T {
                     cid: cmd.cid,
                     ttag,
                     offset: 0,
                     len: expected as u32,
-                })
-                .encode()])
+                }));
+                Ok(())
             }
         }
     }
@@ -242,7 +255,8 @@ impl TargetConnection {
         &mut self,
         d: DataPdu,
         ctrl: &mut Controller,
-    ) -> Result<Vec<Bytes>, NvmeofError> {
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
         self.require_handshake()?;
         let data = self.materialize(d.data.clone())?;
         let Some(pending) = self.pending_writes.get_mut(&d.ttag) else {
@@ -257,20 +271,18 @@ impl TargetConnection {
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
             let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
-            return Ok(vec![
-                Pdu::CapsuleResp(CapsuleResp { completion: comp }).encode()
-            ]);
+            out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
         }
-        Ok(vec![])
+        Ok(())
     }
 
     fn on_read(
         &mut self,
         cmd: NvmeCommand,
         ctrl: &mut Controller,
-    ) -> Result<Vec<Bytes>, NvmeofError> {
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
         let (comp, payload) = ctrl.execute(&cmd, None);
-        let mut out = Vec::new();
         if let Some(data) = payload {
             if self.shm_active
                 && self
@@ -282,16 +294,13 @@ impl TargetConnection {
                 // carries the slot reference (§4.3).
                 let ch = self.payload.as_ref().expect("shm_active implies channel");
                 let (slot, len) = ch.publish(&data)?;
-                out.push(
-                    Pdu::C2HData(DataPdu {
-                        cid: cmd.cid,
-                        ttag: 0,
-                        offset: 0,
-                        last: true,
-                        data: DataRef::ShmSlot { slot, len },
-                    })
-                    .encode(),
-                );
+                out.push(Pdu::C2HData(DataPdu {
+                    cid: cmd.cid,
+                    ttag: 0,
+                    offset: 0,
+                    last: true,
+                    data: DataRef::ShmSlot { slot, len },
+                }));
             } else {
                 // Stock NVMe/TCP: inline data chunked at the
                 // application-level chunk size (§4.5).
@@ -301,34 +310,28 @@ impl TargetConnection {
                 let mut off = 0usize;
                 while off < total {
                     let end = (off + chunk).min(total);
-                    out.push(
-                        Pdu::C2HData(DataPdu {
-                            cid: cmd.cid,
-                            ttag: 0,
-                            offset: off as u32,
-                            last: end == total,
-                            data: DataRef::Inline(bytes.slice(off..end)),
-                        })
-                        .encode(),
-                    );
+                    out.push(Pdu::C2HData(DataPdu {
+                        cid: cmd.cid,
+                        ttag: 0,
+                        offset: off as u32,
+                        last: end == total,
+                        data: DataRef::Inline(bytes.slice(off..end)),
+                    }));
                     off = end;
                 }
                 if total == 0 {
-                    out.push(
-                        Pdu::C2HData(DataPdu {
-                            cid: cmd.cid,
-                            ttag: 0,
-                            offset: 0,
-                            last: true,
-                            data: DataRef::Inline(Bytes::new()),
-                        })
-                        .encode(),
-                    );
+                    out.push(Pdu::C2HData(DataPdu {
+                        cid: cmd.cid,
+                        ttag: 0,
+                        offset: 0,
+                        last: true,
+                        data: DataRef::Inline(Bytes::new()),
+                    }));
                 }
             }
         }
-        out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }).encode());
-        Ok(out)
+        out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+        Ok(())
     }
 
     fn transfer_len(&self, cmd: &NvmeCommand, ctrl: &Controller) -> usize {
@@ -391,17 +394,52 @@ pub fn spawn_target<T: Transport + 'static>(
         .name("nvmeof-target".into())
         .spawn(move || {
             let mut conn = TargetConnection::new(cfg, payload);
+            // Reusable per-connection buffers: the steady-state loop
+            // allocates nothing — frames arrive borrowed, responses are
+            // encoded into `scratch` and sent as borrowed slices.
+            let mut out: Vec<Pdu> = Vec::new();
+            let mut scratch = BytesMut::with_capacity(4096);
             while !stop2.load(Ordering::Acquire) && !conn.terminated() {
-                match transport.recv_timeout(Duration::from_millis(1)) {
-                    Ok(Some(frame)) => {
-                        let responses = conn.on_frame(frame, &mut controller)?;
-                        for r in responses {
-                            transport.send(r)?;
+                // Drain every frame already ready in one batched pass.
+                let mut err = None;
+                let drained = {
+                    let conn = &mut conn;
+                    let controller = &mut controller;
+                    let out = &mut out;
+                    transport.recv_batch(&mut |frame| {
+                        if err.is_none() {
+                            if let Err(e) = conn.handle(frame, controller, out) {
+                                err = Some(e);
+                            }
+                        }
+                    })
+                };
+                match (drained, err) {
+                    (Err(NvmeofError::TransportClosed), _) => break,
+                    (Err(e), _) | (_, Some(e)) => return Err(e),
+                    (Ok(n), None) => {
+                        for pdu in out.drain(..) {
+                            scratch.clear();
+                            pdu.encode_into(&mut scratch);
+                            match transport.send_frame(&scratch) {
+                                Ok(()) => {}
+                                Err(NvmeofError::TransportClosed) => return Ok(()),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        if n == 0 {
+                            // Idle: bounded spin→yield wait inside the
+                            // transport, never a blind spin.
+                            match transport.recv_timeout(Duration::from_millis(1)) {
+                                Ok(Some(frame)) => {
+                                    conn.handle(Frame::Owned(frame), &mut controller, &mut out)?
+                                }
+                                Ok(None) => {}
+                                Err(NvmeofError::TransportClosed) => break,
+                                Err(e) => return Err(e),
+                            }
                         }
                     }
-                    Ok(None) => {}
-                    Err(NvmeofError::TransportClosed) => break,
-                    Err(e) => return Err(e),
                 }
             }
             Ok(())

@@ -2,9 +2,21 @@
 //!
 //! [`MemTransport`] is the control path of the in-process deployment: a
 //! duplex, frame-oriented channel standing in for the TCP connection
-//! between the client VM and the target VM. [`RateLimited`] wraps it with
-//! a wall-clock token-bucket + latency model so examples can *feel* the
-//! difference between a 10 Gbps and a 100 Gbps control path without a NIC.
+//! between the client VM and the target VM. [`ShmTransport`] is the
+//! fully in-region control path (§5.5). [`RateLimited`] wraps either
+//! with a wall-clock token-bucket + latency model so examples can
+//! *feel* the difference between a 10 Gbps and a 100 Gbps control path
+//! without a NIC.
+//!
+//! # Hot-path discipline
+//!
+//! Reactor loops should prefer the batched half of the trait —
+//! [`Transport::recv_batch`] and [`Transport::send_batch`] — which let
+//! ring-based transports hand out *borrowed* frames ([`Frame`]) and
+//! amortize one Acquire/Release pair over every frame ready in the
+//! poll-loop iteration, with zero allocations in the steady state.
+//! Waiting is a bounded adaptive spin→yield backoff, never a blind
+//! spin.
 
 use std::time::{Duration, Instant};
 
@@ -12,6 +24,70 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::NvmeofError;
+
+/// A received frame: owned (channel transports hand over their buffer)
+/// or borrowed straight out of a shared-memory ring (zero-copy).
+pub enum Frame<'a> {
+    /// The transport transfers ownership of the buffer.
+    Owned(Bytes),
+    /// The frame borrows the transport's receive window; valid only for
+    /// the duration of the callback.
+    Borrowed(&'a [u8]),
+}
+
+impl Frame<'_> {
+    /// The frame's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Frame::Owned(b) => b,
+            Frame::Borrowed(s) => s,
+        }
+    }
+
+    /// Converts into an owned buffer (free for `Owned`, one copy for
+    /// `Borrowed`).
+    pub fn into_bytes(self) -> Bytes {
+        match self {
+            Frame::Owned(b) => b,
+            Frame::Borrowed(s) => Bytes::copy_from_slice(s),
+        }
+    }
+}
+
+/// How long a ring-based `send` waits on a full ring before reporting
+/// [`NvmeofError::RingFull`]: long enough for any live peer poll loop
+/// to drain, short enough to surface a dead peer quickly.
+const SEND_FULL_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Busy-poll iterations before a waiter starts yielding the CPU.
+const SPIN_LIMIT: u32 = 128;
+
+/// Bounded adaptive backoff helper: spin briefly, then yield until the
+/// deadline. Returns `false` once the deadline has passed.
+struct Backoff {
+    spins: u32,
+    deadline: Instant,
+}
+
+impl Backoff {
+    fn until(deadline: Instant) -> Self {
+        Backoff { spins: 0, deadline }
+    }
+
+    /// One backoff step. Returns `false` when the deadline has passed.
+    fn snooze(&mut self) -> bool {
+        if self.spins < SPIN_LIMIT {
+            self.spins += 1;
+            std::hint::spin_loop();
+            return true;
+        }
+        if Instant::now() >= self.deadline {
+            return false;
+        }
+        std::thread::yield_now();
+        true
+    }
+}
 
 /// A duplex, frame-oriented transport endpoint.
 pub trait Transport: Send {
@@ -21,6 +97,46 @@ pub trait Transport: Send {
     fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError>;
     /// Receives a frame, waiting up to `timeout`.
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError>;
+
+    /// Sends one frame from a borrowed buffer — the zero-allocation send
+    /// path for callers that encode into a reusable scratch. Ring
+    /// transports copy the slice straight into the ring; channel
+    /// transports fall back to one owned copy.
+    fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
+        self.send(Bytes::copy_from_slice(frame))
+    }
+
+    /// Sends every frame in `frames` (draining it), letting ring
+    /// transports publish the whole burst with one Release store.
+    fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {
+        for frame in frames.drain(..) {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Hands every frame that is currently ready to `f`, returning the
+    /// count. Ring transports pass frames *borrowed* (no allocation, no
+    /// copy) and pay one Acquire/Release pair for the whole batch.
+    ///
+    /// An error is reported only when no frame was consumed this call:
+    /// frames queued ahead of a peer hang-up are delivered (and counted)
+    /// first, and the closure surfaces on the next call.
+    fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
+        let mut n = 0usize;
+        loop {
+            match self.try_recv() {
+                Ok(Some(frame)) => {
+                    f(Frame::Owned(frame));
+                    n += 1;
+                }
+                Ok(None) => return Ok(n),
+                Err(e) => {
+                    return if n > 0 { Ok(n) } else { Err(e) };
+                }
+            }
+        }
+    }
 }
 
 /// In-process duplex transport endpoint.
@@ -102,14 +218,22 @@ impl ShmTransport {
 
 impl Transport for ShmTransport {
     fn send(&self, frame: Bytes) -> Result<(), NvmeofError> {
-        // Briefly spin on a full ring: the peer's poll loop drains fast.
-        let mut spins = 0u32;
+        self.send_frame(&frame)
+    }
+
+    fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
+        // Straight from the caller's scratch into the ring — no owned
+        // buffer in between. Bounded spin→yield on a full ring: a live
+        // peer poll loop drains in microseconds; a dead one surfaces as
+        // RingFull.
+        let mut backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
         loop {
-            match self.tx.push(&frame) {
+            match self.tx.push(frame) {
                 Ok(()) => return Ok(()),
-                Err(oaf_shmem::ShmError::RingFull) if spins < 10_000_000 => {
-                    spins += 1;
-                    std::hint::spin_loop();
+                Err(oaf_shmem::ShmError::RingFull) => {
+                    if !backoff.snooze() {
+                        return Err(NvmeofError::RingFull);
+                    }
                 }
                 Err(e) => return Err(NvmeofError::Payload(e.to_string())),
             }
@@ -121,16 +245,130 @@ impl Transport for ShmTransport {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
-        let deadline = Instant::now() + timeout;
+        if let Some(f) = self.rx.pop() {
+            return Ok(Some(Bytes::from(f)));
+        }
+        let mut backoff = Backoff::until(Instant::now() + timeout);
         loop {
             if let Some(f) = self.rx.pop() {
                 return Ok(Some(Bytes::from(f)));
             }
-            if Instant::now() >= deadline {
+            if !backoff.snooze() {
                 return Ok(None);
             }
-            std::hint::spin_loop();
         }
+    }
+
+    fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {
+        let mut sent = 0usize;
+        let mut backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
+        while sent < frames.len() {
+            // One Release publish per burst that fits.
+            match self.tx.push_n(frames[sent..].iter()) {
+                Ok(0) => {
+                    if !backoff.snooze() {
+                        frames.drain(..sent);
+                        return Err(NvmeofError::RingFull);
+                    }
+                }
+                Ok(n) => {
+                    sent += n;
+                    backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
+                }
+                Err(e) => {
+                    frames.drain(..sent);
+                    return Err(NvmeofError::Payload(e.to_string()));
+                }
+            }
+        }
+        frames.clear();
+        Ok(())
+    }
+
+    fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
+        // Borrowed frames straight out of the ring: zero copies, zero
+        // allocations, one Acquire/Release pair for the whole batch.
+        Ok(self.rx.drain(|frame| f(Frame::Borrowed(frame))))
+    }
+}
+
+/// Static dispatch over the two real-runtime control paths, so the
+/// connection manager can pick per connection (kernel-TCP stand-in vs.
+/// the §5.5 in-region byte rings) without boxing the hot path.
+pub enum ControlTransport {
+    /// Channel-backed stand-in for the TCP control connection.
+    Mem(MemTransport),
+    /// In-region control path over shared-memory byte rings.
+    Shm(ShmTransport),
+}
+
+impl Transport for ControlTransport {
+    fn send(&self, frame: Bytes) -> Result<(), NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.send(frame),
+            ControlTransport::Shm(t) => t.send(frame),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.try_recv(),
+            ControlTransport::Shm(t) => t.try_recv(),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.recv_timeout(timeout),
+            ControlTransport::Shm(t) => t.recv_timeout(timeout),
+        }
+    }
+
+    fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.send_frame(frame),
+            ControlTransport::Shm(t) => t.send_frame(frame),
+        }
+    }
+
+    fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.send_batch(frames),
+            ControlTransport::Shm(t) => t.send_batch(frames),
+        }
+    }
+
+    fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.recv_batch(f),
+            ControlTransport::Shm(t) => t.recv_batch(f),
+        }
+    }
+}
+
+impl Transport for Box<dyn Transport> {
+    fn send(&self, frame: Bytes) -> Result<(), NvmeofError> {
+        (**self).send(frame)
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
+        (**self).try_recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
+        (**self).recv_timeout(timeout)
+    }
+
+    fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
+        (**self).send_frame(frame)
+    }
+
+    fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {
+        (**self).send_batch(frames)
+    }
+
+    fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
+        (**self).recv_batch(f)
     }
 }
 
@@ -154,6 +392,31 @@ impl ShapeParams {
     }
 }
 
+/// A frame parked in the delivery queue until its deadline. Ordered by
+/// `(deliver_at, seq)` so equal deadlines stay FIFO.
+struct Delayed {
+    deliver_at: Instant,
+    seq: u64,
+    frame: Bytes,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
 /// A transport wrapper that delays frame *delivery* according to a serial
 /// link model: each frame becomes visible `latency + serialization` after
 /// the previous frame's wire time.
@@ -161,7 +424,10 @@ pub struct RateLimited<T: Transport> {
     inner: T,
     params: ShapeParams,
     tx_free: std::sync::Mutex<Instant>,
-    rx_queue: std::sync::Mutex<Vec<(Instant, Bytes)>>,
+    /// Min-heap on `deliver_at`: peeking the next due frame is O(1),
+    /// delivery is O(log n) — not the O(n) scan of a flat queue.
+    rx_queue: std::sync::Mutex<std::collections::BinaryHeap<std::cmp::Reverse<Delayed>>>,
+    rx_seq: std::sync::atomic::AtomicU64,
 }
 
 impl<T: Transport> RateLimited<T> {
@@ -171,7 +437,8 @@ impl<T: Transport> RateLimited<T> {
             inner,
             params,
             tx_free: std::sync::Mutex::new(Instant::now()),
-            rx_queue: std::sync::Mutex::new(Vec::new()),
+            rx_queue: std::sync::Mutex::new(std::collections::BinaryHeap::new()),
+            rx_seq: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -205,20 +472,25 @@ impl<T: Transport> Transport for RateLimited<T> {
 
     fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
         let now = Instant::now();
-        // Pull everything available into the reorder-free delivery queue.
+        // One queue-mutex acquisition per call: stage arrivals and check
+        // the earliest deadline under the same lock.
+        let mut q = self.rx_queue.lock().expect("rx mutex");
         while let Some(f) = self.inner.try_recv()? {
             let lat = u64::from_le_bytes(f[..8].try_into().expect("latency prefix"));
-            let deliver_at = now + Duration::from_nanos(lat);
-            self.rx_queue
-                .lock()
-                .expect("rx mutex")
-                .push((deliver_at, f.slice(8..)));
+            q.push(std::cmp::Reverse(Delayed {
+                deliver_at: now + Duration::from_nanos(lat),
+                seq: self
+                    .rx_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                frame: f.slice(8..),
+            }));
         }
-        let mut q = self.rx_queue.lock().expect("rx mutex");
-        if let Some(pos) = q.iter().position(|(t, _)| *t <= Instant::now()) {
-            return Ok(Some(q.remove(pos).1));
+        match q.peek() {
+            Some(std::cmp::Reverse(d)) if d.deliver_at <= Instant::now() => {
+                Ok(q.pop().map(|std::cmp::Reverse(d)| d.frame))
+            }
+            _ => Ok(None),
         }
-        Ok(None)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
@@ -289,6 +561,20 @@ mod tests {
     }
 
     #[test]
+    fn rate_limited_preserves_fifo_order() {
+        let (a, b) = MemTransport::pair();
+        let a = RateLimited::new(a, ShapeParams::gbps(100.0, Duration::from_micros(200)));
+        let b = RateLimited::new(b, ShapeParams::gbps(100.0, Duration::from_micros(200)));
+        for i in 0..50u32 {
+            a.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        for i in 0..50u32 {
+            let f = b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+            assert_eq!(u32::from_le_bytes(f[..].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
     fn shm_transport_is_duplex_and_ordered() {
         let (a, b) = ShmTransport::pair(64 * 1024);
         for i in 0..100u32 {
@@ -334,6 +620,87 @@ mod tests {
         a.send(pdu.encode()).unwrap();
         let frame = b.try_recv().unwrap().unwrap();
         assert_eq!(Pdu::decode(frame).unwrap(), pdu);
+    }
+
+    #[test]
+    fn shm_send_on_full_ring_reports_ring_full() {
+        let (a, _b) = ShmTransport::pair(4096);
+        // Nobody drains `_b`; the ring fills and send must fail with the
+        // dedicated congestion error, not a stringified payload error.
+        let frame = Bytes::from(vec![0u8; 1024]);
+        let err = loop {
+            match a.send(frame.clone()) {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, NvmeofError::RingFull), "{err:?}");
+    }
+
+    #[test]
+    fn shm_batch_roundtrip_borrowed_frames() {
+        let (a, b) = ShmTransport::pair(64 * 1024);
+        let mut burst: Vec<Bytes> = (0..20u32)
+            .map(|i| Bytes::from(vec![i as u8; 16 + i as usize]))
+            .collect();
+        let expect = burst.clone();
+        a.send_batch(&mut burst).unwrap();
+        assert!(burst.is_empty());
+        let mut seen = Vec::new();
+        let n = b
+            .recv_batch(&mut |frame| {
+                assert!(matches!(frame, Frame::Borrowed(_)));
+                seen.push(frame.as_slice().to_vec());
+            })
+            .unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(
+            seen,
+            expect.iter().map(|b| b.to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mem_batch_default_path_works() {
+        let (a, b) = MemTransport::pair();
+        let mut burst: Vec<Bytes> = (0..5u8).map(|i| Bytes::from(vec![i; 4])).collect();
+        a.send_batch(&mut burst).unwrap();
+        let mut count = 0;
+        b.recv_batch(&mut |frame| {
+            assert!(matches!(frame, Frame::Owned(_)));
+            count += 1;
+            let _ = frame.as_slice();
+        })
+        .unwrap();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn recv_batch_drains_before_reporting_closure() {
+        let (a, b) = MemTransport::pair();
+        a.send(Bytes::from_static(b"x")).unwrap();
+        a.send(Bytes::from_static(b"y")).unwrap();
+        drop(a); // frames queued ahead of the hang-up must still arrive
+        let mut n = 0;
+        assert_eq!(b.recv_batch(&mut |_| n += 1).unwrap(), 2);
+        assert_eq!(n, 2);
+        assert!(matches!(
+            b.recv_batch(&mut |_| {}),
+            Err(NvmeofError::TransportClosed)
+        ));
+    }
+
+    #[test]
+    fn control_transport_dispatches_both_paths() {
+        let (am, bm) = MemTransport::pair();
+        let (asx, bsx) = ShmTransport::pair(16 * 1024);
+        for (a, b) in [
+            (ControlTransport::Mem(am), ControlTransport::Mem(bm)),
+            (ControlTransport::Shm(asx), ControlTransport::Shm(bsx)),
+        ] {
+            a.send(Bytes::from_static(b"hi")).unwrap();
+            assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"hi"));
+        }
     }
 
     #[test]

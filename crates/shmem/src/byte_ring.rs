@@ -12,8 +12,25 @@
 //! and starts at offset 0. Producer owns `tail`, consumer owns `head`;
 //! publication is the release-store of `tail`, consumption the
 //! release-store of `head` — the same discipline as the slot ring.
+//!
+//! # Hot-path discipline
+//!
+//! Each endpoint handle keeps a *cached copy of the peer's index*
+//! (the rtrb/crossbeam shadow-index idiom): the producer re-Acquires
+//! `head` only when the ring looks full against its cache, the consumer
+//! re-Acquires `tail` only when the ring looks empty. In the steady
+//! state a push or pop therefore touches only the cache line it owns,
+//! and cross-core traffic is amortized over many frames. The cached
+//! values are always historical values of the peer index, so they are
+//! conservative: a stale cache can only cause a spurious refresh, never
+//! an unsafe read or write.
+//!
+//! Batched operation is available through [`ByteRing::push_n`] (one
+//! Release publish for a whole burst) and [`ByteRing::drain`] /
+//! [`ByteRing::pop_into`] (one Release consume for a whole burst, zero
+//! allocations).
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::region::{ShmRegion, CACHE_LINE};
@@ -30,11 +47,33 @@ fn align4(n: u64) -> u64 {
 
 /// One end of a variable-size SPSC frame ring. Clone freely; exactly one
 /// thread may push and one may pop.
-#[derive(Clone)]
 pub struct ByteRing {
     region: Arc<ShmRegion>,
     base: usize,
     capacity: u64,
+    /// Producer-side shadow of the consumer's `head` (always a
+    /// historical value, i.e. `cached_head <= head`).
+    cached_head: AtomicU64,
+    /// Consumer-side shadow of the producer's `tail` (always a
+    /// historical value, i.e. `head <= cached_tail <= tail`).
+    cached_tail: AtomicU64,
+}
+
+impl Clone for ByteRing {
+    fn clone(&self) -> Self {
+        // Fresh shadows, seeded from the live indices: the clone may be
+        // handed to a different thread, and a shadow must never lag
+        // behind the *consumer's own* progress (`cached_tail >= head`).
+        let ring = ByteRing {
+            region: self.region.clone(),
+            base: self.base,
+            capacity: self.capacity,
+            cached_head: AtomicU64::new(0),
+            cached_tail: AtomicU64::new(0),
+        };
+        ring.reseed_caches();
+        ring
+    }
 }
 
 impl ByteRing {
@@ -59,11 +98,24 @@ impl ByteRing {
                 have: region.len(),
             });
         }
-        Ok(ByteRing {
+        let ring = ByteRing {
             region,
             base,
             capacity,
-        })
+            cached_head: AtomicU64::new(0),
+            cached_tail: AtomicU64::new(0),
+        };
+        ring.reseed_caches();
+        Ok(ring)
+    }
+
+    /// Seeds both shadow indices from the live shared indices. Acquire
+    /// on `tail` also makes every already-published frame visible.
+    fn reseed_caches(&self) {
+        self.cached_head
+            .store(self.head().load(Ordering::Acquire), Ordering::Relaxed);
+        self.cached_tail
+            .store(self.tail().load(Ordering::Acquire), Ordering::Relaxed);
     }
 
     /// Largest frame this ring can ever carry.
@@ -73,11 +125,11 @@ impl ByteRing {
         (self.capacity - HDR - 1) as usize / 2
     }
 
-    fn head(&self) -> &std::sync::atomic::AtomicU64 {
+    fn head(&self) -> &AtomicU64 {
         self.region.atomic_u64(self.base)
     }
 
-    fn tail(&self) -> &std::sync::atomic::AtomicU64 {
+    fn tail(&self) -> &AtomicU64 {
         self.region.atomic_u64(self.base + CACHE_LINE)
     }
 
@@ -90,30 +142,29 @@ impl ByteRing {
         self.capacity - (pos & (self.capacity - 1))
     }
 
-    /// Producer: appends one frame. Fails with [`ShmError::RingFull`]
-    /// when there is not enough free space (including wrap padding).
-    pub fn push(&self, frame: &[u8]) -> Result<(), ShmError> {
-        if frame.len() > self.max_frame() {
-            return Err(ShmError::PayloadTooLarge {
-                len: frame.len(),
-                slot_size: self.max_frame(),
-            });
+    /// Producer: space check against the shadow head, refreshing it from
+    /// the shared index only when the ring looks full. Returns the new
+    /// (possibly refreshed) head on success.
+    fn ensure_space(&self, tail: u64, total: u64) -> Result<(), ShmError> {
+        let head = self.cached_head.load(Ordering::Relaxed);
+        if tail.wrapping_sub(head) + total <= self.capacity - 1 {
+            return Ok(());
         }
-        let tail = self.tail().load(Ordering::Relaxed); // producer-owned
+        // Looks full: pay the cross-core Acquire and retry once. The
+        // Acquire pairs with the consumer's Release store of `head`, so
+        // the freed bytes are safe to overwrite.
         let head = self.head().load(Ordering::Acquire);
-        let used = tail.wrapping_sub(head);
-        let need = align4(HDR + frame.len() as u64);
-        let contig = self.contiguous(tail);
-        // If the frame would straddle the wrap point, burn the remainder
-        // with a skip marker (needs 4 bytes for the marker itself).
-        let (write_at, total) = if contig < need {
-            (tail + contig, need + contig)
+        self.cached_head.store(head, Ordering::Relaxed);
+        if tail.wrapping_sub(head) + total <= self.capacity - 1 {
+            Ok(())
         } else {
-            (tail, need)
-        };
-        if used + total > self.capacity - 1 {
-            return Err(ShmError::RingFull);
+            Err(ShmError::RingFull)
         }
+    }
+
+    /// Writes one frame at `tail` without publishing. Returns the next
+    /// tail position. Caller must have verified space.
+    fn write_frame(&self, tail: u64, frame: &[u8], write_at: u64, total: u64) -> u64 {
         if write_at != tail {
             // SAFETY: producer owns [tail, head+capacity); in-bounds.
             unsafe {
@@ -128,41 +179,191 @@ impl ByteRing {
             self.region
                 .write_at(self.data_off(write_at) + HDR as usize, frame);
         }
-        self.tail()
-            .store(tail.wrapping_add(total), Ordering::Release);
+        tail.wrapping_add(total)
+    }
+
+    /// Frame geometry at `tail`: `(write_at, total)` including wrap
+    /// padding.
+    fn placement(&self, tail: u64, frame_len: usize) -> (u64, u64) {
+        let need = align4(HDR + frame_len as u64);
+        let contig = self.contiguous(tail);
+        // If the frame would straddle the wrap point, burn the remainder
+        // with a skip marker (needs 4 bytes for the marker itself).
+        if contig < need {
+            (tail + contig, need + contig)
+        } else {
+            (tail, need)
+        }
+    }
+
+    /// Producer: appends one frame. Fails with [`ShmError::RingFull`]
+    /// when there is not enough free space (including wrap padding).
+    pub fn push(&self, frame: &[u8]) -> Result<(), ShmError> {
+        if frame.len() > self.max_frame() {
+            return Err(ShmError::PayloadTooLarge {
+                len: frame.len(),
+                slot_size: self.max_frame(),
+            });
+        }
+        let tail = self.tail().load(Ordering::Relaxed); // producer-owned
+        let (write_at, total) = self.placement(tail, frame.len());
+        self.ensure_space(tail, total)?;
+        let next = self.write_frame(tail, frame, write_at, total);
+        self.tail().store(next, Ordering::Release);
         Ok(())
     }
 
-    /// Consumer: pops the oldest frame, if any.
-    pub fn pop(&self) -> Option<Vec<u8>> {
-        let mut head = self.head().load(Ordering::Relaxed); // consumer-owned
-        let tail = self.tail().load(Ordering::Acquire);
-        if head == tail {
-            return None;
+    /// Producer: appends as many whole frames as fit, in order, with a
+    /// *single* Release publish for the whole burst. Returns how many
+    /// frames were pushed; stops early (without error) at the first
+    /// frame that does not currently fit. An oversized frame is an
+    /// error only if it is the first frame not yet pushed — otherwise
+    /// the caller sees the short count and hits the error on retry.
+    pub fn push_n<I, F>(&self, frames: I) -> Result<usize, ShmError>
+    where
+        I: IntoIterator<Item = F>,
+        F: AsRef<[u8]>,
+    {
+        let start = self.tail().load(Ordering::Relaxed); // producer-owned
+        let mut tail = start;
+        let mut pushed = 0usize;
+        for frame in frames {
+            let frame = frame.as_ref();
+            if frame.len() > self.max_frame() {
+                if pushed == 0 {
+                    return Err(ShmError::PayloadTooLarge {
+                        len: frame.len(),
+                        slot_size: self.max_frame(),
+                    });
+                }
+                break;
+            }
+            let (write_at, total) = self.placement(tail, frame.len());
+            if self.ensure_space(tail, total).is_err() {
+                break;
+            }
+            tail = self.write_frame(tail, frame, write_at, total);
+            pushed += 1;
         }
+        if tail != start {
+            self.tail().store(tail, Ordering::Release);
+        }
+        Ok(pushed)
+    }
+
+    /// Consumer: locates the next ready frame, refreshing the shadow
+    /// tail only when the ring looks empty. Returns
+    /// `(frame_start, len, next_head)`.
+    fn next_frame(&self, head: u64) -> Option<(u64, usize, u64)> {
+        let mut tail = self.cached_tail.load(Ordering::Relaxed);
+        if tail == head {
+            // Looks empty: pay the cross-core Acquire. Pairs with the
+            // producer's Release store of `tail`, publishing the frames.
+            tail = self.tail().load(Ordering::Acquire);
+            self.cached_tail.store(tail, Ordering::Relaxed);
+            if tail == head {
+                return None;
+            }
+        }
+        let mut pos = head;
         let mut len_bytes = [0u8; 4];
         // SAFETY: published by the Release store of `tail` we Acquired.
-        unsafe { self.region.read_into(self.data_off(head), &mut len_bytes) };
+        unsafe { self.region.read_into(self.data_off(pos), &mut len_bytes) };
         let mut len = u32::from_le_bytes(len_bytes);
         if len == SKIP {
             // Wrap marker: skip to the start of the ring.
-            head = head.wrapping_add(self.contiguous(head));
-            debug_assert_ne!(head, tail, "skip marker with no frame behind it");
-            unsafe { self.region.read_into(self.data_off(head), &mut len_bytes) };
+            pos = pos.wrapping_add(self.contiguous(pos));
+            debug_assert_ne!(pos, tail, "skip marker with no frame behind it");
+            unsafe { self.region.read_into(self.data_off(pos), &mut len_bytes) };
             len = u32::from_le_bytes(len_bytes);
         }
         debug_assert!(len as usize <= self.max_frame(), "corrupt frame length");
-        let mut out = vec![0u8; len as usize];
-        // SAFETY: same publication argument.
+        let next = pos.wrapping_add(align4(HDR + u64::from(len)));
+        Some((pos, len as usize, next))
+    }
+
+    /// Consumer: pops the oldest frame, if any.
+    ///
+    /// Allocates a fresh `Vec` per frame; hot paths should prefer
+    /// [`ByteRing::pop_into`] or [`ByteRing::drain`].
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        let head = self.head().load(Ordering::Relaxed); // consumer-owned
+        let (pos, len, next) = self.next_frame(head)?;
+        let mut out = vec![0u8; len];
+        // SAFETY: same publication argument as `next_frame`.
         unsafe {
             self.region
-                .read_into(self.data_off(head) + HDR as usize, &mut out);
+                .read_into(self.data_off(pos) + HDR as usize, &mut out);
         }
-        self.head().store(
-            head.wrapping_add(align4(HDR + u64::from(len))),
-            Ordering::Release,
-        );
+        self.head().store(next, Ordering::Release);
         Some(out)
+    }
+
+    /// Consumer: pops the oldest frame into `out` (cleared first),
+    /// reusing its capacity — zero allocations in the steady state.
+    /// Returns the frame length.
+    pub fn pop_into(&self, out: &mut Vec<u8>) -> Option<usize> {
+        let head = self.head().load(Ordering::Relaxed); // consumer-owned
+        let (pos, len, next) = self.next_frame(head)?;
+        out.clear();
+        out.resize(len, 0);
+        // SAFETY: same publication argument as `next_frame`.
+        unsafe {
+            self.region
+                .read_into(self.data_off(pos) + HDR as usize, out);
+        }
+        self.head().store(next, Ordering::Release);
+        Some(len)
+    }
+
+    /// Consumer: processes every frame published at entry with a
+    /// *single* Acquire of `tail` and a *single* Release of `head`,
+    /// handing each frame to `f` as a borrowed slice of the ring — no
+    /// copies, no allocations.
+    ///
+    /// The borrow is sound because the producer cannot reuse the bytes
+    /// until `head` is published, which happens only after every
+    /// callback returned. `f` must not call back into this ring (it
+    /// only receives `&[u8]`, so that would require smuggling a second
+    /// handle — don't).
+    ///
+    /// Returns the number of frames processed.
+    pub fn drain(&self, mut f: impl FnMut(&[u8])) -> usize {
+        let mut head = self.head().load(Ordering::Relaxed); // consumer-owned
+        // One Acquire for the whole burst.
+        let tail = self.tail().load(Ordering::Acquire);
+        self.cached_tail.store(tail, Ordering::Relaxed);
+        if head == tail {
+            return 0;
+        }
+        let mut n = 0usize;
+        while head != tail {
+            let mut pos = head;
+            let mut len_bytes = [0u8; 4];
+            // SAFETY: published by the Release store of `tail` we
+            // Acquired above.
+            unsafe { self.region.read_into(self.data_off(pos), &mut len_bytes) };
+            let mut len = u32::from_le_bytes(len_bytes);
+            if len == SKIP {
+                pos = pos.wrapping_add(self.contiguous(pos));
+                debug_assert_ne!(pos, tail, "skip marker with no frame behind it");
+                unsafe { self.region.read_into(self.data_off(pos), &mut len_bytes) };
+                len = u32::from_le_bytes(len_bytes);
+            }
+            debug_assert!(len as usize <= self.max_frame(), "corrupt frame length");
+            // SAFETY: frame bytes are contiguous by construction and
+            // producer-untouchable until `head` is released below.
+            let frame = unsafe {
+                self.region
+                    .slice(self.data_off(pos) + HDR as usize, len as usize)
+            };
+            f(frame);
+            head = pos.wrapping_add(align4(HDR + u64::from(len)));
+            n += 1;
+        }
+        // One Release for the whole burst.
+        self.head().store(head, Ordering::Release);
+        n
     }
 
     /// Whether the ring currently holds no frames (racy snapshot).
@@ -231,6 +432,242 @@ mod tests {
     }
 
     #[test]
+    fn pop_into_reuses_buffer_and_preserves_content() {
+        let r = ring(1024);
+        let mut buf = Vec::with_capacity(256);
+        for round in 0..50u32 {
+            let len = 1 + (round % 200) as usize;
+            let frame = vec![(round % 251) as u8; len];
+            r.push(&frame).unwrap();
+            let cap_before = buf.capacity();
+            assert_eq!(r.pop_into(&mut buf), Some(len), "round {round}");
+            assert_eq!(&buf[..], &frame[..], "round {round}");
+            if len <= cap_before {
+                assert_eq!(buf.capacity(), cap_before, "pop_into reallocated");
+            }
+        }
+        assert_eq!(r.pop_into(&mut buf), None);
+    }
+
+    #[test]
+    fn push_n_publishes_whole_burst_in_order() {
+        let r = ring(1024);
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 3 + i as usize]).collect();
+        assert_eq!(r.push_n(frames.iter()).unwrap(), 10);
+        for f in &frames {
+            assert_eq!(&r.pop().unwrap(), f);
+        }
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn push_n_stops_at_full_without_error() {
+        let r = ring(256);
+        let big = vec![1u8; 60];
+        let n = r.push_n(std::iter::repeat(&big).take(100)).unwrap();
+        assert!(n >= 2 && n < 100, "pushed {n}");
+        // Everything pushed is intact; the rest was simply not accepted.
+        for _ in 0..n {
+            assert_eq!(r.pop().unwrap(), big);
+        }
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn push_n_oversized_first_frame_errors() {
+        let r = ring(256);
+        let huge = vec![0u8; r.max_frame() + 1];
+        assert!(matches!(
+            r.push_n([&huge[..]]),
+            Err(ShmError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_sees_every_frame_in_order() {
+        let r = ring(2048);
+        let frames: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 1 + (i as usize * 7) % 48]).collect();
+        for f in &frames {
+            r.push(f).unwrap();
+        }
+        let mut seen = Vec::new();
+        let n = r.drain(|frame| seen.push(frame.to_vec()));
+        assert_eq!(n, frames.len());
+        assert_eq!(seen, frames);
+        assert_eq!(r.drain(|_| panic!("ring should be empty")), 0);
+        // The ring is fully reusable afterwards.
+        r.push(b"again").unwrap();
+        assert_eq!(r.pop().unwrap(), b"again");
+    }
+
+    #[test]
+    fn drain_handles_wrap_markers() {
+        let r = ring(256);
+        // Leave the indices near the wrap point, then drain a burst that
+        // straddles it.
+        for _ in 0..3 {
+            r.push(&[0u8; 60]).unwrap();
+            r.pop().unwrap();
+        }
+        let frames: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i + 1; 50]).collect();
+        for f in &frames {
+            r.push(f).unwrap();
+        }
+        let mut seen = Vec::new();
+        r.drain(|frame| seen.push(frame.to_vec()));
+        assert_eq!(seen, frames);
+    }
+
+    #[test]
+    fn clone_mid_stream_continues_cleanly() {
+        let r = ring(1024);
+        r.push(b"one").unwrap();
+        r.push(b"two").unwrap();
+        assert_eq!(r.pop().unwrap(), b"one");
+        // A clone taken mid-stream must see exactly the unconsumed data.
+        let c = r.clone();
+        assert_eq!(c.pop().unwrap(), b"two");
+        assert!(c.pop().is_none());
+    }
+
+    #[test]
+    fn spsc_batched_push_n_drain_stress() {
+        // Two threads, batched APIs end to end: the producer publishes
+        // bursts with one Release each, the consumer drains whole
+        // batches with pop_into (reused buffer) and drain (borrowed
+        // frames) alternately. Every frame must arrive intact, in order.
+        const TOTAL: u32 = 30_000;
+        let r = ring(4096);
+        let producer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                let mut next = 0u32;
+                while next < TOTAL {
+                    let burst: Vec<Vec<u8>> = (next..(next + 8).min(TOTAL))
+                        .map(|i| {
+                            let len = 4 + (i % 64) as usize;
+                            let mut frame = vec![(i % 251) as u8; len];
+                            frame[..4].copy_from_slice(&i.to_le_bytes());
+                            frame
+                        })
+                        .collect();
+                    let mut sent = 0usize;
+                    while sent < burst.len() {
+                        match r.push_n(burst[sent..].iter()) {
+                            Ok(0) => std::thread::yield_now(),
+                            Ok(n) => sent += n,
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                    next += burst.len() as u32;
+                }
+            })
+        };
+        let mut expected = 0u32;
+        let mut scratch = Vec::new();
+        let mut use_drain = false;
+        while expected < TOTAL {
+            let before = expected;
+            if use_drain {
+                r.drain(|frame| {
+                    let got = u32::from_le_bytes(frame[..4].try_into().unwrap());
+                    assert_eq!(got, expected, "out of order");
+                    assert_eq!(frame.len(), 4 + (expected % 64) as usize);
+                    assert!(frame[4..].iter().all(|&b| b == (expected % 251) as u8));
+                    expected += 1;
+                });
+            } else if let Some(n) = r.pop_into(&mut scratch) {
+                let got = u32::from_le_bytes(scratch[..4].try_into().unwrap());
+                assert_eq!(got, expected, "out of order");
+                assert_eq!(n, 4 + (expected % 64) as usize);
+                expected += 1;
+            }
+            if expected == before {
+                std::thread::yield_now();
+            }
+            use_drain = !use_drain;
+        }
+        producer.join().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn random_ops_match_fifo_model() {
+        // Single-threaded randomized equivalence against a VecDeque
+        // model: any interleaving of push/push_n/pop/pop_into/drain must
+        // preserve FIFO order and contents, and a RingFull push must
+        // succeed after the ring drains (congestion, not corruption).
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x0af_5eed);
+        let r = ring(4096);
+        let mut model: std::collections::VecDeque<Vec<u8>> = Default::default();
+        let mut seq = 0u32;
+        let mk = |seq: &mut u32, rng: &mut SmallRng| {
+            let len = rng.gen_range(4..200usize);
+            let mut frame = vec![(*seq % 251) as u8; len];
+            frame[..4].copy_from_slice(&seq.to_le_bytes());
+            *seq += 1;
+            frame
+        };
+        for _ in 0..20_000 {
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    let frame = mk(&mut seq, &mut rng);
+                    match r.push(&frame) {
+                        Ok(()) => model.push_back(frame),
+                        Err(ShmError::RingFull) => {
+                            // Retryable after draining.
+                            while r.pop_into(&mut Vec::new()).is_some() {
+                                model.pop_front().expect("model in sync");
+                            }
+                            r.push(&frame).unwrap();
+                            model.push_back(frame);
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                1 => {
+                    let burst: Vec<Vec<u8>> =
+                        (0..rng.gen_range(1..6)).map(|_| mk(&mut seq, &mut rng)).collect();
+                    let n = r.push_n(burst.iter()).unwrap();
+                    for frame in burst.into_iter().take(n) {
+                        model.push_back(frame);
+                    }
+                }
+                2 => assert_eq!(r.pop(), model.pop_front()),
+                3 => {
+                    let mut buf = Vec::new();
+                    match r.pop_into(&mut buf) {
+                        Some(n) => {
+                            let want = model.pop_front().expect("model in sync");
+                            assert_eq!(n, want.len());
+                            assert_eq!(buf, want);
+                        }
+                        None => assert!(model.is_empty()),
+                    }
+                }
+                _ => {
+                    let drained = r.drain(|frame| {
+                        let want = model.pop_front().expect("model in sync");
+                        assert_eq!(frame, &want[..], "torn or reordered frame");
+                    });
+                    if drained == 0 {
+                        assert!(model.is_empty());
+                    }
+                }
+            }
+        }
+        // Final flush: ring and model agree to the end.
+        r.drain(|frame| {
+            let want = model.pop_front().expect("model in sync");
+            assert_eq!(frame, &want[..]);
+        });
+        assert!(model.is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn spsc_threads_preserve_order() {
         let r = ring(4096);
         let producer = {
@@ -243,7 +680,7 @@ mod tests {
                     loop {
                         match r.push(&frame) {
                             Ok(()) => break,
-                            Err(ShmError::RingFull) => std::hint::spin_loop(),
+                            Err(ShmError::RingFull) => std::thread::yield_now(),
                             Err(e) => panic!("{e}"),
                         }
                     }
@@ -258,7 +695,7 @@ mod tests {
                 assert_eq!(frame.len(), 4 + (expected % 64) as usize);
                 expected += 1;
             } else {
-                std::hint::spin_loop();
+                std::thread::yield_now();
             }
         }
         producer.join().unwrap();

@@ -7,8 +7,15 @@
 //! single-consumer ring of fixed 64-byte records carved out of the region,
 //! following the classic head/tail design (producer owns `tail`, consumer
 //! owns `head`; release/acquire pairs publish records).
+//!
+//! Like [`crate::byte_ring::ByteRing`], each endpoint handle keeps a
+//! cached shadow of the peer's index and only re-Acquires it when the
+//! ring looks full (producer) or empty (consumer), so steady-state
+//! pushes and pops touch no remote cache line. [`NotifyRing::push_n`]
+//! and [`NotifyRing::drain`] amortize the Release/Acquire pair over a
+//! whole burst of records.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::region::{ShmRegion, CACHE_LINE};
@@ -21,11 +28,28 @@ pub const MAX_PAYLOAD: usize = RECORD_SIZE - 2;
 
 /// One end of a SPSC notification ring. Clone freely; exactly one thread
 /// may push and one may pop.
-#[derive(Clone)]
 pub struct NotifyRing {
     region: Arc<ShmRegion>,
     base: usize,
     capacity: usize,
+    /// Producer-side shadow of the consumer's `head`.
+    cached_head: AtomicU64,
+    /// Consumer-side shadow of the producer's `tail`.
+    cached_tail: AtomicU64,
+}
+
+impl Clone for NotifyRing {
+    fn clone(&self) -> Self {
+        let ring = NotifyRing {
+            region: self.region.clone(),
+            base: self.base,
+            capacity: self.capacity,
+            cached_head: AtomicU64::new(0),
+            cached_tail: AtomicU64::new(0),
+        };
+        ring.reseed_caches();
+        ring
+    }
 }
 
 impl NotifyRing {
@@ -50,11 +74,23 @@ impl NotifyRing {
                 have: region.len(),
             });
         }
-        Ok(NotifyRing {
+        let ring = NotifyRing {
             region,
             base,
             capacity,
-        })
+            cached_head: AtomicU64::new(0),
+            cached_tail: AtomicU64::new(0),
+        };
+        ring.reseed_caches();
+        Ok(ring)
+    }
+
+    /// Seeds both shadow indices from the live shared indices.
+    fn reseed_caches(&self) {
+        self.cached_head
+            .store(self.head().load(Ordering::Acquire), Ordering::Relaxed);
+        self.cached_tail
+            .store(self.tail().load(Ordering::Acquire), Ordering::Relaxed);
     }
 
     /// Record capacity.
@@ -62,16 +98,44 @@ impl NotifyRing {
         self.capacity
     }
 
-    fn head(&self) -> &std::sync::atomic::AtomicU64 {
+    fn head(&self) -> &AtomicU64 {
         self.region.atomic_u64(self.base)
     }
 
-    fn tail(&self) -> &std::sync::atomic::AtomicU64 {
+    fn tail(&self) -> &AtomicU64 {
         self.region.atomic_u64(self.base + CACHE_LINE)
     }
 
     fn record_offset(&self, idx: u64) -> usize {
         self.base + 2 * CACHE_LINE + (idx as usize % self.capacity) * RECORD_SIZE
+    }
+
+    /// Producer: verifies a free record exists at `tail`, refreshing the
+    /// shadow head from the shared index only when the ring looks full.
+    fn ensure_space(&self, tail: u64) -> Result<(), ShmError> {
+        let head = self.cached_head.load(Ordering::Relaxed);
+        if tail.wrapping_sub(head) < self.capacity as u64 {
+            return Ok(());
+        }
+        let head = self.head().load(Ordering::Acquire);
+        self.cached_head.store(head, Ordering::Relaxed);
+        if tail.wrapping_sub(head) < self.capacity as u64 {
+            Ok(())
+        } else {
+            Err(ShmError::RingFull)
+        }
+    }
+
+    /// Writes one record at `tail` without publishing.
+    fn write_record(&self, tail: u64, payload: &[u8]) {
+        let off = self.record_offset(tail);
+        let len_prefix = (payload.len() as u16).to_le_bytes();
+        // SAFETY: records in [head, head+capacity) are producer-owned until
+        // published via the tail store.
+        unsafe {
+            self.region.write_at(off, &len_prefix);
+            self.region.write_at(off + 2, payload);
+        }
     }
 
     /// Producer: appends a record. Fails with [`ShmError::RingFull`] when
@@ -84,34 +148,67 @@ impl NotifyRing {
             });
         }
         let tail = self.tail().load(Ordering::Relaxed); // producer-owned
-        let head = self.head().load(Ordering::Acquire);
-        if tail.wrapping_sub(head) >= self.capacity as u64 {
-            return Err(ShmError::RingFull);
-        }
-        let off = self.record_offset(tail);
-        let len_prefix = (payload.len() as u16).to_le_bytes();
-        // SAFETY: records in [head, head+capacity) are producer-owned until
-        // published via the tail store below.
-        unsafe {
-            self.region.write_at(off, &len_prefix);
-            self.region.write_at(off + 2, payload);
-        }
+        self.ensure_space(tail)?;
+        self.write_record(tail, payload);
         self.tail().store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
+    }
+
+    /// Producer: appends as many records as fit with a single Release
+    /// publish for the whole burst. Returns how many records were
+    /// pushed; stops early (without error) when the ring fills. An
+    /// oversized payload is an error only if it is the first record not
+    /// yet pushed.
+    pub fn push_n<I, F>(&self, payloads: I) -> Result<usize, ShmError>
+    where
+        I: IntoIterator<Item = F>,
+        F: AsRef<[u8]>,
+    {
+        let start = self.tail().load(Ordering::Relaxed); // producer-owned
+        let mut tail = start;
+        let mut pushed = 0usize;
+        for payload in payloads {
+            let payload = payload.as_ref();
+            if payload.len() > MAX_PAYLOAD {
+                if pushed == 0 {
+                    return Err(ShmError::PayloadTooLarge {
+                        len: payload.len(),
+                        slot_size: MAX_PAYLOAD,
+                    });
+                }
+                break;
+            }
+            if self.ensure_space(tail).is_err() {
+                break;
+            }
+            self.write_record(tail, payload);
+            tail = tail.wrapping_add(1);
+            pushed += 1;
+        }
+        if tail != start {
+            self.tail().store(tail, Ordering::Release);
+        }
+        Ok(pushed)
     }
 
     /// Consumer: pops the oldest record into `buf`, returning the payload
     /// length, or `None` if the ring is empty.
     pub fn pop(&self, buf: &mut [u8; MAX_PAYLOAD]) -> Option<usize> {
         let head = self.head().load(Ordering::Relaxed); // consumer-owned
-        let tail = self.tail().load(Ordering::Acquire);
+        let mut tail = self.cached_tail.load(Ordering::Relaxed);
         if head == tail {
-            return None;
+            // Looks empty: pay the cross-core Acquire, which pairs with
+            // the producer's Release store of `tail`.
+            tail = self.tail().load(Ordering::Acquire);
+            self.cached_tail.store(tail, Ordering::Relaxed);
+            if head == tail {
+                return None;
+            }
         }
         let off = self.record_offset(head);
         let mut len_prefix = [0u8; 2];
-        // SAFETY: the record was published by the Release store of `tail`
-        // we just Acquired; producer won't reuse it until `head` advances.
+        // SAFETY: the record was published by a Release store of `tail`
+        // we Acquired; producer won't reuse it until `head` advances.
         unsafe {
             self.region.read_into(off, &mut len_prefix);
             let len = u16::from_le_bytes(len_prefix) as usize;
@@ -120,6 +217,37 @@ impl NotifyRing {
             self.head().store(head.wrapping_add(1), Ordering::Release);
             Some(len)
         }
+    }
+
+    /// Consumer: processes every record published at entry with a single
+    /// Acquire of `tail` and a single Release of `head`, handing each
+    /// payload to `f` as a borrowed slice of the ring — no copies. `f`
+    /// must not call back into this ring. Returns the record count.
+    pub fn drain(&self, mut f: impl FnMut(&[u8])) -> usize {
+        let mut head = self.head().load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail().load(Ordering::Acquire);
+        self.cached_tail.store(tail, Ordering::Relaxed);
+        let mut n = 0usize;
+        while head != tail {
+            let off = self.record_offset(head);
+            let mut len_prefix = [0u8; 2];
+            // SAFETY: published by the Release store of `tail` we
+            // Acquired; producer can't reuse records until `head` is
+            // released below.
+            let payload = unsafe {
+                self.region.read_into(off, &mut len_prefix);
+                let len = u16::from_le_bytes(len_prefix) as usize;
+                debug_assert!(len <= MAX_PAYLOAD);
+                self.region.slice(off + 2, len)
+            };
+            f(payload);
+            head = head.wrapping_add(1);
+            n += 1;
+        }
+        if n > 0 {
+            self.head().store(head, Ordering::Release);
+        }
+        n
     }
 
     /// Records currently queued (racy snapshot).
@@ -193,6 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn push_n_then_drain_round_trips_in_order() {
+        let r = ring(16);
+        let records: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1 + i as usize]).collect();
+        assert_eq!(r.push_n(records.iter()).unwrap(), 10);
+        let mut seen = Vec::new();
+        assert_eq!(r.drain(|p| seen.push(p.to_vec())), 10);
+        assert_eq!(seen, records);
+        assert_eq!(r.drain(|_| panic!("empty")), 0);
+    }
+
+    #[test]
+    fn push_n_stops_at_capacity() {
+        let r = ring(4);
+        let n = r.push_n((0..10u8).map(|i| [i])).unwrap();
+        assert_eq!(n, 4);
+        let mut buf = [0u8; MAX_PAYLOAD];
+        for i in 0..4u8 {
+            assert_eq!(r.pop(&mut buf), Some(1));
+            assert_eq!(buf[0], i);
+        }
+    }
+
+    #[test]
     fn too_small_region_rejected() {
         let region = Arc::new(ShmRegion::new(64));
         assert!(matches!(
@@ -211,7 +362,7 @@ mod tests {
                     loop {
                         match r.push(&i.to_le_bytes()) {
                             Ok(()) => break,
-                            Err(ShmError::RingFull) => std::hint::spin_loop(),
+                            Err(ShmError::RingFull) => std::thread::yield_now(),
                             Err(e) => panic!("{e}"),
                         }
                     }
@@ -228,7 +379,7 @@ mod tests {
                     assert_eq!(got, expected, "out of order or torn");
                     expected += 1;
                 } else {
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 }
             }
         });

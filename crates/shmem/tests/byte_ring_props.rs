@@ -1,0 +1,157 @@
+//! Property tests: the cached-index [`ByteRing`] is observationally a
+//! FIFO byte queue — the same contract as the pre-optimization ring.
+//!
+//! The shadow head/tail caches are pure go-faster state: any random
+//! interleaving of producer ops (`push`, `push_n`) and consumer ops
+//! (`pop`, `pop_into`, `drain`) must deliver every frame intact, in
+//! order, and report `RingFull` only under genuine congestion (never on
+//! an empty ring for a frame that fits).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use oaf_shmem::byte_ring::ByteRing;
+use oaf_shmem::{ShmError, ShmRegion};
+use proptest::prelude::*;
+
+const CAPACITY: u64 = 1024;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(Vec<u8>),
+    PushN(Vec<Vec<u8>>),
+    Pop,
+    PopInto,
+    Drain,
+}
+
+fn frame() -> impl Strategy<Value = Vec<u8>> {
+    // Well under max_frame for CAPACITY, so RingFull can only mean
+    // congestion; large enough relative to CAPACITY to wrap often.
+    proptest::collection::vec(any::<u8>(), 0..160)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => frame().prop_map(Op::Push),
+        2 => proptest::collection::vec(frame(), 1..6).prop_map(Op::PushN),
+        2 => Just(Op::Pop),
+        2 => Just(Op::PopInto),
+        1 => Just(Op::Drain),
+    ]
+}
+
+fn ring() -> ByteRing {
+    let region = Arc::new(ShmRegion::new(ByteRing::required_len(CAPACITY)));
+    ByteRing::new(region, 0, CAPACITY).expect("sized ring")
+}
+
+proptest! {
+    #[test]
+    fn any_op_interleaving_matches_fifo_model(
+        ops in proptest::collection::vec(op(), 1..300),
+    ) {
+        let r = ring();
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut scratch = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(frame) => match r.push(&frame) {
+                    Ok(()) => model.push_back(frame),
+                    Err(ShmError::RingFull) => {
+                        // A fitting frame is only ever refused under
+                        // congestion — an empty ring must accept it.
+                        prop_assert!(!model.is_empty(), "RingFull on empty ring");
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("push: {e}"))),
+                },
+                Op::PushN(burst) => {
+                    let n = r.push_n(burst.iter()).map_err(|e| {
+                        TestCaseError::fail(format!("push_n: {e}"))
+                    })?;
+                    prop_assert!(n <= burst.len());
+                    if n < burst.len() {
+                        prop_assert!(!model.is_empty() || n > 0, "short burst on empty ring");
+                    }
+                    for frame in burst.into_iter().take(n) {
+                        model.push_back(frame);
+                    }
+                }
+                Op::Pop => prop_assert_eq!(r.pop(), model.pop_front()),
+                Op::PopInto => match r.pop_into(&mut scratch) {
+                    Some(n) => {
+                        let want = model.pop_front();
+                        prop_assert!(want.is_some(), "ring had a frame the model lacked");
+                        let want = want.unwrap();
+                        prop_assert_eq!(n, want.len());
+                        prop_assert_eq!(&scratch, &want, "torn frame");
+                    }
+                    None => prop_assert!(model.is_empty(), "ring empty, model not"),
+                },
+                Op::Drain => {
+                    let mut mismatch = None;
+                    let drained = r.drain(|frame| {
+                        if mismatch.is_some() {
+                            return;
+                        }
+                        match model.pop_front() {
+                            Some(want) if frame == &want[..] => {}
+                            Some(want) => {
+                                mismatch = Some(format!(
+                                    "torn or reordered frame: got {} bytes, want {} bytes",
+                                    frame.len(),
+                                    want.len()
+                                ))
+                            }
+                            None => mismatch = Some("ring had a frame the model lacked".into()),
+                        }
+                    });
+                    if let Some(m) = mismatch {
+                        return Err(TestCaseError::fail(m));
+                    }
+                    if drained == 0 {
+                        prop_assert!(model.is_empty(), "drain saw nothing, model not empty");
+                    }
+                }
+            }
+        }
+        // Final flush: ring and model agree to the very end.
+        while let Some(got) = r.pop() {
+            let want = model.pop_front();
+            prop_assert_eq!(Some(got), want);
+        }
+        prop_assert!(model.is_empty(), "model retained frames the ring lost");
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_mid_stream_is_transparent(
+        prefix in proptest::collection::vec(frame(), 0..8),
+        suffix in proptest::collection::vec(frame(), 0..8),
+        consume in 0usize..8,
+    ) {
+        // A clone taken at any point (fresh shadow caches) must observe
+        // exactly the unconsumed frames — a stale cache would tear or
+        // duplicate.
+        let r = ring();
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        for f in &prefix {
+            if r.push(f).is_ok() {
+                model.push_back(f.clone());
+            }
+        }
+        for _ in 0..consume.min(model.len()) {
+            prop_assert_eq!(r.pop(), model.pop_front());
+        }
+        let c = r.clone();
+        for f in &suffix {
+            if c.push(f).is_ok() {
+                model.push_back(f.clone());
+            }
+        }
+        while let Some(got) = c.pop() {
+            prop_assert_eq!(Some(got), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+}
