@@ -121,12 +121,12 @@ fn roundtrip_batched<T: Transport>(
         .expect("target drain");
     assert_eq!(served, qd as usize);
     let completed = client
-        .recv_batch(&mut |frame| {
-            match Pdu::decode_slice(frame.as_slice()).expect("decode resp") {
+        .recv_batch(
+            &mut |frame| match Pdu::decode_slice(frame.as_slice()).expect("decode resp") {
                 Pdu::CapsuleResp(_) => {}
                 other => panic!("unexpected pdu: {other:?}"),
-            }
-        })
+            },
+        )
         .expect("client drain");
     assert_eq!(completed, qd as usize);
 }
@@ -158,8 +158,9 @@ fn bench_roundtrips(c: &mut Criterion) {
 }
 
 type TransportPair = (Box<dyn Transport>, Box<dyn Transport>);
+type TransportCase = (&'static str, fn() -> TransportPair);
 
-fn transports() -> Vec<(&'static str, fn() -> TransportPair)> {
+fn transports() -> Vec<TransportCase> {
     fn shm() -> TransportPair {
         let (a, b) = ShmTransport::pair(256 * 1024);
         (Box::new(a), Box::new(b))
@@ -196,9 +197,8 @@ fn report_allocations(_c: &mut Criterion) {
             ALLOCS.with(Cell::get) as f64 / OPS as f64
         };
         let owned = measure(&mut || roundtrip_owned(&client, &target));
-        let batched = measure(&mut || {
-            roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, 1)
-        });
+        let batched =
+            measure(&mut || roundtrip_batched(&client, &target, &mut c_scratch, &mut t_scratch, 1));
         lines.push(format!(
             "{label}: per-frame {owned:.2} allocs/op, batched {batched:.2} allocs/op"
         ));

@@ -1,0 +1,174 @@
+//! Telemetry hot-path microbenchmarks: the per-record cost of every
+//! primitive the runtime calls inline (counter add, gauge high-water
+//! update, log2 histogram record), the read-side cost of snapshotting
+//! and exporting a realistically-sized registry, and the end-to-end
+//! overhead of explicit per-op recording on a control-path round trip.
+//!
+//! Run:    cargo bench -p oaf-bench --bench telemetry
+//! Smoke:  cargo bench -p oaf-bench --bench telemetry -- --test
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oaf_nvmeof::nvme::command::NvmeCommand;
+use oaf_nvmeof::nvme::completion::NvmeCompletion;
+use oaf_nvmeof::pdu::{CapsuleCmd, CapsuleResp, DataRef, Pdu};
+use oaf_nvmeof::transport::{ShmTransport, Transport};
+use oaf_telemetry::{export, Counter, Gauge, Histo, Registry};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/record");
+    g.throughput(Throughput::Elements(1));
+
+    let counter = Counter::new();
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("counter_add", |b| b.iter(|| counter.add(4096)));
+
+    let gauge = Gauge::new();
+    g.bench_function("gauge_set", |b| b.iter(|| gauge.set(42)));
+    let mut level = 0i64;
+    g.bench_function("gauge_add_sub_hwm", |b| {
+        b.iter(|| {
+            level += 1;
+            gauge.add(1);
+            if level >= 8 {
+                gauge.sub(level);
+                level = 0;
+            }
+        })
+    });
+
+    let histo = Histo::new();
+    let mut v = 0u64;
+    g.bench_function("histo_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histo.record(v >> 34);
+        })
+    });
+    g.finish();
+}
+
+/// A registry shaped like the one a live `AfPair` ends up with: a
+/// handful of scopes, a few dozen counters/gauges, several histograms.
+fn populated_registry() -> Registry {
+    let registry = Registry::new();
+    for scope_name in [
+        "transport_client",
+        "transport_target",
+        "control_ring_client",
+        "control_ring_target",
+        "client",
+        "target",
+        "fabric",
+        "app",
+    ] {
+        let scope = registry.scope(scope_name);
+        for i in 0..6 {
+            let c = scope.counter(&format!("counter{i}"));
+            c.add(i * 1_000_003 + 17);
+            let gauge = scope.gauge(&format!("gauge{i}"));
+            gauge.observe_max(i as i64 * 31);
+        }
+        for i in 0..3 {
+            let h = scope.histo(&format!("lat{i}_ns"));
+            for k in 1..512u64 {
+                h.record(k * k * (i + 1));
+            }
+        }
+    }
+    registry
+}
+
+fn bench_read_side(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/read");
+    let registry = populated_registry();
+    g.bench_function("snapshot", |b| b.iter(|| registry.snapshot()));
+
+    let snap = registry.snapshot();
+    g.bench_function("prometheus_text", |b| {
+        b.iter(|| export::prometheus_text(&snap))
+    });
+    g.bench_function("json", |b| b.iter(|| export::json(&snap)));
+    g.finish();
+}
+
+fn cycle(
+    client: &ShmTransport,
+    target: &ShmTransport,
+    c_scratch: &mut BytesMut,
+    t_scratch: &mut BytesMut,
+) {
+    let cmd = Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::write(7, 1, 64, 32),
+        data: Some(DataRef::ShmSlot {
+            slot: 3,
+            len: 128 * 1024,
+        }),
+    });
+    c_scratch.clear();
+    cmd.encode_into(c_scratch);
+    client.send_frame(c_scratch).expect("send cmd");
+    target
+        .recv_batch(&mut |frame| {
+            let cid = match Pdu::decode_slice(frame.as_slice()).expect("decode cmd") {
+                Pdu::CapsuleCmd(c) => c.cmd.cid,
+                other => panic!("unexpected pdu: {other:?}"),
+            };
+            let resp = Pdu::CapsuleResp(CapsuleResp {
+                completion: NvmeCompletion::ok(cid),
+            });
+            t_scratch.clear();
+            resp.encode_into(t_scratch);
+            target.send_frame(t_scratch).expect("send resp");
+        })
+        .expect("target drain");
+    client
+        .recv_batch(&mut |frame| {
+            Pdu::decode_slice(frame.as_slice()).expect("decode resp");
+        })
+        .expect("client drain");
+}
+
+/// The transport's built-in accounting is always on; this measures how
+/// much *additional* per-op recording costs on top of a full PDU round
+/// trip — the price an application pays for its own counters/histos.
+fn bench_roundtrip_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/roundtrip");
+    g.throughput(Throughput::Elements(1));
+
+    let (client, target) = ShmTransport::pair(256 * 1024);
+    let mut c_scratch = BytesMut::with_capacity(512);
+    let mut t_scratch = BytesMut::with_capacity(512);
+
+    g.bench_function(BenchmarkId::new("shm", "baseline"), |b| {
+        b.iter(|| cycle(&client, &target, &mut c_scratch, &mut t_scratch))
+    });
+
+    let registry = Registry::new();
+    client
+        .metrics()
+        .register(&registry.scope("transport_client"));
+    target
+        .metrics()
+        .register(&registry.scope("transport_target"));
+    let app = registry.scope("app");
+    let ops = app.counter("ops");
+    let lat = app.histo("cycle_ns");
+    g.bench_function(BenchmarkId::new("shm", "plus-app-recording"), |b| {
+        b.iter(|| {
+            let t0 = std::time::Instant::now();
+            cycle(&client, &target, &mut c_scratch, &mut t_scratch);
+            ops.inc();
+            lat.record_nanos(t0.elapsed());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_read_side,
+    bench_roundtrip_overhead
+);
+criterion_main!(benches);

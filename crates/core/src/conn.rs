@@ -23,10 +23,11 @@ use oaf_nvmeof::initiator::{Initiator, InitiatorOptions};
 use oaf_nvmeof::nvme::controller::Controller;
 use oaf_nvmeof::payload::PayloadChannel;
 use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
-use oaf_nvmeof::target::{spawn_target, TargetConfig, TargetHandle};
-use oaf_nvmeof::transport::{ControlTransport, MemTransport, ShmTransport};
+use oaf_nvmeof::target::{spawn_target_observed, TargetConfig, TargetHandle};
+use oaf_nvmeof::transport::{BackoffConfig, ControlTransport, MemTransport, ShmTransport};
 use oaf_nvmeof::{FlowMode, NvmeofError};
 use oaf_shmem::channel::Side;
+use oaf_telemetry::Registry;
 
 use crate::endpoint::{AfEndpoint, ChannelKind};
 use crate::locality::{HostRegistry, ProcessId};
@@ -62,10 +63,17 @@ pub struct FabricSettings {
     /// Per-direction byte-ring capacity for the in-region control path
     /// (a power of two).
     pub control_ring_bytes: u64,
+    /// Busy-poll iterations before a full/empty ring wait starts
+    /// yielding the CPU (in-region control path).
+    pub ring_spin_limit: u32,
+    /// How long a send may wait on a full control ring before giving up
+    /// with `RingFull`.
+    pub ring_full_timeout: Duration,
 }
 
 impl Default for FabricSettings {
     fn default() -> Self {
+        let backoff = BackoffConfig::default();
         FabricSettings {
             depth: 128,
             slot_size: 128 * 1024,
@@ -74,6 +82,18 @@ impl Default for FabricSettings {
             read_chunk: 128 * 1024,
             control: ControlPath::Tcp,
             control_ring_bytes: 256 * 1024,
+            ring_spin_limit: backoff.spin_limit,
+            ring_full_timeout: backoff.send_full_timeout,
+        }
+    }
+}
+
+impl FabricSettings {
+    /// The ring-wait tuning these settings select.
+    pub fn backoff(&self) -> BackoffConfig {
+        BackoffConfig {
+            spin_limit: self.ring_spin_limit,
+            send_full_timeout: self.ring_full_timeout,
         }
     }
 }
@@ -94,17 +114,63 @@ pub struct EstablishedFabric {
 /// The Connection Manager.
 pub struct ConnectionManager {
     registry: Arc<HostRegistry>,
+    telemetry: Arc<Registry>,
 }
 
 impl ConnectionManager {
-    /// Creates a manager over a helper-process registry.
+    /// Creates a manager over a helper-process registry with a fresh
+    /// telemetry registry.
     pub fn new(registry: Arc<HostRegistry>) -> Self {
-        ConnectionManager { registry }
+        Self::with_telemetry(registry, Arc::new(Registry::new()))
+    }
+
+    /// Creates a manager publishing into an existing telemetry registry
+    /// (one registry can observe several managers or other subsystems).
+    pub fn with_telemetry(registry: Arc<HostRegistry>, telemetry: Arc<Registry>) -> Self {
+        ConnectionManager {
+            registry,
+            telemetry,
+        }
     }
 
     /// The registry (for registering processes).
     pub fn registry(&self) -> &Arc<HostRegistry> {
         &self.registry
+    }
+
+    /// The telemetry registry every fabric this manager establishes
+    /// reports into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// Publishes the fabric-level decisions and the settings in effect
+    /// into the `fabric` scope: which locality verdict was reached, which
+    /// control path was selected, and the tunables the connection runs
+    /// with.
+    fn record_fabric(&self, settings: &FabricSettings, local: bool, in_region: bool) {
+        let fab = self.telemetry.scope("fabric");
+        if local {
+            fab.counter("locality_local").inc();
+        } else {
+            fab.counter("locality_remote").inc();
+        }
+        if in_region {
+            fab.counter("control_in_region").inc();
+        } else {
+            fab.counter("control_tcp").inc();
+        }
+        fab.gauge("depth").set(settings.depth as i64);
+        fab.gauge("slot_size").set(settings.slot_size as i64);
+        fab.gauge("in_capsule_max")
+            .set(settings.in_capsule_max as i64);
+        fab.gauge("read_chunk").set(settings.read_chunk as i64);
+        fab.gauge("control_ring_bytes")
+            .set(settings.control_ring_bytes as i64);
+        fab.gauge("ring_spin_limit")
+            .set(settings.ring_spin_limit as i64);
+        fab.gauge("ring_full_timeout_ms")
+            .set(settings.ring_full_timeout.as_millis() as i64);
     }
 
     /// Establishes a connection between a registered client and target,
@@ -135,14 +201,28 @@ impl ConnectionManager {
         // it): the control connection. In-region control (§5.5) needs
         // co-location, so it rides the same locality verdict as the data
         // channel and falls back to the TCP stand-in otherwise.
-        let (client_tr, target_tr) =
-            if settings.control == ControlPath::InRegion && hotplug.is_some() {
-                let (c, t) = ShmTransport::pair(settings.control_ring_bytes);
-                (ControlTransport::Shm(c), ControlTransport::Shm(t))
-            } else {
-                let (c, t) = MemTransport::pair();
-                (ControlTransport::Mem(c), ControlTransport::Mem(t))
-            };
+        let (client_tr, target_tr) = if settings.control == ControlPath::InRegion
+            && hotplug.is_some()
+        {
+            let (c, t) = ShmTransport::pair_with(settings.control_ring_bytes, settings.backoff());
+            // The in-region path also exposes producer-side ring
+            // occupancy and full events per endpoint.
+            c.tx_ring_stats()
+                .register(&self.telemetry.scope("control_ring_client"));
+            t.tx_ring_stats()
+                .register(&self.telemetry.scope("control_ring_target"));
+            (ControlTransport::Shm(c), ControlTransport::Shm(t))
+        } else {
+            let (c, t) = MemTransport::pair();
+            (ControlTransport::Mem(c), ControlTransport::Mem(t))
+        };
+        self.record_fabric(settings, hotplug.is_some(), client_tr.is_in_region());
+        client_tr
+            .metrics()
+            .register(&self.telemetry.scope("transport_client"));
+        target_tr
+            .metrics()
+            .register(&self.telemetry.scope("transport_target"));
 
         // Step 3: target side comes up first (it answers the ICReq).
         let target_cfg = TargetConfig {
@@ -151,11 +231,12 @@ impl ConnectionManager {
             af_caps: AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY,
             target_id: target.0,
         };
-        let target_handle = spawn_target(
+        let target_handle = spawn_target_observed(
             target_tr,
             controller,
             target_cfg,
             target_shm.map(|t| t as Arc<dyn PayloadChannel>),
+            Some(&self.telemetry),
         );
 
         // Step 4: client handshake with the capabilities locality allows.
@@ -176,6 +257,9 @@ impl ConnectionManager {
             client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
             Duration::from_secs(5),
         )?;
+        initiator
+            .metrics()
+            .register(&self.telemetry.scope("client"));
 
         // Step 5: connect the AF endpoint object.
         let channel = if initiator.shm_active() {

@@ -22,6 +22,7 @@ use crate::conn::{ConnectionManager, EstablishedFabric, FabricSettings};
 use crate::endpoint::AfEndpoint;
 use crate::locality::{HostRegistry, ProcessId};
 use crate::stats::{ClientStats, StatsSnapshot};
+use oaf_telemetry::Registry;
 
 /// Default I/O timeout for the blocking convenience API.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
@@ -44,6 +45,11 @@ pub struct AfPair {
     pub client: AfClient,
     /// The running target.
     pub target: oaf_nvmeof::target::TargetHandle,
+    /// Telemetry registry every layer of this fabric reports into:
+    /// initiator (`client`), target (`target`), both transport endpoints,
+    /// the in-region control rings when active, fabric decisions
+    /// (`fabric`), and the client's application view (`app`).
+    pub telemetry: Arc<Registry>,
 }
 
 /// One-call setup: registers both processes, establishes the fabric, and
@@ -98,15 +104,19 @@ pub fn launch(
         settings.depth.max(8),
     );
     let bufmgr = BufferManager::new(pool, shm);
+    let stats = ClientStats::new();
+    let telemetry = cm.telemetry().clone();
+    stats.register(&telemetry.scope("app"));
     Ok(AfPair {
         client: AfClient {
             initiator,
             bufmgr,
             endpoint,
-            stats: ClientStats::new(),
+            stats,
             inflight_meta: std::collections::HashMap::new(),
         },
         target,
+        telemetry,
     })
 }
 
@@ -117,6 +127,10 @@ pub struct AfGroup {
     pub clients: Vec<AfClient>,
     /// The single storage-service reactor serving all of them.
     pub target: oaf_nvmeof::target::TargetHandle,
+    /// Telemetry registry with per-connection scopes: `client<i>`,
+    /// `target_conn<i>`, `transport_client<i>`, and `app<i>` for each
+    /// requested client index.
+    pub telemetry: Arc<Registry>,
 }
 
 /// Multi-client setup matching the paper's architecture (Fig. 1): one
@@ -133,17 +147,20 @@ pub fn launch_many(
     use oaf_nvmeof::initiator::InitiatorOptions;
     use oaf_nvmeof::payload::PayloadChannel;
     use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
-    use oaf_nvmeof::server::{spawn_multi, ConnectionSpec};
+    use oaf_nvmeof::server::{spawn_multi_observed, ConnectionSpec};
     use oaf_nvmeof::target::TargetConfig;
     use oaf_shmem::channel::Side;
 
     registry.register(target.0, target.1);
+    let telemetry = Arc::new(Registry::new());
     let mut specs = Vec::new();
     let mut client_sides = Vec::new();
-    for &(pid, host) in clients {
+    for (i, &(pid, host)) in clients.iter().enumerate() {
         registry.register(pid, host);
         let (ct, tt) = MemTransport::pair();
         let ct = ControlTransport::Mem(ct);
+        ct.metrics()
+            .register(&telemetry.scope(&format!("transport_client{i}")));
         // The helper process hot-plugs an isolated region per co-located
         // client (the §6 security model).
         let hotplug = registry.hotplug(pid, target.0, settings.depth, settings.slot_size);
@@ -169,13 +186,14 @@ pub fn launch_many(
                 target_id: target.0 .0,
             },
             payload: target_shm.map(|t| t as Arc<dyn PayloadChannel>),
+            scope: Some(format!("target_conn{i}")),
         });
         client_sides.push((pid, ct, client_shm));
     }
-    let target_handle = spawn_multi(controller, specs);
+    let target_handle = spawn_multi_observed(controller, specs, Some(&telemetry));
 
     let mut afs = Vec::new();
-    for (pid, ct, client_shm) in client_sides {
+    for (i, (pid, ct, client_shm)) in client_sides.into_iter().enumerate() {
         let af_caps = if client_shm.is_some() {
             AF_CAP_SHM | AF_CAP_SHM_INCAPSULE | AF_CAP_ZERO_COPY
         } else {
@@ -192,6 +210,9 @@ pub fn launch_many(
             client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
             Duration::from_secs(5),
         )?;
+        initiator
+            .metrics()
+            .register(&telemetry.scope(&format!("client{i}")));
         let endpoint = AfEndpoint::new(pid.0);
         endpoint.connect(
             target.0 .0,
@@ -205,17 +226,20 @@ pub fn launch_many(
             settings.slot_size.max(settings.read_chunk) * 2,
             settings.depth.max(8),
         );
+        let stats = ClientStats::new();
+        stats.register(&telemetry.scope(&format!("app{i}")));
         afs.push(AfClient {
             initiator,
             bufmgr: BufferManager::new(pool, client_shm),
             endpoint,
-            stats: ClientStats::new(),
+            stats,
             inflight_meta: std::collections::HashMap::new(),
         });
     }
     Ok(AfGroup {
         clients: afs,
         target: target_handle,
+        telemetry,
     })
 }
 

@@ -2,13 +2,15 @@
 //!
 //! A storage service operator needs to see what each fabric connection is
 //! doing — ops, bytes, channel mix, latency of the synchronous paths —
-//! without perturbing the data path. [`ClientStats`] is a set of relaxed
-//! atomic counters the runtime updates inline; reading them is free of
-//! locks and safe from any thread.
+//! without perturbing the data path. [`ClientStats`] is a thin shim over
+//! [`oaf_telemetry`] counters the runtime updates inline; reading them is
+//! free of locks and safe from any thread, and the same handles can be
+//! published into a [`oaf_telemetry::Registry`] scope for export.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use oaf_telemetry::{Counter, Scope};
 
 /// Snapshot of a client's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,13 +61,13 @@ impl StatsSnapshot {
 /// Lock-free counter set shared between the client and its observers.
 #[derive(Default)]
 pub struct ClientStats {
-    writes: AtomicU64,
-    reads: AtomicU64,
-    bytes_written: AtomicU64,
-    bytes_read: AtomicU64,
-    zero_copy_writes: AtomicU64,
-    errors: AtomicU64,
-    blocking_micros: AtomicU64,
+    writes: Counter,
+    reads: Counter,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    zero_copy_writes: Counter,
+    errors: Counter,
+    blocking_micros: Counter,
 }
 
 impl ClientStats {
@@ -74,43 +76,54 @@ impl ClientStats {
         Arc::new(ClientStats::default())
     }
 
+    /// Publishes every counter into `scope`, so the client's application
+    /// view exports alongside the rest of the runtime telemetry.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("writes", &self.writes);
+        scope.adopt_counter("reads", &self.reads);
+        scope.adopt_counter("bytes_written", &self.bytes_written);
+        scope.adopt_counter("bytes_read", &self.bytes_read);
+        scope.adopt_counter("zero_copy_writes", &self.zero_copy_writes);
+        scope.adopt_counter("errors", &self.errors);
+        scope.adopt_counter("blocking_micros", &self.blocking_micros);
+    }
+
     /// Records a completed write of `bytes` (zero-copy or not).
     pub fn record_write(&self, bytes: u64, zero_copy: bool) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.inc();
+        self.bytes_written.add(bytes);
         if zero_copy {
-            self.zero_copy_writes.fetch_add(1, Ordering::Relaxed);
+            self.zero_copy_writes.inc();
         }
     }
 
     /// Records a completed read of `bytes`.
     pub fn record_read(&self, bytes: u64) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.inc();
+        self.bytes_read.add(bytes);
     }
 
     /// Records a failed operation.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Adds blocking wall-clock time.
     pub fn record_blocking(&self, d: Duration) {
-        self.blocking_micros
-            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        self.blocking_micros.add(d.as_micros() as u64);
     }
 
     /// A coherent-enough snapshot (individual counters are exact; the set
     /// is racy by design — observability, not accounting).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            writes: self.writes.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            zero_copy_writes: self.zero_copy_writes.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            blocking_micros: self.blocking_micros.load(Ordering::Relaxed),
+            writes: self.writes.get(),
+            reads: self.reads.get(),
+            bytes_written: self.bytes_written.get(),
+            bytes_read: self.bytes_read.get(),
+            zero_copy_writes: self.zero_copy_writes.get(),
+            errors: self.errors.get(),
+            blocking_micros: self.blocking_micros.get(),
         }
     }
 }
@@ -168,5 +181,16 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.writes, 40_000);
         assert_eq!(snap.reads, 40_000);
+    }
+
+    #[test]
+    fn registers_into_a_registry_scope() {
+        let s = ClientStats::new();
+        s.record_write(4096, true);
+        let registry = oaf_telemetry::Registry::new();
+        s.register(&registry.scope("app"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("app", "writes"), 1);
+        assert_eq!(snap.counter("app", "bytes_written"), 4096);
     }
 }

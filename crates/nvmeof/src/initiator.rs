@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use bytes::{Bytes, BytesMut};
 
 use crate::error::NvmeofError;
+use crate::metrics::InitiatorMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
 use crate::nvme::completion::Status;
 use crate::nvme::controller::IdentifyInfo;
@@ -51,6 +52,7 @@ struct PendingIo {
     read_buf: Vec<u8>,
     stashed_write: Option<Bytes>,
     completion: Option<Status>,
+    submitted_at: Instant,
 }
 
 /// Outcome of a completed I/O.
@@ -79,6 +81,7 @@ struct ClientState {
     /// handed to [`Transport::send_frame`], so the steady state
     /// allocates nothing on the send side.
     scratch: BytesMut,
+    metrics: Arc<InitiatorMetrics>,
 }
 
 /// An NVMe-oF initiator over a transport.
@@ -97,6 +100,23 @@ impl ClientState {
                 return cid;
             }
         }
+    }
+
+    /// Registers a new in-flight command and bumps the queue-depth
+    /// telemetry (the map insert reuses freed capacity in steady state).
+    fn track(&mut self, cid: u16, opcode: Opcode, read_buf: Vec<u8>, stashed_write: Option<Bytes>) {
+        self.pending.insert(
+            cid,
+            PendingIo {
+                opcode,
+                read_buf,
+                stashed_write,
+                completion: None,
+                submitted_at: Instant::now(),
+            },
+        );
+        self.metrics.submitted.inc();
+        self.metrics.inflight.add(1);
     }
 
     /// Encodes `pdu` into the connection scratch and sends the borrowed
@@ -160,6 +180,7 @@ impl<T: Transport> Initiator<T> {
                 // Control PDUs top out well under this; sized so the
                 // steady state never regrows it.
                 scratch: BytesMut::with_capacity(256),
+                metrics: InitiatorMetrics::new(),
             },
         })
     }
@@ -177,6 +198,12 @@ impl<T: Transport> Initiator<T> {
     /// Number of commands in flight.
     pub fn inflight(&self) -> usize {
         self.state.pending.len()
+    }
+
+    /// This connection's metric bundle (detached until registered into
+    /// a [`oaf_telemetry::Registry`] scope).
+    pub fn metrics(&self) -> &Arc<InitiatorMetrics> {
+        &self.state.metrics
     }
 
     /// Submits a write of `data` (must be `nlb * block_size` bytes).
@@ -201,7 +228,11 @@ impl<T: Transport> Initiator<T> {
             // Shared-memory flow control: payload parks in the region and
             // the command alone reaches the target (§4.4.2 swaps steps ①
             // and ③ of Fig. 7 and drops R2T + H2C).
-            let ch = self.state.payload.as_ref().expect("use_shm implies channel");
+            let ch = self
+                .state
+                .payload
+                .as_ref()
+                .expect("use_shm implies channel");
             let (slot, len) = ch.publish(&data)?;
             Some(DataRef::ShmSlot { slot, len })
         } else if !use_shm && data.len() <= self.state.in_capsule_max {
@@ -213,15 +244,7 @@ impl<T: Transport> Initiator<T> {
             stashed = Some(data.clone());
             None
         };
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Write,
-                read_buf: Vec::new(),
-                stashed_write: stashed,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::Write, Vec::new(), stashed);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -251,15 +274,7 @@ impl<T: Transport> Initiator<T> {
         }
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Write,
-                read_buf: Vec::new(),
-                stashed_write: None,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::Write, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -281,17 +296,12 @@ impl<T: Transport> Initiator<T> {
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Read,
-                read_buf: vec![0u8; expected_len],
-                stashed_write: None,
-                completion: None,
-            },
-        );
         self.state
-            .send_pdu(&self.transport, &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }))?;
+            .track(cid, Opcode::Read, vec![0u8; expected_len], None);
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
+        )?;
         Ok(cid)
     }
 
@@ -316,7 +326,11 @@ impl<T: Transport> Initiator<T> {
                 .is_some_and(|ch| data.len() <= ch.max_payload());
         let mut stashed = None;
         let capsule_data = if use_shm {
-            let ch = self.state.payload.as_ref().expect("use_shm implies channel");
+            let ch = self
+                .state
+                .payload
+                .as_ref()
+                .expect("use_shm implies channel");
             let (slot, len) = ch.publish(&data)?;
             Some(DataRef::ShmSlot { slot, len })
         } else if data.len() <= self.state.in_capsule_max {
@@ -325,15 +339,7 @@ impl<T: Transport> Initiator<T> {
             stashed = Some(data.clone());
             None
         };
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Compare,
-                read_buf: Vec::new(),
-                stashed_write: stashed,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::Compare, Vec::new(), stashed);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -352,15 +358,7 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::WriteZeroes,
-                read_buf: Vec::new(),
-                stashed_write: None,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::WriteZeroes, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -374,15 +372,7 @@ impl<T: Transport> Initiator<T> {
     /// Submits a flush.
     pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Flush,
-                read_buf: Vec::new(),
-                stashed_write: None,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::Flush, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -525,6 +515,14 @@ impl ClientState {
                     )));
                 };
                 pending.completion = Some(r.completion.status);
+                self.metrics.completions.inc();
+                self.metrics.inflight.sub(1);
+                if !r.completion.status.is_ok() {
+                    self.metrics.errors.inc();
+                }
+                self.metrics
+                    .latency(pending.opcode)
+                    .record_nanos(pending.submitted_at.elapsed());
                 self.completed.push(IoResult {
                     cid,
                     status: r.completion.status,
@@ -581,15 +579,7 @@ impl<T: Transport> Initiator<T> {
     /// Queries namespace geometry.
     pub fn identify(&mut self, nsid: u32, timeout: Duration) -> Result<IdentifyInfo, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.pending.insert(
-            cid,
-            PendingIo {
-                opcode: Opcode::Identify,
-                read_buf: Vec::new(),
-                stashed_write: None,
-                completion: None,
-            },
-        );
+        self.state.track(cid, Opcode::Identify, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -613,8 +603,10 @@ impl<T: Transport> Initiator<T> {
 
     /// Sends a termination request.
     pub fn disconnect(&mut self) -> Result<(), NvmeofError> {
-        self.state
-            .send_pdu(&self.transport, &Pdu::TermReq(crate::pdu::TermReq { reason: 0 }))
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::TermReq(crate::pdu::TermReq { reason: 0 }),
+        )
     }
 }
 

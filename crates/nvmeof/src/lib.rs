@@ -35,6 +35,7 @@
 pub mod discovery;
 pub mod error;
 pub mod initiator;
+pub mod metrics;
 pub mod nvme;
 pub mod payload;
 pub mod pdu;
@@ -44,6 +45,7 @@ pub mod transport;
 
 pub use error::NvmeofError;
 pub use initiator::Initiator;
+pub use metrics::{InitiatorMetrics, TargetMetrics, TransportMetrics};
 pub use payload::PayloadChannel;
 pub use target::{TargetConfig, TargetConnection};
 

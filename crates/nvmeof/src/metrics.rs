@@ -1,0 +1,264 @@
+//! Metric bundles for the NVMe-oF data plane.
+//!
+//! Each bundle is a plain struct of `Arc`-backed [`oaf_telemetry`]
+//! handles, created *detached* alongside the subsystem it instruments
+//! (transport endpoint, initiator, target connection) so the hot path
+//! never branches on "is telemetry enabled" — recording is always a few
+//! relaxed atomics. `register` publishes the same handles into a
+//! [`Scope`] at wiring time; until then the numbers simply accumulate
+//! unobserved.
+
+use crate::nvme::command::Opcode;
+use oaf_telemetry::{Counter, Gauge, Histo, Scope};
+use std::sync::Arc;
+
+/// Per-endpoint transport counters: frame/byte flow, batch shape, the
+/// owned-vs-borrowed receive split, and congestion/backoff behavior.
+#[derive(Default, Debug)]
+pub struct TransportMetrics {
+    /// Frames successfully handed to the peer.
+    pub frames_sent: Counter,
+    /// Payload bytes successfully handed to the peer.
+    pub bytes_sent: Counter,
+    /// Frames received from the peer.
+    pub frames_received: Counter,
+    /// Payload bytes received from the peer.
+    pub bytes_received: Counter,
+    /// `recv_batch` burst sizes (only non-empty batches are recorded,
+    /// so idle polls don't swamp the distribution).
+    pub batch_sizes: Histo,
+    /// Frames delivered as borrowed ring slices (zero-copy path).
+    pub frames_borrowed: Counter,
+    /// Frames delivered as owned buffers (copy or channel hand-off).
+    pub frames_owned: Counter,
+    /// Sends that exhausted the full-ring backoff and gave up with
+    /// [`crate::error::NvmeofError::RingFull`].
+    pub ring_full: Counter,
+    /// Busy-poll iterations spent waiting on a ring (send or receive).
+    pub backoff_spins: Counter,
+    /// `yield_now` calls spent waiting on a ring (send or receive).
+    pub backoff_yields: Counter,
+}
+
+impl TransportMetrics {
+    /// Fresh, detached bundle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish every metric of this bundle into `scope`.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("frames_sent", &self.frames_sent);
+        scope.adopt_counter("bytes_sent", &self.bytes_sent);
+        scope.adopt_counter("frames_received", &self.frames_received);
+        scope.adopt_counter("bytes_received", &self.bytes_received);
+        scope.adopt_histo("batch_sizes", &self.batch_sizes);
+        scope.adopt_counter("frames_borrowed", &self.frames_borrowed);
+        scope.adopt_counter("frames_owned", &self.frames_owned);
+        scope.adopt_counter("ring_full", &self.ring_full);
+        scope.adopt_counter("backoff_spins", &self.backoff_spins);
+        scope.adopt_counter("backoff_yields", &self.backoff_yields);
+    }
+
+    #[inline]
+    pub(crate) fn on_send(&self, bytes: usize) {
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes as u64);
+    }
+
+    #[inline]
+    pub(crate) fn on_send_burst(&self, frames: u64, bytes: u64) {
+        self.frames_sent.add(frames);
+        self.bytes_sent.add(bytes);
+    }
+
+    #[inline]
+    pub(crate) fn on_recv_owned(&self, bytes: usize) {
+        self.frames_received.inc();
+        self.bytes_received.add(bytes as u64);
+        self.frames_owned.inc();
+    }
+
+    #[inline]
+    pub(crate) fn on_recv_borrowed(&self, bytes: usize) {
+        self.frames_received.inc();
+        self.bytes_received.add(bytes as u64);
+        self.frames_borrowed.inc();
+    }
+
+    /// Record a completed wait (successful or not) on a ring.
+    #[inline]
+    pub(crate) fn on_backoff(&self, spins: u64, yields: u64) {
+        if spins > 0 {
+            self.backoff_spins.add(spins);
+        }
+        if yields > 0 {
+            self.backoff_yields.add(yields);
+        }
+    }
+}
+
+/// Number of distinct opcodes the per-opcode latency table covers.
+pub const OPCODES: usize = 6;
+
+/// Dense index for the per-opcode latency table.
+#[inline]
+pub fn opcode_index(op: Opcode) -> usize {
+    match op {
+        Opcode::Flush => 0,
+        Opcode::Write => 1,
+        Opcode::Read => 2,
+        Opcode::Compare => 3,
+        Opcode::Identify => 4,
+        Opcode::WriteZeroes => 5,
+    }
+}
+
+const OPCODE_NAMES: [&str; OPCODES] = [
+    "flush",
+    "write",
+    "read",
+    "compare",
+    "identify",
+    "write_zeroes",
+];
+
+/// Initiator-side view of the command stream: queue depth, volume, and
+/// per-opcode submit→completion latency distributions (nanoseconds).
+#[derive(Debug)]
+pub struct InitiatorMetrics {
+    /// Commands submitted (all opcodes).
+    pub submitted: Counter,
+    /// Completions received.
+    pub completions: Counter,
+    /// Completions carrying a non-success NVMe status.
+    pub errors: Counter,
+    /// Commands currently in flight; `hwm()` is the deepest the queue
+    /// has ever been.
+    pub inflight: Gauge,
+    latency: [Histo; OPCODES],
+}
+
+impl Default for InitiatorMetrics {
+    fn default() -> Self {
+        InitiatorMetrics {
+            submitted: Counter::new(),
+            completions: Counter::new(),
+            errors: Counter::new(),
+            inflight: Gauge::new(),
+            latency: std::array::from_fn(|_| Histo::new()),
+        }
+    }
+}
+
+impl InitiatorMetrics {
+    /// Fresh, detached bundle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Submit→completion latency distribution for one opcode.
+    #[inline]
+    pub fn latency(&self, op: Opcode) -> &Histo {
+        &self.latency[opcode_index(op)]
+    }
+
+    /// Publish every metric of this bundle into `scope`.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("submitted", &self.submitted);
+        scope.adopt_counter("completions", &self.completions);
+        scope.adopt_counter("errors", &self.errors);
+        scope.adopt_gauge("inflight", &self.inflight);
+        for (i, h) in self.latency.iter().enumerate() {
+            scope.adopt_histo(&format!("lat_{}_ns", OPCODE_NAMES[i]), h);
+        }
+    }
+}
+
+/// Target-side view of one connection: commands served by opcode class,
+/// flow-control events, and payload placement.
+#[derive(Default, Debug)]
+pub struct TargetMetrics {
+    /// Commands executed against the namespace (all opcodes).
+    pub ops: Counter,
+    /// Response capsules produced.
+    pub responses: Counter,
+    /// R2T grants issued (conservative write flow).
+    pub r2t_grants: Counter,
+    /// Write payloads that arrived as shared-memory slot references.
+    pub shm_payloads: Counter,
+    /// Write payloads that arrived inline in the capsule/H2C stream.
+    pub inline_payloads: Counter,
+    /// Commands that completed with a non-success NVMe status.
+    pub errors: Counter,
+}
+
+impl TargetMetrics {
+    /// Fresh, detached bundle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish every metric of this bundle into `scope`.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("ops", &self.ops);
+        scope.adopt_counter("responses", &self.responses);
+        scope.adopt_counter("r2t_grants", &self.r2t_grants);
+        scope.adopt_counter("shm_payloads", &self.shm_payloads);
+        scope.adopt_counter("inline_payloads", &self.inline_payloads);
+        scope.adopt_counter("errors", &self.errors);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_telemetry::Registry;
+
+    #[test]
+    fn opcode_table_is_dense_and_total() {
+        let ops = [
+            Opcode::Flush,
+            Opcode::Write,
+            Opcode::Read,
+            Opcode::Compare,
+            Opcode::Identify,
+            Opcode::WriteZeroes,
+        ];
+        let mut seen = [false; OPCODES];
+        for op in ops {
+            let i = opcode_index(op);
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn initiator_metrics_register_per_opcode_histos() {
+        let m = InitiatorMetrics::new();
+        m.latency(Opcode::Read).record(500);
+        m.latency(Opcode::Write).record(900);
+        let registry = Registry::new();
+        m.register(&registry.scope("client"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.histo("client", "lat_read_ns").unwrap().count, 1);
+        assert_eq!(snap.histo("client", "lat_write_ns").unwrap().count, 1);
+        assert_eq!(snap.histo("client", "lat_flush_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn transport_metrics_register_all() {
+        let m = TransportMetrics::new();
+        m.on_send(64);
+        m.on_recv_borrowed(64);
+        m.batch_sizes.record(1);
+        let registry = Registry::new();
+        m.register(&registry.scope("transport"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("transport", "frames_sent"), 1);
+        assert_eq!(snap.counter("transport", "bytes_received"), 64);
+        assert_eq!(snap.counter("transport", "frames_borrowed"), 1);
+        assert_eq!(snap.histo("transport", "batch_sizes").unwrap().count, 1);
+    }
+}

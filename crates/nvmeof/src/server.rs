@@ -19,6 +19,7 @@ use crate::payload::PayloadChannel;
 use crate::pdu::Pdu;
 use crate::target::{TargetConfig, TargetConnection, TargetHandle};
 use crate::transport::Transport;
+use oaf_telemetry::Registry;
 
 /// One client connection a [`spawn_multi`] reactor services.
 pub struct ConnectionSpec {
@@ -29,6 +30,9 @@ pub struct ConnectionSpec {
     /// The connection's isolated payload channel, if the client is
     /// co-located.
     pub payload: Option<Arc<dyn PayloadChannel>>,
+    /// Telemetry scope name for this connection's target-side metrics
+    /// (`target_conn<index>` when `None` and a registry is supplied).
+    pub scope: Option<String>,
 }
 
 struct LiveConnection {
@@ -44,22 +48,43 @@ struct LiveConnection {
 /// Spawns one reactor servicing `conns` connections over a shared
 /// controller. The reactor exits once every connection has terminated or
 /// the handle requests shutdown.
-pub fn spawn_multi(mut controller: Controller, conns: Vec<ConnectionSpec>) -> TargetHandle {
+pub fn spawn_multi(controller: Controller, conns: Vec<ConnectionSpec>) -> TargetHandle {
+    spawn_multi_observed(controller, conns, None)
+}
+
+/// [`spawn_multi`] with telemetry: each connection's target-side metric
+/// bundle is registered into `registry` under the spec's scope name (or
+/// `target_conn<index>`) before the reactor starts, so observers see the
+/// per-connection split from the first served command.
+pub fn spawn_multi_observed(
+    mut controller: Controller,
+    conns: Vec<ConnectionSpec>,
+    registry: Option<&Registry>,
+) -> TargetHandle {
+    let live_init: Vec<LiveConnection> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let conn = TargetConnection::new(c.cfg, c.payload);
+            if let Some(reg) = registry {
+                let name = c.scope.unwrap_or_else(|| format!("target_conn{i}"));
+                conn.metrics().register(&reg.scope(&name));
+            }
+            LiveConnection {
+                conn,
+                transport: c.transport,
+                alive: true,
+                out: Vec::new(),
+                scratch: BytesMut::with_capacity(4096),
+            }
+        })
+        .collect();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let join = std::thread::Builder::new()
         .name("nvmeof-target-multi".into())
         .spawn(move || {
-            let mut live: Vec<LiveConnection> = conns
-                .into_iter()
-                .map(|c| LiveConnection {
-                    conn: TargetConnection::new(c.cfg, c.payload),
-                    transport: c.transport,
-                    alive: true,
-                    out: Vec::new(),
-                    scratch: BytesMut::with_capacity(4096),
-                })
-                .collect();
+            let mut live = live_init;
             while !stop2.load(Ordering::Acquire) && live.iter().any(|l| l.alive) {
                 let mut idle = true;
                 for l in live.iter_mut() {
@@ -152,11 +177,13 @@ mod tests {
                     transport: Box::new(t1),
                     cfg: TargetConfig::default(),
                     payload: None,
+                    scope: None,
                 },
                 ConnectionSpec {
                     transport: Box::new(t2),
                     cfg: TargetConfig::default(),
                     payload: None,
+                    scope: None,
                 },
             ],
         );
@@ -200,11 +227,13 @@ mod tests {
                     transport: Box::new(t1),
                     cfg: TargetConfig::default(),
                     payload: None,
+                    scope: None,
                 },
                 ConnectionSpec {
                     transport: Box::new(t2),
                     cfg: TargetConfig::default(),
                     payload: None,
+                    scope: None,
                 },
             ],
         );

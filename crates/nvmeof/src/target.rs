@@ -14,7 +14,9 @@ use std::time::Duration;
 use bytes::{Bytes, BytesMut};
 
 use crate::error::NvmeofError;
+use crate::metrics::TargetMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
+use crate::nvme::completion::NvmeCompletion;
 use crate::nvme::controller::Controller;
 use crate::payload::PayloadChannel;
 use crate::pdu::{
@@ -64,6 +66,7 @@ pub struct TargetConnection {
     pending_writes: std::collections::HashMap<u16, PendingWrite>,
     payload: Option<Arc<dyn PayloadChannel>>,
     terminated: bool,
+    metrics: Arc<TargetMetrics>,
 }
 
 impl TargetConnection {
@@ -78,12 +81,29 @@ impl TargetConnection {
             pending_writes: std::collections::HashMap::new(),
             payload,
             terminated: false,
+            metrics: TargetMetrics::new(),
         }
     }
 
     /// Whether the peer requested termination.
     pub fn terminated(&self) -> bool {
         self.terminated
+    }
+
+    /// This connection's metric bundle (detached until registered into
+    /// a [`oaf_telemetry::Registry`] scope).
+    pub fn metrics(&self) -> &Arc<TargetMetrics> {
+        &self.metrics
+    }
+
+    /// Counts an executed command and emits its response capsule.
+    fn finish(&self, comp: NvmeCompletion, out: &mut Vec<Pdu>) {
+        self.metrics.ops.inc();
+        if !comp.status.is_ok() {
+            self.metrics.errors.inc();
+        }
+        self.metrics.responses.inc();
+        out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
     }
 
     /// Whether the shared-memory data path was negotiated.
@@ -179,7 +199,7 @@ impl TargetConnection {
                         data: DataRef::Inline(Bytes::from(data)),
                     }));
                 }
-                out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+                self.finish(comp, out);
                 Ok(())
             }
         }
@@ -187,8 +207,12 @@ impl TargetConnection {
 
     fn materialize(&self, data: DataRef) -> Result<Vec<u8>, NvmeofError> {
         match data {
-            DataRef::Inline(b) => Ok(b.to_vec()),
+            DataRef::Inline(b) => {
+                self.metrics.inline_payloads.inc();
+                Ok(b.to_vec())
+            }
             DataRef::ShmSlot { slot, len } => {
+                self.metrics.shm_payloads.inc();
                 let ch = self
                     .payload
                     .as_ref()
@@ -224,7 +248,7 @@ impl TargetConnection {
                 }
                 let buf = self.materialize(data)?;
                 let (comp, _) = ctrl.execute(&cmd, Some(&buf));
-                out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+                self.finish(comp, out);
                 Ok(())
             }
             None => {
@@ -240,6 +264,7 @@ impl TargetConnection {
                         received: 0,
                     },
                 );
+                self.metrics.r2t_grants.inc();
                 out.push(Pdu::R2T(R2T {
                     cid: cmd.cid,
                     ttag,
@@ -271,7 +296,7 @@ impl TargetConnection {
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
             let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
-            out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+            self.finish(comp, out);
         }
         Ok(())
     }
@@ -330,7 +355,7 @@ impl TargetConnection {
                 }
             }
         }
-        out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+        self.finish(comp, out);
         Ok(())
     }
 
@@ -384,16 +409,33 @@ impl Drop for TargetHandle {
 /// Spawns a polled target reactor serving one connection.
 pub fn spawn_target<T: Transport + 'static>(
     transport: T,
-    mut controller: Controller,
+    controller: Controller,
     cfg: TargetConfig,
     payload: Option<Arc<dyn PayloadChannel>>,
 ) -> TargetHandle {
+    spawn_target_observed(transport, controller, cfg, payload, None)
+}
+
+/// [`spawn_target`] with telemetry: the connection's target-side metric
+/// bundle is registered into `registry` under the `target` scope before
+/// the reactor starts.
+pub fn spawn_target_observed<T: Transport + 'static>(
+    transport: T,
+    mut controller: Controller,
+    cfg: TargetConfig,
+    payload: Option<Arc<dyn PayloadChannel>>,
+    registry: Option<&oaf_telemetry::Registry>,
+) -> TargetHandle {
+    let conn_init = TargetConnection::new(cfg, payload);
+    if let Some(reg) = registry {
+        conn_init.metrics().register(&reg.scope("target"));
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let join = std::thread::Builder::new()
         .name("nvmeof-target".into())
         .spawn(move || {
-            let mut conn = TargetConnection::new(cfg, payload);
+            let mut conn = conn_init;
             // Reusable per-connection buffers: the steady-state loop
             // allocates nothing — frames arrive borrowed, responses are
             // encoded into `scratch` and sent as borrowed slices.

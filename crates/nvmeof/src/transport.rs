@@ -18,12 +18,15 @@
 //! Waiting is a bounded adaptive spin→yield backoff, never a blind
 //! spin.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::NvmeofError;
+use crate::metrics::TransportMetrics;
+use oaf_shmem::RingStats;
 
 /// A received frame: owned (channel transports hand over their buffer)
 /// or borrowed straight out of a shared-memory ring (zero-copy).
@@ -54,29 +57,52 @@ impl Frame<'_> {
     }
 }
 
-/// How long a ring-based `send` waits on a full ring before reporting
-/// [`NvmeofError::RingFull`]: long enough for any live peer poll loop
-/// to drain, short enough to surface a dead peer quickly.
-const SEND_FULL_TIMEOUT: Duration = Duration::from_millis(100);
+/// Ring-wait tuning knobs, settable per connection (through
+/// `FabricSettings` in `oaf-core`) instead of compile-time constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Busy-poll iterations before a waiter starts yielding the CPU.
+    pub spin_limit: u32,
+    /// How long a ring-based `send` waits on a full ring before
+    /// reporting [`NvmeofError::RingFull`]: long enough for any live
+    /// peer poll loop to drain, short enough to surface a dead peer
+    /// quickly.
+    pub send_full_timeout: Duration,
+}
 
-/// Busy-poll iterations before a waiter starts yielding the CPU.
-const SPIN_LIMIT: u32 = 128;
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            spin_limit: 128,
+            send_full_timeout: Duration::from_millis(100),
+        }
+    }
+}
 
 /// Bounded adaptive backoff helper: spin briefly, then yield until the
-/// deadline. Returns `false` once the deadline has passed.
+/// deadline. Returns `false` once the deadline has passed. Counts its
+/// spins and yields locally so a completed wait can be flushed into
+/// [`TransportMetrics`] with two atomics instead of one per iteration.
 struct Backoff {
     spins: u32,
+    yields: u32,
+    spin_limit: u32,
     deadline: Instant,
 }
 
 impl Backoff {
-    fn until(deadline: Instant) -> Self {
-        Backoff { spins: 0, deadline }
+    fn until(deadline: Instant, spin_limit: u32) -> Self {
+        Backoff {
+            spins: 0,
+            yields: 0,
+            spin_limit,
+            deadline,
+        }
     }
 
     /// One backoff step. Returns `false` when the deadline has passed.
     fn snooze(&mut self) -> bool {
-        if self.spins < SPIN_LIMIT {
+        if self.spins < self.spin_limit {
             self.spins += 1;
             std::hint::spin_loop();
             return true;
@@ -84,8 +110,14 @@ impl Backoff {
         if Instant::now() >= self.deadline {
             return false;
         }
+        self.yields += 1;
         std::thread::yield_now();
         true
+    }
+
+    /// Flush the local spin/yield tally into `metrics`.
+    fn flush(&self, metrics: &TransportMetrics) {
+        metrics.on_backoff(u64::from(self.spins), u64::from(self.yields));
     }
 }
 
@@ -143,6 +175,7 @@ pub trait Transport: Send {
 pub struct MemTransport {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
+    metrics: Arc<TransportMetrics>,
 }
 
 impl MemTransport {
@@ -151,22 +184,41 @@ impl MemTransport {
         let (a_tx, b_rx) = unbounded();
         let (b_tx, a_rx) = unbounded();
         (
-            MemTransport { tx: a_tx, rx: a_rx },
-            MemTransport { tx: b_tx, rx: b_rx },
+            MemTransport {
+                tx: a_tx,
+                rx: a_rx,
+                metrics: TransportMetrics::new(),
+            },
+            MemTransport {
+                tx: b_tx,
+                rx: b_rx,
+                metrics: TransportMetrics::new(),
+            },
         )
+    }
+
+    /// This endpoint's transport metrics (detached until registered).
+    pub fn metrics(&self) -> &Arc<TransportMetrics> {
+        &self.metrics
     }
 }
 
 impl Transport for MemTransport {
     fn send(&self, frame: Bytes) -> Result<(), NvmeofError> {
+        let len = frame.len();
         self.tx
             .send(frame)
-            .map_err(|_| NvmeofError::TransportClosed)
+            .map_err(|_| NvmeofError::TransportClosed)?;
+        self.metrics.on_send(len);
+        Ok(())
     }
 
     fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
         match self.rx.try_recv() {
-            Ok(f) => Ok(Some(f)),
+            Ok(f) => {
+                self.metrics.on_recv_owned(f.len());
+                Ok(Some(f))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(NvmeofError::TransportClosed),
         }
@@ -174,10 +226,36 @@ impl Transport for MemTransport {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(f) => Ok(Some(f)),
+            Ok(f) => {
+                self.metrics.on_recv_owned(f.len());
+                Ok(Some(f))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(NvmeofError::TransportClosed),
         }
+    }
+
+    fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
+        let mut n = 0usize;
+        loop {
+            match self.try_recv() {
+                Ok(Some(frame)) => {
+                    f(Frame::Owned(frame));
+                    n += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    if n == 0 {
+                        return Err(e);
+                    }
+                    break;
+                }
+            }
+        }
+        if n > 0 {
+            self.metrics.batch_sizes.record(n as u64);
+        }
+        Ok(n)
     }
 }
 
@@ -189,30 +267,72 @@ impl Transport for MemTransport {
 pub struct ShmTransport {
     tx: oaf_shmem::byte_ring::ByteRing,
     rx: oaf_shmem::byte_ring::ByteRing,
+    config: BackoffConfig,
+    metrics: Arc<TransportMetrics>,
+    tx_ring_stats: Arc<RingStats>,
 }
 
 impl ShmTransport {
     /// Builds a connected pair of endpoints over a fresh region with
-    /// `capacity` data bytes per direction (a power of two).
+    /// `capacity` data bytes per direction (a power of two), using the
+    /// default backoff tuning.
     pub fn pair(capacity: u64) -> (ShmTransport, ShmTransport) {
+        Self::pair_with(capacity, BackoffConfig::default())
+    }
+
+    /// Builds a connected pair with explicit ring-wait tuning.
+    pub fn pair_with(capacity: u64, config: BackoffConfig) -> (ShmTransport, ShmTransport) {
         use oaf_shmem::byte_ring::ByteRing;
         let one = ByteRing::required_len(capacity);
         // Two rings back to back; required_len is cache-line aligned.
         let region = std::sync::Arc::new(oaf_shmem::ShmRegion::new(2 * one));
-        let a = ByteRing::new(region.clone(), 0, capacity).expect("sized");
-        let b = ByteRing::new(region, one, capacity).expect("sized");
+        let mut a = ByteRing::new(region.clone(), 0, capacity).expect("sized");
+        let mut b = ByteRing::new(region, one, capacity).expect("sized");
+        // Each endpoint instruments the producer side of its own tx
+        // ring; the peer's rx handle is a clone, which never inherits
+        // the stats bundle, so nothing double-counts.
+        let a_stats = RingStats::new();
+        let b_stats = RingStats::new();
+        let a_rx = b.clone();
+        let b_rx = a.clone();
+        a.set_stats(a_stats.clone());
+        b.set_stats(b_stats.clone());
         (
             ShmTransport {
-                tx: a.clone(),
-                rx: b.clone(),
+                tx: a,
+                rx: a_rx,
+                config,
+                metrics: TransportMetrics::new(),
+                tx_ring_stats: a_stats,
             },
-            ShmTransport { tx: b, rx: a },
+            ShmTransport {
+                tx: b,
+                rx: b_rx,
+                config,
+                metrics: TransportMetrics::new(),
+                tx_ring_stats: b_stats,
+            },
         )
     }
 
     /// Largest frame the transport can carry.
     pub fn max_frame(&self) -> usize {
         self.tx.max_frame()
+    }
+
+    /// This endpoint's transport metrics (detached until registered).
+    pub fn metrics(&self) -> &Arc<TransportMetrics> {
+        &self.metrics
+    }
+
+    /// Producer-side stats of this endpoint's transmit ring.
+    pub fn tx_ring_stats(&self) -> &Arc<RingStats> {
+        &self.tx_ring_stats
+    }
+
+    /// The ring-wait tuning in effect.
+    pub fn backoff_config(&self) -> BackoffConfig {
+        self.config
     }
 }
 
@@ -223,37 +343,63 @@ impl Transport for ShmTransport {
 
     fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
         // Straight from the caller's scratch into the ring — no owned
-        // buffer in between. Bounded spin→yield on a full ring: a live
-        // peer poll loop drains in microseconds; a dead one surfaces as
-        // RingFull.
-        let mut backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
+        // buffer in between. Fast path: the push lands first try and
+        // telemetry costs two relaxed atomics.
+        match self.tx.push(frame) {
+            Ok(()) => {
+                self.metrics.on_send(frame.len());
+                return Ok(());
+            }
+            Err(oaf_shmem::ShmError::RingFull) => {}
+            Err(e) => return Err(NvmeofError::Payload(e.to_string())),
+        }
+        // Bounded spin→yield on a full ring: a live peer poll loop
+        // drains in microseconds; a dead one surfaces as RingFull.
+        let mut backoff = Backoff::until(
+            Instant::now() + self.config.send_full_timeout,
+            self.config.spin_limit,
+        );
         loop {
+            if !backoff.snooze() {
+                backoff.flush(&self.metrics);
+                self.metrics.ring_full.inc();
+                return Err(NvmeofError::RingFull);
+            }
             match self.tx.push(frame) {
-                Ok(()) => return Ok(()),
-                Err(oaf_shmem::ShmError::RingFull) => {
-                    if !backoff.snooze() {
-                        return Err(NvmeofError::RingFull);
-                    }
+                Ok(()) => {
+                    backoff.flush(&self.metrics);
+                    self.metrics.on_send(frame.len());
+                    return Ok(());
                 }
-                Err(e) => return Err(NvmeofError::Payload(e.to_string())),
+                Err(oaf_shmem::ShmError::RingFull) => {}
+                Err(e) => {
+                    backoff.flush(&self.metrics);
+                    return Err(NvmeofError::Payload(e.to_string()));
+                }
             }
         }
     }
 
     fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
-        Ok(self.rx.pop().map(Bytes::from))
+        Ok(self.rx.pop().map(|f| {
+            self.metrics.on_recv_owned(f.len());
+            Bytes::from(f)
+        }))
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
-        if let Some(f) = self.rx.pop() {
-            return Ok(Some(Bytes::from(f)));
+        if let Some(f) = self.try_recv()? {
+            return Ok(Some(f));
         }
-        let mut backoff = Backoff::until(Instant::now() + timeout);
+        let mut backoff = Backoff::until(Instant::now() + timeout, self.config.spin_limit);
         loop {
             if let Some(f) = self.rx.pop() {
+                backoff.flush(&self.metrics);
+                self.metrics.on_recv_owned(f.len());
                 return Ok(Some(Bytes::from(f)));
             }
             if !backoff.snooze() {
+                backoff.flush(&self.metrics);
                 return Ok(None);
             }
         }
@@ -261,34 +407,60 @@ impl Transport for ShmTransport {
 
     fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {
         let mut sent = 0usize;
-        let mut backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
-        while sent < frames.len() {
+        let mut backoff = Backoff::until(
+            Instant::now() + self.config.send_full_timeout,
+            self.config.spin_limit,
+        );
+        let result = loop {
+            if sent >= frames.len() {
+                break Ok(());
+            }
             // One Release publish per burst that fits.
             match self.tx.push_n(frames[sent..].iter()) {
                 Ok(0) => {
                     if !backoff.snooze() {
-                        frames.drain(..sent);
-                        return Err(NvmeofError::RingFull);
+                        self.metrics.ring_full.inc();
+                        break Err(NvmeofError::RingFull);
                     }
                 }
                 Ok(n) => {
+                    let bytes: u64 = frames[sent..sent + n].iter().map(|f| f.len() as u64).sum();
+                    self.metrics.on_send_burst(n as u64, bytes);
                     sent += n;
-                    backoff = Backoff::until(Instant::now() + SEND_FULL_TIMEOUT);
+                    backoff.flush(&self.metrics);
+                    backoff = Backoff::until(
+                        Instant::now() + self.config.send_full_timeout,
+                        self.config.spin_limit,
+                    );
                 }
-                Err(e) => {
-                    frames.drain(..sent);
-                    return Err(NvmeofError::Payload(e.to_string()));
-                }
+                Err(e) => break Err(NvmeofError::Payload(e.to_string())),
+            }
+        };
+        backoff.flush(&self.metrics);
+        match result {
+            Ok(()) => {
+                frames.clear();
+                Ok(())
+            }
+            Err(e) => {
+                frames.drain(..sent);
+                Err(e)
             }
         }
-        frames.clear();
-        Ok(())
     }
 
     fn recv_batch(&self, f: &mut dyn FnMut(Frame<'_>)) -> Result<usize, NvmeofError> {
         // Borrowed frames straight out of the ring: zero copies, zero
         // allocations, one Acquire/Release pair for the whole batch.
-        Ok(self.rx.drain(|frame| f(Frame::Borrowed(frame))))
+        let metrics = &*self.metrics;
+        let n = self.rx.drain(|frame| {
+            metrics.on_recv_borrowed(frame.len());
+            f(Frame::Borrowed(frame));
+        });
+        if n > 0 {
+            metrics.batch_sizes.record(n as u64);
+        }
+        Ok(n)
     }
 }
 
@@ -300,6 +472,21 @@ pub enum ControlTransport {
     Mem(MemTransport),
     /// In-region control path over shared-memory byte rings.
     Shm(ShmTransport),
+}
+
+impl ControlTransport {
+    /// This endpoint's transport metrics, whichever path is active.
+    pub fn metrics(&self) -> &Arc<TransportMetrics> {
+        match self {
+            ControlTransport::Mem(t) => t.metrics(),
+            ControlTransport::Shm(t) => t.metrics(),
+        }
+    }
+
+    /// `true` when the control path runs over in-region byte rings.
+    pub fn is_in_region(&self) -> bool {
+        matches!(self, ControlTransport::Shm(_))
+    }
 }
 
 impl Transport for ControlTransport {
@@ -654,10 +841,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(n, 20);
-        assert_eq!(
-            seen,
-            expect.iter().map(|b| b.to_vec()).collect::<Vec<_>>()
-        );
+        assert_eq!(seen, expect.iter().map(|b| b.to_vec()).collect::<Vec<_>>());
     }
 
     #[test]

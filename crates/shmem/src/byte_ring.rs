@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::region::{ShmRegion, CACHE_LINE};
+use crate::stats::RingStats;
 use crate::ShmError;
 
 const SKIP: u32 = u32::MAX;
@@ -57,6 +58,9 @@ pub struct ByteRing {
     /// Consumer-side shadow of the producer's `tail` (always a
     /// historical value, i.e. `head <= cached_tail <= tail`).
     cached_tail: AtomicU64,
+    /// Per-handle producer telemetry; not inherited by clones so the
+    /// `let peer = ring.clone()` pairing pattern cannot double-count.
+    stats: Option<Arc<RingStats>>,
 }
 
 impl Clone for ByteRing {
@@ -70,6 +74,7 @@ impl Clone for ByteRing {
             capacity: self.capacity,
             cached_head: AtomicU64::new(0),
             cached_tail: AtomicU64::new(0),
+            stats: None,
         };
         ring.reseed_caches();
         ring
@@ -104,9 +109,18 @@ impl ByteRing {
             capacity,
             cached_head: AtomicU64::new(0),
             cached_tail: AtomicU64::new(0),
+            stats: None,
         };
         ring.reseed_caches();
         Ok(ring)
+    }
+
+    /// Attaches producer-side telemetry to *this* handle. Pushes through
+    /// this handle then record frames/bytes published, `RingFull`
+    /// events, and the occupancy high-water mark. Clones never inherit
+    /// the bundle (see [`RingStats`]).
+    pub fn set_stats(&mut self, stats: Arc<RingStats>) {
+        self.stats = Some(stats);
     }
 
     /// Seeds both shadow indices from the live shared indices. Acquire
@@ -147,7 +161,7 @@ impl ByteRing {
     /// (possibly refreshed) head on success.
     fn ensure_space(&self, tail: u64, total: u64) -> Result<(), ShmError> {
         let head = self.cached_head.load(Ordering::Relaxed);
-        if tail.wrapping_sub(head) + total <= self.capacity - 1 {
+        if tail.wrapping_sub(head) + total < self.capacity {
             return Ok(());
         }
         // Looks full: pay the cross-core Acquire and retry once. The
@@ -155,7 +169,7 @@ impl ByteRing {
         // the freed bytes are safe to overwrite.
         let head = self.head().load(Ordering::Acquire);
         self.cached_head.store(head, Ordering::Relaxed);
-        if tail.wrapping_sub(head) + total <= self.capacity - 1 {
+        if tail.wrapping_sub(head) + total < self.capacity {
             Ok(())
         } else {
             Err(ShmError::RingFull)
@@ -207,9 +221,21 @@ impl ByteRing {
         }
         let tail = self.tail().load(Ordering::Relaxed); // producer-owned
         let (write_at, total) = self.placement(tail, frame.len());
-        self.ensure_space(tail, total)?;
+        if let Err(e) = self.ensure_space(tail, total) {
+            if let Some(stats) = &self.stats {
+                stats.on_full();
+            }
+            return Err(e);
+        }
         let next = self.write_frame(tail, frame, write_at, total);
         self.tail().store(next, Ordering::Release);
+        if let Some(stats) = &self.stats {
+            stats.on_publish(
+                1,
+                frame.len() as u64,
+                next.wrapping_sub(self.cached_head.load(Ordering::Relaxed)),
+            );
+        }
         Ok(())
     }
 
@@ -227,6 +253,8 @@ impl ByteRing {
         let start = self.tail().load(Ordering::Relaxed); // producer-owned
         let mut tail = start;
         let mut pushed = 0usize;
+        let mut bytes = 0u64;
+        let mut hit_full = false;
         for frame in frames {
             let frame = frame.as_ref();
             if frame.len() > self.max_frame() {
@@ -240,13 +268,27 @@ impl ByteRing {
             }
             let (write_at, total) = self.placement(tail, frame.len());
             if self.ensure_space(tail, total).is_err() {
+                hit_full = true;
                 break;
             }
             tail = self.write_frame(tail, frame, write_at, total);
             pushed += 1;
+            bytes += frame.len() as u64;
         }
         if tail != start {
             self.tail().store(tail, Ordering::Release);
+        }
+        if let Some(stats) = &self.stats {
+            if pushed > 0 {
+                stats.on_publish(
+                    pushed as u64,
+                    bytes,
+                    tail.wrapping_sub(self.cached_head.load(Ordering::Relaxed)),
+                );
+            }
+            if hit_full {
+                stats.on_full();
+            }
         }
         Ok(pushed)
     }
@@ -330,7 +372,7 @@ impl ByteRing {
     /// Returns the number of frames processed.
     pub fn drain(&self, mut f: impl FnMut(&[u8])) -> usize {
         let mut head = self.head().load(Ordering::Relaxed); // consumer-owned
-        // One Acquire for the whole burst.
+                                                            // One Acquire for the whole burst.
         let tail = self.tail().load(Ordering::Acquire);
         self.cached_tail.store(tail, Ordering::Relaxed);
         if head == tail {
@@ -464,8 +506,8 @@ mod tests {
     fn push_n_stops_at_full_without_error() {
         let r = ring(256);
         let big = vec![1u8; 60];
-        let n = r.push_n(std::iter::repeat(&big).take(100)).unwrap();
-        assert!(n >= 2 && n < 100, "pushed {n}");
+        let n = r.push_n(std::iter::repeat_n(&big, 100)).unwrap();
+        assert!((2..100).contains(&n), "pushed {n}");
         // Everything pushed is intact; the rest was simply not accepted.
         for _ in 0..n {
             assert_eq!(r.pop().unwrap(), big);
@@ -486,7 +528,9 @@ mod tests {
     #[test]
     fn drain_sees_every_frame_in_order() {
         let r = ring(2048);
-        let frames: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 1 + (i as usize * 7) % 48]).collect();
+        let frames: Vec<Vec<u8>> = (0..32u8)
+            .map(|i| vec![i; 1 + (i as usize * 7) % 48])
+            .collect();
         for f in &frames {
             r.push(f).unwrap();
         }
@@ -628,8 +672,9 @@ mod tests {
                     }
                 }
                 1 => {
-                    let burst: Vec<Vec<u8>> =
-                        (0..rng.gen_range(1..6)).map(|_| mk(&mut seq, &mut rng)).collect();
+                    let burst: Vec<Vec<u8>> = (0..rng.gen_range(1..6))
+                        .map(|_| mk(&mut seq, &mut rng))
+                        .collect();
                     let n = r.push_n(burst.iter()).unwrap();
                     for frame in burst.into_iter().take(n) {
                         model.push_back(frame);
@@ -665,6 +710,29 @@ mod tests {
         });
         assert!(model.is_empty());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn stats_track_publishes_fulls_and_occupancy() {
+        let mut r = ring(256);
+        let stats = RingStats::new();
+        r.set_stats(stats.clone());
+        r.push(&[1u8; 40]).unwrap();
+        assert_eq!(r.push_n([[2u8; 30], [3u8; 30]]).unwrap(), 2);
+        assert_eq!(stats.frames.get(), 3);
+        assert_eq!(stats.bytes.get(), 100);
+        assert_eq!(stats.full_events.get(), 0);
+        // Occupancy includes headers/padding, so it exceeds payload bytes.
+        assert!(stats.occupancy.hwm() >= 100, "{}", stats.occupancy.hwm());
+        // Fill it up: the rejected push must count as a full event.
+        while r.push(&[9u8; 40]).is_ok() {}
+        let fulls = stats.full_events.get();
+        assert!(fulls >= 1);
+        // A clone (the consumer handle) must not report into the bundle.
+        let consumer = r.clone();
+        let frames_before = stats.frames.get();
+        consumer.pop().unwrap();
+        assert_eq!(stats.frames.get(), frames_before);
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub mod locked;
 pub mod region;
 pub mod ring;
 pub mod slot;
+pub mod stats;
 
 pub use channel::ShmChannel;
 pub use layout::DoubleBufferLayout;
 pub use region::ShmRegion;
 pub use slot::{SlotRing, SlotState};
+pub use stats::RingStats;
 
 /// Errors surfaced by the shared-memory substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

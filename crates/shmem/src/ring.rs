@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::region::{ShmRegion, CACHE_LINE};
+use crate::stats::RingStats;
 use crate::ShmError;
 
 /// Bytes per record, including the 2-byte length prefix.
@@ -36,6 +37,9 @@ pub struct NotifyRing {
     cached_head: AtomicU64,
     /// Consumer-side shadow of the producer's `tail`.
     cached_tail: AtomicU64,
+    /// Per-handle producer telemetry; not inherited by clones (see
+    /// [`RingStats`]).
+    stats: Option<Arc<RingStats>>,
 }
 
 impl Clone for NotifyRing {
@@ -46,6 +50,7 @@ impl Clone for NotifyRing {
             capacity: self.capacity,
             cached_head: AtomicU64::new(0),
             cached_tail: AtomicU64::new(0),
+            stats: None,
         };
         ring.reseed_caches();
         ring
@@ -80,9 +85,17 @@ impl NotifyRing {
             capacity,
             cached_head: AtomicU64::new(0),
             cached_tail: AtomicU64::new(0),
+            stats: None,
         };
         ring.reseed_caches();
         Ok(ring)
+    }
+
+    /// Attaches producer-side telemetry to *this* handle (records
+    /// published, `RingFull` events, occupancy high-water in records).
+    /// Clones never inherit the bundle (see [`RingStats`]).
+    pub fn set_stats(&mut self, stats: Arc<RingStats>) {
+        self.stats = Some(stats);
     }
 
     /// Seeds both shadow indices from the live shared indices.
@@ -148,9 +161,22 @@ impl NotifyRing {
             });
         }
         let tail = self.tail().load(Ordering::Relaxed); // producer-owned
-        self.ensure_space(tail)?;
+        if let Err(e) = self.ensure_space(tail) {
+            if let Some(stats) = &self.stats {
+                stats.on_full();
+            }
+            return Err(e);
+        }
         self.write_record(tail, payload);
-        self.tail().store(tail.wrapping_add(1), Ordering::Release);
+        let next = tail.wrapping_add(1);
+        self.tail().store(next, Ordering::Release);
+        if let Some(stats) = &self.stats {
+            stats.on_publish(
+                1,
+                payload.len() as u64,
+                next.wrapping_sub(self.cached_head.load(Ordering::Relaxed)),
+            );
+        }
         Ok(())
     }
 
@@ -167,6 +193,8 @@ impl NotifyRing {
         let start = self.tail().load(Ordering::Relaxed); // producer-owned
         let mut tail = start;
         let mut pushed = 0usize;
+        let mut bytes = 0u64;
+        let mut hit_full = false;
         for payload in payloads {
             let payload = payload.as_ref();
             if payload.len() > MAX_PAYLOAD {
@@ -179,14 +207,28 @@ impl NotifyRing {
                 break;
             }
             if self.ensure_space(tail).is_err() {
+                hit_full = true;
                 break;
             }
             self.write_record(tail, payload);
             tail = tail.wrapping_add(1);
             pushed += 1;
+            bytes += payload.len() as u64;
         }
         if tail != start {
             self.tail().store(tail, Ordering::Release);
+        }
+        if let Some(stats) = &self.stats {
+            if pushed > 0 {
+                stats.on_publish(
+                    pushed as u64,
+                    bytes,
+                    tail.wrapping_sub(self.cached_head.load(Ordering::Relaxed)),
+                );
+            }
+            if hit_full {
+                stats.on_full();
+            }
         }
         Ok(pushed)
     }
@@ -350,6 +392,22 @@ mod tests {
             NotifyRing::new(region, 0, 8),
             Err(ShmError::RegionTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn stats_track_records_and_fulls() {
+        let mut r = ring(4);
+        let stats = RingStats::new();
+        r.set_stats(stats.clone());
+        r.push(b"one").unwrap();
+        assert_eq!(r.push_n((0..10u8).map(|i| [i])).unwrap(), 3);
+        assert_eq!(stats.frames.get(), 4);
+        assert_eq!(stats.bytes.get(), 6);
+        // push_n was cut short by a full ring: one full event.
+        assert_eq!(stats.full_events.get(), 1);
+        assert_eq!(stats.occupancy.hwm(), 4);
+        assert_eq!(r.push(b"x"), Err(ShmError::RingFull));
+        assert_eq!(stats.full_events.get(), 2);
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! Snapshot exporters: Prometheus text format and JSON.
+//!
+//! Both formats are lossless for [`Snapshot`] data and ship with
+//! parsers (`from_prometheus_text`, `from_json`) so round-tripping is
+//! testable and scrape output can be consumed by the repo's own
+//! tooling without third-party deps. Metric full names are
+//! `oaf_<scope>__<name>`: scope and metric names are sanitized to
+//! `[a-z0-9_]` with no doubled underscores (see
+//! [`crate::registry::sanitize`]), so splitting on the last `__`
+//! recovers the pair exactly.
+//!
+//! Gauge high-water marks and histogram maxima are emitted as companion
+//! gauges with an `_hwm` suffix; histograms use standard cumulative
+//! `_bucket{le="..."}` lines plus `_sum`/`_count`.
+
+use crate::histo::{bucket_upper, HistoSnapshot, HISTO_BUCKETS};
+use crate::registry::{MetricSnapshot, MetricValue, ScopeSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+const PREFIX: &str = "oaf_";
+const SEP: &str = "__";
+const HWM: &str = "_hwm";
+
+fn full_name(scope: &str, name: &str) -> String {
+    format!("{PREFIX}{scope}{SEP}{name}")
+}
+
+/// Render a snapshot in Prometheus text exposition format.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for scope in &snap.scopes {
+        for m in &scope.metrics {
+            let fname = full_name(&scope.name, &m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {fname} counter");
+                    let _ = writeln!(out, "{fname} {v}");
+                }
+                MetricValue::Gauge { value, max } => {
+                    let _ = writeln!(out, "# TYPE {fname} gauge");
+                    let _ = writeln!(out, "{fname} {value}");
+                    let _ = writeln!(out, "# TYPE {fname}{HWM} gauge");
+                    let _ = writeln!(out, "{fname}{HWM} {max}");
+                }
+                MetricValue::Histo(h) => {
+                    let _ = writeln!(out, "# TYPE {fname} histogram");
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let _ = writeln!(out, "{fname}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+                    }
+                    let _ = writeln!(out, "{fname}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{fname}_sum {}", h.sum);
+                    let _ = writeln!(out, "{fname}_count {}", h.count);
+                    let _ = writeln!(out, "# TYPE {fname}{HWM} gauge");
+                    let _ = writeln!(out, "{fname}{HWM} {}", h.max);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse error for either text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "telemetry parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Split `oaf_<scope>__<name>` back into `(scope, name)`.
+fn split_full(fname: &str) -> Result<(String, String), ParseError> {
+    let body = match fname.strip_prefix(PREFIX) {
+        Some(b) => b,
+        None => return err(format!("metric without {PREFIX} prefix: {fname}")),
+    };
+    match body.rfind(SEP) {
+        Some(pos) => Ok((body[..pos].to_string(), body[pos + SEP.len()..].to_string())),
+        None => err(format!("metric without scope separator: {fname}")),
+    }
+}
+
+fn bucket_index_for_upper(upper: u64) -> Result<usize, ParseError> {
+    if upper == 0 {
+        return Ok(0);
+    }
+    if upper == u64::MAX {
+        return Ok(64);
+    }
+    let i = (upper + 1).trailing_zeros() as usize;
+    if bucket_upper(i) == upper {
+        Ok(i)
+    } else {
+        err(format!("le={upper} is not a log2 bucket bound"))
+    }
+}
+
+/// Parse Prometheus text previously produced by [`prometheus_text`].
+///
+/// `_hwm` companion gauges fold back into the preceding gauge or
+/// histogram they annotate; cumulative buckets de-cumulate.
+pub fn from_prometheus_text(text: &str) -> Result<Snapshot, ParseError> {
+    enum Kind {
+        Counter,
+        Gauge,
+        Histogram,
+    }
+    let mut snap = Snapshot::default();
+    let mut kinds: Vec<(String, Kind)> = Vec::new();
+    fn kind_of<'v>(kinds: &'v [(String, Kind)], fname: &str) -> Option<&'v Kind> {
+        kinds.iter().rev().find(|(n, _)| n == fname).map(|(_, k)| k)
+    }
+
+    // Helper to get (create) the scope slot.
+    fn scope_mut<'a>(snap: &'a mut Snapshot, name: &str) -> &'a mut ScopeSnapshot {
+        if let Some(pos) = snap.scopes.iter().position(|s| s.name == name) {
+            return &mut snap.scopes[pos];
+        }
+        snap.scopes.push(ScopeSnapshot {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        });
+        snap.scopes.last_mut().unwrap()
+    }
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = match (it.next(), it.next()) {
+                (Some(n), Some(k)) => (n, k),
+                _ => return err(format!("malformed TYPE line: {line}")),
+            };
+            let kind = match kind {
+                "counter" => Kind::Counter,
+                "gauge" => Kind::Gauge,
+                "histogram" => Kind::Histogram,
+                other => return err(format!("unknown metric type {other}")),
+            };
+            kinds.push((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        // Sample line: `<name>[{le="x"}] <value>`.
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return err(format!("malformed sample line: {line}")),
+        };
+
+        // Histogram component lines.
+        if let Some(bucket_head) = name_part
+            .strip_suffix('}')
+            .and_then(|s| s.split_once("_bucket{le=\""))
+        {
+            let (base, le) = bucket_head;
+            let le = le.trim_end_matches('"');
+            let (scope, name) = split_full(base)?;
+            let cum: u64 = value_part
+                .parse()
+                .map_err(|_| ParseError(format!("bad bucket count: {line}")))?;
+            let slot = histo_slot(scope_mut(&mut snap, &scope), &name)?;
+            if le == "+Inf" {
+                // Cumulative total — redundant with `_count`, ignore.
+                continue;
+            }
+            let upper: u64 = le
+                .parse()
+                .map_err(|_| ParseError(format!("bad le bound: {line}")))?;
+            let idx = bucket_index_for_upper(upper)?;
+            // De-cumulate against everything recorded so far.
+            let seen: u64 = slot.buckets.iter().sum();
+            slot.buckets[idx] = cum.saturating_sub(seen);
+            continue;
+        }
+        if let Some(base) = name_part.strip_suffix("_sum") {
+            if matches!(kind_of(&kinds, base), Some(Kind::Histogram)) {
+                let (scope, name) = split_full(base)?;
+                let v: u64 = value_part
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad sum: {line}")))?;
+                histo_slot(scope_mut(&mut snap, &scope), &name)?.sum = v;
+                continue;
+            }
+        }
+        if let Some(base) = name_part.strip_suffix("_count") {
+            if matches!(kind_of(&kinds, base), Some(Kind::Histogram)) {
+                let (scope, name) = split_full(base)?;
+                let v: u64 = value_part
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad count: {line}")))?;
+                histo_slot(scope_mut(&mut snap, &scope), &name)?.count = v;
+                continue;
+            }
+        }
+
+        // `_hwm` companions fold into the metric they annotate.
+        if let Some(base) = name_part.strip_suffix(HWM) {
+            let folded = match kind_of(&kinds, base) {
+                Some(Kind::Gauge) | Some(Kind::Histogram) => {
+                    let (scope, name) = split_full(base)?;
+                    let scope = scope_mut(&mut snap, &scope);
+                    match scope.metrics.iter_mut().find(|m| m.name == name) {
+                        Some(MetricSnapshot {
+                            value: MetricValue::Gauge { max, .. },
+                            ..
+                        }) => {
+                            *max = value_part
+                                .parse()
+                                .map_err(|_| ParseError(format!("bad hwm: {line}")))?;
+                            true
+                        }
+                        Some(MetricSnapshot {
+                            value: MetricValue::Histo(h),
+                            ..
+                        }) => {
+                            h.max = value_part
+                                .parse()
+                                .map_err(|_| ParseError(format!("bad hwm: {line}")))?;
+                            true
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if folded {
+                continue;
+            }
+        }
+
+        // Plain counter / gauge sample.
+        let (scope, name) = split_full(name_part)?;
+        let value = match kind_of(&kinds, name_part) {
+            Some(Kind::Counter) => MetricValue::Counter(
+                value_part
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad counter: {line}")))?,
+            ),
+            Some(Kind::Gauge) => MetricValue::Gauge {
+                value: value_part
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad gauge: {line}")))?,
+                max: 0,
+            },
+            Some(Kind::Histogram) => {
+                return err(format!("bare sample for histogram metric: {line}"))
+            }
+            None => return err(format!("sample without TYPE declaration: {line}")),
+        };
+        let scope = scope_mut(&mut snap, &scope);
+        match scope.metrics.iter_mut().find(|m| m.name == name) {
+            Some(slot) => slot.value = value,
+            None => scope.metrics.push(MetricSnapshot { name, value }),
+        }
+    }
+    Ok(snap)
+}
+
+fn histo_slot<'a>(
+    scope: &'a mut ScopeSnapshot,
+    name: &str,
+) -> Result<&'a mut HistoSnapshot, ParseError> {
+    if !scope.metrics.iter().any(|m| m.name == name) {
+        scope.metrics.push(MetricSnapshot {
+            name: name.to_string(),
+            value: MetricValue::Histo(HistoSnapshot::default()),
+        });
+    }
+    match scope
+        .metrics
+        .iter_mut()
+        .find(|m| m.name == name)
+        .map(|m| &mut m.value)
+    {
+        Some(MetricValue::Histo(h)) => Ok(h),
+        _ => err(format!("metric {name} is not a histogram")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a snapshot as a single-line JSON document. Histogram buckets
+/// are sparse `[index, count]` pairs.
+pub fn json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"scopes\":[");
+    for (si, scope) in snap.scopes.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        json_escape(&scope.name, &mut out);
+        out.push_str("\",\"metrics\":[");
+        for (mi, m) in scope.metrics.iter().enumerate() {
+            if mi > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape(&m.name, &mut out);
+            out.push('"');
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"kind\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge { value, max } => {
+                    let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{value},\"max\":{max}");
+                }
+                MetricValue::Histo(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"kind\":\"histo\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                        h.count, h.sum, h.max
+                    );
+                    let mut first = true;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let _ = write!(out, "[{i},{c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON value model — just enough to parse [`json`] output.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Object(Vec<(String, JsonVal)>),
+    Array(Vec<JsonVal>),
+    Str(String),
+    Num(i128),
+}
+
+impl JsonVal {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a JsonVal, ParseError> {
+        match self {
+            JsonVal::Object(kv) => kv
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ParseError(format!("missing field {key}"))),
+            _ => err("expected object"),
+        }
+    }
+
+    fn str(&self) -> Result<&str, ParseError> {
+        match self {
+            JsonVal::Str(s) => Ok(s),
+            _ => err("expected string"),
+        }
+    }
+
+    fn u64(&self) -> Result<u64, ParseError> {
+        match self {
+            JsonVal::Num(n) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
+            _ => err("expected u64"),
+        }
+    }
+
+    fn i64(&self) -> Result<i64, ParseError> {
+        match self {
+            JsonVal::Num(n) if *n >= i64::MIN as i128 && *n <= i64::MAX as i128 => Ok(*n as i64),
+            _ => err("expected i64"),
+        }
+    }
+
+    fn array(&self) -> Result<&[JsonVal], ParseError> {
+        match self {
+            JsonVal::Array(v) => Ok(v),
+            _ => err("expected array"),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, ParseError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| ParseError("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, ParseError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.arr(),
+            b'"' => Ok(JsonVal::Str(self.string()?)),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => err(format!("unexpected byte '{}' in JSON", other as char)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonVal, ParseError> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonVal::Object(kv));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            kv.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonVal::Object(kv));
+                }
+                other => return err(format!("bad object separator '{}'", other as char)),
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<JsonVal, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonVal::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonVal::Array(items));
+                }
+                other => return err(format!("bad array separator '{}'", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| ParseError("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| ParseError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| ParseError("short \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| ParseError("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| ParseError("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| ParseError("bad \\u codepoint".into()))?,
+                            );
+                        }
+                        other => return err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                other => {
+                    // Collect the full UTF-8 sequence starting here.
+                    let width = match other {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| ParseError("truncated UTF-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| ParseError("invalid UTF-8".into()))?,
+                    );
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonVal, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError("bad number".into()))?;
+        text.parse::<i128>()
+            .map(JsonVal::Num)
+            .map_err(|_| ParseError(format!("bad number: {text}")))
+    }
+}
+
+/// Parse JSON previously produced by [`json`].
+pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
+    let mut p = JsonParser::new(text);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err("trailing bytes after JSON document");
+    }
+    let mut snap = Snapshot::default();
+    for scope in root.field("scopes")?.array()? {
+        let mut out = ScopeSnapshot {
+            name: scope.field("name")?.str()?.to_string(),
+            metrics: Vec::new(),
+        };
+        for m in scope.field("metrics")?.array()? {
+            let name = m.field("name")?.str()?.to_string();
+            let value = match m.field("kind")?.str()? {
+                "counter" => MetricValue::Counter(m.field("value")?.u64()?),
+                "gauge" => MetricValue::Gauge {
+                    value: m.field("value")?.i64()?,
+                    max: m.field("max")?.i64()?,
+                },
+                "histo" => {
+                    let mut h = HistoSnapshot {
+                        count: m.field("count")?.u64()?,
+                        sum: m.field("sum")?.u64()?,
+                        max: m.field("max")?.u64()?,
+                        ..Default::default()
+                    };
+                    for pair in m.field("buckets")?.array()? {
+                        let pair = pair.array()?;
+                        if pair.len() != 2 {
+                            return err("bucket pair must be [index, count]");
+                        }
+                        let idx = pair[0].u64()? as usize;
+                        if idx >= HISTO_BUCKETS {
+                            return err(format!("bucket index {idx} out of range"));
+                        }
+                        h.buckets[idx] = pair[1].u64()?;
+                    }
+                    MetricValue::Histo(h)
+                }
+                other => return err(format!("unknown metric kind {other}")),
+            };
+            out.metrics.push(MetricSnapshot { name, value });
+        }
+        snap.scopes.push(out);
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        let s = r.scope("transport.shm.client");
+        s.counter("frames_sent").add(1234);
+        let g = s.gauge("inflight");
+        g.add(9);
+        g.sub(7);
+        let h = s.histo("lat_write");
+        for v in [0u64, 1, 3, 900, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let t = r.scope("target");
+        t.counter("ops").add(42);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let snap = sample_snapshot();
+        let text = prometheus_text(&snap);
+        let parsed = from_prometheus_text(&text).expect("parse own output");
+        assert_eq!(parsed, snap);
+        // Idempotent at the text level too.
+        assert_eq!(prometheus_text(&parsed), text);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = sample_snapshot();
+        let text = json(&snap);
+        let parsed = from_json(&text).expect("parse own output");
+        assert_eq!(parsed, snap);
+        assert_eq!(json(&parsed), text);
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let snap = sample_snapshot();
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE oaf_transport_shm_client__frames_sent counter"));
+        assert!(text.contains("oaf_transport_shm_client__frames_sent 1234"));
+        assert!(text.contains("oaf_transport_shm_client__inflight 2"));
+        assert!(text.contains("oaf_transport_shm_client__inflight_hwm 9"));
+        assert!(text.contains("oaf_transport_shm_client__lat_write_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("oaf_transport_shm_client__lat_write_count 6"));
+        assert!(text.contains("oaf_target__ops 42"));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("{\"scopes\":").is_err());
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"scopes\":[]} x").is_err());
+    }
+
+    #[test]
+    fn prometheus_rejects_garbage() {
+        assert!(from_prometheus_text("no_prefix 1").is_err());
+        assert!(from_prometheus_text("oaf_a__b 1").is_err()); // no TYPE line
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(from_prometheus_text(&prometheus_text(&snap)).unwrap(), snap);
+        assert_eq!(from_json(&json(&snap)).unwrap(), snap);
+    }
+}

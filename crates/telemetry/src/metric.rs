@@ -1,0 +1,142 @@
+//! Scalar metrics: relaxed-atomic counters and gauges.
+//!
+//! Both are cheap clonable handles over an `Arc`'d atomic cell, so the
+//! same metric can live inside a hot-path struct *and* inside a
+//! [`Registry`](crate::Registry) scope at the same time. All updates use
+//! `Ordering::Relaxed`: metrics are monotonic or last-writer-wins
+//! aggregates, never synchronization points.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing event count.
+#[derive(Clone, Default, Debug)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+
+    /// True when `other` is a handle to the same underlying cell.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[derive(Default, Debug)]
+struct GaugeCell {
+    value: AtomicI64,
+    hwm: AtomicI64,
+}
+
+/// Instantaneous level (queue depth, occupancy) with a built-in
+/// high-water mark. `set`/`add`/`sub` update the level; the high-water
+/// mark ratchets up via `fetch_max` and is never reset by deltas — it is
+/// a lifetime maximum.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    inner: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        let now = self.inner.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.inner.hwm.fetch_max(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.inner.value.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Ratchet the high-water mark only, leaving the level untouched.
+    /// Used for occupancy sampling where the instantaneous level is
+    /// also interesting: call `set` instead to track both.
+    #[inline]
+    pub fn observe_max(&self, v: i64) {
+        self.inner.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn hwm(&self) -> i64 {
+        self.inner.hwm.load(Ordering::Relaxed)
+    }
+
+    pub fn same_as(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shared_handle() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(c.same_as(&c2));
+        assert!(!c.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_hwm() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.sub(5);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.hwm(), 7);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.hwm(), 7);
+        g.observe_max(40);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.hwm(), 40);
+    }
+
+    #[test]
+    fn gauge_sub_below_zero() {
+        let g = Gauge::new();
+        g.sub(2);
+        assert_eq!(g.get(), -2);
+        assert_eq!(g.hwm(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Periodic background reporter.
+//!
+//! Snapshots a shared [`Registry`] on a fixed interval and hands the
+//! caller both the cumulative snapshot and the delta since the previous
+//! tick. The sink runs on the reporter thread, so it may format/print
+//! freely without perturbing the data plane.
+
+use crate::registry::{Registry, Snapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Handle to a running reporter thread. Stops (and joins) on `stop()`
+/// or drop.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawn a reporter that calls `sink(cumulative, delta)` every
+    /// `interval`. The first tick's delta equals the cumulative
+    /// snapshot. The interval is polled in small slices so `stop()`
+    /// returns promptly even for long intervals.
+    pub fn spawn<F>(registry: Arc<Registry>, interval: Duration, mut sink: F) -> Reporter
+    where
+        F: FnMut(&Snapshot, &Snapshot) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let join = thread::Builder::new()
+            .name("oaf-telemetry-reporter".into())
+            .spawn(move || {
+                let slice = interval
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_millis(1));
+                let mut prev = Snapshot::default();
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if stop_flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed < interval {
+                        continue;
+                    }
+                    elapsed = Duration::ZERO;
+                    let now = registry.snapshot();
+                    let delta = now.delta(&prev);
+                    sink(&now, &delta);
+                    prev = now;
+                }
+            })
+            .expect("spawn telemetry reporter");
+        Reporter {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn reporter_ticks_and_stops() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.scope("s").counter("ticks");
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let rep = Reporter::spawn(
+            registry.clone(),
+            Duration::from_millis(5),
+            move |cum, delta| {
+                sink_seen
+                    .lock()
+                    .unwrap()
+                    .push((cum.counter("s", "ticks"), delta.counter("s", "ticks")));
+            },
+        );
+        for _ in 0..50 {
+            c.inc();
+            thread::sleep(Duration::from_millis(1));
+        }
+        rep.stop();
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty(), "reporter never ticked");
+        // Deltas must sum to the last cumulative value observed.
+        let total: u64 = seen.iter().map(|(_, d)| d).sum();
+        let last = seen.last().unwrap().0;
+        assert_eq!(total, last);
+    }
+
+    #[test]
+    fn drop_stops_thread() {
+        let registry = Arc::new(Registry::new());
+        let rep = Reporter::spawn(registry, Duration::from_millis(1), |_, _| {});
+        thread::sleep(Duration::from_millis(5));
+        drop(rep); // must not hang
+    }
+}

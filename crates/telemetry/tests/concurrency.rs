@@ -1,0 +1,108 @@
+//! Concurrency soundness: many threads hammering the same metric handles
+//! must lose no updates — the whole point of the relaxed-atomic design.
+
+use oaf_telemetry::{Counter, Gauge, Histo, Registry};
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn counter_and_histo_lose_nothing_under_contention() {
+    let counter = Counter::new();
+    let histo = Histo::new();
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = counter.clone();
+            let histo = histo.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Values spread across many buckets so bucket counts,
+                    // count, sum, and max all see real contention.
+                    histo.record((t as u64 + 1) * (i + 1));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    let snap = histo.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (t + 1) * (1..=PER_THREAD).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.max, THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn gauge_hwm_is_monotone_under_contention() {
+    let gauge = Gauge::new();
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let gauge = gauge.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    gauge.add(1);
+                    gauge.sub(1);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(gauge.get(), 0);
+    let hwm = gauge.hwm();
+    assert!(
+        hwm >= 1 && hwm <= THREADS as i64,
+        "high-water {hwm} outside [1, {THREADS}]"
+    );
+}
+
+#[test]
+fn snapshots_taken_mid_flight_are_internally_sane() {
+    let registry = Registry::new();
+    let scope = registry.scope("hammer");
+    let counter = scope.counter("ops");
+    let histo = scope.histo("lat");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = counter.clone();
+            let histo = histo.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    counter.inc();
+                    histo.record(n % 1024);
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    // Snapshot repeatedly while the writers run; each snapshot must be
+    // monotone in count vs. the previous one and never see a histogram
+    // whose bucket total exceeds its count-at-or-after read.
+    let mut last = 0u64;
+    for _ in 0..200 {
+        let snap = registry.snapshot();
+        let ops = snap.counter("hammer", "ops");
+        assert!(ops >= last, "counter went backwards: {ops} < {last}");
+        last = ops;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hammer", "ops"), total);
+    assert_eq!(snap.histo("hammer", "lat").unwrap().count, total);
+}

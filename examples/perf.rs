@@ -15,6 +15,7 @@ use nvme_oaf::nvmeof::nvme::namespace::Namespace;
 use nvme_oaf::oaf::conn::FabricSettings;
 use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
 use nvme_oaf::oaf::runtime::launch;
+use oaf_telemetry::Reporter;
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -59,6 +60,29 @@ fn main() {
         }
     );
 
+    // Periodic telemetry: once a second, print the per-interval delta
+    // straight from the runtime's registry — completions, inflight
+    // depth, and the initiator's read-latency p99 — without touching
+    // the I/O loop below.
+    let io_bytes_f = io_bytes as f64;
+    let reporter = Reporter::spawn(
+        pair.telemetry.clone(),
+        Duration::from_secs(1),
+        move |cum, delta| {
+            let ios = delta.counter("client", "completions");
+            let inflight = cum.gauge("client", "inflight").map(|(v, _)| v).unwrap_or(0);
+            let p99_us = delta
+                .histo("client", "lat_read_ns")
+                .or_else(|| delta.histo("client", "lat_write_ns"))
+                .map(|h| h.p99() as f64 / 1e3)
+                .unwrap_or(0.0);
+            eprintln!(
+                "[telemetry] {ios} IOPS, {:.0} MiB/s, inflight {inflight}, p99 ~{p99_us:.0}us",
+                ios as f64 * io_bytes_f / (1u64 << 20) as f64
+            );
+        },
+    );
+
     // Pre-write the LBA range so reads return real data.
     let span_ios = 64u64.min(capacity_blocks / u64::from(nlb));
     for i in 0..span_ios {
@@ -83,7 +107,7 @@ fn main() {
                   submit_times: &mut std::collections::HashMap<u16, Instant>| {
         let slot = rng.gen_range(0..span_ios);
         let lba = slot * u64::from(nlb);
-        let cid = if rng.gen_range(0..100) < read_pct {
+        let cid = if rng.gen_range(0..100u32) < read_pct {
             client
                 .submit_read(1, lba, nlb, io_bytes as usize)
                 .expect("submit read")
@@ -144,6 +168,15 @@ fn main() {
         (stats.zero_copy_fraction() * 100.0) as u32,
         stats.reads,
         stats.errors
+    );
+    reporter.stop();
+    // Final registry view: transport-level frame accounting for the run.
+    let snap = pair.telemetry.snapshot();
+    println!(
+        "transport: {} frames sent / {} received, {} ring-full events",
+        snap.counter("transport_client", "frames_sent"),
+        snap.counter("transport_client", "frames_received"),
+        snap.counter("transport_client", "ring_full"),
     );
 
     pair.client.disconnect().expect("disconnect");

@@ -1,0 +1,234 @@
+//! End-to-end telemetry consistency: real traffic through the threaded
+//! runtime must leave the registry with numbers that agree across every
+//! layer — frames sent on one side equal frames received on the other,
+//! initiator submissions equal completions, target ops equal responses,
+//! and the exported Prometheus/JSON forms round-trip losslessly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvme_oaf::nvmeof::nvme::controller::Controller;
+use nvme_oaf::nvmeof::nvme::namespace::Namespace;
+use nvme_oaf::oaf::conn::{ControlPath, FabricSettings};
+use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
+use nvme_oaf::oaf::runtime::{launch, launch_many, AfPair};
+use oaf_telemetry::export;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn controller(blocks: u64) -> Controller {
+    let mut c = Controller::new();
+    c.add_namespace(Namespace::new(1, 4096, blocks));
+    c
+}
+
+fn pair(local: bool) -> AfPair {
+    let registry = Arc::new(HostRegistry::new());
+    launch(
+        &registry,
+        (ProcessId(1), 1),
+        (ProcessId(2), if local { 1 } else { 2 }),
+        controller(4096),
+        FabricSettings {
+            // Ask for in-region control so a co-located pair exercises
+            // the shared-memory ring; a remote pair falls back to TCP.
+            control: ControlPath::InRegion,
+            ..FabricSettings::default()
+        },
+    )
+    .expect("fabric establishment")
+}
+
+#[test]
+fn local_traffic_produces_consistent_counters_at_every_layer() {
+    let mut p = pair(true);
+    assert!(p.client.shm_active());
+
+    const WRITES: u64 = 16;
+    const READS: u64 = 16;
+    let len = 4096;
+    for lba in 0..WRITES {
+        let mut buf = p.client.alloc(len).expect("alloc");
+        buf.copy_from_slice(&vec![lba as u8; len]);
+        p.client.write(1, lba, 1, buf, TIMEOUT).expect("write");
+    }
+    for lba in 0..READS {
+        let back = p.client.read(1, lba, 1, len, TIMEOUT).expect("read");
+        assert_eq!(back[0], lba as u8);
+    }
+
+    let snap = p.telemetry.snapshot();
+
+    // Initiator accounting: everything submitted completed, no errors,
+    // nothing left in flight, and the per-opcode latency histograms saw
+    // exactly the synchronous ops we issued.
+    let submitted = snap.counter("client", "submitted");
+    assert_eq!(submitted, snap.counter("client", "completions"));
+    assert_eq!(snap.counter("client", "errors"), 0);
+    assert_eq!(snap.gauge("client", "inflight").map(|(v, _)| v), Some(0));
+    assert_eq!(
+        snap.histo("client", "lat_write_ns").map(|h| h.count),
+        Some(WRITES)
+    );
+    assert_eq!(
+        snap.histo("client", "lat_read_ns").map(|h| h.count),
+        Some(READS)
+    );
+
+    // Target accounting: every op answered.
+    let ops = snap.counter("target", "ops");
+    assert_eq!(ops, snap.counter("target", "responses"));
+    assert!(ops >= WRITES + READS);
+
+    // Transport symmetry: the control rings carry each frame exactly
+    // once, so what one endpoint sent the other received, in frames and
+    // in bytes.
+    for (tx, rx) in [
+        ("transport_client", "transport_target"),
+        ("transport_target", "transport_client"),
+    ] {
+        assert_eq!(
+            snap.counter(tx, "frames_sent"),
+            snap.counter(rx, "frames_received"),
+            "{tx} -> {rx} frame symmetry"
+        );
+        assert_eq!(
+            snap.counter(tx, "bytes_sent"),
+            snap.counter(rx, "bytes_received"),
+            "{tx} -> {rx} byte symmetry"
+        );
+    }
+    // And the submission count is visible as client->target traffic.
+    assert!(snap.counter("transport_client", "frames_sent") >= submitted);
+
+    // Fabric decision record: a co-located pair picked the local path
+    // and the in-region control channel.
+    assert_eq!(snap.counter("fabric", "locality_local"), 1);
+    assert_eq!(snap.counter("fabric", "locality_remote"), 0);
+    assert_eq!(snap.counter("fabric", "control_in_region"), 1);
+    // The in-region ring's producer-side stats saw every client frame.
+    assert_eq!(
+        snap.counter("control_ring_client", "frames"),
+        snap.counter("transport_client", "frames_sent")
+    );
+
+    // App-level stats (the ClientStats shim) feed the same registry.
+    assert_eq!(snap.counter("app", "writes"), WRITES);
+    assert_eq!(snap.counter("app", "reads"), READS);
+    assert_eq!(snap.counter("app", "bytes_written"), WRITES * len as u64);
+
+    p.client.disconnect().expect("disconnect");
+    p.target.shutdown().expect("shutdown");
+}
+
+#[test]
+fn remote_traffic_reports_through_the_same_registry() {
+    let mut p = pair(false);
+    assert!(!p.client.shm_active());
+
+    let len = 8192;
+    let mut buf = p.client.alloc(len).expect("alloc");
+    buf.copy_from_slice(&vec![7u8; len]);
+    p.client.write(1, 0, 2, buf, TIMEOUT).expect("write");
+    let back = p.client.read(1, 0, 2, len, TIMEOUT).expect("read");
+    assert_eq!(back.len(), len);
+
+    let snap = p.telemetry.snapshot();
+    assert_eq!(
+        snap.counter("client", "submitted"),
+        snap.counter("client", "completions")
+    );
+    assert_eq!(
+        snap.counter("transport_client", "frames_sent"),
+        snap.counter("transport_target", "frames_received")
+    );
+    // A cross-host pair records the remote decision and a TCP-class
+    // control path (no in-region ring).
+    assert_eq!(snap.counter("fabric", "locality_remote"), 1);
+    assert_eq!(snap.counter("fabric", "control_tcp"), 1);
+    assert_eq!(snap.counter("fabric", "control_in_region"), 0);
+
+    p.client.disconnect().expect("disconnect");
+    p.target.shutdown().expect("shutdown");
+}
+
+#[test]
+fn live_snapshot_round_trips_through_both_export_formats() {
+    let mut p = pair(true);
+    let len = 4096;
+    for lba in 0..8u64 {
+        let mut buf = p.client.alloc(len).expect("alloc");
+        buf.copy_from_slice(&vec![lba as u8; len]);
+        p.client.write(1, lba, 1, buf, TIMEOUT).expect("write");
+    }
+    let _ = p.client.read(1, 0, 1, len, TIMEOUT).expect("read");
+
+    let snap = p.telemetry.snapshot();
+    // A registry fed by live multi-layer traffic — counters, gauges with
+    // high-water marks, latency histograms — survives both wire formats
+    // byte-for-byte in value space.
+    let prom = export::prometheus_text(&snap);
+    let back = export::from_prometheus_text(&prom).expect("prometheus parse");
+    assert_eq!(back, snap);
+
+    let js = export::json(&snap);
+    let back = export::from_json(&js).expect("json parse");
+    assert_eq!(back, snap);
+
+    p.client.disconnect().expect("disconnect");
+    p.target.shutdown().expect("shutdown");
+}
+
+#[test]
+fn scaled_out_group_reports_per_connection_scopes() {
+    let registry = Arc::new(HostRegistry::new());
+    let clients = [(ProcessId(10), 1), (ProcessId(11), 1), (ProcessId(12), 1)];
+    let mut group = launch_many(
+        &registry,
+        &clients,
+        (ProcessId(2), 1),
+        controller(4096),
+        FabricSettings::default(),
+    )
+    .expect("group establishment");
+
+    let len = 4096;
+    for (i, client) in group.clients.iter_mut().enumerate() {
+        for lba in 0..(i as u64 + 1) {
+            let mut buf = client.alloc(len).expect("alloc");
+            buf.copy_from_slice(&vec![0xA0 + i as u8; len]);
+            client.write(1, lba, 1, buf, TIMEOUT).expect("write");
+        }
+    }
+
+    let snap = group.telemetry.snapshot();
+    for i in 0..group.clients.len() {
+        let client_scope = format!("client{i}");
+        let conn_scope = format!("target_conn{i}");
+        let expected = i as u64 + 1;
+        // Each client's submissions completed, and its dedicated target
+        // connection answered them — per-connection attribution, not a
+        // single blended pool.
+        assert_eq!(
+            snap.counter(&client_scope, "submitted"),
+            snap.counter(&client_scope, "completions"),
+            "{client_scope} drained"
+        );
+        assert_eq!(
+            snap.histo(&client_scope, "lat_write_ns").map(|h| h.count),
+            Some(expected),
+            "{client_scope} write count"
+        );
+        assert_eq!(
+            snap.counter(&conn_scope, "ops"),
+            snap.counter(&conn_scope, "responses"),
+            "{conn_scope} answered everything"
+        );
+        assert_eq!(snap.counter(&format!("app{i}"), "writes"), expected);
+    }
+
+    for mut c in group.clients.drain(..) {
+        c.disconnect().expect("disconnect");
+    }
+    group.target.shutdown().expect("shutdown");
+}
