@@ -1,0 +1,114 @@
+//! Copy vs zero-copy through the production payload channel: the Fig. 8
+//! step-2→step-3 ablation (one-copy publish/consume vs lease-based
+//! publish-in-place / borrowed consume) measured over the real
+//! [`oaf_core::payload_impl::ShmPayloadChannel`] at 4K/64K/1M.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oaf_core::payload_impl::ShmPayloadChannel;
+use oaf_nvmeof::payload::PayloadChannel;
+use oaf_shmem::channel::Side;
+use oaf_shmem::ShmChannel;
+
+const SIZES: &[usize] = &[4 << 10, 64 << 10, 1 << 20];
+
+fn label(size: usize) -> String {
+    match size {
+        s if s >= 1 << 20 => format!("{}M", s >> 20),
+        s => format!("{}K", s >> 10),
+    }
+}
+
+/// One-copy path: the application owns a heap buffer, `publish` copies it
+/// into the slot, `consume` copies it back out on the target side.
+fn bench_copy_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zero_copy/copy-path");
+    for &size in SIZES {
+        let ch = ShmChannel::allocate(8, size);
+        let client = ShmPayloadChannel::new(&ch, Side::Client);
+        let target = ShmPayloadChannel::new(&ch, Side::Target);
+        let payload = vec![0xabu8; size];
+        let mut out = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label(size)), &size, |b, _| {
+            b.iter(|| {
+                let (slot, len) = client.publish(&payload).expect("publish");
+                target.consume(slot, len, &mut out).expect("consume");
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Lease path: the application fills the slot in place, `publish_lease`
+/// is a pair of atomics, and the target borrows the slot bytes instead of
+/// copying them out.
+fn bench_lease_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zero_copy/lease-path");
+    for &size in SIZES {
+        let ch = ShmChannel::allocate(8, size);
+        let client = ShmPayloadChannel::new(&ch, Side::Client);
+        let target = ShmPayloadChannel::new(&ch, Side::Target);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label(size)), &size, |b, _| {
+            b.iter(|| {
+                let mut lease = client.alloc(size).expect("lease");
+                lease[0] = 1; // the app builds its data in place (§4.4.3)
+                let (slot, len) = client.publish_lease(lease).expect("publish");
+                let mut sum = 0u64;
+                target
+                    .consume_with(slot, len, &mut |bytes| {
+                        // The "device" touches the bytes where they live.
+                        sum += bytes[0] as u64 + bytes[bytes.len() - 1] as u64;
+                    })
+                    .expect("consume");
+                criterion::black_box(sum);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same two paths where the consumer genuinely reads every byte
+/// (checksum): isolates the producer-side memcpy, the cost the lease
+/// design removes, while both sides pay the streaming read.
+fn bench_consumer_touch_all(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zero_copy/touch-all");
+    for &size in SIZES {
+        let ch = ShmChannel::allocate(8, size);
+        let client = ShmPayloadChannel::new(&ch, Side::Client);
+        let target = ShmPayloadChannel::new(&ch, Side::Target);
+        let payload = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("copy", label(size)), &size, |b, _| {
+            let mut out = vec![0u8; size];
+            b.iter(|| {
+                let (slot, len) = client.publish(&payload).expect("publish");
+                target.consume(slot, len, &mut out).expect("consume");
+                criterion::black_box(out.iter().map(|&x| x as u64).sum::<u64>());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lease", label(size)), &size, |b, _| {
+            b.iter(|| {
+                let mut lease = client.alloc(size).expect("lease");
+                lease.copy_from_slice(&payload); // app fills in place
+                let (slot, len) = client.publish_lease(lease).expect("publish");
+                let mut sum = 0u64;
+                target
+                    .consume_with(slot, len, &mut |bytes| {
+                        sum = bytes.iter().map(|&x| x as u64).sum::<u64>();
+                    })
+                    .expect("consume");
+                criterion::black_box(sum);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_copy_path,
+    bench_lease_path,
+    bench_consumer_touch_all
+);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use oaf_shmem::lease::ZcBuf;
+use oaf_nvmeof::payload::WriteLease;
 use oaf_shmem::ShmError;
 use parking_lot::Mutex;
 
@@ -118,8 +118,9 @@ impl Drop for PooledBuf {
 pub enum IoBuffer {
     /// DPDK-pool buffer (TCP path).
     Pooled(PooledBuf),
-    /// Zero-copy lease inside the shared region (local path).
-    Shm(ZcBuf),
+    /// Zero-copy lease inside the shared region (local path), ready for
+    /// [`oaf_nvmeof::payload::PayloadChannel::publish_lease`].
+    Shm(WriteLease),
 }
 
 impl IoBuffer {
@@ -182,9 +183,9 @@ impl BufferManager {
         if let Some(shm) = &self.shm {
             use oaf_nvmeof::payload::PayloadChannel as _;
             if len <= shm.max_payload() {
-                match shm.endpoint().lease(len) {
-                    Ok(lease) => return Ok(IoBuffer::Shm(lease)),
-                    Err(ShmError::NoFreeSlot) => {
+                match shm.try_lease(len) {
+                    Ok(Some(lease)) => return Ok(IoBuffer::Shm(lease)),
+                    Ok(None) => {
                         // All slots in flight: fall back to the pool so the
                         // application never blocks on allocation.
                     }

@@ -190,10 +190,17 @@ impl ConnectionManager {
             .registry
             .hotplug(client, target, settings.depth, settings.slot_size);
         let (client_shm, target_shm) = match &hotplug {
-            Some(hp) => (
-                Some(ShmPayloadChannel::new(&hp.channel, Side::Client)),
-                Some(ShmPayloadChannel::new(&hp.channel, Side::Target)),
-            ),
+            Some(hp) => {
+                let c = ShmPayloadChannel::new(&hp.channel, Side::Client);
+                let t = ShmPayloadChannel::new(&hp.channel, Side::Target);
+                // Each side's lease pool (Buffer Manager) reports lease
+                // traffic and occupancy alongside the transport scopes.
+                c.lease_stats()
+                    .register(&self.telemetry.scope("bufmgr_client"));
+                t.lease_stats()
+                    .register(&self.telemetry.scope("bufmgr_target"));
+                (Some(c), Some(t))
+            }
             None => (None, None),
         };
 

@@ -9,11 +9,11 @@
 use std::sync::Arc;
 
 use oaf_nvmeof::error::NvmeofError;
-use oaf_nvmeof::payload::PayloadChannel;
+use oaf_nvmeof::payload::{PayloadChannel, WriteLease};
 use oaf_shmem::channel::{ShmEndpoint, Side};
 use oaf_shmem::layout::Dir;
 use oaf_shmem::locked::LockedShm;
-use oaf_shmem::{ShmChannel, ShmError};
+use oaf_shmem::{BufStats, BufferManager, ShmChannel, ShmError};
 
 fn map_err(e: ShmError) -> NvmeofError {
     NvmeofError::Payload(e.to_string())
@@ -22,23 +22,92 @@ fn map_err(e: ShmError) -> NvmeofError {
 /// Lock-free double-buffer payload channel (one side's view).
 pub struct ShmPayloadChannel {
     endpoint: ShmEndpoint,
+    /// Transmit-direction Buffer Manager: the lease pool behind
+    /// [`PayloadChannel::alloc`] (§4.4.3).
+    mgr: BufferManager,
 }
 
 impl ShmPayloadChannel {
     /// Wraps `side`'s endpoint of `channel`.
     pub fn new(channel: &ShmChannel, side: Side) -> Arc<Self> {
-        Arc::new(ShmPayloadChannel {
-            endpoint: channel.endpoint(side),
-        })
+        let endpoint = channel.endpoint(side);
+        let mgr = endpoint.buffer_manager().clone();
+        Arc::new(ShmPayloadChannel { endpoint, mgr })
     }
 
     /// The underlying endpoint (for zero-copy leases).
     pub fn endpoint(&self) -> &ShmEndpoint {
         &self.endpoint
     }
+
+    /// The transmit-direction Buffer Manager's telemetry bundle.
+    pub fn lease_stats(&self) -> &Arc<BufStats> {
+        self.mgr.stats()
+    }
+
+    /// Non-blocking lease attempt for allocator fallback chains:
+    /// `Ok(None)` means every slot is in flight after a full round-robin
+    /// probe — the caller should fall back to its pool rather than spin.
+    pub fn try_lease(&self, len: usize) -> Result<Option<WriteLease>, ShmError> {
+        match self.mgr.lease(len) {
+            Ok(lease) => Ok(Some(WriteLease::from_slot(lease))),
+            Err(ShmError::NoFreeSlot) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 impl PayloadChannel for ShmPayloadChannel {
+    fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError> {
+        // Same bounded wait as `publish`: the round-robin pool drains as
+        // the consumer frees slots, so short spins cover transient
+        // exhaustion while hard errors surface immediately.
+        let mut spins = 0u32;
+        loop {
+            match self.mgr.lease(len) {
+                Ok(lease) => return Ok(WriteLease::from_slot(lease)),
+                Err(ShmError::NoFreeSlot) if spins < 1_000_000 => {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                Err(e) => return Err(map_err(e)),
+            }
+        }
+    }
+
+    fn publish_lease(&self, lease: WriteLease) -> Result<(u32, u32), NvmeofError> {
+        match lease.into_slot() {
+            Ok(slot_lease) => {
+                let (slot, len) = slot_lease.publish();
+                Ok((slot as u32, len as u32))
+            }
+            // A heap lease can only come from a foreign channel; keep the
+            // data moving through the one-copy path.
+            Err(heap) => self.publish(&heap),
+        }
+    }
+
+    fn consume_with(
+        &self,
+        slot: u32,
+        len: u32,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError> {
+        let mut spins = 0u32;
+        let guard = loop {
+            match self.endpoint.recv(slot as usize, len as usize) {
+                Ok(g) => break g,
+                Err(ShmError::WrongState { .. }) if spins < 1_000_000 => {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                Err(e) => return Err(map_err(e)),
+            }
+        };
+        f(guard.as_slice());
+        Ok(())
+    }
+
     fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
         // Slot rings reject when the consumer is queue-depth behind;
         // retry briefly — the paper's round-robin guarantee makes waits
@@ -117,6 +186,35 @@ impl LockedPayloadChannel {
 }
 
 impl PayloadChannel for LockedPayloadChannel {
+    // The locked baseline deliberately keeps every copy of Fig. 8's
+    // first ablation step: leases are plain heap buffers and the borrow
+    // goes through a scratch materialization.
+    fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError> {
+        if len > self.max_payload() {
+            return Err(NvmeofError::Payload(format!(
+                "payload {len} exceeds slot {}",
+                self.max_payload()
+            )));
+        }
+        Ok(WriteLease::heap(len))
+    }
+
+    fn publish_lease(&self, lease: WriteLease) -> Result<(u32, u32), NvmeofError> {
+        self.publish(&lease)
+    }
+
+    fn consume_with(
+        &self,
+        slot: u32,
+        len: u32,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError> {
+        let mut scratch = vec![0u8; len as usize];
+        self.consume(slot, len, &mut scratch)?;
+        f(&scratch);
+        Ok(())
+    }
+
     fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
         let mut spins = 0u32;
         loop {

@@ -165,16 +165,15 @@ pub fn launch_many(
         // client (the §6 security model).
         let hotplug = registry.hotplug(pid, target.0, settings.depth, settings.slot_size);
         let (client_shm, target_shm) = match &hotplug {
-            Some(hp) => (
-                Some(crate::payload_impl::ShmPayloadChannel::new(
-                    &hp.channel,
-                    Side::Client,
-                )),
-                Some(crate::payload_impl::ShmPayloadChannel::new(
-                    &hp.channel,
-                    Side::Target,
-                )),
-            ),
+            Some(hp) => {
+                let c = crate::payload_impl::ShmPayloadChannel::new(&hp.channel, Side::Client);
+                let t = crate::payload_impl::ShmPayloadChannel::new(&hp.channel, Side::Target);
+                c.lease_stats()
+                    .register(&telemetry.scope(&format!("bufmgr_client{i}")));
+                t.lease_stats()
+                    .register(&telemetry.scope(&format!("bufmgr_target{i}")));
+                (Some(c), Some(t))
+            }
             None => (None, None),
         };
         specs.push(ConnectionSpec {
@@ -302,11 +301,9 @@ impl AfClient {
         let bytes = buf.len() as u64;
         let zero_copy = buf.is_zero_copy();
         let cid = match buf {
-            IoBuffer::Shm(lease) => {
-                let (slot, len) = lease.publish();
-                self.initiator
-                    .submit_write_published(nsid, slba, nlb, slot as u32, len as u32)?
-            }
+            // The lease publishes in place: the slot the application
+            // filled is handed to the target untouched (§4.4.3).
+            IoBuffer::Shm(lease) => self.initiator.submit_write_lease(nsid, slba, nlb, lease)?,
             IoBuffer::Pooled(b) => {
                 // The copy-out the zero-copy design eliminates (§4.4.3):
                 // the pooled buffer must be materialized for the wire.
@@ -333,6 +330,35 @@ impl AfClient {
         self.stats.record_blocking(t0.elapsed());
         match result {
             Ok(r) if r.status.is_ok() => Ok(r.data),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking read that lends the payload to `f` instead of returning
+    /// an owned `Vec`. On a local fabric the slice borrows the target's
+    /// shared-memory slot directly — no client-side copy or allocation —
+    /// which is the read half of the Fig. 8 zero-copy step; on TCP it
+    /// borrows the reassembled receive buffer.
+    pub fn read_with(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+        timeout: Duration,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let cid = self
+            .initiator
+            .submit_read_borrowed(nsid, slba, nlb, expected_len)?;
+        self.inflight_meta
+            .insert(cid, (expected_len as u64, false, true));
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(mut r) if r.status.is_ok() => self.initiator.consume_read_with(&mut r, f),
             Ok(r) => Err(NvmeofError::Nvme(r.status)),
             Err(e) => Err(e),
         }

@@ -18,7 +18,7 @@ use crate::metrics::InitiatorMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
 use crate::nvme::completion::Status;
 use crate::nvme::controller::IdentifyInfo;
-use crate::payload::PayloadChannel;
+use crate::payload::{PayloadChannel, WriteLease};
 use crate::pdu::{CapsuleCmd, DataPdu, DataRef, ICReq, Pdu, AF_CAP_SHM};
 use crate::transport::{Frame, Transport};
 use crate::FlowMode;
@@ -51,6 +51,11 @@ struct PendingIo {
     opcode: Opcode,
     read_buf: Vec<u8>,
     stashed_write: Option<Bytes>,
+    /// Borrowed read (§4.4.3): leave shm payloads in the region and hand
+    /// the `(slot, len)` reference to the caller instead of copying out.
+    borrow: bool,
+    /// Unconsumed shm payload reference for a borrowed read.
+    shm_data: Option<(u32, u32)>,
     completion: Option<Status>,
     submitted_at: Instant,
 }
@@ -62,8 +67,15 @@ pub struct IoResult {
     pub cid: u16,
     /// NVMe status.
     pub status: Status,
-    /// Read data (empty for writes/flushes).
+    /// Read data (empty for writes/flushes — and for borrowed reads
+    /// whose payload is still parked in shared memory, see
+    /// [`IoResult::shm`]).
     pub data: Vec<u8>,
+    /// For borrowed reads over a shared-memory channel: the `(slot,
+    /// len)` reference of the payload, still unconsumed in the region.
+    /// Pass the result to [`Initiator::consume_read_with`] to borrow the
+    /// bytes in place and free the slot.
+    pub shm: Option<(u32, u32)>,
 }
 
 /// Per-connection client state, split from the transport so the batched
@@ -111,6 +123,8 @@ impl ClientState {
                 opcode,
                 read_buf,
                 stashed_write,
+                borrow: false,
+                shm_data: None,
                 completion: None,
                 submitted_at: Instant::now(),
             },
@@ -255,6 +269,53 @@ impl<T: Transport> Initiator<T> {
         Ok(cid)
     }
 
+    /// Leases a write buffer of `len` bytes from the connection's
+    /// payload channel. With a negotiated shared-memory channel the
+    /// buffer lives directly in the region (the Buffer Manager's
+    /// co-design, §4.4.3) and [`Initiator::submit_write_lease`] publishes
+    /// it with no copy; otherwise (or when `len` exceeds the slot size)
+    /// it is a plain heap buffer and submission copies once, exactly
+    /// like [`Initiator::submit_write`].
+    pub fn alloc_write_buf(&self, len: usize) -> Result<WriteLease, NvmeofError> {
+        if self.state.shm_active {
+            if let Some(ch) = self.state.payload.as_ref() {
+                if len <= ch.max_payload() {
+                    return ch.alloc(len);
+                }
+            }
+        }
+        Ok(WriteLease::heap(len))
+    }
+
+    /// Submits a write whose payload was built in place in a lease from
+    /// [`Initiator::alloc_write_buf`]. Zero-copy leases publish their
+    /// slot directly (§4.4.3); heap fallback leases route through the
+    /// regular copying write path.
+    pub fn submit_write_lease(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        lease: WriteLease,
+    ) -> Result<u16, NvmeofError> {
+        if lease.is_zero_copy() {
+            let bytes = lease.len() as u64;
+            let ch = self
+                .state
+                .payload
+                .as_ref()
+                .ok_or_else(|| NvmeofError::Protocol("slot lease without channel".into()))?
+                .clone();
+            let (slot, len) = ch.publish_lease(lease)?;
+            self.state.metrics.zero_copy_bytes.add(bytes);
+            self.state.metrics.copies_avoided.inc();
+            self.submit_write_published(nsid, slba, nlb, slot, len)
+        } else {
+            let buf = lease.into_heap().expect("non-slot lease is heap-backed");
+            self.submit_write(nsid, slba, nlb, Bytes::from(buf))
+        }
+    }
+
     /// Submits a write whose payload is *already published* in the
     /// shared-memory channel at `(slot, len)` — the zero-copy path
     /// (§4.4.3): the application built its data directly in the region,
@@ -303,6 +364,69 @@ impl<T: Transport> Initiator<T> {
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
         Ok(cid)
+    }
+
+    /// Submits a read whose payload the caller will *borrow* in place:
+    /// if the target returns the data as a shared-memory slot reference,
+    /// it is left unconsumed in the region and surfaced via
+    /// [`IoResult::shm`]; call [`Initiator::consume_read_with`] on the
+    /// completed result to access the bytes without a copy and free the
+    /// slot (§4.4.3). Dropping the result without consuming it leaks the
+    /// slot until the channel is torn down. Inline completions fall back
+    /// to the buffered behavior of [`Initiator::submit_read`].
+    pub fn submit_read_borrowed(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        expected_len: usize,
+    ) -> Result<u16, NvmeofError> {
+        let borrow = self.state.shm_active && self.state.payload.is_some();
+        let read_buf = if borrow {
+            Vec::new()
+        } else {
+            vec![0u8; expected_len]
+        };
+        let cid = self.state.alloc_cid();
+        let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
+        self.state.track(cid, Opcode::Read, read_buf, None);
+        if borrow {
+            self.state
+                .pending
+                .get_mut(&cid)
+                .expect("just tracked")
+                .borrow = true;
+        }
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
+        )?;
+        Ok(cid)
+    }
+
+    /// Lends a completed read's payload to `f` without copying it out of
+    /// the shared region (for borrowed reads that completed via a slot
+    /// reference), freeing the slot afterwards. Results that carried
+    /// their data inline simply lend the buffered bytes.
+    pub fn consume_read_with(
+        &self,
+        res: &mut IoResult,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError> {
+        match res.shm.take() {
+            Some((slot, len)) => {
+                let ch = self
+                    .state
+                    .payload
+                    .as_ref()
+                    .ok_or_else(|| NvmeofError::Protocol("shm read without channel".into()))?;
+                ch.consume_with(slot, len, f)
+            }
+            None => {
+                f(&res.data);
+                Ok(())
+            }
+        }
     }
 
     /// Submits a compare: the target checks `data` against the stored
@@ -485,6 +609,14 @@ impl ClientState {
                     DataRef::Inline(b) => {
                         if pending.opcode == Opcode::Identify || pending.opcode == Opcode::Flush {
                             pending.read_buf = b.to_vec();
+                        } else if pending.borrow {
+                            // Borrowed read that the target answered
+                            // inline anyway (e.g. payload exceeded the
+                            // slot size): buffer it as a fallback.
+                            if pending.read_buf.len() < off + b.len() {
+                                pending.read_buf.resize(off + b.len(), 0);
+                            }
+                            pending.read_buf[off..off + b.len()].copy_from_slice(&b);
                         } else {
                             if off + b.len() > pending.read_buf.len() {
                                 return Err(NvmeofError::Protocol(
@@ -495,15 +627,21 @@ impl ClientState {
                         }
                     }
                     DataRef::ShmSlot { slot, len } => {
-                        let ch = self.payload.as_ref().ok_or_else(|| {
-                            NvmeofError::Protocol("shm ref without channel".into())
-                        })?;
-                        if off + len as usize > pending.read_buf.len() {
-                            return Err(NvmeofError::Protocol(
-                                "C2H shm data beyond read buffer".into(),
-                            ));
+                        if pending.borrow {
+                            // Zero-copy: park the reference; the caller
+                            // borrows the bytes via consume_read_with.
+                            pending.shm_data = Some((slot, len));
+                        } else {
+                            let ch = self.payload.as_ref().ok_or_else(|| {
+                                NvmeofError::Protocol("shm ref without channel".into())
+                            })?;
+                            if off + len as usize > pending.read_buf.len() {
+                                return Err(NvmeofError::Protocol(
+                                    "C2H shm data beyond read buffer".into(),
+                                ));
+                            }
+                            ch.consume(slot, len, &mut pending.read_buf[off..off + len as usize])?;
                         }
-                        ch.consume(slot, len, &mut pending.read_buf[off..off + len as usize])?;
                     }
                 }
             }
@@ -523,10 +661,15 @@ impl ClientState {
                 self.metrics
                     .latency(pending.opcode)
                     .record_nanos(pending.submitted_at.elapsed());
+                if let Some((_, len)) = pending.shm_data {
+                    self.metrics.zero_copy_bytes.add(u64::from(len));
+                    self.metrics.copies_avoided.inc();
+                }
                 self.completed.push(IoResult {
                     cid,
                     status: r.completion.status,
                     data: std::mem::take(&mut pending.read_buf),
+                    shm: pending.shm_data.take(),
                 });
             }
             other => {
@@ -677,6 +820,45 @@ mod tests {
         ini.write_blocking(1, 0, 64, data.clone(), TIMEOUT).unwrap();
         let back = ini.read_blocking(1, 0, 64, 256 * 1024, TIMEOUT).unwrap();
         assert_eq!(back, data);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lease_write_and_borrowed_read() {
+        use crate::payload::MailboxChannel;
+        let (c, t) = MailboxChannel::pair(16);
+        let opts = InitiatorOptions {
+            af_caps: AF_CAP_SHM,
+            flow: FlowMode::InCapsule,
+            ..InitiatorOptions::default()
+        };
+        let (mut ini, handle) = setup(
+            opts,
+            TargetConfig::default(),
+            Some((c as Arc<dyn PayloadChannel>, t as Arc<dyn PayloadChannel>)),
+        );
+        assert!(ini.shm_active());
+
+        // Build the payload directly in a leased write buffer.
+        let mut lease = ini.alloc_write_buf(64 * 1024).unwrap();
+        for (i, b) in lease.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let expect: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+        let cid = ini.submit_write_lease(1, 0, 16, lease).unwrap();
+        assert!(ini.wait(cid, TIMEOUT).unwrap().status.is_ok());
+
+        // Borrow the read payload in place instead of copying it out.
+        let cid = ini.submit_read_borrowed(1, 0, 16, 64 * 1024).unwrap();
+        let mut res = ini.wait(cid, TIMEOUT).unwrap();
+        assert!(res.status.is_ok());
+        assert!(res.shm.is_some(), "borrowed read should park a slot ref");
+        assert!(res.data.is_empty());
+        let mut seen = Vec::new();
+        ini.consume_read_with(&mut res, &mut |b| seen.extend_from_slice(b))
+            .unwrap();
+        assert_eq!(seen, expect);
+        assert_eq!(res.shm, None, "consumption clears the reference");
         handle.shutdown().unwrap();
     }
 

@@ -136,6 +136,12 @@ pub struct InitiatorMetrics {
     /// Commands currently in flight; `hwm()` is the deepest the queue
     /// has ever been.
     pub inflight: Gauge,
+    /// Payload bytes moved without an application-side copy (lease-based
+    /// writes published in place, reads borrowed from the slot).
+    pub zero_copy_bytes: Counter,
+    /// Application-side copies the lease path avoided versus the
+    /// one-copy publish/consume path.
+    pub copies_avoided: Counter,
     latency: [Histo; OPCODES],
 }
 
@@ -146,6 +152,8 @@ impl Default for InitiatorMetrics {
             completions: Counter::new(),
             errors: Counter::new(),
             inflight: Gauge::new(),
+            zero_copy_bytes: Counter::new(),
+            copies_avoided: Counter::new(),
             latency: std::array::from_fn(|_| Histo::new()),
         }
     }
@@ -169,6 +177,8 @@ impl InitiatorMetrics {
         scope.adopt_counter("completions", &self.completions);
         scope.adopt_counter("errors", &self.errors);
         scope.adopt_gauge("inflight", &self.inflight);
+        scope.adopt_counter("zero_copy_bytes", &self.zero_copy_bytes);
+        scope.adopt_counter("copies_avoided", &self.copies_avoided);
         for (i, h) in self.latency.iter().enumerate() {
             scope.adopt_histo(&format!("lat_{}_ns", OPCODE_NAMES[i]), h);
         }
@@ -189,6 +199,12 @@ pub struct TargetMetrics {
     pub shm_payloads: Counter,
     /// Write payloads that arrived inline in the capsule/H2C stream.
     pub inline_payloads: Counter,
+    /// Payload bytes served without an intermediate copy (writes
+    /// consumed borrowed from the slot, reads published from a lease).
+    pub zero_copy_bytes: Counter,
+    /// Target-side copies the lease path avoided versus materializing
+    /// payloads into a `Vec`.
+    pub copies_avoided: Counter,
     /// Commands that completed with a non-success NVMe status.
     pub errors: Counter,
 }
@@ -206,6 +222,8 @@ impl TargetMetrics {
         scope.adopt_counter("r2t_grants", &self.r2t_grants);
         scope.adopt_counter("shm_payloads", &self.shm_payloads);
         scope.adopt_counter("inline_payloads", &self.inline_payloads);
+        scope.adopt_counter("zero_copy_bytes", &self.zero_copy_bytes);
+        scope.adopt_counter("copies_avoided", &self.copies_avoided);
         scope.adopt_counter("errors", &self.errors);
     }
 }

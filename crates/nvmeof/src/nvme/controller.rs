@@ -72,6 +72,34 @@ impl Controller {
         self.namespaces.keys().copied().collect()
     }
 
+    /// Transfer length of `cmd` against its namespace's block size, or
+    /// `None` if the namespace does not exist.
+    pub fn transfer_len(&self, cmd: &NvmeCommand) -> Option<usize> {
+        self.namespaces
+            .get(&cmd.nsid)
+            .map(|ns| cmd.transfer_len(ns.block_size()) as usize)
+    }
+
+    /// Executes a read directly into `dst` — the zero-copy path, where
+    /// `dst` is a leased shared-memory slot and the device's bytes land
+    /// in the region with no intermediate `Vec` (§4.4.3). `dst` must be
+    /// exactly the command's transfer length.
+    pub fn read_into(&self, cmd: &NvmeCommand, dst: &mut [u8]) -> NvmeCompletion {
+        debug_assert_eq!(cmd.opcode, Opcode::Read);
+        let Some(ns) = self.namespaces.get(&cmd.nsid) else {
+            return NvmeCompletion::error(cmd.cid, Status::InvalidNamespace);
+        };
+        if dst.len() != cmd.transfer_len(ns.block_size()) as usize {
+            return NvmeCompletion::error(cmd.cid, Status::InvalidFieldLength);
+        }
+        let status = ns.read(cmd.slba, cmd.nlb, dst);
+        if status.is_ok() {
+            NvmeCompletion::ok(cmd.cid)
+        } else {
+            NvmeCompletion::error(cmd.cid, status)
+        }
+    }
+
     /// Executes a command. `write_payload` must be `Some` for writes and
     /// carry exactly the command's transfer length. Returns the completion
     /// and, for reads/identify, the response payload.
@@ -115,11 +143,11 @@ impl Controller {
                 };
                 let len = cmd.transfer_len(ns.block_size()) as usize;
                 let mut out = vec![0u8; len];
-                let status = ns.read(cmd.slba, cmd.nlb, &mut out);
-                if status.is_ok() {
-                    (NvmeCompletion::ok(cmd.cid), Some(out))
+                let comp = self.read_into(cmd, &mut out);
+                if comp.status.is_ok() {
+                    (comp, Some(out))
                 } else {
-                    (NvmeCompletion::error(cmd.cid, status), None)
+                    (comp, None)
                 }
             }
             Opcode::Write => {

@@ -2,31 +2,195 @@
 //!
 //! When a connection negotiates the shared-memory channel, data PDUs stop
 //! carrying bytes and instead reference a slot published through this
-//! interface (§4.3). The NVMe-oF stack stays transport-agnostic: it calls
-//! `publish` where it would have inlined bytes, and `consume` where it
-//! would have read them. `oaf-core` implements this trait over the real
-//! lock-free [`oaf_shmem::ShmChannel`].
+//! interface (§4.3). The NVMe-oF stack stays transport-agnostic, and the
+//! interface is *lease-based* so the zero-copy ablation step (§4.4.3) needs
+//! no extra copies anywhere:
+//!
+//! * send side: [`PayloadChannel::alloc`] hands out a [`WriteLease`] — for
+//!   a shared-memory channel the lease **is** a slot of the region — and
+//!   [`PayloadChannel::publish_lease`] publishes it without copying;
+//! * receive side: [`PayloadChannel::consume_with`] lends the published
+//!   bytes to a closure *in place*, freeing the slot afterwards.
+//!
+//! The original copying API ([`PayloadChannel::publish`] /
+//! [`PayloadChannel::consume`]) survives as default-implemented
+//! compatibility shims over the leases: `publish` is alloc + one copy +
+//! publish, `consume` is a borrow + one copy out. Implementations with a
+//! cheaper dedicated copy path (or deliberately copying baselines for the
+//! Fig. 8 ablation) can still override them. `oaf-core` implements this
+//! trait over the real lock-free [`oaf_shmem::ShmChannel`].
 
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
+use oaf_shmem::SlotLease;
 use parking_lot::Mutex;
 
 use crate::error::NvmeofError;
+
+enum LeaseInner {
+    /// A managed slot of a shared-memory region: publishing is free.
+    Slot(SlotLease),
+    /// Fallback for channels with no shared region behind them: a plain
+    /// heap buffer the channel will copy at publish time.
+    Heap(Vec<u8>),
+}
+
+/// A write buffer leased from a payload channel.
+///
+/// Fill it through `DerefMut` (or any `&mut [u8]` API), then hand it to
+/// [`PayloadChannel::publish_lease`]. On a shared-memory channel the
+/// buffer lives directly in the region — publishing copies nothing. On a
+/// fallback channel it is a heap buffer and publishing copies once,
+/// exactly like the old `publish(&[u8])` path.
+pub struct WriteLease {
+    inner: LeaseInner,
+}
+
+impl std::fmt::Debug for WriteLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            LeaseInner::Slot(l) => f
+                .debug_struct("WriteLease")
+                .field("kind", &"slot")
+                .field("slot", &l.slot())
+                .field("len", &l.len())
+                .finish(),
+            LeaseInner::Heap(b) => f
+                .debug_struct("WriteLease")
+                .field("kind", &"heap")
+                .field("len", &b.len())
+                .finish(),
+        }
+    }
+}
+
+impl WriteLease {
+    /// Wraps a managed shared-memory slot lease.
+    pub fn from_slot(lease: SlotLease) -> Self {
+        WriteLease {
+            inner: LeaseInner::Slot(lease),
+        }
+    }
+
+    /// A zero-filled heap-backed lease of `len` bytes (copy fallback).
+    pub fn heap(len: usize) -> Self {
+        WriteLease {
+            inner: LeaseInner::Heap(vec![0u8; len]),
+        }
+    }
+
+    /// Logical length of the buffer.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            LeaseInner::Slot(l) => l.len(),
+            LeaseInner::Heap(b) => b.len(),
+        }
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether publishing this lease avoids the application-side copy.
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self.inner, LeaseInner::Slot(_))
+    }
+
+    /// Shrinks the logical length to `len` (e.g. a short final chunk).
+    pub fn truncate(&mut self, len: usize) {
+        match &mut self.inner {
+            LeaseInner::Slot(l) => {
+                if len < l.len() {
+                    l.set_len(len).expect("shrinking below slot size");
+                }
+            }
+            LeaseInner::Heap(b) => b.truncate(len),
+        }
+    }
+
+    /// Unwraps the managed slot lease, or gives the lease back.
+    pub fn into_slot(self) -> Result<SlotLease, WriteLease> {
+        match self.inner {
+            LeaseInner::Slot(l) => Ok(l),
+            other => Err(WriteLease { inner: other }),
+        }
+    }
+
+    /// Unwraps the heap buffer, or gives the lease back.
+    pub fn into_heap(self) -> Result<Vec<u8>, WriteLease> {
+        match self.inner {
+            LeaseInner::Heap(b) => Ok(b),
+            other => Err(WriteLease { inner: other }),
+        }
+    }
+}
+
+impl Deref for WriteLease {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            LeaseInner::Slot(l) => l,
+            LeaseInner::Heap(b) => b,
+        }
+    }
+}
+
+impl DerefMut for WriteLease {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        match &mut self.inner {
+            LeaseInner::Slot(l) => l,
+            LeaseInner::Heap(b) => b,
+        }
+    }
+}
 
 /// A bidirectional out-of-band payload channel between one client and one
 /// target. Implementations must be cheap to share across the polling
 /// threads of a connection.
 pub trait PayloadChannel: Send + Sync {
-    /// Publishes `data` in this side's transmit direction; returns the
-    /// `(slot, len)` reference to send in the control PDU.
-    fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError>;
+    /// Leases a transmit buffer of `len` bytes. On a shared-memory
+    /// channel the buffer is a slot of the region (zero-copy, §4.4.3);
+    /// otherwise it is heap-backed and `publish_lease` copies once.
+    fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError>;
 
-    /// Consumes the payload published by the peer at `slot`, copying it
-    /// into `dst` (which must be exactly `len` bytes) and freeing the slot.
-    fn consume(&self, slot: u32, len: u32, dst: &mut [u8]) -> Result<(), NvmeofError>;
+    /// Publishes a filled lease in this side's transmit direction;
+    /// returns the `(slot, len)` reference to send in the control PDU.
+    fn publish_lease(&self, lease: WriteLease) -> Result<(u32, u32), NvmeofError>;
+
+    /// Lends the payload published by the peer at `slot` to `f` without
+    /// copying it out, then frees the slot. `f` is called exactly once
+    /// on success, with a slice of exactly `len` bytes.
+    fn consume_with(
+        &self,
+        slot: u32,
+        len: u32,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError>;
 
     /// Largest payload a single slot can carry.
     fn max_payload(&self) -> usize;
+
+    /// Publishes `data` by copying it into a fresh lease (one-copy
+    /// compatibility shim over [`PayloadChannel::alloc`] +
+    /// [`PayloadChannel::publish_lease`]).
+    fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
+        let mut lease = self.alloc(data.len())?;
+        lease.copy_from_slice(data);
+        self.publish_lease(lease)
+    }
+
+    /// Consumes the payload published by the peer at `slot`, copying it
+    /// into `dst` (which must be exactly `len` bytes) and freeing the
+    /// slot (one-copy compatibility shim over
+    /// [`PayloadChannel::consume_with`]).
+    fn consume(&self, slot: u32, len: u32, dst: &mut [u8]) -> Result<(), NvmeofError> {
+        if dst.len() != len as usize {
+            return Err(NvmeofError::Payload("length mismatch".into()));
+        }
+        self.consume_with(slot, len, &mut |bytes| dst.copy_from_slice(bytes))
+    }
 }
 
 #[derive(Default)]
@@ -71,19 +235,34 @@ impl MailboxChannel {
 }
 
 impl PayloadChannel for MailboxChannel {
-    fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
-        let mut side = self.dirs[self.tx_dir].lock();
-        let depth = side.slots.len();
-        let slot = side.next % depth;
-        if side.slots[slot].is_some() {
-            return Err(NvmeofError::Payload("no free slot".into()));
-        }
-        side.next += 1;
-        side.slots[slot] = Some(data.to_vec());
-        Ok((slot as u32, data.len() as u32))
+    fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError> {
+        // No shared region behind the mailbox: leases are heap-backed and
+        // publish_lease stores the bytes (the copy the real channel avoids).
+        Ok(WriteLease::heap(len))
     }
 
-    fn consume(&self, slot: u32, len: u32, dst: &mut [u8]) -> Result<(), NvmeofError> {
+    fn publish_lease(&self, lease: WriteLease) -> Result<(u32, u32), NvmeofError> {
+        let mut side = self.dirs[self.tx_dir].lock();
+        let depth = side.slots.len();
+        // Round-robin within the depth (§4.4.1): probe forward past
+        // stragglers; only a genuinely full mailbox is an error.
+        for probe in 0..depth {
+            let slot = (side.next + probe) % depth;
+            if side.slots[slot].is_none() {
+                side.next = slot + 1;
+                side.slots[slot] = Some(lease.to_vec());
+                return Ok((slot as u32, lease.len() as u32));
+            }
+        }
+        Err(NvmeofError::Payload("no free slot".into()))
+    }
+
+    fn consume_with(
+        &self,
+        slot: u32,
+        len: u32,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), NvmeofError> {
         let mut side = self.dirs[1 - self.tx_dir].lock();
         let stored = side
             .slots
@@ -91,10 +270,10 @@ impl PayloadChannel for MailboxChannel {
             .ok_or_else(|| NvmeofError::Payload(format!("bad slot {slot}")))?
             .take()
             .ok_or_else(|| NvmeofError::Payload(format!("slot {slot} empty")))?;
-        if stored.len() != len as usize || dst.len() != len as usize {
+        if stored.len() != len as usize {
             return Err(NvmeofError::Payload("length mismatch".into()));
         }
-        dst.copy_from_slice(&stored);
+        f(&stored);
         Ok(())
     }
 
@@ -137,6 +316,46 @@ mod tests {
         client.publish(b"1").unwrap();
         client.publish(b"2").unwrap();
         assert!(client.publish(b"3").is_err());
+    }
+
+    #[test]
+    fn publish_probes_past_straggler_slot() {
+        // Fill all three slots, drain only the middle one: the next
+        // publish must probe forward from next%depth (= occupied slot 0)
+        // and land in the freed slot 1 instead of erroring.
+        let (client, target) = MailboxChannel::pair(3);
+        client.publish(b"a").unwrap();
+        let (s1, l1) = client.publish(b"b").unwrap();
+        client.publish(b"c").unwrap();
+        let mut buf = vec![0u8; 1];
+        target.consume(s1, l1, &mut buf).unwrap();
+        let (slot, _) = client.publish(b"d").unwrap();
+        assert_eq!(slot, s1);
+    }
+
+    #[test]
+    fn lease_roundtrip_through_mailbox() {
+        let (client, target) = MailboxChannel::pair(2);
+        let mut lease = client.alloc(5).unwrap();
+        assert!(!lease.is_zero_copy());
+        lease.copy_from_slice(b"hello");
+        let (slot, len) = client.publish_lease(lease).unwrap();
+        let mut seen = Vec::new();
+        target
+            .consume_with(slot, len, &mut |b| seen.extend_from_slice(b))
+            .unwrap();
+        assert_eq!(seen, b"hello");
+        // Borrow freed the slot.
+        assert!(target.consume_with(slot, len, &mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn truncate_shrinks_lease() {
+        let mut lease = WriteLease::heap(8);
+        lease[..3].copy_from_slice(b"xyz");
+        lease.truncate(3);
+        assert_eq!(lease.len(), 3);
+        assert_eq!(&lease[..], b"xyz");
     }
 
     #[test]

@@ -205,11 +205,22 @@ impl TargetConnection {
         }
     }
 
-    fn materialize(&self, data: DataRef) -> Result<Vec<u8>, NvmeofError> {
+    /// Executes a data-bearing command with the payload *borrowed* in
+    /// place: inline bytes straight from the capsule, shm payloads lent
+    /// by the channel for the duration of the device copy. The only copy
+    /// left is slot → device — the one copy that cannot be avoided
+    /// (§4.4.3); the old materialize-into-a-`Vec` staging hop is gone.
+    fn execute_borrowed(
+        &self,
+        cmd: &NvmeCommand,
+        data: DataRef,
+        ctrl: &mut Controller,
+    ) -> Result<NvmeCompletion, NvmeofError> {
         match data {
             DataRef::Inline(b) => {
                 self.metrics.inline_payloads.inc();
-                Ok(b.to_vec())
+                let (comp, _) = ctrl.execute(cmd, Some(&b));
+                Ok(comp)
             }
             DataRef::ShmSlot { slot, len } => {
                 self.metrics.shm_payloads.inc();
@@ -217,12 +228,16 @@ impl TargetConnection {
                     .payload
                     .as_ref()
                     .ok_or_else(|| NvmeofError::Protocol("shm ref without channel".into()))?;
-                // The copy from shared memory into the target's (DPDK in
-                // the paper) buffer is the one copy that cannot be
-                // avoided (§4.4.3).
-                let mut buf = vec![0u8; len as usize];
-                ch.consume(slot, len, &mut buf)?;
-                Ok(buf)
+                let mut comp = None;
+                ch.consume_with(slot, len, &mut |bytes| {
+                    let (c, _) = ctrl.execute(cmd, Some(bytes));
+                    comp = Some(c);
+                })?;
+                self.metrics.zero_copy_bytes.add(u64::from(len));
+                self.metrics.copies_avoided.inc();
+                comp.ok_or_else(|| {
+                    NvmeofError::Protocol("payload channel did not lend slot bytes".into())
+                })
             }
         }
     }
@@ -246,8 +261,7 @@ impl TargetConnection {
                         self.cfg.in_capsule_max
                     )));
                 }
-                let buf = self.materialize(data)?;
-                let (comp, _) = ctrl.execute(&cmd, Some(&buf));
+                let comp = self.execute_borrowed(&cmd, data, ctrl)?;
                 self.finish(comp, out);
                 Ok(())
             }
@@ -283,21 +297,72 @@ impl TargetConnection {
         out: &mut Vec<Pdu>,
     ) -> Result<(), NvmeofError> {
         self.require_handshake()?;
-        let data = self.materialize(d.data.clone())?;
+        let metrics = Arc::clone(&self.metrics);
+        let ch = self.payload.clone();
+        let data_len = d.data.len();
         let Some(pending) = self.pending_writes.get_mut(&d.ttag) else {
             return Err(NvmeofError::Protocol(format!("unknown ttag {}", d.ttag)));
         };
         let off = d.offset as usize;
-        if off + data.len() > pending.buf.len() {
+        if off + data_len > pending.buf.len() {
             return Err(NvmeofError::Protocol("H2C data beyond R2T grant".into()));
         }
-        pending.buf[off..off + data.len()].copy_from_slice(&data);
-        pending.received += data.len();
+        // Land the chunk in the staging buffer directly — borrowed from
+        // the capsule or lent by the channel, never via an intermediate
+        // materialized `Vec`.
+        match d.data {
+            DataRef::Inline(b) => {
+                metrics.inline_payloads.inc();
+                pending.buf[off..off + b.len()].copy_from_slice(&b);
+            }
+            DataRef::ShmSlot { slot, len } => {
+                metrics.shm_payloads.inc();
+                let ch =
+                    ch.ok_or_else(|| NvmeofError::Protocol("shm ref without channel".into()))?;
+                let dst = &mut pending.buf[off..off + len as usize];
+                ch.consume_with(slot, len, &mut |bytes| dst.copy_from_slice(bytes))?;
+                metrics.copies_avoided.inc();
+            }
+        }
+        pending.received += data_len;
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
             let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
             self.finish(comp, out);
         }
+        Ok(())
+    }
+
+    /// Serves a read by leasing the target-half slot as the device's
+    /// destination buffer: the ssd backend reads straight into shared
+    /// memory and the lease publishes with no copy (§4.4.3).
+    fn read_via_lease(
+        &mut self,
+        cmd: NvmeCommand,
+        mut lease: crate::payload::WriteLease,
+        ctrl: &mut Controller,
+        out: &mut Vec<Pdu>,
+    ) -> Result<(), NvmeofError> {
+        let comp = ctrl.read_into(&cmd, &mut lease);
+        if comp.status.is_ok() {
+            let bytes = lease.len() as u64;
+            let zero_copy = lease.is_zero_copy();
+            let ch = self.payload.as_ref().expect("lease came from this channel");
+            let (slot, len) = ch.publish_lease(lease)?;
+            if zero_copy {
+                self.metrics.zero_copy_bytes.add(bytes);
+                self.metrics.copies_avoided.inc();
+            }
+            out.push(Pdu::C2HData(DataPdu {
+                cid: cmd.cid,
+                ttag: 0,
+                offset: 0,
+                last: true,
+                data: DataRef::ShmSlot { slot, len },
+            }));
+        }
+        // On error the unpublished lease drops here, returning its slot.
+        self.finish(comp, out);
         Ok(())
     }
 
@@ -307,6 +372,18 @@ impl TargetConnection {
         ctrl: &mut Controller,
         out: &mut Vec<Pdu>,
     ) -> Result<(), NvmeofError> {
+        if self.shm_active {
+            if let (Some(ch), Some(expected)) = (self.payload.as_ref(), ctrl.transfer_len(&cmd)) {
+                if expected > 0 && expected <= ch.max_payload() {
+                    // Pool exhaustion (or any alloc failure) falls back to
+                    // the copying path below rather than stalling the
+                    // connection.
+                    if let Ok(lease) = ch.alloc(expected) {
+                        return self.read_via_lease(cmd, lease, ctrl, out);
+                    }
+                }
+            }
+        }
         let (comp, payload) = ctrl.execute(&cmd, None);
         if let Some(data) = payload {
             if self.shm_active

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::bufmgr::{BufferManager, SlotLease};
 use crate::layout::{Dir, DoubleBufferLayout};
 use crate::lease::ZcBuf;
 use crate::region::ShmRegion;
@@ -68,6 +69,8 @@ pub struct ShmChannel {
     layout: DoubleBufferLayout,
     to_target: SlotRing,
     to_client: SlotRing,
+    to_target_mgr: BufferManager,
+    to_client_mgr: BufferManager,
 }
 
 impl ShmChannel {
@@ -85,9 +88,13 @@ impl ShmChannel {
         layout: DoubleBufferLayout,
     ) -> Result<Self, ShmError> {
         layout.check_fits(region.len())?;
+        let to_target = SlotRing::new(region.clone(), layout, Dir::ToTarget)?;
+        let to_client = SlotRing::new(region.clone(), layout, Dir::ToClient)?;
         Ok(ShmChannel {
-            to_target: SlotRing::new(region.clone(), layout, Dir::ToTarget)?,
-            to_client: SlotRing::new(region.clone(), layout, Dir::ToClient)?,
+            to_target_mgr: BufferManager::new(to_target.clone()),
+            to_client_mgr: BufferManager::new(to_client.clone()),
+            to_target,
+            to_client,
             region,
             layout,
         })
@@ -120,6 +127,15 @@ impl ShmChannel {
         match dir {
             Dir::ToTarget => &self.to_target,
             Dir::ToClient => &self.to_client,
+        }
+    }
+
+    /// The Buffer Manager pooling direction `dir`'s slots. Shared across
+    /// channel clones, so every handle sees one consistent lease ledger.
+    pub fn buffer_manager(&self, dir: Dir) -> &BufferManager {
+        match dir {
+            Dir::ToTarget => &self.to_target_mgr,
+            Dir::ToClient => &self.to_client_mgr,
         }
     }
 }
@@ -160,6 +176,17 @@ impl ShmEndpoint {
     /// transmit direction (§4.4.3).
     pub fn lease(&self, len: usize) -> Result<ZcBuf, ShmError> {
         ZcBuf::lease(self.channel.ring(self.side.tx_dir()), len)
+    }
+
+    /// The Buffer Manager pooling this side's *transmit* slots: managed
+    /// RAII leases with forward probing and zero-copy telemetry.
+    pub fn buffer_manager(&self) -> &BufferManager {
+        self.channel.buffer_manager(self.side.tx_dir())
+    }
+
+    /// Leases a managed transmit buffer through the Buffer Manager.
+    pub fn lease_managed(&self, len: usize) -> Result<SlotLease, ShmError> {
+        self.buffer_manager().lease(len)
     }
 
     /// Receives the payload published at `slot` (learned out-of-band).

@@ -20,6 +20,9 @@
 //!   announce locality (§4.2),
 //! * [`lease::ZcBuf`] — zero-copy buffer leases: the application's buffer
 //!   *is* a slot in the region (§4.4.3),
+//! * [`bufmgr::BufferManager`] — the Buffer Manager proper: a round-robin
+//!   lease pool over one direction's slots, with RAII [`bufmgr::SlotLease`]s,
+//!   forward-probing allocation, and zero-copy telemetry (§4.4.3),
 //! * [`locked::LockedShm`] — the mutex-guarded "SHM-baseline" variant kept
 //!   for the Fig. 8 ablation.
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod bufmgr;
 pub mod byte_ring;
 pub mod channel;
 pub mod flag;
@@ -45,6 +49,7 @@ pub mod ring;
 pub mod slot;
 pub mod stats;
 
+pub use bufmgr::{BufStats, BufferManager, SlotLease};
 pub use channel::ShmChannel;
 pub use layout::DoubleBufferLayout;
 pub use region::ShmRegion;

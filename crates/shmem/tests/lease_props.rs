@@ -1,0 +1,199 @@
+//! Property-based tests of the Buffer Manager's lease lifecycle: under
+//! random interleavings of lease/publish/drop/consume, a slot is reused
+//! only after it is freed, no two live leases ever overlap, and payloads
+//! survive from publish to consume uncorrupted. Publish-after-drop and
+//! double-consume are rejected by the slot state machine.
+
+use std::sync::Arc;
+
+use oaf_shmem::bufmgr::{BufferManager, SlotLease};
+use oaf_shmem::layout::{Dir, DoubleBufferLayout};
+use oaf_shmem::slot::{SlotRing, SlotState};
+use oaf_shmem::{ShmError, ShmRegion};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Take a lease and stamp its bytes.
+    Lease(u8),
+    /// Publish the oldest live lease.
+    Publish,
+    /// Drop the oldest live lease unpublished (abort).
+    Drop,
+    /// Consume the oldest published slot and verify its contents.
+    Consume,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Op::Lease),
+            Just(Op::Publish),
+            Just(Op::Drop),
+            Just(Op::Consume),
+        ],
+        1..200,
+    )
+}
+
+fn ring_and_manager(depth: usize, slot_size: usize) -> (SlotRing, BufferManager) {
+    let layout = DoubleBufferLayout::new(depth, slot_size);
+    let region = Arc::new(ShmRegion::new(layout.total()));
+    let ring = SlotRing::new(region, layout, Dir::ToTarget).expect("ring");
+    let mgr = BufferManager::new(ring.clone());
+    (ring, mgr)
+}
+
+proptest! {
+    #[test]
+    fn lease_lifecycle_holds_under_random_interleavings(
+        ops in arb_ops(),
+        depth in 1usize..9,
+    ) {
+        let (ring, mgr) = ring_and_manager(depth, 256);
+        let mut live: std::collections::VecDeque<(SlotLease, u8)> =
+            std::collections::VecDeque::new();
+        let mut published: std::collections::VecDeque<(usize, usize, u8)> =
+            std::collections::VecDeque::new();
+
+        for op in ops {
+            match op {
+                Op::Lease(stamp) => match mgr.lease(64) {
+                    Ok(mut lease) => {
+                        // A freshly issued lease must not alias any live
+                        // lease or any published-but-unconsumed slot.
+                        prop_assert!(
+                            live.iter().all(|(l, _)| l.slot() != lease.slot()),
+                            "slot {} double-leased", lease.slot()
+                        );
+                        prop_assert!(
+                            published.iter().all(|&(s, _, _)| s != lease.slot()),
+                            "slot {} reused before consume", lease.slot()
+                        );
+                        lease.copy_from_slice(&[stamp; 64]);
+                        live.push_back((lease, stamp));
+                    }
+                    Err(ShmError::NoFreeSlot) => {
+                        // Only legal when the whole pool is in flight.
+                        prop_assert_eq!(
+                            live.len() + published.len(),
+                            depth,
+                            "NoFreeSlot with free slots remaining"
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected: {e}"),
+                },
+                Op::Publish => {
+                    if let Some((lease, stamp)) = live.pop_front() {
+                        let (slot, len) = lease.publish();
+                        prop_assert_eq!(len, 64);
+                        prop_assert_eq!(
+                            ring.state(slot).expect("in range"),
+                            SlotState::Ready
+                        );
+                        published.push_back((slot, len, stamp));
+                    }
+                }
+                Op::Drop => {
+                    if let Some((lease, _)) = live.pop_front() {
+                        let slot = lease.slot();
+                        drop(lease);
+                        // An aborted lease frees its slot immediately...
+                        prop_assert_eq!(
+                            ring.state(slot).expect("in range"),
+                            SlotState::Free
+                        );
+                        // ...and never becomes visible to the consumer.
+                        prop_assert!(matches!(
+                            ring.begin_read(slot, 64),
+                            Err(ShmError::WrongState { .. })
+                        ));
+                    }
+                }
+                Op::Consume => {
+                    if let Some((slot, len, stamp)) = published.pop_front() {
+                        {
+                            let guard = ring.begin_read(slot, len).expect("published");
+                            prop_assert!(
+                                guard.as_slice().iter().all(|&b| b == stamp),
+                                "payload corrupted in slot {slot}"
+                            );
+                        }
+                        prop_assert_eq!(
+                            ring.state(slot).expect("in range"),
+                            SlotState::Free
+                        );
+                        // Double-consume of a freed slot is rejected.
+                        prop_assert!(matches!(
+                            ring.begin_read(slot, len),
+                            Err(ShmError::WrongState { .. })
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Bookkeeping invariants at quiescence.
+        let stats = mgr.stats();
+        prop_assert_eq!(stats.leases_live.get() as usize, live.len());
+        drop(live);
+        for (slot, len, stamp) in published {
+            let guard = ring.begin_read(slot, len).expect("published");
+            prop_assert!(guard.as_slice().iter().all(|&b| b == stamp));
+        }
+        for s in 0..depth {
+            prop_assert_eq!(ring.state(s).expect("in range"), SlotState::Free);
+        }
+        prop_assert_eq!(stats.leases_live.get(), 0);
+    }
+
+    /// Fill the pool completely: every live lease occupies a distinct
+    /// slot, and writes through one lease never bleed into another.
+    #[test]
+    fn live_leases_never_overlap(depth in 1usize..9) {
+        let (_ring, mgr) = ring_and_manager(depth, 128);
+        let mut leases: Vec<SlotLease> = (0..depth)
+            .map(|_| mgr.lease(128).expect("pool not yet full"))
+            .collect();
+        let slots: std::collections::BTreeSet<usize> =
+            leases.iter().map(|l| l.slot()).collect();
+        prop_assert_eq!(slots.len(), depth, "aliased slots");
+        for (i, lease) in leases.iter_mut().enumerate() {
+            lease.copy_from_slice(&[i as u8 + 1; 128]);
+        }
+        for (i, lease) in leases.iter().enumerate() {
+            prop_assert!(
+                lease.iter().all(|&b| b == i as u8 + 1),
+                "lease {i} overwritten by a neighbor"
+            );
+        }
+        prop_assert!(matches!(mgr.lease(1), Err(ShmError::NoFreeSlot)));
+    }
+}
+
+#[test]
+fn dropped_lease_slot_is_reissued_and_reusable() {
+    let (ring, mgr) = ring_and_manager(1, 64);
+    let lease = mgr.lease(16).expect("free");
+    let slot = lease.slot();
+    drop(lease);
+    // The freed slot is immediately reusable for a full round trip.
+    let mut again = mgr.lease(16).expect("freed by drop");
+    assert_eq!(again.slot(), slot);
+    again.copy_from_slice(&[9; 16]);
+    let (slot, len) = again.publish();
+    let guard = ring.begin_read(slot, len).expect("published");
+    assert!(guard.as_slice().iter().all(|&b| b == 9));
+}
+
+#[test]
+fn consume_before_publish_rejected() {
+    let (ring, mgr) = ring_and_manager(2, 64);
+    let lease = mgr.lease(8).expect("free");
+    // The consumer cannot read a slot that is merely leased (Writing):
+    // publication is the only hand-off point.
+    assert!(matches!(
+        ring.begin_read(lease.slot(), 8),
+        Err(ShmError::WrongState { .. })
+    ));
+}
