@@ -1,0 +1,225 @@
+//! Deterministic fault injection for the NVMe-oAF fabric.
+//!
+//! The robustness claim behind the recovery machinery (deadlines,
+//! keep-alive, shm→TCP degradation, lease reclamation) is only worth
+//! making if it survives hostile schedules — and a hostile schedule is
+//! only worth finding if it can be *replayed*. This crate wraps the real
+//! [`Transport`] and [`PayloadChannel`] abstractions in chaos layers
+//! that inject faults from a seeded, self-contained PRNG:
+//!
+//! * [`ChaosTransport`] — drops, delays, duplicates, reorders and
+//!   corrupts control frames, and can silently black-hole an endpoint
+//!   (abrupt peer death, detected only by keep-alive);
+//! * [`ChaosPayloadChannel`] — fails shared-memory slot operations
+//!   (publish stalls, consume failures) and can kill the whole channel
+//!   mid-flight to force shm→TCP degradation.
+//!
+//! Every decision is drawn from [`rng::ChaosRng`] seeded by
+//! [`FaultPlan::seed`]; a failing run prints its seed and CI replays it
+//! bit-for-bit (`OAF_CHAOS_SEED=<seed> cargo test`). Faults stay dormant
+//! until [`ChaosControls::arm`] — the handshake runs clean, matching the
+//! deployment reality that connection setup is retried by orchestration
+//! while data-path faults must be survived in place.
+//!
+//! [`Transport`]: oaf_nvmeof::transport::Transport
+//! [`PayloadChannel`]: oaf_nvmeof::payload::PayloadChannel
+
+#![warn(missing_docs)]
+
+pub mod payload;
+pub mod rng;
+pub mod transport;
+
+pub use payload::ChaosPayloadChannel;
+pub use transport::{wrap_pair, ChaosControls, ChaosTransport};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The eight fault kinds the chaos layers inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A control frame silently discarded.
+    Drop,
+    /// A control frame held back for a few receive polls.
+    Delay,
+    /// A control frame delivered twice.
+    Duplicate,
+    /// A control frame delivered after frames that arrived later.
+    Reorder,
+    /// A control frame with a flipped byte (caught by the frame CRC).
+    Corrupt,
+    /// A shared-memory publish/alloc that fails as if the ring wedged.
+    ShmPublishFail,
+    /// A shared-memory consume that fails as if the slot went bad.
+    ShmConsumeFail,
+    /// An endpoint that goes silent forever (both directions black-holed).
+    PeerDeath,
+}
+
+/// How aggressively each fault fires. Probabilities are parts per
+/// 10 000 per opportunity (a received frame, a payload operation).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for every chaos decision; print it on failure, replay it in CI.
+    pub seed: u64,
+    /// Frame drop probability.
+    pub drop_per_10k: u32,
+    /// Frame delay probability.
+    pub delay_per_10k: u32,
+    /// Frame duplication probability.
+    pub dup_per_10k: u32,
+    /// Frame reorder probability.
+    pub reorder_per_10k: u32,
+    /// Frame corruption probability.
+    pub corrupt_per_10k: u32,
+    /// Shared-memory publish/alloc failure probability.
+    pub shm_publish_fail_per_10k: u32,
+    /// Shared-memory consume failure probability.
+    pub shm_consume_fail_per_10k: u32,
+    /// Longest a delayed frame is held, in subsequent receive polls.
+    pub max_delay_polls: u64,
+    /// Black-hole the endpoint after this many armed receive polls
+    /// (`None`: the peer never dies).
+    pub peer_death_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (wrappers become transparent).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_10k: 0,
+            delay_per_10k: 0,
+            dup_per_10k: 0,
+            reorder_per_10k: 0,
+            corrupt_per_10k: 0,
+            shm_publish_fail_per_10k: 0,
+            shm_consume_fail_per_10k: 0,
+            max_delay_polls: 8,
+            peer_death_after: None,
+        }
+    }
+
+    /// Every recoverable fault at ~0.5 % per opportunity — the soak-test
+    /// default: frequent enough to fire hundreds of times across a run,
+    /// sparse enough that forward progress dominates.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            drop_per_10k: 50,
+            delay_per_10k: 50,
+            dup_per_10k: 50,
+            reorder_per_10k: 50,
+            corrupt_per_10k: 50,
+            shm_publish_fail_per_10k: 50,
+            shm_consume_fail_per_10k: 50,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Every recoverable fault at 2 % per opportunity.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            drop_per_10k: 200,
+            delay_per_10k: 200,
+            dup_per_10k: 200,
+            reorder_per_10k: 200,
+            corrupt_per_10k: 200,
+            shm_publish_fail_per_10k: 200,
+            shm_consume_fail_per_10k: 200,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Child seed for endpoint number `n`, derived so each wrapped
+    /// endpoint draws an independent stream from the one printed seed.
+    pub fn child_seed(&self, n: u64) -> u64 {
+        let mut s = self.seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F);
+        rng::splitmix64(&mut s)
+    }
+}
+
+/// Counts of injected faults, shared by every wrapper built from one
+/// plan. Tests assert coverage ("the run actually exercised ≥ N fault
+/// kinds") and print the tally next to the seed on failure.
+#[derive(Default, Debug)]
+pub struct ChaosStats {
+    drops: AtomicU64,
+    delays: AtomicU64,
+    dups: AtomicU64,
+    reorders: AtomicU64,
+    corrupts: AtomicU64,
+    shm_publish_fails: AtomicU64,
+    shm_consume_fails: AtomicU64,
+    deaths: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Records one injected fault.
+    pub fn record(&self, kind: FaultKind) {
+        let c = match kind {
+            FaultKind::Drop => &self.drops,
+            FaultKind::Delay => &self.delays,
+            FaultKind::Duplicate => &self.dups,
+            FaultKind::Reorder => &self.reorders,
+            FaultKind::Corrupt => &self.corrupts,
+            FaultKind::ShmPublishFail => &self.shm_publish_fails,
+            FaultKind::ShmConsumeFail => &self.shm_consume_fails,
+            FaultKind::PeerDeath => &self.deaths,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many faults of `kind` have been injected.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        let c = match kind {
+            FaultKind::Drop => &self.drops,
+            FaultKind::Delay => &self.delays,
+            FaultKind::Duplicate => &self.dups,
+            FaultKind::Reorder => &self.reorders,
+            FaultKind::Corrupt => &self.corrupts,
+            FaultKind::ShmPublishFail => &self.shm_publish_fails,
+            FaultKind::ShmConsumeFail => &self.shm_consume_fails,
+            FaultKind::PeerDeath => &self.deaths,
+        };
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults across every kind.
+    pub fn total(&self) -> u64 {
+        ALL_FAULTS.iter().map(|&k| self.count(k)).sum()
+    }
+
+    /// How many distinct fault kinds fired at least once.
+    pub fn kinds_fired(&self) -> usize {
+        ALL_FAULTS.iter().filter(|&&k| self.count(k) > 0).count()
+    }
+}
+
+impl std::fmt::Display for ChaosStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drop={} delay={} dup={} reorder={} corrupt={} shm_pub={} shm_con={} death={}",
+            self.count(FaultKind::Drop),
+            self.count(FaultKind::Delay),
+            self.count(FaultKind::Duplicate),
+            self.count(FaultKind::Reorder),
+            self.count(FaultKind::Corrupt),
+            self.count(FaultKind::ShmPublishFail),
+            self.count(FaultKind::ShmConsumeFail),
+            self.count(FaultKind::PeerDeath),
+        )
+    }
+}
+
+/// Every fault kind, for coverage iteration.
+pub const ALL_FAULTS: [FaultKind; 8] = [
+    FaultKind::Drop,
+    FaultKind::Delay,
+    FaultKind::Duplicate,
+    FaultKind::Reorder,
+    FaultKind::Corrupt,
+    FaultKind::ShmPublishFail,
+    FaultKind::ShmConsumeFail,
+    FaultKind::PeerDeath,
+];

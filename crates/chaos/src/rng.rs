@@ -1,0 +1,100 @@
+//! Self-contained deterministic PRNG (no external dependencies).
+//!
+//! Chaos schedules must be reproducible from a single printed seed, so
+//! the generator is fixed forever: splitmix64 expands the seed into the
+//! xoshiro256** state, exactly as Blackman & Vigna recommend. Both
+//! algorithms are public domain.
+
+/// One splitmix64 step: advances `state` and returns the next output.
+/// Used both for seeding and for deriving per-endpoint child seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator seeded via splitmix64.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    s: [u64; 4],
+}
+
+impl ChaosRng {
+    /// Builds a generator whose whole stream is a pure function of
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        ChaosRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// True with probability `per_10k` / 10 000.
+    pub fn chance(&mut self, per_10k: u32) -> bool {
+        per_10k > 0 && self.next_u64() % 10_000 < u64::from(per_10k)
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosRng::new(1);
+        let mut b = ChaosRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = ChaosRng::new(7);
+        assert!(!(0..1000).any(|_| r.chance(0)));
+        assert!((0..1000).all(|_| r.chance(10_000)));
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = ChaosRng::new(9);
+        for _ in 0..1000 {
+            let v = r.range(3, 11);
+            assert!((3..11).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Chaos wrapper over a control [`Transport`].
+//!
+//! Faults are injected on the receive side of the wrapped endpoint:
+//! dropping, delaying, duplicating, reordering or corrupting a frame on
+//! receipt is indistinguishable (to the protocol above) from the same
+//! misfortune anywhere along the path, and keeping injection on one
+//! side keeps the decision stream deterministic per endpoint. The
+//! wrapper implements only the three primitive transport methods;
+//! the batched helpers inherit the trait defaults and therefore route
+//! every frame through the chaos filter.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use oaf_nvmeof::error::NvmeofError;
+use oaf_nvmeof::transport::Transport;
+
+use crate::rng::ChaosRng;
+use crate::{ChaosStats, FaultKind, FaultPlan};
+
+/// Shared switchboard for one wrapped endpoint.
+struct EndpointCtl {
+    /// Faults stay dormant until armed (the handshake runs clean).
+    armed: AtomicBool,
+    /// Once set the endpoint is a black hole: sends vanish, receives
+    /// return nothing, forever. Only keep-alive can tell.
+    dead: AtomicBool,
+}
+
+/// Mutable receive-side state, serialized by a mutex (transports are
+/// polled from one thread in practice; the mutex makes the wrapper
+/// correct regardless).
+struct RxState {
+    rng: ChaosRng,
+    /// Receive polls observed (the chaos clock: delays are measured in
+    /// polls, not wall time, so schedules replay across machine speeds).
+    polls: u64,
+    /// Polls observed while armed (peer-death trigger).
+    armed_polls: u64,
+    /// Frames held back: `(due_poll, frame)`.
+    delayed: Vec<(u64, Bytes)>,
+    /// A duplicated frame awaiting its second delivery.
+    dup_pending: Option<Bytes>,
+}
+
+/// A [`Transport`] that injects faults from a seeded schedule.
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    ctl: Arc<EndpointCtl>,
+    stats: Arc<ChaosStats>,
+    state: Mutex<RxState>,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps one endpoint. `seed` should come from
+    /// [`FaultPlan::child_seed`] so both endpoints of a pair draw
+    /// independent streams from the one printed seed.
+    pub fn wrap(inner: T, seed: u64, plan: FaultPlan, stats: Arc<ChaosStats>) -> Self {
+        ChaosTransport {
+            inner,
+            plan,
+            ctl: Arc::new(EndpointCtl {
+                armed: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+            }),
+            stats,
+            state: Mutex::new(RxState {
+                rng: ChaosRng::new(seed),
+                polls: 0,
+                armed_polls: 0,
+                delayed: Vec::new(),
+                dup_pending: None,
+            }),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn armed(&self) -> bool {
+        self.ctl.armed.load(Ordering::Acquire)
+    }
+
+    fn dead(&self) -> bool {
+        self.ctl.dead.load(Ordering::Acquire)
+    }
+
+    /// Corrupts one byte of `frame` at a seeded position.
+    fn corrupt(rng: &mut ChaosRng, frame: &Bytes) -> Bytes {
+        let mut bytes = frame.to_vec();
+        if !bytes.is_empty() {
+            let i = rng.range(0, bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.range(0, 8);
+        }
+        Bytes::from(bytes)
+    }
+
+    /// One receive poll through the chaos filter.
+    fn pull(&self) -> Result<Option<Bytes>, NvmeofError> {
+        if self.dead() {
+            return Ok(None);
+        }
+        let mut st = self.state.lock().expect("chaos state");
+        st.polls += 1;
+        let armed = self.armed();
+        if armed {
+            st.armed_polls += 1;
+            if let Some(after) = self.plan.peer_death_after {
+                if st.armed_polls >= after && !self.ctl.dead.swap(true, Ordering::AcqRel) {
+                    self.stats.record(FaultKind::PeerDeath);
+                    return Ok(None);
+                }
+            }
+        }
+        // Second copy of a duplicated frame goes out first.
+        if let Some(dup) = st.dup_pending.take() {
+            return Ok(Some(dup));
+        }
+        // Then any held-back frame that has come due.
+        let now = st.polls;
+        if let Some(i) = st.delayed.iter().position(|(due, _)| *due <= now) {
+            return Ok(Some(st.delayed.remove(i).1));
+        }
+        let frame = match self.inner.try_recv()? {
+            Some(f) => f,
+            None => return Ok(None),
+        };
+        if !armed {
+            return Ok(Some(frame));
+        }
+        // One decision per fresh frame, in a fixed order so the stream
+        // of rolls is a pure function of the seed and arrival count.
+        if st.rng.chance(self.plan.drop_per_10k) {
+            self.stats.record(FaultKind::Drop);
+            return Ok(None);
+        }
+        if st.rng.chance(self.plan.delay_per_10k) {
+            let max = self.plan.max_delay_polls.max(1);
+            let due = now + st.rng.range(1, max + 1);
+            st.delayed.push((due, frame));
+            self.stats.record(FaultKind::Delay);
+            return Ok(None);
+        }
+        if st.rng.chance(self.plan.reorder_per_10k) {
+            // Held just long enough for frames behind it to pass.
+            st.delayed.push((now + 2, frame));
+            self.stats.record(FaultKind::Reorder);
+            return Ok(None);
+        }
+        if st.rng.chance(self.plan.dup_per_10k) {
+            st.dup_pending = Some(frame.clone());
+            self.stats.record(FaultKind::Duplicate);
+            return Ok(Some(frame));
+        }
+        if st.rng.chance(self.plan.corrupt_per_10k) {
+            let corrupted = Self::corrupt(&mut st.rng, &frame);
+            self.stats.record(FaultKind::Corrupt);
+            return Ok(Some(corrupted));
+        }
+        Ok(Some(frame))
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&self, frame: Bytes) -> Result<(), NvmeofError> {
+        if self.dead() {
+            // A dead peer acknowledges nothing — but the local kernel
+            // would still accept the write into its buffers.
+            return Ok(());
+        }
+        self.inner.send(frame)
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, NvmeofError> {
+        self.pull()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NvmeofError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(f) = self.pull()? {
+                return Ok(Some(f));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Remote control for a set of wrapped endpoints (typically the pair
+/// from [`wrap_pair`]).
+#[derive(Clone)]
+pub struct ChaosControls {
+    ctls: Vec<Arc<EndpointCtl>>,
+    stats: Arc<ChaosStats>,
+}
+
+impl ChaosControls {
+    /// Starts injecting faults (call after the handshake).
+    pub fn arm(&self) {
+        for c in &self.ctls {
+            c.armed.store(true, Ordering::Release);
+        }
+    }
+
+    /// Stops injecting faults (already-delayed frames still deliver).
+    pub fn disarm(&self) {
+        for c in &self.ctls {
+            c.armed.store(false, Ordering::Release);
+        }
+    }
+
+    /// Black-holes endpoint `index` (0 = first of the pair) for good.
+    pub fn kill(&self, index: usize) {
+        if let Some(c) = self.ctls.get(index) {
+            if !c.dead.swap(true, Ordering::AcqRel) {
+                self.stats.record(FaultKind::PeerDeath);
+            }
+        }
+    }
+
+    /// The shared fault tally.
+    pub fn stats(&self) -> &Arc<ChaosStats> {
+        &self.stats
+    }
+}
+
+/// Wraps both endpoints of a connected transport pair in chaos layers
+/// driven by one plan: endpoint 0 draws from child seed 0, endpoint 1
+/// from child seed 1, and both report into one [`ChaosStats`].
+pub fn wrap_pair<A: Transport, B: Transport>(
+    a: A,
+    b: B,
+    plan: &FaultPlan,
+) -> (ChaosTransport<A>, ChaosTransport<B>, ChaosControls) {
+    let stats = Arc::new(ChaosStats::default());
+    let ta = ChaosTransport::wrap(a, plan.child_seed(0), plan.clone(), stats.clone());
+    let tb = ChaosTransport::wrap(b, plan.child_seed(1), plan.clone(), stats.clone());
+    let controls = ChaosControls {
+        ctls: vec![ta.ctl.clone(), tb.ctl.clone()],
+        stats,
+    };
+    (ta, tb, controls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_nvmeof::transport::MemTransport;
+
+    fn frame(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 16])
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let (a, b) = MemTransport::pair();
+        let (ca, cb, controls) = wrap_pair(a, b, &FaultPlan::quiet(1));
+        controls.arm();
+        for i in 0..100u8 {
+            ca.send(frame(i)).unwrap();
+            let got = cb.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+            assert_eq!(got, frame(i));
+        }
+        assert_eq!(controls.stats().total(), 0);
+    }
+
+    #[test]
+    fn unarmed_wrapper_injects_nothing() {
+        let (a, b) = MemTransport::pair();
+        let (ca, cb, controls) = wrap_pair(a, b, &FaultPlan::heavy(2));
+        for i in 0..200u8 {
+            ca.send(frame(i)).unwrap();
+            assert_eq!(
+                cb.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+                frame(i)
+            );
+        }
+        assert_eq!(controls.stats().total(), 0);
+    }
+
+    #[test]
+    fn heavy_plan_injects_reproducibly() {
+        let run = |seed: u64| {
+            let (a, b) = MemTransport::pair();
+            let (ca, cb, controls) = wrap_pair(a, b, &FaultPlan::heavy(seed));
+            controls.arm();
+            let mut delivered = Vec::new();
+            for i in 0..255u8 {
+                ca.send(frame(i)).unwrap();
+            }
+            // Poll well past the longest delay.
+            for _ in 0..4000 {
+                if let Some(f) = cb.try_recv().unwrap() {
+                    delivered.push(f);
+                }
+            }
+            (delivered, controls.stats().total())
+        };
+        let (d1, n1) = run(77);
+        let (d2, n2) = run(77);
+        assert_eq!(d1, d2, "same seed must replay the same delivery");
+        assert_eq!(n1, n2);
+        assert!(n1 > 0, "heavy plan injected nothing over 255 frames");
+        let (d3, _) = run(78);
+        assert_ne!(d1, d3, "different seeds should differ");
+    }
+
+    #[test]
+    fn killed_endpoint_goes_silent() {
+        let (a, b) = MemTransport::pair();
+        let (ca, cb, controls) = wrap_pair(a, b, &FaultPlan::quiet(3));
+        ca.send(frame(1)).unwrap();
+        controls.kill(1);
+        assert!(cb
+            .recv_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+        // Sends are swallowed, not errors.
+        cb.send(frame(2)).unwrap();
+        assert_eq!(controls.stats().count(FaultKind::PeerDeath), 1);
+    }
+
+    #[test]
+    fn scheduled_peer_death_fires() {
+        let (a, b) = MemTransport::pair();
+        let plan = FaultPlan {
+            peer_death_after: Some(10),
+            ..FaultPlan::quiet(4)
+        };
+        let (ca, cb, controls) = wrap_pair(a, b, &plan);
+        controls.arm();
+        for _ in 0..20 {
+            let _ = cb.try_recv().unwrap();
+        }
+        ca.send(frame(9)).unwrap();
+        assert!(cb
+            .recv_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+        assert_eq!(controls.stats().count(FaultKind::PeerDeath), 1);
+    }
+}

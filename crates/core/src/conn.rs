@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use oaf_nvmeof::initiator::{Initiator, InitiatorOptions};
+use oaf_nvmeof::initiator::{Initiator, InitiatorOptions, KeepAliveConfig};
 use oaf_nvmeof::nvme::controller::Controller;
 use oaf_nvmeof::payload::PayloadChannel;
 use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
@@ -69,6 +69,18 @@ pub struct FabricSettings {
     /// How long a send may wait on a full control ring before giving up
     /// with `RingFull`.
     pub ring_full_timeout: Duration,
+    /// Per-command deadline: a command with no completion after this
+    /// long is retried (reads) or aborted-then-retried (writes), up to
+    /// `max_retries` attempts. `None` disables deadline tracking.
+    pub cmd_deadline: Option<Duration>,
+    /// Retry attempts before a command is surfaced as
+    /// [`NvmeofError::Timeout`].
+    pub max_retries: u32,
+    /// Base backoff between retry attempts (doubles per attempt).
+    pub retry_backoff: Duration,
+    /// Keep-alive probe interval; the peer is declared dead after three
+    /// quiet intervals. `None` disables keep-alive.
+    pub keepalive_interval: Option<Duration>,
 }
 
 impl Default for FabricSettings {
@@ -84,6 +96,10 @@ impl Default for FabricSettings {
             control_ring_bytes: 256 * 1024,
             ring_spin_limit: backoff.spin_limit,
             ring_full_timeout: backoff.send_full_timeout,
+            cmd_deadline: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(2),
+            keepalive_interval: None,
         }
     }
 }
@@ -257,6 +273,13 @@ impl ConnectionManager {
             af_caps,
             flow: settings.flow,
             maxr2t: 16,
+            cmd_deadline: settings.cmd_deadline,
+            max_retries: settings.max_retries,
+            retry_backoff: settings.retry_backoff,
+            keepalive: settings
+                .keepalive_interval
+                .map(KeepAliveConfig::with_interval),
+            backoff: settings.backoff(),
         };
         let initiator = Initiator::connect(
             client_tr,

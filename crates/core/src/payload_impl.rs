@@ -61,14 +61,19 @@ impl PayloadChannel for ShmPayloadChannel {
     fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError> {
         // Same bounded wait as `publish`: the round-robin pool drains as
         // the consumer frees slots, so short spins cover transient
-        // exhaustion while hard errors surface immediately.
+        // exhaustion while hard errors surface immediately. A
+        // quarantined pool fails fast instead of spinning out the
+        // budget — the peer that would drain it is gone.
         let mut spins = 0u32;
         loop {
             match self.mgr.lease(len) {
                 Ok(lease) => return Ok(WriteLease::from_slot(lease)),
-                Err(ShmError::NoFreeSlot) if spins < 1_000_000 => {
+                Err(ShmError::NoFreeSlot) if spins < 1_000_000 && !self.mgr.is_quarantined() => {
                     spins += 1;
                     std::hint::spin_loop();
+                }
+                Err(ShmError::NoFreeSlot) if self.mgr.is_quarantined() => {
+                    return Err(NvmeofError::Payload("channel quarantined".into()))
                 }
                 Err(e) => return Err(map_err(e)),
             }
@@ -109,6 +114,9 @@ impl PayloadChannel for ShmPayloadChannel {
     }
 
     fn publish(&self, data: &[u8]) -> Result<(u32, u32), NvmeofError> {
+        if self.mgr.is_quarantined() {
+            return Err(NvmeofError::Payload("channel quarantined".into()));
+        }
         // Slot rings reject when the consumer is queue-depth behind;
         // retry briefly — the paper's round-robin guarantee makes waits
         // short in the steady state.
@@ -116,7 +124,7 @@ impl PayloadChannel for ShmPayloadChannel {
         loop {
             match self.endpoint.send(data) {
                 Ok((slot, len)) => return Ok((slot as u32, len as u32)),
-                Err(ShmError::NoFreeSlot) if spins < 1_000_000 => {
+                Err(ShmError::NoFreeSlot) if spins < 1_000_000 && !self.mgr.is_quarantined() => {
                     spins += 1;
                     std::hint::spin_loop();
                 }
@@ -151,6 +159,22 @@ impl PayloadChannel for ShmPayloadChannel {
 
     fn max_payload(&self) -> usize {
         self.endpoint.channel().slot_size()
+    }
+
+    fn quarantine(&self) {
+        self.mgr.quarantine();
+    }
+
+    fn reclaim(&self) -> usize {
+        // Sweeps the transmit-direction ring: slots this side published
+        // that a dead (or degraded) peer will never drain. The receive
+        // direction is the peer's transmit ring — its own manager sweeps
+        // it when that side degrades.
+        self.mgr.reclaim()
+    }
+
+    fn reclaim_slot(&self, slot: u32) -> bool {
+        self.mgr.reclaim_slot(slot as usize)
     }
 }
 
@@ -303,6 +327,23 @@ mod tests {
         let mut buf = vec![0u8; len as usize];
         client.consume(slot, len, &mut buf).unwrap();
         assert_eq!(buf, b"reply");
+    }
+
+    #[test]
+    fn quarantined_channel_fails_fast_and_reclaims() {
+        let ch = ShmChannel::allocate(4, 256);
+        let client: Arc<dyn PayloadChannel> = ShmPayloadChannel::new(&ch, Side::Client);
+        // Publish two payloads the (dead) target never consumes.
+        let (slot_a, _) = client.publish(b"orphan a").unwrap();
+        let (slot_b, _) = client.publish(b"orphan b").unwrap();
+        client.quarantine();
+        // Denied immediately, not after the spin budget.
+        assert!(client.publish(b"after quarantine").is_err());
+        assert!(client.alloc(8).is_err());
+        // The sweep claws both orphaned slots back.
+        assert_eq!(client.reclaim(), 2);
+        assert!(!client.reclaim_slot(slot_a));
+        assert!(!client.reclaim_slot(slot_b));
     }
 
     #[test]

@@ -205,6 +205,13 @@ pub fn launch_many(
                 af_caps,
                 flow: settings.flow,
                 maxr2t: 16,
+                cmd_deadline: settings.cmd_deadline,
+                max_retries: settings.max_retries,
+                retry_backoff: settings.retry_backoff,
+                keepalive: settings
+                    .keepalive_interval
+                    .map(oaf_nvmeof::initiator::KeepAliveConfig::with_interval),
+                backoff: settings.backoff(),
             },
             client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
             Duration::from_secs(5),
@@ -423,7 +430,7 @@ impl AfClient {
                 Ok(r)
             }
             Err(e) => {
-                if matches!(e, NvmeofError::Timeout) {
+                if matches!(e, NvmeofError::Timeout { .. }) {
                     self.stats.record_error();
                 }
                 Err(e)

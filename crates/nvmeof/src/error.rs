@@ -3,7 +3,12 @@
 use crate::nvme::completion::Status;
 
 /// Errors surfaced by the NVMe-oF target, initiator and codec.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a catch-all
+/// arm so new fault classes (the robustness work keeps finding them) can
+/// be added without breaking callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NvmeofError {
     /// Malformed or truncated PDU bytes.
     Codec(String),
@@ -18,8 +23,21 @@ pub enum NvmeofError {
     /// A ring-based transport stayed full past its backoff budget —
     /// congestion (or a stalled peer), not corruption. Retryable.
     RingFull,
-    /// A blocking operation timed out.
-    Timeout,
+    /// A blocking operation timed out. Carries the command identifier
+    /// when the timeout belongs to a specific in-flight command (its
+    /// retry budget ran out); `None` for connection-level waits such as
+    /// the handshake.
+    Timeout {
+        /// The command that exhausted its deadline, if any.
+        cid: Option<u16>,
+    },
+    /// A received frame failed its CRC — bit damage on the fabric, not
+    /// a protocol violation. Droppable: the sender's deadline/retry
+    /// machinery re-covers the loss.
+    CorruptFrame,
+    /// The peer stopped responding to keep-alives past the grace
+    /// period; the connection is unusable.
+    PeerDead,
 }
 
 impl std::fmt::Display for NvmeofError {
@@ -31,8 +49,20 @@ impl std::fmt::Display for NvmeofError {
             NvmeofError::Nvme(s) => write!(f, "nvme status: {s:?}"),
             NvmeofError::Payload(m) => write!(f, "payload channel: {m}"),
             NvmeofError::RingFull => write!(f, "transport ring full (congestion)"),
-            NvmeofError::Timeout => write!(f, "operation timed out"),
+            NvmeofError::Timeout { cid: Some(cid) } => {
+                write!(f, "command {cid} timed out (retry budget exhausted)")
+            }
+            NvmeofError::Timeout { cid: None } => write!(f, "operation timed out"),
+            NvmeofError::CorruptFrame => write!(f, "frame failed CRC (corrupt)"),
+            NvmeofError::PeerDead => write!(f, "peer declared dead (keep-alive misses)"),
         }
+    }
+}
+
+impl NvmeofError {
+    /// A connection-level timeout (no specific command).
+    pub fn timeout() -> Self {
+        NvmeofError::Timeout { cid: None }
     }
 }
 
@@ -46,7 +76,12 @@ mod tests {
     fn display_is_informative() {
         let e = NvmeofError::Codec("short header".into());
         assert!(e.to_string().contains("short header"));
-        assert!(NvmeofError::Timeout.to_string().contains("timed out"));
+        assert!(NvmeofError::timeout().to_string().contains("timed out"));
+        assert!(NvmeofError::Timeout { cid: Some(17) }
+            .to_string()
+            .contains("17"));
+        assert!(NvmeofError::CorruptFrame.to_string().contains("CRC"));
+        assert!(NvmeofError::PeerDead.to_string().contains("dead"));
         assert!(NvmeofError::Nvme(Status::LbaOutOfRange)
             .to_string()
             .contains("LbaOutOfRange"));

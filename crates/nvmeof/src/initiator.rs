@@ -16,12 +16,33 @@ use bytes::{Bytes, BytesMut};
 use crate::error::NvmeofError;
 use crate::metrics::InitiatorMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
-use crate::nvme::completion::Status;
+use crate::nvme::completion::{NvmeCompletion, Status};
 use crate::nvme::controller::IdentifyInfo;
 use crate::payload::{PayloadChannel, WriteLease};
-use crate::pdu::{CapsuleCmd, DataPdu, DataRef, ICReq, Pdu, AF_CAP_SHM};
-use crate::transport::{Frame, Transport};
+use crate::pdu::{Abort, CapsuleCmd, DataPdu, DataRef, Degrade, ICReq, KeepAlive, Pdu, AF_CAP_SHM};
+use crate::transport::{BackoffConfig, Frame, Transport, WaitLadder, WaitStep};
 use crate::FlowMode;
+
+/// Keep-alive tuning: how long a connection may stay silent before the
+/// initiator probes it, and how long before the peer is declared dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeepAliveConfig {
+    /// Quiet time after which a heartbeat is sent (and re-sent).
+    pub interval: Duration,
+    /// Total silence after which the peer is declared dead and
+    /// [`NvmeofError::PeerDead`] surfaces from `poll`/`wait`.
+    pub grace: Duration,
+}
+
+impl KeepAliveConfig {
+    /// An interval with the conventional 3× grace period.
+    pub fn with_interval(interval: Duration) -> Self {
+        KeepAliveConfig {
+            interval,
+            grace: interval * 3,
+        }
+    }
+}
 
 /// Client-side connection options.
 #[derive(Clone)]
@@ -34,6 +55,25 @@ pub struct InitiatorOptions {
     pub flow: FlowMode,
     /// Maximum R2Ts (informational).
     pub maxr2t: u32,
+    /// Per-command deadline. When set, a command that has not completed
+    /// by its deadline is retried (reads resubmit directly; writes only
+    /// after an abort round-trip) up to [`max_retries`] times, then
+    /// surfaced as [`NvmeofError::Timeout`]. `None` disables all
+    /// deadline bookkeeping.
+    ///
+    /// [`max_retries`]: InitiatorOptions::max_retries
+    pub cmd_deadline: Option<Duration>,
+    /// Retry budget per command once `cmd_deadline` is set.
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff added to each retry's
+    /// deadline (`cmd_deadline + retry_backoff * 2^attempt`).
+    pub retry_backoff: Duration,
+    /// Keep-alive probing; `None` disables heartbeats and peer-death
+    /// detection.
+    pub keepalive: Option<KeepAliveConfig>,
+    /// Spin→yield→sleep ladder tuning for the blocking waits
+    /// (`connect`, `wait`) — the same knob the ring transports use.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for InitiatorOptions {
@@ -43,12 +83,24 @@ impl Default for InitiatorOptions {
             af_caps: 0,
             flow: FlowMode::Conservative,
             maxr2t: 16,
+            cmd_deadline: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(2),
+            keepalive: None,
+            backoff: BackoffConfig::default(),
         }
     }
 }
 
 struct PendingIo {
-    opcode: Opcode,
+    /// The command as last sent on the wire (`cmd.cid` is the *wire*
+    /// cid, which diverges from [`user_cid`] after a retry).
+    ///
+    /// [`user_cid`]: PendingIo::user_cid
+    cmd: NvmeCommand,
+    /// The cid handed to the caller at submit time; completions are
+    /// reported under it no matter how many wire cids retries burned.
+    user_cid: u16,
     read_buf: Vec<u8>,
     stashed_write: Option<Bytes>,
     /// Borrowed read (§4.4.3): leave shm payloads in the region and hand
@@ -56,8 +108,42 @@ struct PendingIo {
     borrow: bool,
     /// Unconsumed shm payload reference for a borrowed read.
     shm_data: Option<(u32, u32)>,
-    completion: Option<Status>,
+    /// Contiguous prefix of the read buffer filled by C2H data. A chunk
+    /// landing past the watermark does not advance it, so `got` never
+    /// overstates what has arrived; a gap left by a dropped chunk keeps
+    /// the command held until the deadline re-fetches it.
+    got: usize,
+    /// A success completion that arrived before the data it vouches for
+    /// (a reordering fabric can do that). Held until the last byte
+    /// lands, then resolved exactly as if it had arrived in order.
+    early_completion: Option<NvmeCompletion>,
     submitted_at: Instant,
+    /// Retained write/compare payload (a refcount clone, no copy) so a
+    /// lost command can be replayed — including over TCP after a shm
+    /// degradation. `None` for zero-copy published writes, which cannot
+    /// be replayed.
+    retry_payload: Option<Bytes>,
+    /// Slot the original submission published over shm, if any, so a
+    /// retry or abort can free it instead of leaking it.
+    published_slot: Option<(u32, u32)>,
+    /// When the command times out and becomes eligible for retry.
+    deadline: Option<Instant>,
+    /// Retries consumed (0 = first flight).
+    attempts: u32,
+    /// A write-class retry is waiting on its abort round-trip.
+    awaiting_abort: bool,
+}
+
+impl PendingIo {
+    /// Whether the opcode may be resubmitted without an abort
+    /// round-trip: reads and other non-mutating commands, plus flush
+    /// (idempotent).
+    fn retries_freely(&self) -> bool {
+        matches!(
+            self.cmd.opcode,
+            Opcode::Read | Opcode::Identify | Opcode::Flush | Opcode::Compare
+        )
+    }
 }
 
 /// Outcome of a completed I/O.
@@ -78,6 +164,12 @@ pub struct IoResult {
     pub shm: Option<(u32, u32)>,
 }
 
+/// Recently-retired wire cids remembered for stale-frame tolerance:
+/// late duplicates, completions that raced a retry, and frames for
+/// aborted commands are dropped (and counted) instead of erroring the
+/// connection. Sized far above any sane queue depth.
+const RETIRED_RING: usize = 256;
+
 /// Per-connection client state, split from the transport so the batched
 /// receive path can borrow the two disjointly: `recv_batch` holds the
 /// transport shared while the frame callback mutates the state.
@@ -94,6 +186,25 @@ struct ClientState {
     /// allocates nothing on the send side.
     scratch: BytesMut,
     metrics: Arc<InitiatorMetrics>,
+    /// Ring of recently-retired wire cids (0 = empty; cid 0 is never
+    /// allocated). Fixed-size so stale-frame tolerance costs no heap.
+    retired: [u16; RETIRED_RING],
+    retired_at: usize,
+    /// User cids whose retry budget ran out; `wait` surfaces them as
+    /// [`NvmeofError::Timeout`].
+    timed_out: Vec<u16>,
+    /// Earliest pending deadline, tracked as a scalar so the steady
+    /// state pays one comparison per poll, not a map scan.
+    next_deadline: Option<Instant>,
+    /// Reusable scratch for the (cold) deadline sweep.
+    expired_scratch: Vec<u16>,
+    /// Keep-alive bookkeeping.
+    last_rx: Instant,
+    last_ka_tx: Instant,
+    ka_seq: u64,
+    ka_outstanding: bool,
+    /// The shm payload path has been abandoned mid-flight.
+    degraded: bool,
 }
 
 /// An NVMe-oF initiator over a transport.
@@ -116,21 +227,54 @@ impl ClientState {
 
     /// Registers a new in-flight command and bumps the queue-depth
     /// telemetry (the map insert reuses freed capacity in steady state).
-    fn track(&mut self, cid: u16, opcode: Opcode, read_buf: Vec<u8>, stashed_write: Option<Bytes>) {
+    fn track(&mut self, cmd: NvmeCommand, read_buf: Vec<u8>, stashed_write: Option<Bytes>) {
+        let now = Instant::now();
+        let deadline = self.arm_deadline(now, 0);
         self.pending.insert(
-            cid,
+            cmd.cid,
             PendingIo {
-                opcode,
+                cmd,
+                user_cid: cmd.cid,
                 read_buf,
                 stashed_write,
                 borrow: false,
                 shm_data: None,
-                completion: None,
-                submitted_at: Instant::now(),
+                got: 0,
+                early_completion: None,
+                submitted_at: now,
+                retry_payload: None,
+                published_slot: None,
+                deadline,
+                attempts: 0,
+                awaiting_abort: false,
             },
         );
         self.metrics.submitted.inc();
         self.metrics.inflight.add(1);
+    }
+
+    /// Computes a command deadline for retry round `attempts` and folds
+    /// it into the scalar next-deadline watermark.
+    fn arm_deadline(&mut self, now: Instant, attempts: u32) -> Option<Instant> {
+        let base = self.opts.cmd_deadline?;
+        let backoff = self.opts.retry_backoff * (1u32 << attempts.min(6));
+        let deadline = now + base + backoff;
+        self.next_deadline = Some(match self.next_deadline {
+            Some(d) if d <= deadline => d,
+            _ => deadline,
+        });
+        Some(deadline)
+    }
+
+    /// Remembers a wire cid as retired so late frames for it are
+    /// tolerated instead of erroring the connection.
+    fn retire_cid(&mut self, cid: u16) {
+        self.retired[self.retired_at] = cid;
+        self.retired_at = (self.retired_at + 1) % RETIRED_RING;
+    }
+
+    fn is_retired(&self, cid: u16) -> bool {
+        self.retired.contains(&cid)
     }
 
     /// Encodes `pdu` into the connection scratch and sends the borrowed
@@ -144,6 +288,290 @@ impl ClientState {
         pdu.encode_into(&mut self.scratch);
         transport.send_frame(&self.scratch)
     }
+
+    /// Like [`send_pdu`], but treats ring congestion as transient: the
+    /// recovery machinery's own traffic (aborts, heartbeats, degrade
+    /// notices) must never escalate a full ring into a dead connection —
+    /// the next deadline sweep simply tries again.
+    ///
+    /// [`send_pdu`]: ClientState::send_pdu
+    fn send_pdu_lossy<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        pdu: &Pdu,
+    ) -> Result<(), NvmeofError> {
+        match self.send_pdu(transport, pdu) {
+            Err(NvmeofError::RingFull) => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Abandons the shared-memory payload path mid-flight: quarantines
+    /// the channel, notifies the target, replays every in-flight
+    /// shm-published command over the TCP control path (writes with a
+    /// retained payload resubmit under a fresh cid; zero-copy writes go
+    /// through the abort round-trip), and sweeps the slot region.
+    fn degrade<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
+        if self.degraded {
+            return Ok(());
+        }
+        self.degraded = true;
+        self.shm_active = false;
+        self.metrics.degradations.inc();
+        self.send_pdu_lossy(transport, &Pdu::Degrade(Degrade { reason: 1 }))?;
+        // Replay in-flight commands whose payload (or expected payload)
+        // was parked in the now-dead region. Collect first: resubmission
+        // mutates the pending map.
+        self.expired_scratch.clear();
+        for (&cid, io) in self.pending.iter() {
+            if io.published_slot.is_some() {
+                self.expired_scratch.push(cid);
+            }
+        }
+        let stranded = std::mem::take(&mut self.expired_scratch);
+        for cid in &stranded {
+            self.retry_command(transport, *cid)?;
+        }
+        self.expired_scratch = stranded;
+        self.expired_scratch.clear();
+        // Quarantine + sweep: no new leases succeed, and published-but-
+        // unconsumed slots return to the pool (counted by the channel's
+        // own `slots_reclaimed` stat).
+        if let Some(ch) = self.payload.as_ref() {
+            ch.quarantine();
+            ch.reclaim();
+        }
+        Ok(())
+    }
+
+    /// One retry step for wire cid `cid`: reads (and other freely
+    /// retryable opcodes) resubmit under a fresh wire cid; write-class
+    /// commands first run the abort round-trip so a retry can never
+    /// double-apply. Exhausted budgets surface the command on the
+    /// timed-out list.
+    fn retry_command<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        cid: u16,
+    ) -> Result<(), NvmeofError> {
+        let Some(io) = self.pending.get(&cid) else {
+            return Ok(());
+        };
+        if io.attempts >= self.opts.max_retries {
+            return self.give_up(cid);
+        }
+        if io.retries_freely() {
+            self.resubmit(transport, cid)
+        } else {
+            // Write-class: (re-)request the abort round-trip. The ack
+            // tells us whether the original applied (complete with its
+            // status) or not (safe to resubmit under a fresh cid).
+            let now = Instant::now();
+            let io = self.pending.get_mut(&cid).expect("checked above");
+            io.attempts += 1;
+            io.awaiting_abort = true;
+            let attempts = io.attempts;
+            io.deadline = None; // re-armed below so the watermark updates
+            let deadline = self.arm_deadline(now, attempts);
+            self.pending.get_mut(&cid).expect("still pending").deadline = deadline;
+            self.metrics.retries.inc();
+            self.metrics.aborts_sent.inc();
+            self.send_pdu_lossy(transport, &Pdu::Abort(Abort { cid }))
+        }
+    }
+
+    /// Resubmits `cid` under a fresh wire cid (the old one is retired so
+    /// its late frames are tolerated). The payload, if any, replays from
+    /// the retained clone — over the control path, since retries prefer
+    /// the conservative route.
+    fn resubmit<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        cid: u16,
+    ) -> Result<(), NvmeofError> {
+        let Some(mut io) = self.pending.remove(&cid) else {
+            return Ok(());
+        };
+        self.retire_cid(cid);
+        // Free the slot the original submission published: the target
+        // has provably not consumed it (abort said not-applied, or the
+        // channel is quarantined and swept anyway).
+        if let Some((slot, _len)) = io.published_slot.take() {
+            if let Some(ch) = self.payload.as_ref() {
+                ch.reclaim_slot(slot);
+            }
+        }
+        let new_cid = self.alloc_cid();
+        let now = Instant::now();
+        io.cmd.cid = new_cid;
+        if !io.awaiting_abort {
+            // An abort round-trip already charged this retry round.
+            io.attempts += 1;
+        }
+        io.awaiting_abort = false;
+        // The fresh attempt refills the buffer from byte zero, and any
+        // completion held for the old attempt vouches for nothing now.
+        io.got = 0;
+        io.early_completion = None;
+        io.deadline = self.arm_deadline(now, io.attempts);
+        let data = match io.retry_payload.clone() {
+            Some(data) if data.len() <= self.in_capsule_max => Some(DataRef::Inline(data)),
+            Some(data) => {
+                io.stashed_write = Some(data);
+                None
+            }
+            None => None,
+        };
+        let cmd = io.cmd;
+        self.pending.insert(new_cid, io);
+        self.metrics.retries.inc();
+        self.send_pdu_lossy(transport, &Pdu::CapsuleCmd(CapsuleCmd { cmd, data }))
+    }
+
+    /// Retires `cid` as timed out: its retry budget is spent.
+    fn give_up(&mut self, cid: u16) -> Result<(), NvmeofError> {
+        let Some(mut io) = self.pending.remove(&cid) else {
+            return Ok(());
+        };
+        self.retire_cid(cid);
+        if let Some((slot, _len)) = io.published_slot.take() {
+            if let Some(ch) = self.payload.as_ref() {
+                ch.reclaim_slot(slot);
+            }
+        }
+        self.timed_out.push(io.user_cid);
+        self.metrics.timeouts.inc();
+        self.metrics.inflight.sub(1);
+        Ok(())
+    }
+
+    /// Whether `io` still owes the caller payload bytes — completing it
+    /// now would hand back a partially-filled (or untouched) read
+    /// buffer. True exactly when a success completion must be held
+    /// because it overtook its own C2H data on a reordering fabric.
+    fn awaiting_read_data(io: &PendingIo) -> bool {
+        match io.cmd.opcode {
+            Opcode::Read => {
+                if io.borrow {
+                    // Borrowed reads park a shm reference (or fall back
+                    // to an inline copy, which advances `got`).
+                    io.shm_data.is_none() && io.got == 0
+                } else {
+                    io.got < io.read_buf.len()
+                }
+            }
+            // Identify data arrives as one inline chunk of unpredictable
+            // size; any arrival marks it complete.
+            Opcode::Identify => io.got == 0,
+            _ => false,
+        }
+    }
+
+    /// Resolves wire cid `cid` with `completion`: retires the cid,
+    /// settles telemetry and queues the [`IoResult`] under the user cid.
+    /// Shared by the in-order path, the held-completion release in the
+    /// C2H data handler, and the abort-ack "already applied" path.
+    fn finish_command(&mut self, cid: u16, completion: NvmeCompletion) {
+        let Some(mut pending) = self.pending.remove(&cid) else {
+            return;
+        };
+        self.retire_cid(cid);
+        self.metrics.completions.inc();
+        self.metrics.inflight.sub(1);
+        if !completion.status.is_ok() {
+            self.metrics.errors.inc();
+        }
+        self.metrics
+            .latency(pending.cmd.opcode)
+            .record_nanos(pending.submitted_at.elapsed());
+        if let Some((_, len)) = pending.shm_data {
+            self.metrics.zero_copy_bytes.add(u64::from(len));
+            self.metrics.copies_avoided.inc();
+        }
+        self.completed.push(IoResult {
+            cid: pending.user_cid,
+            status: completion.status,
+            data: std::mem::take(&mut pending.read_buf),
+            shm: pending.shm_data.take(),
+        });
+    }
+
+    /// Deadline + keep-alive pass, run once per poll. Costs one
+    /// `Instant::now()` when either feature is enabled and nothing when
+    /// both are off; the deadline sweep itself only runs when the scalar
+    /// watermark has actually expired.
+    fn tick<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
+        let deadlines = self.opts.cmd_deadline.is_some();
+        let keepalive = self.opts.keepalive.is_some();
+        if !deadlines && !keepalive {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if deadlines {
+            self.sweep_deadlines(transport, now)?;
+        }
+        if keepalive {
+            self.check_keepalive(transport, now)?;
+        }
+        Ok(())
+    }
+
+    fn sweep_deadlines<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        now: Instant,
+    ) -> Result<(), NvmeofError> {
+        if self.next_deadline.is_none_or(|d| now < d) {
+            return Ok(());
+        }
+        // Cold path: something actually expired (or the watermark is
+        // stale after a completion). Sweep, collect, recompute.
+        self.next_deadline = None;
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        for (&cid, io) in self.pending.iter() {
+            match io.deadline {
+                Some(d) if now >= d => expired.push(cid),
+                Some(d) => {
+                    self.next_deadline = Some(match self.next_deadline {
+                        Some(cur) if cur <= d => cur,
+                        _ => d,
+                    });
+                }
+                None => {}
+            }
+        }
+        for cid in &expired {
+            self.retry_command(transport, *cid)?;
+        }
+        expired.clear();
+        self.expired_scratch = expired;
+        Ok(())
+    }
+
+    fn check_keepalive<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        now: Instant,
+    ) -> Result<(), NvmeofError> {
+        let ka = self.opts.keepalive.expect("caller checked");
+        let quiet = now.duration_since(self.last_rx);
+        if quiet >= ka.grace {
+            self.metrics.keepalive_misses.inc();
+            return Err(NvmeofError::PeerDead);
+        }
+        if quiet >= ka.interval && now.duration_since(self.last_ka_tx) >= ka.interval {
+            if self.ka_outstanding {
+                self.metrics.keepalive_misses.inc();
+            }
+            self.ka_seq += 1;
+            let seq = self.ka_seq;
+            self.last_ka_tx = now;
+            self.ka_outstanding = true;
+            self.send_pdu_lossy(transport, &Pdu::KeepAlive(KeepAlive { seq }))?;
+        }
+        Ok(())
+    }
 }
 
 impl<T: Transport> Initiator<T> {
@@ -156,31 +584,43 @@ impl<T: Transport> Initiator<T> {
         payload: Option<Arc<dyn PayloadChannel>>,
         timeout: Duration,
     ) -> Result<Self, NvmeofError> {
-        transport.send(
-            Pdu::ICReq(ICReq {
-                pfv: 1,
-                maxr2t: opts.maxr2t,
-                af_caps: opts.af_caps,
-                host_id: opts.host_id,
-            })
-            .encode(),
-        )?;
+        let icreq = Pdu::ICReq(ICReq {
+            pfv: 1,
+            maxr2t: opts.maxr2t,
+            af_caps: opts.af_caps,
+            host_id: opts.host_id,
+        });
+        transport.send(icreq.encode())?;
         let deadline = Instant::now() + timeout;
+        let mut ladder = WaitLadder::until(deadline, &opts.backoff);
         let resp = loop {
-            match transport.recv_timeout(Duration::from_millis(1))? {
-                Some(frame) => match Pdu::decode(frame)? {
-                    Pdu::ICResp(r) => break r,
-                    other => {
-                        return Err(NvmeofError::Protocol(format!(
-                            "expected ICResp, got {other:?}"
-                        )))
-                    }
+            let frame = match transport.try_recv()? {
+                Some(frame) => Some(frame),
+                None => match ladder.step() {
+                    WaitStep::Expired => return Err(NvmeofError::timeout()),
+                    WaitStep::Again => None,
+                    WaitStep::Sleep(d) => transport.recv_timeout(d)?,
                 },
-                None if Instant::now() >= deadline => return Err(NvmeofError::Timeout),
-                None => {}
+            };
+            let Some(frame) = frame else { continue };
+            match Pdu::decode(frame) {
+                Ok(Pdu::ICResp(r)) => break r,
+                Ok(other) => {
+                    return Err(NvmeofError::Protocol(format!(
+                        "expected ICResp, got {other:?}"
+                    )))
+                }
+                // A damaged handshake frame is dropped and the (idempotent)
+                // ICReq re-asked; the target answers duplicates with the
+                // same grant.
+                Err(NvmeofError::CorruptFrame) | Err(NvmeofError::Codec(_)) => {
+                    transport.send(icreq.encode())?;
+                }
+                Err(e) => return Err(e),
             }
         };
         let shm_active = resp.af_caps & AF_CAP_SHM != 0 && payload.is_some();
+        let now = Instant::now();
         Ok(Initiator {
             transport,
             state: ClientState {
@@ -195,6 +635,16 @@ impl<T: Transport> Initiator<T> {
                 // steady state never regrows it.
                 scratch: BytesMut::with_capacity(256),
                 metrics: InitiatorMetrics::new(),
+                retired: [0u16; RETIRED_RING],
+                retired_at: 0,
+                timed_out: Vec::new(),
+                next_deadline: None,
+                expired_scratch: Vec::new(),
+                last_rx: now,
+                last_ka_tx: now,
+                ka_seq: 0,
+                ka_outstanding: false,
+                degraded: false,
             },
         })
     }
@@ -231,6 +681,20 @@ impl<T: Transport> Initiator<T> {
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
+        let publish_over_shm = self.state.opts.flow == FlowMode::InCapsule;
+        self.submit_with_payload(cmd, data, publish_over_shm)
+    }
+
+    /// Shared payload-bearing submit path (writes and compares): picks
+    /// the channel per the negotiated flow, retains a refcount clone of
+    /// the payload for deadline-driven replay, and degrades to the TCP
+    /// control path if the shm publish fails mid-flight.
+    fn submit_with_payload(
+        &mut self,
+        cmd: NvmeCommand,
+        data: Bytes,
+        publish_over_shm: bool,
+    ) -> Result<u16, NvmeofError> {
         let use_shm = self.state.shm_active
             && self
                 .state
@@ -238,7 +702,9 @@ impl<T: Transport> Initiator<T> {
                 .as_ref()
                 .is_some_and(|ch| data.len() <= ch.max_payload());
         let mut stashed = None;
-        let capsule_data = if use_shm && self.state.opts.flow == FlowMode::InCapsule {
+        let mut published = None;
+        let mut capsule_data = None;
+        if use_shm && publish_over_shm {
             // Shared-memory flow control: payload parks in the region and
             // the command alone reaches the target (§4.4.2 swaps steps ①
             // and ③ of Fig. 7 and drops R2T + H2C).
@@ -246,19 +712,36 @@ impl<T: Transport> Initiator<T> {
                 .state
                 .payload
                 .as_ref()
-                .expect("use_shm implies channel");
-            let (slot, len) = ch.publish(&data)?;
-            Some(DataRef::ShmSlot { slot, len })
-        } else if !use_shm && data.len() <= self.state.in_capsule_max {
-            Some(DataRef::Inline(data.clone()))
-        } else {
-            // Conservative flow: wait for R2T, then ship the payload
-            // (over shm if negotiated — Fig. 7's NVMe-oSHM flow — or
-            // inline otherwise).
-            stashed = Some(data.clone());
-            None
-        };
-        self.state.track(cid, Opcode::Write, Vec::new(), stashed);
+                .expect("use_shm implies channel")
+                .clone();
+            match ch.publish(&data) {
+                Ok((slot, len)) => {
+                    published = Some((slot, len));
+                    capsule_data = Some(DataRef::ShmSlot { slot, len });
+                }
+                // The slot region stalled or poisoned under us: abandon
+                // it mid-flight and serve this (and everything after it)
+                // over the control path.
+                Err(_) => self.state.degrade(&self.transport)?,
+            }
+        }
+        if capsule_data.is_none() && stashed.is_none() {
+            if use_shm && !self.state.degraded && !publish_over_shm {
+                // Conservative flow over shm: wait for R2T, then publish
+                // (Fig. 7's NVMe-oSHM flow).
+                stashed = Some(data.clone());
+            } else if data.len() <= self.state.in_capsule_max {
+                capsule_data = Some(DataRef::Inline(data.clone()));
+            } else {
+                // Conservative flow: wait for R2T, then ship the payload
+                // inline.
+                stashed = Some(data.clone());
+            }
+        }
+        self.state.track(cmd, Vec::new(), stashed);
+        let io = self.state.pending.get_mut(&cmd.cid).expect("just tracked");
+        io.retry_payload = Some(data);
+        io.published_slot = published;
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -266,7 +749,7 @@ impl<T: Transport> Initiator<T> {
                 data: capsule_data,
             }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Leases a write buffer of `len` bytes from the connection's
@@ -335,7 +818,15 @@ impl<T: Transport> Initiator<T> {
         }
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
-        self.state.track(cid, Opcode::Write, Vec::new(), None);
+        self.state.track(cmd, Vec::new(), None);
+        // Zero-copy published writes retain no payload clone — they
+        // cannot be replayed, only abort-resolved — but the slot is
+        // remembered so degradation/abort can reclaim it.
+        self.state
+            .pending
+            .get_mut(&cid)
+            .expect("just tracked")
+            .published_slot = Some((slot, len));
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -357,8 +848,7 @@ impl<T: Transport> Initiator<T> {
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.state
-            .track(cid, Opcode::Read, vec![0u8; expected_len], None);
+        self.state.track(cmd, vec![0u8; expected_len], None);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
@@ -389,7 +879,7 @@ impl<T: Transport> Initiator<T> {
         };
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.state.track(cid, Opcode::Read, read_buf, None);
+        self.state.track(cmd, read_buf, None);
         if borrow {
             self.state
                 .pending
@@ -442,36 +932,9 @@ impl<T: Transport> Initiator<T> {
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
         let cmd = NvmeCommand::compare(cid, nsid, slba, nlb);
-        let use_shm = self.state.shm_active
-            && self
-                .state
-                .payload
-                .as_ref()
-                .is_some_and(|ch| data.len() <= ch.max_payload());
-        let mut stashed = None;
-        let capsule_data = if use_shm {
-            let ch = self
-                .state
-                .payload
-                .as_ref()
-                .expect("use_shm implies channel");
-            let (slot, len) = ch.publish(&data)?;
-            Some(DataRef::ShmSlot { slot, len })
-        } else if data.len() <= self.state.in_capsule_max {
-            Some(DataRef::Inline(data.clone()))
-        } else {
-            stashed = Some(data.clone());
-            None
-        };
-        self.state.track(cid, Opcode::Compare, Vec::new(), stashed);
-        self.state.send_pdu(
-            &self.transport,
-            &Pdu::CapsuleCmd(CapsuleCmd {
-                cmd,
-                data: capsule_data,
-            }),
-        )?;
-        Ok(cid)
+        // Compares publish over shm regardless of the write flow mode
+        // whenever the payload fits a slot.
+        self.submit_with_payload(cmd, data, true)
     }
 
     /// Submits a write-zeroes over `nlb` blocks (no payload transfer).
@@ -482,13 +945,11 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
     ) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.track(cid, Opcode::WriteZeroes, Vec::new(), None);
+        let cmd = NvmeCommand::write_zeroes(cid, nsid, slba, nlb);
+        self.state.track(cmd, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
-            &Pdu::CapsuleCmd(CapsuleCmd {
-                cmd: NvmeCommand::write_zeroes(cid, nsid, slba, nlb),
-                data: None,
-            }),
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
         Ok(cid)
     }
@@ -496,13 +957,11 @@ impl<T: Transport> Initiator<T> {
     /// Submits a flush.
     pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.track(cid, Opcode::Flush, Vec::new(), None);
+        let cmd = NvmeCommand::flush(cid, nsid);
+        self.state.track(cmd, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
-            &Pdu::CapsuleCmd(CapsuleCmd {
-                cmd: NvmeCommand::flush(cid, nsid),
-                data: None,
-            }),
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
         Ok(cid)
     }
@@ -510,8 +969,20 @@ impl<T: Transport> Initiator<T> {
     /// Polls the transport once, draining every frame that is already
     /// ready in one batched pass (one Acquire/Release pair on ring
     /// transports); completed I/Os are moved to the internal completion
-    /// list and returned.
+    /// list and returned. Also runs one deadline/keep-alive tick, so
+    /// callers that only ever `poll` still get retries, timeouts and
+    /// peer-death detection.
     pub fn poll(&mut self) -> Result<Vec<IoResult>, NvmeofError> {
+        let mut out = Vec::new();
+        self.poll_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Initiator::poll`], but appends completions to `out`
+    /// instead of returning a fresh vector, so a caller that retains its
+    /// buffer keeps the completion path allocation-free. Returns how
+    /// many completions were appended.
+    pub fn poll_into(&mut self, out: &mut Vec<IoResult>) -> Result<usize, NvmeofError> {
         let transport = &self.transport;
         let state = &mut self.state;
         let mut err = None;
@@ -525,12 +996,25 @@ impl<T: Transport> Initiator<T> {
         if let Some(e) = err {
             return Err(e);
         }
-        Ok(std::mem::take(&mut state.completed))
+        state.tick(transport)?;
+        let n = state.completed.len();
+        out.append(&mut state.completed);
+        Ok(n)
     }
 
-    /// Polls until `cid` completes or `timeout` elapses.
+    /// Drains the user cids whose retry budget ran out since the last
+    /// call. Callers driving the connection via [`Initiator::poll`]
+    /// should check this; [`Initiator::wait`] consumes it internally and
+    /// surfaces the awaited cid as [`NvmeofError::Timeout`].
+    pub fn take_timed_out(&mut self) -> Vec<u16> {
+        std::mem::take(&mut self.state.timed_out)
+    }
+
+    /// Polls until `cid` completes or `timeout` elapses, descending the
+    /// spin→yield→sleep ladder while the transport stays quiet.
     pub fn wait(&mut self, cid: u16, timeout: Duration) -> Result<IoResult, NvmeofError> {
         let deadline = Instant::now() + timeout;
+        let mut ladder = WaitLadder::until(deadline, &self.state.opts.backoff);
         let mut done = Vec::new();
         loop {
             done.extend(self.poll()?);
@@ -539,12 +1023,22 @@ impl<T: Transport> Initiator<T> {
                 self.state.completed.extend(done);
                 return Ok(result);
             }
-            if Instant::now() >= deadline {
+            if let Some(pos) = self.state.timed_out.iter().position(|&c| c == cid) {
+                self.state.timed_out.swap_remove(pos);
                 self.state.completed.extend(done);
-                return Err(NvmeofError::Timeout);
+                return Err(NvmeofError::Timeout { cid: Some(cid) });
             }
-            if let Some(frame) = self.transport.recv_timeout(Duration::from_millis(1))? {
-                self.state.on_frame(&self.transport, Frame::Owned(frame))?;
+            match ladder.step() {
+                WaitStep::Expired => {
+                    self.state.completed.extend(done);
+                    return Err(NvmeofError::timeout());
+                }
+                WaitStep::Again => {}
+                WaitStep::Sleep(d) => {
+                    if let Some(frame) = self.transport.recv_timeout(d)? {
+                        self.state.on_frame(&self.transport, Frame::Owned(frame))?;
+                    }
+                }
             }
         }
     }
@@ -556,16 +1050,42 @@ impl ClientState {
         transport: &T,
         frame: Frame<'_>,
     ) -> Result<(), NvmeofError> {
-        match Pdu::decode_frame(frame)? {
+        let pdu = match Pdu::decode_frame(frame) {
+            Ok(pdu) => pdu,
+            // Bit damage is dropped, not fatal: the sender's own
+            // deadline machinery re-covers the lost frame.
+            Err(NvmeofError::CorruptFrame) | Err(NvmeofError::Codec(_)) => {
+                self.metrics.corrupt_frames.inc();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if self.opts.keepalive.is_some() {
+            // Any traffic proves the peer alive.
+            self.last_rx = Instant::now();
+        }
+        match pdu {
             Pdu::R2T(r2t) => {
                 let Some(pending) = self.pending.get_mut(&r2t.cid) else {
+                    if self.is_retired(r2t.cid) {
+                        self.metrics.stale_frames.inc();
+                        return Ok(());
+                    }
                     return Err(NvmeofError::Protocol(format!(
                         "R2T for unknown cid {}",
                         r2t.cid
                     )));
                 };
-                let Some(data) = pending.stashed_write.take() else {
-                    return Err(NvmeofError::Protocol("R2T without stashed data".into()));
+                // A duplicated command capsule can provoke a second R2T
+                // after the stash was consumed; replay from the retained
+                // payload (same bytes, same LBA — idempotent).
+                let data = match pending
+                    .stashed_write
+                    .take()
+                    .or_else(|| pending.retry_payload.clone())
+                {
+                    Some(data) => data,
+                    None => return Err(NvmeofError::Protocol("R2T without stashed data".into())),
                 };
                 if (r2t.len as usize) < data.len() {
                     return Err(NvmeofError::Protocol(
@@ -580,9 +1100,22 @@ impl ClientState {
                 let dref = if use_shm {
                     // Fig. 7 step ③/④: copy payload to shared memory, send
                     // the location as the H2C notification.
-                    let ch = self.payload.as_ref().expect("channel");
-                    let (slot, len) = ch.publish(&data)?;
-                    DataRef::ShmSlot { slot, len }
+                    let ch = self.payload.as_ref().expect("channel").clone();
+                    match ch.publish(&data) {
+                        Ok((slot, len)) => {
+                            self.pending
+                                .get_mut(&r2t.cid)
+                                .expect("still pending")
+                                .published_slot = Some((slot, len));
+                            DataRef::ShmSlot { slot, len }
+                        }
+                        Err(_) => {
+                            // Region died between grant and publish:
+                            // degrade and ship the payload inline.
+                            self.degrade(transport)?;
+                            DataRef::Inline(data)
+                        }
+                    }
                 } else {
                     DataRef::Inline(data)
                 };
@@ -598,16 +1131,31 @@ impl ClientState {
                 )?;
             }
             Pdu::C2HData(d) => {
-                let Some(pending) = self.pending.get_mut(&d.cid) else {
+                if !self.pending.contains_key(&d.cid) {
+                    if self.is_retired(d.cid) {
+                        self.metrics.stale_frames.inc();
+                        // A stale shm reference must still be drained or
+                        // its slot leaks until the next reclaim sweep.
+                        if let DataRef::ShmSlot { slot, len } = d.data {
+                            if let Some(ch) = self.payload.as_ref() {
+                                let _ = ch.consume_with(slot, len, &mut |_| {});
+                            }
+                        }
+                        return Ok(());
+                    }
                     return Err(NvmeofError::Protocol(format!(
                         "C2H data for unknown cid {}",
                         d.cid
                     )));
-                };
+                }
+                let pending = self.pending.get_mut(&d.cid).expect("checked above");
                 let off = d.offset as usize;
+                let mut consume_failed = false;
                 match d.data {
                     DataRef::Inline(b) => {
-                        if pending.opcode == Opcode::Identify || pending.opcode == Opcode::Flush {
+                        let op = pending.cmd.opcode;
+                        if op == Opcode::Identify || op == Opcode::Flush {
+                            pending.got = b.len().max(1);
                             pending.read_buf = b.to_vec();
                         } else if pending.borrow {
                             // Borrowed read that the target answered
@@ -617,6 +1165,9 @@ impl ClientState {
                                 pending.read_buf.resize(off + b.len(), 0);
                             }
                             pending.read_buf[off..off + b.len()].copy_from_slice(&b);
+                            if off <= pending.got {
+                                pending.got = pending.got.max(off + b.len());
+                            }
                         } else {
                             if off + b.len() > pending.read_buf.len() {
                                 return Err(NvmeofError::Protocol(
@@ -624,6 +1175,9 @@ impl ClientState {
                                 ));
                             }
                             pending.read_buf[off..off + b.len()].copy_from_slice(&b);
+                            if off <= pending.got {
+                                pending.got = pending.got.max(off + b.len());
+                            }
                         }
                     }
                     DataRef::ShmSlot { slot, len } => {
@@ -640,37 +1194,109 @@ impl ClientState {
                                     "C2H shm data beyond read buffer".into(),
                                 ));
                             }
-                            ch.consume(slot, len, &mut pending.read_buf[off..off + len as usize])?;
+                            consume_failed = ch
+                                .consume(slot, len, &mut pending.read_buf[off..off + len as usize])
+                                .is_err();
+                            if !consume_failed && off <= pending.got {
+                                pending.got = pending.got.max(off + len as usize);
+                            }
                         }
+                    }
+                }
+                if consume_failed {
+                    // The region died with the payload inside: abandon
+                    // shm and re-fetch this read over TCP.
+                    self.degrade(transport)?;
+                    self.retry_command(transport, d.cid)?;
+                } else if let Some(io) = self.pending.get(&d.cid) {
+                    // If a reordered completion was held for this data,
+                    // release it now that the buffer is whole.
+                    if io.early_completion.is_some() && !Self::awaiting_read_data(io) {
+                        let comp = self
+                            .pending
+                            .get_mut(&d.cid)
+                            .expect("checked above")
+                            .early_completion
+                            .take()
+                            .expect("checked above");
+                        self.finish_command(d.cid, comp);
                     }
                 }
             }
             Pdu::CapsuleResp(r) => {
-                let cid = r.completion.cid;
-                let Some(mut pending) = self.pending.remove(&cid) else {
+                let wire_cid = r.completion.cid;
+                let Some(io) = self.pending.get_mut(&wire_cid) else {
+                    if self.is_retired(wire_cid) {
+                        self.metrics.stale_frames.inc();
+                        return Ok(());
+                    }
                     return Err(NvmeofError::Protocol(format!(
-                        "completion for unknown cid {cid}"
+                        "completion for unknown cid {wire_cid}"
                     )));
                 };
-                pending.completion = Some(r.completion.status);
-                self.metrics.completions.inc();
-                self.metrics.inflight.sub(1);
-                if !r.completion.status.is_ok() {
-                    self.metrics.errors.inc();
+                if r.completion.status.is_ok() && Self::awaiting_read_data(io) {
+                    // The success completion overtook the data it
+                    // vouches for (a reordering fabric can do that);
+                    // completing now would hand back a stale buffer.
+                    // Hold it until the last byte lands — the deadline
+                    // re-fetches the read if the data never arrives.
+                    io.early_completion = Some(r.completion);
+                    return Ok(());
                 }
-                self.metrics
-                    .latency(pending.opcode)
-                    .record_nanos(pending.submitted_at.elapsed());
-                if let Some((_, len)) = pending.shm_data {
-                    self.metrics.zero_copy_bytes.add(u64::from(len));
-                    self.metrics.copies_avoided.inc();
+                // A completion that raced an in-flight abort resolves
+                // the command just as well — the late AbortAck will be
+                // dropped as stale.
+                self.finish_command(wire_cid, r.completion);
+            }
+            Pdu::KeepAlive(ka) => {
+                // Heartbeat from the peer: echo it.
+                self.send_pdu_lossy(transport, &Pdu::KeepAliveAck(KeepAlive { seq: ka.seq }))?;
+            }
+            Pdu::KeepAliveAck(_) => {
+                self.ka_outstanding = false;
+            }
+            Pdu::AbortAck(ack) => {
+                let can_resolve = match self.pending.get(&ack.cid) {
+                    Some(io) => io.awaiting_abort,
+                    None => {
+                        // Late ack for a command that already resolved.
+                        self.metrics.stale_frames.inc();
+                        return Ok(());
+                    }
+                };
+                if !can_resolve {
+                    // Duplicate ack for a round-trip already resolved.
+                    self.metrics.stale_frames.inc();
+                    return Ok(());
                 }
-                self.completed.push(IoResult {
-                    cid,
-                    status: r.completion.status,
-                    data: std::mem::take(&mut pending.read_buf),
-                    shm: pending.shm_data.take(),
-                });
+                if ack.applied {
+                    // The original write landed before (or despite) the
+                    // abort: complete with the status the target kept.
+                    self.finish_command(ack.cid, ack.completion);
+                } else {
+                    // Never applied, so a resubmission cannot double-
+                    // apply. Replays need a payload (or a payload-less
+                    // opcode); zero-copy published writes have neither.
+                    let io = self.pending.get(&ack.cid).expect("checked above");
+                    let can_replay = io.retry_payload.is_some()
+                        || io.cmd.opcode == Opcode::WriteZeroes
+                        || io.retries_freely();
+                    if can_replay {
+                        self.resubmit(transport, ack.cid)?;
+                    } else {
+                        self.give_up(ack.cid)?;
+                    }
+                }
+            }
+            Pdu::Degrade(_) => {
+                // Target-initiated degradation: abandon the shm path from
+                // this side too (idempotent if we already did).
+                self.degrade(transport)?;
+            }
+            Pdu::ICResp(_) => {
+                // Duplicate handshake answer (the connect loop re-asks
+                // after a corrupt frame); the grant was already taken.
+                self.metrics.stale_frames.inc();
             }
             other => {
                 return Err(NvmeofError::Protocol(format!(
@@ -722,19 +1348,17 @@ impl<T: Transport> Initiator<T> {
     /// Queries namespace geometry.
     pub fn identify(&mut self, nsid: u32, timeout: Duration) -> Result<IdentifyInfo, NvmeofError> {
         let cid = self.state.alloc_cid();
-        self.state.track(cid, Opcode::Identify, Vec::new(), None);
+        let cmd = NvmeCommand {
+            cid,
+            opcode: Opcode::Identify,
+            nsid,
+            slba: 0,
+            nlb: 0,
+        };
+        self.state.track(cmd, Vec::new(), None);
         self.state.send_pdu(
             &self.transport,
-            &Pdu::CapsuleCmd(CapsuleCmd {
-                cmd: NvmeCommand {
-                    cid,
-                    opcode: Opcode::Identify,
-                    nsid,
-                    slba: 0,
-                    nlb: 0,
-                },
-                data: None,
-            }),
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
         let result = self.wait(cid, timeout)?;
         if !result.status.is_ok() {

@@ -142,6 +142,23 @@ pub struct InitiatorMetrics {
     /// Application-side copies the lease path avoided versus the
     /// one-copy publish/consume path.
     pub copies_avoided: Counter,
+    /// Commands resubmitted after a deadline expiry (reads directly,
+    /// writes after an abort round-trip).
+    pub retries: Counter,
+    /// Commands whose retry budget ran out and were surfaced as
+    /// [`crate::error::NvmeofError::Timeout`].
+    pub timeouts: Counter,
+    /// Keep-alive heartbeats that went unanswered past the interval.
+    pub keepalive_misses: Counter,
+    /// Mid-flight shm→TCP payload-path degradations.
+    pub degradations: Counter,
+    /// Frames for already-retired commands (late duplicates or
+    /// completions that raced a retry) dropped instead of erroring.
+    pub stale_frames: Counter,
+    /// Received frames dropped for failing CRC or structural decode.
+    pub corrupt_frames: Counter,
+    /// Abort requests sent as part of write-retry round-trips.
+    pub aborts_sent: Counter,
     latency: [Histo; OPCODES],
 }
 
@@ -154,6 +171,13 @@ impl Default for InitiatorMetrics {
             inflight: Gauge::new(),
             zero_copy_bytes: Counter::new(),
             copies_avoided: Counter::new(),
+            retries: Counter::new(),
+            timeouts: Counter::new(),
+            keepalive_misses: Counter::new(),
+            degradations: Counter::new(),
+            stale_frames: Counter::new(),
+            corrupt_frames: Counter::new(),
+            aborts_sent: Counter::new(),
             latency: std::array::from_fn(|_| Histo::new()),
         }
     }
@@ -179,6 +203,13 @@ impl InitiatorMetrics {
         scope.adopt_gauge("inflight", &self.inflight);
         scope.adopt_counter("zero_copy_bytes", &self.zero_copy_bytes);
         scope.adopt_counter("copies_avoided", &self.copies_avoided);
+        scope.adopt_counter("retries", &self.retries);
+        scope.adopt_counter("timeouts", &self.timeouts);
+        scope.adopt_counter("keepalive_misses", &self.keepalive_misses);
+        scope.adopt_counter("degradations", &self.degradations);
+        scope.adopt_counter("stale_frames", &self.stale_frames);
+        scope.adopt_counter("corrupt_frames", &self.corrupt_frames);
+        scope.adopt_counter("aborts_sent", &self.aborts_sent);
         for (i, h) in self.latency.iter().enumerate() {
             scope.adopt_histo(&format!("lat_{}_ns", OPCODE_NAMES[i]), h);
         }
@@ -207,6 +238,14 @@ pub struct TargetMetrics {
     pub copies_avoided: Counter,
     /// Commands that completed with a non-success NVMe status.
     pub errors: Counter,
+    /// Abort requests handled (either answered from the completed-cid
+    /// ring or acknowledged as not-applied).
+    pub aborts_handled: Counter,
+    /// Keep-alive heartbeats echoed back to the client.
+    pub keepalives: Counter,
+    /// Received frames dropped by the reactor for failing CRC or
+    /// structural decode.
+    pub corrupt_frames: Counter,
 }
 
 impl TargetMetrics {
@@ -225,6 +264,9 @@ impl TargetMetrics {
         scope.adopt_counter("zero_copy_bytes", &self.zero_copy_bytes);
         scope.adopt_counter("copies_avoided", &self.copies_avoided);
         scope.adopt_counter("errors", &self.errors);
+        scope.adopt_counter("aborts_handled", &self.aborts_handled);
+        scope.adopt_counter("keepalives", &self.keepalives);
+        scope.adopt_counter("corrupt_frames", &self.corrupt_frames);
     }
 }
 

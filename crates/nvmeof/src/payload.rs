@@ -191,6 +191,31 @@ pub trait PayloadChannel: Send + Sync {
         }
         self.consume_with(slot, len, &mut |bytes| dst.copy_from_slice(bytes))
     }
+
+    /// Marks the channel unusable for new traffic: subsequent `alloc` /
+    /// `publish` calls fail fast so the connection's degradation logic
+    /// can route payloads elsewhere. Default: no-op for channels with no
+    /// failure mode worth isolating.
+    fn quarantine(&self) {}
+
+    /// Force-reclaims every published-but-unconsumed (or stuck mid-write)
+    /// slot, returning how many were freed. Called after [`quarantine`]
+    /// so in-flight references cannot race new leases. Default: nothing
+    /// to reclaim.
+    ///
+    /// [`quarantine`]: PayloadChannel::quarantine
+    fn reclaim(&self) -> usize {
+        0
+    }
+
+    /// Force-reclaims one published slot in this side's transmit
+    /// direction — used when a retry abandons a payload the peer provably
+    /// never consumed. Returns whether the slot was freed. Default:
+    /// nothing to free.
+    fn reclaim_slot(&self, slot: u32) -> bool {
+        let _ = slot;
+        false
+    }
 }
 
 #[derive(Default)]
@@ -214,6 +239,9 @@ impl MailboxSide {
 pub struct MailboxChannel {
     dirs: Arc<[Mutex<MailboxSide>; 2]>,
     tx_dir: usize,
+    /// Shared "the region died" flag: set by [`PayloadChannel::quarantine`]
+    /// (or a chaos hook) on either handle, fails all publishes on both.
+    poisoned: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl MailboxChannel {
@@ -224,24 +252,40 @@ impl MailboxChannel {
             Mutex::new(MailboxSide::with_depth(depth)),
             Mutex::new(MailboxSide::with_depth(depth)),
         ]);
+        let poisoned = Arc::new(std::sync::atomic::AtomicBool::new(false));
         (
             Arc::new(MailboxChannel {
                 dirs: dirs.clone(),
                 tx_dir: 0,
+                poisoned: poisoned.clone(),
             }),
-            Arc::new(MailboxChannel { dirs, tx_dir: 1 }),
+            Arc::new(MailboxChannel {
+                dirs,
+                tx_dir: 1,
+                poisoned,
+            }),
         )
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
     }
 }
 
 impl PayloadChannel for MailboxChannel {
     fn alloc(&self, len: usize) -> Result<WriteLease, NvmeofError> {
+        if self.is_poisoned() {
+            return Err(NvmeofError::Payload("channel quarantined".into()));
+        }
         // No shared region behind the mailbox: leases are heap-backed and
         // publish_lease stores the bytes (the copy the real channel avoids).
         Ok(WriteLease::heap(len))
     }
 
     fn publish_lease(&self, lease: WriteLease) -> Result<(u32, u32), NvmeofError> {
+        if self.is_poisoned() {
+            return Err(NvmeofError::Payload("channel quarantined".into()));
+        }
         let mut side = self.dirs[self.tx_dir].lock();
         let depth = side.slots.len();
         // Round-robin within the depth (§4.4.1): probe forward past
@@ -279,6 +323,29 @@ impl PayloadChannel for MailboxChannel {
 
     fn max_payload(&self) -> usize {
         usize::MAX
+    }
+
+    fn quarantine(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn reclaim(&self) -> usize {
+        let mut side = self.dirs[self.tx_dir].lock();
+        let mut freed = 0;
+        for slot in side.slots.iter_mut() {
+            if slot.take().is_some() {
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    fn reclaim_slot(&self, slot: u32) -> bool {
+        let mut side = self.dirs[self.tx_dir].lock();
+        side.slots
+            .get_mut(slot as usize)
+            .is_some_and(|s| s.take().is_some())
     }
 }
 

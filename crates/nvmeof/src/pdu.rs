@@ -15,7 +15,12 @@
 //! Frames are length-prefixed and self-contained: the in-process transports
 //! are frame-oriented, so no cross-frame reassembly state is needed. The
 //! header mirrors the spec's common header: `type, flags, hlen, rsvd,
-//! plen` where `plen` covers the whole PDU.
+//! plen` where `plen` covers the whole PDU, followed by a CRC32 over the
+//! entire frame (header digest + data digest collapsed into one word,
+//! computed with the CRC field itself zeroed). A frame whose CRC does not
+//! match decodes to [`NvmeofError::CorruptFrame`] instead of parsing
+//! garbage, so bit-flips on the fabric surface as a typed, droppable
+//! error rather than a protocol wedge.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -24,8 +29,53 @@ use crate::nvme::command::{NvmeCommand, COMMAND_WIRE_LEN};
 use crate::nvme::completion::{NvmeCompletion, COMPLETION_WIRE_LEN};
 use crate::transport::Frame;
 
-/// Common header length.
-pub const HEADER_LEN: usize = 8;
+/// Common header length: `type, flags, hlen, rsvd, plen(u32), crc(u32)`.
+pub const HEADER_LEN: usize = 12;
+
+/// Byte offset of the CRC32 word within the common header.
+const CRC_OFFSET: usize = 8;
+
+/// CRC-32 (IEEE reflected polynomial) lookup table, built at compile
+/// time so the hot encode/decode paths stay table-driven and allocation
+/// free.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC32 of a whole frame with the header's CRC field treated as zero.
+fn frame_crc(frame: &[u8]) -> u32 {
+    let mut c = crc32_update(0xFFFF_FFFF, &frame[..CRC_OFFSET]);
+    c = crc32_update(c, &[0u8; 4]);
+    if frame.len() > HEADER_LEN {
+        c = crc32_update(c, &frame[HEADER_LEN..]);
+    }
+    !c
+}
 
 /// Flag: payload is a shared-memory slot reference, not inline bytes.
 pub const FLAG_SHM: u8 = 0x01;
@@ -51,6 +101,11 @@ mod ptype {
     pub const H2C_DATA: u8 = 0x06;
     pub const C2H_DATA: u8 = 0x07;
     pub const R2T: u8 = 0x09;
+    pub const ABORT: u8 = 0x0c;
+    pub const ABORT_ACK: u8 = 0x0d;
+    pub const DEGRADE: u8 = 0x0e;
+    pub const KEEP_ALIVE: u8 = 0x18;
+    pub const KEEP_ALIVE_ACK: u8 = 0x19;
 }
 
 /// Where a data PDU's payload lives.
@@ -166,6 +221,52 @@ pub struct TermReq {
     pub reason: u16,
 }
 
+/// Keep-alive heartbeat. Sent by the initiator after a quiet interval;
+/// the target echoes the sequence number back in a `KeepAliveAck`. Any
+/// received frame counts as liveness, so the ack matters only on an
+/// otherwise idle connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeepAlive {
+    /// Monotonic heartbeat sequence number (echoed in the ack).
+    pub seq: u64,
+}
+
+/// Abort request (client → target): cancel `cid` if it has not already
+/// completed. First half of the retry handshake that keeps write
+/// resubmission single-apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    /// Command identifier to abort.
+    pub cid: u16,
+}
+
+/// Abort response (target → client). `applied == true` means the
+/// command had already executed — its original outcome travels in
+/// `completion` so the client can complete locally even though the
+/// original response capsule was lost. `applied == false` guarantees
+/// the target has not executed the command and never will (the cid is
+/// remembered and late duplicates are dropped), so resubmission under a
+/// fresh cid cannot double-apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortAck {
+    /// Command identifier the abort targeted.
+    pub cid: u16,
+    /// Whether the command had already executed at the target.
+    pub applied: bool,
+    /// The command's original completion when `applied`; a placeholder
+    /// success completion otherwise.
+    pub completion: NvmeCompletion,
+}
+
+/// Payload-path degradation notice (client → target): the shared-memory
+/// channel is being abandoned mid-flight; serve everything over the TCP
+/// control path from here on (§4's fallback made dynamic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Degrade {
+    /// Reason code (diagnostic only).
+    pub reason: u16,
+}
+
 /// Any NVMe/TCP (or adaptive-fabric) PDU.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Pdu {
@@ -185,6 +286,16 @@ pub enum Pdu {
     C2HData(DataPdu),
     /// Termination request.
     TermReq(TermReq),
+    /// Keep-alive heartbeat.
+    KeepAlive(KeepAlive),
+    /// Keep-alive echo.
+    KeepAliveAck(KeepAlive),
+    /// Abort request.
+    Abort(Abort),
+    /// Abort response.
+    AbortAck(AbortAck),
+    /// Shared-memory payload-path degradation notice.
+    Degrade(Degrade),
 }
 
 fn put_header(dst: &mut BytesMut, ptype: u8, flags: u8, body_len: usize) {
@@ -193,6 +304,7 @@ fn put_header(dst: &mut BytesMut, ptype: u8, flags: u8, body_len: usize) {
     dst.put_u8(HEADER_LEN as u8);
     dst.put_u8(0);
     dst.put_u32_le((HEADER_LEN + body_len) as u32);
+    dst.put_u32_le(0); // CRC field, patched once the body is encoded
 }
 
 fn encode_dataref(dst: &mut BytesMut, data: &DataRef) {
@@ -214,11 +326,18 @@ fn encode_dataref(dst: &mut BytesMut, data: &DataRef) {
 /// steady-state shm control traffic — need nothing).
 trait FrameBuf: Buf + Sized {
     fn take_bytes(&mut self, len: usize) -> Bytes;
+    /// The unconsumed frame as one contiguous slice (both sources are
+    /// contiguous), used for whole-frame CRC verification before any
+    /// bytes are consumed.
+    fn whole(&self) -> &[u8];
 }
 
 impl FrameBuf for Bytes {
     fn take_bytes(&mut self, len: usize) -> Bytes {
         self.split_to(len)
+    }
+    fn whole(&self) -> &[u8] {
+        self.as_ref()
     }
 }
 
@@ -227,6 +346,9 @@ impl FrameBuf for &[u8] {
         let out = Bytes::copy_from_slice(&self[..len]);
         self.advance(len);
         out
+    }
+    fn whole(&self) -> &[u8] {
+        self
     }
 }
 
@@ -268,6 +390,16 @@ impl Pdu {
     /// `BytesMut`, `clear()` it, encode, and hand the filled slice to
     /// `Transport::send_frame`.
     pub fn encode_into(&self, dst: &mut BytesMut) {
+        let start = dst.len();
+        self.encode_body(dst);
+        // Patch the CRC over the finished frame. The CRC field itself is
+        // still zero at this point, so hashing the frame as-is matches
+        // the zeroed-field convention the decoder verifies against.
+        let crc = frame_crc(&dst[start..]);
+        dst[start + CRC_OFFSET..start + CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    fn encode_body(&self, dst: &mut BytesMut) {
         match self {
             Pdu::ICReq(p) => {
                 put_header(dst, ptype::ICREQ, 0, 18);
@@ -337,6 +469,29 @@ impl Pdu {
                 put_header(dst, ptype::TERM_REQ, 0, 2);
                 dst.put_u16_le(p.reason);
             }
+            Pdu::KeepAlive(p) | Pdu::KeepAliveAck(p) => {
+                let t = if matches!(self, Pdu::KeepAlive(_)) {
+                    ptype::KEEP_ALIVE
+                } else {
+                    ptype::KEEP_ALIVE_ACK
+                };
+                put_header(dst, t, 0, 8);
+                dst.put_u64_le(p.seq);
+            }
+            Pdu::Abort(p) => {
+                put_header(dst, ptype::ABORT, 0, 2);
+                dst.put_u16_le(p.cid);
+            }
+            Pdu::AbortAck(p) => {
+                put_header(dst, ptype::ABORT_ACK, 0, 3 + COMPLETION_WIRE_LEN);
+                dst.put_u16_le(p.cid);
+                dst.put_u8(p.applied as u8);
+                p.completion.encode(dst);
+            }
+            Pdu::Degrade(p) => {
+                put_header(dst, ptype::DEGRADE, 0, 2);
+                dst.put_u16_le(p.reason);
+            }
         }
     }
 
@@ -390,8 +545,9 @@ impl Pdu {
         let ptype = src.get_u8();
         let flags = src.get_u8();
         let hlen = src.get_u8();
-        let _rsvd = src.get_u8();
+        let rsvd = src.get_u8();
         let plen = src.get_u32_le() as usize;
+        let stored_crc = src.get_u32_le();
         if hlen as usize != HEADER_LEN {
             return Err(NvmeofError::Codec(format!("bad hlen {hlen}")));
         }
@@ -400,6 +556,16 @@ impl Pdu {
                 "plen {plen} does not match frame length {}",
                 HEADER_LEN + src.remaining()
             )));
+        }
+        // Structural checks passed; now verify integrity. The header has
+        // already been consumed, so hash its fields back in front of the
+        // remaining body, with the CRC field zeroed per convention.
+        let mut crc = crc32_update(0xFFFF_FFFF, &[ptype, flags, hlen, rsvd]);
+        crc = crc32_update(crc, &(plen as u32).to_le_bytes());
+        crc = crc32_update(crc, &[0u8; 4]);
+        crc = crc32_update(crc, src.whole());
+        if !crc != stored_crc {
+            return Err(NvmeofError::CorruptFrame);
         }
         match ptype {
             ptype::ICREQ => {
@@ -480,6 +646,48 @@ impl Pdu {
                     reason: src.get_u16_le(),
                 }))
             }
+            ptype::KEEP_ALIVE | ptype::KEEP_ALIVE_ACK => {
+                if src.remaining() < 8 {
+                    return Err(NvmeofError::Codec("keep-alive truncated".into()));
+                }
+                let ka = KeepAlive {
+                    seq: src.get_u64_le(),
+                };
+                if ptype == ptype::KEEP_ALIVE {
+                    Ok(Pdu::KeepAlive(ka))
+                } else {
+                    Ok(Pdu::KeepAliveAck(ka))
+                }
+            }
+            ptype::ABORT => {
+                if src.remaining() < 2 {
+                    return Err(NvmeofError::Codec("abort truncated".into()));
+                }
+                Ok(Pdu::Abort(Abort {
+                    cid: src.get_u16_le(),
+                }))
+            }
+            ptype::ABORT_ACK => {
+                if src.remaining() < 3 + COMPLETION_WIRE_LEN {
+                    return Err(NvmeofError::Codec("abort ack truncated".into()));
+                }
+                let cid = src.get_u16_le();
+                let applied = src.get_u8() != 0;
+                let completion = NvmeCompletion::decode(&mut src)?;
+                Ok(Pdu::AbortAck(AbortAck {
+                    cid,
+                    applied,
+                    completion,
+                }))
+            }
+            ptype::DEGRADE => {
+                if src.remaining() < 2 {
+                    return Err(NvmeofError::Codec("degrade truncated".into()));
+                }
+                Ok(Pdu::Degrade(Degrade {
+                    reason: src.get_u16_le(),
+                }))
+            }
             other => Err(NvmeofError::Codec(format!("unknown pdu type {other:#x}"))),
         }
     }
@@ -503,6 +711,10 @@ impl Pdu {
                 DataRef::ShmSlot { .. } => 8 + 8,
             },
             Pdu::TermReq(_) => 2,
+            Pdu::KeepAlive(_) | Pdu::KeepAliveAck(_) => 8,
+            Pdu::Abort(_) => 2,
+            Pdu::AbortAck(_) => 3 + COMPLETION_WIRE_LEN,
+            Pdu::Degrade(_) => 2,
         };
         HEADER_LEN + body
     }
@@ -628,10 +840,54 @@ mod tests {
         raw.put_u8(HEADER_LEN as u8);
         raw.put_u8(0);
         raw.put_u32_le(HEADER_LEN as u32);
+        raw.put_u32_le(0);
+        let crc = frame_crc(&raw);
+        raw[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(
             Pdu::decode(raw.freeze()),
             Err(NvmeofError::Codec(m)) if m.contains("unknown pdu type")
         ));
+    }
+
+    #[test]
+    fn recovery_pdus_roundtrip() {
+        roundtrip(Pdu::KeepAlive(KeepAlive { seq: 7 }));
+        roundtrip(Pdu::KeepAliveAck(KeepAlive { seq: u64::MAX }));
+        roundtrip(Pdu::Abort(Abort { cid: 0x1234 }));
+        roundtrip(Pdu::AbortAck(AbortAck {
+            cid: 0x1234,
+            applied: true,
+            completion: NvmeCompletion::ok(0x1234),
+        }));
+        roundtrip(Pdu::AbortAck(AbortAck {
+            cid: 9,
+            applied: false,
+            completion: NvmeCompletion::error(9, crate::nvme::completion::Status::InternalError),
+        }));
+        roundtrip(Pdu::Degrade(Degrade { reason: 1 }));
+    }
+
+    #[test]
+    fn corrupted_frames_surface_as_corrupt_frame() {
+        let p = Pdu::CapsuleCmd(CapsuleCmd {
+            cmd: NvmeCommand::write(3, 1, 64, 8),
+            data: Some(DataRef::Inline(Bytes::from_static(b"payload bytes"))),
+        });
+        let clean = p.encode();
+        // Flip every byte position in turn; every flip must surface as a
+        // typed error (CorruptFrame for body/CRC damage, Codec when the
+        // flip lands on a structural length field), never as a wrong
+        // decode or a panic.
+        for pos in 0..clean.len() {
+            let mut bad = clean.to_vec();
+            bad[pos] ^= 0x40;
+            match Pdu::decode_slice(&bad) {
+                Err(NvmeofError::CorruptFrame) | Err(NvmeofError::Codec(_)) => {}
+                other => panic!("flip at {pos} produced {other:?}"),
+            }
+        }
+        // The pristine frame still decodes.
+        assert_eq!(Pdu::decode(clean).unwrap(), p);
     }
 
     #[test]

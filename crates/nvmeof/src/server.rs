@@ -112,7 +112,14 @@ pub fn spawn_multi_observed(
                             l.alive = false;
                             continue;
                         }
-                        (Err(e), _) | (_, Some(e)) => return Err(e),
+                        // A misbehaving peer (protocol violation) kills
+                        // its own connection, never the reactor — the
+                        // other clients keep their storage service.
+                        (_, Some(_)) => {
+                            l.alive = false;
+                            continue;
+                        }
+                        (Err(e), _) => return Err(e),
                         (Ok(n), None) => {
                             if n > 0 {
                                 idle = false;

@@ -16,12 +16,12 @@ use bytes::{Bytes, BytesMut};
 use crate::error::NvmeofError;
 use crate::metrics::TargetMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
-use crate::nvme::completion::NvmeCompletion;
+use crate::nvme::completion::{NvmeCompletion, Status};
 use crate::nvme::controller::Controller;
 use crate::payload::PayloadChannel;
 use crate::pdu::{
-    CapsuleCmd, CapsuleResp, DataPdu, DataRef, ICResp, Pdu, AF_CAP_SHM, AF_CAP_SHM_INCAPSULE,
-    AF_CAP_ZERO_COPY, R2T,
+    AbortAck, CapsuleCmd, CapsuleResp, DataPdu, DataRef, Degrade, ICResp, KeepAlive, Pdu,
+    AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY, R2T,
 };
 use crate::transport::{Frame, Transport};
 
@@ -57,16 +57,39 @@ struct PendingWrite {
     received: usize,
 }
 
+/// How many recently-resolved cids/ttags the connection remembers for
+/// abort answering and late-duplicate tolerance. Fixed-size rings: no
+/// heap, and far larger than any sane queue depth.
+const REMEMBER_RING: usize = 256;
+
 /// Per-connection protocol state machine.
 pub struct TargetConnection {
     cfg: TargetConfig,
     handshaken: bool,
     shm_active: bool,
+    /// Capability grant of the first handshake, so duplicate ICReqs
+    /// (the client re-asks after a corrupted ICResp) are re-answered
+    /// identically instead of erroring.
+    granted: u32,
     next_ttag: u16,
     pending_writes: std::collections::HashMap<u16, PendingWrite>,
     payload: Option<Arc<dyn PayloadChannel>>,
     terminated: bool,
     metrics: Arc<TargetMetrics>,
+    /// Recently-executed commands and their completions (cid 0 = empty):
+    /// an Abort for one of these answers `applied = true` with the status
+    /// the device already produced, so a write retry never double-applies.
+    completed: [(u16, NvmeCompletion); REMEMBER_RING],
+    completed_at: usize,
+    /// Cids answered `applied = false` to an Abort: late duplicates of
+    /// the original command are dropped, because the client has already
+    /// resubmitted it under a fresh cid.
+    aborted: [u16; REMEMBER_RING],
+    aborted_at: usize,
+    /// Ttags whose staging buffer was resolved (completed or aborted);
+    /// late duplicate H2C chunks for them are dropped, not errors.
+    retired_ttags: [u16; REMEMBER_RING],
+    retired_ttags_at: usize,
 }
 
 impl TargetConnection {
@@ -77,11 +100,18 @@ impl TargetConnection {
             cfg,
             handshaken: false,
             shm_active: false,
+            granted: 0,
             next_ttag: 1,
             pending_writes: std::collections::HashMap::new(),
             payload,
             terminated: false,
             metrics: TargetMetrics::new(),
+            completed: [(0, NvmeCompletion::ok(0)); REMEMBER_RING],
+            completed_at: 0,
+            aborted: [0u16; REMEMBER_RING],
+            aborted_at: 0,
+            retired_ttags: [0u16; REMEMBER_RING],
+            retired_ttags_at: 0,
         }
     }
 
@@ -96,14 +126,65 @@ impl TargetConnection {
         &self.metrics
     }
 
-    /// Counts an executed command and emits its response capsule.
-    fn finish(&self, comp: NvmeCompletion, out: &mut Vec<Pdu>) {
+    /// Counts an executed command and emits its response capsule, and
+    /// remembers the completion so a racing Abort can be answered
+    /// `applied = true` instead of letting the client double-apply.
+    fn finish(&mut self, comp: NvmeCompletion, out: &mut Vec<Pdu>) {
         self.metrics.ops.inc();
         if !comp.status.is_ok() {
             self.metrics.errors.inc();
         }
         self.metrics.responses.inc();
+        self.completed[self.completed_at] = (comp.cid, comp);
+        self.completed_at = (self.completed_at + 1) % REMEMBER_RING;
         out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+    }
+
+    fn completed_lookup(&self, cid: u16) -> Option<NvmeCompletion> {
+        self.completed
+            .iter()
+            .find(|(c, _)| *c == cid)
+            .map(|(_, comp)| *comp)
+    }
+
+    fn record_aborted(&mut self, cid: u16) {
+        self.aborted[self.aborted_at] = cid;
+        self.aborted_at = (self.aborted_at + 1) % REMEMBER_RING;
+    }
+
+    fn is_aborted(&self, cid: u16) -> bool {
+        self.aborted.contains(&cid)
+    }
+
+    fn retire_ttag(&mut self, ttag: u16) {
+        self.retired_ttags[self.retired_ttags_at] = ttag;
+        self.retired_ttags_at = (self.retired_ttags_at + 1) % REMEMBER_RING;
+    }
+
+    /// Drains an unconsumed shm payload reference from a dropped frame so
+    /// its slot returns to the pool instead of leaking.
+    fn drain_stale_ref(&self, data: &DataRef) {
+        if let DataRef::ShmSlot { slot, len } = *data {
+            if let Some(ch) = self.payload.as_ref() {
+                let _ = ch.consume_with(slot, len, &mut |_| {});
+            }
+        }
+    }
+
+    /// Abandons the shared-memory payload path from the target side
+    /// (slot publish/consume failed): tells the client, quarantines the
+    /// region so neither side leases from it again, and sweeps this
+    /// side's published slots back to the pool.
+    fn degrade_self(&mut self, out: &mut Vec<Pdu>) {
+        if !self.shm_active {
+            return;
+        }
+        self.shm_active = false;
+        out.push(Pdu::Degrade(Degrade { reason: 2 }));
+        if let Some(ch) = self.payload.as_ref() {
+            ch.quarantine();
+            ch.reclaim();
+        }
     }
 
     /// Whether the shared-memory data path was negotiated.
@@ -134,11 +215,28 @@ impl TargetConnection {
         ctrl: &mut Controller,
         out: &mut Vec<Pdu>,
     ) -> Result<(), NvmeofError> {
-        let pdu = Pdu::decode_frame(frame)?;
+        let pdu = match Pdu::decode_frame(frame) {
+            Ok(pdu) => pdu,
+            // Bit damage on the fabric: drop the frame and let the
+            // client's deadline machinery re-cover the loss.
+            Err(NvmeofError::CorruptFrame) | Err(NvmeofError::Codec(_)) => {
+                self.metrics.corrupt_frames.inc();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         match pdu {
             Pdu::ICReq(req) => {
                 if self.handshaken {
-                    return Err(NvmeofError::Protocol("duplicate ICReq".into()));
+                    // The client re-asks when its ICResp arrived damaged;
+                    // re-answer with the grant of the first handshake.
+                    out.push(Pdu::ICResp(ICResp {
+                        pfv: req.pfv,
+                        ioccsz: self.cfg.in_capsule_max as u32,
+                        af_caps: self.granted,
+                        target_id: self.cfg.target_id,
+                    }));
+                    return Ok(());
                 }
                 self.handshaken = true;
                 // Grant the intersection of requested and offered caps;
@@ -147,6 +245,7 @@ impl TargetConnection {
                 if self.payload.is_none() {
                     granted = 0;
                 }
+                self.granted = granted;
                 self.shm_active = granted & AF_CAP_SHM != 0;
                 out.push(Pdu::ICResp(ICResp {
                     pfv: req.pfv,
@@ -158,6 +257,25 @@ impl TargetConnection {
             }
             Pdu::CapsuleCmd(c) => self.on_command(c, ctrl, out),
             Pdu::H2CData(d) => self.on_h2c_data(d, ctrl, out),
+            Pdu::Abort(a) => {
+                self.require_handshake()?;
+                self.on_abort(a.cid, out);
+                Ok(())
+            }
+            Pdu::KeepAlive(ka) => {
+                self.require_handshake()?;
+                self.metrics.keepalives.inc();
+                out.push(Pdu::KeepAliveAck(KeepAlive { seq: ka.seq }));
+                Ok(())
+            }
+            Pdu::KeepAliveAck(_) => Ok(()),
+            Pdu::Degrade(_) => {
+                // The client abandoned the shm payload path; serve
+                // everything over the control path from here on. (It
+                // quarantined and swept the region itself.)
+                self.shm_active = false;
+                Ok(())
+            }
             Pdu::TermReq(_) => {
                 self.terminated = true;
                 Ok(())
@@ -166,6 +284,40 @@ impl TargetConnection {
                 "unexpected PDU at target: {other:?}"
             ))),
         }
+    }
+
+    /// Answers an Abort: `applied = true` with the remembered completion
+    /// if the command already executed (the abort raced its response);
+    /// otherwise discard any staging state and answer `applied = false`,
+    /// remembering the cid so a late duplicate of the original command
+    /// is dropped rather than double-applied next to the resubmission.
+    fn on_abort(&mut self, cid: u16, out: &mut Vec<Pdu>) {
+        self.metrics.aborts_handled.inc();
+        if let Some(completion) = self.completed_lookup(cid) {
+            out.push(Pdu::AbortAck(AbortAck {
+                cid,
+                applied: true,
+                completion,
+            }));
+            return;
+        }
+        // Drop any half-filled R2T staging buffer for this command.
+        let stale: Vec<u16> = self
+            .pending_writes
+            .iter()
+            .filter(|(_, pw)| pw.cmd.cid == cid)
+            .map(|(&ttag, _)| ttag)
+            .collect();
+        for ttag in stale {
+            self.pending_writes.remove(&ttag);
+            self.retire_ttag(ttag);
+        }
+        self.record_aborted(cid);
+        out.push(Pdu::AbortAck(AbortAck {
+            cid,
+            applied: false,
+            completion: NvmeCompletion::error(cid, Status::InternalError),
+        }));
     }
 
     fn require_handshake(&self) -> Result<(), NvmeofError> {
@@ -183,6 +335,15 @@ impl TargetConnection {
         out: &mut Vec<Pdu>,
     ) -> Result<(), NvmeofError> {
         self.require_handshake()?;
+        if self.is_aborted(c.cmd.cid) {
+            // Late duplicate of a command we already answered an abort
+            // for: the client resubmitted it under a fresh cid, so
+            // applying this copy would double-apply.
+            if let Some(data) = &c.data {
+                self.drain_stale_ref(data);
+            }
+            return Ok(());
+        }
         match c.cmd.opcode {
             // Compare carries host data exactly like a write: in-capsule,
             // via R2T, or as a shared-memory slot reference.
@@ -261,7 +422,19 @@ impl TargetConnection {
                         self.cfg.in_capsule_max
                     )));
                 }
-                let comp = self.execute_borrowed(&cmd, data, ctrl)?;
+                let comp = match self.execute_borrowed(&cmd, data, ctrl) {
+                    Ok(comp) => comp,
+                    Err(NvmeofError::Payload(_)) => {
+                        // The slot reference could not be consumed (the
+                        // region died, or a duplicated capsule already
+                        // drained it): abandon shm and report a device
+                        // error so the client's retry machinery replays
+                        // the write over the control path.
+                        self.degrade_self(out);
+                        NvmeCompletion::error(cmd.cid, Status::InternalError)
+                    }
+                    Err(e) => return Err(e),
+                };
                 self.finish(comp, out);
                 Ok(())
             }
@@ -301,6 +474,12 @@ impl TargetConnection {
         let ch = self.payload.clone();
         let data_len = d.data.len();
         let Some(pending) = self.pending_writes.get_mut(&d.ttag) else {
+            if self.retired_ttags.contains(&d.ttag) {
+                // Late duplicate chunk for a staging buffer that already
+                // completed or was aborted: drain and drop.
+                self.drain_stale_ref(&d.data);
+                return Ok(());
+            }
             return Err(NvmeofError::Protocol(format!("unknown ttag {}", d.ttag)));
         };
         let off = d.offset as usize;
@@ -320,13 +499,28 @@ impl TargetConnection {
                 let ch =
                     ch.ok_or_else(|| NvmeofError::Protocol("shm ref without channel".into()))?;
                 let dst = &mut pending.buf[off..off + len as usize];
-                ch.consume_with(slot, len, &mut |bytes| dst.copy_from_slice(bytes))?;
+                if ch
+                    .consume_with(slot, len, &mut |bytes| dst.copy_from_slice(bytes))
+                    .is_err()
+                {
+                    // The region died with the chunk inside: fail this
+                    // write cleanly and abandon shm. The client replays
+                    // the payload over the control path.
+                    let cmd = pending.cmd;
+                    self.pending_writes.remove(&d.ttag);
+                    self.retire_ttag(d.ttag);
+                    self.degrade_self(out);
+                    let comp = NvmeCompletion::error(cmd.cid, Status::InternalError);
+                    self.finish(comp, out);
+                    return Ok(());
+                }
                 metrics.copies_avoided.inc();
             }
         }
         pending.received += data_len;
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
+            self.retire_ttag(d.ttag);
             let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
             self.finish(comp, out);
         }
@@ -347,8 +541,21 @@ impl TargetConnection {
         if comp.status.is_ok() {
             let bytes = lease.len() as u64;
             let zero_copy = lease.is_zero_copy();
-            let ch = self.payload.as_ref().expect("lease came from this channel");
-            let (slot, len) = ch.publish_lease(lease)?;
+            let ch = self
+                .payload
+                .as_ref()
+                .expect("lease came from this channel")
+                .clone();
+            let (slot, len) = match ch.publish_lease(lease) {
+                Ok(published) => published,
+                Err(_) => {
+                    // The region died between alloc and publish: abandon
+                    // shm and serve the read again over the inline path
+                    // (reads are idempotent).
+                    self.degrade_self(out);
+                    return self.on_read(cmd, ctrl, out);
+                }
+            };
             if zero_copy {
                 self.metrics.zero_copy_bytes.add(bytes);
                 self.metrics.copies_avoided.inc();
@@ -386,6 +593,7 @@ impl TargetConnection {
         }
         let (comp, payload) = ctrl.execute(&cmd, None);
         if let Some(data) = payload {
+            let mut published = None;
             if self.shm_active
                 && self
                     .payload
@@ -394,8 +602,19 @@ impl TargetConnection {
             {
                 // Publish through the double buffer; the control PDU only
                 // carries the slot reference (§4.3).
-                let ch = self.payload.as_ref().expect("shm_active implies channel");
-                let (slot, len) = ch.publish(&data)?;
+                let ch = self
+                    .payload
+                    .as_ref()
+                    .expect("shm_active implies channel")
+                    .clone();
+                match ch.publish(&data) {
+                    Ok(p) => published = Some(p),
+                    // Region died: abandon shm, fall through to the
+                    // inline chunked path below.
+                    Err(_) => self.degrade_self(out),
+                }
+            }
+            if let Some((slot, len)) = published {
                 out.push(Pdu::C2HData(DataPdu {
                     cid: cmd.cid,
                     ttag: 0,

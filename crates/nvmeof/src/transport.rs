@@ -121,6 +121,71 @@ impl Backoff {
     }
 }
 
+/// What a [`WaitLadder`] caller should do before polling again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitStep {
+    /// Poll again immediately — the ladder already spun or yielded.
+    Again,
+    /// Park on the transport (`recv_timeout`) for up to this long, then
+    /// poll again.
+    Sleep(Duration),
+    /// The deadline has passed without progress.
+    Expired,
+}
+
+/// Spin→yield→sleep ladder for blocking waiters (`Initiator::wait`,
+/// `Initiator::connect`), driven by the same [`BackoffConfig`] the ring
+/// transports use so wait aggressiveness is one knob fabric-wide.
+///
+/// The first `spin_limit` steps busy-poll (latency-critical window where
+/// the completion is probably already in flight), the next few multiples
+/// yield the core, and after that the caller is told to park in short
+/// bounded slices so a stalled peer costs sleeps, not a melted core.
+pub struct WaitLadder {
+    spins: u32,
+    yields: u32,
+    spin_limit: u32,
+    deadline: Instant,
+}
+
+impl WaitLadder {
+    /// Yield phase length as a multiple of the spin budget.
+    const YIELD_FACTOR: u32 = 4;
+    /// Maximum single park interval; short enough that deadline checks
+    /// stay responsive even when the peer is wedged.
+    const SLEEP_SLICE: Duration = Duration::from_micros(500);
+
+    /// A ladder that gives up at `deadline`.
+    pub fn until(deadline: Instant, cfg: &BackoffConfig) -> Self {
+        WaitLadder {
+            spins: 0,
+            yields: 0,
+            spin_limit: cfg.spin_limit,
+            deadline,
+        }
+    }
+
+    /// One wait step. The caller polls, and on no-progress calls `step`
+    /// and obeys the returned [`WaitStep`].
+    pub fn step(&mut self) -> WaitStep {
+        if self.spins < self.spin_limit {
+            self.spins += 1;
+            std::hint::spin_loop();
+            return WaitStep::Again;
+        }
+        let now = Instant::now();
+        if now >= self.deadline {
+            return WaitStep::Expired;
+        }
+        if self.yields < self.spin_limit.saturating_mul(Self::YIELD_FACTOR) {
+            self.yields += 1;
+            std::thread::yield_now();
+            return WaitStep::Again;
+        }
+        WaitStep::Sleep((self.deadline - now).min(Self::SLEEP_SLICE))
+    }
+}
+
 /// A duplex, frame-oriented transport endpoint.
 pub trait Transport: Send {
     /// Sends one frame to the peer.

@@ -52,6 +52,9 @@ pub struct BufStats {
     /// Live (unpublished, undropped) leases right now; `hwm()` is the
     /// deepest the pool has ever been.
     pub leases_live: Gauge,
+    /// Slots forced back to `Free` by a reclamation sweep after the
+    /// channel was quarantined (lost-peer recovery).
+    pub slots_reclaimed: Counter,
 }
 
 impl BufStats {
@@ -68,18 +71,23 @@ impl BufStats {
         scope.adopt_counter("zero_copy_bytes", &self.zero_copy_bytes);
         scope.adopt_counter("copies_avoided", &self.copies_avoided);
         scope.adopt_gauge("leases_live", &self.leases_live);
+        scope.adopt_counter("slots_reclaimed", &self.slots_reclaimed);
     }
 }
 
 struct MgrInner {
     ring: SlotRing,
     stats: Arc<BufStats>,
-    /// Debug-only no-aliasing ledger: one flag per slot, set while a
-    /// manager lease holds the slot. The slot state machine already
-    /// guarantees exclusivity; this catches manager-level bookkeeping
-    /// bugs (double-issue, missed release) the instant they happen.
-    #[cfg(debug_assertions)]
+    /// No-aliasing ledger: one flag per slot, set while a manager lease
+    /// holds the slot. The slot state machine already guarantees
+    /// exclusivity; beyond the debug-build double-issue asserts, the
+    /// reclamation sweep needs it in every build so a forced reclaim
+    /// never frees a slot a live local lease still points into.
     live: Box<[std::sync::atomic::AtomicBool]>,
+    /// Once set, the pool refuses new leases: the peer is gone (or the
+    /// channel is being torn down) and handing out more shared slots
+    /// would only grow the set the sweep has to claw back.
+    quarantined: std::sync::atomic::AtomicBool,
 }
 
 impl MgrInner {
@@ -87,25 +95,15 @@ impl MgrInner {
     fn on_issue(&self, slot: usize) {
         self.stats.leases.inc();
         self.stats.leases_live.add(1);
-        #[cfg(debug_assertions)]
-        {
-            let was = self.live[slot].swap(true, std::sync::atomic::Ordering::AcqRel);
-            debug_assert!(!was, "buffer manager issued slot {slot} twice");
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = slot;
+        let was = self.live[slot].swap(true, std::sync::atomic::Ordering::AcqRel);
+        debug_assert!(!was, "buffer manager issued slot {slot} twice");
     }
 
     #[inline]
     fn on_release(&self, slot: usize) {
         self.stats.leases_live.sub(1);
-        #[cfg(debug_assertions)]
-        {
-            let was = self.live[slot].swap(false, std::sync::atomic::Ordering::AcqRel);
-            debug_assert!(was, "buffer manager released slot {slot} it never issued");
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = slot;
+        let was = self.live[slot].swap(false, std::sync::atomic::Ordering::AcqRel);
+        debug_assert!(was, "buffer manager released slot {slot} it never issued");
     }
 }
 
@@ -120,7 +118,6 @@ impl BufferManager {
     /// Builds a manager over `ring`. The ring handle is cloned; the
     /// manager shares slot state with every other handle to the ring.
     pub fn new(ring: SlotRing) -> Self {
-        #[cfg(debug_assertions)]
         let live = (0..ring.depth())
             .map(|_| std::sync::atomic::AtomicBool::new(false))
             .collect();
@@ -128,8 +125,8 @@ impl BufferManager {
             inner: Arc::new(MgrInner {
                 ring,
                 stats: BufStats::new(),
-                #[cfg(debug_assertions)]
                 live,
+                quarantined: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -154,6 +151,17 @@ impl BufferManager {
     /// `depth` slots (§4.4.1); [`ShmError::NoFreeSlot`] means the whole
     /// pool is genuinely occupied.
     pub fn lease(&self, len: usize) -> Result<SlotLease, ShmError> {
+        if self
+            .inner
+            .quarantined
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            // The pool is being reclaimed after a peer failure; deny
+            // leases outright (reported like exhaustion — the caller's
+            // fallback path is identical either way).
+            self.inner.stats.lease_denied.inc();
+            return Err(ShmError::NoFreeSlot);
+        }
         if len > self.slot_size() {
             return Err(ShmError::PayloadTooLarge {
                 len,
@@ -178,6 +186,61 @@ impl BufferManager {
         }
         self.inner.stats.lease_denied.inc();
         Err(ShmError::NoFreeSlot)
+    }
+
+    /// Stops handing out leases. Call when the peer sharing the region
+    /// has died or the channel is degrading to an inline path; follow
+    /// with [`BufferManager::reclaim`] once in-flight commands that
+    /// reference published slots have been retired.
+    pub fn quarantine(&self) {
+        self.inner
+            .quarantined
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`BufferManager::quarantine`] has been called.
+    pub fn is_quarantined(&self) -> bool {
+        self.inner
+            .quarantined
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Sweeps every slot not held by a live local lease back to `Free`,
+    /// returning how many were reclaimed.
+    ///
+    /// Safety contract (not memory-unsafe, but protocol-critical): only
+    /// call after [`BufferManager::quarantine`] and after retiring every
+    /// in-flight command whose payload lives in a published slot — a
+    /// reclaimed slot's bytes may be reused immediately.
+    pub fn reclaim(&self) -> usize {
+        let mut freed = 0;
+        for slot in 0..self.depth() {
+            if self.inner.live[slot].load(std::sync::atomic::Ordering::Acquire) {
+                continue; // a live local lease still points into this slot
+            }
+            if self.inner.ring.force_reclaim(slot).unwrap_or(false) {
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.inner.stats.slots_reclaimed.add(freed as u64);
+        }
+        freed
+    }
+
+    /// Forces one slot back to `Free` (same contract as
+    /// [`BufferManager::reclaim`]); returns whether the slot was
+    /// actually occupied. Slots held by live local leases are skipped.
+    pub fn reclaim_slot(&self, slot: usize) -> bool {
+        if slot >= self.depth() || self.inner.live[slot].load(std::sync::atomic::Ordering::Acquire)
+        {
+            return false;
+        }
+        let freed = self.inner.ring.force_reclaim(slot).unwrap_or(false);
+        if freed {
+            self.inner.stats.slots_reclaimed.inc();
+        }
+        freed
     }
 }
 
@@ -359,6 +422,50 @@ mod tests {
         let (slot, len) = lease.publish();
         assert_eq!(len, 3);
         assert_eq!(ring.begin_read(slot, len).unwrap().as_slice(), b"abc");
+    }
+
+    #[test]
+    fn quarantine_denies_new_leases() {
+        let (m, _ring) = mgr(4, 64);
+        assert!(!m.is_quarantined());
+        m.quarantine();
+        assert!(m.is_quarantined());
+        assert!(matches!(m.lease(1), Err(ShmError::NoFreeSlot)));
+        assert_eq!(m.stats().lease_denied.get(), 1);
+    }
+
+    #[test]
+    fn reclaim_frees_published_but_not_live_slots() {
+        let (m, ring) = mgr(4, 64);
+        // Slot 0: published (Ready) — a dead peer would never drain it.
+        let lease = m.lease(4).unwrap();
+        let (published, _) = lease.publish();
+        // Slot 1: a live local lease — must survive the sweep.
+        let held = m.lease(4).unwrap();
+        let held_slot = held.slot();
+        m.quarantine();
+        let freed = m.reclaim();
+        assert_eq!(freed, 1);
+        assert_eq!(ring.state(published).unwrap(), SlotState::Free);
+        assert_ne!(ring.state(held_slot).unwrap(), SlotState::Free);
+        assert_eq!(m.stats().slots_reclaimed.get(), 1);
+        drop(held);
+        // Now the straggler can be swept too.
+        assert_eq!(m.reclaim(), 0); // drop already returned it to Free
+        assert_eq!(ring.state(held_slot).unwrap(), SlotState::Free);
+    }
+
+    #[test]
+    fn reclaim_slot_targets_one_slot() {
+        let (m, ring) = mgr(4, 64);
+        let (published, _) = m.lease(4).unwrap().publish();
+        let held = m.lease(4).unwrap();
+        assert!(!m.reclaim_slot(held.slot())); // live lease: refused
+        assert!(m.reclaim_slot(published));
+        assert!(!m.reclaim_slot(published)); // already free
+        assert!(!m.reclaim_slot(99)); // out of range
+        assert_eq!(ring.state(published).unwrap(), SlotState::Free);
+        drop(held);
     }
 
     #[test]

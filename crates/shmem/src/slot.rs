@@ -165,6 +165,38 @@ impl SlotRing {
     fn data_offset(&self, slot: usize) -> usize {
         self.layout.slot_offset(self.dir, slot)
     }
+
+    /// Fault-recovery primitive: forces `slot` back to `Free` from any
+    /// non-`Free` state, returning whether anything was reclaimed.
+    ///
+    /// This deliberately breaks the normal state machine — a slot stuck
+    /// in `Writing`/`Ready`/`Reading` because its peer died or the
+    /// channel was abandoned mid-flight would otherwise leak forever.
+    /// Only call it once the channel is quarantined (no new leases) and
+    /// the in-flight commands referencing the slot have been retired;
+    /// racing a live guard is a protocol violation, exactly like reusing
+    /// a published slot index.
+    pub fn force_reclaim(&self, slot: usize) -> Result<bool, ShmError> {
+        if slot >= self.layout.depth {
+            return Err(ShmError::BadSlot(slot));
+        }
+        let atom = self.state_atom(slot);
+        let prev = atom.swap(SlotState::Free as u8, Ordering::AcqRel);
+        Ok(prev != SlotState::Free as u8)
+    }
+
+    /// Sweeps every slot of this direction back to `Free` (see
+    /// [`SlotRing::force_reclaim`] for the safety contract), returning
+    /// how many were actually reclaimed.
+    pub fn reclaim_all(&self) -> usize {
+        let mut freed = 0;
+        for slot in 0..self.layout.depth {
+            if self.force_reclaim(slot).unwrap_or(false) {
+                freed += 1;
+            }
+        }
+        freed
+    }
 }
 
 /// Exclusive write access to one slot, from claim to publication.

@@ -10,9 +10,11 @@
 //! * [`nvmeof`] — NVMe + NVMe-oF protocol, target and initiator
 //! * [`oaf`] — the adaptive fabric itself (the paper's contribution)
 //! * [`h5`] — HDF5-like container, h5bench kernels, NFS baseline
+//! * [`chaos`] — deterministic fault injection for the fabric
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use oaf_chaos as chaos;
 pub use oaf_core as oaf;
 pub use oaf_h5 as h5;
 pub use oaf_nvmeof as nvmeof;
