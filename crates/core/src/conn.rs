@@ -3,8 +3,9 @@
 //! Establishes an adaptive-fabric connection between an NVMe-oF client
 //! and target:
 //!
-//! 1. the client opens the TCP connection (here: a [`MemTransport`]
-//!    pair) and both sides create their AF endpoint objects;
+//! 1. the client opens the TCP connection (a real nonblocking loopback
+//!    socket pair via [`oaf_nvmeof::tcp::TcpTransport`], §4.5) and both
+//!    sides create their AF endpoint objects;
 //! 2. the Connection Manager consults [`HostRegistry`] — the helper
 //!    process — for locality; for co-located pairs an isolated
 //!    shared-memory channel is hot-plugged and announced on the flag
@@ -24,7 +25,9 @@ use oaf_nvmeof::nvme::controller::Controller;
 use oaf_nvmeof::payload::PayloadChannel;
 use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
 use oaf_nvmeof::target::{spawn_target_observed, TargetConfig, TargetHandle};
+use oaf_nvmeof::tcp::{TcpConfig, TcpTransport};
 use oaf_nvmeof::transport::{BackoffConfig, ControlTransport, MemTransport, ShmTransport};
+use oaf_nvmeof::tune::{ChunkCostModel, ChunkSelector, KIB, MIB};
 use oaf_nvmeof::{FlowMode, NvmeofError};
 use oaf_shmem::channel::Side;
 use oaf_telemetry::Registry;
@@ -36,7 +39,10 @@ use crate::payload_impl::ShmPayloadChannel;
 /// Which channel carries control PDUs for an established connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ControlPath {
-    /// The TCP stand-in ([`MemTransport`]) — always available.
+    /// NVMe/TCP over a real nonblocking socket (§4.5) — always
+    /// available. When the environment forbids sockets entirely the
+    /// manager falls back to the in-memory [`MemTransport`] stand-in so
+    /// the fabric still comes up.
     Tcp,
     /// In-region control over shared-memory byte rings (§5.5). Requires
     /// co-location; falls back to [`ControlPath::Tcp`] when the helper
@@ -81,6 +87,9 @@ pub struct FabricSettings {
     /// Keep-alive probe interval; the peer is declared dead after three
     /// quiet intervals. `None` disables keep-alive.
     pub keepalive_interval: Option<Duration>,
+    /// Link speed the remote TCP path is tuned for: the runtime
+    /// [`ChunkSelector`] sizes the write-chunk (Fig. 9) from this.
+    pub link_gbps: f64,
 }
 
 impl Default for FabricSettings {
@@ -100,6 +109,7 @@ impl Default for FabricSettings {
             max_retries: 3,
             retry_backoff: Duration::from_millis(2),
             keepalive_interval: None,
+            link_gbps: 25.0,
         }
     }
 }
@@ -236,8 +246,20 @@ impl ConnectionManager {
                 .register(&self.telemetry.scope("control_ring_target"));
             (ControlTransport::Shm(c), ControlTransport::Shm(t))
         } else {
-            let (c, t) = MemTransport::pair();
-            (ControlTransport::Mem(c), ControlTransport::Mem(t))
+            // Remote (or remote-preferring) pairs get the real-socket
+            // NVMe/TCP data plane over loopback (§4.5). Environments
+            // that forbid sockets keep the in-memory stand-in so the
+            // fabric still comes up.
+            match TcpTransport::loopback_pair(TcpConfig {
+                backoff: settings.backoff(),
+                ..TcpConfig::default()
+            }) {
+                Ok((c, t)) => (ControlTransport::Tcp(c), ControlTransport::Tcp(t)),
+                Err(_) => {
+                    let (c, t) = MemTransport::pair();
+                    (ControlTransport::Mem(c), ControlTransport::Mem(t))
+                }
+            }
         };
         self.record_fabric(settings, hotplug.is_some(), client_tr.is_in_region());
         client_tr
@@ -246,6 +268,14 @@ impl ConnectionManager {
         target_tr
             .metrics()
             .register(&self.telemetry.scope("transport_target"));
+        // The socket path additionally reports syscall/partial-I/O
+        // counters per endpoint under the `tcp` scopes.
+        if let Some(m) = client_tr.tcp_metrics() {
+            m.register(&self.telemetry.scope("tcp_client"));
+        }
+        if let Some(m) = target_tr.tcp_metrics() {
+            m.register(&self.telemetry.scope("tcp_target"));
+        }
 
         // Step 3: target side comes up first (it answers the ICReq).
         let target_cfg = TargetConfig {
@@ -268,11 +298,26 @@ impl ConnectionManager {
         } else {
             0
         };
+        // Runtime chunking (Fig. 9): on the socket path, large H2C data
+        // is streamed as write_chunk-sized sub-PDUs sized for the link;
+        // in-memory channels move payloads whole.
+        let write_chunk = if client_tr.is_socket() {
+            let selector = ChunkSelector::new(ChunkCostModel::for_link_gbps(settings.link_gbps));
+            let mix = [128 * KIB, 256 * KIB, 512 * KIB, MIB, 2 * MIB];
+            selector.select(&mix) as usize
+        } else {
+            0
+        };
+        self.telemetry
+            .scope("fabric")
+            .gauge("write_chunk")
+            .set(write_chunk as i64);
         let opts = InitiatorOptions {
             host_id: client.0,
             af_caps,
             flow: settings.flow,
             maxr2t: 16,
+            write_chunk,
             cmd_deadline: settings.cmd_deadline,
             max_retries: settings.max_retries,
             retry_backoff: settings.retry_backoff,

@@ -157,13 +157,36 @@ pub fn launch_many(
     let mut client_sides = Vec::new();
     for (i, &(pid, host)) in clients.iter().enumerate() {
         registry.register(pid, host);
-        let (ct, tt) = MemTransport::pair();
-        let ct = ControlTransport::Mem(ct);
-        ct.metrics()
-            .register(&telemetry.scope(&format!("transport_client{i}")));
         // The helper process hot-plugs an isolated region per co-located
         // client (the §6 security model).
         let hotplug = registry.hotplug(pid, target.0, settings.depth, settings.slot_size);
+        // Co-located clients keep the in-memory control channel next to
+        // their shm payload region; remote clients ride the real-socket
+        // NVMe/TCP data plane (§4.5), falling back to the in-memory
+        // stand-in only where the environment forbids sockets.
+        let (ct, tt) = if hotplug.is_some() {
+            let (c, t) = MemTransport::pair();
+            (ControlTransport::Mem(c), ControlTransport::Mem(t))
+        } else {
+            match oaf_nvmeof::tcp::TcpTransport::loopback_pair(oaf_nvmeof::tcp::TcpConfig {
+                backoff: settings.backoff(),
+                ..oaf_nvmeof::tcp::TcpConfig::default()
+            }) {
+                Ok((c, t)) => (ControlTransport::Tcp(c), ControlTransport::Tcp(t)),
+                Err(_) => {
+                    let (c, t) = MemTransport::pair();
+                    (ControlTransport::Mem(c), ControlTransport::Mem(t))
+                }
+            }
+        };
+        ct.metrics()
+            .register(&telemetry.scope(&format!("transport_client{i}")));
+        if let Some(m) = ct.tcp_metrics() {
+            m.register(&telemetry.scope(&format!("tcp_client{i}")));
+        }
+        if let Some(m) = tt.tcp_metrics() {
+            m.register(&telemetry.scope(&format!("tcp_target{i}")));
+        }
         let (client_shm, target_shm) = match &hotplug {
             Some(hp) => {
                 let c = crate::payload_impl::ShmPayloadChannel::new(&hp.channel, Side::Client);
@@ -191,6 +214,12 @@ pub fn launch_many(
     }
     let target_handle = spawn_multi_observed(controller, specs, Some(&telemetry));
 
+    // Fig. 9 runtime chunking for whichever clients landed on sockets.
+    let socket_chunk = {
+        use oaf_nvmeof::tune::{ChunkCostModel, ChunkSelector, KIB, MIB};
+        let selector = ChunkSelector::new(ChunkCostModel::for_link_gbps(settings.link_gbps));
+        selector.select(&[128 * KIB, 256 * KIB, 512 * KIB, MIB, 2 * MIB]) as usize
+    };
     let mut afs = Vec::new();
     for (i, (pid, ct, client_shm)) in client_sides.into_iter().enumerate() {
         let af_caps = if client_shm.is_some() {
@@ -198,6 +227,7 @@ pub fn launch_many(
         } else {
             0
         };
+        let write_chunk = if ct.is_socket() { socket_chunk } else { 0 };
         let initiator = Initiator::connect(
             ct,
             InitiatorOptions {
@@ -205,6 +235,7 @@ pub fn launch_many(
                 af_caps,
                 flow: settings.flow,
                 maxr2t: 16,
+                write_chunk,
                 cmd_deadline: settings.cmd_deadline,
                 max_retries: settings.max_retries,
                 retry_backoff: settings.retry_backoff,

@@ -1,6 +1,11 @@
-//! TCP-channel optimizations (§4.5).
+//! TCP-channel optimizations (§4.5) — simulation-typed facade.
 //!
-//! Two knobs the paper tunes on the inter-node path:
+//! The actual cost model and controller live in [`oaf_nvmeof::tune`] on
+//! plain [`std::time::Duration`] + `f64`, where the *real* socket
+//! transport ([`oaf_nvmeof::tcp`]) consumes them. This module keeps the
+//! simulator-facing API ([`SimDuration`], [`Rate`]) as thin wrappers so
+//! `fig09`/`fig10` and the discrete-event fabric keep their types while
+//! the runtime and sim share one implementation:
 //!
 //! * **Application-level chunk size.** Stock NVMe/TCP statically sets it
 //!   to 128 KiB; I/O requests are split into `ceil(io_size / chunk)`
@@ -15,8 +20,24 @@
 //!   EWMA of observed wait times per direction and selects a budget
 //!   from the candidate ladder.
 
+use oaf_nvmeof::tune;
 use oaf_simnet::time::SimDuration;
-use oaf_simnet::units::{Rate, KIB, MIB};
+use oaf_simnet::units::Rate;
+use std::time::Duration;
+
+/// The workload directions the busy-poll controller distinguishes.
+///
+/// Re-exported from the shared runtime implementation so sim and socket
+/// code agree on the classification.
+pub use oaf_nvmeof::tune::PollClass;
+
+fn to_std(d: SimDuration) -> Duration {
+    Duration::from_nanos(d.as_nanos())
+}
+
+fn to_sim(d: Duration) -> SimDuration {
+    SimDuration::from_nanos(d.as_nanos() as u64)
+}
 
 /// Cost model constants for chunk-size selection.
 #[derive(Clone, Copy, Debug)]
@@ -35,15 +56,18 @@ pub struct ChunkCostModel {
 }
 
 impl ChunkCostModel {
+    fn shared(&self) -> tune::ChunkCostModel {
+        tune::ChunkCostModel {
+            per_chunk_cpu: to_std(self.per_chunk_cpu),
+            goodput_bytes_per_sec: self.goodput.as_bytes_per_sec(),
+            mem_quad_us_at_512k: self.mem_quad_us_at_512k,
+        }
+    }
+
     /// Effective per-I/O cost of moving `io_size` bytes with `chunk`-sized
     /// sub-requests, in microseconds. Lower is better.
     pub fn cost_us(&self, io_size: u64, chunk: u64) -> f64 {
-        let chunks = oaf_simnet::units::chunks_for(io_size, chunk) as f64;
-        let cpu = chunks * 2.0 * self.per_chunk_cpu.as_micros_f64();
-        let wire = self.goodput.transfer_secs(io_size) * 1e6;
-        let ratio = chunk as f64 / (512.0 * KIB as f64);
-        let mem = chunks * self.mem_quad_us_at_512k * ratio * ratio;
-        cpu + wire + mem
+        self.shared().cost_us(io_size, chunk)
     }
 }
 
@@ -63,97 +87,60 @@ impl ChunkCostModel {
 /// assert_eq!(selector.select(&[128 * KIB, 512 * KIB, MIB, 2 * MIB]), 512 * KIB);
 /// ```
 pub struct ChunkSelector {
-    model: ChunkCostModel,
-    candidates: Vec<u64>,
+    inner: tune::ChunkSelector,
 }
 
 impl ChunkSelector {
     /// Candidate ladder used by the paper's sweep (Fig. 9).
     pub fn default_candidates() -> Vec<u64> {
-        vec![64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, MIB, 2 * MIB]
+        tune::ChunkSelector::default_candidates()
     }
 
     /// Creates a selector over the default candidate ladder.
     pub fn new(model: ChunkCostModel) -> Self {
         ChunkSelector {
-            model,
-            candidates: Self::default_candidates(),
+            inner: tune::ChunkSelector::new(model.shared()),
         }
     }
 
     /// Picks the chunk minimizing the summed cost over a representative
     /// I/O-size mix (the paper sweeps 128 KiB – 2 MiB streams).
     pub fn select(&self, io_sizes: &[u64]) -> u64 {
-        *self
-            .candidates
-            .iter()
-            .min_by(|&&a, &&b| {
-                let ca: f64 = io_sizes.iter().map(|&s| self.model.cost_us(s, a)).sum();
-                let cb: f64 = io_sizes.iter().map(|&s| self.model.cost_us(s, b)).sum();
-                ca.partial_cmp(&cb).expect("finite costs")
-            })
-            .expect("non-empty candidates")
+        self.inner.select(io_sizes)
     }
-}
-
-/// The workload directions the busy-poll controller distinguishes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum PollClass {
-    /// Waits for read data / read completions.
-    Read,
-    /// Waits for R2T grants / write completions.
-    Write,
 }
 
 /// Workload-adaptive busy-poll budget selection.
 pub struct BusyPollController {
-    ladder: Vec<SimDuration>,
-    ewma_alpha: f64,
-    read_wait_us: f64,
-    write_wait_us: f64,
-    samples: u64,
+    inner: tune::BusyPollController,
 }
 
 impl BusyPollController {
     /// The candidate budgets the paper evaluates (Fig. 10), plus
     /// interrupt mode (zero).
     pub fn default_ladder() -> Vec<SimDuration> {
-        vec![
-            SimDuration::ZERO,
-            SimDuration::from_micros(25),
-            SimDuration::from_micros(50),
-            SimDuration::from_micros(100),
-        ]
+        tune::BusyPollController::default_ladder()
+            .into_iter()
+            .map(to_sim)
+            .collect()
     }
 
     /// Creates a controller with the default ladder.
     pub fn new() -> Self {
         BusyPollController {
-            ladder: Self::default_ladder(),
-            ewma_alpha: 0.05,
-            read_wait_us: 30.0,
-            write_wait_us: 80.0,
-            samples: 0,
+            inner: tune::BusyPollController::new(),
         }
     }
 
     /// Feeds one observed wait (time between posting a receive and data
     /// arrival) for `class`.
     pub fn observe(&mut self, class: PollClass, wait: SimDuration) {
-        let target = match class {
-            PollClass::Read => &mut self.read_wait_us,
-            PollClass::Write => &mut self.write_wait_us,
-        };
-        *target = (1.0 - self.ewma_alpha) * *target + self.ewma_alpha * wait.as_micros_f64();
-        self.samples += 1;
+        self.inner.observe(class, to_std(wait));
     }
 
     /// Current EWMA estimate for a class, in microseconds.
     pub fn estimate_us(&self, class: PollClass) -> f64 {
-        match class {
-            PollClass::Read => self.read_wait_us,
-            PollClass::Write => self.write_wait_us,
-        }
+        self.inner.estimate_us(class)
     }
 
     /// Selects the budget for a class: the smallest ladder rung covering
@@ -161,18 +148,12 @@ impl BusyPollController {
     /// which wastes the core at high queue depth — the Fig. 10 read dip
     /// at 100 µs).
     pub fn budget(&self, class: PollClass) -> SimDuration {
-        let want = self.estimate_us(class) * 1.15; // slack for jitter
-        for &rung in &self.ladder[1..] {
-            if rung.as_micros_f64() >= want {
-                return rung;
-            }
-        }
-        *self.ladder.last().expect("non-empty ladder")
+        to_sim(self.inner.budget(class))
     }
 
     /// Observations consumed so far.
     pub fn samples(&self) -> u64 {
-        self.samples
+        self.inner.samples()
     }
 }
 
@@ -185,6 +166,7 @@ impl Default for BusyPollController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oaf_simnet::units::{KIB, MIB};
 
     fn model_25g() -> ChunkCostModel {
         ChunkCostModel {
@@ -249,5 +231,20 @@ mod tests {
         c.observe(PollClass::Read, SimDuration::from_micros(10));
         c.observe(PollClass::Write, SimDuration::from_micros(10));
         assert_eq!(c.samples(), 2);
+    }
+
+    #[test]
+    fn facade_matches_shared_implementation() {
+        // The sim-typed facade and the runtime module must agree bit-for-
+        // bit on costs — they are one implementation.
+        let sim = model_25g();
+        let shared = tune::ChunkCostModel::for_link_gbps(25.0);
+        for io in [128 * KIB, 512 * KIB, 2 * MIB] {
+            for chunk in tune::ChunkSelector::default_candidates() {
+                let a = sim.cost_us(io, chunk);
+                let b = shared.cost_us(io, chunk);
+                assert!((a - b).abs() < 1e-6, "io={io} chunk={chunk}: {a} vs {b}");
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ use crate::nvme::controller::IdentifyInfo;
 use crate::payload::{PayloadChannel, WriteLease};
 use crate::pdu::{Abort, CapsuleCmd, DataPdu, DataRef, Degrade, ICReq, KeepAlive, Pdu, AF_CAP_SHM};
 use crate::transport::{BackoffConfig, Frame, Transport, WaitLadder, WaitStep};
+use crate::tune::{BusyPollController, PollClass};
 use crate::FlowMode;
 
 /// Keep-alive tuning: how long a connection may stay silent before the
@@ -74,6 +75,12 @@ pub struct InitiatorOptions {
     /// Spin→yield→sleep ladder tuning for the blocking waits
     /// (`connect`, `wait`) — the same knob the ring transports use.
     pub backoff: BackoffConfig,
+    /// Application-level chunk size for inline H2C transfers (§4.5,
+    /// Fig. 9): an R2T-granted payload larger than this is shipped as
+    /// `ceil(len / write_chunk)` pipelined sub-requests. `0` disables
+    /// chunking. The connection manager sizes this with the runtime
+    /// [`crate::tune::ChunkSelector`] when the link is a real socket.
+    pub write_chunk: usize,
 }
 
 impl Default for InitiatorOptions {
@@ -88,6 +95,9 @@ impl Default for InitiatorOptions {
             retry_backoff: Duration::from_millis(2),
             keepalive: None,
             backoff: BackoffConfig::default(),
+            // Fig. 9's optimum for the paper's 25 Gbps testbed; payloads
+            // at or below this are untouched.
+            write_chunk: 512 * 1024,
         }
     }
 }
@@ -205,6 +215,10 @@ struct ClientState {
     ka_outstanding: bool,
     /// The shm payload path has been abandoned mid-flight.
     degraded: bool,
+    /// Workload-adaptive busy-poll budgets (§4.5, Fig. 10): observed
+    /// wait times feed per-direction EWMAs; [`Initiator::wait`] spins
+    /// for the chosen budget before descending to yields and sleeps.
+    poller: BusyPollController,
 }
 
 /// An NVMe-oF initiator over a transport.
@@ -287,6 +301,39 @@ impl ClientState {
         self.scratch.clear();
         pdu.encode_into(&mut self.scratch);
         transport.send_frame(&self.scratch)
+    }
+
+    /// Feeds one completed wait into the adaptive busy-poll controller
+    /// and publishes the refreshed per-direction budgets as gauges.
+    /// Waits that ran into retries or stalls are clamped so a single
+    /// outlier can't blow the EWMA past the ladder.
+    fn observe_wait(&mut self, class: PollClass, elapsed: Duration) {
+        const CLAMP: Duration = Duration::from_millis(1);
+        self.poller.observe(class, elapsed.min(CLAMP));
+        self.metrics
+            .busy_poll_read_us
+            .set(self.poller.budget(PollClass::Read).as_micros() as i64);
+        self.metrics
+            .busy_poll_write_us
+            .set(self.poller.budget(PollClass::Write).as_micros() as i64);
+    }
+
+    /// Sends a data-bearing PDU, preferring the transport's vectored
+    /// `[prefix, payload]` path when it has one (the socket transport's
+    /// `write_vectored`, which skips the payload coalescing copy);
+    /// everything else takes the ordinary scratch-encode path.
+    fn send_pdu_data<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        pdu: &Pdu,
+    ) -> Result<(), NvmeofError> {
+        if transport.prefers_split() {
+            self.scratch.clear();
+            if let Some(payload) = pdu.encode_split_into(&mut self.scratch) {
+                return transport.send_split(&self.scratch, payload);
+            }
+        }
+        self.send_pdu(transport, pdu)
     }
 
     /// Like [`send_pdu`], but treats ring congestion as transient: the
@@ -645,6 +692,7 @@ impl<T: Transport> Initiator<T> {
                 ka_seq: 0,
                 ka_outstanding: false,
                 degraded: false,
+                poller: BusyPollController::new(),
             },
         })
     }
@@ -668,6 +716,21 @@ impl<T: Transport> Initiator<T> {
     /// a [`oaf_telemetry::Registry`] scope).
     pub fn metrics(&self) -> &Arc<InitiatorMetrics> {
         &self.state.metrics
+    }
+
+    /// The current workload-adaptive busy-poll budget for `class` waits
+    /// (§4.5, Fig. 10).
+    pub fn busy_poll_budget(&self, class: PollClass) -> Duration {
+        self.state.poller.budget(class)
+    }
+
+    /// Feeds one measured wait into the busy-poll controller, exactly as
+    /// a live [`wait`](Self::wait) would — EWMA update plus the
+    /// `busy_poll_*_us` telemetry gauges. This is the Fig. 10 replay
+    /// interface: recorded per-direction wait traces can be played back
+    /// to inspect which budgets the controller settles on.
+    pub fn observe_wait_sample(&mut self, class: PollClass, wait: Duration) {
+        self.state.observe_wait(class, wait);
     }
 
     /// Submits a write of `data` (must be `nlb * block_size` bytes).
@@ -1012,15 +1075,28 @@ impl<T: Transport> Initiator<T> {
 
     /// Polls until `cid` completes or `timeout` elapses, descending the
     /// spin→yield→sleep ladder while the transport stays quiet.
+    ///
+    /// The busy-poll phase is workload-adaptive (§4.5, Fig. 10): waits
+    /// are classified by the awaited command's direction, observed wait
+    /// times feed a per-direction EWMA, and the spin budget is the
+    /// controller's current pick for that class — so reads converge to
+    /// short budgets and writes to long ones.
     pub fn wait(&mut self, cid: u16, timeout: Duration) -> Result<IoResult, NvmeofError> {
-        let deadline = Instant::now() + timeout;
-        let mut ladder = WaitLadder::until(deadline, &self.state.opts.backoff);
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let class = match self.state.pending.get(&cid).map(|p| p.cmd.opcode) {
+            Some(Opcode::Read) | Some(Opcode::Identify) | None => PollClass::Read,
+            Some(_) => PollClass::Write,
+        };
+        let budget = self.state.poller.budget(class);
+        let mut ladder = WaitLadder::until_with_spin(deadline, &self.state.opts.backoff, budget);
         let mut done = Vec::new();
         loop {
             done.extend(self.poll()?);
             if let Some(pos) = done.iter().position(|r| r.cid == cid) {
                 let result = done.swap_remove(pos);
                 self.state.completed.extend(done);
+                self.state.observe_wait(class, started.elapsed());
                 return Ok(result);
             }
             if let Some(pos) = self.state.timed_out.iter().position(|&c| c == cid) {
@@ -1119,16 +1195,52 @@ impl ClientState {
                 } else {
                     DataRef::Inline(data)
                 };
-                self.send_pdu(
-                    transport,
-                    &Pdu::H2CData(DataPdu {
-                        cid: r2t.cid,
-                        ttag: r2t.ttag,
-                        offset: 0,
-                        last: true,
-                        data: dref,
-                    }),
-                )?;
+                match dref {
+                    // Large inline payloads are split into pipelined
+                    // sub-requests of `write_chunk` bytes (§4.5, Fig. 9).
+                    // The grant covers the whole payload, so the chunks
+                    // stream back-to-back without further R2Ts; only the
+                    // final one carries the LAST flag and the target
+                    // completes on it (or on the byte count).
+                    DataRef::Inline(data)
+                        if self.opts.write_chunk > 0 && data.len() > self.opts.write_chunk =>
+                    {
+                        let chunk = self.opts.write_chunk;
+                        let total = data.len();
+                        let mut off = 0usize;
+                        let mut sent = 0u64;
+                        while off < total {
+                            let end = (off + chunk).min(total);
+                            self.send_pdu_data(
+                                transport,
+                                &Pdu::H2CData(DataPdu {
+                                    cid: r2t.cid,
+                                    ttag: r2t.ttag,
+                                    offset: off as u32,
+                                    last: end == total,
+                                    data: DataRef::Inline(data.slice(off..end)),
+                                }),
+                            )?;
+                            off = end;
+                            sent += 1;
+                        }
+                        self.metrics.chunks_per_io.record(sent);
+                        self.metrics.h2c_chunks.add(sent);
+                    }
+                    dref => {
+                        self.send_pdu_data(
+                            transport,
+                            &Pdu::H2CData(DataPdu {
+                                cid: r2t.cid,
+                                ttag: r2t.ttag,
+                                offset: 0,
+                                last: true,
+                                data: dref,
+                            }),
+                        )?;
+                        self.metrics.h2c_chunks.inc();
+                    }
+                }
             }
             Pdu::C2HData(d) => {
                 if !self.pending.contains_key(&d.cid) {

@@ -41,7 +41,9 @@ pub mod payload;
 pub mod pdu;
 pub mod server;
 pub mod target;
+pub mod tcp;
 pub mod transport;
+pub mod tune;
 
 pub use error::NvmeofError;
 pub use initiator::Initiator;

@@ -159,6 +159,17 @@ pub struct InitiatorMetrics {
     pub corrupt_frames: Counter,
     /// Abort requests sent as part of write-retry round-trips.
     pub aborts_sent: Counter,
+    /// H2C sub-requests (chunks) emitted per chunked write transfer
+    /// (§4.5, Fig. 9). Only transfers that actually split are recorded.
+    pub chunks_per_io: Histo,
+    /// H2C data PDUs sent in response to R2T grants (chunked or not).
+    pub h2c_chunks: Counter,
+    /// Current adaptive busy-poll budget for read-class waits, in
+    /// microseconds (§4.5, Fig. 10).
+    pub busy_poll_read_us: Gauge,
+    /// Current adaptive busy-poll budget for write-class waits, in
+    /// microseconds.
+    pub busy_poll_write_us: Gauge,
     latency: [Histo; OPCODES],
 }
 
@@ -178,6 +189,10 @@ impl Default for InitiatorMetrics {
             stale_frames: Counter::new(),
             corrupt_frames: Counter::new(),
             aborts_sent: Counter::new(),
+            chunks_per_io: Histo::new(),
+            h2c_chunks: Counter::new(),
+            busy_poll_read_us: Gauge::new(),
+            busy_poll_write_us: Gauge::new(),
             latency: std::array::from_fn(|_| Histo::new()),
         }
     }
@@ -213,6 +228,61 @@ impl InitiatorMetrics {
         for (i, h) in self.latency.iter().enumerate() {
             scope.adopt_histo(&format!("lat_{}_ns", OPCODE_NAMES[i]), h);
         }
+        self.register_tcp_path(scope);
+    }
+
+    /// Publish just the TCP-path tuning metrics (chunking + busy-poll)
+    /// into `scope` — used to surface them under the `tcp` scope next to
+    /// the socket transport's own counters.
+    pub fn register_tcp_path(&self, scope: &Scope) {
+        scope.adopt_histo("chunks_per_io", &self.chunks_per_io);
+        scope.adopt_counter("h2c_chunks", &self.h2c_chunks);
+        scope.adopt_gauge("busy_poll_read_us", &self.busy_poll_read_us);
+        scope.adopt_gauge("busy_poll_write_us", &self.busy_poll_write_us);
+    }
+}
+
+/// Socket-level counters for the real TCP transport (§4.5): syscall
+/// pressure, partial-I/O resumptions, and receive-buffer behavior.
+/// Syscalls-per-frame falls out as `tx_syscalls / frames_sent` (resp.
+/// rx) against the paired [`TransportMetrics`].
+#[derive(Default, Debug)]
+pub struct TcpMetrics {
+    /// `write`/`writev` calls issued on the socket.
+    pub tx_syscalls: Counter,
+    /// `read` calls issued on the socket (including empty polls).
+    pub rx_syscalls: Counter,
+    /// Vectored `[prefix, payload]` sends that skipped the coalescing
+    /// copy.
+    pub vectored_sends: Counter,
+    /// Sends that could not finish in one call and parked bytes in the
+    /// resumable backlog.
+    pub partial_write_resumptions: Counter,
+    /// Receive fills that ended mid-frame and had to resume on a later
+    /// poll.
+    pub partial_read_resumptions: Counter,
+    /// Receive-buffer compactions (memmove of a partial tail frame).
+    pub rx_compactions: Counter,
+    /// Bytes currently parked in the send backlog; `hwm()` is the worst
+    /// case observed.
+    pub tx_backlog_bytes: Gauge,
+}
+
+impl TcpMetrics {
+    /// Fresh, detached bundle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish every metric of this bundle into `scope`.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("tx_syscalls", &self.tx_syscalls);
+        scope.adopt_counter("rx_syscalls", &self.rx_syscalls);
+        scope.adopt_counter("vectored_sends", &self.vectored_sends);
+        scope.adopt_counter("partial_write_resumptions", &self.partial_write_resumptions);
+        scope.adopt_counter("partial_read_resumptions", &self.partial_read_resumptions);
+        scope.adopt_counter("rx_compactions", &self.rx_compactions);
+        scope.adopt_gauge("tx_backlog_bytes", &self.tx_backlog_bytes);
     }
 }
 

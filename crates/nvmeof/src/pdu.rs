@@ -35,13 +35,17 @@ pub const HEADER_LEN: usize = 12;
 /// Byte offset of the CRC32 word within the common header.
 const CRC_OFFSET: usize = 8;
 
-/// CRC-32 (IEEE reflected polynomial) lookup table, built at compile
-/// time so the hot encode/decode paths stay table-driven and allocation
-/// free.
-const CRC_TABLE: [u32; 256] = build_crc_table();
+/// CRC-32 (IEEE reflected polynomial) slicing-by-8 lookup tables, built
+/// at compile time so the hot encode/decode paths stay table-driven and
+/// allocation free. Table 0 is the classic byte-at-a-time table; table
+/// `j` maps a byte to its CRC contribution `j` positions further along,
+/// letting the update loop fold 8 payload bytes per iteration — the
+/// digest is the data plane's per-byte cost, so this is what decides
+/// whether a CRC-stamped stream keeps up with the socket.
+const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
 
-const fn build_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -54,15 +58,38 @@ const fn build_crc_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
 fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
-    for &b in bytes {
-        crc = CRC_TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xff) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xff) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = CRC_TABLES[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
     }
     crc
 }
@@ -397,6 +424,48 @@ impl Pdu {
         // the zeroed-field convention the decoder verifies against.
         let crc = frame_crc(&dst[start..]);
         dst[start + CRC_OFFSET..start + CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Encodes a data PDU's *prefix* — header, cid/ttag/offset, inline
+    /// length word — into `dst` and returns the payload slice to be
+    /// transmitted immediately after it, for transports that can send
+    /// `[prefix, payload]` with one vectored write instead of coalescing
+    /// the payload into the scratch buffer first.
+    ///
+    /// The header's `plen` and CRC account for the payload, so
+    /// `prefix ++ payload` on the wire is byte-identical to
+    /// [`Pdu::encode_into`] output and decodes with the unchanged
+    /// decoder. Returns `None` for PDUs with no borrowable inline
+    /// payload (callers fall back to `encode_into` + `send_frame`).
+    pub fn encode_split_into<'a>(&'a self, dst: &mut BytesMut) -> Option<&'a [u8]> {
+        let (t, p) = match self {
+            Pdu::H2CData(p) => (ptype::H2C_DATA, p),
+            Pdu::C2HData(p) => (ptype::C2H_DATA, p),
+            _ => return None,
+        };
+        let DataRef::Inline(b) = &p.data else {
+            return None;
+        };
+        let start = dst.len();
+        let mut flags = 0u8;
+        if p.last {
+            flags |= FLAG_LAST;
+        }
+        put_header(dst, t, flags, 8 + 4 + b.len());
+        dst.put_u16_le(p.cid);
+        dst.put_u16_le(p.ttag);
+        dst.put_u32_le(p.offset);
+        dst.put_u32_le(b.len() as u32);
+        // CRC over the logical frame (prefix ++ payload) with the CRC
+        // field zeroed, continued incrementally over the borrowed
+        // payload so the bytes never pass through `dst`.
+        let mut crc = crc32_update(0xFFFF_FFFF, &dst[start..start + CRC_OFFSET]);
+        crc = crc32_update(crc, &[0u8; 4]);
+        crc = crc32_update(crc, &dst[start + HEADER_LEN..]);
+        crc = crc32_update(crc, b);
+        let crc = !crc;
+        dst[start + CRC_OFFSET..start + CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+        Some(b)
     }
 
     fn encode_body(&self, dst: &mut BytesMut) {
@@ -951,6 +1020,54 @@ mod tests {
         let frame = p.encode();
         assert_eq!(Pdu::decode_frame(Frame::Borrowed(&frame)).unwrap(), p);
         assert_eq!(Pdu::decode_frame(Frame::Owned(frame)).unwrap(), p);
+    }
+
+    #[test]
+    fn split_encode_is_wire_identical_to_coalesced() {
+        for (last, ctor) in [(false, false), (true, false), (false, true), (true, true)] {
+            let payload = Bytes::from((0u8..=255).cycle().take(1000).collect::<Vec<u8>>());
+            let pdu = DataPdu {
+                cid: 7,
+                ttag: 9,
+                offset: 0x1_0000,
+                last,
+                data: DataRef::Inline(payload),
+            };
+            let pdu = if ctor {
+                Pdu::C2HData(pdu)
+            } else {
+                Pdu::H2CData(pdu)
+            };
+            let mut whole = BytesMut::new();
+            pdu.encode_into(&mut whole);
+            let mut prefix = BytesMut::new();
+            let tail = pdu.encode_split_into(&mut prefix).expect("inline data");
+            let mut glued = prefix.to_vec();
+            glued.extend_from_slice(tail);
+            assert_eq!(&glued[..], &whole[..], "last={last} c2h={ctor}");
+            assert_eq!(Pdu::decode_slice(&glued).unwrap(), pdu);
+        }
+    }
+
+    #[test]
+    fn split_encode_declines_non_inline_pdus() {
+        let mut scratch = BytesMut::new();
+        let shm = Pdu::H2CData(DataPdu {
+            cid: 1,
+            ttag: 2,
+            offset: 0,
+            last: true,
+            data: DataRef::ShmSlot { slot: 3, len: 4096 },
+        });
+        assert!(shm.encode_split_into(&mut scratch).is_none());
+        assert!(scratch.is_empty(), "declined encode must not emit bytes");
+        let r2t = Pdu::R2T(R2T {
+            cid: 1,
+            ttag: 2,
+            offset: 0,
+            len: 4096,
+        });
+        assert!(r2t.encode_split_into(&mut scratch).is_none());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::payload::PayloadChannel;
 use crate::pdu::Pdu;
 use crate::target::{TargetConfig, TargetConnection, TargetHandle};
 use crate::transport::Transport;
+use crate::tune::{BusyPollController, PollClass};
 use oaf_telemetry::Registry;
 
 /// One client connection a [`spawn_multi`] reactor services.
@@ -84,6 +85,17 @@ pub fn spawn_multi_observed(
     let join = std::thread::Builder::new()
         .name("nvmeof-target-multi".into())
         .spawn(move || {
+            // Workload-adaptive idle policy (§4.5, Fig. 10): the reactor
+            // learns the typical gap between work arrivals and keeps
+            // spinning while the next frame is expected imminently; past
+            // that budget it backs off exponentially so an idle reactor
+            // does not burn a core.
+            const IDLE_SLEEP_MIN: Duration = Duration::from_micros(5);
+            const IDLE_SLEEP_MAX: Duration = Duration::from_micros(500);
+            const GAP_CLAMP: Duration = Duration::from_millis(1);
+            let mut poller = BusyPollController::new();
+            let mut last_work = std::time::Instant::now();
+            let mut idle_sleep = IDLE_SLEEP_MIN;
             let mut live = live_init;
             while !stop2.load(Ordering::Acquire) && live.iter().any(|l| l.alive) {
                 let mut idle = true;
@@ -128,11 +140,26 @@ pub fn spawn_multi_observed(
                     }
                     for pdu in l.out.drain(..) {
                         l.scratch.clear();
-                        pdu.encode_into(&mut l.scratch);
+                        // Socket transports take the vectored header +
+                        // borrowed-payload path so large C2H data never
+                        // gets coalesced into the scratch buffer.
+                        let sent = if l.transport.prefers_split() {
+                            match pdu.encode_split_into(&mut l.scratch) {
+                                Some(payload) => l.transport.send_split(&l.scratch, payload),
+                                None => {
+                                    l.scratch.clear();
+                                    pdu.encode_into(&mut l.scratch);
+                                    l.transport.send_frame(&l.scratch)
+                                }
+                            }
+                        } else {
+                            pdu.encode_into(&mut l.scratch);
+                            l.transport.send_frame(&l.scratch)
+                        };
                         // A peer that hung up or a ring stuck full past the
                         // backoff budget kills the connection, not the
                         // reactor.
-                        match l.transport.send_frame(&l.scratch) {
+                        match sent {
                             Ok(()) => {}
                             Err(NvmeofError::TransportClosed) | Err(NvmeofError::RingFull) => {
                                 l.alive = false;
@@ -146,9 +173,16 @@ pub fn spawn_multi_observed(
                     }
                 }
                 if idle {
-                    // Poll-mode with a polite backoff so tests don't burn
-                    // a core per idle reactor.
-                    std::thread::sleep(Duration::from_micros(50));
+                    if last_work.elapsed() < poller.budget(PollClass::Read) {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::sleep(idle_sleep);
+                        idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
+                    }
+                } else {
+                    poller.observe(PollClass::Read, last_work.elapsed().min(GAP_CLAMP));
+                    last_work = std::time::Instant::now();
+                    idle_sleep = IDLE_SLEEP_MIN;
                 }
             }
             Ok(())

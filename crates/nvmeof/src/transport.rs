@@ -146,6 +146,10 @@ pub struct WaitLadder {
     yields: u32,
     spin_limit: u32,
     deadline: Instant,
+    /// When set, the busy-poll phase is *time*-based: spin until this
+    /// instant (the §4.5 adaptive budget) instead of counting
+    /// `spin_limit` iterations.
+    spin_until: Option<Instant>,
 }
 
 impl WaitLadder {
@@ -162,16 +166,43 @@ impl WaitLadder {
             yields: 0,
             spin_limit: cfg.spin_limit,
             deadline,
+            spin_until: None,
+        }
+    }
+
+    /// A ladder whose busy-poll phase lasts `spin_budget` of wall time —
+    /// the workload-adaptive budget chosen by
+    /// [`crate::tune::BusyPollController`] (§4.5, Fig. 10) — before
+    /// descending to yields and bounded sleeps. A zero budget skips the
+    /// spin phase entirely (interrupt mode).
+    pub fn until_with_spin(deadline: Instant, cfg: &BackoffConfig, spin_budget: Duration) -> Self {
+        WaitLadder {
+            spins: 0,
+            yields: 0,
+            spin_limit: cfg.spin_limit,
+            deadline,
+            spin_until: Some(Instant::now() + spin_budget),
         }
     }
 
     /// One wait step. The caller polls, and on no-progress calls `step`
     /// and obeys the returned [`WaitStep`].
     pub fn step(&mut self) -> WaitStep {
-        if self.spins < self.spin_limit {
-            self.spins += 1;
-            std::hint::spin_loop();
-            return WaitStep::Again;
+        match self.spin_until {
+            Some(t) => {
+                if Instant::now() < t {
+                    self.spins += 1;
+                    std::hint::spin_loop();
+                    return WaitStep::Again;
+                }
+            }
+            None => {
+                if self.spins < self.spin_limit {
+                    self.spins += 1;
+                    std::hint::spin_loop();
+                    return WaitStep::Again;
+                }
+            }
         }
         let now = Instant::now();
         if now >= self.deadline {
@@ -201,6 +232,26 @@ pub trait Transport: Send {
     /// transports fall back to one owned copy.
     fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
         self.send(Bytes::copy_from_slice(frame))
+    }
+
+    /// Sends one logical frame supplied as `prefix ++ payload` — the
+    /// vectored path for data PDUs whose payload is borrowed from the
+    /// caller ([`crate::pdu::Pdu::encode_split_into`]). Socket
+    /// transports override this with a single `write_vectored`,
+    /// skipping the payload coalescing copy; the default glues the two
+    /// parts and takes the ordinary `send_frame` path.
+    fn send_split(&self, prefix: &[u8], payload: &[u8]) -> Result<(), NvmeofError> {
+        let mut whole = Vec::with_capacity(prefix.len() + payload.len());
+        whole.extend_from_slice(prefix);
+        whole.extend_from_slice(payload);
+        self.send_frame(&whole)
+    }
+
+    /// Whether [`Transport::send_split`] actually avoids the coalescing
+    /// copy on this transport. Callers that can encode straight into a
+    /// reusable scratch consult this and only split when it pays.
+    fn prefers_split(&self) -> bool {
+        false
     }
 
     /// Sends every frame in `frames` (draining it), letting ring
@@ -529,14 +580,18 @@ impl Transport for ShmTransport {
     }
 }
 
-/// Static dispatch over the two real-runtime control paths, so the
-/// connection manager can pick per connection (kernel-TCP stand-in vs.
-/// the §5.5 in-region byte rings) without boxing the hot path.
+/// Static dispatch over the real-runtime control paths, so the
+/// connection manager can pick per connection (real kernel-TCP socket,
+/// channel stand-in, or the §5.5 in-region byte rings) without boxing
+/// the hot path.
 pub enum ControlTransport {
-    /// Channel-backed stand-in for the TCP control connection.
+    /// Channel-backed in-process stand-in (tests, or when socket setup
+    /// is unavailable).
     Mem(MemTransport),
     /// In-region control path over shared-memory byte rings.
     Shm(ShmTransport),
+    /// Real nonblocking kernel-TCP socket (§4.5).
+    Tcp(crate::tcp::TcpTransport),
 }
 
 impl ControlTransport {
@@ -545,12 +600,26 @@ impl ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.metrics(),
             ControlTransport::Shm(t) => t.metrics(),
+            ControlTransport::Tcp(t) => t.metrics(),
         }
     }
 
     /// `true` when the control path runs over in-region byte rings.
     pub fn is_in_region(&self) -> bool {
         matches!(self, ControlTransport::Shm(_))
+    }
+
+    /// `true` when the control path runs over a real kernel socket.
+    pub fn is_socket(&self) -> bool {
+        matches!(self, ControlTransport::Tcp(_))
+    }
+
+    /// The socket transport's TCP-specific metrics, when active.
+    pub fn tcp_metrics(&self) -> Option<&Arc<crate::metrics::TcpMetrics>> {
+        match self {
+            ControlTransport::Tcp(t) => Some(t.tcp_metrics()),
+            _ => None,
+        }
     }
 }
 
@@ -559,6 +628,7 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.send(frame),
             ControlTransport::Shm(t) => t.send(frame),
+            ControlTransport::Tcp(t) => t.send(frame),
         }
     }
 
@@ -566,6 +636,7 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.try_recv(),
             ControlTransport::Shm(t) => t.try_recv(),
+            ControlTransport::Tcp(t) => t.try_recv(),
         }
     }
 
@@ -573,6 +644,7 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.recv_timeout(timeout),
             ControlTransport::Shm(t) => t.recv_timeout(timeout),
+            ControlTransport::Tcp(t) => t.recv_timeout(timeout),
         }
     }
 
@@ -580,6 +652,23 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.send_frame(frame),
             ControlTransport::Shm(t) => t.send_frame(frame),
+            ControlTransport::Tcp(t) => t.send_frame(frame),
+        }
+    }
+
+    fn send_split(&self, prefix: &[u8], payload: &[u8]) -> Result<(), NvmeofError> {
+        match self {
+            ControlTransport::Mem(t) => t.send_split(prefix, payload),
+            ControlTransport::Shm(t) => t.send_split(prefix, payload),
+            ControlTransport::Tcp(t) => t.send_split(prefix, payload),
+        }
+    }
+
+    fn prefers_split(&self) -> bool {
+        match self {
+            ControlTransport::Mem(t) => t.prefers_split(),
+            ControlTransport::Shm(t) => t.prefers_split(),
+            ControlTransport::Tcp(t) => t.prefers_split(),
         }
     }
 
@@ -587,6 +676,7 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.send_batch(frames),
             ControlTransport::Shm(t) => t.send_batch(frames),
+            ControlTransport::Tcp(t) => t.send_batch(frames),
         }
     }
 
@@ -594,6 +684,7 @@ impl Transport for ControlTransport {
         match self {
             ControlTransport::Mem(t) => t.recv_batch(f),
             ControlTransport::Shm(t) => t.recv_batch(f),
+            ControlTransport::Tcp(t) => t.recv_batch(f),
         }
     }
 }
@@ -613,6 +704,14 @@ impl Transport for Box<dyn Transport> {
 
     fn send_frame(&self, frame: &[u8]) -> Result<(), NvmeofError> {
         (**self).send_frame(frame)
+    }
+
+    fn send_split(&self, prefix: &[u8], payload: &[u8]) -> Result<(), NvmeofError> {
+        (**self).send_split(prefix, payload)
+    }
+
+    fn prefers_split(&self) -> bool {
+        (**self).prefers_split()
     }
 
     fn send_batch(&self, frames: &mut Vec<Bytes>) -> Result<(), NvmeofError> {

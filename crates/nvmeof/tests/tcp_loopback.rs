@@ -1,0 +1,298 @@
+//! The real-socket NVMe/TCP data plane under duress (§4.5).
+//!
+//! Two kinds of pressure on the loopback transport:
+//!
+//! * **Partial-I/O torture.** Deliberately tiny `SO_SNDBUF`/`SO_RCVBUF`
+//!   force short writes and short reads mid-header and mid-payload; the
+//!   resumable framing state machine must reassemble every frame intact
+//!   and in order.
+//! * **Workload-adaptive busy polling.** Under a mixed read/write
+//!   workload the per-direction EWMA controller must settle on a longer
+//!   spin budget for writes than for reads (Fig. 10), observable through
+//!   the published telemetry gauges.
+
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use oaf_nvmeof::initiator::{Initiator, InitiatorOptions};
+use oaf_nvmeof::nvme::controller::Controller;
+use oaf_nvmeof::nvme::namespace::Namespace;
+use oaf_nvmeof::pdu::{DataPdu, DataRef, Pdu};
+use oaf_nvmeof::target::{spawn_target, TargetConfig};
+use oaf_nvmeof::tcp::{TcpConfig, TcpTransport};
+use oaf_nvmeof::transport::Transport;
+use oaf_nvmeof::tune::PollClass;
+use oaf_telemetry::Registry;
+
+// Generous: these tests run concurrently on whatever cores the harness
+// has (possibly one), and a torn 1 MiB transfer through tiny socket
+// buffers is many scheduler round trips. The asserts below check
+// behavior, not latency.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn controller() -> Controller {
+    let mut c = Controller::new();
+    c.add_namespace(Namespace::new(1, 4096, 2048));
+    c
+}
+
+/// Small socket buffers so every large frame is short-written and
+/// short-read many times over. 64 KiB (the kernel doubles it) is the
+/// sweet spot: far smaller than the big frames below, but not so small
+/// that Linux's silly-window avoidance stalls loopback bulk transfers
+/// outright (the loopback MSS is ~64 KiB; a receive buffer below one MSS
+/// suppresses window updates and wedges the flow at the TCP layer).
+fn tiny_cfg() -> TcpConfig {
+    TcpConfig {
+        sndbuf: Some(64 * 1024),
+        rcvbuf: Some(64 * 1024),
+        ..TcpConfig::default()
+    }
+}
+
+/// Raw transport-level torture: a mixed stream of coalesced and
+/// vectored-split frames, sized from smaller than one socket buffer to
+/// dozens of times larger, pushed through 4 KiB socket buffers. Every
+/// frame must come out intact, in order, with the partial-I/O machinery
+/// demonstrably engaged.
+#[test]
+fn tiny_buffers_reassemble_torn_frames_in_order() {
+    let (tx, rx) = TcpTransport::loopback_pair(tiny_cfg()).expect("loopback sockets");
+    let tx_tcp = tx.tcp_metrics().clone();
+    let rx_tcp = rx.tcp_metrics().clone();
+
+    const FRAMES: usize = 60;
+    let sizes: Vec<usize> = (0..FRAMES)
+        .map(|i| match i % 5 {
+            0 => 1,              // sub-header-sized payloads
+            1 => 512,            // fits the socket buffer
+            2 => 9 * 1024,       // a bit over both buffers
+            3 => 96 * 1024 + 13, // many short writes, odd tail
+            _ => 300 * 1024 + 7, // larger than the rx window
+        })
+        .collect();
+
+    let sender = std::thread::spawn(move || {
+        let mut scratch = BytesMut::with_capacity(4096);
+        for (i, &len) in sizes.iter().enumerate() {
+            let payload = Bytes::from(vec![(i % 251) as u8; len]);
+            let pdu = Pdu::C2HData(DataPdu {
+                cid: i as u16,
+                ttag: 0,
+                offset: 0,
+                last: true,
+                data: DataRef::Inline(payload),
+            });
+            scratch.clear();
+            // Alternate the coalesced and the vectored-split send path so
+            // both get torn mid-header and mid-payload.
+            if i % 2 == 0 {
+                let tail = pdu
+                    .encode_split_into(&mut scratch)
+                    .expect("inline data pdu");
+                tx.send_split(&scratch, tail).expect("split send");
+            } else {
+                pdu.encode_into(&mut scratch);
+                tx.send_frame(&scratch).expect("send");
+            }
+        }
+        // One-directional sender: nothing will ever flush the parked
+        // tail for us (no receive path on this side), so drain it
+        // explicitly before the thread exits.
+        while !tx.flush().expect("flush") {
+            std::thread::yield_now();
+        }
+        tx
+    });
+
+    let mut got = 0usize;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while got < FRAMES {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled after {got}/{FRAMES} frames"
+        );
+        let n = rx
+            .recv_batch(&mut |frame| {
+                let pdu = Pdu::decode_slice(frame.as_slice()).expect("decode");
+                let Pdu::C2HData(d) = pdu else {
+                    panic!("unexpected pdu at frame {got}");
+                };
+                assert_eq!(d.cid as usize, got, "frames out of order");
+                let DataRef::Inline(data) = d.data else {
+                    panic!("expected inline data");
+                };
+                let expect_len = match got % 5 {
+                    0 => 1,
+                    1 => 512,
+                    2 => 9 * 1024,
+                    3 => 96 * 1024 + 13,
+                    _ => 300 * 1024 + 7,
+                };
+                assert_eq!(data.len(), expect_len, "frame {got} truncated");
+                let stamp = (got % 251) as u8;
+                assert!(
+                    data.iter().all(|&b| b == stamp),
+                    "frame {got} corrupted in reassembly"
+                );
+                got += 1;
+            })
+            .expect("recv");
+        if n == 0 {
+            // Yield, don't spin: on a single-core box a spinning receiver
+            // starves the sender it is waiting on.
+            std::thread::yield_now();
+        }
+    }
+    let tx = sender.join().expect("sender");
+
+    // The machinery this test exists to exercise actually engaged: the
+    // sender parked and resumed mid-frame, the receiver resumed partial
+    // frames, and the split path went out vectored.
+    assert!(
+        tx_tcp.partial_write_resumptions.get() > 0,
+        "no partial writes: SO_SNDBUF shrink did not take"
+    );
+    assert!(
+        rx_tcp.partial_read_resumptions.get() > 0,
+        "no partial reads: SO_RCVBUF shrink did not take"
+    );
+    assert!(
+        tx_tcp.vectored_sends.get() > 0,
+        "split sends never vectored"
+    );
+    assert_eq!(tx.metrics().frames_sent.get(), FRAMES as u64);
+    drop(tx);
+}
+
+/// Full end-to-end torture: an initiator/target pair whose control
+/// connection rides 4 KiB socket buffers, moving 1 MiB payloads in both
+/// directions with runtime chunking live. Data must survive bit-exact.
+#[test]
+fn end_to_end_io_survives_tiny_socket_buffers() {
+    let (ct, tt) = TcpTransport::loopback_pair(tiny_cfg()).expect("loopback sockets");
+    let ct_tcp = ct.tcp_metrics().clone();
+    let handle = spawn_target(tt, controller(), TargetConfig::default(), None);
+    let registry = Registry::new();
+    let mut ini = Initiator::connect(
+        ct,
+        InitiatorOptions {
+            write_chunk: 128 * 1024,
+            ..InitiatorOptions::default()
+        },
+        None,
+        TIMEOUT,
+    )
+    .expect("connect over tiny-buffer sockets");
+    ini.metrics().register(&registry.scope("client"));
+
+    const IO: usize = 1024 * 1024;
+    const BLOCKS: u64 = (IO / 4096) as u64;
+    for round in 0..3u8 {
+        let pattern: Vec<u8> = (0..IO).map(|i| (i as u8) ^ round).collect();
+        ini.write_blocking(1, 0, BLOCKS as u32, Bytes::from(pattern.clone()), TIMEOUT)
+            .expect("1 MiB write");
+        let back = ini
+            .read_blocking(1, 0, BLOCKS as u32, IO, TIMEOUT)
+            .expect("1 MiB read");
+        assert_eq!(&back[..], &pattern[..], "round {round} corrupted");
+    }
+
+    // The write path chunked: 1 MiB at a 128 KiB write_chunk is 8 H2C
+    // sub-PDUs per I/O, and the frames were torn on the wire.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("client", "h2c_chunks"), 3 * 8);
+    assert_eq!(snap.histo("client", "chunks_per_io").unwrap().count, 3);
+    assert!(
+        ct_tcp.partial_write_resumptions.get() > 0,
+        "1 MiB writes through 4 KiB buffers never parked mid-frame"
+    );
+
+    ini.disconnect().expect("disconnect");
+    handle.shutdown().expect("shutdown");
+}
+
+/// The Fig. 10 acceptance check, in two parts over one live connection.
+///
+/// 1. A real mixed workload (small reads, large chunked writes) runs
+///    over the socket; the controller's budgets must stay consistent
+///    with the published telemetry gauges, and the write budget must
+///    never fall below the read budget.
+/// 2. The paper's measured wait profile (reads ~28 µs, writes ~85 µs) is
+///    replayed through [`Initiator::observe_wait_sample`] — timing-
+///    independent, so it holds on any machine — and the controller must
+///    settle on a strictly longer write budget, visible through the same
+///    gauges an operator reads.
+#[test]
+fn busy_poll_budgets_settle_write_above_read() {
+    let (ct, tt) = TcpTransport::loopback_pair(TcpConfig::default()).expect("loopback sockets");
+    let handle = spawn_target(tt, controller(), TargetConfig::default(), None);
+    let registry = Registry::new();
+    let mut ini = Initiator::connect(
+        ct,
+        InitiatorOptions {
+            write_chunk: 256 * 1024,
+            ..InitiatorOptions::default()
+        },
+        None,
+        TIMEOUT,
+    )
+    .expect("connect");
+    ini.metrics().register(&registry.scope("client"));
+
+    // Part 1: live mixed workload. Latency-bound 4 KiB reads,
+    // bandwidth-bound 512 KiB writes through the R2T + chunking path.
+    let blob = Bytes::from(vec![0xabu8; 512 * 1024]);
+    for i in 0..40u64 {
+        ini.read_blocking(1, i % 16, 1, 4096, TIMEOUT)
+            .expect("read");
+        if i % 4 == 0 {
+            ini.write_blocking(1, 128, 128, blob.clone(), TIMEOUT)
+                .expect("write");
+        }
+    }
+    let read_budget = ini.busy_poll_budget(PollClass::Read);
+    let write_budget = ini.busy_poll_budget(PollClass::Write);
+    assert!(
+        write_budget >= read_budget,
+        "live workload inverted the budgets: read={read_budget:?} write={write_budget:?}"
+    );
+    let snap = registry.snapshot();
+    let (read_us, _) = snap
+        .gauge("client", "busy_poll_read_us")
+        .expect("read gauge");
+    let (write_us, _) = snap
+        .gauge("client", "busy_poll_write_us")
+        .expect("write gauge");
+    assert_eq!(read_us, read_budget.as_micros() as i64);
+    assert_eq!(write_us, write_budget.as_micros() as i64);
+
+    // Part 2: replay the paper's wait profile until the EWMAs converge.
+    // Reads must settle on a short budget, writes on the 100 µs rung.
+    for _ in 0..400 {
+        ini.observe_wait_sample(PollClass::Read, Duration::from_micros(28));
+        ini.observe_wait_sample(PollClass::Write, Duration::from_micros(85));
+    }
+    assert_eq!(
+        ini.busy_poll_budget(PollClass::Read),
+        Duration::from_micros(50)
+    );
+    assert_eq!(
+        ini.busy_poll_budget(PollClass::Write),
+        Duration::from_micros(100)
+    );
+    let snap = registry.snapshot();
+    let (read_us, _) = snap
+        .gauge("client", "busy_poll_read_us")
+        .expect("read gauge");
+    let (write_us, _) = snap
+        .gauge("client", "busy_poll_write_us")
+        .expect("write gauge");
+    assert!(
+        write_us > read_us,
+        "gauges failed to separate directions: read={read_us}µs write={write_us}µs"
+    );
+
+    ini.disconnect().expect("disconnect");
+    handle.shutdown().expect("shutdown");
+}

@@ -11,8 +11,11 @@
 //! * [`oaf`] — the adaptive fabric itself (the paper's contribution)
 //! * [`h5`] — HDF5-like container, h5bench kernels, NFS baseline
 //! * [`chaos`] — deterministic fault injection for the fabric
+//! * [`telemetry`] — zero-allocation runtime observability
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour of the
+//! co-located path, and `examples/tcp_remote.rs` for the real-socket
+//! NVMe/TCP path.
 
 pub use oaf_chaos as chaos;
 pub use oaf_core as oaf;
@@ -21,3 +24,4 @@ pub use oaf_nvmeof as nvmeof;
 pub use oaf_shmem as shmem;
 pub use oaf_simnet as simnet;
 pub use oaf_ssd as ssd;
+pub use oaf_telemetry as telemetry;

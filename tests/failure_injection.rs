@@ -203,6 +203,25 @@ fn fatal_mid_soak(seed: u64, e: &NvmeofError) {
 /// may not have applied, so reads accept either value until one is
 /// observed. Returns the fault tally for coverage accounting.
 fn chaos_soak(seed: u64, mode: ShmMode, iters: usize, heavy: bool) -> Arc<ChaosStats> {
+    let (ct_raw, tt_raw) = MemTransport::pair();
+    chaos_soak_on(seed, mode, iters, heavy, ct_raw, tt_raw)
+}
+
+/// [`chaos_soak`] over an explicit transport pair, so the same verified
+/// fault schedule can run over the in-memory wire or real loopback TCP
+/// sockets (`tcp-socket` mode).
+fn chaos_soak_on<CT, TT>(
+    seed: u64,
+    mode: ShmMode,
+    iters: usize,
+    heavy: bool,
+    ct_raw: CT,
+    tt_raw: TT,
+) -> Arc<ChaosStats>
+where
+    CT: Transport,
+    TT: Transport + Send + 'static,
+{
     let mut plan = if heavy {
         FaultPlan::heavy(seed)
     } else {
@@ -219,7 +238,6 @@ fn chaos_soak(seed: u64, mode: ShmMode, iters: usize, heavy: bool) -> Arc<ChaosS
     }
     let use_shm = !matches!(mode, ShmMode::Off);
 
-    let (ct_raw, tt_raw) = MemTransport::pair();
     let (ct, tt, controls) = wrap_pair(ct_raw, tt_raw, &plan);
     let stats = controls.stats().clone();
     let payload = if use_shm {
@@ -374,6 +392,32 @@ fn seeded_chaos_soak_recovers_every_fault() {
     assert!(
         fired >= 7,
         "seed {seed}: only {fired} fault kinds fired over {total} injections \
+         (replay with OAF_CHAOS_SEED={seed})"
+    );
+}
+
+/// The `tcp-socket` soak: the same seeded, verified fault schedule, but
+/// over real nonblocking loopback TCP sockets with deliberately tiny
+/// `SO_SNDBUF`/`SO_RCVBUF`. Chaos rides *above* a byte stream that is
+/// itself being short-written and short-read, so the recovery machinery
+/// (deadlines, retries, aborts) and the resumable partial-I/O framing of
+/// [`TcpTransport`] are exercised together.
+///
+/// [`TcpTransport`]: nvme_oaf::nvmeof::tcp::TcpTransport
+#[test]
+fn seeded_chaos_soak_recovers_over_loopback_tcp() {
+    use nvme_oaf::nvmeof::tcp::{TcpConfig, TcpTransport};
+    let seed = chaos_seed() ^ 3;
+    let cfg = TcpConfig {
+        sndbuf: Some(16 * 1024),
+        rcvbuf: Some(16 * 1024),
+        ..TcpConfig::default()
+    };
+    let (ct, tt) = TcpTransport::loopback_pair(cfg).expect("loopback sockets");
+    let stats = chaos_soak_on(seed, ShmMode::Off, 200, false, ct, tt);
+    assert!(
+        stats.total() > 0,
+        "seed {seed}: no faults fired over the tcp-socket soak \
          (replay with OAF_CHAOS_SEED={seed})"
     );
 }
