@@ -58,7 +58,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&reports).expect("serializable reports");
+        let json = oaf_bench::report::reports_to_json(&reports);
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(json.as_bytes()).expect("write json output");
         println!("wrote {} reports to {path}", reports.len());

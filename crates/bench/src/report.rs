@@ -1,9 +1,7 @@
 //! Report types: printable tables and shape checks.
 
-use serde::Serialize;
-
 /// A labelled data table (one per figure panel).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Panel title (e.g. "Aggregate read bandwidth (MiB/s)").
     pub title: String,
@@ -82,7 +80,7 @@ impl Table {
 
 /// One qualitative claim from the paper, checked against the measured
 /// values.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ShapeCheck {
     /// What the paper claims (with its section/figure reference).
     pub claim: String,
@@ -124,7 +122,7 @@ impl ShapeCheck {
 }
 
 /// A fully rendered figure reproduction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureReport {
     /// Figure/table id, e.g. "fig11".
     pub id: String,
@@ -176,6 +174,91 @@ impl FigureReport {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Inf; report them as null like serde_json does.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Table {
+    /// Machine-readable JSON form (field names match the old
+    /// serde-derived layout, so downstream tooling keeps working).
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(label, values)| {
+                let vals: Vec<String> = values.iter().map(|&v| json_f64(v)).collect();
+                format!("[\"{}\",[{}]]", json_escape(label), vals.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+            json_escape(&self.title),
+            headers.join(","),
+            rows.join(",")
+        )
+    }
+}
+
+impl ShapeCheck {
+    /// Machine-readable JSON form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"claim\":\"{}\",\"measured\":\"{}\",\"pass\":{}}}",
+            json_escape(&self.claim),
+            json_escape(&self.measured),
+            self.pass
+        )
+    }
+}
+
+impl FigureReport {
+    /// Machine-readable JSON form.
+    pub fn to_json(&self) -> String {
+        let tables: Vec<String> = self.tables.iter().map(|t| t.to_json()).collect();
+        let checks: Vec<String> = self.checks.iter().map(|c| c.to_json()).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"setup\":\"{}\",\"tables\":[{}],\"checks\":[{}]}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.setup),
+            tables.join(","),
+            checks.join(",")
+        )
+    }
+}
+
+/// Serializes a report list as a JSON array.
+pub fn reports_to_json(reports: &[FigureReport]) -> String {
+    let items: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    format!("[{}]", items.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +299,36 @@ mod tests {
         let s = r.render();
         assert!(s.contains("[PASS]"));
         assert!(s.contains("[FAIL]"));
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut t = Table::new("bw \"quoted\"", &["4K"]);
+        t.row("oAF\n", vec![900.0, f64::NAN][..1].to_vec());
+        let mut r = FigureReport::new("fig11", "title", "setup");
+        r.tables.push(t);
+        r.checks.push(ShapeCheck::holds("c", "m", true));
+        let json = reports_to_json(&[r]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"pass\":true"));
+        // Balanced braces/brackets outside strings ⇒ parseable shape.
+        let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
     }
 }

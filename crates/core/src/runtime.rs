@@ -133,26 +133,33 @@ pub struct AfGroup {
     pub telemetry: Arc<Registry>,
 }
 
-/// Multi-client setup matching the paper's architecture (Fig. 1): one
-/// storage service, several client applications, each over its own
-/// connection with its own isolated shared-memory channel when
-/// co-located (§4.2/§6).
-pub fn launch_many(
+/// Per-client wiring produced by [`wire_clients`]: the client's process
+/// id, its control transport, and its side of the shm payload channel
+/// (when co-located).
+type ClientSide = (
+    ProcessId,
+    ControlTransport,
+    Option<Arc<crate::payload_impl::ShmPayloadChannel>>,
+);
+
+/// Builds the target-side [`ConnectionSpec`]s and client-side transport
+/// endpoints for every requested client — the wiring shared by
+/// [`launch_many`] and [`launch_many_sharded`].
+///
+/// [`ConnectionSpec`]: oaf_nvmeof::server::ConnectionSpec
+fn wire_clients(
     registry: &Arc<HostRegistry>,
     clients: &[(ProcessId, u64)],
     target: (ProcessId, u64),
-    controller: Controller,
-    settings: FabricSettings,
-) -> Result<AfGroup, NvmeofError> {
-    use oaf_nvmeof::initiator::InitiatorOptions;
+    settings: &FabricSettings,
+    telemetry: &Registry,
+) -> (Vec<oaf_nvmeof::server::ConnectionSpec>, Vec<ClientSide>) {
     use oaf_nvmeof::payload::PayloadChannel;
     use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
-    use oaf_nvmeof::server::{spawn_multi_observed, ConnectionSpec};
+    use oaf_nvmeof::server::ConnectionSpec;
     use oaf_nvmeof::target::TargetConfig;
     use oaf_shmem::channel::Side;
 
-    registry.register(target.0, target.1);
-    let telemetry = Arc::new(Registry::new());
     let mut specs = Vec::new();
     let mut client_sides = Vec::new();
     for (i, &(pid, host)) in clients.iter().enumerate() {
@@ -212,7 +219,21 @@ pub fn launch_many(
         });
         client_sides.push((pid, ct, client_shm));
     }
-    let target_handle = spawn_multi_observed(controller, specs, Some(&telemetry));
+    (specs, client_sides)
+}
+
+/// Connects every wired client side and wraps it in the co-designed
+/// [`AfClient`] API — the second half shared by [`launch_many`] and
+/// [`launch_many_sharded`].
+fn connect_clients(
+    client_sides: Vec<ClientSide>,
+    target_pid: ProcessId,
+    settings: &FabricSettings,
+    telemetry: &Registry,
+) -> Result<Vec<AfClient>, NvmeofError> {
+    use oaf_nvmeof::initiator::InitiatorOptions;
+    use oaf_nvmeof::payload::PayloadChannel;
+    use oaf_nvmeof::pdu::{AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY};
 
     // Fig. 9 runtime chunking for whichever clients landed on sockets.
     let socket_chunk = {
@@ -252,7 +273,7 @@ pub fn launch_many(
             .register(&telemetry.scope(&format!("client{i}")));
         let endpoint = AfEndpoint::new(pid.0);
         endpoint.connect(
-            target.0 .0,
+            target_pid.0,
             if initiator.shm_active() {
                 crate::endpoint::ChannelKind::Shm
             } else {
@@ -273,9 +294,80 @@ pub fn launch_many(
             inflight_meta: std::collections::HashMap::new(),
         });
     }
+    Ok(afs)
+}
+
+/// Multi-client setup matching the paper's architecture (Fig. 1): one
+/// storage service, several client applications, each over its own
+/// connection with its own isolated shared-memory channel when
+/// co-located (§4.2/§6).
+pub fn launch_many(
+    registry: &Arc<HostRegistry>,
+    clients: &[(ProcessId, u64)],
+    target: (ProcessId, u64),
+    controller: Controller,
+    settings: FabricSettings,
+) -> Result<AfGroup, NvmeofError> {
+    use oaf_nvmeof::server::spawn_multi_observed;
+
+    registry.register(target.0, target.1);
+    let telemetry = Arc::new(Registry::new());
+    let (specs, client_sides) = wire_clients(registry, clients, target, &settings, &telemetry);
+    let target_handle = spawn_multi_observed(controller, specs, Some(&telemetry));
+    let afs = connect_clients(client_sides, target.0, &settings, &telemetry)?;
     Ok(AfGroup {
         clients: afs,
         target: target_handle,
+        telemetry,
+    })
+}
+
+/// Handles returned by [`launch_many_sharded`]: the clients, their shard
+/// assignment, and the sharded storage service.
+pub struct AfShardedGroup {
+    /// One connected client per requested `(ProcessId, host)`.
+    pub clients: Vec<AfClient>,
+    /// `shard_of[i]` is the reactor shard serving client `i`.
+    pub shard_of: Vec<usize>,
+    /// The sharded storage service (per-shard stats, admin mailboxes).
+    pub target: oaf_nvmeof::shard::ShardedTarget,
+    /// Telemetry registry. Client-side scopes are flat (`client<i>`,
+    /// `transport_client<i>`, `app<i>`, …); target-side scopes arrive
+    /// merged from the per-shard registries under `shard<n>_…` prefixes
+    /// (`shard0_target_conn0`, `shard1_reactor`, …).
+    pub telemetry: Arc<Registry>,
+}
+
+/// [`launch_many`] scaled out: the storage service runs one reactor
+/// thread per shard, each exclusively owning the connections steered to
+/// it (round-robin: client `i` → shard `i % shards`) and its own
+/// controller view over the one storage. No lock crosses shards on the
+/// data path; each shard records telemetry into its own registry, merged
+/// into the returned registry under `shard<n>` prefixes.
+pub fn launch_many_sharded(
+    registry: &Arc<HostRegistry>,
+    clients: &[(ProcessId, u64)],
+    target: (ProcessId, u64),
+    controller: Controller,
+    settings: FabricSettings,
+    shards: usize,
+) -> Result<AfShardedGroup, NvmeofError> {
+    use oaf_nvmeof::shard::{spawn_sharded, ShardConfig, Steering};
+
+    registry.register(target.0, target.1);
+    let telemetry = Arc::new(Registry::new());
+    let (specs, client_sides) = wire_clients(registry, clients, target, &settings, &telemetry);
+    let cfg = ShardConfig::new(shards);
+    let shard_of: Vec<usize> = (0..clients.len())
+        .map(|i| cfg.steering.shard_for(i, shards))
+        .collect();
+    debug_assert!(matches!(cfg.steering, Steering::RoundRobin));
+    let sharded = spawn_sharded(controller, specs, cfg, Some(&telemetry));
+    let afs = connect_clients(client_sides, target.0, &settings, &telemetry)?;
+    Ok(AfShardedGroup {
+        clients: afs,
+        shard_of,
+        target: sharded,
         telemetry,
     })
 }
@@ -619,5 +711,54 @@ mod tests {
         assert_eq!(info.block_size, 4096);
         pair.client.disconnect().unwrap();
         pair.target.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sharded_launch_serves_all_clients_over_one_storage() {
+        let registry = Arc::new(HostRegistry::new());
+        let clients: Vec<(ProcessId, u64)> = (0..4).map(|i| (ProcessId(10 + i), 10)).collect();
+        let mut group = launch_many_sharded(
+            &registry,
+            &clients,
+            (ProcessId(2), 10),
+            controller(),
+            FabricSettings::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(group.target.shards(), 2);
+        assert_eq!(group.shard_of, vec![0, 1, 0, 1]);
+
+        // Every client writes its own block; every write is visible from
+        // a client on the *other* shard: one storage behind the shards.
+        for (i, c) in group.clients.iter_mut().enumerate() {
+            let mut buf = c.alloc(4096).unwrap();
+            buf.fill(0x40 + i as u8);
+            c.write(1, i as u64, 1, buf, DEFAULT_TIMEOUT).unwrap();
+        }
+        for i in 0..4usize {
+            let reader = (i + 1) % 4; // always a different shard (RR over 2)
+            let back = group.clients[reader]
+                .read(1, i as u64, 1, 4096, DEFAULT_TIMEOUT)
+                .unwrap();
+            assert!(back.iter().all(|&b| b == 0x40 + i as u8), "lba {i}");
+        }
+
+        // Target-side telemetry arrives merged under shard prefixes and
+        // both shards actually served commands.
+        let snap = group.telemetry.snapshot();
+        for shard in 0..2 {
+            assert!(
+                snap.counter(&format!("shard{shard}_reactor"), "ops") > 0,
+                "shard {shard} reactor saw no ops"
+            );
+        }
+        assert!(snap.counter("shard0_target_conn0", "ops") > 0);
+        assert!(snap.counter("shard1_target_conn1", "ops") > 0);
+
+        for c in &mut group.clients {
+            c.disconnect().unwrap();
+        }
+        group.target.shutdown().unwrap();
     }
 }

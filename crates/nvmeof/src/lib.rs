@@ -40,6 +40,8 @@ pub mod nvme;
 pub mod payload;
 pub mod pdu;
 pub mod server;
+pub mod shard;
+pub mod spsc;
 pub mod target;
 pub mod tcp;
 pub mod transport;

@@ -67,6 +67,20 @@ impl Controller {
         self.namespaces.get(&nsid)
     }
 
+    /// Returns a controller whose namespaces are shared views over this
+    /// controller's storage — the NVMe multi-queue model, where every
+    /// I/O queue (here: reactor shard) drives its own controller state
+    /// against one storage service. See [`Namespace::share`] for the
+    /// exclusivity contract on overlapping writes.
+    pub fn share(&mut self) -> Controller {
+        let namespaces = self
+            .namespaces
+            .iter_mut()
+            .map(|(&id, ns)| (id, ns.share()))
+            .collect();
+        Controller { namespaces }
+    }
+
     /// Namespace ids in ascending order.
     pub fn namespace_ids(&self) -> Vec<u32> {
         self.namespaces.keys().copied().collect()
@@ -204,9 +218,7 @@ impl Controller {
                         None,
                     );
                 };
-                let len = u64::from(cmd.nlb) * u64::from(ns.block_size());
-                let zeros = vec![0u8; len as usize];
-                let status = ns.write(cmd.slba, cmd.nlb, &zeros);
+                let status = ns.write_zeroes(cmd.slba, cmd.nlb);
                 (
                     NvmeCompletion {
                         cid: cmd.cid,
@@ -323,6 +335,19 @@ mod tests {
         // Out of range is still caught.
         let (oor, _) = c.execute(&NvmeCommand::write_zeroes(4, 1, 1 << 40, 1), None);
         assert_eq!(oor.status, Status::LbaOutOfRange);
+    }
+
+    #[test]
+    fn shared_controllers_drive_one_storage() {
+        let mut a = controller();
+        let mut b = a.share();
+        let data = vec![0x5au8; 512];
+        let (w, _) = b.execute(&NvmeCommand::write(1, 1, 3, 1), Some(&data));
+        assert!(w.status.is_ok());
+        let (r, payload) = a.execute(&NvmeCommand::read(2, 1, 3, 1), None);
+        assert!(r.status.is_ok());
+        assert_eq!(payload.unwrap(), data);
+        assert_eq!(b.namespace_ids(), vec![1, 2]);
     }
 
     #[test]

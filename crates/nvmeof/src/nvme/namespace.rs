@@ -1,13 +1,21 @@
 //! NVMe namespaces over a RAM-backed block store.
 
-use oaf_ssd::ram::{BlockError, RamDisk};
+use oaf_ssd::ram::{BlockError, RamDisk, SharedRamDisk};
 
 use crate::nvme::completion::Status;
 
-/// A namespace: an LBA range with a block size, backed by a [`RamDisk`].
+/// Backing storage: exclusively owned until [`Namespace::share`]
+/// converts it to the multi-queue shared form.
+enum Store {
+    Owned(RamDisk),
+    Shared(SharedRamDisk),
+}
+
+/// A namespace: an LBA range with a block size, backed by a [`RamDisk`]
+/// (or a [`SharedRamDisk`] once shared across queue controllers).
 pub struct Namespace {
     id: u32,
-    store: RamDisk,
+    store: Store,
 }
 
 impl Namespace {
@@ -16,7 +24,27 @@ impl Namespace {
         assert!(id != 0, "nsid 0 is reserved");
         Namespace {
             id,
-            store: RamDisk::new(block_size, blocks),
+            store: Store::Owned(RamDisk::new(block_size, blocks)),
+        }
+    }
+
+    /// Converts the backing store to the shared multi-queue form (if
+    /// not already) and returns another view of the *same* storage.
+    ///
+    /// This is how a sharded target gives every reactor thread its own
+    /// `&mut`-free I/O queue into one storage service — the NVMe
+    /// multi-queue model. Disjoint LBA ranges may then be driven
+    /// concurrently; see [`SharedRamDisk`] for the exclusivity
+    /// contract on overlapping writes.
+    pub fn share(&mut self) -> Namespace {
+        let shared = match std::mem::replace(&mut self.store, Store::Owned(RamDisk::new(512, 0))) {
+            Store::Owned(disk) => disk.into_shared(),
+            Store::Shared(disk) => disk,
+        };
+        self.store = Store::Shared(shared.clone());
+        Namespace {
+            id: self.id,
+            store: Store::Shared(shared),
         }
     }
 
@@ -27,12 +55,18 @@ impl Namespace {
 
     /// Block size in bytes.
     pub fn block_size(&self) -> u32 {
-        self.store.block_size()
+        match &self.store {
+            Store::Owned(d) => d.block_size(),
+            Store::Shared(d) => d.block_size(),
+        }
     }
 
     /// Capacity in blocks.
     pub fn capacity_blocks(&self) -> u64 {
-        self.store.capacity_blocks()
+        match &self.store {
+            Store::Owned(d) => d.capacity_blocks(),
+            Store::Shared(d) => d.capacity_blocks(),
+        }
     }
 
     fn map_err(e: BlockError) -> Status {
@@ -44,7 +78,11 @@ impl Namespace {
 
     /// Reads `nlb` blocks at `slba` into `dst`.
     pub fn read(&self, slba: u64, nlb: u32, dst: &mut [u8]) -> Status {
-        match self.store.read(slba, nlb, dst) {
+        let res = match &self.store {
+            Store::Owned(d) => d.read(slba, nlb, dst),
+            Store::Shared(d) => d.read(slba, nlb, dst),
+        };
+        match res {
             Ok(()) => Status::Success,
             Err(e) => Self::map_err(e),
         }
@@ -52,7 +90,24 @@ impl Namespace {
 
     /// Writes `nlb` blocks at `slba` from `src`.
     pub fn write(&mut self, slba: u64, nlb: u32, src: &[u8]) -> Status {
-        match self.store.write(slba, nlb, src) {
+        let res = match &mut self.store {
+            Store::Owned(d) => d.write(slba, nlb, src),
+            Store::Shared(d) => d.write(slba, nlb, src),
+        };
+        match res {
+            Ok(()) => Status::Success,
+            Err(e) => Self::map_err(e),
+        }
+    }
+
+    /// Zeroes `nlb` blocks at `slba` in place — no staging buffer, so
+    /// Write Zeroes stays allocation-free on the target hot path.
+    pub fn write_zeroes(&mut self, slba: u64, nlb: u32) -> Status {
+        let res = match &mut self.store {
+            Store::Owned(d) => d.write_zeroes(slba, nlb),
+            Store::Shared(d) => d.write_zeroes(slba, nlb),
+        };
+        match res {
             Ok(()) => Status::Success,
             Err(e) => Self::map_err(e),
         }
@@ -94,5 +149,32 @@ mod tests {
         assert_eq!(ns.id(), 9);
         assert_eq!(ns.block_size(), 4096);
         assert_eq!(ns.capacity_blocks(), 1000);
+    }
+
+    #[test]
+    fn shared_views_see_one_storage() {
+        let mut a = Namespace::new(1, 512, 64);
+        // Bytes written before sharing survive the conversion.
+        assert_eq!(a.write(0, 1, &[0x11u8; 512]), Status::Success);
+        let mut b = a.share();
+        let mut c = a.share(); // idempotent: still the same storage
+        assert_eq!(b.write(1, 1, &[0x22u8; 512]), Status::Success);
+        assert_eq!(c.write(2, 1, &[0x33u8; 512]), Status::Success);
+        let mut out = vec![0u8; 512 * 3];
+        assert_eq!(a.read(0, 3, &mut out), Status::Success);
+        assert_eq!(out[0], 0x11);
+        assert_eq!(out[512], 0x22);
+        assert_eq!(out[1024], 0x33);
+        assert_eq!(b.capacity_blocks(), 64);
+        assert_eq!(b.block_size(), 512);
+        assert_eq!(b.id(), 1);
+    }
+
+    #[test]
+    fn shared_views_keep_error_mapping() {
+        let mut a = Namespace::new(1, 512, 4);
+        let mut b = a.share();
+        assert_eq!(b.write(4, 1, &[0u8; 512]), Status::LbaOutOfRange);
+        assert_eq!(b.write(0, 1, &[0u8; 100]), Status::InvalidFieldLength);
     }
 }

@@ -36,7 +36,11 @@ pub struct ConnectionSpec {
     pub scope: Option<String>,
 }
 
-struct LiveConnection {
+/// A wired, servable connection owned by exactly one reactor. Opaque
+/// outside the crate: instances are built by the spawn functions (or
+/// [`crate::shard::ShardedTarget::add_connection`]) and only ever
+/// travel *into* a reactor, never out.
+pub struct LiveConnection {
     transport: Box<dyn Transport>,
     conn: TargetConnection,
     alive: bool,
@@ -44,6 +48,167 @@ struct LiveConnection {
     /// poll pass allocates nothing per frame.
     out: Vec<Pdu>,
     scratch: BytesMut,
+}
+
+impl LiveConnection {
+    /// Wires one spec into a servable connection, registering its
+    /// target-side metric bundle under the spec's scope name (or
+    /// `target_conn<index>`) when a registry is supplied.
+    pub(crate) fn build(
+        spec: ConnectionSpec,
+        index: usize,
+        registry: Option<&Registry>,
+    ) -> LiveConnection {
+        let conn = TargetConnection::new(spec.cfg, spec.payload);
+        if let Some(reg) = registry {
+            let name = spec.scope.unwrap_or_else(|| format!("target_conn{index}"));
+            conn.metrics().register(&reg.scope(&name));
+        }
+        LiveConnection {
+            conn,
+            transport: spec.transport,
+            alive: true,
+            out: Vec::new(),
+            scratch: BytesMut::with_capacity(4096),
+        }
+    }
+}
+
+/// One poll-mode reactor's connection set and idle policy — the reusable
+/// core of both [`spawn_multi`] (one reactor, every connection) and the
+/// sharded runtime in [`crate::shard`] (one reactor per shard, each
+/// owning a disjoint connection set).
+pub(crate) struct Reactor {
+    live: Vec<LiveConnection>,
+    poller: BusyPollController,
+    last_work: std::time::Instant,
+    idle_sleep: Duration,
+}
+
+impl Reactor {
+    // Workload-adaptive idle policy (§4.5, Fig. 10): the reactor learns
+    // the typical gap between work arrivals and keeps spinning while the
+    // next frame is expected imminently; past that budget it backs off
+    // exponentially so an idle reactor does not burn a core.
+    const IDLE_SLEEP_MIN: Duration = Duration::from_micros(5);
+    const IDLE_SLEEP_MAX: Duration = Duration::from_micros(500);
+    const GAP_CLAMP: Duration = Duration::from_millis(1);
+
+    pub(crate) fn new(live: Vec<LiveConnection>) -> Self {
+        Reactor {
+            live,
+            poller: BusyPollController::new(),
+            last_work: std::time::Instant::now(),
+            idle_sleep: Self::IDLE_SLEEP_MIN,
+        }
+    }
+
+    /// Adopts another connection into this reactor's set (sharded
+    /// runtime: delivered through the shard's admin mailbox, so only the
+    /// owning thread ever touches the set).
+    pub(crate) fn add(&mut self, conn: LiveConnection) {
+        self.live.push(conn);
+    }
+
+    pub(crate) fn any_alive(&self) -> bool {
+        self.live.iter().any(|l| l.alive)
+    }
+
+    pub(crate) fn alive_count(&self) -> usize {
+        self.live.iter().filter(|l| l.alive).count()
+    }
+
+    /// One fair round-robin pass over every live connection (like an
+    /// SPDK poll group): drain ready frames batched, execute against
+    /// `controller`, flush responses. Returns how many frames were
+    /// drained (0 = the pass was idle).
+    pub(crate) fn poll_pass(&mut self, controller: &mut Controller) -> Result<usize, NvmeofError> {
+        let mut drained_total = 0;
+        for l in self.live.iter_mut() {
+            if !l.alive {
+                continue;
+            }
+            let mut err = None;
+            let drained = {
+                let conn = &mut l.conn;
+                let out = &mut l.out;
+                l.transport.recv_batch(&mut |frame| {
+                    if err.is_none() {
+                        if let Err(e) = conn.handle(frame, controller, out) {
+                            err = Some(e);
+                        }
+                    }
+                })
+            };
+            match (drained, err) {
+                (Err(NvmeofError::TransportClosed), _) => {
+                    l.alive = false;
+                    continue;
+                }
+                // A misbehaving peer (protocol violation) kills its own
+                // connection, never the reactor — the other clients keep
+                // their storage service.
+                (_, Some(_)) => {
+                    l.alive = false;
+                    continue;
+                }
+                (Err(e), _) => return Err(e),
+                (Ok(n), None) => drained_total += n,
+            }
+            for pdu in l.out.drain(..) {
+                l.scratch.clear();
+                // Socket transports take the vectored header +
+                // borrowed-payload path so large C2H data never gets
+                // coalesced into the scratch buffer.
+                let sent = if l.transport.prefers_split() {
+                    match pdu.encode_split_into(&mut l.scratch) {
+                        Some(payload) => l.transport.send_split(&l.scratch, payload),
+                        None => {
+                            l.scratch.clear();
+                            pdu.encode_into(&mut l.scratch);
+                            l.transport.send_frame(&l.scratch)
+                        }
+                    }
+                } else {
+                    pdu.encode_into(&mut l.scratch);
+                    l.transport.send_frame(&l.scratch)
+                };
+                // A peer that hung up or a ring stuck full past the
+                // backoff budget kills the connection, not the reactor.
+                match sent {
+                    Ok(()) => {}
+                    Err(NvmeofError::TransportClosed) | Err(NvmeofError::RingFull) => {
+                        l.alive = false;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if l.conn.terminated() {
+                l.alive = false;
+            }
+        }
+        Ok(drained_total)
+    }
+
+    /// Advances the adaptive idle policy after a poll pass: spin while
+    /// the next arrival is expected within the learned budget, back off
+    /// exponentially past it.
+    pub(crate) fn idle_step(&mut self, progressed: bool) {
+        if progressed {
+            self.poller.observe(
+                PollClass::Read,
+                self.last_work.elapsed().min(Self::GAP_CLAMP),
+            );
+            self.last_work = std::time::Instant::now();
+            self.idle_sleep = Self::IDLE_SLEEP_MIN;
+        } else if self.last_work.elapsed() < self.poller.budget(PollClass::Read) {
+            std::hint::spin_loop();
+        } else {
+            std::thread::sleep(self.idle_sleep);
+            self.idle_sleep = (self.idle_sleep * 2).min(Self::IDLE_SLEEP_MAX);
+        }
+    }
 }
 
 /// Spawns one reactor servicing `conns` connections over a shared
@@ -65,125 +230,17 @@ pub fn spawn_multi_observed(
     let live_init: Vec<LiveConnection> = conns
         .into_iter()
         .enumerate()
-        .map(|(i, c)| {
-            let conn = TargetConnection::new(c.cfg, c.payload);
-            if let Some(reg) = registry {
-                let name = c.scope.unwrap_or_else(|| format!("target_conn{i}"));
-                conn.metrics().register(&reg.scope(&name));
-            }
-            LiveConnection {
-                conn,
-                transport: c.transport,
-                alive: true,
-                out: Vec::new(),
-                scratch: BytesMut::with_capacity(4096),
-            }
-        })
+        .map(|(i, c)| LiveConnection::build(c, i, registry))
         .collect();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let join = std::thread::Builder::new()
         .name("nvmeof-target-multi".into())
         .spawn(move || {
-            // Workload-adaptive idle policy (§4.5, Fig. 10): the reactor
-            // learns the typical gap between work arrivals and keeps
-            // spinning while the next frame is expected imminently; past
-            // that budget it backs off exponentially so an idle reactor
-            // does not burn a core.
-            const IDLE_SLEEP_MIN: Duration = Duration::from_micros(5);
-            const IDLE_SLEEP_MAX: Duration = Duration::from_micros(500);
-            const GAP_CLAMP: Duration = Duration::from_millis(1);
-            let mut poller = BusyPollController::new();
-            let mut last_work = std::time::Instant::now();
-            let mut idle_sleep = IDLE_SLEEP_MIN;
-            let mut live = live_init;
-            while !stop2.load(Ordering::Acquire) && live.iter().any(|l| l.alive) {
-                let mut idle = true;
-                for l in live.iter_mut() {
-                    if !l.alive {
-                        continue;
-                    }
-                    // Drain each connection's ready frames in one batched
-                    // pass per loop (fair round-robin, like an SPDK poll
-                    // group).
-                    let mut err = None;
-                    let drained = {
-                        let conn = &mut l.conn;
-                        let controller = &mut controller;
-                        let out = &mut l.out;
-                        l.transport.recv_batch(&mut |frame| {
-                            if err.is_none() {
-                                if let Err(e) = conn.handle(frame, controller, out) {
-                                    err = Some(e);
-                                }
-                            }
-                        })
-                    };
-                    match (drained, err) {
-                        (Err(NvmeofError::TransportClosed), _) => {
-                            l.alive = false;
-                            continue;
-                        }
-                        // A misbehaving peer (protocol violation) kills
-                        // its own connection, never the reactor — the
-                        // other clients keep their storage service.
-                        (_, Some(_)) => {
-                            l.alive = false;
-                            continue;
-                        }
-                        (Err(e), _) => return Err(e),
-                        (Ok(n), None) => {
-                            if n > 0 {
-                                idle = false;
-                            }
-                        }
-                    }
-                    for pdu in l.out.drain(..) {
-                        l.scratch.clear();
-                        // Socket transports take the vectored header +
-                        // borrowed-payload path so large C2H data never
-                        // gets coalesced into the scratch buffer.
-                        let sent = if l.transport.prefers_split() {
-                            match pdu.encode_split_into(&mut l.scratch) {
-                                Some(payload) => l.transport.send_split(&l.scratch, payload),
-                                None => {
-                                    l.scratch.clear();
-                                    pdu.encode_into(&mut l.scratch);
-                                    l.transport.send_frame(&l.scratch)
-                                }
-                            }
-                        } else {
-                            pdu.encode_into(&mut l.scratch);
-                            l.transport.send_frame(&l.scratch)
-                        };
-                        // A peer that hung up or a ring stuck full past the
-                        // backoff budget kills the connection, not the
-                        // reactor.
-                        match sent {
-                            Ok(()) => {}
-                            Err(NvmeofError::TransportClosed) | Err(NvmeofError::RingFull) => {
-                                l.alive = false;
-                                break;
-                            }
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    if l.conn.terminated() {
-                        l.alive = false;
-                    }
-                }
-                if idle {
-                    if last_work.elapsed() < poller.budget(PollClass::Read) {
-                        std::hint::spin_loop();
-                    } else {
-                        std::thread::sleep(idle_sleep);
-                        idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
-                    }
-                } else {
-                    poller.observe(PollClass::Read, last_work.elapsed().min(GAP_CLAMP));
-                    last_work = std::time::Instant::now();
-                    idle_sleep = IDLE_SLEEP_MIN;
-                }
+            let mut reactor = Reactor::new(live_init);
+            while !stop2.load(Ordering::Acquire) && reactor.any_alive() {
+                let drained = reactor.poll_pass(&mut controller)?;
+                reactor.idle_step(drained > 0);
             }
             Ok(())
         })

@@ -1,0 +1,263 @@
+//! Bounded single-producer / single-consumer ring for cross-shard admin.
+//!
+//! The sharded runtime ([`crate::shard`]) keeps every hot-path structure
+//! shard-private; the one thing that must cross shards — admin commands
+//! like "adopt this connection" or "shut down" — travels through this
+//! ring. It is deliberately minimal: one producer (the control plane),
+//! one consumer (the shard's reactor thread), a fixed capacity, and
+//! wait-free `push`/`pop` built on two monotonic counters. No mutex ever
+//! crosses cores, so a stalled control plane cannot block a reactor and
+//! a busy reactor cannot block the control plane.
+//!
+//! The SPSC contract is enforced by ownership: [`SpscSender`] and
+//! [`SpscReceiver`] are not `Clone`, so exactly one thread can ever hold
+//! each end.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct SpscInner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next sequence number to write (owned by the producer; the
+    /// consumer only reads it).
+    head: AtomicUsize,
+    /// Next sequence number to read (owned by the consumer; the
+    /// producer only reads it).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer writes a slot strictly before publishing it by
+// advancing `head` (Release), and the consumer reads it strictly after
+// observing the advance (Acquire); `tail` symmetrically hands slots
+// back. With exactly one producer and one consumer (enforced by the
+// non-Clone endpoint types), no slot is ever accessed concurrently.
+unsafe impl<T: Send> Send for SpscInner<T> {}
+unsafe impl<T: Send> Sync for SpscInner<T> {}
+
+impl<T> SpscInner<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Drop for SpscInner<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone (Arc refcount hit zero): drain whatever
+        // the consumer never popped so element destructors still run.
+        let head = *self.head.get_mut();
+        let mut tail = *self.tail.get_mut();
+        while tail != head {
+            let slot = tail % self.capacity();
+            // SAFETY: sequence numbers in [tail, head) were published and
+            // never consumed; we have `&mut self`, so no other accessor.
+            unsafe { (*self.slots[slot].get()).assume_init_drop() };
+            tail = tail.wrapping_add(1);
+        }
+    }
+}
+
+/// Producer end of a bounded SPSC ring (not `Clone`: one producer).
+pub struct SpscSender<T> {
+    inner: Arc<SpscInner<T>>,
+}
+
+/// Consumer end of a bounded SPSC ring (not `Clone`: one consumer).
+pub struct SpscReceiver<T> {
+    inner: Arc<SpscInner<T>>,
+}
+
+/// Creates a connected pair with room for `capacity` in-flight items.
+/// Panics on a zero capacity.
+pub fn spsc<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    assert!(capacity > 0, "spsc ring needs at least one slot");
+    let inner = Arc::new(SpscInner {
+        slots: (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        SpscSender {
+            inner: inner.clone(),
+        },
+        SpscReceiver { inner },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueues `value`, or returns it when the ring is full (the caller
+    /// decides whether to retry, drop, or treat a persistently full
+    /// mailbox as a wedged shard).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= inner.capacity() {
+            return Err(value);
+        }
+        let slot = head % inner.capacity();
+        // SAFETY: the slot's previous occupant (sequence head - capacity)
+        // was consumed — tail has passed it — and only this producer
+        // writes slots.
+        unsafe { (*inner.slots[slot].get()).write(value) };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently enqueued (racy snapshot; exact only from the
+    /// producer thread).
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether the ring currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Whether the consumer end still exists. A dropped consumer means
+    /// pushes will never be drained.
+    pub fn receiver_alive(&self) -> bool {
+        // Two handles reference the inner ring while both ends live.
+        Arc::strong_count(&self.inner) > 1
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Dequeues the oldest item, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = tail % inner.capacity();
+        // SAFETY: the producer published this sequence number (tail <
+        // head under Acquire), and only this consumer reads slots.
+        let value = unsafe { (*inner.slots[slot].get()).assume_init_read() };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Items currently enqueued (racy snapshot; exact only from the
+    /// consumer thread).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether the ring currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the producer end still exists. Once it is gone and the
+    /// ring is empty, nothing will ever arrive again.
+    pub fn sender_alive(&self) -> bool {
+        Arc::strong_count(&self.inner) > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (tx, rx) = spsc::<u32>(4);
+        for v in 0..4 {
+            tx.push(v).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99)); // full
+        assert_eq!(tx.len(), 4);
+        for v in 0..4 {
+            assert_eq!(rx.pop(), Some(v));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (tx, rx) = spsc::<usize>(3);
+        for round in 0..100 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn endpoint_liveness_tracks_drops() {
+        let (tx, rx) = spsc::<u8>(2);
+        assert!(tx.receiver_alive());
+        assert!(rx.sender_alive());
+        tx.push(7).unwrap();
+        drop(tx);
+        assert!(!rx.sender_alive());
+        assert_eq!(rx.pop(), Some(7)); // buffered items survive
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_with_the_ring() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        #[derive(Debug)]
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = spsc::<Probe>(4);
+        tx.push(Probe(flag.clone())).unwrap();
+        tx.push(Probe(flag.clone())).unwrap();
+        drop(rx.pop()); // one consumed normally
+        drop(tx);
+        drop(rx);
+        assert_eq!(flag.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_handoff_loses_nothing() {
+        let (tx, rx) = spsc::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for v in 0..10_000u64 {
+                let mut item = v;
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut seen = 0u64;
+        let mut sum = 0u64;
+        while seen < 10_000 {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, seen, "FIFO order violated");
+                sum += v;
+                seen += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests of the per-shard SPSC admin mailbox
+//! ([`oaf_nvmeof::spsc`]): under random operation interleavings and
+//! under genuinely concurrent producer/consumer schedules — including a
+//! shutdown racing in-flight commands — no command is ever lost,
+//! duplicated, or reordered.
+//!
+//! These are the invariants the sharded runtime leans on: the control
+//! plane pushes `Add(conn)` / `Shutdown` into a shard's mailbox and the
+//! reactor drains it between poll passes; a lost `Add` strands a client,
+//! a duplicated one would double-register a connection.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use oaf_nvmeof::spsc::{spsc, SpscReceiver, SpscSender};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Try to enqueue the next sequence number.
+    Push,
+    /// Try to dequeue the oldest item.
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => Just(Op::Push),
+            1 => Just(Op::Pop),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Random single-threaded interleavings against a model queue: the
+    /// ring agrees with a `VecDeque` op for op — same accept/reject on
+    /// push (bounded capacity), same value on pop (FIFO), same length.
+    #[test]
+    fn ring_matches_model_queue(ops in arb_ops(), capacity in 1usize..9) {
+        let (tx, rx) = spsc::<u64>(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    let accepted = tx.push(next).is_ok();
+                    prop_assert_eq!(
+                        accepted,
+                        model.len() < capacity,
+                        "push accept/reject diverged from model"
+                    );
+                    if accepted {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+        }
+        // Drain: everything the model still holds comes out in order.
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(want));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    /// A real producer thread races a real consumer thread: every
+    /// command pushed is popped exactly once, in FIFO order, regardless
+    /// of ring capacity or schedule. Mirrors steady-state admin traffic
+    /// into a polling shard.
+    #[test]
+    fn concurrent_handoff_neither_loses_nor_duplicates(
+        capacity in 1usize..17,
+        count in 1usize..2_000,
+    ) {
+        let (tx, rx) = spsc::<usize>(capacity);
+        let producer = std::thread::spawn(move || {
+            for v in 0..count {
+                let mut item = v;
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut seen = 0usize;
+        while seen < count {
+            if let Some(v) = rx.pop() {
+                prop_assert_eq!(v, seen, "lost or reordered command");
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(rx.pop(), None, "duplicated command after drain");
+    }
+}
+
+/// A shard-shaped command: `Add` carries a drop-counted payload so the
+/// test can prove every command's resources are released exactly once
+/// even when shutdown races the queue.
+#[derive(Debug)]
+enum Cmd {
+    Add(Payload),
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Payload {
+    id: usize,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Drives one shutdown race: the producer pushes `adds` commands then a
+/// `Shutdown`; the consumer drains like a shard reactor loop — popping
+/// between simulated poll passes — and stops at `Shutdown`. Returns how
+/// many `Add`s the consumer adopted.
+fn run_shutdown_race(
+    tx: SpscSender<Cmd>,
+    rx: SpscReceiver<Cmd>,
+    adds: usize,
+    drops: Arc<AtomicUsize>,
+    consumer_lag: bool,
+) -> Vec<usize> {
+    let producer = std::thread::spawn(move || {
+        for id in 0..adds {
+            let mut cmd = Cmd::Add(Payload {
+                id,
+                drops: drops.clone(),
+            });
+            loop {
+                match tx.push(cmd) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        cmd = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let mut cmd = Cmd::Shutdown;
+        loop {
+            match tx.push(cmd) {
+                Ok(()) => break,
+                Err(back) => {
+                    cmd = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    });
+    let mut adopted = Vec::new();
+    'reactor: loop {
+        // Drain the mailbox like a shard does between poll passes.
+        while let Some(cmd) = rx.pop() {
+            match cmd {
+                Cmd::Add(p) => adopted.push(p.id),
+                Cmd::Shutdown => break 'reactor,
+            }
+        }
+        if consumer_lag {
+            // A busy reactor: mailbox backs up, producer spins on full.
+            std::thread::yield_now();
+        }
+        std::thread::yield_now();
+    }
+    producer.join().unwrap();
+    adopted
+}
+
+proptest! {
+    /// Shutdown racing queued `Add`s: the consumer adopts *every*
+    /// command enqueued before `Shutdown`, exactly once and in order,
+    /// and every payload is dropped exactly once (adopted ones by the
+    /// consumer, none stranded in the ring).
+    #[test]
+    fn shutdown_race_loses_no_commands(
+        capacity in 1usize..9,
+        adds in 0usize..200,
+        consumer_lag in any::<bool>(),
+    ) {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = spsc::<Cmd>(capacity);
+        let adopted = run_shutdown_race(tx, rx, adds, drops.clone(), consumer_lag);
+        // FIFO means Shutdown cannot overtake an Add: all of them arrive.
+        prop_assert_eq!(adopted.len(), adds, "commands lost across shutdown");
+        for (i, id) in adopted.iter().enumerate() {
+            prop_assert_eq!(*id, i, "commands reordered or duplicated");
+        }
+        drop(adopted);
+        prop_assert_eq!(
+            drops.load(Ordering::Relaxed),
+            adds,
+            "payloads not released exactly once"
+        );
+    }
+}

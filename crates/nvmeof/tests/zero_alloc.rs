@@ -518,7 +518,15 @@ fn steady_state_recovery_bookkeeping_allocates_nothing() {
         ct,
         InitiatorOptions {
             cmd_deadline: Some(Duration::from_millis(2)),
-            keepalive: Some(KeepAliveConfig::with_interval(Duration::from_millis(5))),
+            // Short interval so probes actually fire during the 8ms
+            // quiet stretches, but a generous grace: on a 1-core host a
+            // scheduler slice can exceed the conventional 3x interval,
+            // and this test pins the *bookkeeping* allocations, not
+            // death detection (failure_injection covers that).
+            keepalive: Some(KeepAliveConfig {
+                interval: Duration::from_millis(5),
+                grace: Duration::from_millis(500),
+            }),
             ..InitiatorOptions::default()
         },
         None,

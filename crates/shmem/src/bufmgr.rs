@@ -77,6 +77,18 @@ impl BufStats {
 
 struct MgrInner {
     ring: SlotRing,
+    /// First slot of this manager's partition (absolute ring index).
+    part_start: usize,
+    /// Slots in this manager's partition. Probing wraps *within* the
+    /// partition — a manager can exhaust its own slots but never leases
+    /// (or reclaims) a neighbor partition's slot, which is what lets a
+    /// sharded runtime carve one ring into per-shard pools with no
+    /// cross-shard coordination.
+    part_len: usize,
+    /// Per-manager round-robin cursor (partition-relative). The ring's
+    /// own cursor is shared by every handle; partitioned managers must
+    /// not advance it or they would perturb their neighbors' probes.
+    cursor: std::sync::atomic::AtomicUsize,
     stats: Arc<BufStats>,
     /// No-aliasing ledger: one flag per slot, set while a manager lease
     /// holds the slot. The slot state machine already guarantees
@@ -115,15 +127,37 @@ pub struct BufferManager {
 }
 
 impl BufferManager {
-    /// Builds a manager over `ring`. The ring handle is cloned; the
-    /// manager shares slot state with every other handle to the ring.
+    /// Builds a manager over the whole of `ring`. The ring handle is
+    /// cloned; the manager shares slot state with every other handle to
+    /// the ring.
     pub fn new(ring: SlotRing) -> Self {
+        let depth = ring.depth();
+        Self::with_partition(ring, 0, depth)
+    }
+
+    /// Builds a manager over the `len` slots starting at `start` —
+    /// a *partition* of the ring. Leasing, probing and reclamation all
+    /// stay inside `[start, start + len)`; slots outside the partition
+    /// are invisible to this manager. Panics on an empty or
+    /// out-of-range partition.
+    pub fn with_partition(ring: SlotRing, start: usize, len: usize) -> Self {
+        assert!(len > 0, "buffer manager partition must be non-empty");
+        assert!(
+            start
+                .checked_add(len)
+                .is_some_and(|end| end <= ring.depth()),
+            "partition [{start}, {start}+{len}) exceeds ring depth {}",
+            ring.depth()
+        );
         let live = (0..ring.depth())
             .map(|_| std::sync::atomic::AtomicBool::new(false))
             .collect();
         BufferManager {
             inner: Arc::new(MgrInner {
                 ring,
+                part_start: start,
+                part_len: len,
+                cursor: std::sync::atomic::AtomicUsize::new(0),
                 stats: BufStats::new(),
                 live,
                 quarantined: std::sync::atomic::AtomicBool::new(false),
@@ -131,9 +165,39 @@ impl BufferManager {
         }
     }
 
-    /// Slots in the pool.
+    /// Carves `ring` into `n` contiguous partitions (near-equal sizes;
+    /// the first `depth % n` partitions get one extra slot) and returns
+    /// one manager per partition. Panics if `n` is zero or exceeds the
+    /// ring depth.
+    pub fn partitions(ring: SlotRing, n: usize) -> Vec<BufferManager> {
+        assert!(n > 0, "cannot carve a ring into zero partitions");
+        let depth = ring.depth();
+        assert!(
+            n <= depth,
+            "cannot carve {depth} slots into {n} non-empty partitions"
+        );
+        let base = depth / n;
+        let extra = depth % n;
+        let mut start = 0;
+        (0..n)
+            .map(|i| {
+                let len = base + usize::from(i < extra);
+                let mgr = BufferManager::with_partition(ring.clone(), start, len);
+                start += len;
+                mgr
+            })
+            .collect()
+    }
+
+    /// Slots in this manager's partition.
     pub fn depth(&self) -> usize {
-        self.inner.ring.depth()
+        self.inner.part_len
+    }
+
+    /// The partition as `(first_slot, slot_count)` in absolute ring
+    /// indices.
+    pub fn partition(&self) -> (usize, usize) {
+        (self.inner.part_start, self.inner.part_len)
     }
 
     /// Capacity of each buffer in bytes.
@@ -168,10 +232,17 @@ impl BufferManager {
                 slot_size: self.slot_size(),
             });
         }
-        // Each begin_write() advances the ring's round-robin cursor, so
-        // consecutive attempts probe consecutive slots.
+        // The per-manager cursor advances on every probe, so consecutive
+        // attempts walk consecutive partition slots — and wrap *within*
+        // the partition, never into a neighbor's slots.
         for _ in 0..self.depth() {
-            match self.inner.ring.begin_write() {
+            let rel = self
+                .inner
+                .cursor
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                % self.inner.part_len;
+            let slot = self.inner.part_start + rel;
+            match self.inner.ring.begin_write_slot(slot) {
                 Ok(guard) => {
                     self.inner.on_issue(guard.slot());
                     return Ok(SlotLease {
@@ -213,8 +284,9 @@ impl BufferManager {
     /// in-flight command whose payload lives in a published slot — a
     /// reclaimed slot's bytes may be reused immediately.
     pub fn reclaim(&self) -> usize {
+        let (start, len) = self.partition();
         let mut freed = 0;
-        for slot in 0..self.depth() {
+        for slot in start..start + len {
             if self.inner.live[slot].load(std::sync::atomic::Ordering::Acquire) {
                 continue; // a live local lease still points into this slot
             }
@@ -228,11 +300,15 @@ impl BufferManager {
         freed
     }
 
-    /// Forces one slot back to `Free` (same contract as
-    /// [`BufferManager::reclaim`]); returns whether the slot was
-    /// actually occupied. Slots held by live local leases are skipped.
+    /// Forces one slot (absolute ring index) back to `Free` (same
+    /// contract as [`BufferManager::reclaim`]); returns whether the slot
+    /// was actually occupied. Slots outside this manager's partition or
+    /// held by live local leases are refused.
     pub fn reclaim_slot(&self, slot: usize) -> bool {
-        if slot >= self.depth() || self.inner.live[slot].load(std::sync::atomic::Ordering::Acquire)
+        let (start, len) = self.partition();
+        if slot < start
+            || slot >= start + len
+            || self.inner.live[slot].load(std::sync::atomic::Ordering::Acquire)
         {
             return false;
         }
@@ -466,6 +542,82 @@ mod tests {
         assert!(!m.reclaim_slot(99)); // out of range
         assert_eq!(ring.state(published).unwrap(), SlotState::Free);
         drop(held);
+    }
+
+    #[test]
+    fn partitions_cover_ring_without_overlap() {
+        let (_m, ring) = mgr(10, 64);
+        let parts = BufferManager::partitions(ring, 3);
+        // 10 slots over 3 partitions: 4 + 3 + 3, contiguous, disjoint.
+        assert_eq!(parts[0].partition(), (0, 4));
+        assert_eq!(parts[1].partition(), (4, 3));
+        assert_eq!(parts[2].partition(), (7, 3));
+        assert_eq!(parts.iter().map(|p| p.depth()).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn exhausted_partition_never_probes_neighbor() {
+        // Satellite regression: exhausting one partition must deny the
+        // lease rather than wrap into the neighbor's slots.
+        let (_m, ring) = mgr(8, 64);
+        let parts = BufferManager::partitions(ring.clone(), 2);
+        let (a, b) = (&parts[0], &parts[1]);
+        let held: Vec<_> = (0..4).map(|_| a.lease(1).unwrap()).collect();
+        assert!(held.iter().all(|l| l.slot() < 4));
+        // Partition A is full: deny, do not steal from B.
+        assert!(matches!(a.lease(1), Err(ShmError::NoFreeSlot)));
+        assert_eq!(a.stats().lease_denied.get(), 1);
+        for slot in 4..8 {
+            assert_eq!(ring.state(slot).unwrap(), SlotState::Free);
+        }
+        // B is entirely unaffected: all four of its slots lease fine,
+        // all inside [4, 8).
+        let b_leases: Vec<_> = (0..4).map(|_| b.lease(1).unwrap()).collect();
+        assert!(b_leases.iter().all(|l| (4..8).contains(&l.slot())));
+        assert_eq!(b.stats().lease_denied.get(), 0);
+        drop(held);
+        // A recovers once its own slots free up.
+        assert!(a.lease(1).unwrap().slot() < 4);
+    }
+
+    #[test]
+    fn partition_probe_wraps_within_partition() {
+        let (_m, ring) = mgr(6, 64);
+        let parts = BufferManager::partitions(ring, 2);
+        let b = &parts[1]; // slots [3, 6)
+        for _ in 0..10 {
+            let lease = b.lease(1).unwrap();
+            assert!((3..6).contains(&lease.slot()));
+            let (slot, len) = lease.publish();
+            drop(b.inner.ring.begin_read(slot, len).unwrap());
+        }
+    }
+
+    #[test]
+    fn partition_reclaim_stays_local() {
+        let (_m, ring) = mgr(8, 64);
+        let parts = BufferManager::partitions(ring.clone(), 2);
+        let (a, b) = (&parts[0], &parts[1]);
+        // Publish one slot in each partition (simulating a dead peer
+        // that never drains them).
+        let (slot_a, _) = a.lease(4).unwrap().publish();
+        let (slot_b, _) = b.lease(4).unwrap().publish();
+        a.quarantine();
+        // A's sweep reclaims its own published slot but not B's.
+        assert_eq!(a.reclaim(), 1);
+        assert_eq!(ring.state(slot_a).unwrap(), SlotState::Free);
+        assert_eq!(ring.state(slot_b).unwrap(), SlotState::Ready);
+        // Targeted reclaim refuses out-of-partition slots too.
+        assert!(!a.reclaim_slot(slot_b));
+        assert_eq!(ring.state(slot_b).unwrap(), SlotState::Ready);
+        assert!(b.reclaim_slot(slot_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring depth")]
+    fn out_of_range_partition_panics() {
+        let (_m, ring) = mgr(4, 64);
+        let _ = BufferManager::with_partition(ring, 2, 3);
     }
 
     #[test]

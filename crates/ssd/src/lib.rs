@@ -12,7 +12,9 @@
 //!   emulation vs. a real datacenter SSD).
 //! * [`ram::RamDisk`] — a functional RAM-backed block store used by the
 //!   *real* (threaded) NVMe-oF runtime, so integration tests and examples
-//!   move actual bytes end to end.
+//!   move actual bytes end to end — and [`ram::SharedRamDisk`], its
+//!   multi-queue form: one storage service shared lock-free by the
+//!   reactor threads of a sharded target.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -25,4 +27,4 @@ pub mod ram;
 pub use config::SsdParams;
 pub use device::{IoOp, SsdDevice};
 pub use qpair::QueuePair;
-pub use ram::RamDisk;
+pub use ram::{RamDisk, SharedRamDisk};

@@ -5,7 +5,9 @@
 //! NVMe-oF target in `oaf-nvmeof` can serve genuine reads and writes in
 //! examples and integration tests.
 
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from block-level access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +52,34 @@ impl fmt::Display for BlockError {
 
 impl std::error::Error for BlockError {}
 
+fn check_range(
+    block_size: u32,
+    capacity_blocks: u64,
+    lba: u64,
+    count: u32,
+    buf_len: usize,
+) -> Result<(usize, usize), BlockError> {
+    let end = lba
+        .checked_add(u64::from(count))
+        .filter(|&e| e <= capacity_blocks);
+    if count == 0 || end.is_none() {
+        return Err(BlockError::OutOfRange {
+            lba,
+            count,
+            capacity: capacity_blocks,
+        });
+    }
+    let expected = count as usize * block_size as usize;
+    if buf_len != expected {
+        return Err(BlockError::BadBuffer {
+            expected,
+            got: buf_len,
+        });
+    }
+    let off = (lba * u64::from(block_size)) as usize;
+    Ok((off, expected))
+}
+
 /// A RAM-backed block device.
 pub struct RamDisk {
     block_size: u32,
@@ -81,24 +111,7 @@ impl RamDisk {
     }
 
     fn check(&self, lba: u64, count: u32, buf_len: usize) -> Result<(usize, usize), BlockError> {
-        let cap = self.capacity_blocks();
-        let end = lba.checked_add(u64::from(count)).filter(|&e| e <= cap);
-        if count == 0 || end.is_none() {
-            return Err(BlockError::OutOfRange {
-                lba,
-                count,
-                capacity: cap,
-            });
-        }
-        let expected = count as usize * self.block_size as usize;
-        if buf_len != expected {
-            return Err(BlockError::BadBuffer {
-                expected,
-                got: buf_len,
-            });
-        }
-        let off = (lba * u64::from(self.block_size)) as usize;
-        Ok((off, expected))
+        check_range(self.block_size, self.capacity_blocks(), lba, count, buf_len)
     }
 
     /// Reads `count` blocks starting at `lba` into `buf`.
@@ -112,6 +125,147 @@ impl RamDisk {
     pub fn write(&mut self, lba: u64, count: u32, buf: &[u8]) -> Result<(), BlockError> {
         let (off, len) = self.check(lba, count, buf.len())?;
         self.data[off..off + len].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Zeroes `count` blocks starting at `lba` in place (NVMe Write
+    /// Zeroes): no staging buffer, so the op stays allocation-free no
+    /// matter how large the range is.
+    pub fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        let expected = count as usize * self.block_size as usize;
+        let (off, len) = self.check(lba, count, expected)?;
+        self.data[off..off + len].fill(0);
+        Ok(())
+    }
+
+    /// Converts this disk into a [`SharedRamDisk`] holding the same
+    /// bytes, for multi-queue access from several reactor threads.
+    pub fn into_shared(self) -> SharedRamDisk {
+        SharedRamDisk {
+            cell: Arc::new(SharedCell {
+                block_size: self.block_size,
+                len: self.data.len(),
+                data: UnsafeCell::new(self.data.into_boxed_slice()),
+            }),
+        }
+    }
+}
+
+struct SharedCell {
+    block_size: u32,
+    /// Byte length of `data`, fixed at construction (kept outside the
+    /// cell so size queries never touch the aliased storage).
+    len: usize,
+    /// The backing bytes. Access goes through raw pointers under the
+    /// multi-queue exclusivity contract documented on [`SharedRamDisk`].
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: all access goes through `SharedRamDisk::{read,write}`, whose
+// contract (below) forbids an LBA range from being written concurrently
+// with any overlapping access — the same exclusivity discipline the
+// in-region slot state machine enforces for `ShmRegion`.
+unsafe impl Send for SharedCell {}
+unsafe impl Sync for SharedCell {}
+
+/// A RAM-backed block device shareable across reactor threads.
+///
+/// Real multi-queue NVMe hands each core its own queue pair against one
+/// device and leaves LBA-range coherence to the host: the device does
+/// not serialize queues, and two queues writing the same LBA at the same
+/// instant get an unspecified (per-sector atomic) outcome. This type
+/// mirrors that contract so a sharded target can serve one storage
+/// service from N threads with **no lock on the data path**:
+///
+/// * `read`/`write` take `&self` and are safe to call concurrently for
+///   **disjoint** LBA ranges;
+/// * issuing a write concurrently with any overlapping read or write is
+///   a protocol violation by the initiators (exactly like reusing a
+///   published shm slot) — the fabric's ownership rules (one connection
+///   per shard, application-level LBA ownership) are what prevent it,
+///   not this type.
+#[derive(Clone)]
+pub struct SharedRamDisk {
+    cell: Arc<SharedCell>,
+}
+
+impl SharedRamDisk {
+    /// Creates a zero-filled shared disk of `blocks` blocks of
+    /// `block_size` bytes.
+    pub fn new(block_size: u32, blocks: u64) -> Self {
+        RamDisk::new(block_size, blocks).into_shared()
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.cell.block_size
+    }
+
+    fn len(&self) -> usize {
+        self.cell.len
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.len() as u64 / u64::from(self.cell.block_size)
+    }
+
+    /// Reads `count` blocks starting at `lba` into `buf`. See the type
+    /// docs for the concurrency contract.
+    pub fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        let (off, len) = check_range(
+            self.cell.block_size,
+            self.capacity_blocks(),
+            lba,
+            count,
+            buf.len(),
+        )?;
+        // SAFETY: bounds checked above; per the multi-queue contract no
+        // concurrent writer overlaps this range.
+        unsafe {
+            let base = (*self.cell.data.get()).as_ptr();
+            std::ptr::copy_nonoverlapping(base.add(off), buf.as_mut_ptr(), len);
+        }
+        Ok(())
+    }
+
+    /// Writes `count` blocks starting at `lba` from `buf`. See the type
+    /// docs for the concurrency contract.
+    pub fn write(&self, lba: u64, count: u32, buf: &[u8]) -> Result<(), BlockError> {
+        let (off, len) = check_range(
+            self.cell.block_size,
+            self.capacity_blocks(),
+            lba,
+            count,
+            buf.len(),
+        )?;
+        // SAFETY: bounds checked above; per the multi-queue contract no
+        // concurrent access overlaps this range.
+        unsafe {
+            let base = (*self.cell.data.get()).as_mut_ptr();
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), base.add(off), len);
+        }
+        Ok(())
+    }
+
+    /// Zeroes `count` blocks starting at `lba` in place (NVMe Write
+    /// Zeroes), allocation-free. See the type docs for the concurrency
+    /// contract.
+    pub fn write_zeroes(&self, lba: u64, count: u32) -> Result<(), BlockError> {
+        let expected = count as usize * self.cell.block_size as usize;
+        let (off, len) = check_range(
+            self.cell.block_size,
+            self.capacity_blocks(),
+            lba,
+            count,
+            expected,
+        )?;
+        // SAFETY: bounds checked above; per the multi-queue contract no
+        // concurrent access overlaps this range.
+        unsafe {
+            let base = (*self.cell.data.get()).as_mut_ptr();
+            std::ptr::write_bytes(base.add(off), 0, len);
+        }
         Ok(())
     }
 }
@@ -186,6 +340,70 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_block_size_rejected() {
         let _ = RamDisk::new(500, 8);
+    }
+
+    #[test]
+    fn shared_disk_preserves_bytes_across_conversion() {
+        let mut d = RamDisk::new(512, 16);
+        d.write(3, 1, &[0x42u8; 512]).unwrap();
+        let shared = d.into_shared();
+        assert_eq!(shared.block_size(), 512);
+        assert_eq!(shared.capacity_blocks(), 16);
+        let mut out = [0u8; 512];
+        shared.read(3, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x42));
+        // Writes through one clone are visible through another.
+        let view = shared.clone();
+        shared.write(5, 1, &[7u8; 512]).unwrap();
+        view.read(5, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn shared_disk_rejects_bad_ranges() {
+        let d = SharedRamDisk::new(512, 4);
+        let mut buf = [0u8; 512];
+        assert!(matches!(
+            d.read(4, 1, &mut buf),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write(0, 1, &buf[..100]),
+            Err(BlockError::BadBuffer { .. })
+        ));
+        assert!(matches!(
+            d.write(u64::MAX, 1, &buf),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_disk_disjoint_ranges_from_many_threads() {
+        // The multi-queue contract in action: 4 threads, disjoint LBA
+        // ranges, no lock — every byte must land.
+        let d = SharedRamDisk::new(512, 64);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for i in 0..16u64 {
+                        let lba = t * 16 + i;
+                        d.write(lba, 1, &[(lba % 251) as u8 + 1; 512]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut out = [0u8; 512];
+        for lba in 0..64u64 {
+            d.read(lba, 1, &mut out).unwrap();
+            assert!(
+                out.iter().all(|&b| b == (lba % 251) as u8 + 1),
+                "lba {lba} lost its write"
+            );
+        }
     }
 
     #[test]

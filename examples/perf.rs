@@ -3,9 +3,15 @@
 //! §5.1).
 //!
 //! ```text
-//! cargo run --release --example perf -- [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
+//! cargo run --release --example perf -- [--shards N] [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
 //! cargo run --release --example perf -- 128 32 100 2 local
+//! cargo run --release --example perf -- --shards 4 16 32 100 2 local
 //! ```
+//!
+//! With `--shards N` the storage service runs the thread-per-core
+//! sharded runtime: N reactor threads, N clients (one per shard,
+//! round-robin steering), the queue depth split evenly across them. The
+//! summary then includes the per-shard ops split.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,12 +20,24 @@ use nvme_oaf::nvmeof::nvme::controller::Controller;
 use nvme_oaf::nvmeof::nvme::namespace::Namespace;
 use nvme_oaf::oaf::conn::FabricSettings;
 use nvme_oaf::oaf::locality::{HostRegistry, ProcessId};
-use nvme_oaf::oaf::runtime::launch;
+use nvme_oaf::oaf::runtime::{launch, launch_many_sharded, AfClient};
 use oaf_telemetry::Reporter;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--shards N` is stripped before the positional arguments so it can
+    // appear anywhere.
+    let mut shards: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        let n = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--shards takes a shard count");
+        assert!(n >= 1, "--shards takes a positive shard count");
+        shards = Some(n);
+        args.drain(pos..=pos + 1);
+    }
     let io_kib: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let qd: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
     let read_pct: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
@@ -34,6 +52,21 @@ fn main() {
 
     let mut controller = Controller::new();
     controller.add_namespace(Namespace::new(1, block_size as u32, capacity_blocks));
+
+    if let Some(shards) = shards {
+        run_sharded(
+            controller,
+            shards,
+            io_kib,
+            qd,
+            read_pct,
+            seconds,
+            local,
+            nlb,
+            capacity_blocks,
+        );
+        return;
+    }
 
     let registry = Arc::new(HostRegistry::new());
     let target_host = if local { 1 } else { 2 };
@@ -181,4 +214,165 @@ fn main() {
 
     pair.client.disconnect().expect("disconnect");
     pair.target.shutdown().expect("shutdown");
+}
+
+/// The sharded load loop: N clients round-robined onto N reactor
+/// shards, queue depth split evenly, disjoint LBA ranges per client.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    controller: Controller,
+    shards: usize,
+    io_kib: u64,
+    qd: usize,
+    read_pct: u32,
+    seconds: u64,
+    local: bool,
+    nlb: u32,
+    capacity_blocks: u64,
+) {
+    let io_bytes = io_kib * 1024;
+    let registry = Arc::new(HostRegistry::new());
+    let target_host = if local { 1 } else { 2 };
+    let clients: Vec<(ProcessId, u64)> =
+        (0..shards as u64).map(|i| (ProcessId(10 + i), 1)).collect();
+    let per_client_qd = (qd / shards).max(1);
+    let settings = FabricSettings {
+        depth: per_client_qd.max(8),
+        slot_size: io_bytes as usize,
+        ..FabricSettings::default()
+    };
+    let mut group = launch_many_sharded(
+        &registry,
+        &clients,
+        (ProcessId(2), target_host),
+        controller,
+        settings,
+        shards,
+    )
+    .expect("sharded fabric establishment");
+
+    println!(
+        "perf: {io_kib}KiB, QD{qd} ({per_client_qd}/client), {read_pct}% reads, {seconds}s, \
+         {shards} shards x 1 client, fabric = {}",
+        if group.clients[0].shm_active() {
+            "shared-memory (oAF)"
+        } else {
+            "TCP"
+        }
+    );
+
+    // Disjoint per-client LBA ranges, prefilled so reads return data.
+    let span_ios = 64u64.min(capacity_blocks / u64::from(nlb) / shards as u64);
+    let base_io = |c: usize| c as u64 * span_ios;
+    for (c, client) in group.clients.iter_mut().enumerate() {
+        for i in 0..span_ios {
+            let mut buf = client.alloc(io_bytes as usize).expect("buffer");
+            buf.fill((i % 251) as u8);
+            client
+                .write(
+                    1,
+                    (base_io(c) + i) * u64::from(nlb),
+                    nlb,
+                    buf,
+                    Duration::from_secs(10),
+                )
+                .expect("prefill write");
+        }
+    }
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let ops_before = group.target.ops_per_shard();
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let t0 = Instant::now();
+    let mut completed: u64 = 0;
+    let mut lats_us: Vec<f64> = Vec::with_capacity(1 << 20);
+    let mut submit_times: Vec<std::collections::HashMap<u16, Instant>> = (0..shards)
+        .map(|_| std::collections::HashMap::new())
+        .collect();
+
+    let submit = |c: usize,
+                  client: &mut AfClient,
+                  rng: &mut rand::rngs::SmallRng,
+                  submit_times: &mut std::collections::HashMap<u16, Instant>| {
+        let slot = base_io(c) + rng.gen_range(0..span_ios);
+        let lba = slot * u64::from(nlb);
+        let cid = if rng.gen_range(0..100u32) < read_pct {
+            client
+                .submit_read(1, lba, nlb, io_bytes as usize)
+                .expect("submit read")
+        } else {
+            let mut buf = client.alloc(io_bytes as usize).expect("buffer");
+            buf.fill((slot % 251) as u8);
+            client.submit_write(1, lba, nlb, buf).expect("submit write")
+        };
+        submit_times.insert(cid, Instant::now());
+    };
+
+    for (c, client) in group.clients.iter_mut().enumerate() {
+        for _ in 0..per_client_qd {
+            submit(c, client, &mut rng, &mut submit_times[c]);
+        }
+    }
+    while Instant::now() < deadline {
+        for (c, client) in group.clients.iter_mut().enumerate() {
+            for done in client.poll().expect("poll") {
+                assert!(done.status.is_ok(), "I/O failed: {:?}", done.status);
+                if let Some(t) = submit_times[c].remove(&done.cid) {
+                    lats_us.push(t.elapsed().as_secs_f64() * 1e6);
+                }
+                completed += 1;
+                submit(c, client, &mut rng, &mut submit_times[c]);
+            }
+        }
+        std::hint::spin_loop();
+    }
+    // Drain.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while submit_times.iter().any(|m| !m.is_empty()) && Instant::now() < drain_deadline {
+        for (c, client) in group.clients.iter_mut().enumerate() {
+            for done in client.poll().expect("poll") {
+                submit_times[c].remove(&done.cid);
+                completed += 1;
+            }
+        }
+    }
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mib = completed as f64 * io_bytes as f64 / (1u64 << 20) as f64 / elapsed;
+    let iops = completed as f64 / elapsed;
+    println!("{completed} IOs in {elapsed:.2}s: {mib:.0} MiB/s, {iops:.0} IOPS");
+    if !lats_us.is_empty() {
+        lats_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| lats_us[((lats_us.len() - 1) as f64 * p) as usize];
+        println!(
+            "latency percentiles: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  p99.9 {:.1}us  max {:.1}us",
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            q(0.999),
+            lats_us[lats_us.len() - 1]
+        );
+    }
+    // Per-shard split: the load-balance witness for the scale table.
+    let ops_after = group.target.ops_per_shard();
+    let per_shard: Vec<u64> = ops_after
+        .iter()
+        .zip(&ops_before)
+        .map(|(a, b)| a - b)
+        .collect();
+    let max = *per_shard.iter().max().unwrap_or(&0);
+    let min = *per_shard.iter().min().unwrap_or(&0);
+    println!(
+        "per-shard ops: {per_shard:?} (max/min {:.2})",
+        if min > 0 {
+            max as f64 / min as f64
+        } else {
+            f64::NAN
+        }
+    );
+
+    for c in &mut group.clients {
+        c.disconnect().expect("disconnect");
+    }
+    group.target.shutdown().expect("shutdown");
 }

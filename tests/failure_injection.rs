@@ -471,6 +471,170 @@ fn silent_peer_death_surfaces_as_peer_dead() {
     let _ = handle.shutdown();
 }
 
+/// The sharded-runtime chaos soak: four shards, one chaos-wrapped
+/// connection each, every shard drawing its faults from its own plan
+/// seeded by [`FaultPlan::shard_seed`] — the whole per-shard fault tree
+/// replays from the one printed root seed (`OAF_CHAOS_SEED=<seed>`).
+/// Each client works a disjoint LBA range; every op either succeeds
+/// with correct data or fails with a typed, tracked-uncertainty error,
+/// and after quiesce every block on every shard verifies. A fault on
+/// one shard must never disturb a sibling shard's data.
+#[test]
+fn sharded_chaos_soak_recovers_per_shard_plans() {
+    use nvme_oaf::nvmeof::server::ConnectionSpec;
+    use nvme_oaf::nvmeof::shard::{spawn_sharded, ShardConfig};
+
+    const SHARDS: usize = 4;
+    const LBAS_PER: u64 = 24;
+    const ITERS: usize = 120;
+
+    let seed = chaos_seed();
+    let base = FaultPlan::quiet(seed);
+
+    // Wire every shard's chaos-wrapped connection first: the handshake
+    // needs a live reactor, so spawn comes before any connect.
+    let mut specs = Vec::new();
+    let mut client_sides = Vec::new();
+    let mut all_controls = Vec::new();
+    for s in 0..SHARDS {
+        // Control-path faults only (the shm fault modes have their own
+        // soaks above); each shard gets an independent plan derived from
+        // the root seed.
+        let mut plan = FaultPlan::light(base.shard_seed(s as u64));
+        plan.shm_publish_fail_per_10k = 0;
+        plan.shm_consume_fail_per_10k = 0;
+        let (ct_raw, tt_raw) = MemTransport::pair();
+        let (ct, tt, controls) = wrap_pair(ct_raw, tt_raw, &plan);
+        specs.push(ConnectionSpec {
+            transport: Box::new(tt),
+            cfg: TargetConfig::default(),
+            payload: None,
+            scope: None,
+        });
+        client_sides.push(ct);
+        all_controls.push(controls);
+    }
+    let target = spawn_sharded(controller(), specs, ShardConfig::new(SHARDS), None);
+    let mut clients = Vec::new();
+    for (s, ct) in client_sides.into_iter().enumerate() {
+        let ini = Initiator::connect(
+            ct,
+            InitiatorOptions {
+                cmd_deadline: Some(Duration::from_millis(40)),
+                max_retries: 10,
+                retry_backoff: Duration::from_millis(5),
+                keepalive: Some(KeepAliveConfig::with_interval(Duration::from_millis(250))),
+                ..InitiatorOptions::default()
+            },
+            None,
+            TIMEOUT,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: shard {s} connect failed: {e}"));
+        clients.push(ini);
+    }
+
+    // Handshakes done: open fire everywhere.
+    for c in &all_controls {
+        c.arm();
+    }
+
+    // Disjoint LBA ranges: shard s owns [s*LBAS_PER, (s+1)*LBAS_PER).
+    let mut allowed: Vec<Vec<Vec<u8>>> = (0..SHARDS)
+        .map(|_| (0..LBAS_PER).map(|_| vec![0u8]).collect())
+        .collect();
+    let mut rng = ChaosRng::new(seed ^ 0x54A2);
+    let mut stamp = 0u8;
+    for _ in 0..ITERS {
+        for s in 0..SHARDS {
+            let lba_rel = rng.range(0, LBAS_PER);
+            let lba = s as u64 * LBAS_PER + lba_rel;
+            if rng.chance(6_000) {
+                stamp = stamp.wrapping_add(1);
+                let data = Bytes::from(vec![stamp; 4096]);
+                match clients[s].write_blocking(1, lba, 1, data, TIMEOUT) {
+                    Ok(()) => allowed[s][lba_rel as usize] = vec![stamp],
+                    Err(e) => {
+                        fatal_mid_soak(seed, &e);
+                        allowed[s][lba_rel as usize].push(stamp);
+                    }
+                }
+            } else {
+                match clients[s].read_blocking(1, lba, 1, 4096, TIMEOUT) {
+                    Ok(buf) => {
+                        let v = buf[0];
+                        assert!(
+                            buf.iter().all(|&b| b == v),
+                            "seed {seed}: shard {s} torn read at lba {lba}"
+                        );
+                        assert!(
+                            allowed[s][lba_rel as usize].contains(&v),
+                            "seed {seed}: shard {s} lba {lba} read {v}, allowed {:?}",
+                            allowed[s][lba_rel as usize]
+                        );
+                        allowed[s][lba_rel as usize] = vec![v];
+                    }
+                    Err(e) => fatal_mid_soak(seed, &e),
+                }
+            }
+        }
+    }
+
+    // Quiesce and verify every shard's whole range.
+    for c in &all_controls {
+        c.disarm();
+    }
+    for s in 0..SHARDS {
+        for lba_rel in 0..LBAS_PER {
+            let lba = s as u64 * LBAS_PER + lba_rel;
+            let mut buf = None;
+            for _ in 0..3 {
+                match clients[s].read_blocking(1, lba, 1, 4096, TIMEOUT) {
+                    Ok(b) => {
+                        buf = Some(b);
+                        break;
+                    }
+                    Err(e) => fatal_mid_soak(seed, &e),
+                }
+            }
+            let buf = buf.unwrap_or_else(|| {
+                panic!("seed {seed}: shard {s} lba {lba} unreadable after quiesce")
+            });
+            let v = buf[0];
+            assert!(
+                buf.iter().all(|&b| b == v),
+                "seed {seed}: shard {s} torn block {lba} after quiesce"
+            );
+            assert!(
+                allowed[s][lba_rel as usize].contains(&v),
+                "seed {seed}: shard {s} lba {lba} holds {v} after quiesce, allowed {:?}",
+                allowed[s][lba_rel as usize]
+            );
+        }
+    }
+
+    // Every shard both served ops and actually absorbed faults — the
+    // plans were independent, not one stream fanned out.
+    let ops = target.ops_per_shard();
+    for (s, controls) in all_controls.iter().enumerate() {
+        assert!(ops[s] > 0, "seed {seed}: shard {s} served nothing: {ops:?}");
+        assert!(
+            controls.stats().total() > 0,
+            "seed {seed}: shard {s}'s plan injected nothing \
+             (replay with OAF_CHAOS_SEED={seed})"
+        );
+        eprintln!(
+            "sharded_chaos_soak seed={seed} shard={s} shard_seed={:#x} ops={} injected[{}]",
+            base.shard_seed(s as u64),
+            ops[s],
+            controls.stats()
+        );
+    }
+    for mut c in clients {
+        let _ = c.disconnect();
+    }
+    let _ = target.shutdown();
+}
+
 #[test]
 fn forced_shm_failure_mid_workload_degrades_to_tcp() {
     // Kill the shared-memory channel while a workload is mid-flight: the

@@ -1,0 +1,412 @@
+//! In-tree subset of the `criterion` benchmark API.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the harness surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`throughput`/`sample_size`/`bench_function`/
+//! `bench_with_input`/`finish`), [`Bencher`] (`iter`/`iter_custom`),
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simpler than upstream: each benchmark
+//! reports the min/median/max per-iteration time over `sample_size`
+//! wall-clock samples (median is robust to scheduler noise on the
+//! 1-core dev container). `-- --test` runs every benchmark body once
+//! and reports nothing, matching the CI smoke invocation.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(200);
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test`, optional name filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        let mut positional = Vec::new();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo-bench forwards that we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "-v" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                other => {
+                    if !other.starts_with('-') {
+                        positional.push(other.to_string());
+                    }
+                }
+            }
+        }
+        if let Some(f) = positional.into_iter().next() {
+            self.filter = Some(f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_bench_id();
+        run_one(
+            &name,
+            self.test_mode,
+            self.sample_size,
+            self.filter.as_deref(),
+            None,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Upstream prints aggregate output here; a no-op in this subset.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-iteration work attribution for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(
+            &name,
+            self.criterion.test_mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.filter.as_deref(),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(
+            &name,
+            self.criterion.test_mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.filter.as_deref(),
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Names a benchmark, optionally `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchId {
+    /// The rendered name.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+/// Hands the measured closure its iteration schedule.
+pub struct Bencher {
+    mode: BenchMode,
+    /// (iters, elapsed) samples recorded by `iter`/`iter_custom`.
+    samples: Vec<(u64, Duration)>,
+}
+
+enum BenchMode {
+    /// `-- --test`: run the body once, record nothing.
+    Test,
+    /// Timed run with this many samples.
+    Measure { sample_size: usize },
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches sized from a warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Test => {
+                black_box(routine());
+            }
+            BenchMode::Measure { sample_size } => {
+                // Warm up and estimate per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < WARMUP {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+                let batch =
+                    (SAMPLE_TARGET.as_nanos() / per_iter).clamp(1, u128::from(u32::MAX)) as u64;
+                for _ in 0..sample_size {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples.push((batch, t0.elapsed()));
+                }
+            }
+        }
+    }
+
+    /// Lets the routine time itself: `routine(iters)` must return the
+    /// elapsed time for exactly `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Test => {
+                routine(1);
+            }
+            BenchMode::Measure { sample_size } => {
+                let warm = routine(16).max(Duration::from_nanos(1));
+                let per_iter = (warm.as_nanos() / 16).max(1);
+                let batch =
+                    (SAMPLE_TARGET.as_nanos() / per_iter).clamp(1, u128::from(u32::MAX)) as u64;
+                for _ in 0..sample_size {
+                    let d = routine(batch);
+                    self.samples.push((batch, d));
+                }
+            }
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    test_mode: bool,
+    sample_size: usize,
+    filter: Option<&str>,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        mode: if test_mode {
+            BenchMode::Test
+        } else {
+            BenchMode::Measure { sample_size }
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: test ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let min = per_iter[0];
+    let med = per_iter[per_iter.len() / 2];
+    let max = per_iter[per_iter.len() - 1];
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (med / 1e9) / (1u64 << 20) as f64;
+            format!("  thrpt: {mibs:.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (med / 1e9);
+            format!("  thrpt: {:.3} Melem/s", eps / 1e6)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name}\n  time: [{} {} {}]{tp}",
+        fmt_ns(min),
+        fmt_ns(med),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Defines a benchmark-group entry point callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 20,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        c.bench_function("unit/one", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 3,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("unit");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("spin", |b| b.iter(|| black_box(2u64.pow(10))));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).into_bench_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_bench_id(), "x");
+    }
+}

@@ -1,0 +1,188 @@
+//! In-tree subset of the `parking_lot` API, backed by `std::sync`.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the two primitives it uses: [`Mutex`] and [`RwLock`] with
+//! `parking_lot`'s poison-free signatures (`lock()` returns the guard
+//! directly). Poisoning is absorbed by taking the inner value — a
+//! panicking holder does not wedge every later locker.
+
+use std::fmt;
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+pub mod probe {
+    //! Opt-in lock-acquisition counting, for tests that assert a code
+    //! path is lock-free (the sharded runtime's "no lock crosses cores
+    //! on the data path" contract). Counting is two-keyed: a thread
+    //! opts in with [`arm_thread`], and acquisitions count only while
+    //! the global phase gate ([`set_counting`]) is also open — so a
+    //! harness can warm up freely and then measure only steady state.
+    //! Both default off; production code never pays more than one TLS
+    //! read plus one relaxed atomic load per acquisition.
+
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static COUNTING: AtomicBool = AtomicBool::new(false);
+    static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static ARMED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Opts the calling thread into acquisition counting.
+    pub fn arm_thread() {
+        ARMED.with(|c| c.set(true));
+    }
+
+    /// Opens (`true`) or closes (`false`) the global counting phase.
+    pub fn set_counting(on: bool) {
+        COUNTING.store(on, Ordering::SeqCst);
+    }
+
+    /// Lock acquisitions observed on armed threads while counting.
+    pub fn acquisitions() -> u64 {
+        ACQUISITIONS.load(Ordering::SeqCst)
+    }
+
+    /// Clears the acquisition count.
+    pub fn reset() {
+        ACQUISITIONS.store(0, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note() {
+        // try_with: a lock can be taken during TLS teardown.
+        if COUNTING.load(Ordering::Relaxed) && ARMED.try_with(Cell::get).unwrap_or(false) {
+            ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Poison-free mutual exclusion over `std::sync::Mutex`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        probe::note();
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => {
+                probe::note();
+                Some(g)
+            }
+            Err(sync::TryLockError::Poisoned(p)) => {
+                probe::note();
+                Some(p.into_inner())
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves unique).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Poison-free reader-writer lock over `std::sync::RwLock`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        probe::note();
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        probe::note();
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 9;
+        assert_eq!(*m.lock(), 9);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+}
