@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the durable store's write path: what
+//! journaling and durability barriers cost per operation, RAM disk as
+//! the zero-cost baseline. MemVfs variants isolate the store's own
+//! bookkeeping (journal encode, CRC, checkpoint fold) from the
+//! filesystem; the real-file variant adds actual `write`/`fdatasync`
+//! syscalls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oaf_ssd::{BlockStore, RamDisk};
+use oaf_store::vfs::MemVfs;
+use oaf_store::FileDisk;
+
+const BS: usize = 4096;
+const SIZES: &[usize] = &[4 << 10, 64 << 10, 128 << 10];
+const BLOCKS: u64 = 64 * 1024; // 256 MiB namespace, as examples/perf.rs
+
+fn bench_ram_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/ram-baseline");
+    for &size in SIZES {
+        let mut disk = RamDisk::new(BS as u32, BLOCKS);
+        let payload = vec![0xabu8; size];
+        let nlb = (size / BS) as u32;
+        let mut lba = 0u64;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload).expect("write");
+                lba = (lba + u64::from(nlb)) % (BLOCKS - 64);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_journaled_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/journaled-write");
+    for &size in SIZES {
+        let mut disk =
+            FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20).expect("fmt");
+        let payload = vec![0xabu8; size];
+        let nlb = (size / BS) as u32;
+        let mut lba = 0u64;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                // Journal append + data apply; checkpoints amortize in
+                // (the log wraps every ~4 MiB of payload).
+                disk.write(lba, nlb, &payload, false).expect("write");
+                lba = (lba + u64::from(nlb)) % (BLOCKS - 64);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fua_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/fua-write");
+    for &size in SIZES {
+        let mut disk =
+            FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20).expect("fmt");
+        let payload = vec![0xabu8; size];
+        let nlb = (size / BS) as u32;
+        let mut lba = 0u64;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload, true).expect("write");
+                lba = (lba + u64::from(nlb)) % (BLOCKS - 64);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_file_fdatasync(c: &mut Criterion) {
+    // One size; the point is the syscall floor, not a size sweep. A
+    // smaller namespace keeps the benchmark file modest (20 MiB).
+    let mut g = c.benchmark_group("store/real-file");
+    let path = std::env::temp_dir().join(format!("oaf-bench-store-{}.img", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let size = 16 << 10;
+    let nlb = (size / BS) as u32;
+    {
+        let mut disk = FileDisk::create(&path, BS as u32, 4096).expect("fmt");
+        let payload = vec![0xabu8; size];
+        let mut lba = 0u64;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("journaled-write", size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload, false).expect("write");
+                lba = (lba + u64::from(nlb)) % (4096 - 16);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fua-write", size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload, true).expect("write");
+                lba = (lba + u64::from(nlb)) % (4096 - 16);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("flush", size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload, false).expect("write");
+                disk.flush().expect("flush");
+                lba = (lba + u64::from(nlb)) % (4096 - 16);
+            })
+        });
+    }
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ram_baseline,
+    bench_journaled_write,
+    bench_fua_write,
+    bench_real_file_fdatasync
+);
+criterion_main!(benches);

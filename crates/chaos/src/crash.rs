@@ -1,0 +1,80 @@
+//! Seeded crash-point selection for storage kill-point testing.
+//!
+//! The durable store's crash soak (`oaf-store`'s `crash` test) needs to
+//! kill the device at an *arbitrary but reproducible* syscall boundary:
+//! mid-record-append, between the log append and the data apply, in the
+//! middle of an fsync. A [`CrashPoint`] picks that boundary from a seed
+//! — the same `OAF_CHAOS_SEED` convention every other chaos schedule in
+//! this crate replays from — so a failing kill-point reproduces with one
+//! environment variable.
+
+use crate::rng::ChaosRng;
+
+/// A deterministic choice of which mutating syscall to die at.
+///
+/// `fire_at` is 1-based: `fire_at == 1` kills the very first mutating
+/// syscall of the window. Derive one per crash iteration from the
+/// iteration's own sub-seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    seed: u64,
+    fire_at: u64,
+}
+
+impl CrashPoint {
+    /// Picks a kill point uniformly in `[1, max_ops]` from `seed`.
+    /// `max_ops` should upper-bound the mutating syscalls the workload
+    /// will issue, so every phase of every operation is reachable.
+    pub fn seeded(seed: u64, max_ops: u64) -> CrashPoint {
+        assert!(max_ops >= 1, "need at least one candidate syscall");
+        let mut rng = ChaosRng::new(seed);
+        CrashPoint {
+            seed,
+            fire_at: rng.range(1, max_ops + 1),
+        }
+    }
+
+    /// The 1-based index of the mutating syscall to die at.
+    pub fn fire_at(&self) -> u64 {
+        self.fire_at
+    }
+
+    /// The seed this point was derived from (for failure banners).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_point() {
+        assert_eq!(CrashPoint::seeded(99, 1000), CrashPoint::seeded(99, 1000));
+        let p = CrashPoint::seeded(99, 1000);
+        assert!((1..=1000).contains(&p.fire_at()));
+        assert_eq!(p.seed(), 99);
+    }
+
+    #[test]
+    fn points_spread_over_the_window() {
+        // Not a statistical test — just that different seeds actually
+        // reach different syscalls, including the first.
+        let points: Vec<u64> = (0..64)
+            .map(|s| CrashPoint::seeded(s, 8).fire_at())
+            .collect();
+        for k in 1..=8u64 {
+            assert!(
+                points.contains(&k),
+                "kill point {k} never chosen in 64 seeds"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_window_rejected() {
+        let _ = CrashPoint::seeded(1, 0);
+    }
+}

@@ -26,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod payload;
 pub mod rng;
 pub mod transport;
 
+pub use crash::CrashPoint;
 pub use payload::ChaosPayloadChannel;
 pub use transport::{wrap_pair, ChaosControls, ChaosTransport};
 

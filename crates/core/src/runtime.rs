@@ -90,6 +90,7 @@ pub fn launch(
     registry.register(client.0, client.1);
     registry.register(target.0, target.1);
     let cm = ConnectionManager::new(registry.clone());
+    register_store_metrics(&controller, cm.telemetry());
     let EstablishedFabric {
         initiator,
         endpoint,
@@ -131,6 +132,18 @@ pub struct AfGroup {
     /// `target_conn<i>`, `transport_client<i>`, and `app<i>` for each
     /// requested client index.
     pub telemetry: Arc<Registry>,
+}
+
+/// Registers the durable-store telemetry of every file-backed namespace
+/// under a `store_ns<id>` scope, so journal appends, fsync latency and
+/// recovery counters land in the same registry as the fabric metrics.
+/// RAM-backed namespaces have no store metrics and are skipped.
+fn register_store_metrics(controller: &Controller, telemetry: &Registry) {
+    for id in controller.namespace_ids() {
+        if let Some(m) = controller.namespace(id).and_then(|ns| ns.store_metrics()) {
+            m.register(&telemetry.scope(&format!("store_ns{id}")));
+        }
+    }
 }
 
 /// Per-client wiring produced by [`wire_clients`]: the client's process
@@ -312,6 +325,7 @@ pub fn launch_many(
 
     registry.register(target.0, target.1);
     let telemetry = Arc::new(Registry::new());
+    register_store_metrics(&controller, &telemetry);
     let (specs, client_sides) = wire_clients(registry, clients, target, &settings, &telemetry);
     let target_handle = spawn_multi_observed(controller, specs, Some(&telemetry));
     let afs = connect_clients(client_sides, target.0, &settings, &telemetry)?;
@@ -356,6 +370,7 @@ pub fn launch_many_sharded(
 
     registry.register(target.0, target.1);
     let telemetry = Arc::new(Registry::new());
+    register_store_metrics(&controller, &telemetry);
     let (specs, client_sides) = wire_clients(registry, clients, target, &settings, &telemetry);
     let cfg = ShardConfig::new(shards);
     let shard_of: Vec<usize> = (0..clients.len())
@@ -558,6 +573,68 @@ impl AfClient {
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// Blocking durability barrier: every write acknowledged before this
+    /// returns survives target power loss (an `fdatasync` on file-backed
+    /// namespaces, an ack on RAM disks).
+    pub fn flush(&mut self, nsid: u32, timeout: Duration) -> Result<(), NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let cid = self.initiator.submit_flush(nsid)?;
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(r) if r.status.is_ok() => Ok(()),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking Dataset Management deallocate (TRIM): the range is
+    /// dropped from the device and reads back as zeroes.
+    pub fn trim(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        timeout: Duration,
+    ) -> Result<(), NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let cid = self.initiator.submit_trim(nsid, slba, nlb)?;
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(r) if r.status.is_ok() => Ok(()),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking FUA write: like [`AfClient::write`], but the completion
+    /// is not posted until the payload is durable on the target's media.
+    pub fn write_fua(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        buf: IoBuffer,
+        timeout: Duration,
+    ) -> Result<(), NvmeofError> {
+        let t0 = std::time::Instant::now();
+        let bytes = buf.len() as u64;
+        // FUA rides the payload-retaining submit path; a zero-copy lease
+        // cannot be replayed after an abort, so the payload is
+        // materialized here (durability over copy elision).
+        let data = Bytes::copy_from_slice(&buf);
+        let cid = self.initiator.submit_write_fua(nsid, slba, nlb, data)?;
+        self.inflight_meta.insert(cid, (bytes, false, false));
+        let result = self.wait(cid, timeout);
+        self.stats.record_blocking(t0.elapsed());
+        match result {
+            Ok(r) if r.status.is_ok() => Ok(()),
+            Ok(r) => Err(NvmeofError::Nvme(r.status)),
+            Err(e) => Err(e),
         }
     }
 

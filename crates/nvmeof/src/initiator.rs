@@ -146,13 +146,10 @@ struct PendingIo {
 
 impl PendingIo {
     /// Whether the opcode may be resubmitted without an abort
-    /// round-trip: reads and other non-mutating commands, plus flush
-    /// (idempotent).
+    /// round-trip. Delegates to [`Opcode::retries_freely`] — the single
+    /// classification the target's dispatch also derives from.
     fn retries_freely(&self) -> bool {
-        matches!(
-            self.cmd.opcode,
-            Opcode::Read | Opcode::Identify | Opcode::Flush | Opcode::Compare
-        )
+        self.cmd.opcode.retries_freely()
     }
 }
 
@@ -1017,6 +1014,35 @@ impl<T: Transport> Initiator<T> {
         Ok(cid)
     }
 
+    /// Submits a Dataset Management deallocate (TRIM) over `nlb` blocks
+    /// (no payload transfer). On a durable target store the range is
+    /// journaled and reads back as zeroes.
+    pub fn submit_trim(&mut self, nsid: u32, slba: u64, nlb: u32) -> Result<u16, NvmeofError> {
+        let cid = self.state.alloc_cid();
+        let cmd = NvmeCommand::trim(cid, nsid, slba, nlb);
+        self.state.track(cmd, Vec::new(), None);
+        self.state.send_pdu(
+            &self.transport,
+            &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
+        )?;
+        Ok(cid)
+    }
+
+    /// Submits a write with Force Unit Access: the completion is not
+    /// posted until the payload is durable on the target's media.
+    pub fn submit_write_fua(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        data: Bytes,
+    ) -> Result<u16, NvmeofError> {
+        let cid = self.state.alloc_cid();
+        let cmd = NvmeCommand::write_fua(cid, nsid, slba, nlb);
+        let publish_over_shm = self.state.opts.flow == FlowMode::InCapsule;
+        self.submit_with_payload(cmd, data, publish_over_shm)
+    }
+
     /// Submits a flush.
     pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
         let cid = self.state.alloc_cid();
@@ -1391,7 +1417,7 @@ impl ClientState {
                     // opcode); zero-copy published writes have neither.
                     let io = self.pending.get(&ack.cid).expect("checked above");
                     let can_replay = io.retry_payload.is_some()
-                        || io.cmd.opcode == Opcode::WriteZeroes
+                        || io.cmd.opcode.replayable_without_payload()
                         || io.retries_freely();
                     if can_replay {
                         self.resubmit(transport, ack.cid)?;
@@ -1466,6 +1492,7 @@ impl<T: Transport> Initiator<T> {
             nsid,
             slba: 0,
             nlb: 0,
+            fua: false,
         };
         self.state.track(cmd, Vec::new(), None);
         self.state.send_pdu(

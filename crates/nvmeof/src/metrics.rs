@@ -99,7 +99,7 @@ impl TransportMetrics {
 }
 
 /// Number of distinct opcodes the per-opcode latency table covers.
-pub const OPCODES: usize = 6;
+pub const OPCODES: usize = 7;
 
 /// Dense index for the per-opcode latency table.
 #[inline]
@@ -111,6 +111,7 @@ pub fn opcode_index(op: Opcode) -> usize {
         Opcode::Compare => 3,
         Opcode::Identify => 4,
         Opcode::WriteZeroes => 5,
+        Opcode::Dsm => 6,
     }
 }
 
@@ -121,6 +122,7 @@ const OPCODE_NAMES: [&str; OPCODES] = [
     "compare",
     "identify",
     "write_zeroes",
+    "dsm",
 ];
 
 /// Initiator-side view of the command stream: queue depth, volume, and
@@ -354,6 +356,7 @@ mod tests {
             Opcode::Compare,
             Opcode::Identify,
             Opcode::WriteZeroes,
+            Opcode::Dsm,
         ];
         let mut seen = [false; OPCODES];
         for op in ops {

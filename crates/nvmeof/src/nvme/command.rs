@@ -4,6 +4,16 @@
 //! workloads exercise. `nlb` follows this crate's convention of a *count*
 //! (not the spec's zero-based encoding) to keep call sites honest; the
 //! codec is the only place a wire format exists.
+//!
+//! The [`Opcode`] classification methods ([`carries_host_data`],
+//! [`mutates`], [`replayable_without_payload`]) are the single source of
+//! truth for how the target dispatches a command and how the initiator
+//! retries it after a transport fault — call sites must not hand-roll
+//! opcode lists.
+//!
+//! [`carries_host_data`]: Opcode::carries_host_data
+//! [`mutates`]: Opcode::mutates
+//! [`replayable_without_payload`]: Opcode::replayable_without_payload
 
 use bytes::{Buf, BufMut};
 
@@ -26,6 +36,8 @@ pub enum Opcode {
     Identify = 0x06,
     /// Write zeroes over a block range without transferring a payload.
     WriteZeroes = 0x08,
+    /// Dataset Management: deallocate (TRIM) a block range.
+    Dsm = 0x09,
 }
 
 impl Opcode {
@@ -37,8 +49,37 @@ impl Opcode {
             0x05 => Opcode::Compare,
             0x06 => Opcode::Identify,
             0x08 => Opcode::WriteZeroes,
+            0x09 => Opcode::Dsm,
             other => return Err(NvmeofError::Codec(format!("unknown opcode {other:#x}"))),
         })
+    }
+
+    /// Does this command ship a host→controller data payload? Drives
+    /// target dispatch: these go through the in-capsule/R2T write path,
+    /// everything else executes directly from the capsule.
+    pub fn carries_host_data(self) -> bool {
+        matches!(self, Opcode::Write | Opcode::Compare)
+    }
+
+    /// Does this command change namespace state? The initiator must
+    /// never blind-retry a mutating command after a transport fault —
+    /// the first attempt may have been applied.
+    pub fn mutates(self) -> bool {
+        matches!(self, Opcode::Write | Opcode::WriteZeroes | Opcode::Dsm)
+    }
+
+    /// Mutating, but fully described by the command itself (no data
+    /// payload) — resubmission after an abort round-trip needs no
+    /// stashed payload.
+    pub fn replayable_without_payload(self) -> bool {
+        matches!(self, Opcode::WriteZeroes | Opcode::Dsm)
+    }
+
+    /// Safe to resubmit freely after a transport fault: anything
+    /// non-mutating (reads, flush, compare, identify) is idempotent at
+    /// the storage level.
+    pub fn retries_freely(self) -> bool {
+        !self.mutates()
     }
 }
 
@@ -55,10 +96,16 @@ pub struct NvmeCommand {
     pub slba: u64,
     /// Number of logical blocks (a count; must be ≥ 1 for I/O commands).
     pub nlb: u32,
+    /// Force Unit Access: the write (or zeroes/deallocate) must be
+    /// durable before the completion is posted.
+    pub fua: bool,
 }
 
 /// Encoded size of a command on the wire.
 pub const COMMAND_WIRE_LEN: usize = 32;
+
+/// Bit 0 of the flags byte (offset 1): FUA.
+const FLAG_FUA: u8 = 0x01;
 
 impl NvmeCommand {
     /// Convenience constructor for a read.
@@ -69,6 +116,7 @@ impl NvmeCommand {
             nsid,
             slba,
             nlb,
+            fua: false,
         }
     }
 
@@ -80,6 +128,16 @@ impl NvmeCommand {
             nsid,
             slba,
             nlb,
+            fua: false,
+        }
+    }
+
+    /// Convenience constructor for a write with Force Unit Access set:
+    /// durable on media before completion.
+    pub fn write_fua(cid: u16, nsid: u32, slba: u64, nlb: u32) -> Self {
+        NvmeCommand {
+            fua: true,
+            ..Self::write(cid, nsid, slba, nlb)
         }
     }
 
@@ -91,6 +149,7 @@ impl NvmeCommand {
             nsid,
             slba: 0,
             nlb: 0,
+            fua: false,
         }
     }
 
@@ -102,6 +161,7 @@ impl NvmeCommand {
             nsid,
             slba,
             nlb,
+            fua: false,
         }
     }
 
@@ -113,6 +173,19 @@ impl NvmeCommand {
             nsid,
             slba,
             nlb,
+            fua: false,
+        }
+    }
+
+    /// Convenience constructor for Dataset Management deallocate (TRIM).
+    pub fn trim(cid: u16, nsid: u32, slba: u64, nlb: u32) -> Self {
+        NvmeCommand {
+            cid,
+            opcode: Opcode::Dsm,
+            nsid,
+            slba,
+            nlb,
+            fua: false,
         }
     }
 
@@ -129,7 +202,7 @@ impl NvmeCommand {
     /// Serializes into `dst`.
     pub fn encode<B: BufMut>(&self, dst: &mut B) {
         dst.put_u8(self.opcode as u8);
-        dst.put_u8(0); // reserved
+        dst.put_u8(if self.fua { FLAG_FUA } else { 0 });
         dst.put_u16_le(self.cid);
         dst.put_u32_le(self.nsid);
         dst.put_u64_le(self.slba);
@@ -146,7 +219,7 @@ impl NvmeCommand {
             )));
         }
         let opcode = Opcode::from_u8(src.get_u8())?;
-        let _reserved = src.get_u8();
+        let fua = src.get_u8() & FLAG_FUA != 0;
         let cid = src.get_u16_le();
         let nsid = src.get_u32_le();
         let slba = src.get_u64_le();
@@ -158,6 +231,7 @@ impl NvmeCommand {
             nsid,
             slba,
             nlb,
+            fua,
         })
     }
 }
@@ -207,6 +281,18 @@ mod tests {
         let cmd = NvmeCommand::read(1, 1, 0, 32);
         assert_eq!(cmd.transfer_len(4096), 128 * 1024);
         assert_eq!(NvmeCommand::flush(1, 1).transfer_len(4096), 0);
+        // DSM names a range but moves no payload.
+        assert_eq!(NvmeCommand::trim(1, 1, 0, 1 << 20).transfer_len(4096), 0);
+    }
+
+    #[test]
+    fn fua_survives_the_wire() {
+        let cmd = NvmeCommand::write_fua(7, 1, 64, 8);
+        assert!(cmd.fua);
+        let mut buf = BytesMut::new();
+        cmd.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(NvmeCommand::decode(&mut bytes).unwrap(), cmd);
     }
 
     #[test]
@@ -214,15 +300,18 @@ mod tests {
         for cmd in [
             NvmeCommand::read(1, 1, 5, 1),
             NvmeCommand::write(2, 1, 5, 1),
+            NvmeCommand::write_fua(9, 1, 5, 1),
             NvmeCommand::flush(3, 1),
             NvmeCommand::compare(5, 1, 5, 1),
             NvmeCommand::write_zeroes(6, 1, 5, 4),
+            NvmeCommand::trim(7, 1, 5, 4),
             NvmeCommand {
                 cid: 4,
                 opcode: Opcode::Identify,
                 nsid: 0,
                 slba: 0,
                 nlb: 0,
+                fua: false,
             },
         ] {
             let mut buf = BytesMut::new();
@@ -230,5 +319,25 @@ mod tests {
             let mut b = buf.freeze();
             assert_eq!(NvmeCommand::decode(&mut b).unwrap(), cmd);
         }
+    }
+
+    #[test]
+    fn opcode_classes_partition_sensibly() {
+        use Opcode::*;
+        let all = [Flush, Write, Read, Compare, Identify, WriteZeroes, Dsm];
+        for op in all {
+            // Exactly the mutating commands are barred from free retry.
+            assert_eq!(op.retries_freely(), !op.mutates(), "{op:?}");
+            // Payload-free replayable commands must be mutating ones
+            // (otherwise they would just retry freely).
+            if op.replayable_without_payload() {
+                assert!(op.mutates(), "{op:?}");
+                assert!(!op.carries_host_data(), "{op:?}");
+            }
+        }
+        assert!(Write.carries_host_data() && Compare.carries_host_data());
+        assert!(!Read.carries_host_data());
+        assert!(Dsm.mutates() && WriteZeroes.mutates() && Write.mutates());
+        assert!(!Flush.mutates() && !Compare.mutates());
     }
 }

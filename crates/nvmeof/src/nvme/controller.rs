@@ -138,15 +138,22 @@ impl Controller {
                 (NvmeCompletion::ok(cmd.cid), Some(info.to_bytes().to_vec()))
             }
             Opcode::Flush => {
-                if self.namespaces.contains_key(&cmd.nsid) {
-                    // RAM-backed store: flush is a no-op but must be acked.
-                    (NvmeCompletion::ok(cmd.cid), None)
-                } else {
-                    (
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
                         NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
                         None,
-                    )
-                }
+                    );
+                };
+                // Real durability barrier on file-backed stores; RAM
+                // disks ack it as a no-op.
+                let status = ns.flush();
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                )
             }
             Opcode::Read => {
                 let Some(ns) = self.namespaces.get(&cmd.nsid) else {
@@ -177,7 +184,7 @@ impl Controller {
                         None,
                     );
                 };
-                let status = ns.write(cmd.slba, cmd.nlb, payload);
+                let status = ns.write(cmd.slba, cmd.nlb, payload, cmd.fua);
                 (
                     NvmeCompletion {
                         cid: cmd.cid,
@@ -211,14 +218,21 @@ impl Controller {
                     (NvmeCompletion::error(cmd.cid, Status::CompareFailure), None)
                 }
             }
-            Opcode::WriteZeroes => {
+            Opcode::WriteZeroes | Opcode::Dsm => {
                 let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
                     return (
                         NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
                         None,
                     );
                 };
-                let status = ns.write_zeroes(cmd.slba, cmd.nlb);
+                let mut status = if cmd.opcode == Opcode::Dsm {
+                    ns.trim(cmd.slba, cmd.nlb)
+                } else {
+                    ns.write_zeroes(cmd.slba, cmd.nlb)
+                };
+                if status.is_ok() && cmd.fua {
+                    status = ns.flush();
+                }
                 (
                     NvmeCompletion {
                         cid: cmd.cid,
@@ -262,6 +276,7 @@ mod tests {
             nsid: 2,
             slba: 0,
             nlb: 0,
+            fua: false,
         };
         let (comp, payload) = c.execute(&cmd, None);
         assert!(comp.status.is_ok());
@@ -335,6 +350,39 @@ mod tests {
         // Out of range is still caught.
         let (oor, _) = c.execute(&NvmeCommand::write_zeroes(4, 1, 1 << 40, 1), None);
         assert_eq!(oor.status, Status::LbaOutOfRange);
+    }
+
+    #[test]
+    fn dsm_deallocates_and_reads_back_zero() {
+        let mut c = controller();
+        c.execute(&NvmeCommand::write(1, 1, 16, 4), Some(&vec![0xeeu8; 2048]));
+        let (comp, _) = c.execute(&NvmeCommand::trim(2, 1, 16, 4), None);
+        assert!(comp.status.is_ok());
+        let (rc, data) = c.execute(&NvmeCommand::read(3, 1, 16, 4), None);
+        assert!(rc.status.is_ok());
+        assert!(data.unwrap().iter().all(|&b| b == 0));
+        let (oor, _) = c.execute(&NvmeCommand::trim(4, 1, 1 << 40, 1), None);
+        assert_eq!(oor.status, Status::LbaOutOfRange);
+        let (bad_ns, _) = c.execute(&NvmeCommand::trim(5, 99, 0, 1), None);
+        assert_eq!(bad_ns.status, Status::InvalidNamespace);
+    }
+
+    #[test]
+    fn fua_write_and_flush_reach_durable_store() {
+        use oaf_store::vfs::MemVfs;
+        let mut c = Controller::new();
+        let disk =
+            oaf_store::FileDisk::create_on(Box::new(MemVfs::new()), 512, 64, 64 * 1024).unwrap();
+        c.add_namespace(Namespace::with_file(1, disk));
+        let (w, _) = c.execute(
+            &NvmeCommand::write_fua(1, 1, 0, 1),
+            Some(&vec![0x42u8; 512]),
+        );
+        assert!(w.status.is_ok());
+        let (f, _) = c.execute(&NvmeCommand::flush(2, 1), None);
+        assert!(f.status.is_ok());
+        let m = c.namespace(1).unwrap().store_metrics().unwrap();
+        assert!(m.fsyncs.get() >= 2, "FUA write + flush both sync");
     }
 
     #[test]

@@ -1,6 +1,16 @@
-//! NVMe namespaces over a RAM-backed block store.
+//! NVMe namespaces over a pluggable block store.
+//!
+//! The backing storage is anything implementing
+//! [`oaf_ssd::BlockStore`]: the RAM disks for ephemeral targets, or
+//! `oaf-store`'s durable [`FileDisk`] for persistence. Each backend has
+//! an exclusively-owned single-queue form and a shared multi-queue form
+//! that [`Namespace::share`] converts between.
+
+use std::sync::Arc;
 
 use oaf_ssd::ram::{BlockError, RamDisk, SharedRamDisk};
+use oaf_ssd::BlockStore;
+use oaf_store::{FileDisk, SharedFileDisk, StoreMetrics};
 
 use crate::nvme::completion::Status;
 
@@ -9,22 +19,37 @@ use crate::nvme::completion::Status;
 enum Store {
     Owned(RamDisk),
     Shared(SharedRamDisk),
+    File(Box<FileDisk>),
+    SharedFile(SharedFileDisk),
 }
 
 /// A namespace: an LBA range with a block size, backed by a [`RamDisk`]
-/// (or a [`SharedRamDisk`] once shared across queue controllers).
+/// or a durable [`FileDisk`] (shared forms once split across queue
+/// controllers).
 pub struct Namespace {
     id: u32,
     store: Store,
 }
 
 impl Namespace {
-    /// Creates namespace `id` with `blocks` blocks of `block_size` bytes.
+    /// Creates namespace `id` with `blocks` blocks of `block_size`
+    /// bytes, RAM-backed (ephemeral).
     pub fn new(id: u32, block_size: u32, blocks: u64) -> Self {
         assert!(id != 0, "nsid 0 is reserved");
         Namespace {
             id,
             store: Store::Owned(RamDisk::new(block_size, blocks)),
+        }
+    }
+
+    /// Creates namespace `id` over a durable file-backed store. Flush
+    /// and FUA become real `fdatasync` barriers; TRIM punches and
+    /// journals the range.
+    pub fn with_file(id: u32, disk: FileDisk) -> Self {
+        assert!(id != 0, "nsid 0 is reserved");
+        Namespace {
+            id,
+            store: Store::File(Box::new(disk)),
         }
     }
 
@@ -35,16 +60,24 @@ impl Namespace {
     /// `&mut`-free I/O queue into one storage service — the NVMe
     /// multi-queue model. Disjoint LBA ranges may then be driven
     /// concurrently; see [`SharedRamDisk`] for the exclusivity
-    /// contract on overlapping writes.
+    /// contract on overlapping writes (the file-backed form inherits
+    /// the same contract).
     pub fn share(&mut self) -> Namespace {
-        let shared = match std::mem::replace(&mut self.store, Store::Owned(RamDisk::new(512, 0))) {
-            Store::Owned(disk) => disk.into_shared(),
-            Store::Shared(disk) => disk,
+        let store = match std::mem::replace(&mut self.store, Store::Owned(RamDisk::new(512, 0))) {
+            Store::Owned(disk) => Store::Shared(disk.into_shared()),
+            Store::Shared(disk) => Store::Shared(disk),
+            Store::File(disk) => Store::SharedFile(disk.into_shared()),
+            Store::SharedFile(disk) => Store::SharedFile(disk),
         };
-        self.store = Store::Shared(shared.clone());
+        let twin = match &store {
+            Store::Shared(d) => Store::Shared(d.clone()),
+            Store::SharedFile(d) => Store::SharedFile(d.clone()),
+            _ => unreachable!("share() always lands in a shared variant"),
+        };
+        self.store = store;
         Namespace {
             id: self.id,
-            store: Store::Shared(shared),
+            store: twin,
         }
     }
 
@@ -53,76 +86,106 @@ impl Namespace {
         self.id
     }
 
+    fn store(&self) -> &dyn BlockStore {
+        match &self.store {
+            Store::Owned(d) => d,
+            Store::Shared(d) => d,
+            Store::File(d) => &**d,
+            Store::SharedFile(d) => d,
+        }
+    }
+
+    fn store_mut(&mut self) -> &mut dyn BlockStore {
+        match &mut self.store {
+            Store::Owned(d) => d,
+            Store::Shared(d) => d,
+            Store::File(d) => &mut **d,
+            Store::SharedFile(d) => d,
+        }
+    }
+
+    /// The durable store's metric bundle, if this namespace is
+    /// file-backed (`None` for RAM disks). Register it under a `store`
+    /// telemetry scope at wiring time.
+    pub fn store_metrics(&self) -> Option<&Arc<StoreMetrics>> {
+        match &self.store {
+            Store::File(d) => Some(d.metrics()),
+            Store::SharedFile(d) => Some(d.metrics()),
+            _ => None,
+        }
+    }
+
     /// Block size in bytes.
     pub fn block_size(&self) -> u32 {
-        match &self.store {
-            Store::Owned(d) => d.block_size(),
-            Store::Shared(d) => d.block_size(),
-        }
+        self.store().block_size()
     }
 
     /// Capacity in blocks.
     pub fn capacity_blocks(&self) -> u64 {
-        match &self.store {
-            Store::Owned(d) => d.capacity_blocks(),
-            Store::Shared(d) => d.capacity_blocks(),
-        }
+        self.store().capacity_blocks()
     }
 
     fn map_err(e: BlockError) -> Status {
         match e {
             BlockError::OutOfRange { .. } => Status::LbaOutOfRange,
             BlockError::BadBuffer { .. } => Status::InvalidFieldLength,
+            BlockError::Io(_) => Status::InternalError,
+        }
+    }
+
+    fn status(res: Result<(), BlockError>) -> Status {
+        match res {
+            Ok(()) => Status::Success,
+            Err(e) => Self::map_err(e),
         }
     }
 
     /// Reads `nlb` blocks at `slba` into `dst`.
     pub fn read(&self, slba: u64, nlb: u32, dst: &mut [u8]) -> Status {
-        let res = match &self.store {
-            Store::Owned(d) => d.read(slba, nlb, dst),
-            Store::Shared(d) => d.read(slba, nlb, dst),
-        };
-        match res {
-            Ok(()) => Status::Success,
-            Err(e) => Self::map_err(e),
-        }
+        Self::status(self.store().read(slba, nlb, dst))
     }
 
-    /// Writes `nlb` blocks at `slba` from `src`.
-    pub fn write(&mut self, slba: u64, nlb: u32, src: &[u8]) -> Status {
-        let res = match &mut self.store {
-            Store::Owned(d) => d.write(slba, nlb, src),
-            Store::Shared(d) => d.write(slba, nlb, src),
-        };
-        match res {
-            Ok(()) => Status::Success,
-            Err(e) => Self::map_err(e),
-        }
+    /// Writes `nlb` blocks at `slba` from `src`; with `fua` the write
+    /// is durable before the completion is posted.
+    pub fn write(&mut self, slba: u64, nlb: u32, src: &[u8], fua: bool) -> Status {
+        Self::status(self.store_mut().write(slba, nlb, src, fua))
     }
 
     /// Zeroes `nlb` blocks at `slba` in place — no staging buffer, so
     /// Write Zeroes stays allocation-free on the target hot path.
     pub fn write_zeroes(&mut self, slba: u64, nlb: u32) -> Status {
-        let res = match &mut self.store {
-            Store::Owned(d) => d.write_zeroes(slba, nlb),
-            Store::Shared(d) => d.write_zeroes(slba, nlb),
-        };
-        match res {
-            Ok(()) => Status::Success,
-            Err(e) => Self::map_err(e),
-        }
+        Self::status(self.store_mut().write_zeroes(slba, nlb))
+    }
+
+    /// Deallocates `nlb` blocks at `slba` (Dataset Management with the
+    /// deallocate attribute). Reads of a trimmed range return zeroes.
+    pub fn trim(&mut self, slba: u64, nlb: u32) -> Status {
+        Self::status(self.store_mut().trim(slba, nlb))
+    }
+
+    /// Durability barrier: everything acknowledged before this flush
+    /// survives power loss (a no-op for RAM disks, `fdatasync` for
+    /// file-backed stores).
+    pub fn flush(&mut self) -> Status {
+        Self::status(self.store_mut().flush())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oaf_store::vfs::MemVfs;
+
+    fn file_ns(id: u32) -> Namespace {
+        let disk = FileDisk::create_on(Box::new(MemVfs::new()), 512, 64, 64 * 1024).unwrap();
+        Namespace::with_file(id, disk)
+    }
 
     #[test]
     fn io_roundtrip() {
         let mut ns = Namespace::new(1, 512, 64);
         let data = vec![7u8; 1024];
-        assert_eq!(ns.write(0, 2, &data), Status::Success);
+        assert_eq!(ns.write(0, 2, &data, false), Status::Success);
         let mut out = vec![0u8; 1024];
         assert_eq!(ns.read(0, 2, &mut out), Status::Success);
         assert_eq!(out, data);
@@ -131,8 +194,11 @@ mod tests {
     #[test]
     fn errors_map_to_nvme_statuses() {
         let mut ns = Namespace::new(1, 512, 4);
-        assert_eq!(ns.write(4, 1, &[0u8; 512]), Status::LbaOutOfRange);
-        assert_eq!(ns.write(0, 1, &[0u8; 100]), Status::InvalidFieldLength);
+        assert_eq!(ns.write(4, 1, &[0u8; 512], false), Status::LbaOutOfRange);
+        assert_eq!(
+            ns.write(0, 1, &[0u8; 100], false),
+            Status::InvalidFieldLength
+        );
         let mut buf = [0u8; 512];
         assert_eq!(ns.read(100, 1, &mut buf), Status::LbaOutOfRange);
     }
@@ -155,11 +221,11 @@ mod tests {
     fn shared_views_see_one_storage() {
         let mut a = Namespace::new(1, 512, 64);
         // Bytes written before sharing survive the conversion.
-        assert_eq!(a.write(0, 1, &[0x11u8; 512]), Status::Success);
+        assert_eq!(a.write(0, 1, &[0x11u8; 512], false), Status::Success);
         let mut b = a.share();
         let mut c = a.share(); // idempotent: still the same storage
-        assert_eq!(b.write(1, 1, &[0x22u8; 512]), Status::Success);
-        assert_eq!(c.write(2, 1, &[0x33u8; 512]), Status::Success);
+        assert_eq!(b.write(1, 1, &[0x22u8; 512], false), Status::Success);
+        assert_eq!(c.write(2, 1, &[0x33u8; 512], false), Status::Success);
         let mut out = vec![0u8; 512 * 3];
         assert_eq!(a.read(0, 3, &mut out), Status::Success);
         assert_eq!(out[0], 0x11);
@@ -174,7 +240,42 @@ mod tests {
     fn shared_views_keep_error_mapping() {
         let mut a = Namespace::new(1, 512, 4);
         let mut b = a.share();
-        assert_eq!(b.write(4, 1, &[0u8; 512]), Status::LbaOutOfRange);
-        assert_eq!(b.write(0, 1, &[0u8; 100]), Status::InvalidFieldLength);
+        assert_eq!(b.write(4, 1, &[0u8; 512], false), Status::LbaOutOfRange);
+        assert_eq!(
+            b.write(0, 1, &[0u8; 100], false),
+            Status::InvalidFieldLength
+        );
+    }
+
+    #[test]
+    fn file_backed_namespace_flush_trim_fua() {
+        let mut ns = file_ns(1);
+        assert_eq!(ns.write(0, 1, &[0x5au8; 512], true), Status::Success);
+        assert_eq!(ns.flush(), Status::Success);
+        assert_eq!(ns.trim(0, 1), Status::Success);
+        let mut out = [0xffu8; 512];
+        assert_eq!(ns.read(0, 1, &mut out), Status::Success);
+        assert!(out.iter().all(|&b| b == 0));
+        let m = ns.store_metrics().expect("file-backed ns exposes metrics");
+        assert!(m.fsyncs.get() >= 2, "FUA + flush both sync");
+        assert_eq!(m.trims.get(), 1);
+        assert!(Namespace::new(2, 512, 4).store_metrics().is_none());
+    }
+
+    #[test]
+    fn file_backed_share_keeps_one_journal() {
+        let mut a = file_ns(1);
+        let mut b = a.share();
+        assert_eq!(a.write(0, 1, &[1u8; 512], false), Status::Success);
+        assert_eq!(b.write(1, 1, &[2u8; 512], false), Status::Success);
+        assert_eq!(b.flush(), Status::Success);
+        let mut out = [0u8; 512];
+        assert_eq!(a.read(1, 1, &mut out), Status::Success);
+        assert_eq!(out[0], 2);
+        // Same underlying metric bundle through both views.
+        assert_eq!(
+            a.store_metrics().unwrap().log_appends.get(),
+            b.store_metrics().unwrap().log_appends.get()
+        );
     }
 }

@@ -35,64 +35,10 @@ pub const HEADER_LEN: usize = 12;
 /// Byte offset of the CRC32 word within the common header.
 const CRC_OFFSET: usize = 8;
 
-/// CRC-32 (IEEE reflected polynomial) slicing-by-8 lookup tables, built
-/// at compile time so the hot encode/decode paths stay table-driven and
-/// allocation free. Table 0 is the classic byte-at-a-time table; table
-/// `j` maps a byte to its CRC contribution `j` positions further along,
-/// letting the update loop fold 8 payload bytes per iteration — the
-/// digest is the data plane's per-byte cost, so this is what decides
-/// whether a CRC-stamped stream keeps up with the socket.
-const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
-
-const fn build_crc_tables() -> [[u32; 256]; 8] {
-    let mut t = [[0u32; 256]; 8];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        t[0][i] = c;
-        i += 1;
-    }
-    let mut j = 1;
-    while j < 8 {
-        let mut i = 0;
-        while i < 256 {
-            let prev = t[j - 1][i];
-            t[j][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
-            i += 1;
-        }
-        j += 1;
-    }
-    t
-}
-
-fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
-    let mut chunks = bytes.chunks_exact(8);
-    for c in chunks.by_ref() {
-        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
-        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
-        crc = CRC_TABLES[7][(lo & 0xff) as usize]
-            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
-            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
-            ^ CRC_TABLES[4][(lo >> 24) as usize]
-            ^ CRC_TABLES[3][(hi & 0xff) as usize]
-            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
-            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
-            ^ CRC_TABLES[0][(hi >> 24) as usize];
-    }
-    for &b in chunks.remainder() {
-        crc = CRC_TABLES[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
-    }
-    crc
-}
+// The CRC implementation (slicing-by-8, IEEE polynomial) is shared with
+// the on-disk intent-log format — one codec for fabric and storage, so
+// the two can never drift on polynomial or table construction.
+use oaf_store::crc32::crc32_update;
 
 /// CRC32 of a whole frame with the header's CRC field treated as zero.
 fn frame_crc(frame: &[u8]) -> u32 {

@@ -345,11 +345,15 @@ impl TargetConnection {
             return Ok(());
         }
         match c.cmd.opcode {
-            // Compare carries host data exactly like a write: in-capsule,
-            // via R2T, or as a shared-memory slot reference.
-            Opcode::Write | Opcode::Compare => self.on_write(c, ctrl, out),
             Opcode::Read => self.on_read(c.cmd, ctrl, out),
-            Opcode::Flush | Opcode::Identify | Opcode::WriteZeroes => {
+            // Anything shipping host data (write, compare) goes through
+            // the in-capsule/R2T/shm-reference write path; everything
+            // else (flush, identify, write-zeroes, DSM) executes
+            // directly from the capsule. The classification lives on
+            // `Opcode` so the initiator's retry policy and this dispatch
+            // can never drift apart.
+            op if op.carries_host_data() => self.on_write(c, ctrl, out),
+            _ => {
                 let (comp, payload) = ctrl.execute(&c.cmd, None);
                 if let Some(data) = payload {
                     out.push(Pdu::C2HData(DataPdu {

@@ -1,0 +1,138 @@
+//! The block-device abstraction behind every NVMe namespace.
+//!
+//! [`BlockStore`] is the contract a backing store must meet to sit
+//! behind the target's `Namespace`: fixed-geometry block reads/writes,
+//! Write Zeroes, TRIM (Dataset Management), and the durability pair —
+//! an FUA bit on writes and an explicit flush. The RAM-backed stores in
+//! [`crate::ram`] implement it trivially (RAM is "always durable", so
+//! FUA and flush are no-ops and TRIM is a zero-fill); the file-backed
+//! log-structured store in `oaf-store` implements it with a real intent
+//! log and `fsync`.
+
+use crate::ram::{BlockError, RamDisk, SharedRamDisk};
+
+/// A fixed-geometry block device.
+///
+/// Geometry is immutable after construction. All ranges are validated
+/// the same way ([`check_range`]): `count` must be ≥ 1, `lba + count`
+/// must fit the capacity, and payload buffers must be exactly
+/// `count * block_size` bytes.
+///
+/// [`check_range`]: crate::ram::check_range
+pub trait BlockStore: Send {
+    /// Block size in bytes (a power of two).
+    fn block_size(&self) -> u32;
+
+    /// Capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Reads `count` blocks starting at `lba` into `buf`.
+    fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError>;
+
+    /// Writes `count` blocks starting at `lba` from `buf`. With `fua`
+    /// set the write must be durable before the call returns (Force
+    /// Unit Access); stores without a volatile cache may ignore it.
+    fn write(&mut self, lba: u64, count: u32, buf: &[u8], fua: bool) -> Result<(), BlockError>;
+
+    /// Zeroes `count` blocks starting at `lba` without a payload
+    /// transfer (NVMe Write Zeroes). Must not allocate a staging buffer.
+    fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError>;
+
+    /// Deallocates `count` blocks starting at `lba` (NVMe Dataset
+    /// Management / TRIM). Subsequent reads of the range return zeroes.
+    fn trim(&mut self, lba: u64, count: u32) -> Result<(), BlockError>;
+
+    /// Makes every acknowledged write durable (NVMe Flush). A no-op for
+    /// stores without a volatile cache.
+    fn flush(&mut self) -> Result<(), BlockError>;
+}
+
+impl BlockStore for RamDisk {
+    fn block_size(&self) -> u32 {
+        RamDisk::block_size(self)
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        RamDisk::capacity_blocks(self)
+    }
+
+    fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        RamDisk::read(self, lba, count, buf)
+    }
+
+    fn write(&mut self, lba: u64, count: u32, buf: &[u8], _fua: bool) -> Result<(), BlockError> {
+        RamDisk::write(self, lba, count, buf)
+    }
+
+    fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        RamDisk::write_zeroes(self, lba, count)
+    }
+
+    fn trim(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        // RAM-backed deallocate: reads after TRIM must return zeroes,
+        // which is exactly Write Zeroes here.
+        RamDisk::write_zeroes(self, lba, count)
+    }
+
+    fn flush(&mut self) -> Result<(), BlockError> {
+        Ok(())
+    }
+}
+
+impl BlockStore for SharedRamDisk {
+    fn block_size(&self) -> u32 {
+        SharedRamDisk::block_size(self)
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        SharedRamDisk::capacity_blocks(self)
+    }
+
+    fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        SharedRamDisk::read(self, lba, count, buf)
+    }
+
+    fn write(&mut self, lba: u64, count: u32, buf: &[u8], _fua: bool) -> Result<(), BlockError> {
+        SharedRamDisk::write(self, lba, count, buf)
+    }
+
+    fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        SharedRamDisk::write_zeroes(self, lba, count)
+    }
+
+    fn trim(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        SharedRamDisk::write_zeroes(self, lba, count)
+    }
+
+    fn flush(&mut self) -> Result<(), BlockError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn BlockStore) {
+        let bs = store.block_size() as usize;
+        let payload = vec![0xa5u8; bs];
+        store.write(1, 1, &payload, true).unwrap();
+        store.flush().unwrap();
+        let mut out = vec![0u8; bs];
+        store.read(1, 1, &mut out).unwrap();
+        assert_eq!(out, payload);
+        store.trim(1, 1).unwrap();
+        store.read(1, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "TRIM must read back zero");
+        store.write(2, 1, &payload, false).unwrap();
+        store.write_zeroes(2, 1).unwrap();
+        store.read(2, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ram_disks_honor_the_trait_contract() {
+        exercise(&mut RamDisk::new(512, 16));
+        exercise(&mut SharedRamDisk::new(512, 16));
+    }
+}

@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod block;
 pub mod config;
 pub mod device;
 pub mod qpair;
 pub mod ram;
 
+pub use block::BlockStore;
 pub use config::SsdParams;
 pub use device::{IoOp, SsdDevice};
 pub use qpair::QueuePair;
-pub use ram::{RamDisk, SharedRamDisk};
+pub use ram::{BlockError, RamDisk, SharedRamDisk};

@@ -28,6 +28,10 @@ pub enum BlockError {
         /// Provided byte length.
         got: usize,
     },
+    /// The backing store failed underneath the block layer (I/O error,
+    /// corrupt on-disk metadata, or an injected crash). RAM-backed
+    /// stores never produce this; file-backed ones do.
+    Io(String),
 }
 
 impl fmt::Display for BlockError {
@@ -46,13 +50,18 @@ impl fmt::Display for BlockError {
             BlockError::BadBuffer { expected, got } => {
                 write!(f, "buffer length {got} != expected {expected}")
             }
+            BlockError::Io(msg) => write!(f, "storage I/O failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for BlockError {}
 
-fn check_range(
+/// Validates an LBA range and payload length against a device geometry;
+/// returns `(byte_offset, byte_len)` of the access. Shared by every
+/// [`BlockStore`](crate::block::BlockStore) implementation so range and
+/// buffer errors are uniform across RAM- and file-backed stores.
+pub fn check_range(
     block_size: u32,
     capacity_blocks: u64,
     lba: u64,

@@ -1,0 +1,109 @@
+//! CRC-32 (IEEE reflected polynomial), slicing-by-8.
+//!
+//! The single CRC implementation of the workspace: the NVMe/TCP frame
+//! digest in `oaf-nvmeof::pdu` and the on-disk log/superblock records of
+//! this crate both fold through these tables. It lives here (the lowest
+//! crate that needs it above `oaf-ssd`) so the protocol and storage
+//! layers cannot drift apart on polynomial or table construction.
+//!
+//! Tables are built at compile time; the update loop folds 8 bytes per
+//! iteration, which is what keeps a CRC-stamped stream ahead of both the
+//! socket and the disk.
+
+/// CRC-32 (IEEE reflected polynomial) slicing-by-8 lookup tables, built
+/// at compile time so the hot encode/decode paths stay table-driven and
+/// allocation free. Table 0 is the classic byte-at-a-time table; table
+/// `j` maps a byte to its CRC contribution `j` positions further along,
+/// letting the update loop fold 8 payload bytes per iteration.
+const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// Folds `bytes` into a running CRC state. Start from `0xFFFF_FFFF`,
+/// feed every chunk, and finish with a bitwise NOT ([`crc32`] does the
+/// whole dance for a contiguous buffer).
+pub fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xff) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xff) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = CRC_TABLES[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// One-shot CRC-32 of a contiguous buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1021u32).map(|i| (i % 251) as u8).collect();
+        let mut c = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(13) {
+            c = crc32_update(c, chunk);
+        }
+        assert_eq!(!c, crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0x5au8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), base, "flip at byte {i} undetected");
+            data[i] ^= 1;
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! The log-structured file-backed block device.
+//!
+//! ## Write path
+//!
+//! Every mutation appends an *intent record* to the log (full payload —
+//! data journaling), then applies in place to the data region:
+//!
+//! ```text
+//! write(lba, buf, fua):
+//!   1. checkpoint if the record would not fit the log
+//!   2. append  [hdr ‖ payload ‖ crc]  at log tail      (intent)
+//!   3. write payload at data_offset + lba·bs            (apply)
+//!   4. if fua: sync                                     (retire durably)
+//! ```
+//!
+//! Nothing is durable until a sync barrier (FUA, Flush, checkpoint), so
+//! a crash may keep any subset of steps — recovery makes that safe, not
+//! write ordering.
+//!
+//! ## Recovery invariants
+//!
+//! On open the log is replayed idempotently from the checkpoint
+//! superblock. A record is live iff magic, epoch, *consecutive*
+//! sequence number, geometry bounds and CRC all validate; the first
+//! record that doesn't is the end of the durable prefix (a torn tail —
+//! counted and truncated — or residue of an earlier epoch). Replay
+//! rewrites every live record's full payload, so:
+//!
+//! * a write whose data apply was torn is healed by its log record;
+//! * a write whose *log append* was torn is rolled back to the previous
+//!   durable prefix — it was never acknowledged as durable, so the
+//!   old-or-new outcome is within the device contract;
+//! * replaying twice is a no-op (same bytes, same order): the state
+//!   after recovery equals the longest durable prefix, always.
+//!
+//! ## Checkpoint
+//!
+//! When the log fills: sync everything, bump the epoch, write the
+//! superblock into the *alternate* slot, sync again, reset the tail.
+//! Records of the old epoch left in the log region fail the epoch check
+//! on the next open, so the log is logically empty without being
+//! erased.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use oaf_ssd::block::BlockStore;
+use oaf_ssd::ram::{check_range, BlockError};
+
+use crate::log::{
+    rec_len, RecordHeader, RecordKind, Superblock, LOG_OFFSET, REC_FLAG_FUA, REC_HDR_LEN,
+    SB_SLOT_LEN,
+};
+use crate::metrics::StoreMetrics;
+use crate::vfs::{RealVfs, Vfs};
+
+/// Default intent-log size for path-based constructors.
+pub const DEFAULT_LOG_BYTES: u64 = 4 << 20;
+
+/// Zero source for allocation-free range punching.
+static ZERO_CHUNK: [u8; 4096] = [0u8; 4096];
+
+fn io_err(ctx: &str, e: std::io::Error) -> BlockError {
+    BlockError::Io(format!("{ctx}: {e}"))
+}
+
+/// A durable, log-structured, file-backed block device. Drop-in behind
+/// a `Namespace` wherever `RamDisk` goes; [`FileDisk::into_shared`] is
+/// the multi-queue form.
+pub struct FileDisk {
+    vfs: Box<dyn Vfs>,
+    sb: Superblock,
+    /// Byte offset of the next append within the log region.
+    log_tail: u64,
+    /// Sequence number of the next record.
+    next_seq: u64,
+    /// Bytes written since the last sync barrier (for `flushed_bytes`).
+    dirty_bytes: u64,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl FileDisk {
+    /// Creates a fresh store file at `path` (truncating any previous
+    /// content) with [`DEFAULT_LOG_BYTES`] of intent log.
+    pub fn create(
+        path: impl AsRef<Path>,
+        block_size: u32,
+        blocks: u64,
+    ) -> Result<FileDisk, BlockError> {
+        let vfs = RealVfs::create(path.as_ref()).map_err(|e| io_err("create", e))?;
+        Self::create_on(Box::new(vfs), block_size, blocks, DEFAULT_LOG_BYTES)
+    }
+
+    /// Opens an existing store file at `path`, replaying the intent log.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileDisk, BlockError> {
+        let vfs = RealVfs::open(path.as_ref()).map_err(|e| io_err("open", e))?;
+        Self::open_on(Box::new(vfs))
+    }
+
+    /// Creates a fresh store on an arbitrary [`Vfs`] (tests inject
+    /// [`MemVfs`]/[`CrashVfs`] here).
+    ///
+    /// [`MemVfs`]: crate::vfs::MemVfs
+    /// [`CrashVfs`]: crate::vfs::CrashVfs
+    pub fn create_on(
+        mut vfs: Box<dyn Vfs>,
+        block_size: u32,
+        blocks: u64,
+        log_bytes: u64,
+    ) -> Result<FileDisk, BlockError> {
+        assert!(
+            block_size > 0 && block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(log_bytes >= 64 * 1024, "intent log must be at least 64 KiB");
+        let sb = Superblock {
+            block_size,
+            capacity_blocks: blocks,
+            log_bytes,
+            epoch: 0,
+            next_seq: 1,
+        };
+        vfs.set_len(sb.file_len()).map_err(|e| io_err("size", e))?;
+        vfs.write_at(Superblock::slot_offset(sb.epoch), &sb.encode())
+            .map_err(|e| io_err("superblock", e))?;
+        vfs.sync().map_err(|e| io_err("sync", e))?;
+        Ok(FileDisk {
+            vfs,
+            sb,
+            log_tail: 0,
+            next_seq: 1,
+            dirty_bytes: 0,
+            metrics: StoreMetrics::new(),
+        })
+    }
+
+    /// Opens a store on an arbitrary [`Vfs`]: validates the superblock
+    /// slots, replays the live log prefix idempotently, truncates any
+    /// torn tail, and syncs the recovered state. Never checkpoints —
+    /// opening twice replays the identical prefix twice.
+    pub fn open_on(vfs: Box<dyn Vfs>) -> Result<FileDisk, BlockError> {
+        let mut disk = Self::mount(vfs)?;
+        disk.recover()?;
+        Ok(disk)
+    }
+
+    /// Reads + validates superblocks only (no replay) — recovery's
+    /// first half, split out for tests that inspect the scan itself.
+    fn mount(vfs: Box<dyn Vfs>) -> Result<FileDisk, BlockError> {
+        let mut slot = [0u8; SB_SLOT_LEN];
+        let mut best: Option<Superblock> = None;
+        for i in 0..2u64 {
+            if vfs.read_at(i * SB_SLOT_LEN as u64, &mut slot).is_ok() {
+                if let Some(sb) = Superblock::decode(&slot) {
+                    if best.map(|b| sb.epoch > b.epoch).unwrap_or(true) {
+                        best = Some(sb);
+                    }
+                }
+            }
+        }
+        let sb = best.ok_or_else(|| BlockError::Io("no valid superblock".into()))?;
+        let len = vfs.len().map_err(|e| io_err("len", e))?;
+        if len < sb.file_len() {
+            return Err(BlockError::Io(format!(
+                "file truncated: {len} < {}",
+                sb.file_len()
+            )));
+        }
+        Ok(FileDisk {
+            vfs,
+            next_seq: sb.next_seq,
+            sb,
+            log_tail: 0,
+            dirty_bytes: 0,
+            metrics: StoreMetrics::new(),
+        })
+    }
+
+    /// Scans the log from the checkpoint, replaying every record that
+    /// validates and stopping at the first that does not.
+    fn recover(&mut self) -> Result<(), BlockError> {
+        let mut hdr_raw = [0u8; REC_HDR_LEN];
+        let mut payload: Vec<u8> = Vec::new();
+        let mut pos: u64 = 0;
+        let mut expected_seq = self.sb.next_seq;
+        while pos + rec_len(0) as u64 <= self.sb.log_bytes {
+            self.vfs
+                .read_at(LOG_OFFSET + pos, &mut hdr_raw)
+                .map_err(|e| io_err("log read", e))?;
+            let Some(hdr) = RecordHeader::decode(&hdr_raw) else {
+                break; // residue / zeroes: clean end of the log
+            };
+            if hdr.epoch != self.sb.epoch || hdr.seq != expected_seq {
+                break; // record of a previous epoch: clean end
+            }
+            // From here the record claims to be ours; anything invalid
+            // about it is a torn append.
+            if !self.header_sane(&hdr)
+                || pos + rec_len(hdr.payload_len as usize) as u64 > self.sb.log_bytes
+            {
+                self.metrics.torn_records.inc();
+                break;
+            }
+            let plen = hdr.payload_len as usize;
+            payload.clear();
+            payload.resize(plen, 0);
+            self.vfs
+                .read_at(LOG_OFFSET + pos + REC_HDR_LEN as u64, &mut payload)
+                .map_err(|e| io_err("log read", e))?;
+            let mut crc_raw = [0u8; 4];
+            self.vfs
+                .read_at(LOG_OFFSET + pos + (REC_HDR_LEN + plen) as u64, &mut crc_raw)
+                .map_err(|e| io_err("log read", e))?;
+            if u32::from_le_bytes(crc_raw) != crate::log::record_crc(&hdr_raw, &payload) {
+                self.metrics.torn_records.inc();
+                break;
+            }
+            self.replay(&hdr, &payload)?;
+            self.metrics.replay_ops.inc();
+            pos += rec_len(plen) as u64;
+            expected_seq += 1;
+        }
+        self.log_tail = pos;
+        self.next_seq = expected_seq;
+        // The replayed state must itself survive the next crash.
+        self.sync_barrier()?;
+        Ok(())
+    }
+
+    /// Geometry validation for a scanned record header.
+    fn header_sane(&self, hdr: &RecordHeader) -> bool {
+        let bs = u64::from(self.sb.block_size);
+        let in_range = hdr
+            .lba
+            .checked_add(u64::from(hdr.nlb))
+            .map(|end| end <= self.sb.capacity_blocks)
+            .unwrap_or(false);
+        match hdr.kind {
+            RecordKind::Write => {
+                hdr.nlb > 0 && in_range && u64::from(hdr.payload_len) == u64::from(hdr.nlb) * bs
+            }
+            RecordKind::Trim | RecordKind::Zeroes => {
+                hdr.nlb > 0 && in_range && hdr.payload_len == 0
+            }
+            RecordKind::Flush => hdr.nlb == 0 && hdr.payload_len == 0,
+        }
+    }
+
+    /// Applies one recovered record to the data region.
+    fn replay(&mut self, hdr: &RecordHeader, payload: &[u8]) -> Result<(), BlockError> {
+        match hdr.kind {
+            RecordKind::Write => {
+                let off = self.data_off(hdr.lba);
+                self.vfs
+                    .write_at(off, payload)
+                    .map_err(|e| io_err("replay write", e))?;
+                self.dirty_bytes += payload.len() as u64;
+            }
+            RecordKind::Trim | RecordKind::Zeroes => {
+                self.punch(hdr.lba, hdr.nlb)?;
+            }
+            RecordKind::Flush => {}
+        }
+        Ok(())
+    }
+
+    fn data_off(&self, lba: u64) -> u64 {
+        self.sb.data_offset() + lba * u64::from(self.sb.block_size)
+    }
+
+    /// Zero-fills `count` blocks from the static chunk — no staging
+    /// buffer, so TRIM/Write Zeroes stay allocation-free.
+    fn punch(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        let mut off = self.data_off(lba);
+        let mut left = u64::from(count) * u64::from(self.sb.block_size);
+        while left > 0 {
+            let n = left.min(ZERO_CHUNK.len() as u64) as usize;
+            self.vfs
+                .write_at(off, &ZERO_CHUNK[..n])
+                .map_err(|e| io_err("punch", e))?;
+            off += n as u64;
+            left -= n as u64;
+        }
+        self.dirty_bytes += u64::from(count) * u64::from(self.sb.block_size);
+        Ok(())
+    }
+
+    /// One durability barrier: `fdatasync` + the flushed-bytes/latency
+    /// bookkeeping.
+    fn sync_barrier(&mut self) -> Result<(), BlockError> {
+        let t0 = Instant::now();
+        self.vfs.sync().map_err(|e| io_err("fsync", e))?;
+        self.metrics.fsyncs.inc();
+        self.metrics.fsync_ns.record_nanos(t0.elapsed());
+        self.metrics.flushed_bytes.add(self.dirty_bytes);
+        self.dirty_bytes = 0;
+        Ok(())
+    }
+
+    /// Appends one intent record at the log tail, checkpointing first if
+    /// it would not fit. Three positional writes (header, payload, CRC
+    /// trailer) — the payload is never copied into a staging buffer.
+    fn append_record(
+        &mut self,
+        kind: RecordKind,
+        flags: u8,
+        lba: u64,
+        nlb: u32,
+        payload: &[u8],
+    ) -> Result<(), BlockError> {
+        let total = rec_len(payload.len()) as u64;
+        if total > self.sb.log_bytes {
+            return Err(BlockError::Io(format!(
+                "I/O of {} bytes cannot be journaled in a {}-byte log",
+                payload.len(),
+                self.sb.log_bytes
+            )));
+        }
+        if self.log_tail + total > self.sb.log_bytes {
+            self.checkpoint()?;
+        }
+        let hdr = RecordHeader {
+            seq: self.next_seq,
+            epoch: self.sb.epoch,
+            kind,
+            flags,
+            lba,
+            nlb,
+            payload_len: payload.len() as u32,
+        };
+        let hdr_raw = hdr.encode();
+        let crc = crate::log::record_crc(&hdr_raw, payload).to_le_bytes();
+        let base = LOG_OFFSET + self.log_tail;
+        self.vfs
+            .write_at(base, &hdr_raw)
+            .map_err(|e| io_err("log append", e))?;
+        if !payload.is_empty() {
+            self.vfs
+                .write_at(base + REC_HDR_LEN as u64, payload)
+                .map_err(|e| io_err("log append", e))?;
+        }
+        self.vfs
+            .write_at(base + (REC_HDR_LEN + payload.len()) as u64, &crc)
+            .map_err(|e| io_err("log append", e))?;
+        self.log_tail += total;
+        self.next_seq += 1;
+        self.dirty_bytes += total;
+        self.metrics.log_appends.inc();
+        self.metrics.log_bytes.add(total);
+        Ok(())
+    }
+
+    /// Folds the log into the data region: sync everything, bump the
+    /// epoch, persist the superblock into the alternate slot, sync
+    /// again, reset the tail. Crash-safe at every step — either the old
+    /// epoch (replayable log) or the new one (empty log over synced
+    /// data) mounts.
+    fn checkpoint(&mut self) -> Result<(), BlockError> {
+        self.sync_barrier()?;
+        let next = Superblock {
+            epoch: self.sb.epoch + 1,
+            next_seq: self.next_seq,
+            ..self.sb
+        };
+        self.vfs
+            .write_at(Superblock::slot_offset(next.epoch), &next.encode())
+            .map_err(|e| io_err("superblock", e))?;
+        self.sync_barrier()?;
+        self.sb = next;
+        self.log_tail = 0;
+        self.metrics.checkpoints.inc();
+        Ok(())
+    }
+
+    /// This store's metric bundle (detached until registered into a
+    /// [`oaf_telemetry::Registry`] scope — conventionally `store`).
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
+    }
+
+    /// Current checkpoint epoch (bumped once per checkpoint).
+    pub fn epoch(&self) -> u64 {
+        self.sb.epoch
+    }
+
+    /// Converts this disk into a [`SharedFileDisk`] over the same file,
+    /// for multi-queue access from several reactor threads.
+    pub fn into_shared(self) -> SharedFileDisk {
+        SharedFileDisk {
+            block_size: self.sb.block_size,
+            capacity_blocks: self.sb.capacity_blocks,
+            metrics: Arc::clone(&self.metrics),
+            inner: Arc::new(parking_lot::Mutex::new(self)),
+        }
+    }
+
+    fn check(&self, lba: u64, count: u32, buf_len: usize) -> Result<(usize, usize), BlockError> {
+        check_range(
+            self.sb.block_size,
+            self.sb.capacity_blocks,
+            lba,
+            count,
+            buf_len,
+        )
+    }
+}
+
+impl BlockStore for FileDisk {
+    fn block_size(&self) -> u32 {
+        self.sb.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.sb.capacity_blocks
+    }
+
+    fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        self.check(lba, count, buf.len())?;
+        self.vfs
+            .read_at(self.data_off(lba), buf)
+            .map_err(|e| io_err("read", e))
+    }
+
+    fn write(&mut self, lba: u64, count: u32, buf: &[u8], fua: bool) -> Result<(), BlockError> {
+        self.check(lba, count, buf.len())?;
+        let flags = if fua { REC_FLAG_FUA } else { 0 };
+        self.append_record(RecordKind::Write, flags, lba, count, buf)?;
+        self.vfs
+            .write_at(self.data_off(lba), buf)
+            .map_err(|e| io_err("write", e))?;
+        self.dirty_bytes += buf.len() as u64;
+        if fua {
+            self.sync_barrier()?;
+        }
+        Ok(())
+    }
+
+    fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        let expected = count as usize * self.sb.block_size as usize;
+        self.check(lba, count, expected)?;
+        self.append_record(RecordKind::Zeroes, 0, lba, count, &[])?;
+        self.punch(lba, count)
+    }
+
+    fn trim(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        let expected = count as usize * self.sb.block_size as usize;
+        self.check(lba, count, expected)?;
+        self.append_record(RecordKind::Trim, 0, lba, count, &[])?;
+        self.punch(lba, count)?;
+        self.metrics.trims.inc();
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), BlockError> {
+        self.append_record(RecordKind::Flush, 0, 0, 0, &[])?;
+        self.sync_barrier()
+    }
+}
+
+/// A [`FileDisk`] shareable across reactor threads — the multi-queue
+/// form behind `Controller::share()`.
+///
+/// The fabric's LBA-exclusivity contract (disjoint ranges per queue,
+/// overlapping writes are a protocol violation by the initiators) is the
+/// same as [`SharedRamDisk`]'s; on top of it, the intent log is a
+/// single append stream, so each operation takes a short internal lock
+/// for the journal append + in-place apply. Geometry queries stay
+/// lock-free.
+///
+/// [`SharedRamDisk`]: oaf_ssd::ram::SharedRamDisk
+#[derive(Clone)]
+pub struct SharedFileDisk {
+    block_size: u32,
+    capacity_blocks: u64,
+    metrics: Arc<StoreMetrics>,
+    inner: Arc<parking_lot::Mutex<FileDisk>>,
+}
+
+impl SharedFileDisk {
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// The shared metric bundle (one per underlying file).
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
+    }
+
+    /// Reads `count` blocks starting at `lba` into `buf`.
+    pub fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        self.inner.lock().read(lba, count, buf)
+    }
+
+    /// Writes `count` blocks starting at `lba` from `buf`; with `fua`
+    /// the write is durable before returning.
+    pub fn write(&self, lba: u64, count: u32, buf: &[u8], fua: bool) -> Result<(), BlockError> {
+        self.inner.lock().write(lba, count, buf, fua)
+    }
+
+    /// Zeroes `count` blocks starting at `lba` (journaled).
+    pub fn write_zeroes(&self, lba: u64, count: u32) -> Result<(), BlockError> {
+        self.inner.lock().write_zeroes(lba, count)
+    }
+
+    /// Deallocates `count` blocks starting at `lba` (journaled).
+    pub fn trim(&self, lba: u64, count: u32) -> Result<(), BlockError> {
+        self.inner.lock().trim(lba, count)
+    }
+
+    /// Durability barrier for every acknowledged write.
+    pub fn flush(&self) -> Result<(), BlockError> {
+        self.inner.lock().flush()
+    }
+}
+
+impl BlockStore for SharedFileDisk {
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn read(&self, lba: u64, count: u32, buf: &mut [u8]) -> Result<(), BlockError> {
+        SharedFileDisk::read(self, lba, count, buf)
+    }
+
+    fn write(&mut self, lba: u64, count: u32, buf: &[u8], fua: bool) -> Result<(), BlockError> {
+        SharedFileDisk::write(self, lba, count, buf, fua)
+    }
+
+    fn write_zeroes(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        SharedFileDisk::write_zeroes(self, lba, count)
+    }
+
+    fn trim(&mut self, lba: u64, count: u32) -> Result<(), BlockError> {
+        SharedFileDisk::trim(self, lba, count)
+    }
+
+    fn flush(&mut self) -> Result<(), BlockError> {
+        SharedFileDisk::flush(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    fn mem_disk(log_bytes: u64) -> FileDisk {
+        FileDisk::create_on(Box::new(MemVfs::new()), 512, 64, log_bytes).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_journal() {
+        let mut d = mem_disk(64 * 1024);
+        let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        d.write(4, 2, &payload, false).unwrap();
+        let mut out = vec![0u8; 1024];
+        d.read(4, 2, &mut out).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(d.metrics().log_appends.get(), 1);
+        assert!(d.metrics().log_bytes.get() >= 1024 + 44);
+    }
+
+    #[test]
+    fn fua_and_flush_hit_the_sync_barrier() {
+        let mut d = mem_disk(64 * 1024);
+        d.write(0, 1, &[7u8; 512], true).unwrap();
+        assert_eq!(d.metrics().fsyncs.get(), 1);
+        d.flush().unwrap();
+        assert_eq!(d.metrics().fsyncs.get(), 2);
+        assert_eq!(d.metrics().fsync_ns.snapshot().count, 2);
+        assert!(d.metrics().flushed_bytes.get() >= 512);
+    }
+
+    #[test]
+    fn trim_reads_back_zero_and_counts() {
+        let mut d = mem_disk(64 * 1024);
+        d.write(8, 4, &vec![0xffu8; 2048], false).unwrap();
+        d.trim(8, 4).unwrap();
+        let mut out = vec![0xaau8; 2048];
+        d.read(8, 4, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(d.metrics().trims.get(), 1);
+    }
+
+    /// Reads the full backing image out of a disk's vfs (MemVfs is
+    /// always durable, so this emulates a clean power-off).
+    fn image_of(d: &FileDisk) -> Vec<u8> {
+        let len = d.vfs.len().unwrap();
+        let mut img = vec![0u8; len as usize];
+        d.vfs.read_at(0, &mut img).unwrap();
+        img
+    }
+
+    #[test]
+    fn reopen_replays_unflushed_writes() {
+        let mut d = FileDisk::create_on(Box::new(MemVfs::new()), 512, 64, 64 * 1024).unwrap();
+        d.write(3, 1, &[0x42u8; 512], false).unwrap();
+        d.write(5, 1, &[0x43u8; 512], false).unwrap();
+        d.trim(3, 1).unwrap();
+        let image = image_of(&d);
+        let reopened = FileDisk::open_on(Box::new(MemVfs::from_image(image))).unwrap();
+        assert_eq!(reopened.metrics().replay_ops.get(), 3);
+        let mut out = [0u8; 512];
+        reopened.read(5, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x43));
+        reopened.read(3, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "trim must replay after write");
+    }
+
+    #[test]
+    fn checkpoint_rolls_epoch_and_empties_log() {
+        // Log fits ~2 records of 512B payload: every other write
+        // checkpoints.
+        let mut d = mem_disk(64 * 1024);
+        let before = d.epoch();
+        let payload = vec![1u8; 512];
+        // 64 KiB log, 560-byte records → 117 appends fill it.
+        for i in 0..240u64 {
+            d.write(i % 64, 1, &payload, false).unwrap();
+        }
+        assert!(d.epoch() > before, "checkpoint must bump the epoch");
+        assert!(d.metrics().checkpoints.get() >= 1);
+        // Data survives the epoch roll.
+        let mut out = [0u8; 512];
+        d.read(0, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn oversized_io_rejected_not_wedged() {
+        let mut d = mem_disk(64 * 1024);
+        let huge = vec![0u8; 64 * 512];
+        // 32 KiB payload fits a 64 KiB log; fine.
+        d.write(0, 64, &huge, false).unwrap();
+        // Bad ranges map to the uniform BlockError geometry checks.
+        assert!(matches!(
+            d.write(64, 1, &[0u8; 512], false),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write(0, 1, &[0u8; 100], false),
+            Err(BlockError::BadBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_disk_serves_disjoint_threads() {
+        let d = mem_disk(64 * 1024).into_shared();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for i in 0..16u64 {
+                        let lba = t * 16 + i;
+                        d.write(lba, 1, &[(lba % 251) as u8 + 1; 512], false)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        d.flush().unwrap();
+        let mut out = [0u8; 512];
+        for lba in 0..64u64 {
+            d.read(lba, 1, &mut out).unwrap();
+            assert!(
+                out.iter().all(|&b| b == (lba % 251) as u8 + 1),
+                "lba {lba} lost its write"
+            );
+        }
+        assert_eq!(d.block_size(), 512);
+        assert_eq!(d.capacity_blocks(), 64);
+    }
+
+    #[test]
+    fn real_file_backend_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("oaf-store-test-{}", std::process::id()));
+        {
+            let mut d = FileDisk::create(&path, 512, 32).unwrap();
+            d.write(7, 1, &[0x77u8; 512], true).unwrap();
+        }
+        {
+            let d = FileDisk::open(&path).unwrap();
+            let mut out = [0u8; 512];
+            d.read(7, 1, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0x77));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

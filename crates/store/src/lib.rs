@@ -1,0 +1,33 @@
+//! # oaf-store — durable log-structured file-backed block device
+//!
+//! The persistence layer behind the NVMe-oAF target: a
+//! [`FileDisk`]/[`SharedFileDisk`] pair that slots in behind a
+//! `Namespace` anywhere `RamDisk`/`SharedRamDisk` does, but survives
+//! process death.
+//!
+//! * **Data journaling.** Every mutation (write, TRIM, Write Zeroes,
+//!   flush) is appended to an intent log with a CRC32 trailer and a
+//!   strictly consecutive sequence number, then applied in place.
+//! * **Crash-consistent recovery.** [`FileDisk::open`] replays the live
+//!   log prefix idempotently; a torn tail record fails its CRC or
+//!   sequence check and is truncated, never applied.
+//! * **Real durability.** Flush and FUA map to `fdatasync`; nothing is
+//!   acknowledged as durable that a kill `-9` can lose.
+//! * **Checkpoints.** When the log fills, it is folded into the data
+//!   region under a dual-slot superblock protocol that tolerates a torn
+//!   superblock write.
+//!
+//! Crash testing injects [`vfs::CrashVfs`] underneath the disk: a
+//! volatile-cache file model that kills the store at a seeded syscall
+//! boundary and hands back only a plausible durable image.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod disk;
+pub mod log;
+pub mod metrics;
+pub mod vfs;
+
+pub use disk::{FileDisk, SharedFileDisk, DEFAULT_LOG_BYTES};
+pub use metrics::StoreMetrics;

@@ -1,0 +1,73 @@
+//! Metric bundle for the durable store, in the workspace's detached
+//! style: plain `Arc`-backed [`oaf_telemetry`] handles created with the
+//! store and published into a [`Scope`] at wiring time. Recording is
+//! always a few relaxed atomics — the write path never branches on
+//! whether telemetry is live.
+
+use oaf_telemetry::{Counter, Histo, Scope};
+use std::sync::Arc;
+
+/// Counters and distributions for one [`FileDisk`](crate::disk::FileDisk)
+/// (shared by every queue view of a
+/// [`SharedFileDisk`](crate::disk::SharedFileDisk)).
+#[derive(Default, Debug)]
+pub struct StoreMetrics {
+    /// Intent-log records appended.
+    pub log_appends: Counter,
+    /// Bytes appended to the intent log (headers + payloads + CRCs).
+    pub log_bytes: Counter,
+    /// Dirty bytes made durable by sync barriers (flush, FUA,
+    /// checkpoint).
+    pub flushed_bytes: Counter,
+    /// Durability barriers issued (`fsync`/`fdatasync`).
+    pub fsyncs: Counter,
+    /// Latency of each durability barrier, nanoseconds.
+    pub fsync_ns: Histo,
+    /// TRIM (Dataset Management) ranges deallocated.
+    pub trims: Counter,
+    /// Torn tail records detected (and truncated) during recovery.
+    pub torn_records: Counter,
+    /// Log records replayed on open.
+    pub replay_ops: Counter,
+    /// Checkpoints taken (log full → fold into data region, bump epoch).
+    pub checkpoints: Counter,
+}
+
+impl StoreMetrics {
+    /// Fresh, detached bundle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish every metric of this bundle into `scope`.
+    pub fn register(&self, scope: &Scope) {
+        scope.adopt_counter("log_appends", &self.log_appends);
+        scope.adopt_counter("log_bytes", &self.log_bytes);
+        scope.adopt_counter("flushed_bytes", &self.flushed_bytes);
+        scope.adopt_counter("fsyncs", &self.fsyncs);
+        scope.adopt_histo("fsync_ns", &self.fsync_ns);
+        scope.adopt_counter("trims", &self.trims);
+        scope.adopt_counter("torn_records", &self.torn_records);
+        scope.adopt_counter("replay_ops", &self.replay_ops);
+        scope.adopt_counter("checkpoints", &self.checkpoints);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaf_telemetry::Registry;
+
+    #[test]
+    fn registers_under_store_scope() {
+        let m = StoreMetrics::new();
+        m.log_appends.inc();
+        m.fsync_ns.record(1500);
+        let registry = Registry::new();
+        m.register(&registry.scope("store"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store", "log_appends"), 1);
+        assert_eq!(snap.histo("store", "fsync_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("store", "torn_records"), 0);
+    }
+}

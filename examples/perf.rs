@@ -3,15 +3,22 @@
 //! §5.1).
 //!
 //! ```text
-//! cargo run --release --example perf -- [--shards N] [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
+//! cargo run --release --example perf -- [--shards N] [--backend ram|file:<path>] [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
 //! cargo run --release --example perf -- 128 32 100 2 local
 //! cargo run --release --example perf -- --shards 4 16 32 100 2 local
+//! cargo run --release --example perf -- --backend file:/tmp/oaf.img 16 32 0 2 local
 //! ```
 //!
 //! With `--shards N` the storage service runs the thread-per-core
 //! sharded runtime: N reactor threads, N clients (one per shard,
 //! round-robin steering), the queue depth split evenly across them. The
 //! summary then includes the per-shard ops split.
+//!
+//! With `--backend file:<path>` the namespace is served by the durable
+//! log-structured store instead of RAM: every write is journaled to the
+//! backing file, and an existing file is *opened* (journal replayed) so
+//! back-to-back runs measure cold-cache vs warm-restart behavior. The
+//! summary then includes the store's journal/fsync accounting.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +45,25 @@ fn main() {
         shards = Some(n);
         args.drain(pos..=pos + 1);
     }
+    // `--backend ram` (default) or `--backend file:<path>`, also
+    // position-independent.
+    let mut backend_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--backend") {
+        let b = args
+            .get(pos + 1)
+            .cloned()
+            .expect("--backend takes `ram` or `file:<path>`");
+        args.drain(pos..=pos + 1);
+        match b.as_str() {
+            "ram" => {}
+            other => {
+                let path = other
+                    .strip_prefix("file:")
+                    .expect("--backend takes `ram` or `file:<path>`");
+                backend_path = Some(path.to_string());
+            }
+        }
+    }
     let io_kib: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let qd: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
     let read_pct: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
@@ -51,7 +77,28 @@ fn main() {
     let capacity_blocks = 64 * 1024; // 256 MiB namespace
 
     let mut controller = Controller::new();
-    controller.add_namespace(Namespace::new(1, block_size as u32, capacity_blocks));
+    match &backend_path {
+        None => controller.add_namespace(Namespace::new(1, block_size as u32, capacity_blocks)),
+        Some(path) => {
+            // Reuse an existing store file (journal replay on open) so a
+            // second run measures the warm-restart path; create fresh
+            // otherwise.
+            let disk = if std::path::Path::new(path).exists() {
+                let t0 = Instant::now();
+                let d = nvme_oaf::store::FileDisk::open(path).expect("open backing file");
+                println!(
+                    "store: opened {path} in {:.1}ms ({} journaled ops replayed)",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    d.metrics().replay_ops.get()
+                );
+                d
+            } else {
+                nvme_oaf::store::FileDisk::create(path, block_size as u32, capacity_blocks)
+                    .expect("create backing file")
+            };
+            controller.add_namespace(Namespace::with_file(1, disk));
+        }
+    }
 
     if let Some(shards) = shards {
         run_sharded(
@@ -211,6 +258,21 @@ fn main() {
         snap.counter("transport_client", "frames_received"),
         snap.counter("transport_client", "ring_full"),
     );
+    if backend_path.is_some() {
+        let fsync_p99_us = snap
+            .histo("store_ns1", "fsync_ns")
+            .map(|h| h.p99() as f64 / 1e3)
+            .unwrap_or(0.0);
+        println!(
+            "store: {} journal appends ({} MiB), {} fsyncs (p99 {fsync_p99_us:.0}us), \
+             {} trims, {} checkpoints",
+            snap.counter("store_ns1", "log_appends"),
+            snap.counter("store_ns1", "log_bytes") >> 20,
+            snap.counter("store_ns1", "fsyncs"),
+            snap.counter("store_ns1", "trims"),
+            snap.counter("store_ns1", "checkpoints"),
+        );
+    }
 
     pair.client.disconnect().expect("disconnect");
     pair.target.shutdown().expect("shutdown");

@@ -6,6 +6,7 @@
 //!
 //! * [`simnet`] — discrete-event engine and TCP/RDMA link models
 //! * [`ssd`] — NVMe-SSD device model
+//! * [`store`] — durable log-structured file-backed block device
 //! * [`shmem`] — real lock-free shared-memory channel substrate
 //! * [`nvmeof`] — NVMe + NVMe-oF protocol, target and initiator
 //! * [`oaf`] — the adaptive fabric itself (the paper's contribution)
@@ -24,4 +25,5 @@ pub use oaf_nvmeof as nvmeof;
 pub use oaf_shmem as shmem;
 pub use oaf_simnet as simnet;
 pub use oaf_ssd as ssd;
+pub use oaf_store as store;
 pub use oaf_telemetry as telemetry;
