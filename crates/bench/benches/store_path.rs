@@ -3,7 +3,10 @@
 //! the zero-cost baseline. MemVfs variants isolate the store's own
 //! bookkeeping (journal encode, CRC, checkpoint fold) from the
 //! filesystem; the real-file variant adds actual `write`/`fdatasync`
-//! syscalls.
+//! syscalls. The cached-read group measures the block cache's hit
+//! (pure memcpy, zero syscalls) and miss (fill + thrash) paths, and
+//! the group-commit group measures concurrent FUA barriers coalescing
+//! through the sync coordinator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oaf_ssd::{BlockStore, RamDisk};
@@ -72,6 +75,115 @@ fn bench_fua_write(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cached_write(c: &mut Criterion) {
+    // Journaled write *through* the block cache: journal append plus a
+    // cache insert instead of a data-region write (the apply is
+    // deferred to eviction/barrier).
+    let mut g = c.benchmark_group("store/cached-write");
+    for &size in SIZES {
+        let mut disk = FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20)
+            .and_then(|d| d.with_cache(1024))
+            .expect("fmt");
+        let payload = vec![0xabu8; size];
+        let nlb = (size / BS) as u32;
+        let mut lba = 0u64;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                disk.write(lba, nlb, &payload, false).expect("write");
+                lba = (lba + u64::from(nlb)) % (BLOCKS - 64);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cached_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/cached-read");
+    let size = 16 << 10;
+    let nlb = (size / BS) as u32;
+    let span = 256u64; // working set, blocks
+    let payload = vec![0xabu8; size];
+    let mut out = vec![0u8; size];
+    g.throughput(Throughput::Bytes(size as u64));
+
+    // Hit: the cache covers the working set, so after the prefill every
+    // read is a per-block memcpy with zero syscalls.
+    let mut disk = FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20)
+        .and_then(|d| d.with_cache(512))
+        .expect("fmt");
+    for i in 0..span / u64::from(nlb) {
+        disk.write(i * u64::from(nlb), nlb, &payload, false)
+            .expect("prefill");
+    }
+    let mut lba = 0u64;
+    g.bench_with_input(BenchmarkId::new("hit", size), &size, |b, _| {
+        b.iter(|| {
+            disk.read(lba, nlb, &mut out).expect("read");
+            lba = (lba + u64::from(nlb)) % span;
+        })
+    });
+
+    // Miss: a 1-entry cache thrashes on every multi-block read — the
+    // worst case for fill overhead on top of the data-region read.
+    let mut thrash = FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20)
+        .and_then(|d| d.with_cache(1))
+        .expect("fmt");
+    for i in 0..span / u64::from(nlb) {
+        thrash
+            .write(i * u64::from(nlb), nlb, &payload, false)
+            .expect("prefill");
+    }
+    let mut lba = 0u64;
+    g.bench_with_input(BenchmarkId::new("miss", size), &size, |b, _| {
+        b.iter(|| {
+            thrash.read(lba, nlb, &mut out).expect("read");
+            lba = (lba + u64::from(nlb)) % span;
+        })
+    });
+    g.finish();
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    // FUA barriers through the shared disk's sync coordinator: the
+    // 1-writer leg is the solo barrier cost, the 4-writer leg shows
+    // concurrent barriers retiring on one another's syncs.
+    let mut g = c.benchmark_group("store/group-commit");
+    for &writers in &[1usize, 4] {
+        let disk = FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, 4 << 20)
+            .and_then(|d| d.with_cache(256))
+            .expect("fmt")
+            .into_shared();
+        g.throughput(Throughput::Bytes((BS * writers) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fua-writers", writers),
+            &writers,
+            |b, &w| {
+                b.iter_custom(|iters| {
+                    let start = std::time::Instant::now();
+                    let threads: Vec<_> = (0..w as u64)
+                        .map(|t| {
+                            let d = disk.clone();
+                            std::thread::spawn(move || {
+                                let payload = [0xabu8; BS];
+                                for i in 0..iters {
+                                    d.write(t * 1024 + i % 1024, 1, &payload, true)
+                                        .expect("fua write");
+                                }
+                            })
+                        })
+                        .collect();
+                    for t in threads {
+                        t.join().expect("writer");
+                    }
+                    start.elapsed()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_real_file_fdatasync(c: &mut Criterion) {
     // One size; the point is the syscall floor, not a size sweep. A
     // smaller namespace keeps the benchmark file modest (20 MiB).
@@ -114,6 +226,9 @@ criterion_group!(
     bench_ram_baseline,
     bench_journaled_write,
     bench_fua_write,
+    bench_cached_write,
+    bench_cached_read,
+    bench_group_commit,
     bench_real_file_fdatasync
 );
 criterion_main!(benches);

@@ -638,6 +638,26 @@ impl AfClient {
         }
     }
 
+    /// Asynchronous variant of [`AfClient::write_fua`]: returns the
+    /// command id; match completions via [`AfClient::poll`]. With many
+    /// FUA submissions in flight the target's group-commit coordinator
+    /// retires their barriers on shared `fdatasync`es.
+    pub fn submit_write_fua(
+        &mut self,
+        nsid: u32,
+        slba: u64,
+        nlb: u32,
+        buf: IoBuffer,
+    ) -> Result<u16, NvmeofError> {
+        let bytes = buf.len() as u64;
+        // Same materialization rule as the blocking form: a zero-copy
+        // lease cannot be replayed after an abort.
+        let data = Bytes::copy_from_slice(&buf);
+        let cid = self.initiator.submit_write_fua(nsid, slba, nlb, data)?;
+        self.inflight_meta.insert(cid, (bytes, false, false));
+        Ok(cid)
+    }
+
     /// Namespace geometry.
     pub fn identify(&mut self, nsid: u32) -> Result<IdentifyInfo, NvmeofError> {
         self.initiator.identify(nsid, DEFAULT_TIMEOUT)

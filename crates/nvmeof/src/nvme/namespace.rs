@@ -263,6 +263,33 @@ mod tests {
     }
 
     #[test]
+    fn cached_file_backed_namespace_serves_hits_and_stays_durable() {
+        let disk = FileDisk::create_on(Box::new(MemVfs::new()), 512, 64, 64 * 1024)
+            .unwrap()
+            .with_cache(8)
+            .unwrap();
+        let mut ns = Namespace::with_file(1, disk);
+        assert_eq!(ns.write(3, 1, &[0x77u8; 512], false), Status::Success);
+        let mut out = [0u8; 512];
+        assert_eq!(ns.read(3, 1, &mut out), Status::Success);
+        assert!(out.iter().all(|&b| b == 0x77));
+        let m = std::sync::Arc::clone(ns.store_metrics().unwrap());
+        assert!(
+            m.cache_hits.get() >= 1,
+            "write-allocate must serve the read"
+        );
+        // FUA through the cache drains dirty entries before the sync.
+        assert_eq!(ns.write(4, 1, &[0x88u8; 512], true), Status::Success);
+        assert_eq!(m.cache_dirty.get(), 0, "barrier leaves no dirty entries");
+        // Shared views keep the same cache + journal.
+        let mut b = ns.share();
+        assert_eq!(b.write(5, 1, &[0x99u8; 512], false), Status::Success);
+        assert_eq!(b.flush(), Status::Success);
+        assert_eq!(ns.read(5, 1, &mut out), Status::Success);
+        assert_eq!(out[0], 0x99);
+    }
+
+    #[test]
     fn file_backed_share_keeps_one_journal() {
         let mut a = file_ns(1);
         let mut b = a.share();

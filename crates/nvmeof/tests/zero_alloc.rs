@@ -570,6 +570,121 @@ fn steady_state_durable_write_path_allocates_nothing() {
     );
 }
 
+/// Cached read hits under the same budget — plus a *syscall* budget: a
+/// [`Controller`] over a file-backed disk with a block cache sized to
+/// the working set. After warm-up, every `read_into` is a cache hit and
+/// must perform zero heap allocations **and zero Vfs reads** — the
+/// whole point of the cache is that hits never reach the backing file.
+/// A counting Vfs wrapper pins the syscall side the way the counting
+/// allocator pins the heap side.
+///
+/// [`Controller`]: oaf_nvmeof::nvme::controller::Controller
+#[test]
+fn steady_state_cached_read_hits_allocate_nothing_and_skip_syscalls() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use oaf_nvmeof::nvme::controller::Controller;
+    use oaf_nvmeof::nvme::namespace::Namespace;
+    use oaf_store::vfs::{MemVfs, Vfs};
+    use oaf_store::FileDisk;
+    use oaf_telemetry::Registry;
+
+    /// [`MemVfs`] that counts `read_at` calls (relaxed atomics: no
+    /// allocation, no lock).
+    struct CountingVfs {
+        inner: MemVfs,
+        reads: Arc<AtomicU64>,
+    }
+
+    impl Vfs for CountingVfs {
+        fn read_at(&self, off: u64, buf: &mut [u8]) -> std::io::Result<()> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.read_at(off, buf)
+        }
+        fn write_at(&mut self, off: u64, buf: &[u8]) -> std::io::Result<()> {
+            self.inner.write_at(off, buf)
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            self.inner.sync()
+        }
+        fn len(&self) -> std::io::Result<u64> {
+            self.inner.len()
+        }
+        fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+            self.inner.set_len(len)
+        }
+    }
+
+    let reads = Arc::new(AtomicU64::new(0));
+    let disk = FileDisk::create_on(
+        Box::new(CountingVfs {
+            inner: MemVfs::new(),
+            reads: Arc::clone(&reads),
+        }),
+        512,
+        256,
+        64 * 1024,
+    )
+    .expect("format")
+    .with_cache(64)
+    .expect("cache");
+    let registry = Registry::new();
+    disk.metrics().register(&registry.scope("store"));
+    let mut ctrl = Controller::new();
+    ctrl.add_namespace(Namespace::with_file(1, disk));
+
+    // Working set: 32 blocks, write-allocated into the 64-entry cache.
+    let payload = vec![0x5au8; 512];
+    for lba in 0..32u64 {
+        let (w, _) = ctrl.execute(&NvmeCommand::write(1, 1, lba, 1), Some(&payload));
+        assert!(w.status.is_ok());
+    }
+    let (fl, _) = ctrl.execute(&NvmeCommand::flush(2, 1), None);
+    assert!(fl.status.is_ok());
+
+    let mut out = vec![0u8; 4 * 512];
+    let mut cycle = |ctrl: &Controller, i: u64| {
+        let lba = (i * 4) % 32;
+        let comp = ctrl.read_into(&NvmeCommand::read(3, 1, lba, 4), &mut out);
+        assert!(comp.status.is_ok());
+        assert!(
+            out.iter().all(|&b| b == 0x5a),
+            "cached read served stale bytes"
+        );
+    };
+
+    for i in 0..64 {
+        cycle(&ctrl, i);
+    }
+
+    let vfs_reads_before = reads.load(Ordering::Relaxed);
+    TRACK.with(|t| t.set(true));
+    ALLOCS.with(|c| c.set(0));
+    for i in 0..1000 {
+        cycle(&ctrl, 64 + i);
+    }
+    TRACK.with(|t| t.set(false));
+    let allocs = ALLOCS.with(Cell::get);
+
+    assert_eq!(
+        allocs, 0,
+        "cached read hits must not allocate (saw {allocs} over 1000 reads)"
+    );
+    assert_eq!(
+        reads.load(Ordering::Relaxed),
+        vfs_reads_before,
+        "cached read hits must perform zero Vfs reads"
+    );
+    let snap = registry.snapshot();
+    assert!(snap.counter("store", "cache_hits") >= 4000);
+    assert_eq!(
+        snap.counter("store", "cache_misses"),
+        0,
+        "the working set fits: every read must hit"
+    );
+}
+
 /// The recovery machinery's bookkeeping under the same budget: a real
 /// [`Initiator`]/target pair over [`ShmTransport`] with per-command
 /// deadlines and keep-alive enabled, every control frame CRC-stamped on

@@ -1,0 +1,214 @@
+//! Group commit: one `fdatasync` retires many durability barriers.
+//!
+//! Every record appended to the intent log carries a monotonic sequence
+//! number, and a durability barrier (FUA write, Flush) only needs *its*
+//! sequence to reach the platter. Because a single `fdatasync` makes the
+//! whole file durable, any barrier whose sequence is ≤ the highest
+//! sequence appended when some sync started is retired by that sync —
+//! there is no reason for N concurrent barriers to issue N syncs.
+//!
+//! ## Ticket protocol
+//!
+//! A barrier takes a *ticket* for its record's sequence number and loops
+//! on three states under one mutex:
+//!
+//! 1. **retired** — `durable_seq >= ticket`: some sync (ours or another
+//!    queue's) already covered the ticket; return. If this barrier never
+//!    led a sync itself, it was coalesced (`fsyncs_coalesced`).
+//! 2. **leader** — no sync in flight: mark one in flight, drop the
+//!    coordination lock, take the disk lock, and sync *everything
+//!    appended so far* (the covered sequence is read under the disk
+//!    lock, so no append can sneak past it). Publish the covered
+//!    sequence, wake every waiter.
+//! 3. **follower** — a sync is in flight: park on the condvar. The
+//!    leader's wakeup re-runs the loop, so a ticket the finished sync
+//!    did not cover elects the next leader instead of being lost — no
+//!    lost-wakeup hang, no barrier completes early.
+//!
+//! Batch telemetry: each sync records how many tickets it retired
+//! (`commit_batch`); with K concurrent writers the histogram's mass
+//! sits near K while `fsyncs` grows ~1/K as fast as barriers.
+
+use std::sync::{Condvar, Mutex};
+
+use oaf_ssd::ram::BlockError;
+
+use crate::metrics::StoreMetrics;
+
+/// Coordinator state: the durability watermark plus the in-flight flag.
+#[derive(Default)]
+struct CommitState {
+    /// Highest record sequence known durable on the platter.
+    durable_seq: u64,
+    /// A leader is inside the sync syscall right now.
+    sync_in_flight: bool,
+    /// Tickets enrolled since the last sync completed (for the
+    /// batch-size histogram; includes the future leader itself).
+    tickets: u64,
+}
+
+/// The sync coordinator shared by every queue view of one
+/// [`SharedFileDisk`](crate::disk::SharedFileDisk).
+#[derive(Default)]
+pub struct GroupCommit {
+    state: Mutex<CommitState>,
+    retired: Condvar,
+}
+
+impl GroupCommit {
+    /// A fresh coordinator with nothing durable.
+    pub fn new() -> GroupCommit {
+        GroupCommit::default()
+    }
+
+    /// Highest sequence known durable (telemetry/tests).
+    pub fn durable_seq(&self) -> u64 {
+        self.state.lock().expect("commit lock poisoned").durable_seq
+    }
+
+    /// Blocks until every record with sequence ≤ `seq` is durable.
+    ///
+    /// `sync` performs one device barrier and returns the highest
+    /// sequence it covered; it is invoked at most once per elected
+    /// leader and never concurrently with itself. A barrier that
+    /// returns without having led a sync was coalesced into another
+    /// barrier's `fdatasync`.
+    pub fn barrier(
+        &self,
+        seq: u64,
+        metrics: &StoreMetrics,
+        mut sync: impl FnMut() -> Result<u64, BlockError>,
+    ) -> Result<(), BlockError> {
+        let mut led_sync = false;
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        if guard.durable_seq < seq {
+            guard.tickets += 1;
+        }
+        loop {
+            if guard.durable_seq >= seq {
+                if !led_sync {
+                    metrics.fsyncs_coalesced.inc();
+                }
+                return Ok(());
+            }
+            if !guard.sync_in_flight {
+                // Leader: sync outside the coordination lock so arriving
+                // barriers can enroll as followers meanwhile.
+                guard.sync_in_flight = true;
+                drop(guard);
+                let res = sync();
+                led_sync = true;
+                guard = self.state.lock().expect("commit lock poisoned");
+                guard.sync_in_flight = false;
+                match res {
+                    Ok(covered) => {
+                        guard.durable_seq = guard.durable_seq.max(covered);
+                        // Every enrolled ticket's record predates the
+                        // sync we just led, so the batch is all of them;
+                        // a ticket the watermark somehow missed re-enrolls
+                        // below.
+                        metrics.commit_batch.record(guard.tickets.max(1));
+                        guard.tickets = 0;
+                        if guard.durable_seq < seq {
+                            guard.tickets += 1;
+                        }
+                    }
+                    Err(e) => {
+                        // Dead store: wake everyone so they fail fast on
+                        // their own sync attempt instead of hanging.
+                        self.retired.notify_all();
+                        return Err(e);
+                    }
+                }
+                self.retired.notify_all();
+            } else {
+                guard = self.retired.wait(guard).expect("commit lock poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_barrier_syncs_once() {
+        let gc = GroupCommit::new();
+        let m = StoreMetrics::new();
+        let syncs = AtomicU64::new(0);
+        gc.barrier(5, &m, || {
+            syncs.fetch_add(1, Ordering::SeqCst);
+            Ok(7)
+        })
+        .unwrap();
+        assert_eq!(syncs.load(Ordering::SeqCst), 1);
+        assert_eq!(gc.durable_seq(), 7);
+        assert_eq!(m.fsyncs_coalesced.get(), 0);
+        assert_eq!(m.commit_batch.snapshot().count, 1);
+    }
+
+    #[test]
+    fn covered_barrier_never_syncs() {
+        let gc = GroupCommit::new();
+        let m = StoreMetrics::new();
+        gc.barrier(3, &m, || Ok(10)).unwrap();
+        // Seqs 4..=10 were covered by the first sync.
+        gc.barrier(10, &m, || panic!("must not sync")).unwrap();
+        assert_eq!(m.fsyncs_coalesced.get(), 1);
+    }
+
+    #[test]
+    fn sync_error_propagates_and_unblocks() {
+        let gc = Arc::new(GroupCommit::new());
+        let m = StoreMetrics::new();
+        let err = gc
+            .barrier(1, &m, || Err(BlockError::Io("dead".into())))
+            .unwrap_err();
+        assert!(matches!(err, BlockError::Io(_)));
+        // The coordinator is not wedged: a later barrier can still lead.
+        gc.barrier(1, &m, || Ok(1)).unwrap();
+        assert_eq!(gc.durable_seq(), 1);
+    }
+
+    #[test]
+    fn concurrent_barriers_coalesce() {
+        let gc = Arc::new(GroupCommit::new());
+        let m = StoreMetrics::new();
+        let appended = Arc::new(AtomicU64::new(0));
+        let syncs = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gc = Arc::clone(&gc);
+                let m = Arc::clone(&m);
+                let appended = Arc::clone(&appended);
+                let syncs = Arc::clone(&syncs);
+                std::thread::spawn(move || {
+                    for _ in 0..32 {
+                        let seq = appended.fetch_add(1, Ordering::SeqCst) + 1;
+                        let appended = Arc::clone(&appended);
+                        let syncs = Arc::clone(&syncs);
+                        gc.barrier(seq, &m, move || {
+                            syncs.fetch_add(1, Ordering::SeqCst);
+                            // Emulate a slow device barrier so queues pile
+                            // up behind the leader.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            Ok(appended.load(Ordering::SeqCst))
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = 8 * 32u64;
+        let s = syncs.load(Ordering::SeqCst);
+        assert!(s < total, "no coalescing: {s} syncs for {total} barriers");
+        assert_eq!(m.fsyncs_coalesced.get(), total - s);
+        assert_eq!(gc.durable_seq(), total);
+    }
+}

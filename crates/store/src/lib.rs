@@ -17,17 +17,29 @@
 //!   region under a dual-slot superblock protocol that tolerates a torn
 //!   superblock write.
 //!
+//! * **Group commit.** Concurrent durability barriers from multi-queue
+//!   views coalesce into one `fdatasync` per batch window via a ticket
+//!   protocol ([`commit::GroupCommit`]).
+//! * **Block cache.** A fixed-capacity segmented-LRU write-back cache
+//!   ([`cache::BlockCache`]) serves read hits with zero syscalls and
+//!   defers in-place applies; dirty entries are pinned to journal
+//!   sequences so eviction order can never outrun the log.
+//!
 //! Crash testing injects [`vfs::CrashVfs`] underneath the disk: a
 //! volatile-cache file model that kills the store at a seeded syscall
 //! boundary and hands back only a plausible durable image.
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod commit;
 pub mod crc32;
 pub mod disk;
 pub mod log;
 pub mod metrics;
 pub mod vfs;
 
+pub use cache::BlockCache;
+pub use commit::GroupCommit;
 pub use disk::{FileDisk, SharedFileDisk, DEFAULT_LOG_BYTES};
 pub use metrics::StoreMetrics;

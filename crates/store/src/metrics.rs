@@ -4,7 +4,7 @@
 //! always a few relaxed atomics — the write path never branches on
 //! whether telemetry is live.
 
-use oaf_telemetry::{Counter, Histo, Scope};
+use oaf_telemetry::{Counter, Gauge, Histo, Scope};
 use std::sync::Arc;
 
 /// Counters and distributions for one [`FileDisk`](crate::disk::FileDisk)
@@ -31,6 +31,27 @@ pub struct StoreMetrics {
     pub replay_ops: Counter,
     /// Checkpoints taken (log full → fold into data region, bump epoch).
     pub checkpoints: Counter,
+    /// Durability barriers retired by another barrier's `fdatasync`
+    /// (group commit) instead of issuing their own.
+    pub fsyncs_coalesced: Counter,
+    /// Tickets retired per group-commit sync (batch size).
+    pub commit_batch: Histo,
+    /// Block-cache read hits (blocks served with zero syscalls).
+    pub cache_hits: Counter,
+    /// Block-cache read misses (blocks fetched from the data region).
+    pub cache_misses: Counter,
+    /// Dirty cache blocks written back to the data region (eviction or
+    /// barrier drain).
+    pub cache_writebacks: Counter,
+    /// Cache entries evicted to make room (clean or dirty).
+    pub cache_evictions: Counter,
+    /// Dirty blocks currently resident in the cache.
+    pub cache_dirty: Gauge,
+    /// Bytes deallocated by TRIM/Write Zeroes that were live (held
+    /// data) when punched — space actually reclaimed.
+    pub bytes_reclaimed: Counter,
+    /// Bytes of live (written, not deallocated) data in the store.
+    pub live_bytes: Gauge,
 }
 
 impl StoreMetrics {
@@ -50,6 +71,15 @@ impl StoreMetrics {
         scope.adopt_counter("torn_records", &self.torn_records);
         scope.adopt_counter("replay_ops", &self.replay_ops);
         scope.adopt_counter("checkpoints", &self.checkpoints);
+        scope.adopt_counter("fsyncs_coalesced", &self.fsyncs_coalesced);
+        scope.adopt_histo("commit_batch", &self.commit_batch);
+        scope.adopt_counter("cache_hits", &self.cache_hits);
+        scope.adopt_counter("cache_misses", &self.cache_misses);
+        scope.adopt_counter("cache_writebacks", &self.cache_writebacks);
+        scope.adopt_counter("cache_evictions", &self.cache_evictions);
+        scope.adopt_gauge("cache_dirty", &self.cache_dirty);
+        scope.adopt_counter("bytes_reclaimed", &self.bytes_reclaimed);
+        scope.adopt_gauge("live_bytes", &self.live_bytes);
     }
 }
 
@@ -69,5 +99,25 @@ mod tests {
         assert_eq!(snap.counter("store", "log_appends"), 1);
         assert_eq!(snap.histo("store", "fsync_ns").unwrap().count, 1);
         assert_eq!(snap.counter("store", "torn_records"), 0);
+    }
+
+    #[test]
+    fn cache_and_commit_metrics_register() {
+        let m = StoreMetrics::new();
+        m.fsyncs_coalesced.inc();
+        m.commit_batch.record(4);
+        m.cache_hits.add(10);
+        m.cache_dirty.set(3);
+        m.bytes_reclaimed.add(4096);
+        m.live_bytes.set(8192);
+        let registry = Registry::new();
+        m.register(&registry.scope("store"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store", "fsyncs_coalesced"), 1);
+        assert_eq!(snap.histo("store", "commit_batch").unwrap().count, 1);
+        assert_eq!(snap.counter("store", "cache_hits"), 10);
+        assert_eq!(snap.gauge("store", "cache_dirty").unwrap().0, 3);
+        assert_eq!(snap.counter("store", "bytes_reclaimed"), 4096);
+        assert_eq!(snap.gauge("store", "live_bytes").unwrap().0, 8192);
     }
 }

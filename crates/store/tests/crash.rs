@@ -17,8 +17,14 @@
 //!   and detects the same durable prefix both times.
 //!
 //! A failing run prints its seed; `OAF_CHAOS_SEED=<seed>` (plus
-//! `OAF_CRASH_PHASE=<phase>`) replays it bit-for-bit. CI's `crash` job
-//! runs the seed × phase matrix in release mode.
+//! `OAF_CRASH_PHASE=<phase>` and `OAF_CACHE_BLOCKS=<n>`) replays it
+//! bit-for-bit. CI's `crash` job runs the seed × phase matrix in
+//! release mode, with a cache-enabled leg.
+//!
+//! Every round runs *through* the block cache at several capacities
+//! (0 = uncached, 1 = pure thrash, 8 = mixed hit/evict) — deferred
+//! applies, dirty-eviction write-backs and barrier drains all happen
+//! under the same kill points and must satisfy the same model.
 
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -100,6 +106,18 @@ fn crash_phase() -> Phase {
     }
 }
 
+/// Block-cache capacities the soak sweeps per round; `OAF_CACHE_BLOCKS`
+/// pins a single capacity for exact replay / CI matrix legs.
+fn cache_capacities() -> Vec<usize> {
+    match std::env::var("OAF_CACHE_BLOCKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![0, 1, 8],
+    }
+}
+
 /// The per-LBA uncertainty model. Blocks are always filled with a single
 /// stamp byte, so torn in-flight writes (prefix-of-new + suffix-of-old)
 /// stay checkable byte-by-byte.
@@ -145,14 +163,16 @@ impl Model {
     }
 }
 
-/// One crash iteration: workload until the kill point fires, then mount
-/// the wreckage (twice) and hold it against the model.
-fn crash_round(seed: u64, phase: Phase) {
+/// One crash iteration: workload (through a `cache_blocks`-entry block
+/// cache) until the kill point fires, then mount the wreckage (twice)
+/// and hold it against the model.
+fn crash_round(seed: u64, phase: Phase, cache_blocks: usize) {
     let point = CrashPoint::seeded(seed, MAX_OPS);
     let vfs = SharedCrashVfs::new(seed ^ 0x5EED, point.fire_at());
     let mut rng = ChaosRng::new(seed.wrapping_mul(0x9E37_79B9));
 
-    let created = FileDisk::create_on(Box::new(vfs.clone()), BLOCK as u32, BLOCKS, LOG_BYTES);
+    let created = FileDisk::create_on(Box::new(vfs.clone()), BLOCK as u32, BLOCKS, LOG_BYTES)
+        .and_then(|d| d.with_cache(cache_blocks));
     let mut disk = match created {
         Ok(d) => d,
         Err(_) => {
@@ -282,10 +302,12 @@ fn crash_round(seed: u64, phase: Phase) {
         point.fire_at()
     );
 
-    // Mount the wreckage. Recovery must always succeed — the superblock
-    // was fully synced at create time and is never overwritten in place.
+    // Mount the wreckage — reads go back through a cache of the same
+    // capacity. Recovery must always succeed: the superblock was fully
+    // synced at create time and is never overwritten in place.
     let image = vfs.durable_image();
     let mounted = FileDisk::open_on(Box::new(MemVfs::from_image(image.clone())))
+        .and_then(|d| d.with_cache(cache_blocks))
         .unwrap_or_else(|e| panic!("seed {seed}: post-crash mount failed: {e}"));
 
     let read_all = |d: &FileDisk| {
@@ -304,8 +326,9 @@ fn crash_round(seed: u64, phase: Phase) {
                 violations += 1;
                 if violations <= 5 {
                     eprintln!(
-                        "seed {seed} phase {phase:?}: lba {b} byte {i} = {byte:#x}, \
-                         allowed {:?} (replay with OAF_CHAOS_SEED={seed})",
+                        "seed {seed} phase {phase:?} cache {cache_blocks}: lba {b} byte {i} = \
+                         {byte:#x}, allowed {:?} (replay with OAF_CHAOS_SEED={seed} \
+                         OAF_CACHE_BLOCKS={cache_blocks})",
                         model.allowed[b]
                     );
                 }
@@ -314,8 +337,8 @@ fn crash_round(seed: u64, phase: Phase) {
     }
     assert_eq!(
         violations, 0,
-        "seed {seed} phase {phase:?}: {violations} bytes outside the allowed set \
-         (replay with OAF_CHAOS_SEED={seed})"
+        "seed {seed} phase {phase:?} cache {cache_blocks}: {violations} bytes outside the \
+         allowed set (replay with OAF_CHAOS_SEED={seed} OAF_CACHE_BLOCKS={cache_blocks})"
     );
 
     // Idempotence: a second mount of the same wreckage sees the same
@@ -337,19 +360,23 @@ fn crash_round(seed: u64, phase: Phase) {
 fn crash_soak_allowed_set_holds() {
     let base = chaos_seed();
     let phase = crash_phase();
+    let caps = cache_capacities();
     let rounds: u64 = if std::env::var("OAF_CHAOS_SEED").is_ok() {
         1 // exact replay of one seed
     } else {
         24
     };
     let mut torn_total = 0u64;
-    for i in 0..rounds {
-        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        crash_round(seed, phase);
-        torn_total += 1;
+    for &cap in &caps {
+        for i in 0..rounds {
+            let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            crash_round(seed, phase, cap);
+            torn_total += 1;
+        }
     }
     eprintln!(
-        "crash soak: {torn_total} kill points survived (phase {phase:?}, base seed {base:#x})"
+        "crash soak: {torn_total} kill points survived (phase {phase:?}, caches {caps:?}, \
+         base seed {base:#x})"
     );
 }
 
@@ -358,52 +385,56 @@ fn crash_during_checkpoint_is_survivable() {
     // Force checkpoints with a minimal log, then kill inside the
     // checkpoint window across a seed sweep: the dual-slot superblock
     // must leave either the old epoch (replayable) or the new one
-    // mountable at every kill point.
-    for seed in 0..32u64 {
-        let point = CrashPoint::seeded(seed, 400);
-        let vfs = SharedCrashVfs::new(seed, point.fire_at());
-        let created = FileDisk::create_on(Box::new(vfs.clone()), 512, 16, 64 * 1024);
-        let mut disk = match created {
-            Ok(d) => d,
-            Err(_) => continue, // died formatting; covered elsewhere
-        };
-        let mut last_synced: Option<Vec<u8>> = None;
-        let mut synced_at = 0usize;
-        let mut wrote = vec![];
-        for i in 0..2_000u64 {
-            let lba = i % 16;
-            let buf = vec![(i % 200) as u8 + 1; 512];
-            if disk.write(lba, 1, &buf, false).is_err() {
-                break;
-            }
-            wrote.push((lba, (i % 200) as u8 + 1));
-            if i % 64 == 63 {
-                if disk.flush().is_err() {
+    // mountable at every kill point. Runs uncached and through a small
+    // cache, whose dirty entries must drain before every epoch roll.
+    for cap in [0usize, 4] {
+        for seed in 0..32u64 {
+            let point = CrashPoint::seeded(seed, 400);
+            let vfs = SharedCrashVfs::new(seed ^ (cap as u64) << 32, point.fire_at());
+            let created = FileDisk::create_on(Box::new(vfs.clone()), 512, 16, 64 * 1024)
+                .and_then(|d| d.with_cache(cap));
+            let mut disk = match created {
+                Ok(d) => d,
+                Err(_) => continue, // died formatting; covered elsewhere
+            };
+            let mut last_synced: Option<Vec<u8>> = None;
+            let mut synced_at = 0usize;
+            let mut wrote = vec![];
+            for i in 0..2_000u64 {
+                let lba = i % 16;
+                let buf = vec![(i % 200) as u8 + 1; 512];
+                if disk.write(lba, 1, &buf, false).is_err() {
                     break;
                 }
-                synced_at = wrote.len();
-                let mut img = vec![0u8; 16 * 512];
-                disk.read(0, 16, &mut img).unwrap();
-                last_synced = Some(img);
+                wrote.push((lba, (i % 200) as u8 + 1));
+                if i % 64 == 63 {
+                    if disk.flush().is_err() {
+                        break;
+                    }
+                    synced_at = wrote.len();
+                    let mut img = vec![0u8; 16 * 512];
+                    disk.read(0, 16, &mut img).unwrap();
+                    last_synced = Some(img);
+                }
             }
-        }
-        assert!(vfs.crashed(), "seed {seed}: never crashed");
-        let mounted = FileDisk::open_on(Box::new(MemVfs::from_image(vfs.durable_image())))
-            .unwrap_or_else(|e| panic!("seed {seed}: mount after checkpoint crash: {e}"));
-        // Everything under the last successful flush must be intact.
-        if let Some(synced) = last_synced {
-            let mut now = vec![0u8; 16 * 512];
-            mounted.read(0, 16, &mut now).unwrap();
-            // Blocks whose last mutation predates the flush must match
-            // exactly; later-written blocks may hold newer stamps, so
-            // only check blocks untouched after the flush.
-            let touched_after: std::collections::HashSet<u64> =
-                wrote[synced_at..].iter().map(|&(lba, _)| lba).collect();
-            for lba in 0..16u64 {
-                if !touched_after.contains(&lba) {
-                    let a = &synced[lba as usize * 512..(lba as usize + 1) * 512];
-                    let b = &now[lba as usize * 512..(lba as usize + 1) * 512];
-                    assert_eq!(a, b, "seed {seed}: flushed lba {lba} regressed");
+            assert!(vfs.crashed(), "seed {seed}: never crashed");
+            let mounted = FileDisk::open_on(Box::new(MemVfs::from_image(vfs.durable_image())))
+                .unwrap_or_else(|e| panic!("seed {seed}: mount after checkpoint crash: {e}"));
+            // Everything under the last successful flush must be intact.
+            if let Some(synced) = last_synced {
+                let mut now = vec![0u8; 16 * 512];
+                mounted.read(0, 16, &mut now).unwrap();
+                // Blocks whose last mutation predates the flush must match
+                // exactly; later-written blocks may hold newer stamps, so
+                // only check blocks untouched after the flush.
+                let touched_after: std::collections::HashSet<u64> =
+                    wrote[synced_at..].iter().map(|&(lba, _)| lba).collect();
+                for lba in 0..16u64 {
+                    if !touched_after.contains(&lba) {
+                        let a = &synced[lba as usize * 512..(lba as usize + 1) * 512];
+                        let b = &now[lba as usize * 512..(lba as usize + 1) * 512];
+                        assert_eq!(a, b, "seed {seed} cache {cap}: flushed lba {lba} regressed");
+                    }
                 }
             }
         }

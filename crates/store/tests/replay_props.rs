@@ -159,22 +159,33 @@ fn read_all(d: &FileDisk) -> Vec<u8> {
     out
 }
 
+/// Block-cache capacities a recovered disk may be read through — the
+/// recovered state must be identical whether reads bypass the cache
+/// (0), thrash a single entry (1), or mostly hit (16).
+fn arb_cache() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(1usize), Just(4usize), Just(16usize)]
+}
+
 proptest! {
     #[test]
     fn replay_equals_longest_durable_prefix(
         ops in proptest::collection::vec(arb_op(), 1..20),
         tail in arb_tail(),
+        cache in arb_cache(),
     ) {
         let (image, complete) = build_image(&ops, &tail);
 
         let once = FileDisk::open_on(Box::new(MemVfs::from_image(image.clone())))
             .expect("formatted image must mount");
         let twice = FileDisk::open_on(Box::new(MemVfs::from_image(image)))
+            .and_then(|d| d.with_cache(cache))
             .expect("second mount");
 
         let a = read_all(&once);
         let b = read_all(&twice);
-        prop_assert_eq!(&a, &b, "double replay diverged");
+        prop_assert_eq!(&a, &b, "double replay diverged (cache {})", cache);
+        // A second pass through the cached disk (now warm) must agree too.
+        prop_assert_eq!(&a, &read_all(&twice), "warm cached re-read diverged");
 
         // A flipped byte can land in the CRC trailer of a record whose
         // damage the header checks catch earlier, or — for a flip that
@@ -198,12 +209,14 @@ proptest! {
     fn fresh_appends_after_recovery_continue_the_log(
         ops in proptest::collection::vec(arb_op(), 1..10),
         cut in 1usize..600,
+        cache in arb_cache(),
     ) {
-        // Mount a torn image, then keep writing: the new records must
-        // land where the valid prefix ended and survive a further
-        // clean reopen.
+        // Mount a torn image, then keep writing (through the cache):
+        // the new records must land where the valid prefix ended and
+        // survive a further clean reopen.
         let (image, _) = build_image(&ops, &Tail::Torn { cut });
         let mut disk = FileDisk::open_on(Box::new(MemVfs::from_image(image)))
+            .and_then(|d| d.with_cache(cache))
             .expect("mount torn image");
         disk.write(0, 1, &[0xEEu8; BLOCK], false).expect("post-recovery write");
         disk.flush().expect("post-recovery flush");

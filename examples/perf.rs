@@ -3,10 +3,11 @@
 //! §5.1).
 //!
 //! ```text
-//! cargo run --release --example perf -- [--shards N] [--backend ram|file:<path>] [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
+//! cargo run --release --example perf -- [--shards N] [--backend ram|file:<path>] [--cache BLOCKS] [--fua] [io_size_kib] [queue_depth] [read_pct] [seconds] [local|remote]
 //! cargo run --release --example perf -- 128 32 100 2 local
 //! cargo run --release --example perf -- --shards 4 16 32 100 2 local
 //! cargo run --release --example perf -- --backend file:/tmp/oaf.img 16 32 0 2 local
+//! cargo run --release --example perf -- --backend file:/tmp/oaf.img --cache 4096 16 32 0 2 local
 //! ```
 //!
 //! With `--shards N` the storage service runs the thread-per-core
@@ -18,7 +19,11 @@
 //! log-structured store instead of RAM: every write is journaled to the
 //! backing file, and an existing file is *opened* (journal replayed) so
 //! back-to-back runs measure cold-cache vs warm-restart behavior. The
-//! summary then includes the store's journal/fsync accounting.
+//! summary then includes the store's journal/fsync accounting, the
+//! block-cache hit/miss split, group-commit coalescing, and TRIM
+//! space-reclaim gauges. `--cache BLOCKS` puts a segmented-LRU
+//! write-back cache of that many blocks in front of the data region
+//! (0 = uncached, the default).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,6 +69,22 @@ fn main() {
             }
         }
     }
+    // `--cache BLOCKS`: block-cache capacity for the file backend.
+    let mut cache_blocks: usize = 0;
+    if let Some(pos) = args.iter().position(|a| a == "--cache") {
+        cache_blocks = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--cache takes a block count");
+        args.drain(pos..=pos + 1);
+    }
+    // `--fua`: every write carries Force Unit Access — a durability
+    // barrier per write, the workload group commit coalesces.
+    let mut fua = false;
+    if let Some(pos) = args.iter().position(|a| a == "--fua") {
+        fua = true;
+        args.drain(pos..=pos);
+    }
     let io_kib: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let qd: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
     let read_pct: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
@@ -96,6 +117,14 @@ fn main() {
                 nvme_oaf::store::FileDisk::create(path, block_size as u32, capacity_blocks)
                     .expect("create backing file")
             };
+            let disk = disk.with_cache(cache_blocks).expect("configure cache");
+            if cache_blocks > 0 {
+                println!(
+                    "store: {cache_blocks}-block segmented-LRU write-back cache \
+                     ({} MiB)",
+                    (cache_blocks as u64 * block_size) >> 20
+                );
+            }
             controller.add_namespace(Namespace::with_file(1, disk));
         }
     }
@@ -111,6 +140,7 @@ fn main() {
             local,
             nlb,
             capacity_blocks,
+            fua,
         );
         return;
     }
@@ -194,7 +224,13 @@ fn main() {
         } else {
             let mut buf = client.alloc(io_bytes as usize).expect("buffer");
             buf.fill((slot % 251) as u8);
-            client.submit_write(1, lba, nlb, buf).expect("submit write")
+            if fua {
+                client
+                    .submit_write_fua(1, lba, nlb, buf)
+                    .expect("submit fua write")
+            } else {
+                client.submit_write(1, lba, nlb, buf).expect("submit write")
+            }
         };
         submit_times.insert(cid, Instant::now());
     };
@@ -258,24 +294,58 @@ fn main() {
         snap.counter("transport_client", "frames_received"),
         snap.counter("transport_client", "ring_full"),
     );
-    if backend_path.is_some() {
-        let fsync_p99_us = snap
-            .histo("store_ns1", "fsync_ns")
-            .map(|h| h.p99() as f64 / 1e3)
-            .unwrap_or(0.0);
-        println!(
-            "store: {} journal appends ({} MiB), {} fsyncs (p99 {fsync_p99_us:.0}us), \
-             {} trims, {} checkpoints",
-            snap.counter("store_ns1", "log_appends"),
-            snap.counter("store_ns1", "log_bytes") >> 20,
-            snap.counter("store_ns1", "fsyncs"),
-            snap.counter("store_ns1", "trims"),
-            snap.counter("store_ns1", "checkpoints"),
-        );
-    }
+    print_store_report(&snap);
 
     pair.client.disconnect().expect("disconnect");
     pair.target.shutdown().expect("shutdown");
+}
+
+/// Durable-store accounting: journal/fsync, group-commit coalescing,
+/// block-cache hit split and TRIM space reclaim. A no-op for the RAM
+/// backend (no `store_ns1` scope in the snapshot).
+fn print_store_report(snap: &oaf_telemetry::Snapshot) {
+    let scope = "store_ns1";
+    let Some(fsync) = snap.histo(scope, "fsync_ns") else {
+        return;
+    };
+    println!(
+        "store: {} journal appends ({} MiB), {} fsyncs (p99 {:.0}us), \
+         {} trims, {} checkpoints",
+        snap.counter(scope, "log_appends"),
+        snap.counter(scope, "log_bytes") >> 20,
+        snap.counter(scope, "fsyncs"),
+        fsync.p99() as f64 / 1e3,
+        snap.counter(scope, "trims"),
+        snap.counter(scope, "checkpoints"),
+    );
+    let led = snap.counter(scope, "fsyncs");
+    let coalesced = snap.counter(scope, "fsyncs_coalesced");
+    if coalesced > 0 {
+        println!(
+            "store: group commit retired {} barriers with {led} fsyncs \
+             ({coalesced} coalesced, mean batch {:.1})",
+            led + coalesced,
+            (led + coalesced) as f64 / led.max(1) as f64,
+        );
+    }
+    let hits = snap.counter(scope, "cache_hits");
+    let misses = snap.counter(scope, "cache_misses");
+    if hits + misses > 0 {
+        println!(
+            "store: cache {hits} hits / {misses} misses ({:.0}% hit rate), \
+             {} writebacks, {} evictions",
+            hits as f64 * 100.0 / (hits + misses) as f64,
+            snap.counter(scope, "cache_writebacks"),
+            snap.counter(scope, "cache_evictions"),
+        );
+    }
+    if let Some((live, _)) = snap.gauge(scope, "live_bytes") {
+        println!(
+            "store: {} MiB live data, {} MiB reclaimed by TRIM",
+            live >> 20,
+            snap.counter(scope, "bytes_reclaimed") >> 20,
+        );
+    }
 }
 
 /// The sharded load loop: N clients round-robined onto N reactor
@@ -291,6 +361,7 @@ fn run_sharded(
     local: bool,
     nlb: u32,
     capacity_blocks: u64,
+    fua: bool,
 ) {
     let io_bytes = io_kib * 1024;
     let registry = Arc::new(HostRegistry::new());
@@ -365,7 +436,13 @@ fn run_sharded(
         } else {
             let mut buf = client.alloc(io_bytes as usize).expect("buffer");
             buf.fill((slot % 251) as u8);
-            client.submit_write(1, lba, nlb, buf).expect("submit write")
+            if fua {
+                client
+                    .submit_write_fua(1, lba, nlb, buf)
+                    .expect("submit fua write")
+            } else {
+                client.submit_write(1, lba, nlb, buf).expect("submit write")
+            }
         };
         submit_times.insert(cid, Instant::now());
     };
@@ -432,6 +509,9 @@ fn run_sharded(
             f64::NAN
         }
     );
+    // Group commit shows up here: N shards share one journal, so
+    // concurrent barriers coalesce onto one fdatasync.
+    print_store_report(&group.telemetry.snapshot());
 
     for c in &mut group.clients {
         c.disconnect().expect("disconnect");
