@@ -33,7 +33,7 @@ pub mod transport;
 
 pub use crash::CrashPoint;
 pub use payload::ChaosPayloadChannel;
-pub use transport::{wrap_pair, ChaosControls, ChaosTransport};
+pub use transport::{wrap_pair, wrap_pair_scripted, ChaosControls, ChaosTransport};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -150,6 +150,54 @@ impl FaultPlan {
         // (both would otherwise collapse to `splitmix64(seed)`).
         let mut s = self.seed ^ shard.wrapping_add(1).wrapping_mul(0x9E6C_63D0_876A_3F6B);
         rng::splitmix64(&mut s)
+    }
+}
+
+/// One scripted fault: when the `frame`-th fresh frame (0-based, counted
+/// while armed) arrives at the wrapped endpoint, apply `fault`
+/// deterministically — no PRNG involved. This is how a model-checker
+/// counterexample becomes a pinned chaos regression: the checker's
+/// minimal trace names exactly which frame to drop/reorder/duplicate/
+/// corrupt, and the scripted transport replays that schedule bit for
+/// bit on every run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Index of the fresh armed frame to fault (0 = first frame
+    /// received after [`ChaosControls::arm`]).
+    pub frame: u64,
+    /// What to do to it. Only the frame-level kinds are meaningful here
+    /// ([`FaultKind::Drop`], [`Delay`], [`Duplicate`], [`Reorder`],
+    /// [`Corrupt`]); payload/death kinds are ignored by the transport.
+    ///
+    /// [`Delay`]: FaultKind::Delay
+    /// [`Duplicate`]: FaultKind::Duplicate
+    /// [`Reorder`]: FaultKind::Reorder
+    /// [`Corrupt`]: FaultKind::Corrupt
+    pub fault: FaultKind,
+}
+
+/// A deterministic fault schedule for one endpoint, typically converted
+/// from an `oaf-mc` counterexample trace. Unlike [`FaultPlan`]'s seeded
+/// probabilities, a script fires exactly the listed faults at exactly
+/// the listed frames.
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    /// The faults to fire, matched by fresh-frame index.
+    pub faults: Vec<ScriptedFault>,
+}
+
+impl FaultScript {
+    /// A script that injects nothing.
+    pub fn empty() -> Self {
+        FaultScript::default()
+    }
+
+    /// The fault scheduled for fresh-frame `index`, if any.
+    pub fn fault_at(&self, index: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.frame == index)
+            .map(|f| f.fault)
     }
 }
 

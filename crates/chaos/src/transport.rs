@@ -19,7 +19,7 @@ use oaf_nvmeof::error::NvmeofError;
 use oaf_nvmeof::transport::Transport;
 
 use crate::rng::ChaosRng;
-use crate::{ChaosStats, FaultKind, FaultPlan};
+use crate::{ChaosStats, FaultKind, FaultPlan, FaultScript};
 
 /// Shared switchboard for one wrapped endpoint.
 struct EndpointCtl {
@@ -44,12 +44,17 @@ struct RxState {
     delayed: Vec<(u64, Bytes)>,
     /// A duplicated frame awaiting its second delivery.
     dup_pending: Option<Bytes>,
+    /// Fresh frames observed while armed (the scripted-fault index).
+    fresh: u64,
 }
 
 /// A [`Transport`] that injects faults from a seeded schedule.
 pub struct ChaosTransport<T: Transport> {
     inner: T,
     plan: FaultPlan,
+    /// When set, faults come from this deterministic schedule instead of
+    /// the plan's seeded probabilities.
+    script: Option<FaultScript>,
     ctl: Arc<EndpointCtl>,
     stats: Arc<ChaosStats>,
     state: Mutex<RxState>,
@@ -63,6 +68,7 @@ impl<T: Transport> ChaosTransport<T> {
         ChaosTransport {
             inner,
             plan,
+            script: None,
             ctl: Arc::new(EndpointCtl {
                 armed: AtomicBool::new(false),
                 dead: AtomicBool::new(false),
@@ -74,8 +80,20 @@ impl<T: Transport> ChaosTransport<T> {
                 armed_polls: 0,
                 delayed: Vec::new(),
                 dup_pending: None,
+                fresh: 0,
             }),
         }
+    }
+
+    /// Wraps one endpoint with a deterministic fault schedule: the
+    /// seeded probability rolls are bypassed entirely and exactly the
+    /// scripted faults fire, at exactly the scripted fresh-frame
+    /// indices. Corruption flips a fixed bit so even the damage is
+    /// reproducible.
+    pub fn wrap_scripted(inner: T, script: FaultScript, stats: Arc<ChaosStats>) -> Self {
+        let mut t = Self::wrap(inner, 0, FaultPlan::quiet(0), stats);
+        t.script = Some(script);
+        t
     }
 
     /// The wrapped endpoint.
@@ -134,6 +152,45 @@ impl<T: Transport> ChaosTransport<T> {
         if !armed {
             return Ok(Some(frame));
         }
+        if let Some(script) = &self.script {
+            // Scripted mode: deterministic schedule, no PRNG.
+            let idx = st.fresh;
+            st.fresh += 1;
+            match script.fault_at(idx) {
+                Some(FaultKind::Drop) => {
+                    self.stats.record(FaultKind::Drop);
+                    return Ok(None);
+                }
+                Some(FaultKind::Delay) => {
+                    let due = now + self.plan.max_delay_polls.max(1);
+                    st.delayed.push((due, frame));
+                    self.stats.record(FaultKind::Delay);
+                    return Ok(None);
+                }
+                Some(FaultKind::Reorder) => {
+                    st.delayed.push((now + 2, frame));
+                    self.stats.record(FaultKind::Reorder);
+                    return Ok(None);
+                }
+                Some(FaultKind::Duplicate) => {
+                    st.dup_pending = Some(frame.clone());
+                    self.stats.record(FaultKind::Duplicate);
+                    return Ok(Some(frame));
+                }
+                Some(FaultKind::Corrupt) => {
+                    // Deterministic damage: flip the low bit of the
+                    // first byte (any flip fails the frame CRC).
+                    let mut bytes = frame.to_vec();
+                    if !bytes.is_empty() {
+                        bytes[0] ^= 1;
+                    }
+                    self.stats.record(FaultKind::Corrupt);
+                    return Ok(Some(Bytes::from(bytes)));
+                }
+                _ => return Ok(Some(frame)),
+            }
+        }
+        st.fresh += 1;
         // One decision per fresh frame, in a fixed order so the stream
         // of rolls is a pure function of the seed and arrival count.
         if st.rng.chance(self.plan.drop_per_10k) {
@@ -233,6 +290,27 @@ impl ChaosControls {
     }
 }
 
+/// Wraps both endpoints of a connected transport pair in deterministic
+/// scripted layers: endpoint 0 replays `script_a`, endpoint 1 replays
+/// `script_b`, both reporting into one [`ChaosStats`]. This is the
+/// replay half of the model-checking loop — a counterexample converted
+/// by `oaf-mc` runs here and must reproduce its violation on every run.
+pub fn wrap_pair_scripted<A: Transport, B: Transport>(
+    a: A,
+    b: B,
+    script_a: FaultScript,
+    script_b: FaultScript,
+) -> (ChaosTransport<A>, ChaosTransport<B>, ChaosControls) {
+    let stats = Arc::new(ChaosStats::default());
+    let ta = ChaosTransport::wrap_scripted(a, script_a, stats.clone());
+    let tb = ChaosTransport::wrap_scripted(b, script_b, stats.clone());
+    let controls = ChaosControls {
+        ctls: vec![ta.ctl.clone(), tb.ctl.clone()],
+        stats,
+    };
+    (ta, tb, controls)
+}
+
 /// Wraps both endpoints of a connected transport pair in chaos layers
 /// driven by one plan: endpoint 0 draws from child seed 0, endpoint 1
 /// from child seed 1, and both report into one [`ChaosStats`].
@@ -327,6 +405,49 @@ mod tests {
         // Sends are swallowed, not errors.
         cb.send(frame(2)).unwrap();
         assert_eq!(controls.stats().count(FaultKind::PeerDeath), 1);
+    }
+
+    #[test]
+    fn scripted_faults_fire_exactly_as_written() {
+        use crate::{FaultScript, ScriptedFault};
+        let run = || {
+            let (a, b) = MemTransport::pair();
+            let script = FaultScript {
+                faults: vec![
+                    ScriptedFault {
+                        frame: 0,
+                        fault: FaultKind::Drop,
+                    },
+                    ScriptedFault {
+                        frame: 1,
+                        fault: FaultKind::Reorder,
+                    },
+                    ScriptedFault {
+                        frame: 3,
+                        fault: FaultKind::Duplicate,
+                    },
+                ],
+            };
+            let (ca, cb, controls) = wrap_pair_scripted(a, b, FaultScript::empty(), script);
+            controls.arm();
+            for i in 0..5u8 {
+                ca.send(frame(i)).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..50 {
+                if let Some(f) = cb.try_recv().unwrap() {
+                    got.push(f[0]);
+                }
+            }
+            (got, controls.stats().total())
+        };
+        let (got, faults) = run();
+        // Frame 0 dropped; frame 1 held long enough for 2 to pass it;
+        // frame 3 doubled.
+        assert_eq!(got, vec![2, 1, 3, 3, 4]);
+        assert_eq!(faults, 3);
+        // Bit-for-bit reproducible: no seed, no rolls.
+        assert_eq!(run().0, got);
     }
 
     #[test]

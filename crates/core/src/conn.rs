@@ -325,6 +325,7 @@ impl ConnectionManager {
                 .keepalive_interval
                 .map(KeepAliveConfig::with_interval),
             backoff: settings.backoff(),
+            ..InitiatorOptions::default()
         };
         let initiator = Initiator::connect(
             client_tr,

@@ -277,6 +277,7 @@ fn connect_clients(
                     .keepalive_interval
                     .map(oaf_nvmeof::initiator::KeepAliveConfig::with_interval),
                 backoff: settings.backoff(),
+                ..InitiatorOptions::default()
             },
             client_shm.clone().map(|c| c as Arc<dyn PayloadChannel>),
             Duration::from_secs(5),

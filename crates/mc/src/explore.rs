@@ -1,0 +1,208 @@
+//! Schedule exploration: depth-first enumeration of every enabled
+//! transition with visited-state pruning, plus an iterative-deepening
+//! mode that finds *minimal* counterexamples.
+
+use std::collections::HashMap;
+
+use crate::model::{Scenario, Transition, World};
+use crate::trace::Counterexample;
+
+/// Hard limits on one exploration. The checker is exhaustive *within*
+/// the budget; hitting a limit is reported, never silent.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum states to expand before giving up.
+    pub max_states: u64,
+    /// Maximum schedule length to explore.
+    pub max_depth: u32,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: 2_000_000,
+            max_depth: 64,
+        }
+    }
+}
+
+/// How the schedule tree is walked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Plain depth-first search to `max_depth`. Fastest way to sweep
+    /// the whole space when no violation is expected.
+    Dfs,
+    /// Depth-limited DFS at increasing limits. The first violation
+    /// found is therefore a *shortest* schedule — the minimal
+    /// counterexample the trace converter wants.
+    IterativeDeepening,
+}
+
+/// What an exploration found.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// States expanded (invariants evaluated on each).
+    pub explored: u64,
+    /// Expansions skipped because an equivalent state was already
+    /// visited at the same or shallower depth.
+    pub pruned: u64,
+    /// Deepest schedule prefix reached.
+    pub max_depth: u32,
+    /// Whether a budget limit stopped the sweep before it was
+    /// exhaustive.
+    pub truncated: bool,
+    /// The first invariant violation, as a replayable counterexample.
+    pub violation: Option<Counterexample>,
+}
+
+/// Walks every schedule of a [`Scenario`] within a [`Budget`].
+pub struct Explorer {
+    scenario: Scenario,
+    budget: Budget,
+    strategy: Strategy,
+}
+
+struct Search {
+    budget: Budget,
+    depth_limit: u32,
+    /// Fingerprint → shallowest depth at which the state was expanded.
+    /// A revisit at a *shallower* depth re-expands: with a depth limit
+    /// in force, the shallower visit can reach successors the deeper
+    /// one could not, and minimality depends on it.
+    visited: HashMap<u64, u32>,
+    explored: u64,
+    pruned: u64,
+    max_depth: u32,
+    truncated: bool,
+    path: Vec<Transition>,
+    violation: Option<Counterexample>,
+}
+
+impl Explorer {
+    /// An explorer with the default budget and plain DFS.
+    pub fn new(scenario: Scenario) -> Self {
+        Explorer {
+            scenario,
+            budget: Budget::default(),
+            strategy: Strategy::Dfs,
+        }
+    }
+
+    /// Overrides the exploration budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the walk strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the exploration to completion (or budget exhaustion).
+    pub fn run(&self) -> Outcome {
+        let mut total_explored = 0;
+        let mut total_pruned = 0;
+        let mut max_depth = 0;
+        let mut truncated = false;
+        let limits: Vec<u32> = match self.strategy {
+            Strategy::Dfs => vec![self.budget.max_depth],
+            Strategy::IterativeDeepening => (1..=self.budget.max_depth).collect(),
+        };
+        for limit in limits {
+            let mut s = Search {
+                budget: self.budget,
+                depth_limit: limit,
+                visited: HashMap::new(),
+                explored: 0,
+                pruned: 0,
+                max_depth: 0,
+                truncated: false,
+                path: Vec::new(),
+                violation: None,
+            };
+            let mut root = World::new(&self.scenario);
+            s.visited.insert(root.fingerprint(), 0);
+            s.dfs(&mut root, 0, &self.scenario);
+            total_explored += s.explored;
+            total_pruned += s.pruned;
+            max_depth = max_depth.max(s.max_depth);
+            truncated |= s.truncated;
+            if s.violation.is_some() {
+                return Outcome {
+                    explored: total_explored,
+                    pruned: total_pruned,
+                    max_depth,
+                    truncated,
+                    violation: s.violation,
+                };
+            }
+            // Iterative deepening converges once a limit goes unused:
+            // deeper limits can only re-walk the same closed space.
+            if self.strategy == Strategy::IterativeDeepening && s.max_depth < limit {
+                break;
+            }
+        }
+        Outcome {
+            explored: total_explored,
+            pruned: total_pruned,
+            max_depth,
+            truncated,
+            violation: None,
+        }
+    }
+}
+
+impl Search {
+    fn dfs(&mut self, world: &mut World, depth: u32, scenario: &Scenario) {
+        if self.violation.is_some() || self.truncated {
+            return;
+        }
+        self.explored += 1;
+        self.max_depth = self.max_depth.max(depth);
+        if self.explored >= self.budget.max_states {
+            self.truncated = true;
+            return;
+        }
+        let transitions = world.transitions();
+        if transitions.is_empty() {
+            if let Some(v) = world.stuck() {
+                self.violation = Some(Counterexample::build(scenario, &self.path, v));
+            }
+            return;
+        }
+        if depth >= self.depth_limit {
+            // A cut-off frontier means this limit was not exhaustive;
+            // only plain DFS treats that as truncation (iterative
+            // deepening will come back with a larger limit).
+            if self.depth_limit == self.budget.max_depth {
+                self.truncated = true;
+            }
+            return;
+        }
+        for t in transitions {
+            let mut next = world.clone();
+            let violation = next.apply(t);
+            self.path.push(t);
+            if let Some(v) = violation {
+                self.violation = Some(Counterexample::build(scenario, &self.path, v));
+                self.path.pop();
+                return;
+            }
+            let fp = next.fingerprint();
+            let next_depth = depth + 1;
+            match self.visited.get(&fp) {
+                Some(&seen) if seen <= next_depth => self.pruned += 1,
+                _ => {
+                    self.visited.insert(fp, next_depth);
+                    self.dfs(&mut next, next_depth, scenario);
+                }
+            }
+            self.path.pop();
+            if self.violation.is_some() || self.truncated {
+                return;
+            }
+        }
+    }
+}

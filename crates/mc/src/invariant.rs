@@ -1,0 +1,87 @@
+//! Invariant predicates evaluated at every explored state.
+
+use std::fmt;
+
+/// A safety property the recovery protocol broke on some schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A write-class logical command was applied under two distinct
+    /// generations — the original *and* a resubmission both landed. The
+    /// abort round-trip exists precisely to make this impossible.
+    DoubleApply {
+        /// Logical command slot.
+        slot: usize,
+        /// The distinct generations that applied.
+        gens: Vec<u32>,
+    },
+    /// One logical command resolved (completed or timed out) twice.
+    DoubleResolve {
+        /// Logical command slot.
+        slot: usize,
+    },
+    /// A success completion was delivered before the data it vouches
+    /// for had fully arrived — the caller would read a stale buffer.
+    StaleRead {
+        /// Logical command slot.
+        slot: usize,
+        /// Contiguous payload bytes that had actually arrived.
+        got: u32,
+        /// Bytes the transfer owes before completing.
+        need: u32,
+    },
+    /// A write completed `ok` at the initiator but nothing was ever
+    /// applied at the target (acknowledged-then-lost).
+    AckedLostWrite {
+        /// Logical command slot.
+        slot: usize,
+    },
+    /// The target answered an Abort `applied = true` for a `(cid, gseq)`
+    /// it had previously answered `applied = false` — the initiator has
+    /// already resubmitted, so both attempts landed.
+    AbortAppliedAfterNotApplied {
+        /// Wire cid of the aborted attempt.
+        cid: u16,
+        /// Generation of the aborted attempt.
+        gseq: u32,
+    },
+    /// A frame arrived that the protocol cannot account for (not even
+    /// as a stale duplicate) — the shells would surface a protocol
+    /// error and tear the connection down.
+    UnexpectedFrame {
+        /// Human-readable description of the frame and why.
+        what: String,
+    },
+    /// No transition is enabled, the peer is alive, and at least one
+    /// command can never resolve: the protocol deadlocked.
+    Stuck,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DoubleApply { slot, gens } => {
+                write!(
+                    f,
+                    "double-apply: command #{slot} applied under generations {gens:?}"
+                )
+            }
+            Violation::DoubleResolve { slot } => {
+                write!(f, "double-resolve: command #{slot} resolved twice")
+            }
+            Violation::StaleRead { slot, got, need } => write!(
+                f,
+                "stale read: command #{slot} completed ok with {got}/{need} payload bytes arrived"
+            ),
+            Violation::AckedLostWrite { slot } => write!(
+                f,
+                "acknowledged-then-lost: write #{slot} completed ok but never applied"
+            ),
+            Violation::AbortAppliedAfterNotApplied { cid, gseq } => write!(
+                f,
+                "abort answered applied=true after applied=false for cid {cid} gseq {gseq}"
+            ),
+            Violation::UnexpectedFrame { what } => write!(f, "unexpected frame: {what}"),
+            Violation::Stuck => write!(f, "stuck: no transition enabled yet commands unresolved"),
+        }
+    }
+}

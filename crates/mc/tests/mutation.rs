@@ -1,0 +1,79 @@
+//! The mutation leg: re-break the protocol on purpose and prove the
+//! checker finds the bug with a *minimal* counterexample. The mutation
+//! is the PR 4 held-completion bug — success completions released
+//! before the data they vouch for — re-introduced behind the
+//! `mc-mutations` feature as `mutate_deliver_early`.
+#![cfg(feature = "mc-mutations")]
+
+use oaf_chaos::FaultKind;
+use oaf_mc::model::Dir;
+use oaf_mc::{CmdKind, Explorer, FaultBudget, Scenario, Strategy, Violation};
+
+fn mutated_read_scenario() -> Scenario {
+    let mut s = Scenario::new(
+        "read-deliver-early",
+        vec![CmdKind::Read],
+        FaultBudget::only(FaultKind::Reorder, 1),
+    );
+    s.data_chunks = 1;
+    s.recovery.mutate_deliver_early = true;
+    s
+}
+
+#[test]
+fn deliver_early_mutation_yields_a_minimal_stale_read() {
+    let outcome = Explorer::new(mutated_read_scenario())
+        .strategy(Strategy::IterativeDeepening)
+        .run();
+    let cx = outcome
+        .violation
+        .expect("a reorderable read against the deliver-early core must fail");
+    println!("{cx}");
+
+    match cx.violation {
+        Violation::StaleRead { got, need, .. } => {
+            assert!(got < need, "stale read with got={got} need={need}?");
+        }
+        ref other => panic!("expected StaleRead, found {other}"),
+    }
+    // Iterative deepening guarantees a shortest schedule: deliver the
+    // command, then let the response overtake the data. Two steps.
+    assert_eq!(
+        cx.transitions.len(),
+        2,
+        "counterexample is not minimal:\n{cx}"
+    );
+
+    // And it converts into a deterministic chaos script: one reorder on
+    // the first target→initiator frame (the data), nothing else.
+    let scripts = cx.to_fault_scripts();
+    assert!(scripts.target.faults.is_empty(), "{:?}", scripts.target);
+    assert_eq!(scripts.initiator.faults.len(), 1, "{:?}", scripts.initiator);
+    assert_eq!(scripts.initiator.faults[0].frame, 0);
+    assert_eq!(scripts.initiator.faults[0].fault, FaultKind::Reorder);
+    assert!(cx
+        .faults
+        .iter()
+        .any(|&(d, s, f)| d == Dir::T2I && s == 0 && f == FaultKind::Reorder));
+}
+
+#[test]
+fn the_correct_core_closes_the_same_space_clean() {
+    let mut scenario = mutated_read_scenario();
+    scenario.recovery.mutate_deliver_early = false;
+    let outcome = Explorer::new(scenario).run();
+    if let Some(cx) = &outcome.violation {
+        panic!("unmutated core failed the mutation scenario:\n{cx}");
+    }
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn plain_dfs_finds_the_mutation_too() {
+    // DFS order gives no minimality guarantee, but the bug must still
+    // be found — and still convert to a non-empty script.
+    let outcome = Explorer::new(mutated_read_scenario()).run();
+    let cx = outcome.violation.expect("DFS must also find the bug");
+    assert!(matches!(cx.violation, Violation::StaleRead { .. }));
+    assert!(!cx.to_fault_scripts().initiator.faults.is_empty());
+}

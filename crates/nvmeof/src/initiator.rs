@@ -20,6 +20,9 @@ use crate::nvme::completion::{NvmeCompletion, Status};
 use crate::nvme::controller::IdentifyInfo;
 use crate::payload::{PayloadChannel, WriteLease};
 use crate::pdu::{Abort, CapsuleCmd, DataPdu, DataRef, Degrade, ICReq, KeepAlive, Pdu, AF_CAP_SHM};
+use crate::recovery::{
+    Action, DataArrival, DataNeed, InitiatorRecovery, KeepAliveNanos, Nanos, RecoveryConfig,
+};
 use crate::transport::{BackoffConfig, Frame, Transport, WaitLadder, WaitStep};
 use crate::tune::{BusyPollController, PollClass};
 use crate::FlowMode;
@@ -72,6 +75,21 @@ pub struct InitiatorOptions {
     /// Keep-alive probing; `None` disables heartbeats and peer-death
     /// detection.
     pub keepalive: Option<KeepAliveConfig>,
+    /// Longest a single barrier episode — one or more Flush/FUA-class
+    /// commands continuously in flight — may pause the deadline and
+    /// keep-alive clock. A group-commit `fdatasync` on the target's
+    /// reactor thread legitimately silences the connection for tens of
+    /// milliseconds; excluding that window (up to this cap) keeps a
+    /// healthy barrier from blowing command deadlines or keep-alive
+    /// grace at high FUA queue depth. The cap bounds the exclusion so a
+    /// genuinely lost barrier still times out and retries.
+    pub barrier_grace: Duration,
+    /// Re-introduces the PR 4 held-completion bug (success completions
+    /// delivered before the data they vouch for) so the `oaf-mc`
+    /// mutation leg can prove the model checker finds that class.
+    /// Default `false` even when the feature is compiled in.
+    #[cfg(feature = "mc-mutations")]
+    pub mc_deliver_early: bool,
     /// Spin→yield→sleep ladder tuning for the blocking waits
     /// (`connect`, `wait`) — the same knob the ring transports use.
     pub backoff: BackoffConfig,
@@ -94,12 +112,38 @@ impl Default for InitiatorOptions {
             max_retries: 3,
             retry_backoff: Duration::from_millis(2),
             keepalive: None,
+            barrier_grace: Duration::from_millis(250),
+            #[cfg(feature = "mc-mutations")]
+            mc_deliver_early: false,
             backoff: BackoffConfig::default(),
             // Fig. 9's optimum for the paper's 25 Gbps testbed; payloads
             // at or below this are untouched.
             write_chunk: 512 * 1024,
         }
     }
+}
+
+impl InitiatorOptions {
+    /// Lowers the recovery-relevant knobs into the pure decision core's
+    /// config (durations become nanoseconds since the connection epoch).
+    fn recovery_config(&self) -> RecoveryConfig {
+        RecoveryConfig {
+            cmd_deadline: self.cmd_deadline.map(duration_nanos),
+            max_retries: self.max_retries,
+            retry_backoff: duration_nanos(self.retry_backoff),
+            keepalive: self.keepalive.map(|ka| KeepAliveNanos {
+                interval: duration_nanos(ka.interval),
+                grace: duration_nanos(ka.grace),
+            }),
+            barrier_grace: duration_nanos(self.barrier_grace),
+            #[cfg(feature = "mc-mutations")]
+            mutate_deliver_early: self.mc_deliver_early,
+        }
+    }
+}
+
+fn duration_nanos(d: Duration) -> Nanos {
+    Nanos::try_from(d.as_nanos()).unwrap_or(Nanos::MAX)
 }
 
 struct PendingIo {
@@ -118,15 +162,10 @@ struct PendingIo {
     borrow: bool,
     /// Unconsumed shm payload reference for a borrowed read.
     shm_data: Option<(u32, u32)>,
-    /// Contiguous prefix of the read buffer filled by C2H data. A chunk
-    /// landing past the watermark does not advance it, so `got` never
-    /// overstates what has arrived; a gap left by a dropped chunk keeps
-    /// the command held until the deadline re-fetches it.
+    /// Contiguous prefix of the read buffer filled by C2H data — buffer
+    /// bookkeeping only; the hold/release *decision* runs on the
+    /// recovery core's own watermark (`crate::recovery`).
     got: usize,
-    /// A success completion that arrived before the data it vouches for
-    /// (a reordering fabric can do that). Held until the last byte
-    /// lands, then resolved exactly as if it had arrived in order.
-    early_completion: Option<NvmeCompletion>,
     submitted_at: Instant,
     /// Retained write/compare payload (a refcount clone, no copy) so a
     /// lost command can be replayed — including over TCP after a shm
@@ -136,21 +175,6 @@ struct PendingIo {
     /// Slot the original submission published over shm, if any, so a
     /// retry or abort can free it instead of leaking it.
     published_slot: Option<(u32, u32)>,
-    /// When the command times out and becomes eligible for retry.
-    deadline: Option<Instant>,
-    /// Retries consumed (0 = first flight).
-    attempts: u32,
-    /// A write-class retry is waiting on its abort round-trip.
-    awaiting_abort: bool,
-}
-
-impl PendingIo {
-    /// Whether the opcode may be resubmitted without an abort
-    /// round-trip. Delegates to [`Opcode::retries_freely`] — the single
-    /// classification the target's dispatch also derives from.
-    fn retries_freely(&self) -> bool {
-        self.cmd.opcode.retries_freely()
-    }
 }
 
 /// Outcome of a completed I/O.
@@ -171,21 +195,22 @@ pub struct IoResult {
     pub shm: Option<(u32, u32)>,
 }
 
-/// Recently-retired wire cids remembered for stale-frame tolerance:
-/// late duplicates, completions that raced a retry, and frames for
-/// aborted commands are dropped (and counted) instead of erroring the
-/// connection. Sized far above any sane queue depth.
-const RETIRED_RING: usize = 256;
-
 /// Per-connection client state, split from the transport so the batched
 /// receive path can borrow the two disjointly: `recv_batch` holds the
 /// transport shared while the frame callback mutates the state.
+///
+/// Everything that *decides* recovery — cid/generation allocation,
+/// deadlines and retries, abort round-trips, the retired-cid ring, held
+/// completions, keep-alive, degrade replay — lives in
+/// [`InitiatorRecovery`] (`crate::recovery`), a pure state machine the
+/// `oaf-mc` model checker drives through every schedule. This shell
+/// owns buffers, sockets and telemetry and executes the core's
+/// [`Action`]s.
 struct ClientState {
     payload: Option<Arc<dyn PayloadChannel>>,
     opts: InitiatorOptions,
     shm_active: bool,
     in_capsule_max: usize,
-    next_cid: u16,
     pending: HashMap<u16, PendingIo>,
     completed: Vec<IoResult>,
     /// Reusable encode scratch: every control PDU is encoded here and
@@ -193,25 +218,17 @@ struct ClientState {
     /// allocates nothing on the send side.
     scratch: BytesMut,
     metrics: Arc<InitiatorMetrics>,
-    /// Ring of recently-retired wire cids (0 = empty; cid 0 is never
-    /// allocated). Fixed-size so stale-frame tolerance costs no heap.
-    retired: [u16; RETIRED_RING],
-    retired_at: usize,
     /// User cids whose retry budget ran out; `wait` surfaces them as
     /// [`NvmeofError::Timeout`].
     timed_out: Vec<u16>,
-    /// Earliest pending deadline, tracked as a scalar so the steady
-    /// state pays one comparison per poll, not a map scan.
-    next_deadline: Option<Instant>,
-    /// Reusable scratch for the (cold) deadline sweep.
-    expired_scratch: Vec<u16>,
-    /// Keep-alive bookkeeping.
-    last_rx: Instant,
-    last_ka_tx: Instant,
-    ka_seq: u64,
-    ka_outstanding: bool,
-    /// The shm payload path has been abandoned mid-flight.
-    degraded: bool,
+    /// Connection epoch: the recovery core's time zero.
+    epoch: Instant,
+    /// The pure recovery decision core — the exact code `oaf-mc`
+    /// model-checks.
+    core: InitiatorRecovery,
+    /// Reusable buffer for the core's emitted actions, drained by
+    /// [`ClientState::apply_actions`] (steady state allocates nothing).
+    actions: Vec<Action>,
     /// Workload-adaptive busy-poll budgets (§4.5, Fig. 10): observed
     /// wait times feed per-direction EWMAs; [`Initiator::wait`] spins
     /// for the chosen budget before descending to yields and sleeps.
@@ -225,67 +242,46 @@ pub struct Initiator<T: Transport> {
 }
 
 impl ClientState {
-    fn alloc_cid(&mut self) -> u16 {
-        // Linear probe around the u16 space; QD is far below 65k.
-        loop {
-            let cid = self.next_cid;
-            self.next_cid = self.next_cid.wrapping_add(1).max(1);
-            if !self.pending.contains_key(&cid) {
-                return cid;
-            }
-        }
+    /// Core time: nanoseconds since the connection epoch.
+    fn now(&self) -> Nanos {
+        Nanos::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(Nanos::MAX)
     }
 
-    /// Registers a new in-flight command and bumps the queue-depth
-    /// telemetry (the map insert reuses freed capacity in steady state).
-    fn track(&mut self, cmd: NvmeCommand, read_buf: Vec<u8>, stashed_write: Option<Bytes>) {
-        let now = Instant::now();
-        let deadline = self.arm_deadline(now, 0);
+    /// Registers a new in-flight command: the recovery core allocates
+    /// the wire cid and generation tag (skipping live *and*
+    /// recently-retired cids) and arms the deadline; the shell mirrors
+    /// the buffer state. Returns the stamped command — its cid is also
+    /// the user cid, this being a first submission.
+    fn track(
+        &mut self,
+        mut cmd: NvmeCommand,
+        read_buf: Vec<u8>,
+        stashed_write: Option<Bytes>,
+        borrow: bool,
+        need: DataNeed,
+    ) -> NvmeCommand {
+        let now = self.now();
+        let (cid, gseq) = self.core.begin(cmd.opcode, cmd.fua, need, false, now);
+        cmd.cid = cid;
+        cmd.gseq = gseq;
         self.pending.insert(
-            cmd.cid,
+            cid,
             PendingIo {
                 cmd,
-                user_cid: cmd.cid,
+                user_cid: cid,
                 read_buf,
                 stashed_write,
-                borrow: false,
+                borrow,
                 shm_data: None,
                 got: 0,
-                early_completion: None,
-                submitted_at: now,
+                submitted_at: self.epoch + Duration::from_nanos(now),
                 retry_payload: None,
                 published_slot: None,
-                deadline,
-                attempts: 0,
-                awaiting_abort: false,
             },
         );
         self.metrics.submitted.inc();
         self.metrics.inflight.add(1);
-    }
-
-    /// Computes a command deadline for retry round `attempts` and folds
-    /// it into the scalar next-deadline watermark.
-    fn arm_deadline(&mut self, now: Instant, attempts: u32) -> Option<Instant> {
-        let base = self.opts.cmd_deadline?;
-        let backoff = self.opts.retry_backoff * (1u32 << attempts.min(6));
-        let deadline = now + base + backoff;
-        self.next_deadline = Some(match self.next_deadline {
-            Some(d) if d <= deadline => d,
-            _ => deadline,
-        });
-        Some(deadline)
-    }
-
-    /// Remembers a wire cid as retired so late frames for it are
-    /// tolerated instead of erroring the connection.
-    fn retire_cid(&mut self, cid: u16) {
-        self.retired[self.retired_at] = cid;
-        self.retired_at = (self.retired_at + 1) % RETIRED_RING;
-    }
-
-    fn is_retired(&self, cid: u16) -> bool {
-        self.retired.contains(&cid)
+        cmd
     }
 
     /// Encodes `pdu` into the connection scratch and sends the borrowed
@@ -350,34 +346,81 @@ impl ClientState {
         }
     }
 
-    /// Abandons the shared-memory payload path mid-flight: quarantines
-    /// the channel, notifies the target, replays every in-flight
-    /// shm-published command over the TCP control path (writes with a
-    /// retained payload resubmit under a fresh cid; zero-copy writes go
-    /// through the abort round-trip), and sweeps the slot region.
-    fn degrade<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
-        if self.degraded {
+    /// Drains and executes the actions the recovery core emitted:
+    /// sends, buffer moves, telemetry, completion/timeout surfacing.
+    /// The buffer is reused, so the steady state allocates nothing.
+    fn apply_actions<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
+        if self.actions.is_empty() {
             return Ok(());
         }
-        self.degraded = true;
+        let mut actions = std::mem::take(&mut self.actions);
+        let mut result = Ok(());
+        for action in actions.drain(..) {
+            if result.is_ok() {
+                result = self.apply_action(transport, action);
+            }
+        }
+        self.actions = actions;
+        result
+    }
+
+    fn apply_action<T: Transport + ?Sized>(
+        &mut self,
+        transport: &T,
+        action: Action,
+    ) -> Result<(), NvmeofError> {
+        match action {
+            Action::Complete {
+                wire_cid,
+                completion,
+            } => {
+                self.finish_command(wire_cid, completion);
+                Ok(())
+            }
+            Action::Resubmit {
+                old_cid,
+                new_cid,
+                gseq,
+            } => self.do_resubmit(transport, old_cid, new_cid, gseq),
+            Action::SendAbort { cid, gseq } => {
+                self.metrics.retries.inc();
+                self.metrics.aborts_sent.inc();
+                self.send_pdu_lossy(transport, &Pdu::Abort(Abort { cid, gseq }))
+            }
+            Action::GiveUp { wire_cid } => {
+                self.do_give_up(wire_cid);
+                Ok(())
+            }
+            Action::SendKeepAlive {
+                seq,
+                missed_previous,
+            } => {
+                if missed_previous {
+                    self.metrics.keepalive_misses.inc();
+                }
+                self.send_pdu_lossy(transport, &Pdu::KeepAlive(KeepAlive { seq }))
+            }
+            Action::PeerDead => {
+                self.metrics.keepalive_misses.inc();
+                Err(NvmeofError::PeerDead)
+            }
+        }
+    }
+
+    /// Abandons the shared-memory payload path mid-flight: quarantines
+    /// the channel, notifies the target, and executes the core's replay
+    /// decisions for every in-flight shm-published command (writes with
+    /// a retained payload resubmit under a fresh cid; zero-copy writes
+    /// go through the abort round-trip).
+    fn degrade<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
+        let now = self.now();
+        if !self.core.degrade(now, &mut self.actions) {
+            return Ok(());
+        }
         self.shm_active = false;
         self.metrics.degradations.inc();
         self.send_pdu_lossy(transport, &Pdu::Degrade(Degrade { reason: 1 }))?;
-        // Replay in-flight commands whose payload (or expected payload)
-        // was parked in the now-dead region. Collect first: resubmission
-        // mutates the pending map.
-        self.expired_scratch.clear();
-        for (&cid, io) in self.pending.iter() {
-            if io.published_slot.is_some() {
-                self.expired_scratch.push(cid);
-            }
-        }
-        let stranded = std::mem::take(&mut self.expired_scratch);
-        for cid in &stranded {
-            self.retry_command(transport, *cid)?;
-        }
-        self.expired_scratch = stranded;
-        self.expired_scratch.clear();
+        self.apply_actions(transport)?;
         // Quarantine + sweep: no new leases succeed, and published-but-
         // unconsumed slots return to the pool (counted by the channel's
         // own `slots_reclaimed` stat).
@@ -388,76 +431,32 @@ impl ClientState {
         Ok(())
     }
 
-    /// One retry step for wire cid `cid`: reads (and other freely
-    /// retryable opcodes) resubmit under a fresh wire cid; write-class
-    /// commands first run the abort round-trip so a retry can never
-    /// double-apply. Exhausted budgets surface the command on the
-    /// timed-out list.
-    fn retry_command<T: Transport + ?Sized>(
+    /// Executes the core's resubmit decision: re-sends the command
+    /// tracked under `old_cid` as `new_cid` (the core already retired
+    /// the old cid). Frees the slot the original published — the target
+    /// has provably not consumed it (abort said not-applied, or the
+    /// channel is quarantined and swept anyway) — and replays the
+    /// payload from the retained clone over the control path, since
+    /// retries prefer the conservative route.
+    fn do_resubmit<T: Transport + ?Sized>(
         &mut self,
         transport: &T,
-        cid: u16,
+        old_cid: u16,
+        new_cid: u16,
+        gseq: u32,
     ) -> Result<(), NvmeofError> {
-        let Some(io) = self.pending.get(&cid) else {
+        let Some(mut io) = self.pending.remove(&old_cid) else {
             return Ok(());
         };
-        if io.attempts >= self.opts.max_retries {
-            return self.give_up(cid);
-        }
-        if io.retries_freely() {
-            self.resubmit(transport, cid)
-        } else {
-            // Write-class: (re-)request the abort round-trip. The ack
-            // tells us whether the original applied (complete with its
-            // status) or not (safe to resubmit under a fresh cid).
-            let now = Instant::now();
-            let io = self.pending.get_mut(&cid).expect("checked above");
-            io.attempts += 1;
-            io.awaiting_abort = true;
-            let attempts = io.attempts;
-            io.deadline = None; // re-armed below so the watermark updates
-            let deadline = self.arm_deadline(now, attempts);
-            self.pending.get_mut(&cid).expect("still pending").deadline = deadline;
-            self.metrics.retries.inc();
-            self.metrics.aborts_sent.inc();
-            self.send_pdu_lossy(transport, &Pdu::Abort(Abort { cid }))
-        }
-    }
-
-    /// Resubmits `cid` under a fresh wire cid (the old one is retired so
-    /// its late frames are tolerated). The payload, if any, replays from
-    /// the retained clone — over the control path, since retries prefer
-    /// the conservative route.
-    fn resubmit<T: Transport + ?Sized>(
-        &mut self,
-        transport: &T,
-        cid: u16,
-    ) -> Result<(), NvmeofError> {
-        let Some(mut io) = self.pending.remove(&cid) else {
-            return Ok(());
-        };
-        self.retire_cid(cid);
-        // Free the slot the original submission published: the target
-        // has provably not consumed it (abort said not-applied, or the
-        // channel is quarantined and swept anyway).
         if let Some((slot, _len)) = io.published_slot.take() {
             if let Some(ch) = self.payload.as_ref() {
                 ch.reclaim_slot(slot);
             }
         }
-        let new_cid = self.alloc_cid();
-        let now = Instant::now();
         io.cmd.cid = new_cid;
-        if !io.awaiting_abort {
-            // An abort round-trip already charged this retry round.
-            io.attempts += 1;
-        }
-        io.awaiting_abort = false;
-        // The fresh attempt refills the buffer from byte zero, and any
-        // completion held for the old attempt vouches for nothing now.
+        io.cmd.gseq = gseq;
+        // The fresh attempt refills the buffer from byte zero.
         io.got = 0;
-        io.early_completion = None;
-        io.deadline = self.arm_deadline(now, io.attempts);
         let data = match io.retry_payload.clone() {
             Some(data) if data.len() <= self.in_capsule_max => Some(DataRef::Inline(data)),
             Some(data) => {
@@ -472,12 +471,12 @@ impl ClientState {
         self.send_pdu_lossy(transport, &Pdu::CapsuleCmd(CapsuleCmd { cmd, data }))
     }
 
-    /// Retires `cid` as timed out: its retry budget is spent.
-    fn give_up(&mut self, cid: u16) -> Result<(), NvmeofError> {
+    /// Executes the core's give-up decision: the retry budget is spent,
+    /// surface the command on the timed-out list.
+    fn do_give_up(&mut self, cid: u16) {
         let Some(mut io) = self.pending.remove(&cid) else {
-            return Ok(());
+            return;
         };
-        self.retire_cid(cid);
         if let Some((slot, _len)) = io.published_slot.take() {
             if let Some(ch) = self.payload.as_ref() {
                 ch.reclaim_slot(slot);
@@ -486,40 +485,17 @@ impl ClientState {
         self.timed_out.push(io.user_cid);
         self.metrics.timeouts.inc();
         self.metrics.inflight.sub(1);
-        Ok(())
     }
 
-    /// Whether `io` still owes the caller payload bytes — completing it
-    /// now would hand back a partially-filled (or untouched) read
-    /// buffer. True exactly when a success completion must be held
-    /// because it overtook its own C2H data on a reordering fabric.
-    fn awaiting_read_data(io: &PendingIo) -> bool {
-        match io.cmd.opcode {
-            Opcode::Read => {
-                if io.borrow {
-                    // Borrowed reads park a shm reference (or fall back
-                    // to an inline copy, which advances `got`).
-                    io.shm_data.is_none() && io.got == 0
-                } else {
-                    io.got < io.read_buf.len()
-                }
-            }
-            // Identify data arrives as one inline chunk of unpredictable
-            // size; any arrival marks it complete.
-            Opcode::Identify => io.got == 0,
-            _ => false,
-        }
-    }
-
-    /// Resolves wire cid `cid` with `completion`: retires the cid,
-    /// settles telemetry and queues the [`IoResult`] under the user cid.
-    /// Shared by the in-order path, the held-completion release in the
-    /// C2H data handler, and the abort-ack "already applied" path.
+    /// Resolves wire cid `cid` with `completion` (the core has already
+    /// retired the cid): settles telemetry and queues the [`IoResult`]
+    /// under the user cid. Driven by [`Action::Complete`] from the
+    /// in-order path, the held-completion release and the abort-ack
+    /// "already applied" path alike.
     fn finish_command(&mut self, cid: u16, completion: NvmeCompletion) {
         let Some(mut pending) = self.pending.remove(&cid) else {
             return;
         };
-        self.retire_cid(cid);
         self.metrics.completions.inc();
         self.metrics.inflight.sub(1);
         if !completion.status.is_ok() {
@@ -540,81 +516,17 @@ impl ClientState {
         });
     }
 
-    /// Deadline + keep-alive pass, run once per poll. Costs one
-    /// `Instant::now()` when either feature is enabled and nothing when
-    /// both are off; the deadline sweep itself only runs when the scalar
+    /// Deadline + keep-alive pass, run once per poll. Costs one clock
+    /// read when either feature is enabled and nothing when both are
+    /// off; the core's deadline sweep only runs when its scalar
     /// watermark has actually expired.
     fn tick<T: Transport + ?Sized>(&mut self, transport: &T) -> Result<(), NvmeofError> {
-        let deadlines = self.opts.cmd_deadline.is_some();
-        let keepalive = self.opts.keepalive.is_some();
-        if !deadlines && !keepalive {
+        if self.opts.cmd_deadline.is_none() && self.opts.keepalive.is_none() {
             return Ok(());
         }
-        let now = Instant::now();
-        if deadlines {
-            self.sweep_deadlines(transport, now)?;
-        }
-        if keepalive {
-            self.check_keepalive(transport, now)?;
-        }
-        Ok(())
-    }
-
-    fn sweep_deadlines<T: Transport + ?Sized>(
-        &mut self,
-        transport: &T,
-        now: Instant,
-    ) -> Result<(), NvmeofError> {
-        if self.next_deadline.is_none_or(|d| now < d) {
-            return Ok(());
-        }
-        // Cold path: something actually expired (or the watermark is
-        // stale after a completion). Sweep, collect, recompute.
-        self.next_deadline = None;
-        let mut expired = std::mem::take(&mut self.expired_scratch);
-        expired.clear();
-        for (&cid, io) in self.pending.iter() {
-            match io.deadline {
-                Some(d) if now >= d => expired.push(cid),
-                Some(d) => {
-                    self.next_deadline = Some(match self.next_deadline {
-                        Some(cur) if cur <= d => cur,
-                        _ => d,
-                    });
-                }
-                None => {}
-            }
-        }
-        for cid in &expired {
-            self.retry_command(transport, *cid)?;
-        }
-        expired.clear();
-        self.expired_scratch = expired;
-        Ok(())
-    }
-
-    fn check_keepalive<T: Transport + ?Sized>(
-        &mut self,
-        transport: &T,
-        now: Instant,
-    ) -> Result<(), NvmeofError> {
-        let ka = self.opts.keepalive.expect("caller checked");
-        let quiet = now.duration_since(self.last_rx);
-        if quiet >= ka.grace {
-            self.metrics.keepalive_misses.inc();
-            return Err(NvmeofError::PeerDead);
-        }
-        if quiet >= ka.interval && now.duration_since(self.last_ka_tx) >= ka.interval {
-            if self.ka_outstanding {
-                self.metrics.keepalive_misses.inc();
-            }
-            self.ka_seq += 1;
-            let seq = self.ka_seq;
-            self.last_ka_tx = now;
-            self.ka_outstanding = true;
-            self.send_pdu_lossy(transport, &Pdu::KeepAlive(KeepAlive { seq }))?;
-        }
-        Ok(())
+        let now = self.now();
+        self.core.tick(now, &mut self.actions);
+        self.apply_actions(transport)
     }
 }
 
@@ -664,7 +576,7 @@ impl<T: Transport> Initiator<T> {
             }
         };
         let shm_active = resp.af_caps & AF_CAP_SHM != 0 && payload.is_some();
-        let now = Instant::now();
+        let core = InitiatorRecovery::new(opts.recovery_config(), 0);
         Ok(Initiator {
             transport,
             state: ClientState {
@@ -672,23 +584,19 @@ impl<T: Transport> Initiator<T> {
                 opts,
                 shm_active,
                 in_capsule_max: resp.ioccsz as usize,
-                next_cid: 1,
                 pending: HashMap::new(),
                 completed: Vec::new(),
                 // Control PDUs top out well under this; sized so the
                 // steady state never regrows it.
                 scratch: BytesMut::with_capacity(256),
                 metrics: InitiatorMetrics::new(),
-                retired: [0u16; RETIRED_RING],
-                retired_at: 0,
-                timed_out: Vec::new(),
-                next_deadline: None,
-                expired_scratch: Vec::new(),
-                last_rx: now,
-                last_ka_tx: now,
-                ka_seq: 0,
-                ka_outstanding: false,
-                degraded: false,
+                // Pre-sized so cold recovery paths (give-up, the abort
+                // round-trip) don't pay a first-growth allocation when
+                // they first fire in steady state.
+                timed_out: Vec::with_capacity(16),
+                epoch: Instant::now(),
+                core,
+                actions: Vec::with_capacity(16),
                 poller: BusyPollController::new(),
             },
         })
@@ -739,8 +647,7 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         data: Bytes,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
+        let cmd = NvmeCommand::write(0, nsid, slba, nlb);
         let publish_over_shm = self.state.opts.flow == FlowMode::InCapsule;
         self.submit_with_payload(cmd, data, publish_over_shm)
     }
@@ -786,7 +693,7 @@ impl<T: Transport> Initiator<T> {
             }
         }
         if capsule_data.is_none() && stashed.is_none() {
-            if use_shm && !self.state.degraded && !publish_over_shm {
+            if use_shm && !self.state.core.degraded() && !publish_over_shm {
                 // Conservative flow over shm: wait for R2T, then publish
                 // (Fig. 7's NVMe-oSHM flow).
                 stashed = Some(data.clone());
@@ -798,10 +705,18 @@ impl<T: Transport> Initiator<T> {
                 stashed = Some(data.clone());
             }
         }
-        self.state.track(cmd, Vec::new(), stashed);
+        let cmd = self
+            .state
+            .track(cmd, Vec::new(), stashed, false, DataNeed::None);
         let io = self.state.pending.get_mut(&cmd.cid).expect("just tracked");
         io.retry_payload = Some(data);
         io.published_slot = published;
+        // The retained clone makes the command replayable after an abort
+        // round-trip; a published slot makes it degrade-replayed.
+        self.state.core.mark_replayable(cmd.cid);
+        if published.is_some() {
+            self.state.core.mark_published(cmd.cid);
+        }
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -876,9 +791,14 @@ impl<T: Transport> Initiator<T> {
                 "zero-copy write requires a negotiated shared-memory channel".into(),
             ));
         }
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::write(cid, nsid, slba, nlb);
-        self.state.track(cmd, Vec::new(), None);
+        let cmd = self.state.track(
+            NvmeCommand::write(0, nsid, slba, nlb),
+            Vec::new(),
+            None,
+            false,
+            DataNeed::None,
+        );
+        let cid = cmd.cid;
         // Zero-copy published writes retain no payload clone — they
         // cannot be replayed, only abort-resolved — but the slot is
         // remembered so degradation/abort can reclaim it.
@@ -887,6 +807,7 @@ impl<T: Transport> Initiator<T> {
             .get_mut(&cid)
             .expect("just tracked")
             .published_slot = Some((slot, len));
+        self.state.core.mark_published(cid);
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd {
@@ -906,14 +827,18 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         expected_len: usize,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.state.track(cmd, vec![0u8; expected_len], None);
+        let cmd = self.state.track(
+            NvmeCommand::read(0, nsid, slba, nlb),
+            vec![0u8; expected_len],
+            None,
+            false,
+            DataNeed::Bytes(expected_len as u32),
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Submits a read whose payload the caller will *borrow* in place:
@@ -937,21 +862,26 @@ impl<T: Transport> Initiator<T> {
         } else {
             vec![0u8; expected_len]
         };
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::read(cid, nsid, slba, nlb);
-        self.state.track(cmd, read_buf, None);
-        if borrow {
-            self.state
-                .pending
-                .get_mut(&cid)
-                .expect("just tracked")
-                .borrow = true;
-        }
+        // A borrowed read is satisfied by *any* arrival (a parked slot
+        // reference or an inline fallback chunk); a buffered read owes
+        // the caller the whole transfer.
+        let need = if borrow {
+            DataNeed::Any
+        } else {
+            DataNeed::Bytes(expected_len as u32)
+        };
+        let cmd = self.state.track(
+            NvmeCommand::read(0, nsid, slba, nlb),
+            read_buf,
+            None,
+            borrow,
+            need,
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Lends a completed read's payload to `f` without copying it out of
@@ -990,8 +920,7 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         data: Bytes,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::compare(cid, nsid, slba, nlb);
+        let cmd = NvmeCommand::compare(0, nsid, slba, nlb);
         // Compares publish over shm regardless of the write flow mode
         // whenever the payload fits a slot.
         self.submit_with_payload(cmd, data, true)
@@ -1004,28 +933,36 @@ impl<T: Transport> Initiator<T> {
         slba: u64,
         nlb: u32,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::write_zeroes(cid, nsid, slba, nlb);
-        self.state.track(cmd, Vec::new(), None);
+        let cmd = self.state.track(
+            NvmeCommand::write_zeroes(0, nsid, slba, nlb),
+            Vec::new(),
+            None,
+            false,
+            DataNeed::None,
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Submits a Dataset Management deallocate (TRIM) over `nlb` blocks
     /// (no payload transfer). On a durable target store the range is
     /// journaled and reads back as zeroes.
     pub fn submit_trim(&mut self, nsid: u32, slba: u64, nlb: u32) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::trim(cid, nsid, slba, nlb);
-        self.state.track(cmd, Vec::new(), None);
+        let cmd = self.state.track(
+            NvmeCommand::trim(0, nsid, slba, nlb),
+            Vec::new(),
+            None,
+            false,
+            DataNeed::None,
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Submits a write with Force Unit Access: the completion is not
@@ -1037,22 +974,25 @@ impl<T: Transport> Initiator<T> {
         nlb: u32,
         data: Bytes,
     ) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::write_fua(cid, nsid, slba, nlb);
+        let cmd = NvmeCommand::write_fua(0, nsid, slba, nlb);
         let publish_over_shm = self.state.opts.flow == FlowMode::InCapsule;
         self.submit_with_payload(cmd, data, publish_over_shm)
     }
 
     /// Submits a flush.
     pub fn submit_flush(&mut self, nsid: u32) -> Result<u16, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand::flush(cid, nsid);
-        self.state.track(cmd, Vec::new(), None);
+        let cmd = self.state.track(
+            NvmeCommand::flush(0, nsid),
+            Vec::new(),
+            None,
+            false,
+            DataNeed::None,
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        Ok(cid)
+        Ok(cmd.cid)
     }
 
     /// Polls the transport once, draining every frame that is already
@@ -1162,14 +1102,13 @@ impl ClientState {
             }
             Err(e) => return Err(e),
         };
-        if self.opts.keepalive.is_some() {
-            // Any traffic proves the peer alive.
-            self.last_rx = Instant::now();
-        }
+        let now = self.now();
+        // Any decoded traffic proves the peer alive.
+        self.core.on_rx(now);
         match pdu {
             Pdu::R2T(r2t) => {
                 let Some(pending) = self.pending.get_mut(&r2t.cid) else {
-                    if self.is_retired(r2t.cid) {
+                    if self.core.is_retired_cid(r2t.cid) {
                         self.metrics.stale_frames.inc();
                         return Ok(());
                     }
@@ -1209,6 +1148,7 @@ impl ClientState {
                                 .get_mut(&r2t.cid)
                                 .expect("still pending")
                                 .published_slot = Some((slot, len));
+                            self.core.mark_published(r2t.cid);
                             DataRef::ShmSlot { slot, len }
                         }
                         Err(_) => {
@@ -1270,7 +1210,7 @@ impl ClientState {
             }
             Pdu::C2HData(d) => {
                 if !self.pending.contains_key(&d.cid) {
-                    if self.is_retired(d.cid) {
+                    if self.core.is_retired_cid(d.cid) {
                         self.metrics.stale_frames.inc();
                         // A stale shm reference must still be drained or
                         // its slot leaks until the next reclaim sweep.
@@ -1289,12 +1229,14 @@ impl ClientState {
                 let pending = self.pending.get_mut(&d.cid).expect("checked above");
                 let off = d.offset as usize;
                 let mut consume_failed = false;
+                let mut arrival = None;
                 match d.data {
                     DataRef::Inline(b) => {
                         let op = pending.cmd.opcode;
                         if op == Opcode::Identify || op == Opcode::Flush {
                             pending.got = b.len().max(1);
                             pending.read_buf = b.to_vec();
+                            arrival = Some(DataArrival::All);
                         } else if pending.borrow {
                             // Borrowed read that the target answered
                             // inline anyway (e.g. payload exceeded the
@@ -1306,6 +1248,10 @@ impl ClientState {
                             if off <= pending.got {
                                 pending.got = pending.got.max(off + b.len());
                             }
+                            arrival = Some(DataArrival::Chunk {
+                                offset: d.offset,
+                                len: b.len() as u32,
+                            });
                         } else {
                             if off + b.len() > pending.read_buf.len() {
                                 return Err(NvmeofError::Protocol(
@@ -1316,6 +1262,10 @@ impl ClientState {
                             if off <= pending.got {
                                 pending.got = pending.got.max(off + b.len());
                             }
+                            arrival = Some(DataArrival::Chunk {
+                                offset: d.offset,
+                                len: b.len() as u32,
+                            });
                         }
                     }
                     DataRef::ShmSlot { slot, len } => {
@@ -1323,6 +1273,7 @@ impl ClientState {
                             // Zero-copy: park the reference; the caller
                             // borrows the bytes via consume_read_with.
                             pending.shm_data = Some((slot, len));
+                            arrival = Some(DataArrival::All);
                         } else {
                             let ch = self.payload.as_ref().ok_or_else(|| {
                                 NvmeofError::Protocol("shm ref without channel".into())
@@ -1335,8 +1286,14 @@ impl ClientState {
                             consume_failed = ch
                                 .consume(slot, len, &mut pending.read_buf[off..off + len as usize])
                                 .is_err();
-                            if !consume_failed && off <= pending.got {
-                                pending.got = pending.got.max(off + len as usize);
+                            if !consume_failed {
+                                if off <= pending.got {
+                                    pending.got = pending.got.max(off + len as usize);
+                                }
+                                arrival = Some(DataArrival::Chunk {
+                                    offset: d.offset,
+                                    len,
+                                });
                             }
                         }
                     }
@@ -1345,86 +1302,62 @@ impl ClientState {
                     // The region died with the payload inside: abandon
                     // shm and re-fetch this read over TCP.
                     self.degrade(transport)?;
-                    self.retry_command(transport, d.cid)?;
-                } else if let Some(io) = self.pending.get(&d.cid) {
-                    // If a reordered completion was held for this data,
-                    // release it now that the buffer is whole.
-                    if io.early_completion.is_some() && !Self::awaiting_read_data(io) {
-                        let comp = self
-                            .pending
-                            .get_mut(&d.cid)
-                            .expect("checked above")
-                            .early_completion
-                            .take()
-                            .expect("checked above");
-                        self.finish_command(d.cid, comp);
-                    }
+                    self.core.retry(d.cid, now, &mut self.actions);
+                    self.apply_actions(transport)?;
+                } else if let Some(arrival) = arrival {
+                    // The core advances its contiguous-prefix watermark
+                    // and releases a held completion once the transfer
+                    // is whole.
+                    self.core.on_data(d.cid, arrival, now, &mut self.actions);
+                    self.apply_actions(transport)?;
                 }
             }
             Pdu::CapsuleResp(r) => {
                 let wire_cid = r.completion.cid;
-                let Some(io) = self.pending.get_mut(&wire_cid) else {
-                    if self.is_retired(wire_cid) {
+                // The core decides: hold a success completion that
+                // overtook the data it vouches for (a reordering fabric
+                // can do that — completing now would hand back a stale
+                // buffer), or resolve the command.
+                let handled =
+                    self.core
+                        .on_completion(wire_cid, r.completion, now, &mut self.actions);
+                if !handled {
+                    if self.core.is_retired_cid(wire_cid) {
                         self.metrics.stale_frames.inc();
                         return Ok(());
                     }
                     return Err(NvmeofError::Protocol(format!(
                         "completion for unknown cid {wire_cid}"
                     )));
-                };
-                if r.completion.status.is_ok() && Self::awaiting_read_data(io) {
-                    // The success completion overtook the data it
-                    // vouches for (a reordering fabric can do that);
-                    // completing now would hand back a stale buffer.
-                    // Hold it until the last byte lands — the deadline
-                    // re-fetches the read if the data never arrives.
-                    io.early_completion = Some(r.completion);
-                    return Ok(());
                 }
-                // A completion that raced an in-flight abort resolves
-                // the command just as well — the late AbortAck will be
-                // dropped as stale.
-                self.finish_command(wire_cid, r.completion);
+                self.apply_actions(transport)?;
             }
             Pdu::KeepAlive(ka) => {
                 // Heartbeat from the peer: echo it.
                 self.send_pdu_lossy(transport, &Pdu::KeepAliveAck(KeepAlive { seq: ka.seq }))?;
             }
             Pdu::KeepAliveAck(_) => {
-                self.ka_outstanding = false;
+                self.core.on_keepalive_ack();
             }
             Pdu::AbortAck(ack) => {
-                let can_resolve = match self.pending.get(&ack.cid) {
-                    Some(io) => io.awaiting_abort,
-                    None => {
-                        // Late ack for a command that already resolved.
-                        self.metrics.stale_frames.inc();
-                        return Ok(());
-                    }
-                };
-                if !can_resolve {
-                    // Duplicate ack for a round-trip already resolved.
+                // The core resolves the round-trip: applied → complete
+                // with the status the target kept; not applied →
+                // resubmit under a fresh cid (the payload replays from
+                // the retained clone) or give up when nothing can
+                // replay (zero-copy published writes).
+                let handled = self.core.on_abort_ack(
+                    ack.cid,
+                    ack.applied,
+                    ack.completion,
+                    now,
+                    &mut self.actions,
+                );
+                if !handled {
+                    // Late or duplicate ack for a resolved round-trip.
                     self.metrics.stale_frames.inc();
                     return Ok(());
                 }
-                if ack.applied {
-                    // The original write landed before (or despite) the
-                    // abort: complete with the status the target kept.
-                    self.finish_command(ack.cid, ack.completion);
-                } else {
-                    // Never applied, so a resubmission cannot double-
-                    // apply. Replays need a payload (or a payload-less
-                    // opcode); zero-copy published writes have neither.
-                    let io = self.pending.get(&ack.cid).expect("checked above");
-                    let can_replay = io.retry_payload.is_some()
-                        || io.cmd.opcode.replayable_without_payload()
-                        || io.retries_freely();
-                    if can_replay {
-                        self.resubmit(transport, ack.cid)?;
-                    } else {
-                        self.give_up(ack.cid)?;
-                    }
-                }
+                self.apply_actions(transport)?;
             }
             Pdu::Degrade(_) => {
                 // Target-initiated degradation: abandon the shm path from
@@ -1485,21 +1418,28 @@ impl<T: Transport> Initiator<T> {
 
     /// Queries namespace geometry.
     pub fn identify(&mut self, nsid: u32, timeout: Duration) -> Result<IdentifyInfo, NvmeofError> {
-        let cid = self.state.alloc_cid();
-        let cmd = NvmeCommand {
-            cid,
-            opcode: Opcode::Identify,
-            nsid,
-            slba: 0,
-            nlb: 0,
-            fua: false,
-        };
-        self.state.track(cmd, Vec::new(), None);
+        let cmd = self.state.track(
+            NvmeCommand {
+                cid: 0,
+                opcode: Opcode::Identify,
+                nsid,
+                slba: 0,
+                nlb: 0,
+                fua: false,
+                gseq: 0,
+            },
+            Vec::new(),
+            None,
+            false,
+            // Identify data arrives as one inline chunk of unpredictable
+            // size; any arrival satisfies it.
+            DataNeed::Any,
+        );
         self.state.send_pdu(
             &self.transport,
             &Pdu::CapsuleCmd(CapsuleCmd { cmd, data: None }),
         )?;
-        let result = self.wait(cid, timeout)?;
+        let result = self.wait(cmd.cid, timeout)?;
         if !result.status.is_ok() {
             return Err(NvmeofError::Nvme(result.status));
         }

@@ -39,6 +39,7 @@ pub mod metrics;
 pub mod nvme;
 pub mod payload;
 pub mod pdu;
+pub mod recovery;
 pub mod server;
 pub mod shard;
 pub mod spsc;

@@ -99,6 +99,12 @@ pub struct NvmeCommand {
     /// Force Unit Access: the write (or zeroes/deallocate) must be
     /// durable before the completion is posted.
     pub fua: bool,
+    /// Generation tag: monotonically increasing per connection, fresh on
+    /// every (re)submission. Wire cids are 16 bits and reused; the
+    /// recovery protocol's retired/aborted rings match on `(cid, gseq)`
+    /// so a cid recycled past ring capacity can never be confused with
+    /// an old incarnation (see [`crate::recovery`]).
+    pub gseq: u32,
 }
 
 /// Encoded size of a command on the wire.
@@ -117,6 +123,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -129,6 +136,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -150,6 +158,7 @@ impl NvmeCommand {
             slba: 0,
             nlb: 0,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -162,6 +171,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -174,6 +184,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -186,6 +197,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua: false,
+            gseq: 0,
         }
     }
 
@@ -207,7 +219,8 @@ impl NvmeCommand {
         dst.put_u32_le(self.nsid);
         dst.put_u64_le(self.slba);
         dst.put_u32_le(self.nlb);
-        dst.put_bytes(0, COMMAND_WIRE_LEN - 20); // pad to fixed size
+        dst.put_u32_le(self.gseq);
+        dst.put_bytes(0, COMMAND_WIRE_LEN - 24); // pad to fixed size
     }
 
     /// Deserializes from `src`.
@@ -224,7 +237,8 @@ impl NvmeCommand {
         let nsid = src.get_u32_le();
         let slba = src.get_u64_le();
         let nlb = src.get_u32_le();
-        src.advance(COMMAND_WIRE_LEN - 20);
+        let gseq = src.get_u32_le();
+        src.advance(COMMAND_WIRE_LEN - 24);
         Ok(NvmeCommand {
             cid,
             opcode,
@@ -232,6 +246,7 @@ impl NvmeCommand {
             slba,
             nlb,
             fua,
+            gseq,
         })
     }
 }
@@ -243,7 +258,8 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let cmd = NvmeCommand::write(42, 3, 0xdead_beef_cafe, 256);
+        let mut cmd = NvmeCommand::write(42, 3, 0xdead_beef_cafe, 256);
+        cmd.gseq = 0xfeed_f00d;
         let mut buf = BytesMut::new();
         cmd.encode(&mut buf);
         assert_eq!(buf.len(), COMMAND_WIRE_LEN);
@@ -312,6 +328,7 @@ mod tests {
                 slba: 0,
                 nlb: 0,
                 fua: false,
+                gseq: 0,
             },
         ] {
             let mut buf = BytesMut::new();

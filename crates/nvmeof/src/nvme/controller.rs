@@ -277,6 +277,7 @@ mod tests {
             slba: 0,
             nlb: 0,
             fua: false,
+            gseq: 0,
         };
         let (comp, payload) = c.execute(&cmd, None);
         assert!(comp.status.is_ok());

@@ -211,6 +211,10 @@ pub struct KeepAlive {
 pub struct Abort {
     /// Command identifier to abort.
     pub cid: u16,
+    /// Generation tag of the attempt being aborted — the target matches
+    /// `(cid, gseq)` so an abort can never resolve against a different
+    /// incarnation of a reused wire cid.
+    pub gseq: u32,
 }
 
 /// Abort response (target → client). `applied == true` means the
@@ -494,8 +498,9 @@ impl Pdu {
                 dst.put_u64_le(p.seq);
             }
             Pdu::Abort(p) => {
-                put_header(dst, ptype::ABORT, 0, 2);
+                put_header(dst, ptype::ABORT, 0, 6);
                 dst.put_u16_le(p.cid);
+                dst.put_u32_le(p.gseq);
             }
             Pdu::AbortAck(p) => {
                 put_header(dst, ptype::ABORT_ACK, 0, 3 + COMPLETION_WIRE_LEN);
@@ -675,11 +680,12 @@ impl Pdu {
                 }
             }
             ptype::ABORT => {
-                if src.remaining() < 2 {
+                if src.remaining() < 6 {
                     return Err(NvmeofError::Codec("abort truncated".into()));
                 }
                 Ok(Pdu::Abort(Abort {
                     cid: src.get_u16_le(),
+                    gseq: src.get_u32_le(),
                 }))
             }
             ptype::ABORT_ACK => {
@@ -727,7 +733,7 @@ impl Pdu {
             },
             Pdu::TermReq(_) => 2,
             Pdu::KeepAlive(_) | Pdu::KeepAliveAck(_) => 8,
-            Pdu::Abort(_) => 2,
+            Pdu::Abort(_) => 6,
             Pdu::AbortAck(_) => 3 + COMPLETION_WIRE_LEN,
             Pdu::Degrade(_) => 2,
         };
@@ -868,7 +874,10 @@ mod tests {
     fn recovery_pdus_roundtrip() {
         roundtrip(Pdu::KeepAlive(KeepAlive { seq: 7 }));
         roundtrip(Pdu::KeepAliveAck(KeepAlive { seq: u64::MAX }));
-        roundtrip(Pdu::Abort(Abort { cid: 0x1234 }));
+        roundtrip(Pdu::Abort(Abort {
+            cid: 0x1234,
+            gseq: 0xdead_beef,
+        }));
         roundtrip(Pdu::AbortAck(AbortAck {
             cid: 0x1234,
             applied: true,

@@ -23,6 +23,7 @@ use crate::pdu::{
     AbortAck, CapsuleCmd, CapsuleResp, DataPdu, DataRef, Degrade, ICResp, KeepAlive, Pdu,
     AF_CAP_SHM, AF_CAP_SHM_INCAPSULE, AF_CAP_ZERO_COPY, R2T,
 };
+use crate::recovery::{AbortDecision, TargetRecovery};
 use crate::transport::{Frame, Transport};
 
 /// Target-side configuration.
@@ -57,11 +58,6 @@ struct PendingWrite {
     received: usize,
 }
 
-/// How many recently-resolved cids/ttags the connection remembers for
-/// abort answering and late-duplicate tolerance. Fixed-size rings: no
-/// heap, and far larger than any sane queue depth.
-const REMEMBER_RING: usize = 256;
-
 /// Per-connection protocol state machine.
 pub struct TargetConnection {
     cfg: TargetConfig,
@@ -76,20 +72,12 @@ pub struct TargetConnection {
     payload: Option<Arc<dyn PayloadChannel>>,
     terminated: bool,
     metrics: Arc<TargetMetrics>,
-    /// Recently-executed commands and their completions (cid 0 = empty):
-    /// an Abort for one of these answers `applied = true` with the status
-    /// the device already produced, so a write retry never double-applies.
-    completed: [(u16, NvmeCompletion); REMEMBER_RING],
-    completed_at: usize,
-    /// Cids answered `applied = false` to an Abort: late duplicates of
-    /// the original command are dropped, because the client has already
-    /// resubmitted it under a fresh cid.
-    aborted: [u16; REMEMBER_RING],
-    aborted_at: usize,
-    /// Ttags whose staging buffer was resolved (completed or aborted);
-    /// late duplicate H2C chunks for them are dropped, not errors.
-    retired_ttags: [u16; REMEMBER_RING],
-    retired_ttags_at: usize,
+    /// The pure recovery decision core: executed-completion ring (abort
+    /// answering), aborted-cid ring (late-duplicate dropping) and retired
+    /// ttag ring, all matched on `(cid, gseq)` so recycled cids can never
+    /// be confused with an old incarnation. Shared verbatim with the
+    /// `oaf-mc` model checker.
+    core: TargetRecovery,
 }
 
 impl TargetConnection {
@@ -106,12 +94,7 @@ impl TargetConnection {
             payload,
             terminated: false,
             metrics: TargetMetrics::new(),
-            completed: [(0, NvmeCompletion::ok(0)); REMEMBER_RING],
-            completed_at: 0,
-            aborted: [0u16; REMEMBER_RING],
-            aborted_at: 0,
-            retired_ttags: [0u16; REMEMBER_RING],
-            retired_ttags_at: 0,
+            core: TargetRecovery::new(),
         }
     }
 
@@ -129,36 +112,14 @@ impl TargetConnection {
     /// Counts an executed command and emits its response capsule, and
     /// remembers the completion so a racing Abort can be answered
     /// `applied = true` instead of letting the client double-apply.
-    fn finish(&mut self, comp: NvmeCompletion, out: &mut Vec<Pdu>) {
+    fn finish(&mut self, gseq: u32, comp: NvmeCompletion, out: &mut Vec<Pdu>) {
         self.metrics.ops.inc();
         if !comp.status.is_ok() {
             self.metrics.errors.inc();
         }
         self.metrics.responses.inc();
-        self.completed[self.completed_at] = (comp.cid, comp);
-        self.completed_at = (self.completed_at + 1) % REMEMBER_RING;
+        self.core.on_executed(comp.cid, gseq, comp);
         out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
-    }
-
-    fn completed_lookup(&self, cid: u16) -> Option<NvmeCompletion> {
-        self.completed
-            .iter()
-            .find(|(c, _)| *c == cid)
-            .map(|(_, comp)| *comp)
-    }
-
-    fn record_aborted(&mut self, cid: u16) {
-        self.aborted[self.aborted_at] = cid;
-        self.aborted_at = (self.aborted_at + 1) % REMEMBER_RING;
-    }
-
-    fn is_aborted(&self, cid: u16) -> bool {
-        self.aborted.contains(&cid)
-    }
-
-    fn retire_ttag(&mut self, ttag: u16) {
-        self.retired_ttags[self.retired_ttags_at] = ttag;
-        self.retired_ttags_at = (self.retired_ttags_at + 1) % REMEMBER_RING;
     }
 
     /// Drains an unconsumed shm payload reference from a dropped frame so
@@ -259,7 +220,7 @@ impl TargetConnection {
             Pdu::H2CData(d) => self.on_h2c_data(d, ctrl, out),
             Pdu::Abort(a) => {
                 self.require_handshake()?;
-                self.on_abort(a.cid, out);
+                self.on_abort(a.cid, a.gseq, out);
                 Ok(())
             }
             Pdu::KeepAlive(ka) => {
@@ -291,33 +252,36 @@ impl TargetConnection {
     /// otherwise discard any staging state and answer `applied = false`,
     /// remembering the cid so a late duplicate of the original command
     /// is dropped rather than double-applied next to the resubmission.
-    fn on_abort(&mut self, cid: u16, out: &mut Vec<Pdu>) {
+    fn on_abort(&mut self, cid: u16, gseq: u32, out: &mut Vec<Pdu>) {
         self.metrics.aborts_handled.inc();
-        if let Some(completion) = self.completed_lookup(cid) {
-            out.push(Pdu::AbortAck(AbortAck {
-                cid,
-                applied: true,
-                completion,
-            }));
-            return;
+        match self.core.on_abort(cid, gseq) {
+            AbortDecision::Applied(completion) => {
+                out.push(Pdu::AbortAck(AbortAck {
+                    cid,
+                    applied: true,
+                    completion,
+                }));
+            }
+            AbortDecision::NotApplied => {
+                // Drop any half-filled R2T staging buffer for this
+                // command incarnation.
+                let stale: Vec<u16> = self
+                    .pending_writes
+                    .iter()
+                    .filter(|(_, pw)| pw.cmd.cid == cid && pw.cmd.gseq == gseq)
+                    .map(|(&ttag, _)| ttag)
+                    .collect();
+                for ttag in stale {
+                    self.pending_writes.remove(&ttag);
+                    self.core.retire_ttag(ttag);
+                }
+                out.push(Pdu::AbortAck(AbortAck {
+                    cid,
+                    applied: false,
+                    completion: NvmeCompletion::error(cid, Status::InternalError),
+                }));
+            }
         }
-        // Drop any half-filled R2T staging buffer for this command.
-        let stale: Vec<u16> = self
-            .pending_writes
-            .iter()
-            .filter(|(_, pw)| pw.cmd.cid == cid)
-            .map(|(&ttag, _)| ttag)
-            .collect();
-        for ttag in stale {
-            self.pending_writes.remove(&ttag);
-            self.retire_ttag(ttag);
-        }
-        self.record_aborted(cid);
-        out.push(Pdu::AbortAck(AbortAck {
-            cid,
-            applied: false,
-            completion: NvmeCompletion::error(cid, Status::InternalError),
-        }));
     }
 
     fn require_handshake(&self) -> Result<(), NvmeofError> {
@@ -335,7 +299,7 @@ impl TargetConnection {
         out: &mut Vec<Pdu>,
     ) -> Result<(), NvmeofError> {
         self.require_handshake()?;
-        if self.is_aborted(c.cmd.cid) {
+        if self.core.should_drop_command(c.cmd.cid, c.cmd.gseq) {
             // Late duplicate of a command we already answered an abort
             // for: the client resubmitted it under a fresh cid, so
             // applying this copy would double-apply.
@@ -364,7 +328,7 @@ impl TargetConnection {
                         data: DataRef::Inline(Bytes::from(data)),
                     }));
                 }
-                self.finish(comp, out);
+                self.finish(c.cmd.gseq, comp, out);
                 Ok(())
             }
         }
@@ -439,7 +403,7 @@ impl TargetConnection {
                     }
                     Err(e) => return Err(e),
                 };
-                self.finish(comp, out);
+                self.finish(cmd.gseq, comp, out);
                 Ok(())
             }
             None => {
@@ -478,7 +442,7 @@ impl TargetConnection {
         let ch = self.payload.clone();
         let data_len = d.data.len();
         let Some(pending) = self.pending_writes.get_mut(&d.ttag) else {
-            if self.retired_ttags.contains(&d.ttag) {
+            if self.core.is_retired_ttag(d.ttag) {
                 // Late duplicate chunk for a staging buffer that already
                 // completed or was aborted: drain and drop.
                 self.drain_stale_ref(&d.data);
@@ -512,10 +476,10 @@ impl TargetConnection {
                     // the payload over the control path.
                     let cmd = pending.cmd;
                     self.pending_writes.remove(&d.ttag);
-                    self.retire_ttag(d.ttag);
+                    self.core.retire_ttag(d.ttag);
                     self.degrade_self(out);
                     let comp = NvmeCompletion::error(cmd.cid, Status::InternalError);
-                    self.finish(comp, out);
+                    self.finish(cmd.gseq, comp, out);
                     return Ok(());
                 }
                 metrics.copies_avoided.inc();
@@ -524,9 +488,9 @@ impl TargetConnection {
         pending.received += data_len;
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
-            self.retire_ttag(d.ttag);
+            self.core.retire_ttag(d.ttag);
             let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
-            self.finish(comp, out);
+            self.finish(pw.cmd.gseq, comp, out);
         }
         Ok(())
     }
@@ -573,7 +537,7 @@ impl TargetConnection {
             }));
         }
         // On error the unpublished lease drops here, returning its slot.
-        self.finish(comp, out);
+        self.finish(cmd.gseq, comp, out);
         Ok(())
     }
 
@@ -655,7 +619,7 @@ impl TargetConnection {
                 }
             }
         }
-        self.finish(comp, out);
+        self.finish(cmd.gseq, comp, out);
         Ok(())
     }
 

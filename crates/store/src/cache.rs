@@ -269,10 +269,7 @@ impl BlockCache {
     /// Takes a slot for a new entry, evicting (and writing back through
     /// `wb`) if no free slot remains. Returns the slot and whether an
     /// eviction happened.
-    fn take_slot(
-        &mut self,
-        wb: &mut Writeback<'_>,
-    ) -> Result<(u32, bool), BlockError> {
+    fn take_slot(&mut self, wb: &mut Writeback<'_>) -> Result<(u32, bool), BlockError> {
         if self.free_head != NIL {
             let i = self.free_head;
             self.free_head = self.slots[i as usize].next;
@@ -385,10 +382,7 @@ impl BlockCache {
     /// Writes every dirty entry back through `wb` and marks it clean.
     /// Returns how many blocks were written back. Entries stay resident
     /// (they now match the data region byte-for-byte).
-    pub fn drain_dirty(
-        &mut self,
-        wb: &mut Writeback<'_>,
-    ) -> Result<u64, BlockError> {
+    pub fn drain_dirty(&mut self, wb: &mut Writeback<'_>) -> Result<u64, BlockError> {
         if self.dirty_len == 0 {
             return Ok(0);
         }
