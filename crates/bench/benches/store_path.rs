@@ -184,6 +184,77 @@ fn bench_group_commit(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_mixed_read_fua_qd(c: &mut Criterion) {
+    // The async durability pipeline's headline workload: one FUA write
+    // dispatched, then a queue-depth of reads served behind it on the
+    // same thread — the reactor's shape. `inline` retires the barrier
+    // in the dispatch (every queued read waits out the `fdatasync`);
+    // `offloaded` parks it on the sync worker's ticket and serves the
+    // reads immediately, draining the ticket at the end of the round.
+    // The sync carries a 100µs device delay so the barrier dominates
+    // the inline rounds the way a real disk's flush would.
+    use oaf_store::vfs::SharedMemVfs;
+    use oaf_store::SyncStatus;
+
+    let mut g = c.benchmark_group("store/mixed-read-fua");
+    let sync_delay = std::time::Duration::from_micros(100);
+    for &qd in &[1usize, 8, 32] {
+        for offloaded in [false, true] {
+            let vfs = SharedMemVfs::new();
+            vfs.set_sync_delay(sync_delay);
+            let disk = FileDisk::create_on(Box::new(vfs.clone()), BS as u32, BLOCKS, 4 << 20)
+                .and_then(|d| d.with_cache(256))
+                .expect("fmt")
+                .into_shared();
+            let disk = if offloaded {
+                disk.with_sync_worker(Box::new(vfs))
+            } else {
+                disk
+            };
+            let payload = [0xabu8; BS];
+            let mut out = [0u8; BS];
+            // Seed the read targets.
+            for lba in 0..qd as u64 {
+                disk.write(lba, 1, &payload, false).expect("seed");
+            }
+            let mode = if offloaded { "offloaded" } else { "inline" };
+            // The figure of merit is *read service time*: from the FUA
+            // dispatch until the last queued read is answered. The
+            // barrier still retires every round — its drain just
+            // happens outside the timed region, like a parked
+            // completion released by a later poll pass.
+            g.throughput(Throughput::Elements(qd as u64));
+            g.bench_with_input(BenchmarkId::new(mode, qd), &qd, |b, &qd| {
+                b.iter_custom(|iters| {
+                    let mut in_reads = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let t0 = std::time::Instant::now();
+                        let ticket = disk
+                            .write_async(64 + (qd as u64 % 8), 1, &payload, true)
+                            .expect("fua write");
+                        for q in 0..qd as u64 {
+                            disk.read(q, 1, &mut out).expect("read");
+                        }
+                        in_reads += t0.elapsed();
+                        // Drain so every round carries one full barrier.
+                        if let Some(t) = ticket {
+                            loop {
+                                match disk.poll_barrier(t) {
+                                    SyncStatus::Durable => break,
+                                    SyncStatus::Failed => panic!("sync failed"),
+                                    SyncStatus::Pending => std::hint::spin_loop(),
+                                }
+                            }
+                        }
+                    }
+                    in_reads
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_real_file_fdatasync(c: &mut Criterion) {
     // One size; the point is the syscall floor, not a size sweep. A
     // smaller namespace keeps the benchmark file modest (20 MiB).
@@ -229,6 +300,7 @@ criterion_group!(
     bench_cached_write,
     bench_cached_read,
     bench_group_commit,
+    bench_mixed_read_fua_qd,
     bench_real_file_fdatasync
 );
 criterion_main!(benches);

@@ -191,6 +191,23 @@ pub struct FaultBudget {
     pub corrupts: u8,
 }
 
+/// How the modeled target makes barrier-class commands durable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// The dispatch path syncs inline: a barrier's completion is queued
+    /// the moment its command is delivered (the pre-offload target).
+    #[default]
+    Inline,
+    /// The async durability pipeline: a delivered barrier *applies* but
+    /// its completion parks until a [`Transition::SyncComplete`] drains
+    /// the sync worker. `fail_budget` bounds how many drains may report
+    /// an fsync error (each failed drain costs one).
+    Offloaded {
+        /// Sync drains the adversary may fail.
+        fail_budget: u8,
+    },
+}
+
 impl FaultBudget {
     /// No faults at all: pure interleaving + timer exploration.
     pub fn none() -> Self {
@@ -225,6 +242,9 @@ pub struct Scenario {
     pub faults: FaultBudget,
     /// Payload chunks per read (transfer size = `data_chunks × CHUNK`).
     pub data_chunks: u32,
+    /// Whether the target syncs barriers inline or parks their
+    /// completions on an offloaded sync worker.
+    pub sync: SyncMode,
 }
 
 impl Scenario {
@@ -250,7 +270,15 @@ impl Scenario {
             },
             faults,
             data_chunks: 2,
+            sync: SyncMode::Inline,
         }
+    }
+
+    /// Switches the target to the offloaded sync worker, allowing the
+    /// adversary to fail up to `fail_budget` sync drains.
+    pub fn offloaded_sync(mut self, fail_budget: u8) -> Self {
+        self.sync = SyncMode::Offloaded { fail_budget };
+        self
     }
 }
 
@@ -285,6 +313,14 @@ pub enum Transition {
     },
     /// Advance the clock to the initiator's next armed timer and tick.
     Timer,
+    /// The offloaded sync worker retires its in-flight fsync, draining
+    /// every parked barrier completion in submission order. `ok = false`
+    /// is an fsync error (costs one from the scenario's sync fail
+    /// budget): the drained barriers complete with an error status.
+    SyncComplete {
+        /// Whether the fsync succeeded.
+        ok: bool,
+    },
 }
 
 /// How one logical command ended.
@@ -332,6 +368,11 @@ pub struct World {
     applied_gens: Vec<Vec<u32>>,
     /// What the target answered each abort: `(cid, gseq)` → applied.
     abort_answers: HashMap<(u16, u32), bool>,
+    /// Barrier completions parked on the offloaded sync worker, in
+    /// submission order — the model twin of the target's
+    /// `ParkedBarrier` queue: `(cid, gseq, slot, abort_requested)`.
+    sync_pending: Vec<(u16, u32, usize, bool)>,
+    sync: SyncMode,
     action_buf: Vec<Action>,
 }
 
@@ -355,6 +396,8 @@ impl World {
             data_got: HashMap::new(),
             applied_gens: vec![Vec::new(); scenario.commands.len()],
             abort_answers: HashMap::new(),
+            sync_pending: Vec::new(),
+            sync: scenario.sync,
             action_buf: Vec::new(),
         };
         for (slot, &kind) in scenario.commands.iter().enumerate() {
@@ -417,6 +460,14 @@ impl World {
         if !self.done() && self.ini.next_timer(self.now).is_some() {
             out.push(Transition::Timer);
         }
+        if !self.sync_pending.is_empty() {
+            out.push(Transition::SyncComplete { ok: true });
+            if let SyncMode::Offloaded { fail_budget } = self.sync {
+                if fail_budget > 0 {
+                    out.push(Transition::SyncComplete { ok: false });
+                }
+            }
+        }
         out
     }
 
@@ -443,6 +494,19 @@ impl World {
             Transition::Timer => {
                 let t = self.ini.next_timer(self.now).unwrap_or(self.now);
                 format!("timer fires at t={}us", t.max(self.now + 1) / 1_000)
+            }
+            Transition::SyncComplete { ok } => {
+                let parked: Vec<String> = self
+                    .sync_pending
+                    .iter()
+                    .map(|&(cid, gseq, slot, _)| format!("#{slot}(cid={cid},g={gseq})"))
+                    .collect();
+                format!(
+                    "sync worker drains {} ({} parked: {})",
+                    if ok { "ok" } else { "with fsync error" },
+                    parked.len(),
+                    parked.join(", ")
+                )
             }
         }
     }
@@ -519,6 +583,51 @@ impl World {
                 self.action_buf = out;
                 v
             }
+            Transition::SyncComplete { ok } => {
+                if self.sync_pending.is_empty() {
+                    return None;
+                }
+                if !ok {
+                    match self.sync {
+                        SyncMode::Offloaded { fail_budget } if fail_budget > 0 => {
+                            self.sync = SyncMode::Offloaded {
+                                fail_budget: fail_budget - 1,
+                            };
+                        }
+                        _ => return None,
+                    }
+                }
+                // The drain mirrors the target's `poll_parked`: every
+                // parked completion releases in submission order, each
+                // carrying the sync's verdict; a requested abort is
+                // answered `applied = true` only now, alongside the
+                // final completion.
+                let parked = std::mem::take(&mut self.sync_pending);
+                for (cid, gseq, _slot, abort_requested) in parked {
+                    let comp = if ok {
+                        NvmeCompletion::ok(cid)
+                    } else {
+                        NvmeCompletion::error(cid, Status::InternalError)
+                    };
+                    self.tgt.on_executed(cid, gseq, comp);
+                    self.push(Dir::T2I, Msg::Resp { cid, ok });
+                    if abort_requested {
+                        let prev = self.abort_answers.insert((cid, gseq), true);
+                        self.push(
+                            Dir::T2I,
+                            Msg::AbortAck {
+                                cid,
+                                applied: true,
+                                ok,
+                            },
+                        );
+                        if prev == Some(false) {
+                            return Some(Violation::AbortAppliedAfterNotApplied { cid, gseq });
+                        }
+                    }
+                }
+                None
+            }
         }
     }
 
@@ -547,6 +656,16 @@ impl World {
                         });
                     }
                 }
+                if matches!(self.sync, SyncMode::Offloaded { .. })
+                    && matches!(kind, CmdKind::WriteFua | CmdKind::Flush)
+                {
+                    // The async durability pipeline: the journal append
+                    // already happened (recorded above), but the
+                    // completion parks until the sync worker drains —
+                    // no `on_executed`, no response, yet.
+                    self.sync_pending.push((cid, gseq, slot, false));
+                    return None;
+                }
                 let comp = NvmeCompletion::ok(cid);
                 self.tgt.on_executed(cid, gseq, comp);
                 if kind == CmdKind::Read {
@@ -565,6 +684,18 @@ impl World {
                 None
             }
             Msg::Abort { cid, gseq } => {
+                // An abort naming a *parked* attempt defers: the write
+                // is already in the journal, so answering `not applied`
+                // now would invite a resubmit and a double-apply. The
+                // ack rides out with the completion at drain time.
+                if let Some(p) = self
+                    .sync_pending
+                    .iter_mut()
+                    .find(|p| p.0 == cid && p.1 == gseq)
+                {
+                    p.3 = true;
+                    return None;
+                }
                 let (applied, ok) = match self.tgt.on_abort(cid, gseq) {
                     oaf_nvmeof::recovery::AbortDecision::Applied(c) => (true, c.status.is_ok()),
                     oaf_nvmeof::recovery::AbortDecision::NotApplied => (false, false),
@@ -777,6 +908,8 @@ impl World {
             self.abort_answers.iter().map(|(&k, &v)| (k, v)).collect();
         answers.sort_unstable();
         answers.hash(&mut h);
+        self.sync_pending.hash(&mut h);
+        self.sync.hash(&mut h);
         h.finish()
     }
 }

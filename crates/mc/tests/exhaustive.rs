@@ -79,6 +79,74 @@ fn fua_write_and_flush_barriers_survive_drops_and_reorders() {
     );
 }
 
+/// The async durability pipeline, exhaustively: barrier completions
+/// park on the offloaded sync worker and every interleaving of command
+/// delivery, timer fires, aborts and sync drains (including the fsync
+/// *error* drain) upholds every invariant. The dangerous reordering the
+/// sweep closes out: an abort racing a parked barrier must never be
+/// answered `not applied` (the journal append already happened), or the
+/// resubmit double-applies.
+#[test]
+fn offloaded_sync_parking_survives_every_schedule() {
+    for (faults, fail_budget) in [
+        (FaultBudget::none(), 0),
+        (FaultBudget::none(), 1),
+        (FaultBudget::only(FaultKind::Drop, 1), 1),
+        (FaultBudget::only(FaultKind::Reorder, 2), 1),
+        (FaultBudget::only(FaultKind::Duplicate, 1), 1),
+    ] {
+        let scenario = Scenario::new(
+            "offloaded-fua-flush",
+            vec![CmdKind::WriteFua, CmdKind::Flush],
+            faults,
+        )
+        .offloaded_sync(fail_budget);
+        let outcome = Explorer::new(scenario)
+            .budget(Budget {
+                max_states: 5_000_000,
+                max_depth: 80,
+            })
+            .run();
+        println!(
+            "offloaded-fua-flush (faults={faults:?} sync_fails={fail_budget}): \
+             explored={} pruned={} max_depth={} truncated={}",
+            outcome.explored, outcome.pruned, outcome.max_depth, outcome.truncated
+        );
+        if let Some(cx) = &outcome.violation {
+            panic!("offloaded sweep found a violation:\n{cx}");
+        }
+        assert!(!outcome.truncated, "offloaded sweep hit its budget");
+    }
+}
+
+/// Non-barrier traffic keeps flowing through the model while barriers
+/// are parked: a read and a plain write interleave freely with a parked
+/// FUA write and resolve independently of the sync drain order.
+#[test]
+fn offloaded_sync_reads_interleave_with_parked_barriers() {
+    let scenario = Scenario::new(
+        "offloaded-mixed",
+        vec![CmdKind::WriteFua, CmdKind::Read, CmdKind::Write],
+        FaultBudget::only(FaultKind::Drop, 1),
+    )
+    .offloaded_sync(1);
+    let outcome = Explorer::new(scenario)
+        .budget(Budget {
+            max_states: 5_000_000,
+            max_depth: 80,
+        })
+        .run();
+    if let Some(cx) = &outcome.violation {
+        panic!("offloaded mixed sweep found a violation:\n{cx}");
+    }
+    assert!(!outcome.truncated);
+    assert!(
+        outcome.explored >= 1_000,
+        "suspiciously small space: {}",
+        outcome.explored
+    );
+}
+
 #[test]
 fn three_commands_survive_reordering() {
     sweep(

@@ -21,7 +21,8 @@ use crate::nvme::controller::IdentifyInfo;
 use crate::payload::{PayloadChannel, WriteLease};
 use crate::pdu::{Abort, CapsuleCmd, DataPdu, DataRef, Degrade, ICReq, KeepAlive, Pdu, AF_CAP_SHM};
 use crate::recovery::{
-    Action, DataArrival, DataNeed, InitiatorRecovery, KeepAliveNanos, Nanos, RecoveryConfig,
+    Action, BarrierGraceMode, DataArrival, DataNeed, InitiatorRecovery, KeepAliveNanos, Nanos,
+    RecoveryConfig,
 };
 use crate::transport::{BackoffConfig, Frame, Transport, WaitLadder, WaitStep};
 use crate::tune::{BusyPollController, PollClass};
@@ -84,6 +85,16 @@ pub struct InitiatorOptions {
     /// grace at high FUA queue depth. The cap bounds the exclusion so a
     /// genuinely lost barrier still times out and retries.
     pub barrier_grace: Duration,
+    /// How `barrier_grace` is applied. The default
+    /// ([`BarrierGraceMode::FreezeClock`]) pauses every deadline and the
+    /// keep-alive clock for the episode — right when the target syncs
+    /// inline on its reactor thread and the whole connection goes
+    /// quiet. When the target offloads `fdatasync` to a sync worker,
+    /// reads keep completing during a barrier, so
+    /// [`BarrierGraceMode::PadBarrierDeadline`] can keep non-barrier
+    /// deadlines and peer-death detection on live time and pad only the
+    /// barrier command's own deadline.
+    pub barrier_grace_mode: BarrierGraceMode,
     /// Re-introduces the PR 4 held-completion bug (success completions
     /// delivered before the data they vouch for) so the `oaf-mc`
     /// mutation leg can prove the model checker finds that class.
@@ -113,6 +124,7 @@ impl Default for InitiatorOptions {
             retry_backoff: Duration::from_millis(2),
             keepalive: None,
             barrier_grace: Duration::from_millis(250),
+            barrier_grace_mode: BarrierGraceMode::FreezeClock,
             #[cfg(feature = "mc-mutations")]
             mc_deliver_early: false,
             backoff: BackoffConfig::default(),
@@ -136,6 +148,7 @@ impl InitiatorOptions {
                 grace: duration_nanos(ka.grace),
             }),
             barrier_grace: duration_nanos(self.barrier_grace),
+            barrier_grace_mode: self.barrier_grace_mode,
             #[cfg(feature = "mc-mutations")]
             mutate_deliver_early: self.mc_deliver_early,
         }

@@ -318,6 +318,12 @@ pub struct TargetMetrics {
     /// Received frames dropped by the reactor for failing CRC or
     /// structural decode.
     pub corrupt_frames: Counter,
+    /// Barrier-class completions parked on an offloaded sync ticket
+    /// instead of blocking the reactor in `fdatasync`.
+    pub barriers_parked: Counter,
+    /// Wall time a parked barrier completion waited for its sync ticket
+    /// to retire, nanoseconds.
+    pub barrier_park_ns: Histo,
 }
 
 impl TargetMetrics {
@@ -339,6 +345,8 @@ impl TargetMetrics {
         scope.adopt_counter("aborts_handled", &self.aborts_handled);
         scope.adopt_counter("keepalives", &self.keepalives);
         scope.adopt_counter("corrupt_frames", &self.corrupt_frames);
+        scope.adopt_counter("barriers_parked", &self.barriers_parked);
+        scope.adopt_histo("barrier_park_ns", &self.barrier_park_ns);
     }
 }
 

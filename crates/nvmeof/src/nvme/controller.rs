@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::nvme::command::{NvmeCommand, Opcode};
 use crate::nvme::completion::{NvmeCompletion, Status};
-use crate::nvme::namespace::Namespace;
+use crate::nvme::namespace::{BarrierPoll, BarrierTicket, Namespace};
 
 /// Identify payload for a namespace (simplified identify structure).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -243,6 +243,109 @@ impl Controller {
             }
         }
     }
+
+    /// Like [`execute`](Controller::execute), but barrier-class
+    /// commands (Flush, FUA writes, FUA zero/trim) against a namespace
+    /// with an offloaded sync worker return a [`BarrierTicket`]: the
+    /// mutation is journaled and applied, its `fdatasync` is in flight,
+    /// and the returned (success) completion must be parked until
+    /// [`poll_barrier`](Controller::poll_barrier) resolves the ticket.
+    /// Non-barrier commands — and every command on an inline-sync
+    /// namespace — behave exactly like `execute` (ticket `None`).
+    pub fn execute_async(
+        &mut self,
+        cmd: &NvmeCommand,
+        write_payload: Option<&[u8]>,
+    ) -> (NvmeCompletion, Option<Vec<u8>>, Option<BarrierTicket>) {
+        match cmd.opcode {
+            Opcode::Flush => {
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                        None,
+                    );
+                };
+                let (status, ticket) = ns.flush_submit();
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                    ticket,
+                )
+            }
+            Opcode::Write => {
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                        None,
+                    );
+                };
+                let Some(payload) = write_payload else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidFieldLength),
+                        None,
+                        None,
+                    );
+                };
+                let (status, ticket) = ns.write_submit(cmd.slba, cmd.nlb, payload, cmd.fua);
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                    ticket,
+                )
+            }
+            Opcode::WriteZeroes | Opcode::Dsm => {
+                let Some(ns) = self.namespaces.get_mut(&cmd.nsid) else {
+                    return (
+                        NvmeCompletion::error(cmd.cid, Status::InvalidNamespace),
+                        None,
+                        None,
+                    );
+                };
+                let mut status = if cmd.opcode == Opcode::Dsm {
+                    ns.trim(cmd.slba, cmd.nlb)
+                } else {
+                    ns.write_zeroes(cmd.slba, cmd.nlb)
+                };
+                let mut ticket = None;
+                if status.is_ok() && cmd.fua {
+                    let (s, t) = ns.flush_submit();
+                    status = s;
+                    ticket = t;
+                }
+                (
+                    NvmeCompletion {
+                        cid: cmd.cid,
+                        status,
+                    },
+                    None,
+                    ticket,
+                )
+            }
+            _ => {
+                let (comp, payload) = self.execute(cmd, write_payload);
+                (comp, payload, None)
+            }
+        }
+    }
+
+    /// Resolution state of a parked barrier ticket issued by
+    /// [`execute_async`](Controller::execute_async) against `nsid`.
+    /// An unknown namespace reports `Durable` so a drain loop over a
+    /// reconfigured controller stays total.
+    pub fn poll_barrier(&self, nsid: u32, ticket: BarrierTicket) -> BarrierPoll {
+        match self.namespaces.get(&nsid) {
+            Some(ns) => ns.poll_barrier(ticket),
+            None => BarrierPoll::Durable,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +487,42 @@ mod tests {
         assert!(f.status.is_ok());
         let m = c.namespace(1).unwrap().store_metrics().unwrap();
         assert!(m.fsyncs.get() >= 2, "FUA write + flush both sync");
+    }
+
+    #[test]
+    fn execute_async_tickets_offloaded_barriers() {
+        use oaf_store::vfs::SharedMemVfs;
+        let vfs = SharedMemVfs::new();
+        let disk = oaf_store::FileDisk::create_on(Box::new(vfs.clone()), 512, 64, 64 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs));
+        let mut c = Controller::new();
+        c.add_namespace(Namespace::with_shared_file(1, disk));
+        c.add_namespace(Namespace::new(2, 512, 16));
+        let data = vec![0x42u8; 512];
+        let (w, _, ticket) = c.execute_async(&NvmeCommand::write_fua(1, 1, 0, 1), Some(&data));
+        assert!(w.status.is_ok());
+        let t = ticket.expect("FUA against the offloaded namespace tickets");
+        while c.poll_barrier(1, t) == BarrierPoll::Pending {
+            std::thread::yield_now();
+        }
+        assert_eq!(c.poll_barrier(1, t), BarrierPoll::Durable);
+        // Reads pass through with payload and no ticket.
+        let (r, payload, rt) = c.execute_async(&NvmeCommand::read(2, 1, 0, 1), None);
+        assert!(r.status.is_ok());
+        assert_eq!(payload.unwrap(), data);
+        assert!(rt.is_none());
+        // Flush tickets; a RAM-backed namespace never does.
+        let (f, _, ft) = c.execute_async(&NvmeCommand::flush(3, 1), None);
+        assert!(f.status.is_ok());
+        let ft = ft.expect("flush tickets");
+        while c.poll_barrier(1, ft) == BarrierPoll::Pending {
+            std::thread::yield_now();
+        }
+        let (rw, _, ram_t) = c.execute_async(&NvmeCommand::write_fua(4, 2, 0, 1), Some(&data));
+        assert!(rw.status.is_ok());
+        assert!(ram_t.is_none(), "RAM namespace must not ticket");
     }
 
     #[test]

@@ -10,9 +10,27 @@ use std::sync::Arc;
 
 use oaf_ssd::ram::{BlockError, RamDisk, SharedRamDisk};
 use oaf_ssd::BlockStore;
-use oaf_store::{FileDisk, SharedFileDisk, StoreMetrics};
+use oaf_store::{FileDisk, SharedFileDisk, StoreMetrics, SyncHandle, SyncStatus};
 
 use crate::nvme::completion::Status;
+
+/// A parked durability barrier: the data is journaled and applied, the
+/// `fdatasync` making it durable is in flight on the store's sync
+/// worker. The completion must not be posted until
+/// [`Namespace::poll_barrier`] reports it resolved.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierTicket(SyncHandle);
+
+/// Resolution state of a [`BarrierTicket`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierPoll {
+    /// The sync covering the ticket has not retired yet.
+    Pending,
+    /// Durable: the success completion may be posted.
+    Durable,
+    /// The sync failed; the barrier must complete with an error.
+    Failed,
+}
 
 /// Backing storage: exclusively owned until [`Namespace::share`]
 /// converts it to the multi-queue shared form.
@@ -50,6 +68,18 @@ impl Namespace {
         Namespace {
             id,
             store: Store::File(Box::new(disk)),
+        }
+    }
+
+    /// Creates namespace `id` directly over a shared durable store —
+    /// the entry point when the store was shared (and possibly given a
+    /// sync worker via [`SharedFileDisk::with_sync_worker`]) before the
+    /// target was wired.
+    pub fn with_shared_file(id: u32, disk: SharedFileDisk) -> Self {
+        assert!(id != 0, "nsid 0 is reserved");
+        Namespace {
+            id,
+            store: Store::SharedFile(disk),
         }
     }
 
@@ -169,6 +199,71 @@ impl Namespace {
     pub fn flush(&mut self) -> Status {
         Self::status(self.store_mut().flush())
     }
+
+    /// Whether barriers on this namespace resolve through an offloaded
+    /// sync worker (so [`write_submit`]/[`flush_submit`] can return
+    /// tickets instead of blocking in `fdatasync`).
+    ///
+    /// [`write_submit`]: Namespace::write_submit
+    /// [`flush_submit`]: Namespace::flush_submit
+    pub fn barrier_offloaded(&self) -> bool {
+        match &self.store {
+            Store::SharedFile(d) => d.sync_offloaded(),
+            _ => false,
+        }
+    }
+
+    /// Like [`write`](Namespace::write), but when the store has a sync
+    /// worker a FUA write journals and applies, then returns
+    /// `(Success, Some(ticket))` with the `fdatasync` still in flight —
+    /// the caller parks the completion until the ticket resolves. Every
+    /// other path behaves exactly like `write` and returns `None`.
+    pub fn write_submit(
+        &mut self,
+        slba: u64,
+        nlb: u32,
+        src: &[u8],
+        fua: bool,
+    ) -> (Status, Option<BarrierTicket>) {
+        if let Store::SharedFile(d) = &self.store {
+            if d.sync_offloaded() {
+                return match d.write_async(slba, nlb, src, fua) {
+                    Ok(handle) => (Status::Success, handle.map(BarrierTicket)),
+                    Err(e) => (Self::map_err(e), None),
+                };
+            }
+        }
+        (self.write(slba, nlb, src, fua), None)
+    }
+
+    /// Like [`flush`](Namespace::flush), but through the sync worker
+    /// when one is attached: returns `(Success, Some(ticket))` with the
+    /// barrier submitted rather than waited on.
+    pub fn flush_submit(&mut self) -> (Status, Option<BarrierTicket>) {
+        if let Store::SharedFile(d) = &self.store {
+            if d.sync_offloaded() {
+                return match d.flush_async() {
+                    Ok(handle) => (Status::Success, handle.map(BarrierTicket)),
+                    Err(e) => (Self::map_err(e), None),
+                };
+            }
+        }
+        (self.flush(), None)
+    }
+
+    /// Resolution state of a parked barrier ticket. On a store without
+    /// a worker (ticket could not have been issued here) this reports
+    /// `Durable`, keeping the caller's drain loop total.
+    pub fn poll_barrier(&self, ticket: BarrierTicket) -> BarrierPoll {
+        match &self.store {
+            Store::SharedFile(d) => match d.poll_barrier(ticket.0) {
+                SyncStatus::Pending => BarrierPoll::Pending,
+                SyncStatus::Durable => BarrierPoll::Durable,
+                SyncStatus::Failed => BarrierPoll::Failed,
+            },
+            _ => BarrierPoll::Durable,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +382,48 @@ mod tests {
         assert_eq!(b.flush(), Status::Success);
         assert_eq!(ns.read(5, 1, &mut out), Status::Success);
         assert_eq!(out[0], 0x99);
+    }
+
+    #[test]
+    fn offloaded_namespace_tickets_barriers() {
+        use oaf_store::vfs::SharedMemVfs;
+        let vfs = SharedMemVfs::new();
+        let disk = FileDisk::create_on(Box::new(vfs.clone()), 512, 64, 64 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs));
+        let mut ns = Namespace::with_shared_file(1, disk);
+        assert!(ns.barrier_offloaded());
+        let (st, ticket) = ns.write_submit(0, 1, &[0xaau8; 512], true);
+        assert_eq!(st, Status::Success);
+        let t = ticket.expect("FUA tickets on an offloaded store");
+        loop {
+            match ns.poll_barrier(t) {
+                BarrierPoll::Durable => break,
+                BarrierPoll::Pending => std::thread::yield_now(),
+                BarrierPoll::Failed => panic!("healthy sync failed"),
+            }
+        }
+        // Plain writes never ticket; flush does.
+        let (st, none_t) = ns.write_submit(1, 1, &[1u8; 512], false);
+        assert_eq!(st, Status::Success);
+        assert!(none_t.is_none());
+        let (st, t2) = ns.flush_submit();
+        assert_eq!(st, Status::Success);
+        let t2 = t2.expect("flush tickets on an offloaded store");
+        while ns.poll_barrier(t2) == BarrierPoll::Pending {
+            std::thread::yield_now();
+        }
+        assert_eq!(ns.poll_barrier(t2), BarrierPoll::Durable);
+        let mut out = [0u8; 512];
+        assert_eq!(ns.read(0, 1, &mut out), Status::Success);
+        assert!(out.iter().all(|&b| b == 0xaa));
+        // A worker-less namespace falls back to the blocking path.
+        let mut plain = file_ns(2);
+        assert!(!plain.barrier_offloaded());
+        let (st, t3) = plain.write_submit(0, 1, &[2u8; 512], true);
+        assert_eq!(st, Status::Success);
+        assert!(t3.is_none(), "inline-sync store must not ticket");
     }
 
     #[test]

@@ -67,6 +67,25 @@ pub struct KeepAliveNanos {
     pub grace: Nanos,
 }
 
+/// How the core excludes in-flight durability barriers from recovery
+/// timing. See the module docs for why the default freezes the clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BarrierGraceMode {
+    /// Freeze the effective clock while any barrier-class command is in
+    /// flight (capped at [`RecoveryConfig::barrier_grace`] per episode).
+    /// Every deadline and the keep-alive quiet timer pause together —
+    /// the conservative contract every existing test pins.
+    #[default]
+    FreezeClock,
+    /// Keep the clock running and instead pad only the barrier-class
+    /// command's *own* deadline by [`RecoveryConfig::barrier_grace`].
+    /// Non-barrier commands and keep-alive stay on live time, so a
+    /// wedged peer is detected even mid-sync. Safe opt-in when the
+    /// target offloads `fdatasync` off its reactor thread (reads keep
+    /// completing, so honest peers are never mistaken for dead ones).
+    PadBarrierDeadline,
+}
+
 /// Tuning for the recovery core, mirrored from
 /// [`crate::initiator::InitiatorOptions`] by the shell (durations
 /// lowered to [`Nanos`]).
@@ -84,6 +103,9 @@ pub struct RecoveryConfig {
     /// the deadline/keep-alive exclusion so a lost barrier-class
     /// command cannot freeze recovery forever.
     pub barrier_grace: Nanos,
+    /// Whether the grace freezes the whole clock (default) or pads only
+    /// barrier-class deadlines.
+    pub barrier_grace_mode: BarrierGraceMode,
     /// Re-introduces the PR 4 held-completion bug (completions released
     /// before their data) so the model checker's mutation leg can prove
     /// it finds that class. Runtime-selectable and default-off so
@@ -101,6 +123,7 @@ impl Default for RecoveryConfig {
             retry_backoff: 2_000_000,
             keepalive: None,
             barrier_grace: 250_000_000,
+            barrier_grace_mode: BarrierGraceMode::FreezeClock,
             #[cfg(feature = "mc-mutations")]
             mutate_deliver_early: false,
         }
@@ -340,10 +363,20 @@ impl InitiatorRecovery {
         }
     }
 
-    fn arm_deadline(&mut self, eff_now: Nanos, attempts: u32) -> Option<Nanos> {
+    /// Extra deadline allowance for a barrier-class command when the
+    /// config pads instead of freezing the clock.
+    fn barrier_pad(&self, barrier: bool) -> Nanos {
+        if barrier && self.cfg.barrier_grace_mode == BarrierGraceMode::PadBarrierDeadline {
+            self.cfg.barrier_grace
+        } else {
+            0
+        }
+    }
+
+    fn arm_deadline(&mut self, eff_now: Nanos, attempts: u32, pad: Nanos) -> Option<Nanos> {
         let base = self.cfg.cmd_deadline?;
         let backoff = self.cfg.retry_backoff.saturating_mul(1 << attempts.min(6));
-        let deadline = eff_now + base + backoff;
+        let deadline = eff_now + base + backoff + pad;
         self.next_deadline = Some(match self.next_deadline {
             Some(d) if d <= deadline => d,
             _ => deadline,
@@ -368,13 +401,14 @@ impl InitiatorRecovery {
         self.next_gseq = self.next_gseq.wrapping_add(1);
         let barrier = opcode == Opcode::Flush || (fua && opcode.mutates());
         if barrier {
-            if self.barriers == 0 {
+            if self.barriers == 0 && self.cfg.barrier_grace_mode == BarrierGraceMode::FreezeClock {
                 self.barrier_since = Some(now);
             }
             self.barriers += 1;
         }
         let eff_now = self.eff(now);
-        let deadline = self.arm_deadline(eff_now, 0);
+        let pad = self.barrier_pad(barrier);
+        let deadline = self.arm_deadline(eff_now, 0, pad);
         self.cmds.insert(
             cid,
             CmdRecovery {
@@ -591,7 +625,9 @@ impl InitiatorRecovery {
             cmd.awaiting_abort = true;
             let attempts = cmd.attempts;
             let gseq = cmd.gseq;
-            let deadline = self.arm_deadline(eff_now, attempts);
+            let barrier = cmd.barrier;
+            let pad = self.barrier_pad(barrier);
+            let deadline = self.arm_deadline(eff_now, attempts, pad);
             self.cmds.get_mut(&cid).expect("still present").deadline = deadline;
             out.push(Action::SendAbort { cid, gseq });
         }
@@ -618,7 +654,8 @@ impl InitiatorRecovery {
         cmd.held = None;
         cmd.published = false;
         let eff_now = self.eff(now);
-        cmd.deadline = self.arm_deadline(eff_now, cmd.attempts);
+        let pad = self.barrier_pad(cmd.barrier);
+        cmd.deadline = self.arm_deadline(eff_now, cmd.attempts, pad);
         self.cmds.insert(new_cid, cmd);
         out.push(Action::Resubmit {
             old_cid: cid,
@@ -1101,6 +1138,87 @@ mod tests {
             panic!("capped pause must let the flush retry, got {out:?}");
         };
         assert_eq!(old_cid, cid);
+    }
+
+    #[test]
+    fn pad_mode_keeps_nonbarrier_deadlines_live() {
+        let mut core = InitiatorRecovery::new(
+            RecoveryConfig {
+                barrier_grace_mode: BarrierGraceMode::PadBarrierDeadline,
+                ..cfg_no_ka()
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        // FUA write: its own deadline is padded to 10+2+100 = 112ms.
+        let (w, _) = core.begin(Opcode::Write, true, DataNeed::None, true, 0);
+        // Concurrent read: plain 12ms deadline, clock NOT frozen.
+        let (r, _) = core.begin(Opcode::Read, false, DataNeed::Bytes(512), false, 0);
+        core.tick(20 * MS, &mut out);
+        let [Action::Resubmit {
+            old_cid, new_cid, ..
+        }] = out[..]
+        else {
+            panic!("read deadline must stay live in pad mode, got {out:?}");
+        };
+        assert_eq!(old_cid, r);
+        out.clear();
+        // Resolve the read so later sweeps only see the barrier.
+        core.on_data(
+            new_cid,
+            DataArrival::Chunk {
+                offset: 0,
+                len: 512,
+            },
+            21 * MS,
+            &mut out,
+        );
+        assert!(core.on_completion(new_cid, NvmeCompletion::ok(new_cid), 21 * MS, &mut out));
+        out.clear();
+        // The padded barrier deadline has not expired yet...
+        core.tick(100 * MS, &mut out);
+        assert!(out.is_empty(), "padded write fired early: {out:?}");
+        // ...but it does expire, on live time, once the pad is spent.
+        core.tick(120 * MS, &mut out);
+        let [Action::SendAbort { cid, .. }] = out[..] else {
+            panic!("padded write must still time out, got {out:?}");
+        };
+        assert_eq!(cid, w);
+    }
+
+    #[test]
+    fn pad_mode_keepalive_stays_live_during_barrier() {
+        let mut core = InitiatorRecovery::new(
+            RecoveryConfig {
+                barrier_grace_mode: BarrierGraceMode::PadBarrierDeadline,
+                ..cfg()
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        let _ = core.begin(Opcode::Write, true, DataNeed::None, true, 0);
+        // 60ms of silence mid-barrier: freeze mode stays quiet here, pad
+        // mode probes the peer (interval 50ms) without touching the
+        // padded write deadline (112ms).
+        core.tick(60 * MS, &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::SendKeepAlive { .. })),
+            "keep-alive must run on live time in pad mode: {out:?}"
+        );
+        assert!(
+            !out.iter()
+                .any(|a| matches!(a, Action::SendAbort { .. } | Action::Resubmit { .. })),
+            "padded barrier deadline fired early: {out:?}"
+        );
+        out.clear();
+        // A peer silent past the grace is declared dead even while the
+        // barrier is nominally outstanding.
+        core.tick(200 * MS, &mut out);
+        assert!(
+            out.contains(&Action::PeerDead),
+            "pad mode must detect a wedged peer mid-barrier: {out:?}"
+        );
     }
 
     #[test]

@@ -155,6 +155,11 @@ impl Reactor {
                 (Err(e), _) => return Err(e),
                 (Ok(n), None) => drained_total += n,
             }
+            // Probe the connection's sync-done queue: barrier
+            // completions parked on offloaded tickets release here, and
+            // count as progress so the idle policy keeps the reactor
+            // hot while syncs are retiring.
+            drained_total += l.conn.poll_parked(controller, &mut l.out);
             for pdu in l.out.drain(..) {
                 l.scratch.clear();
                 // Socket transports take the vectored header +

@@ -7,9 +7,10 @@
 //! [`spawn_target`] wraps it in the polled reactor thread the examples and
 //! integration tests run, mirroring SPDK's poll-mode target design (§2.2).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 
@@ -18,6 +19,7 @@ use crate::metrics::TargetMetrics;
 use crate::nvme::command::{NvmeCommand, Opcode};
 use crate::nvme::completion::{NvmeCompletion, Status};
 use crate::nvme::controller::Controller;
+use crate::nvme::namespace::{BarrierPoll, BarrierTicket};
 use crate::payload::PayloadChannel;
 use crate::pdu::{
     AbortAck, CapsuleCmd, CapsuleResp, DataPdu, DataRef, Degrade, ICResp, KeepAlive, Pdu,
@@ -58,6 +60,21 @@ struct PendingWrite {
     received: usize,
 }
 
+/// A barrier-class completion parked on an offloaded sync ticket: the
+/// command executed (journaled and applied), its `fdatasync` is in
+/// flight on the store's sync worker, and the response capsule is held
+/// until [`TargetConnection::poll_parked`] sees the ticket resolve.
+struct ParkedBarrier {
+    nsid: u32,
+    gseq: u32,
+    comp: NvmeCompletion,
+    ticket: BarrierTicket,
+    since: Instant,
+    /// An Abort for this command arrived while parked; the ack
+    /// (`applied = true`, with the final completion) is owed at release.
+    abort_requested: bool,
+}
+
 /// Per-connection protocol state machine.
 pub struct TargetConnection {
     cfg: TargetConfig,
@@ -78,6 +95,10 @@ pub struct TargetConnection {
     /// be confused with an old incarnation. Shared verbatim with the
     /// `oaf-mc` model checker.
     core: TargetRecovery,
+    /// Barrier completions parked on in-flight sync tickets, in
+    /// submission order. Released (in order) by
+    /// [`TargetConnection::poll_parked`].
+    parked: VecDeque<ParkedBarrier>,
 }
 
 impl TargetConnection {
@@ -95,6 +116,9 @@ impl TargetConnection {
             terminated: false,
             metrics: TargetMetrics::new(),
             core: TargetRecovery::new(),
+            // Pre-sized far above any sane barrier queue depth so the
+            // steady-state park/release cycle never allocates.
+            parked: VecDeque::with_capacity(64),
         }
     }
 
@@ -120,6 +144,80 @@ impl TargetConnection {
         self.metrics.responses.inc();
         self.core.on_executed(comp.cid, gseq, comp);
         out.push(Pdu::CapsuleResp(CapsuleResp { completion: comp }));
+    }
+
+    /// Posts a completion — immediately, or parked on its sync ticket
+    /// when the store handed one back (the command is applied, its
+    /// `fdatasync` is in flight on the sync worker). Parking keeps the
+    /// reactor free to serve other commands while the sync runs;
+    /// [`poll_parked`](TargetConnection::poll_parked) releases held
+    /// completions in order once their tickets resolve.
+    fn finish_or_park(
+        &mut self,
+        nsid: u32,
+        gseq: u32,
+        comp: NvmeCompletion,
+        ticket: Option<BarrierTicket>,
+        out: &mut Vec<Pdu>,
+    ) {
+        match ticket {
+            Some(ticket) if comp.status.is_ok() => {
+                self.metrics.barriers_parked.inc();
+                self.parked.push_back(ParkedBarrier {
+                    nsid,
+                    gseq,
+                    comp,
+                    ticket,
+                    since: Instant::now(),
+                    abort_requested: false,
+                });
+            }
+            _ => self.finish(gseq, comp, out),
+        }
+    }
+
+    /// Releases parked barrier completions whose sync tickets resolved,
+    /// oldest first, stopping at the first still-pending ticket so
+    /// responses stay in submission order. A failed sync releases its
+    /// completion as a device error — exactly the parked set covered by
+    /// the failing `fdatasync`, nothing before or after. Returns how
+    /// many completions were released (progress for the reactor's idle
+    /// policy).
+    pub fn poll_parked(&mut self, ctrl: &Controller, out: &mut Vec<Pdu>) -> usize {
+        let mut released = 0;
+        while let Some(front) = self.parked.front() {
+            let verdict = ctrl.poll_barrier(front.nsid, front.ticket);
+            if verdict == BarrierPoll::Pending {
+                break;
+            }
+            let p = self.parked.pop_front().expect("front exists");
+            let comp = match verdict {
+                BarrierPoll::Durable => p.comp,
+                BarrierPoll::Failed => NvmeCompletion::error(p.comp.cid, Status::InternalError),
+                BarrierPoll::Pending => unreachable!("loop breaks on Pending"),
+            };
+            self.metrics.barrier_park_ns.record_nanos(p.since.elapsed());
+            self.finish(p.gseq, comp, out);
+            if p.abort_requested {
+                // The abort that raced the parked barrier gets its
+                // deferred answer: the command *was* applied, with this
+                // final (possibly error) completion.
+                self.metrics.aborts_handled.inc();
+                out.push(Pdu::AbortAck(AbortAck {
+                    cid: comp.cid,
+                    applied: true,
+                    completion: comp,
+                }));
+            }
+            released += 1;
+        }
+        released
+    }
+
+    /// How many barrier completions are currently parked on in-flight
+    /// sync tickets.
+    pub fn parked_barriers(&self) -> usize {
+        self.parked.len()
     }
 
     /// Drains an unconsumed shm payload reference from a dropped frame so
@@ -253,6 +351,19 @@ impl TargetConnection {
     /// remembering the cid so a late duplicate of the original command
     /// is dropped rather than double-applied next to the resubmission.
     fn on_abort(&mut self, cid: u16, gseq: u32, out: &mut Vec<Pdu>) {
+        // A parked barrier already executed — it must answer
+        // `applied = true`, but its final status is unknown until the
+        // sync resolves. Defer the ack to release time; recording it as
+        // aborted-not-applied here would invite the client to resubmit
+        // and double-apply.
+        if let Some(p) = self
+            .parked
+            .iter_mut()
+            .find(|p| p.comp.cid == cid && p.gseq == gseq)
+        {
+            p.abort_requested = true;
+            return;
+        }
         self.metrics.aborts_handled.inc();
         match self.core.on_abort(cid, gseq) {
             AbortDecision::Applied(completion) => {
@@ -318,7 +429,7 @@ impl TargetConnection {
             // can never drift apart.
             op if op.carries_host_data() => self.on_write(c, ctrl, out),
             _ => {
-                let (comp, payload) = ctrl.execute(&c.cmd, None);
+                let (comp, payload, ticket) = ctrl.execute_async(&c.cmd, None);
                 if let Some(data) = payload {
                     out.push(Pdu::C2HData(DataPdu {
                         cid: c.cmd.cid,
@@ -328,7 +439,7 @@ impl TargetConnection {
                         data: DataRef::Inline(Bytes::from(data)),
                     }));
                 }
-                self.finish(c.cmd.gseq, comp, out);
+                self.finish_or_park(c.cmd.nsid, c.cmd.gseq, comp, ticket, out);
                 Ok(())
             }
         }
@@ -344,12 +455,12 @@ impl TargetConnection {
         cmd: &NvmeCommand,
         data: DataRef,
         ctrl: &mut Controller,
-    ) -> Result<NvmeCompletion, NvmeofError> {
+    ) -> Result<(NvmeCompletion, Option<BarrierTicket>), NvmeofError> {
         match data {
             DataRef::Inline(b) => {
                 self.metrics.inline_payloads.inc();
-                let (comp, _) = ctrl.execute(cmd, Some(&b));
-                Ok(comp)
+                let (comp, _, ticket) = ctrl.execute_async(cmd, Some(&b));
+                Ok((comp, ticket))
             }
             DataRef::ShmSlot { slot, len } => {
                 self.metrics.shm_payloads.inc();
@@ -357,14 +468,14 @@ impl TargetConnection {
                     .payload
                     .as_ref()
                     .ok_or_else(|| NvmeofError::Protocol("shm ref without channel".into()))?;
-                let mut comp = None;
+                let mut res = None;
                 ch.consume_with(slot, len, &mut |bytes| {
-                    let (c, _) = ctrl.execute(cmd, Some(bytes));
-                    comp = Some(c);
+                    let (c, _, t) = ctrl.execute_async(cmd, Some(bytes));
+                    res = Some((c, t));
                 })?;
                 self.metrics.zero_copy_bytes.add(u64::from(len));
                 self.metrics.copies_avoided.inc();
-                comp.ok_or_else(|| {
+                res.ok_or_else(|| {
                     NvmeofError::Protocol("payload channel did not lend slot bytes".into())
                 })
             }
@@ -390,8 +501,8 @@ impl TargetConnection {
                         self.cfg.in_capsule_max
                     )));
                 }
-                let comp = match self.execute_borrowed(&cmd, data, ctrl) {
-                    Ok(comp) => comp,
+                let (comp, ticket) = match self.execute_borrowed(&cmd, data, ctrl) {
+                    Ok(executed) => executed,
                     Err(NvmeofError::Payload(_)) => {
                         // The slot reference could not be consumed (the
                         // region died, or a duplicated capsule already
@@ -399,11 +510,11 @@ impl TargetConnection {
                         // error so the client's retry machinery replays
                         // the write over the control path.
                         self.degrade_self(out);
-                        NvmeCompletion::error(cmd.cid, Status::InternalError)
+                        (NvmeCompletion::error(cmd.cid, Status::InternalError), None)
                     }
                     Err(e) => return Err(e),
                 };
-                self.finish(cmd.gseq, comp, out);
+                self.finish_or_park(cmd.nsid, cmd.gseq, comp, ticket, out);
                 Ok(())
             }
             None => {
@@ -489,8 +600,8 @@ impl TargetConnection {
         if d.last || pending.received >= pending.buf.len() {
             let pw = self.pending_writes.remove(&d.ttag).expect("present");
             self.core.retire_ttag(d.ttag);
-            let (comp, _) = ctrl.execute(&pw.cmd, Some(&pw.buf));
-            self.finish(pw.cmd.gseq, comp, out);
+            let (comp, _, ticket) = ctrl.execute_async(&pw.cmd, Some(&pw.buf));
+            self.finish_or_park(pw.cmd.nsid, pw.cmd.gseq, comp, ticket, out);
         }
         Ok(())
     }
@@ -724,6 +835,10 @@ pub fn spawn_target_observed<T: Transport + 'static>(
                     (Err(NvmeofError::TransportClosed), _) => break,
                     (Err(e), _) | (_, Some(e)) => return Err(e),
                     (Ok(n), None) => {
+                        // Probe the sync-done queue: completions parked
+                        // on offloaded barriers release here, without
+                        // waiting for new frames.
+                        let released = conn.poll_parked(&controller, &mut out);
                         for pdu in out.drain(..) {
                             scratch.clear();
                             pdu.encode_into(&mut scratch);
@@ -733,7 +848,7 @@ pub fn spawn_target_observed<T: Transport + 'static>(
                                 Err(e) => return Err(e),
                             }
                         }
-                        if n == 0 {
+                        if n == 0 && released == 0 {
                             // Idle: bounded spin→yield wait inside the
                             // transport, never a blind spin.
                             match transport.recv_timeout(Duration::from_millis(1)) {
@@ -1035,6 +1150,146 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, NvmeofError::Protocol(_)));
+    }
+
+    fn offloaded_controller() -> (oaf_store::vfs::SharedMemVfs, Controller) {
+        let vfs = oaf_store::vfs::SharedMemVfs::new();
+        let disk = oaf_store::FileDisk::create_on(Box::new(vfs.clone()), 4096, 64, 256 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs.clone()));
+        let mut ctrl = Controller::new();
+        ctrl.add_namespace(Namespace::with_shared_file(1, disk));
+        (vfs, ctrl)
+    }
+
+    fn release_parked(conn: &mut TargetConnection, ctrl: &Controller, out: &mut Vec<Pdu>) -> usize {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let n = conn.poll_parked(ctrl, out);
+            if n > 0 {
+                return n;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "parked barrier never released"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn offloaded_barrier_parks_then_releases() {
+        let (vfs, mut ctrl) = offloaded_controller();
+        let mut conn = TargetConnection::new(TargetConfig::default(), None);
+        handshake(&mut conn, &mut ctrl, 0);
+        vfs.hold_syncs(true);
+        // The FUA write executes and parks: no response capsule yet.
+        let frames = conn
+            .on_frame(
+                Pdu::CapsuleCmd(CapsuleCmd {
+                    cmd: NvmeCommand::write_fua(1, 1, 0, 1),
+                    data: Some(DataRef::Inline(Bytes::from(vec![0xabu8; 4096]))),
+                })
+                .encode(),
+                &mut ctrl,
+            )
+            .unwrap();
+        assert!(frames.is_empty(), "FUA completion must park: {frames:?}");
+        assert_eq!(conn.parked_barriers(), 1);
+        // A read flows to completion while the sync is frozen in flight.
+        let frames = conn
+            .on_frame(
+                Pdu::CapsuleCmd(CapsuleCmd {
+                    cmd: NvmeCommand::read(2, 1, 0, 1),
+                    data: None,
+                })
+                .encode(),
+                &mut ctrl,
+            )
+            .unwrap();
+        assert_eq!(frames.len(), 2, "read must not queue behind the barrier");
+        let mut out = Vec::new();
+        assert_eq!(conn.poll_parked(&ctrl, &mut out), 0, "ticket still pending");
+        vfs.hold_syncs(false);
+        assert_eq!(release_parked(&mut conn, &ctrl, &mut out), 1);
+        let [Pdu::CapsuleResp(r)] = &out[..] else {
+            panic!("expected the parked response, got {out:?}");
+        };
+        assert!(r.completion.status.is_ok());
+        assert_eq!(r.completion.cid, 1);
+        assert_eq!(conn.parked_barriers(), 0);
+        assert_eq!(conn.metrics().barriers_parked.get(), 1);
+        assert_eq!(conn.metrics().barrier_park_ns.count(), 1);
+    }
+
+    #[test]
+    fn abort_of_parked_barrier_defers_to_release() {
+        let (vfs, mut ctrl) = offloaded_controller();
+        let mut conn = TargetConnection::new(TargetConfig::default(), None);
+        handshake(&mut conn, &mut ctrl, 0);
+        vfs.hold_syncs(true);
+        let frames = conn
+            .on_frame(
+                Pdu::CapsuleCmd(CapsuleCmd {
+                    cmd: NvmeCommand::write_fua(7, 1, 3, 1),
+                    data: Some(DataRef::Inline(Bytes::from(vec![0x11u8; 4096]))),
+                })
+                .encode(),
+                &mut ctrl,
+            )
+            .unwrap();
+        assert!(frames.is_empty());
+        // The abort races the in-flight sync: the ack is owed only once
+        // the barrier resolves (answering not-applied now would invite a
+        // double-applying resubmission).
+        let frames = conn
+            .on_frame(
+                Pdu::Abort(crate::pdu::Abort { cid: 7, gseq: 0 }).encode(),
+                &mut ctrl,
+            )
+            .unwrap();
+        assert!(frames.is_empty(), "parked abort must defer: {frames:?}");
+        vfs.hold_syncs(false);
+        let mut out = Vec::new();
+        release_parked(&mut conn, &ctrl, &mut out);
+        let [Pdu::CapsuleResp(r), Pdu::AbortAck(ack)] = &out[..] else {
+            panic!("expected response + deferred ack, got {out:?}");
+        };
+        assert!(r.completion.status.is_ok());
+        assert!(ack.applied, "the parked command executed");
+        assert_eq!(ack.cid, 7);
+        assert_eq!(conn.metrics().aborts_handled.get(), 1);
+    }
+
+    #[test]
+    fn failed_sync_releases_parked_barrier_as_error() {
+        let (vfs, mut ctrl) = offloaded_controller();
+        let mut conn = TargetConnection::new(TargetConfig::default(), None);
+        handshake(&mut conn, &mut ctrl, 0);
+        vfs.set_fail_sync(true);
+        let frames = conn
+            .on_frame(
+                Pdu::CapsuleCmd(CapsuleCmd {
+                    cmd: NvmeCommand::write_fua(4, 1, 0, 1),
+                    data: Some(DataRef::Inline(Bytes::from(vec![0x22u8; 4096]))),
+                })
+                .encode(),
+                &mut ctrl,
+            )
+            .unwrap();
+        assert!(frames.is_empty(), "parks before the sync verdict lands");
+        let mut out = Vec::new();
+        release_parked(&mut conn, &ctrl, &mut out);
+        let [Pdu::CapsuleResp(r)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(
+            r.completion.status,
+            Status::InternalError,
+            "a failed fdatasync must fail exactly the parked barrier"
+        );
+        assert_eq!(conn.metrics().errors.get(), 1);
     }
 
     #[test]

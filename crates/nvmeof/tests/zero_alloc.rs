@@ -685,6 +685,157 @@ fn steady_state_cached_read_hits_allocate_nothing_and_skip_syscalls() {
     );
 }
 
+/// The async durability pipeline under the same budget: a target
+/// connection over an *offloaded* shared disk with a barrier completion
+/// parked on the sync worker's ticket. Steady state — journaled writes,
+/// write-zeroes, DSM trims flowing through the reactor path while every
+/// pass probes the sync-done queue ([`TargetConnection::poll_parked`])
+/// and finds the ticket still pending — must not allocate. The parked
+/// ring is preallocated; the ticket poll is two atomic loads.
+///
+/// [`TargetConnection::poll_parked`]: oaf_nvmeof::target::TargetConnection::poll_parked
+#[test]
+fn steady_state_ops_with_parked_barrier_allocate_nothing() {
+    use oaf_nvmeof::nvme::controller::Controller;
+    use oaf_nvmeof::nvme::namespace::Namespace;
+    use oaf_nvmeof::pdu::ICReq;
+    use oaf_nvmeof::target::{TargetConfig, TargetConnection};
+    use oaf_nvmeof::transport::Frame;
+    use oaf_store::vfs::SharedMemVfs;
+    use oaf_store::FileDisk;
+
+    let vfs = SharedMemVfs::new();
+    // The log is sized so the tracked window never wraps it: a wrap
+    // checkpoints, and a checkpoint's superblock barrier would block on
+    // the held sync gate below.
+    let disk = FileDisk::create_on(Box::new(vfs.clone()), 512, 256, 4 * 1024 * 1024)
+        .expect("format")
+        .into_shared()
+        .with_sync_worker(Box::new(vfs.clone()));
+    let mut ctrl = Controller::new();
+    ctrl.add_namespace(Namespace::with_shared_file(1, disk));
+    let mut conn = TargetConnection::new(TargetConfig::default(), None);
+
+    let mut out = Vec::with_capacity(16);
+    let mut scratch = BytesMut::with_capacity(4096);
+    let drive = |conn: &mut TargetConnection,
+                 ctrl: &mut Controller,
+                 out: &mut Vec<Pdu>,
+                 scratch: &mut BytesMut,
+                 frame: bytes::Bytes,
+                 expect: usize| {
+        conn.handle(Frame::Owned(frame), ctrl, out).expect("handle");
+        assert_eq!(out.len(), expect);
+        for pdu in out.drain(..) {
+            scratch.clear();
+            pdu.encode_into(scratch);
+        }
+    };
+
+    drive(
+        &mut conn,
+        &mut ctrl,
+        &mut out,
+        &mut scratch,
+        Pdu::ICReq(ICReq {
+            pfv: 1,
+            maxr2t: 4,
+            af_caps: 0,
+            host_id: 7,
+        })
+        .encode(),
+        1,
+    );
+
+    // Pre-encoded command frames: a journaled write (in-capsule inline
+    // payload — the owned decode path slices it, refcount only), a
+    // write-zeroes and a trim. Cloning `Bytes` is a refcount bump.
+    let write_frame = Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::write(21, 1, 8, 1),
+        data: Some(DataRef::Inline(bytes::Bytes::from(vec![0x6bu8; 512]))),
+    })
+    .encode();
+    let wz_frame = Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::write_zeroes(22, 1, 16, 2),
+        data: None,
+    })
+    .encode();
+    let trim_frame = Pdu::CapsuleCmd(CapsuleCmd {
+        cmd: NvmeCommand::trim(23, 1, 32, 2),
+        data: None,
+    })
+    .encode();
+
+    let cycle = |conn: &mut TargetConnection,
+                 ctrl: &mut Controller,
+                 out: &mut Vec<Pdu>,
+                 scratch: &mut BytesMut| {
+        for f in [&write_frame, &wz_frame, &trim_frame] {
+            drive(conn, ctrl, out, scratch, f.clone(), 1);
+        }
+        // The reactor's every-pass probe: the ticket is still pending,
+        // nothing releases, nothing allocates.
+        assert_eq!(conn.poll_parked(ctrl, out), 0);
+    };
+
+    // Warm-up with the gate open (the first rounds retire through the
+    // worker normally), then park a flush behind a held sync.
+    for _ in 0..64 {
+        cycle(&mut conn, &mut ctrl, &mut out, &mut scratch);
+    }
+    vfs.hold_syncs(true);
+    conn.handle(
+        Frame::Owned(
+            Pdu::CapsuleCmd(CapsuleCmd {
+                cmd: NvmeCommand::flush(40, 1),
+                data: None,
+            })
+            .encode(),
+        ),
+        &mut ctrl,
+        &mut out,
+    )
+    .expect("flush parks");
+    assert!(out.is_empty(), "flush completion must park: {out:?}");
+    assert_eq!(conn.parked_barriers(), 1);
+
+    TRACK.with(|t| t.set(true));
+    ALLOCS.with(|c| c.set(0));
+    for _ in 0..1000 {
+        cycle(&mut conn, &mut ctrl, &mut out, &mut scratch);
+    }
+    TRACK.with(|t| t.set(false));
+    let allocs = ALLOCS.with(Cell::get);
+
+    assert_eq!(
+        allocs, 0,
+        "ops flowing past a parked barrier must not allocate \
+         (saw {allocs} allocations over 1000 cycles)"
+    );
+    assert_eq!(conn.parked_barriers(), 1, "the barrier stayed parked");
+
+    // Open the gate: the worker retires its round and the parked flush
+    // releases through the same poll the loop above was running.
+    vfs.hold_syncs(false);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if conn.poll_parked(&ctrl, &mut out) > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "parked flush never released"
+        );
+        std::hint::spin_loop();
+    }
+    let Some(Pdu::CapsuleResp(r)) = out.first() else {
+        panic!("expected the parked flush completion, got {out:?}");
+    };
+    assert!(r.completion.status.is_ok());
+    assert_eq!(r.completion.cid, 40);
+    assert!(conn.metrics().barriers_parked.get() >= 1);
+}
+
 /// The recovery machinery's bookkeeping under the same budget: a real
 /// [`Initiator`]/target pair over [`ShmTransport`] with per-command
 /// deadlines and keep-alive enabled, every control frame CRC-stamped on

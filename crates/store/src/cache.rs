@@ -400,6 +400,75 @@ impl BlockCache {
         Ok(written)
     }
 
+    /// Resizes the arena to `new_capacity` blocks in place — the
+    /// adaptive controller's lever. Growing appends free slots and
+    /// extends the data slab; shrinking writes back (through `wb`) and
+    /// drops every entry resident in the removed tail slots, then
+    /// truncates. Survivor recency and dirty pins are untouched; the
+    /// hot-list target is re-derived and any overflow demoted, exactly
+    /// as a hit would. This is a control-plane operation: it allocates,
+    /// and is meant to run at controller cadence, not per I/O.
+    pub fn resize(
+        &mut self,
+        new_capacity: usize,
+        wb: &mut Writeback<'_>,
+    ) -> Result<(), BlockError> {
+        let old = self.slots.len();
+        if new_capacity == old {
+            return Ok(());
+        }
+        if new_capacity > old {
+            self.data.resize(new_capacity * self.block_size, 0);
+            self.slots.reserve(new_capacity - old);
+            for i in old..new_capacity {
+                self.slots.push(Slot {
+                    lba: 0,
+                    seq: CLEAN,
+                    seg: Seg::Free,
+                    prev: NIL,
+                    next: NIL,
+                });
+                // Chain the fresh slot onto the free list.
+                self.slots[i].next = self.free_head;
+                self.free_head = i as u32;
+            }
+            self.map.reserve(new_capacity - old);
+        } else {
+            // Evict everything living in the doomed tail slots.
+            for i in new_capacity..old {
+                if self.slots[i].seg == Seg::Free {
+                    continue;
+                }
+                let (vlba, vseq) = (self.slots[i].lba, self.slots[i].seq);
+                if vseq != CLEAN {
+                    let r = i * self.block_size..(i + 1) * self.block_size;
+                    wb(vlba, &self.data[r])?;
+                    self.dirty_len -= 1;
+                }
+                self.unlink(i as u32);
+                self.map.remove(&vlba);
+            }
+            // The free list may thread through dropped indices; rebuild
+            // it from the surviving free slots.
+            self.free_head = NIL;
+            for i in (0..new_capacity).rev() {
+                if self.slots[i].seg == Seg::Free {
+                    self.slots[i].next = self.free_head;
+                    self.free_head = i as u32;
+                }
+            }
+            self.slots.truncate(new_capacity);
+            self.data.truncate(new_capacity * self.block_size);
+        }
+        self.hot_target = new_capacity * 4 / 5;
+        while self.hot.len > self.hot_target.max(1) && self.hot.tail != NIL {
+            let demote = self.hot.tail;
+            self.unlink(demote);
+            self.push_mru(demote, Seg::Probation);
+        }
+        Ok(())
+    }
+
     /// Drops every entry covering `[lba, lba + nlb)` — dirty ones too,
     /// *without* write-back: the caller just journaled a TRIM/Write
     /// Zeroes that supersedes them and is about to punch the range.
@@ -582,5 +651,70 @@ mod tests {
         c.put_write(1, &block(3), 7, &mut no_wb()).unwrap();
         assert_eq!(c.max_dirty_seq(), 7);
         assert_eq!(c.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn grow_keeps_entries_and_adds_room() {
+        let mut c = BlockCache::new(64, 2);
+        c.put_write(1, &block(1), 1, &mut no_wb()).unwrap();
+        c.put_write(2, &block(2), 2, &mut no_wb()).unwrap();
+        c.resize(4, &mut no_wb()).unwrap();
+        assert_eq!(c.capacity(), 4);
+        assert_eq!(c.dirty_blocks(), 2);
+        // Two more inserts fit without eviction now.
+        c.put_write(3, &block(3), 3, &mut no_wb()).unwrap();
+        c.put_write(4, &block(4), 4, &mut no_wb()).unwrap();
+        let mut out = vec![0u8; 64];
+        for lba in 1..=4u64 {
+            assert!(c.get(lba, &mut out), "lba {lba} lost across grow");
+            assert_eq!(out, block(lba as u8));
+        }
+    }
+
+    #[test]
+    fn shrink_writes_back_dropped_dirty_entries() {
+        let mut c = BlockCache::new(64, 4);
+        for lba in 0..4 {
+            c.put_write(lba, &block(lba as u8 + 1), lba + 1, &mut no_wb())
+                .unwrap();
+        }
+        let mut wrote = Vec::new();
+        c.resize(2, &mut |lba, d| {
+            wrote.push((lba, d[0]));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.len() + wrote.len(), 4, "every entry kept or written back");
+        for &(lba, v) in &wrote {
+            assert_eq!(v, lba as u8 + 1, "dropped lba {lba} wrote back its bytes");
+        }
+        assert_eq!(c.dirty_blocks(), c.len(), "survivors keep their dirty pin");
+        // The shrunken cache still behaves: insert evicts, data correct.
+        let mut out = vec![0u8; 64];
+        c.put_write(9, &block(9), 9, &mut |_, _| Ok(())).unwrap();
+        assert!(c.get(9, &mut out));
+        assert_eq!(out, block(9));
+    }
+
+    #[test]
+    fn resize_roundtrip_preserves_correctness_under_thrash() {
+        let mut c = BlockCache::new(64, 1);
+        let mut sink = |_: u64, _: &[u8]| Ok(());
+        for i in 0..8u64 {
+            c.put_write(i, &block(i as u8), i + 1, &mut sink).unwrap();
+        }
+        c.resize(8, &mut sink).unwrap();
+        for i in 8..16u64 {
+            c.put_write(i, &block(i as u8), i + 1, &mut sink).unwrap();
+        }
+        c.resize(2, &mut sink).unwrap();
+        assert!(c.capacity() == 2 && c.len() <= 2);
+        let mut out = vec![0u8; 64];
+        for i in 0..16u64 {
+            if c.get(i, &mut out) {
+                assert_eq!(out, block(i as u8), "resident lba {i} corrupted");
+            }
+        }
     }
 }

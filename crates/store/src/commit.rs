@@ -28,12 +28,66 @@
 //! Batch telemetry: each sync records how many tickets it retired
 //! (`commit_batch`); with K concurrent writers the histogram's mass
 //! sits near K while `fsyncs` grows ~1/K as fast as barriers.
+//!
+//! ## Offloaded mode (async durability pipeline)
+//!
+//! When a sync worker thread is attached (see
+//! [`SharedFileDisk::with_sync_worker`](crate::disk::SharedFileDisk::with_sync_worker)),
+//! the coordinator grows a second, *completion-decoupled* face:
+//!
+//! - [`submit_sync`](GroupCommit::submit_sync) enrolls a barrier ticket
+//!   and returns a [`SyncHandle`] immediately — no blocking, no
+//!   allocation. The worker is woken through a condvar.
+//! - The worker loops on `next_sync_request` / `complete_sync`
+//!   (crate-private worker rounds): each round snapshots
+//!   the highest requested sequence, runs one device barrier *off every
+//!   reactor thread*, and publishes either a new `durable_seq` or a
+//!   `failed_seq` watermark equal to the snapshot target — so an error
+//!   fails exactly the set of tickets that were parked behind that sync
+//!   and nothing submitted after it.
+//! - [`poll_sync`](GroupCommit::poll_sync) is a lock-free read of two
+//!   monotonic atomics, cheap enough for a reactor to probe every pass.
+//!   Durability wins over failure: a ticket covered by a *later*
+//!   successful sync is durable no matter what an earlier round said.
+//!
+//! The blocking [`barrier`](GroupCommit::barrier) rides the worker when
+//! one is attached (enroll, wait on the retired condvar) so legacy
+//! callers keep group-commit batching without ever issuing their own
+//! `fdatasync`.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use oaf_ssd::ram::BlockError;
 
 use crate::metrics::StoreMetrics;
+
+/// Outcome of polling a submitted barrier ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStatus {
+    /// The covering sync has not finished yet; poll again later.
+    Pending,
+    /// Every record at or below the ticket's sequence is on the platter.
+    Durable,
+    /// The sync covering this ticket failed; the write is journaled but
+    /// not known durable. Later tickets may still succeed.
+    Failed,
+}
+
+/// A parked durability barrier: the sequence number whose durability the
+/// submitter is waiting on. `Copy` and allocation-free by design — the
+/// reactor parks these in preallocated rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncHandle {
+    seq: u64,
+}
+
+impl SyncHandle {
+    /// The record sequence this ticket waits on.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
 
 /// Coordinator state: the durability watermark plus the in-flight flag.
 #[derive(Default)]
@@ -45,6 +99,19 @@ struct CommitState {
     /// Tickets enrolled since the last sync completed (for the
     /// batch-size histogram; includes the future leader itself).
     tickets: u64,
+    /// Tickets the worker moved into its current sync round (their
+    /// sequences all predate the round's snapshot target).
+    syncing_tickets: u64,
+    /// Highest sequence any ticket has asked the worker to cover.
+    requested_seq: u64,
+    /// Highest snapshot target a failed worker sync covered.
+    failed_seq: u64,
+    /// A sync worker thread is attached and draining requests.
+    worker_attached: bool,
+    /// The worker has been asked to exit.
+    worker_shutdown: bool,
+    /// Last worker sync error, kept for blocking waiters to surface.
+    fail_msg: Option<String>,
 }
 
 /// The sync coordinator shared by every queue view of one
@@ -53,6 +120,14 @@ struct CommitState {
 pub struct GroupCommit {
     state: Mutex<CommitState>,
     retired: Condvar,
+    /// Wakes the sync worker when new tickets arrive or shutdown is set.
+    work: Condvar,
+    /// Lock-free mirror of `durable_seq` for reactor-side polling.
+    durable: AtomicU64,
+    /// Lock-free mirror of `failed_seq` for reactor-side polling.
+    failed: AtomicU64,
+    /// Mirror of `worker_attached` readable without the lock.
+    offloaded: AtomicBool,
 }
 
 impl GroupCommit {
@@ -64,6 +139,124 @@ impl GroupCommit {
     /// Highest sequence known durable (telemetry/tests).
     pub fn durable_seq(&self) -> u64 {
         self.state.lock().expect("commit lock poisoned").durable_seq
+    }
+
+    /// True when a sync worker thread is attached: barriers should be
+    /// submitted (or ridden through the worker) rather than leading
+    /// their own `fdatasync`.
+    pub fn offloaded(&self) -> bool {
+        self.offloaded.load(Ordering::Acquire)
+    }
+
+    /// Enroll a non-blocking barrier ticket for `seq` and wake the sync
+    /// worker. Allocation-free. The returned handle is resolved with
+    /// [`poll_sync`](GroupCommit::poll_sync); a ticket that is already
+    /// durable resolves on the first poll.
+    pub fn submit_sync(&self, seq: u64, metrics: &StoreMetrics) -> SyncHandle {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        metrics.barriers_offloaded.inc();
+        if guard.durable_seq < seq {
+            guard.tickets += 1;
+            if guard.requested_seq < seq {
+                guard.requested_seq = seq;
+            }
+            metrics
+                .sync_queue_depth
+                .set((guard.tickets + guard.syncing_tickets) as i64);
+            self.work.notify_one();
+        }
+        SyncHandle { seq }
+    }
+
+    /// Lock-free status probe for a submitted ticket. Durability is
+    /// checked first: a later successful sync genuinely covered the
+    /// ticket even if an earlier round failed.
+    #[inline]
+    pub fn poll_sync(&self, handle: SyncHandle) -> SyncStatus {
+        if self.durable.load(Ordering::Acquire) >= handle.seq {
+            SyncStatus::Durable
+        } else if self.failed.load(Ordering::Acquire) >= handle.seq {
+            SyncStatus::Failed
+        } else {
+            SyncStatus::Pending
+        }
+    }
+
+    /// Marks a worker thread attached; subsequent barriers ride it.
+    pub(crate) fn attach_worker(&self) {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        guard.worker_attached = true;
+        guard.worker_shutdown = false;
+        self.offloaded.store(true, Ordering::Release);
+    }
+
+    /// Asks the worker to exit and detaches offloaded mode. Blocking
+    /// waiters are woken so they can fall back to the inline path.
+    pub(crate) fn shutdown_worker(&self) {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        guard.worker_shutdown = true;
+        guard.worker_attached = false;
+        self.offloaded.store(false, Ordering::Release);
+        drop(guard);
+        self.work.notify_all();
+        self.retired.notify_all();
+    }
+
+    /// Worker side: block until there is something to sync (or shutdown).
+    /// Returns the snapshot target — the highest requested sequence at
+    /// the moment the round starts. Tickets enrolled *after* this call
+    /// belong to the next round.
+    pub(crate) fn next_sync_request(&self) -> Option<u64> {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        loop {
+            if guard.worker_shutdown {
+                return None;
+            }
+            let retired_hi = guard.durable_seq.max(guard.failed_seq);
+            if guard.requested_seq > retired_hi {
+                guard.syncing_tickets += guard.tickets;
+                guard.tickets = 0;
+                return Some(guard.requested_seq);
+            }
+            guard = self.work.wait(guard).expect("commit lock poisoned");
+        }
+    }
+
+    /// Worker side: publish one round's outcome. On success the durable
+    /// watermark advances to `covered` (≥ the snapshot target, since the
+    /// device barrier covers everything appended when it ran). On error
+    /// the failed watermark advances to exactly `target`, failing the
+    /// parked set behind this round and nothing newer.
+    pub(crate) fn complete_sync(
+        &self,
+        target: u64,
+        res: Result<u64, BlockError>,
+        metrics: &StoreMetrics,
+    ) {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        match res {
+            Ok(covered) => {
+                guard.durable_seq = guard.durable_seq.max(covered);
+                self.durable.store(guard.durable_seq, Ordering::Release);
+                metrics.commit_batch.record(guard.syncing_tickets.max(1));
+            }
+            Err(e) => {
+                guard.failed_seq = guard.failed_seq.max(target);
+                self.failed.store(guard.failed_seq, Ordering::Release);
+                guard.fail_msg = Some(e.to_string());
+                if guard.requested_seq <= guard.failed_seq {
+                    // Every outstanding request is covered by the failure;
+                    // nothing left for a future batch to count.
+                    guard.tickets = 0;
+                }
+            }
+        }
+        guard.syncing_tickets = 0;
+        metrics
+            .sync_queue_depth
+            .set((guard.tickets + guard.syncing_tickets) as i64);
+        drop(guard);
+        self.retired.notify_all();
     }
 
     /// Blocks until every record with sequence ≤ `seq` is durable.
@@ -79,6 +272,13 @@ impl GroupCommit {
         metrics: &StoreMetrics,
         mut sync: impl FnMut() -> Result<u64, BlockError>,
     ) -> Result<(), BlockError> {
+        if self.offloaded() {
+            if let Some(res) = self.barrier_via_worker(seq, metrics) {
+                return res;
+            }
+            // Worker detached while we waited: fall through and lead.
+        }
+        metrics.barriers_inline.inc();
         let mut led_sync = false;
         let mut guard = self.state.lock().expect("commit lock poisoned");
         if guard.durable_seq < seq {
@@ -103,6 +303,7 @@ impl GroupCommit {
                 match res {
                     Ok(covered) => {
                         guard.durable_seq = guard.durable_seq.max(covered);
+                        self.durable.store(guard.durable_seq, Ordering::Release);
                         // Every enrolled ticket's record predates the
                         // sync we just led, so the batch is all of them;
                         // a ticket the watermark somehow missed re-enrolls
@@ -124,6 +325,50 @@ impl GroupCommit {
             } else {
                 guard = self.retired.wait(guard).expect("commit lock poisoned");
             }
+        }
+    }
+
+    /// Blocking barrier in offloaded mode: enroll a ticket, wake the
+    /// worker, and park on the retired condvar until the watermark
+    /// passes. Returns `None` if the worker detaches mid-wait (the
+    /// caller falls back to leading its own sync).
+    fn barrier_via_worker(
+        &self,
+        seq: u64,
+        metrics: &StoreMetrics,
+    ) -> Option<Result<(), BlockError>> {
+        let mut guard = self.state.lock().expect("commit lock poisoned");
+        if guard.durable_seq >= seq {
+            metrics.fsyncs_coalesced.inc();
+            return Some(Ok(()));
+        }
+        if !guard.worker_attached {
+            return None;
+        }
+        metrics.barriers_offloaded.inc();
+        guard.tickets += 1;
+        if guard.requested_seq < seq {
+            guard.requested_seq = seq;
+        }
+        metrics
+            .sync_queue_depth
+            .set((guard.tickets + guard.syncing_tickets) as i64);
+        self.work.notify_one();
+        loop {
+            if guard.durable_seq >= seq {
+                return Some(Ok(()));
+            }
+            if guard.failed_seq >= seq {
+                let msg = guard
+                    .fail_msg
+                    .clone()
+                    .unwrap_or_else(|| "sync worker failed".to_string());
+                return Some(Err(BlockError::Io(msg)));
+            }
+            if !guard.worker_attached {
+                return None;
+            }
+            guard = self.retired.wait(guard).expect("commit lock poisoned");
         }
     }
 }
@@ -210,5 +455,111 @@ mod tests {
         assert!(s < total, "no coalescing: {s} syncs for {total} barriers");
         assert_eq!(m.fsyncs_coalesced.get(), total - s);
         assert_eq!(gc.durable_seq(), total);
+    }
+
+    #[test]
+    fn submit_poll_roundtrip_through_a_manual_worker() {
+        let gc = GroupCommit::new();
+        let m = StoreMetrics::new();
+        gc.attach_worker();
+        let h1 = gc.submit_sync(1, &m);
+        let h2 = gc.submit_sync(2, &m);
+        assert_eq!(gc.poll_sync(h1), SyncStatus::Pending);
+        assert_eq!(m.sync_queue_depth.get(), 2);
+        assert_eq!(m.barriers_offloaded.get(), 2);
+        // Play the worker: one round covers both tickets.
+        let target = gc.next_sync_request().expect("work pending");
+        assert_eq!(target, 2);
+        gc.complete_sync(target, Ok(5), &m);
+        assert_eq!(gc.poll_sync(h1), SyncStatus::Durable);
+        assert_eq!(gc.poll_sync(h2), SyncStatus::Durable);
+        assert_eq!(m.sync_queue_depth.get(), 0);
+        assert_eq!(m.commit_batch.snapshot().count, 1);
+        // Already-durable submits resolve on the first poll, no new work.
+        let h3 = gc.submit_sync(4, &m);
+        assert_eq!(gc.poll_sync(h3), SyncStatus::Durable);
+    }
+
+    #[test]
+    fn sync_error_fails_exactly_the_parked_set() {
+        let gc = GroupCommit::new();
+        let m = StoreMetrics::new();
+        gc.attach_worker();
+        let h1 = gc.submit_sync(1, &m);
+        let h2 = gc.submit_sync(2, &m);
+        let target = gc.next_sync_request().unwrap();
+        gc.complete_sync(target, Err(BlockError::Io("dead".into())), &m);
+        assert_eq!(gc.poll_sync(h1), SyncStatus::Failed);
+        assert_eq!(gc.poll_sync(h2), SyncStatus::Failed);
+        // A ticket submitted after the failure is NOT failed by it…
+        let h3 = gc.submit_sync(3, &m);
+        assert_eq!(gc.poll_sync(h3), SyncStatus::Pending);
+        // …and a later successful round makes everything durable —
+        // including the earlier tickets, whose records the new device
+        // barrier genuinely covered (durability wins over failure).
+        let target = gc.next_sync_request().unwrap();
+        assert_eq!(target, 3);
+        gc.complete_sync(target, Ok(3), &m);
+        assert_eq!(gc.poll_sync(h3), SyncStatus::Durable);
+        assert_eq!(gc.poll_sync(h1), SyncStatus::Durable);
+    }
+
+    #[test]
+    fn blocking_barrier_rides_the_attached_worker() {
+        let gc = Arc::new(GroupCommit::new());
+        let m = StoreMetrics::new();
+        gc.attach_worker();
+        let waiter = {
+            let gc = Arc::clone(&gc);
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                gc.barrier(7, &m, || -> Result<u64, BlockError> {
+                    panic!("offloaded barrier must never lead its own sync")
+                })
+            })
+        };
+        // Worker side: serve rounds until the waiter's seq is requested.
+        let target = gc.next_sync_request().expect("waiter enrolls a ticket");
+        assert_eq!(target, 7);
+        gc.complete_sync(target, Ok(7), &m);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(gc.durable_seq(), 7);
+        assert_eq!(m.barriers_offloaded.get(), 1);
+        assert_eq!(m.barriers_inline.get(), 0);
+    }
+
+    #[test]
+    fn blocking_barrier_surfaces_worker_failure() {
+        let gc = Arc::new(GroupCommit::new());
+        let m = StoreMetrics::new();
+        gc.attach_worker();
+        let waiter = {
+            let gc = Arc::clone(&gc);
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                gc.barrier(1, &m, || -> Result<u64, BlockError> {
+                    panic!("offloaded barrier must never lead its own sync")
+                })
+            })
+        };
+        let target = gc.next_sync_request().unwrap();
+        gc.complete_sync(target, Err(BlockError::Io("dead".into())), &m);
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, BlockError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn shutdown_wakes_the_worker_loop() {
+        let gc = Arc::new(GroupCommit::new());
+        gc.attach_worker();
+        let worker = {
+            let gc = Arc::clone(&gc);
+            std::thread::spawn(move || gc.next_sync_request())
+        };
+        // Give the worker a moment to park, then shut it down.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        gc.shutdown_worker();
+        assert_eq!(worker.join().unwrap(), None);
+        assert!(!gc.offloaded());
     }
 }

@@ -69,7 +69,7 @@ use oaf_ssd::block::BlockStore;
 use oaf_ssd::ram::{check_range, BlockError};
 
 use crate::cache::BlockCache;
-use crate::commit::GroupCommit;
+use crate::commit::{GroupCommit, SyncHandle, SyncStatus};
 use crate::log::{
     rec_len, RecordHeader, RecordKind, Superblock, LOG_OFFSET, REC_FLAG_FUA, REC_HDR_LEN,
     SB_SLOT_LEN,
@@ -82,6 +82,43 @@ pub const DEFAULT_LOG_BYTES: u64 = 4 << 20;
 
 /// Zero source for allocation-free range punching.
 static ZERO_CHUNK: [u8; 4096] = [0u8; 4096];
+
+/// Bounds and cadence for the adaptive cache controller
+/// ([`FileDisk::with_adaptive_cache`]). The controller re-evaluates
+/// once per window of cache lookups: it doubles capacity (up to
+/// `max_blocks`) when the window's hit rate falls below 90% under
+/// eviction pressure, and halves it (down to `min_blocks`) when the
+/// window shows ≥95% hits, zero evictions and at most a quarter of the
+/// arena resident.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheAdaptConfig {
+    /// Smallest capacity the controller may shrink to (also the
+    /// starting capacity). Must be ≥ 1.
+    pub min_blocks: usize,
+    /// Largest capacity the controller may grow to.
+    pub max_blocks: usize,
+    /// Cache lookups (hits + misses) per evaluation window.
+    pub window_lookups: u64,
+}
+
+impl Default for CacheAdaptConfig {
+    fn default() -> Self {
+        CacheAdaptConfig {
+            min_blocks: 64,
+            max_blocks: 4096,
+            window_lookups: 512,
+        }
+    }
+}
+
+/// Controller bookkeeping: the config plus counter snapshots taken at
+/// the last evaluation, so each window works on deltas.
+struct AdaptState {
+    cfg: CacheAdaptConfig,
+    last_hits: u64,
+    last_misses: u64,
+    last_evictions: u64,
+}
 
 fn io_err(ctx: &str, e: std::io::Error) -> BlockError {
     BlockError::Io(format!("{ctx}: {e}"))
@@ -109,6 +146,8 @@ pub struct FileDisk {
     live: Vec<u64>,
     /// Population count of `live`.
     live_blocks: u64,
+    /// Adaptive cache controller state (`None` = fixed capacity).
+    adapt: Option<AdaptState>,
     metrics: Arc<StoreMetrics>,
 }
 
@@ -166,6 +205,7 @@ impl FileDisk {
             cache: RefCell::new(BlockCache::new(block_size as usize, 0)),
             live: vec![0u64; blocks.div_ceil(64) as usize],
             live_blocks: 0,
+            adapt: None,
             metrics: StoreMetrics::new(),
         })
     }
@@ -213,6 +253,7 @@ impl FileDisk {
             cache: RefCell::new(BlockCache::new(sb.block_size as usize, 0)),
             live: vec![0u64; sb.capacity_blocks.div_ceil(64) as usize],
             live_blocks: 0,
+            adapt: None,
             sb,
             metrics: StoreMetrics::new(),
         })
@@ -437,6 +478,19 @@ impl FileDisk {
         Ok(self.next_seq - 1)
     }
 
+    /// Phase 1 of an *offloaded* barrier, run by the sync worker under
+    /// the disk lock: drain the cache and pin the covered watermark,
+    /// but do **not** sync — the worker issues the `fdatasync` through
+    /// its own vfs handle after releasing this lock, so reads and
+    /// journaled writes keep flowing for the barrier's whole duration.
+    /// Returns `(covered_seq, dirty_bytes_taken)`; the worker accounts
+    /// the bytes to `flushed_bytes` once the sync lands.
+    pub(crate) fn prepare_offload_sync(&mut self) -> Result<(u64, u64), BlockError> {
+        self.writeback_all()?;
+        let dirty = std::mem::take(&mut self.dirty_bytes);
+        Ok((self.next_seq - 1, dirty))
+    }
+
     /// One durability barrier: `fdatasync` + the flushed-bytes/latency
     /// bookkeeping.
     fn sync_barrier(&mut self) -> Result<(), BlockError> {
@@ -535,7 +589,102 @@ impl FileDisk {
     pub fn with_cache(mut self, blocks: usize) -> Result<FileDisk, BlockError> {
         self.writeback_all()?;
         self.cache = RefCell::new(BlockCache::new(self.sb.block_size as usize, blocks));
+        self.adapt = None;
+        self.metrics.cache_capacity.set(blocks as i64);
         Ok(self)
+    }
+
+    /// Enables the adaptive cache controller: the cache starts at
+    /// `cfg.min_blocks` and is resized between the configured bounds
+    /// once per lookup window, from the hit-rate and eviction-pressure
+    /// telemetry (see [`CacheAdaptConfig`]). Evaluation happens on the
+    /// mutation path, so a read-only phase is assessed at its next
+    /// write.
+    pub fn with_adaptive_cache(self, cfg: CacheAdaptConfig) -> Result<FileDisk, BlockError> {
+        assert!(cfg.min_blocks >= 1, "adaptive cache needs min_blocks >= 1");
+        assert!(
+            cfg.min_blocks <= cfg.max_blocks,
+            "adaptive cache bounds inverted"
+        );
+        assert!(cfg.window_lookups >= 1, "empty adaptation window");
+        let mut disk = self.with_cache(cfg.min_blocks)?;
+        disk.adapt = Some(AdaptState {
+            cfg,
+            last_hits: disk.metrics.cache_hits.get(),
+            last_misses: disk.metrics.cache_misses.get(),
+            last_evictions: disk.metrics.cache_evictions.get(),
+        });
+        Ok(disk)
+    }
+
+    /// One controller tick: no-op until a full lookup window has
+    /// elapsed, then grow/shrink per the [`CacheAdaptConfig`] policy.
+    fn maybe_adapt_cache(&mut self) -> Result<(), BlockError> {
+        let Some(st) = self.adapt.as_ref() else {
+            return Ok(());
+        };
+        let hits = self.metrics.cache_hits.get();
+        let misses = self.metrics.cache_misses.get();
+        let evictions = self.metrics.cache_evictions.get();
+        let d_hits = hits - st.last_hits;
+        let d_lookups = d_hits + (misses - st.last_misses);
+        if d_lookups < st.cfg.window_lookups {
+            return Ok(());
+        }
+        let d_evict = evictions - st.last_evictions;
+        let (min, max) = (st.cfg.min_blocks, st.cfg.max_blocks);
+        let cap = self.cache.get_mut().capacity();
+        let resident = self.cache.get_mut().len();
+        let new_cap = if d_hits * 10 < d_lookups * 9 && d_evict > 0 {
+            // Misses under eviction pressure: the working set does not
+            // fit. Double toward the ceiling.
+            (cap * 2).min(max)
+        } else if d_hits * 20 >= d_lookups * 19 && d_evict == 0 && resident * 4 <= cap {
+            // ≥95% hits with a mostly-idle arena: give memory back.
+            (cap / 2).max(min)
+        } else {
+            cap
+        };
+        let st = self.adapt.as_mut().expect("checked above");
+        st.last_hits = hits;
+        st.last_misses = misses;
+        st.last_evictions = evictions;
+        if new_cap != cap {
+            if new_cap > cap {
+                self.metrics.cache_grows.inc();
+            } else {
+                self.metrics.cache_shrinks.inc();
+            }
+            self.resize_cache(new_cap)?;
+        }
+        Ok(())
+    }
+
+    /// Resizes the cache arena, writing back any dirty entries the
+    /// shrink path drops (their intent records are already journaled,
+    /// so this is the usual deferred apply).
+    fn resize_cache(&mut self, new_cap: usize) -> Result<(), BlockError> {
+        let FileDisk {
+            vfs,
+            sb,
+            cache,
+            dirty_bytes,
+            metrics,
+            ..
+        } = self;
+        let data_offset = sb.data_offset();
+        let bs = u64::from(sb.block_size);
+        let cache = cache.get_mut();
+        cache.resize(new_cap, &mut |wlba, data| {
+            vfs.write_at(data_offset + wlba * bs, data)
+                .map_err(|e| io_err("writeback", e))?;
+            *dirty_bytes += data.len() as u64;
+            metrics.cache_writebacks.inc();
+            Ok(())
+        })?;
+        metrics.cache_capacity.set(new_cap as i64);
+        metrics.cache_dirty.set(cache.dirty_blocks() as i64);
+        Ok(())
     }
 
     /// Block-cache capacity in entries (0 = uncached).
@@ -562,6 +711,7 @@ impl FileDisk {
         fua: bool,
     ) -> Result<u64, BlockError> {
         self.check(lba, count, buf.len())?;
+        self.maybe_adapt_cache()?;
         let flags = if fua { REC_FLAG_FUA } else { 0 };
         self.append_record(RecordKind::Write, flags, lba, count, buf)?;
         let seq = self.next_seq - 1;
@@ -629,6 +779,7 @@ impl FileDisk {
             metrics: Arc::clone(&self.metrics),
             commit: Arc::new(GroupCommit::new()),
             inner: Arc::new(parking_lot::Mutex::new(self)),
+            worker: None,
         }
     }
 
@@ -765,9 +916,101 @@ pub struct SharedFileDisk {
     metrics: Arc<StoreMetrics>,
     commit: Arc<GroupCommit>,
     inner: Arc<parking_lot::Mutex<FileDisk>>,
+    /// Sync worker lifecycle handle; the last clone to drop shuts the
+    /// worker down and joins it.
+    worker: Option<Arc<SyncWorkerHandle>>,
+}
+
+/// Owns the sync worker thread's lifetime. Held behind an `Arc` inside
+/// every [`SharedFileDisk`] clone: dropping the final reference asks
+/// the worker to exit (waking it if parked) and joins the thread, so a
+/// disk never outlives its barrier pipeline.
+struct SyncWorkerHandle {
+    commit: Arc<GroupCommit>,
+    join: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for SyncWorkerHandle {
+    fn drop(&mut self) {
+        self.commit.shutdown_worker();
+        if let Some(join) = self.join.lock().expect("worker join poisoned").take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The sync worker loop: wait for barrier tickets, drain the cache
+/// under the disk lock (phase 1), then run the `fdatasync` through a
+/// *dedicated* vfs handle with the disk lock released (phase 2), and
+/// publish the outcome. Reads and journaled writes proceed on other
+/// threads for the entire syscall; an error fails exactly the round's
+/// parked set via [`GroupCommit::complete_sync`].
+fn run_sync_worker(
+    commit: Arc<GroupCommit>,
+    inner: Arc<parking_lot::Mutex<FileDisk>>,
+    metrics: Arc<StoreMetrics>,
+    mut sync_vfs: Box<dyn Vfs>,
+) {
+    while let Some(target) = commit.next_sync_request() {
+        let res = (|| {
+            let (covered, dirty) = inner.lock().prepare_offload_sync()?;
+            let t0 = Instant::now();
+            sync_vfs.sync().map_err(|e| io_err("fsync", e))?;
+            metrics.fsyncs.inc();
+            metrics.fsync_ns.record_nanos(t0.elapsed());
+            metrics.flushed_bytes.add(dirty);
+            Ok(covered)
+        })();
+        commit.complete_sync(target, res, &metrics);
+    }
 }
 
 impl SharedFileDisk {
+    /// Attaches a dedicated sync worker thread: from here on, every
+    /// durability barrier — blocking [`write`](SharedFileDisk::write)/
+    /// [`flush`](SharedFileDisk::flush) calls included — is served by
+    /// the worker's `fdatasync` instead of one taken on the calling
+    /// thread, and the non-blocking
+    /// [`write_async`](SharedFileDisk::write_async)/
+    /// [`flush_async`](SharedFileDisk::flush_async) paths become
+    /// available.
+    ///
+    /// `sync_vfs` must be a second handle onto the *same backing
+    /// storage* whose `sync` makes the disk handle's writes durable —
+    /// for a real file, the same path opened again (syncing either fd
+    /// flushes the inode); tests pass a clone of a shared vfs. The
+    /// worker syncs through this handle so the disk lock is *not* held
+    /// across the syscall.
+    pub fn with_sync_worker(self, sync_vfs: Box<dyn Vfs>) -> SharedFileDisk {
+        assert!(self.worker.is_none(), "sync worker already attached");
+        self.commit.attach_worker();
+        let commit = Arc::clone(&self.commit);
+        let inner = Arc::clone(&self.inner);
+        let metrics = Arc::clone(&self.metrics);
+        let join = std::thread::Builder::new()
+            .name("oaf-sync".into())
+            .spawn(move || run_sync_worker(commit, inner, metrics, sync_vfs))
+            .expect("spawn sync worker");
+        SharedFileDisk {
+            worker: Some(Arc::new(SyncWorkerHandle {
+                commit: Arc::clone(&self.commit),
+                join: std::sync::Mutex::new(Some(join)),
+            })),
+            ..self
+        }
+    }
+
+    /// True when barriers are offloaded to a sync worker — the
+    /// precondition for the `*_async` submit paths to return tickets.
+    pub fn sync_offloaded(&self) -> bool {
+        self.commit.offloaded()
+    }
+
+    /// Non-blocking poll of a submitted barrier ticket (lock-free).
+    #[inline]
+    pub fn poll_barrier(&self, handle: SyncHandle) -> SyncStatus {
+        self.commit.poll_sync(handle)
+    }
     /// Block size in bytes.
     pub fn block_size(&self) -> u32 {
         self.block_size
@@ -812,6 +1055,47 @@ impl SharedFileDisk {
             self.barrier(seq)?;
         }
         Ok(())
+    }
+
+    /// Journals (and applies/caches) a write like
+    /// [`write`](SharedFileDisk::write), but when `fua` is set and a
+    /// sync worker is attached, the durability barrier is *submitted*
+    /// instead of awaited: the returned [`SyncHandle`] parks until
+    /// [`poll_barrier`](SharedFileDisk::poll_barrier) reports it
+    /// durable (or failed). Without a worker — or without `fua` — this
+    /// degenerates to the blocking semantics and returns `None`
+    /// already-retired.
+    pub fn write_async(
+        &self,
+        lba: u64,
+        count: u32,
+        buf: &[u8],
+        fua: bool,
+    ) -> Result<Option<SyncHandle>, BlockError> {
+        let seq = self.inner.lock().write_journaled(lba, count, buf, fua)?;
+        if !fua {
+            return Ok(None);
+        }
+        if self.commit.offloaded() {
+            Ok(Some(self.commit.submit_sync(seq, &self.metrics)))
+        } else {
+            self.barrier(seq)?;
+            Ok(None)
+        }
+    }
+
+    /// Journals a Flush and submits its barrier to the sync worker,
+    /// returning a parked [`SyncHandle`]; falls back to the blocking
+    /// group-commit barrier (returning `None`) when no worker is
+    /// attached.
+    pub fn flush_async(&self) -> Result<Option<SyncHandle>, BlockError> {
+        let seq = self.inner.lock().append_flush_record()?;
+        if self.commit.offloaded() {
+            Ok(Some(self.commit.submit_sync(seq, &self.metrics)))
+        } else {
+            self.barrier(seq)?;
+            Ok(None)
+        }
     }
 
     /// Zeroes `count` blocks starting at `lba` (journaled).
@@ -1121,6 +1405,128 @@ mod tests {
         for lba in 0..64u64 {
             d.read(lba, 1, &mut out).unwrap();
             assert!(out.iter().all(|&b| b == (lba % 250) as u8 + 1));
+        }
+    }
+
+    use crate::vfs::SharedMemVfs;
+
+    fn poll_until(
+        d: &SharedFileDisk,
+        h: crate::commit::SyncHandle,
+        want: crate::commit::SyncStatus,
+    ) {
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let got = d.poll_barrier(h);
+            if got == want {
+                return;
+            }
+            assert_eq!(
+                got,
+                crate::commit::SyncStatus::Pending,
+                "ticket resolved to the wrong state"
+            );
+            assert!(Instant::now() < deadline, "ticket never left Pending");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn offloaded_write_async_parks_then_retires() {
+        let vfs = SharedMemVfs::new();
+        let d = FileDisk::create_on(Box::new(vfs.clone()), 512, 64, 64 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs));
+        assert!(d.sync_offloaded());
+        let h = d
+            .write_async(3, 1, &[0x5au8; 512], true)
+            .unwrap()
+            .expect("fua on an offloaded disk returns a ticket");
+        poll_until(&d, h, crate::commit::SyncStatus::Durable);
+        // Plain writes never ticket; blocking FUA rides the worker.
+        assert!(d.write_async(4, 1, &[1u8; 512], false).unwrap().is_none());
+        d.write(5, 1, &[2u8; 512], true).unwrap();
+        let h2 = d.flush_async().unwrap().expect("flush tickets too");
+        poll_until(&d, h2, crate::commit::SyncStatus::Durable);
+        let m = d.metrics();
+        assert!(m.barriers_offloaded.get() >= 3);
+        assert_eq!(m.barriers_inline.get(), 0, "no barrier ran inline");
+        assert!(m.fsyncs.get() >= 1);
+        let mut out = [0u8; 512];
+        d.read(3, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x5a));
+    }
+
+    #[test]
+    fn worker_sync_failure_fails_parked_tickets_then_recovers() {
+        let vfs = SharedMemVfs::new();
+        let d = FileDisk::create_on(Box::new(vfs.clone()), 512, 64, 64 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs.clone()));
+        vfs.set_fail_sync(true);
+        let h = d.write_async(0, 1, &[9u8; 512], true).unwrap().unwrap();
+        poll_until(&d, h, crate::commit::SyncStatus::Failed);
+        // Blocking path surfaces the same failure as an error…
+        assert!(d.write(1, 1, &[8u8; 512], true).is_err());
+        // …and once the device heals, new barriers succeed.
+        vfs.set_fail_sync(false);
+        let h2 = d.write_async(2, 1, &[7u8; 512], true).unwrap().unwrap();
+        poll_until(&d, h2, crate::commit::SyncStatus::Durable);
+    }
+
+    #[test]
+    fn dropping_every_clone_joins_the_worker() {
+        let vfs = SharedMemVfs::new();
+        let d = FileDisk::create_on(Box::new(vfs.clone()), 512, 64, 64 * 1024)
+            .unwrap()
+            .into_shared()
+            .with_sync_worker(Box::new(vfs));
+        let d2 = d.clone();
+        d2.write(0, 1, &[1u8; 512], true).unwrap();
+        drop(d2);
+        drop(d); // must not hang: shutdown wakes the parked worker
+    }
+
+    #[test]
+    fn adaptive_cache_grows_under_miss_pressure() {
+        let mut d = FileDisk::create_on(Box::new(MemVfs::new()), 512, 256, 256 * 1024)
+            .unwrap()
+            .with_adaptive_cache(CacheAdaptConfig {
+                min_blocks: 4,
+                max_blocks: 64,
+                window_lookups: 64,
+            })
+            .unwrap();
+        assert_eq!(d.cache_capacity(), 4);
+        // A working set of 32 blocks over a 4-block cache: each write
+        // pass thrashes (evictions), each read pass mostly misses, so
+        // the controller must grow until the set fits.
+        let payload = [3u8; 512];
+        let mut out = [0u8; 512];
+        for _pass in 0..24 {
+            for lba in 0..32u64 {
+                d.write(lba, 1, &payload, false).unwrap();
+            }
+            for lba in 0..32u64 {
+                d.read(lba, 1, &mut out).unwrap();
+            }
+            if d.cache_capacity() >= 32 {
+                break;
+            }
+        }
+        assert!(
+            d.cache_capacity() >= 32,
+            "controller stuck at {} blocks",
+            d.cache_capacity()
+        );
+        assert!(d.metrics().cache_grows.get() >= 1);
+        assert_eq!(d.metrics().cache_capacity.get(), d.cache_capacity() as i64);
+        // Correctness across resizes.
+        for lba in 0..32u64 {
+            d.read(lba, 1, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 3));
         }
     }
 

@@ -20,10 +20,18 @@
 //! * **Group commit.** Concurrent durability barriers from multi-queue
 //!   views coalesce into one `fdatasync` per batch window via a ticket
 //!   protocol ([`commit::GroupCommit`]).
+//! * **Async durability pipeline.** With a sync worker attached
+//!   ([`SharedFileDisk::with_sync_worker`]), barriers are *submitted*
+//!   as tickets ([`commit::SyncHandle`]) and resolved by a lock-free
+//!   poll — the `fdatasync` runs on the worker with the disk lock
+//!   released, so reads and journaled writes flow at full rate while a
+//!   sync is in flight.
 //! * **Block cache.** A fixed-capacity segmented-LRU write-back cache
 //!   ([`cache::BlockCache`]) serves read hits with zero syscalls and
 //!   defers in-place applies; dirty entries are pinned to journal
-//!   sequences so eviction order can never outrun the log.
+//!   sequences so eviction order can never outrun the log. An optional
+//!   controller ([`FileDisk::with_adaptive_cache`]) resizes capacity
+//!   between configured bounds from hit-rate/eviction telemetry.
 //!
 //! Crash testing injects [`vfs::CrashVfs`] underneath the disk: a
 //! volatile-cache file model that kills the store at a seeded syscall
@@ -40,6 +48,6 @@ pub mod metrics;
 pub mod vfs;
 
 pub use cache::BlockCache;
-pub use commit::GroupCommit;
-pub use disk::{FileDisk, SharedFileDisk, DEFAULT_LOG_BYTES};
+pub use commit::{GroupCommit, SyncHandle, SyncStatus};
+pub use disk::{CacheAdaptConfig, FileDisk, SharedFileDisk, DEFAULT_LOG_BYTES};
 pub use metrics::StoreMetrics;

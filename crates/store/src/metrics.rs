@@ -52,6 +52,22 @@ pub struct StoreMetrics {
     pub bytes_reclaimed: Counter,
     /// Bytes of live (written, not deallocated) data in the store.
     pub live_bytes: Gauge,
+    /// Barrier tickets submitted to the sync worker and not yet retired
+    /// (durable or failed). `hwm()` is the deepest the queue has been.
+    pub sync_queue_depth: Gauge,
+    /// Barriers handed to the offloaded sync worker instead of running
+    /// `fdatasync` on the calling thread.
+    pub barriers_offloaded: Counter,
+    /// Barriers served by the inline group-commit path (no worker, or
+    /// worker not attached).
+    pub barriers_inline: Counter,
+    /// Current block-cache capacity, in blocks (moves when the adaptive
+    /// controller resizes the arena).
+    pub cache_capacity: Gauge,
+    /// Adaptive cache grow decisions taken.
+    pub cache_grows: Counter,
+    /// Adaptive cache shrink decisions taken.
+    pub cache_shrinks: Counter,
 }
 
 impl StoreMetrics {
@@ -80,6 +96,12 @@ impl StoreMetrics {
         scope.adopt_gauge("cache_dirty", &self.cache_dirty);
         scope.adopt_counter("bytes_reclaimed", &self.bytes_reclaimed);
         scope.adopt_gauge("live_bytes", &self.live_bytes);
+        scope.adopt_gauge("sync_queue_depth", &self.sync_queue_depth);
+        scope.adopt_counter("barriers_offloaded", &self.barriers_offloaded);
+        scope.adopt_counter("barriers_inline", &self.barriers_inline);
+        scope.adopt_gauge("cache_capacity", &self.cache_capacity);
+        scope.adopt_counter("cache_grows", &self.cache_grows);
+        scope.adopt_counter("cache_shrinks", &self.cache_shrinks);
     }
 }
 
@@ -119,5 +141,24 @@ mod tests {
         assert_eq!(snap.gauge("store", "cache_dirty").unwrap().0, 3);
         assert_eq!(snap.counter("store", "bytes_reclaimed"), 4096);
         assert_eq!(snap.gauge("store", "live_bytes").unwrap().0, 8192);
+    }
+
+    #[test]
+    fn offload_and_adaptive_cache_metrics_register() {
+        let m = StoreMetrics::new();
+        m.sync_queue_depth.set(2);
+        m.barriers_offloaded.add(5);
+        m.barriers_inline.inc();
+        m.cache_capacity.set(256);
+        m.cache_grows.inc();
+        let registry = Registry::new();
+        m.register(&registry.scope("store"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("store", "sync_queue_depth").unwrap().0, 2);
+        assert_eq!(snap.counter("store", "barriers_offloaded"), 5);
+        assert_eq!(snap.counter("store", "barriers_inline"), 1);
+        assert_eq!(snap.gauge("store", "cache_capacity").unwrap().0, 256);
+        assert_eq!(snap.counter("store", "cache_grows"), 1);
+        assert_eq!(snap.counter("store", "cache_shrinks"), 0);
     }
 }

@@ -2,11 +2,14 @@
 //! injected exactly where a real power loss bites.
 //!
 //! [`FileDisk`](crate::disk::FileDisk) never touches `std::fs` directly;
-//! every byte goes through a [`Vfs`]. Three implementations:
+//! every byte goes through a [`Vfs`]. Four implementations:
 //!
 //! * [`RealVfs`] — a real file with positional I/O and `fdatasync`;
 //! * [`MemVfs`] — a flat in-memory image with no volatile cache
 //!   (always "durable"), for unit tests and allocation-budget tests;
+//! * [`SharedMemVfs`] — a clone-shareable [`MemVfs`] with slow-sync /
+//!   failing-sync knobs, the harness for sync-worker (offloaded
+//!   durability) tests;
 //! * [`CrashVfs`] — the chaos layer: a volatile-cache model over an
 //!   in-memory image. Writes land in a pending cache and only
 //!   [`Vfs::sync`] makes them durable. At a chosen syscall index the
@@ -19,6 +22,9 @@ use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Positional I/O + durability barrier: the five syscalls the store is
 /// allowed to make.
@@ -151,6 +157,109 @@ impl Vfs for MemVfs {
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         self.image.resize(len as usize, 0);
         Ok(())
+    }
+}
+
+/// Sync-behaviour knobs shared by every clone of a [`SharedMemVfs`].
+#[derive(Default)]
+struct SyncCtl {
+    delay_ns: AtomicU64,
+    fail: AtomicBool,
+    hold: AtomicBool,
+    syncs: AtomicU64,
+}
+
+/// A clone-shareable [`MemVfs`]: every clone views the same image, so a
+/// disk and its sync worker can hold two handles onto one "file" — the
+/// [`RealVfs`] analogue is the same path opened twice.
+///
+/// The sync knobs model a slow or failing device. The configured delay
+/// and hold are served *before* the image lock is taken, so reads and
+/// writes through other clones keep flowing while a sync is "in
+/// flight" — exactly how a real file behaves while `fdatasync` runs on
+/// another fd.
+#[derive(Clone, Default)]
+pub struct SharedMemVfs {
+    image: Arc<Mutex<MemVfs>>,
+    ctl: Arc<SyncCtl>,
+}
+
+impl SharedMemVfs {
+    /// An empty shared image.
+    pub fn new() -> SharedMemVfs {
+        SharedMemVfs::default()
+    }
+
+    /// A shared image holding `bytes`.
+    pub fn from_image(bytes: Vec<u8>) -> SharedMemVfs {
+        SharedMemVfs {
+            image: Arc::new(Mutex::new(MemVfs::from_image(bytes))),
+            ctl: Arc::default(),
+        }
+    }
+
+    /// A copy of the current image.
+    pub fn image(&self) -> Vec<u8> {
+        self.image.lock().unwrap().image()
+    }
+
+    /// Every future [`Vfs::sync`] (on any clone) sleeps this long
+    /// before touching the image — a slow device.
+    pub fn set_sync_delay(&self, delay: Duration) {
+        let ns = u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX);
+        self.ctl.delay_ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// Every future [`Vfs::sync`] fails with an injected I/O error
+    /// until cleared — a dying device.
+    pub fn set_fail_sync(&self, fail: bool) {
+        self.ctl.fail.store(fail, Ordering::SeqCst);
+    }
+
+    /// While held, [`Vfs::sync`] spins (allocation-free) without
+    /// touching the image — a sync frozen in flight, released on
+    /// demand.
+    pub fn hold_syncs(&self, hold: bool) {
+        self.ctl.hold.store(hold, Ordering::SeqCst);
+    }
+
+    /// Completed (successful) syncs across all clones.
+    pub fn syncs(&self) -> u64 {
+        self.ctl.syncs.load(Ordering::SeqCst)
+    }
+}
+
+impl Vfs for SharedMemVfs {
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.image.lock().unwrap().read_at(off, buf)
+    }
+
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<()> {
+        self.image.lock().unwrap().write_at(off, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let delay = self.ctl.delay_ns.load(Ordering::SeqCst);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_nanos(delay));
+        }
+        while self.ctl.hold.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        if self.ctl.fail.load(Ordering::SeqCst) {
+            return Err(io::Error::other("injected sync failure"));
+        }
+        self.image.lock().unwrap().sync()?;
+        self.ctl.syncs.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.image.lock().unwrap().len()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.image.lock().unwrap().set_len(len)
     }
 }
 

@@ -1,0 +1,202 @@
+//! Convergence proof for the adaptive block-cache controller: a
+//! phase-shifted workload (small working set, then a much larger one)
+//! ends with the adaptive disk at a larger capacity *and* a higher
+//! late-phase hit rate than a fixed-size baseline given the same
+//! traffic — and the whole story is readable from the telemetry
+//! registry, not just from internal accessors.
+
+use oaf_ssd::block::BlockStore;
+use oaf_store::vfs::MemVfs;
+use oaf_store::{CacheAdaptConfig, FileDisk};
+use oaf_telemetry::Registry;
+
+const BS: usize = 512;
+const BLOCKS: u64 = 256;
+const LOG_BYTES: u64 = 256 * 1024;
+
+/// The fixed baseline's capacity and the adaptive controller's floor.
+const MIN_BLOCKS: usize = 8;
+const MAX_BLOCKS: usize = 128;
+const WINDOW: u64 = 128;
+
+/// Phase-B working set: spills a `MIN_BLOCKS` cache ~12× over, but fits
+/// comfortably under `MAX_BLOCKS`.
+const LARGE_SET: u64 = 96;
+
+fn mem_disk() -> FileDisk {
+    FileDisk::create_on(Box::new(MemVfs::new()), BS as u32, BLOCKS, LOG_BYTES).expect("format disk")
+}
+
+/// One workload pass: write the whole set, then read it back. Both the
+/// write (write-allocate) and the read go through the cache, and the
+/// write keeps the controller's evaluation window ticking — adaptation
+/// only happens on the mutation path.
+fn pass(d: &mut FileDisk, set: u64) {
+    let payload = [0x5au8; BS];
+    let mut out = [0u8; BS];
+    for lba in 0..set {
+        d.write(lba, 1, &payload, false).expect("write");
+    }
+    for lba in 0..set {
+        d.read(lba, 1, &mut out).expect("read");
+    }
+}
+
+/// Hit rate over a window of the metrics stream, as (hits, lookups).
+fn hit_window(d: &FileDisk) -> (u64, u64) {
+    let h = d.metrics().cache_hits.get();
+    (h, h + d.metrics().cache_misses.get())
+}
+
+#[test]
+fn adaptive_cache_converges_past_fixed_baseline_on_phase_shift() {
+    let registry = Registry::new();
+
+    let mut fixed = mem_disk().with_cache(MIN_BLOCKS).expect("fixed cache");
+    fixed.metrics().register(&registry.scope("fixed"));
+
+    let mut adaptive = mem_disk()
+        .with_adaptive_cache(CacheAdaptConfig {
+            min_blocks: MIN_BLOCKS,
+            max_blocks: MAX_BLOCKS,
+            window_lookups: WINDOW,
+        })
+        .expect("adaptive cache");
+    adaptive.metrics().register(&registry.scope("adaptive"));
+    assert_eq!(adaptive.cache_capacity(), MIN_BLOCKS, "starts at the floor");
+
+    // Phase A: a working set that fits the floor. Both disks serve it
+    // identically; the controller has no reason to move.
+    for _ in 0..8 {
+        pass(&mut fixed, MIN_BLOCKS as u64);
+        pass(&mut adaptive, MIN_BLOCKS as u64);
+    }
+    assert_eq!(
+        adaptive.cache_capacity(),
+        MIN_BLOCKS,
+        "a fitting working set must not trigger growth"
+    );
+
+    // Phase B: the working set jumps to LARGE_SET. The fixed cache
+    // thrashes forever; the adaptive controller doubles until the set
+    // fits.
+    for _ in 0..24 {
+        pass(&mut fixed, LARGE_SET);
+        pass(&mut adaptive, LARGE_SET);
+    }
+
+    // Late-phase hit rate: measured over the tail passes only, after
+    // the controller has had every chance to converge.
+    let (f_h0, f_l0) = hit_window(&fixed);
+    let (a_h0, a_l0) = hit_window(&adaptive);
+    for _ in 0..6 {
+        pass(&mut fixed, LARGE_SET);
+        pass(&mut adaptive, LARGE_SET);
+    }
+    let (f_h1, f_l1) = hit_window(&fixed);
+    let (a_h1, a_l1) = hit_window(&adaptive);
+    let fixed_rate = (f_h1 - f_h0) as f64 / (f_l1 - f_l0) as f64;
+    let adaptive_rate = (a_h1 - a_h0) as f64 / (a_l1 - a_l0) as f64;
+    eprintln!(
+        "phase-shift tail: fixed cap={} hit-rate={:.1}% | adaptive cap={} hit-rate={:.1}%",
+        fixed.cache_capacity(),
+        fixed_rate * 100.0,
+        adaptive.cache_capacity(),
+        adaptive_rate * 100.0,
+    );
+
+    // Ends at a larger capacity…
+    assert!(
+        adaptive.cache_capacity() >= LARGE_SET as usize,
+        "controller stuck at {} blocks",
+        adaptive.cache_capacity()
+    );
+    assert_eq!(fixed.cache_capacity(), MIN_BLOCKS);
+    // …and a (much) higher hit rate than the fixed baseline.
+    assert!(
+        adaptive_rate >= 0.90,
+        "converged cache should serve the set from memory: {adaptive_rate:.3}"
+    );
+    assert!(
+        fixed_rate <= 0.50,
+        "baseline unexpectedly stopped thrashing: {fixed_rate:.3}"
+    );
+    assert!(adaptive_rate > fixed_rate);
+
+    // The same story through the telemetry registry: capacity gauge,
+    // grow counter, and the hit/miss counters all line up.
+    let snap = registry.snapshot();
+    let (cap, _) = snap
+        .gauge("adaptive", "cache_capacity")
+        .expect("capacity gauge registered");
+    assert_eq!(cap, adaptive.cache_capacity() as i64);
+    assert!(snap.counter("adaptive", "cache_grows") >= 1);
+    assert_eq!(snap.counter("adaptive", "cache_shrinks"), 0);
+    let (fixed_cap, _) = snap
+        .gauge("fixed", "cache_capacity")
+        .expect("fixed capacity gauge registered");
+    assert_eq!(fixed_cap, MIN_BLOCKS as i64);
+    assert_eq!(snap.counter("fixed", "cache_grows"), 0);
+    assert_eq!(snap.counter("adaptive", "cache_hits"), a_h1);
+
+    // Correctness across every resize the controller performed.
+    let mut out = [0u8; BS];
+    for lba in 0..LARGE_SET {
+        adaptive.read(lba, 1, &mut out).expect("read back");
+        assert!(out.iter().all(|&b| b == 0x5a), "lba {lba} corrupt");
+    }
+}
+
+/// The controller gives memory back: after the big phase ends (its
+/// range is trimmed away) and traffic returns to a small set, ≥95%-hit
+/// windows with an idle arena walk the capacity back down toward the
+/// floor.
+#[test]
+fn adaptive_cache_shrinks_when_the_working_set_collapses() {
+    let mut d = mem_disk()
+        .with_adaptive_cache(CacheAdaptConfig {
+            min_blocks: MIN_BLOCKS,
+            max_blocks: MAX_BLOCKS,
+            window_lookups: WINDOW,
+        })
+        .expect("adaptive cache");
+
+    // Grow: thrash the large set until it fits.
+    for _ in 0..24 {
+        pass(&mut d, LARGE_SET);
+        if d.cache_capacity() >= LARGE_SET as usize {
+            break;
+        }
+    }
+    let grown = d.cache_capacity();
+    assert!(grown >= LARGE_SET as usize, "never grew: {grown}");
+
+    // Collapse: drop the large range (trim also invalidates its cache
+    // entries), then serve only the small set.
+    d.trim(MIN_BLOCKS as u64, (LARGE_SET - MIN_BLOCKS as u64) as u32)
+        .expect("trim");
+    for _ in 0..80 {
+        pass(&mut d, MIN_BLOCKS as u64);
+        if d.cache_capacity() <= MIN_BLOCKS * 2 {
+            break;
+        }
+    }
+    eprintln!(
+        "shrink: grew to {grown}, settled at {} (shrinks={})",
+        d.cache_capacity(),
+        d.metrics().cache_shrinks.get()
+    );
+    assert!(
+        d.cache_capacity() < grown,
+        "controller never shrank from {grown}"
+    );
+    assert!(d.metrics().cache_shrinks.get() >= 1);
+    assert!(d.cache_capacity() >= MIN_BLOCKS, "floor respected");
+
+    // The small set still reads back correctly after the walks.
+    let mut out = [0u8; BS];
+    for lba in 0..MIN_BLOCKS as u64 {
+        d.read(lba, 1, &mut out).expect("read back");
+        assert!(out.iter().all(|&b| b == 0x5a));
+    }
+}

@@ -106,6 +106,19 @@ fn crash_phase() -> Phase {
     }
 }
 
+/// `OAF_SYNC_OFFLOAD=1` runs the soak through a [`SharedFileDisk`] with
+/// the async sync worker attached: every barrier parks on the worker's
+/// `fdatasync`, so kill points land *inside the offloaded sync* with
+/// acknowledged-volatile state outstanding. The worker thread's
+/// syscalls interleave with the workload's, so the seeded kill point is
+/// reproducible in distribution rather than bit-for-bit — the
+/// allowed-set model is ack-driven and holds for every interleaving.
+///
+/// [`SharedFileDisk`]: oaf_store::SharedFileDisk
+fn sync_offload() -> bool {
+    std::env::var("OAF_SYNC_OFFLOAD").as_deref() == Ok("1")
+}
+
 /// Block-cache capacities the soak sweeps per round; `OAF_CACHE_BLOCKS`
 /// pins a single capacity for exact replay / CI matrix legs.
 fn cache_capacities() -> Vec<usize> {
@@ -173,8 +186,11 @@ fn crash_round(seed: u64, phase: Phase, cache_blocks: usize) {
 
     let created = FileDisk::create_on(Box::new(vfs.clone()), BLOCK as u32, BLOCKS, LOG_BYTES)
         .and_then(|d| d.with_cache(cache_blocks));
-    let mut disk = match created {
-        Ok(d) => d,
+    let mut disk: Box<dyn BlockStore> = match created {
+        Ok(d) if sync_offload() => {
+            Box::new(d.into_shared().with_sync_worker(Box::new(vfs.clone())))
+        }
+        Ok(d) => Box::new(d),
         Err(_) => {
             // Died formatting (kill point 1 or 2): the wreckage has no
             // fully-synced superblock yet, so the only guarantee is a
@@ -302,6 +318,10 @@ fn crash_round(seed: u64, phase: Phase, cache_blocks: usize) {
         point.fire_at()
     );
 
+    // Tear the dead store down first: in the offload leg this joins the
+    // sync worker, so no thread races the durable-image snapshot.
+    drop(disk);
+
     // Mount the wreckage — reads go back through a cache of the same
     // capacity. Recovery must always succeed: the superblock was fully
     // synced at create time and is never overwritten in place.
@@ -376,7 +396,8 @@ fn crash_soak_allowed_set_holds() {
     }
     eprintln!(
         "crash soak: {torn_total} kill points survived (phase {phase:?}, caches {caps:?}, \
-         base seed {base:#x})"
+         offload {}, base seed {base:#x})",
+        sync_offload()
     );
 }
 

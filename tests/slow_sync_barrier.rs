@@ -136,6 +136,88 @@ fn slow_fsync_does_not_fire_timeout_or_peer_death() {
     handle.shutdown().expect("target shutdown");
 }
 
+/// The async durability pipeline removes the stall the test above has
+/// to *excuse*: with the store's `fdatasync` offloaded to its sync
+/// worker, the reactor keeps serving non-barrier commands while an
+/// 80 ms sync is in flight. Pad mode keeps those reads on live 10 ms
+/// deadlines — nothing is excluded from recovery timing, and still
+/// nothing fires: no retry, no timeout, no degrade, no peer death.
+#[test]
+fn offloaded_sync_keeps_reads_flowing_during_barrier() {
+    use nvme_oaf::nvmeof::recovery::BarrierGraceMode;
+    use nvme_oaf::nvmeof::target::spawn_target_observed;
+    use nvme_oaf::store::vfs::SharedMemVfs;
+
+    let vfs = SharedMemVfs::new();
+    vfs.set_sync_delay(Duration::from_millis(80));
+    let disk = FileDisk::create_on(Box::new(vfs.clone()), BS as u32, BLOCKS, 256 * 1024)
+        .expect("format disk")
+        .into_shared()
+        .with_sync_worker(Box::new(vfs));
+    let mut controller = Controller::new();
+    controller.add_namespace(Namespace::with_shared_file(1, disk));
+
+    let registry = oaf_telemetry::Registry::new();
+    let (ct, tt) = MemTransport::pair();
+    let handle = spawn_target_observed(
+        tt,
+        controller,
+        TargetConfig::default(),
+        None,
+        Some(&registry),
+    );
+
+    let opts = InitiatorOptions {
+        barrier_grace_mode: BarrierGraceMode::PadBarrierDeadline,
+        ..twitchy_options()
+    };
+    let mut ini = Initiator::connect(ct, opts, None, TIMEOUT).expect("connect");
+
+    // Seed blocks so the reads below return data.
+    ini.write_blocking(1, 0, 1, Bytes::from(vec![0x11u8; BS]), TIMEOUT)
+        .expect("seed write");
+
+    // The FUA write parks at the target with its 80 ms fsync in flight
+    // on the sync worker…
+    let w = ini
+        .submit_write_fua(1, 3, 1, Bytes::from(vec![0xA5u8; BS]))
+        .expect("submit fua");
+    // …and while it is parked, a burst of reads is served on *live*
+    // 10 ms deadlines. If the reactor were blocked in the sync (or the
+    // reads queued behind the barrier), every one of these would burn
+    // retries and the metrics below would catch it.
+    let mut reads = Vec::new();
+    for i in 0..8u64 {
+        reads.push(ini.submit_read(1, i % 4, 1, BS).expect("submit read"));
+    }
+    for r in reads {
+        let res = ini.wait(r, TIMEOUT).expect("read survives in-flight sync");
+        assert!(res.status.is_ok(), "read status: {:?}", res.status);
+    }
+    let wres = ini.wait(w, TIMEOUT).expect("fua completes once durable");
+    assert!(wres.status.is_ok(), "fua status: {:?}", wres.status);
+
+    let m = ini.metrics();
+    assert_eq!(m.timeouts.get(), 0, "spurious Timeout fired");
+    assert_eq!(
+        m.retries.get(),
+        0,
+        "a non-barrier command queued behind the offloaded barrier"
+    );
+    assert_eq!(m.aborts_sent.get(), 0, "spurious abort round-trip fired");
+    assert_eq!(m.degradations.get(), 0, "spurious degradation fired");
+    assert!(ini.take_timed_out().is_empty());
+
+    ini.disconnect().expect("disconnect");
+    handle.shutdown().expect("target shutdown");
+
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("target", "barriers_parked") >= 1,
+        "the FUA barrier never took the parked path"
+    );
+}
+
 /// The exclusion is a *bounded* grace, not a free pass: when the
 /// barrier outlives `barrier_grace`, the effective clock resumes and a
 /// peer wedged inside its fsync is still declared dead.
